@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default 1): the paper ran on
+an 832k-node XMark instance and datasets with thousands of subjects; scale
+1 keeps every bench in CI territory (seconds), scale 4+ approaches
+paper-like sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.acl.surrogates import generate_livelink, generate_unix_fs
+from repro.xmark.generator import XMarkConfig, generate_document
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(base: int) -> int:
+    return base * SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def xmark_doc():
+    """The benchmark XMark instance (~10k nodes at scale 1)."""
+    return generate_document(
+        XMarkConfig(
+            n_items=scaled(400),
+            n_categories=scaled(40),
+            n_people=scaled(50),
+            n_open_auctions=scaled(50),
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def livelink():
+    """LiveLink surrogate (~4k items, 72 subjects, 10 modes at scale 1)."""
+    return generate_livelink(
+        n_items=scaled(2000),
+        n_groups=max(8, scaled(12)),
+        n_users=scaled(60),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def unixfs():
+    """Unix file system surrogate (~6k nodes, 50 subjects at scale 1)."""
+    return generate_unix_fs(
+        n_nodes=scaled(6000),
+        n_users=scaled(40),
+        n_groups=max(6, scaled(10)),
+        seed=7,
+    )

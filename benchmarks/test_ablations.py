@@ -1,0 +1,141 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — codebook (dictionary compression): store full access control lists at
+     every transition instead of codes; measures what correlation-sharing
+     buys in the multi-user setting.
+A2 — correlation strength: sweep the subject mutation rate and watch the
+     codebook/transition growth move from the correlated regime to the
+     independent (worst-case) regime of Section 2.1.
+A3 — CAM label model: the paper's positive-cover CAM vs the idealized
+     nearest-override CAM (how much of Figure 4(a)'s gap is the label
+     model rather than the structure).
+A4 — document order: DOL keyed on document order vs a random node order
+     (structural locality is what makes transitions few).
+A5 — cross-mode correlation (footnote 2): one combined DOL over all
+     (mode, subject) columns vs ten independent per-mode DOLs on the
+     LiveLink surrogate with its nested permission levels.
+"""
+
+import random
+
+from repro.acl.synthetic import SyntheticACLConfig, generate_correlated_acl, single_subject_labels
+from repro.bench.reporting import print_table
+from repro.cam.cam import CAM, OverrideCAM
+from repro.dol.labeling import DOL, transitions_from_masks
+
+
+def test_a1_codebook_vs_inline_acls(livelink, benchmark):
+    dol = DOL.from_matrix(livelink.matrix, "see")
+    entry_bytes = dol.codebook.entry_bytes()
+    with_codebook = dol.size_bytes()
+    without_codebook = dol.n_transitions * entry_bytes  # inline full ACLs
+    print_table(
+        "A1: dictionary compression of access control lists",
+        ["layout", "bytes"],
+        [
+            ("codebook + codes", with_codebook),
+            ("inline ACL per transition", without_codebook),
+        ],
+    )
+    # With many subjects, inlining the bit vector at every transition is
+    # strictly worse whenever transitions outnumber distinct ACLs.
+    if dol.n_transitions > len(dol.codebook) * 2:
+        assert with_codebook < without_codebook
+    benchmark(dol.size_bytes)
+
+
+def test_a2_correlation_sweep(xmark_doc, benchmark):
+    rows = []
+    for mutation_rate in (0.0, 0.01, 0.05, 0.2):
+        matrix = generate_correlated_acl(
+            xmark_doc, n_subjects=8, n_profiles=2, mutation_rate=mutation_rate
+        )
+        dol = DOL.from_matrix(matrix)
+        rows.append((mutation_rate, len(dol.codebook), dol.n_transitions))
+    print_table(
+        "A2: inter-subject correlation vs DOL size (8 subjects)",
+        ["mutation rate", "codebook entries", "transitions"],
+        rows,
+    )
+    # Weaker correlation (higher mutation) always costs more.
+    entries = [row[1] for row in rows]
+    transitions = [row[2] for row in rows]
+    assert entries == sorted(entries)
+    assert transitions == sorted(transitions)
+    benchmark(
+        generate_correlated_acl, xmark_doc, 4, 2, 0.05
+    )
+
+
+def test_a3_cam_label_models(xmark_doc, benchmark):
+    rows = []
+    for accessibility in (0.1, 0.5, 0.9):
+        config = SyntheticACLConfig(
+            propagation_ratio=0.3, accessibility_ratio=accessibility, seed=5
+        )
+        vector = single_subject_labels(xmark_doc, config)
+        positive = CAM.from_vector(xmark_doc, vector).n_labels
+        override = OverrideCAM.from_vector(xmark_doc, vector).n_labels
+        rows.append((f"{accessibility:.0%}", positive, override))
+    print_table(
+        "A3: CAM label models (positive cover vs nearest-override)",
+        ["accessible", "positive-cover labels", "override labels"],
+        rows,
+    )
+    for _acc, positive, override in rows:
+        assert override <= positive + 1
+    # The override model removes the high-accessibility blow-up.
+    assert rows[2][2] < rows[2][1]
+
+    config = SyntheticACLConfig(accessibility_ratio=0.5, seed=5)
+    vector = single_subject_labels(xmark_doc, config)
+    benchmark(OverrideCAM.from_vector, xmark_doc, vector)
+
+
+def test_a5_cross_mode_correlation(livelink, benchmark):
+    from repro.dol.multimode import MultiModeDOL
+
+    combined = MultiModeDOL.from_matrix(livelink.matrix)
+    per_mode_transitions = sum(
+        DOL.from_matrix(livelink.matrix, mode).n_transitions
+        for mode in livelink.matrix.modes
+    )
+    per_mode_bytes = MultiModeDOL.per_mode_total_bytes(livelink.matrix)
+    print_table(
+        "A5: one combined multi-mode DOL vs per-mode DOLs (10 modes)",
+        ["layout", "transitions", "bytes"],
+        [
+            ("combined (mode x subject)", combined.n_transitions, combined.size_bytes()),
+            ("ten per-mode DOLs", per_mode_transitions, per_mode_bytes),
+        ],
+    )
+    # Nested permission levels change at the same subtree boundaries, so
+    # the combined labeling shares transitions across modes.
+    assert combined.n_transitions < per_mode_transitions
+    assert combined.to_matrix() == livelink.matrix
+    benchmark(MultiModeDOL.from_matrix, livelink.matrix)
+
+
+def test_a4_document_order_matters(xmark_doc, benchmark):
+    """Shuffling node order destroys structural locality: transition
+    counts approach the alternation worst case."""
+    config = SyntheticACLConfig(accessibility_ratio=0.5, seed=11)
+    vector = single_subject_labels(xmark_doc, config)
+    masks = [int(v) for v in vector]
+
+    rng = random.Random(0)
+    shuffled = list(masks)
+    rng.shuffle(shuffled)
+
+    in_document_order = len(transitions_from_masks(masks))
+    in_random_order = len(transitions_from_masks(shuffled))
+    print_table(
+        "A4: node order and transition count (single subject)",
+        ["order", "transitions"],
+        [
+            ("document order", in_document_order),
+            ("random order", in_random_order),
+        ],
+    )
+    assert in_document_order < in_random_order / 2
+    benchmark(transitions_from_masks, masks)

@@ -1,0 +1,86 @@
+"""Construction scaling: DOL is built in a single pass (Section 2).
+
+Verifies the linear-time construction claim — doubling the document size
+roughly doubles DOL build time — and measures the streaming (one pass over
+raw XML text) vs batch (over flattened arrays) construction paths.
+"""
+
+import time
+
+from repro.acl.synthetic import SyntheticACLConfig, single_subject_labels
+from repro.bench.reporting import print_table
+from repro.dol.labeling import DOL
+from repro.dol.stream import build_dol_streaming
+from repro.xmark.generator import XMarkConfig, generate_document
+from repro.xmltree.serializer import serialize
+
+SIZES = (100, 200, 400, 800)
+
+
+def _build_time(n_items):
+    doc = generate_document(XMarkConfig(n_items=n_items, seed=1))
+    vector = single_subject_labels(
+        doc, SyntheticACLConfig(accessibility_ratio=0.5, seed=1)
+    )
+    masks = [int(v) for v in vector]
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        DOL.from_masks(masks, 1)
+        best = min(best, time.perf_counter() - started)
+    return len(doc), best
+
+
+def test_build_time_scales_linearly(benchmark):
+    rows = [(n, *_build_time(n)) for n in SIZES]
+    print_table(
+        "DOL construction scaling (single linear pass)",
+        ["n_items", "nodes", "seconds"],
+        rows,
+    )
+    # 8x more items must not cost more than ~24x the time (3x slack on
+    # linear; guards against accidental quadratic behaviour).
+    smallest, largest = rows[0], rows[-1]
+    node_factor = largest[1] / smallest[1]
+    time_factor = largest[2] / max(smallest[2], 1e-9)
+    assert time_factor < 3 * node_factor, rows
+
+    doc = generate_document(XMarkConfig(n_items=200, seed=1))
+    vector = single_subject_labels(
+        doc, SyntheticACLConfig(accessibility_ratio=0.5, seed=1)
+    )
+    masks = [int(v) for v in vector]
+    benchmark(DOL.from_masks, masks, 1)
+
+
+def test_streaming_build_single_pass(benchmark):
+    """One pass over raw XML text builds the same DOL as the batch path."""
+    doc = generate_document(XMarkConfig(n_items=150, seed=3))
+    xml = serialize(doc.to_tree())
+    vector = single_subject_labels(
+        doc, SyntheticACLConfig(accessibility_ratio=0.6, seed=3)
+    )
+    masks = [int(v) for v in vector]
+
+    streamed = build_dol_streaming(xml, 1, lambda pos, tag, path: masks[pos])
+    assert streamed == DOL.from_masks(masks, 1)
+    print(
+        f"streaming build over {len(xml)} bytes of XML: "
+        f"{streamed.n_transitions} transitions"
+    )
+    benchmark(build_dol_streaming, xml, 1, lambda pos, tag, path: masks[pos])
+
+
+def test_dissemination_throughput(benchmark):
+    """Secure dissemination is also one-pass (conclusion claim)."""
+    from repro.secure.dissemination import PRUNE, filter_xml
+
+    doc = generate_document(XMarkConfig(n_items=150, seed=4))
+    xml = serialize(doc.to_tree())
+    vector = single_subject_labels(
+        doc, SyntheticACLConfig(accessibility_ratio=0.7, seed=4)
+    )
+    dol = DOL.from_masks([int(v) for v in vector], 1)
+    out = filter_xml(xml, dol, 0, PRUNE)
+    print(f"disseminated {len(out)} of {len(xml)} bytes")
+    benchmark(filter_xml, xml, dol, 0, PRUNE)

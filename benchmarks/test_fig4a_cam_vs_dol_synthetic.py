@@ -1,0 +1,116 @@
+"""Figure 4(a): CAM labels vs DOL transition nodes, single subject,
+synthetic access controls on XMark.
+
+The paper sweeps the accessibility ratio from 10% to 90% under three
+propagation ratios (10%, 30%, 50%) and plots the ratio of CAM node count to
+DOL transition node count. Expected shape: CAM is smaller (ratio ~0.5) at
+low accessibility, the gap narrows as accessibility grows; CAM's curve is
+asymmetric (worst near 60% accessibility) while DOL's peaks at 50%.
+"""
+
+from repro.acl.synthetic import SyntheticACLConfig, single_subject_labels
+from repro.bench.reporting import print_table
+from repro.cam.cam import CAM
+from repro.dol.labeling import DOL
+
+ACCESSIBILITY_RATIOS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+PROPAGATION_RATIOS = [0.1, 0.3, 0.5]
+
+
+def _sizes(doc, propagation, accessibility, seed=1):
+    config = SyntheticACLConfig(
+        propagation_ratio=propagation,
+        accessibility_ratio=accessibility,
+        seed=seed,
+    )
+    vector = single_subject_labels(doc, config)
+    dol = DOL.from_vector(vector)
+    cam = CAM.from_vector(doc, vector)
+    return cam.n_labels, dol.n_transitions
+
+
+def _mean_sizes(doc, propagation, accessibility, n_seeds=3):
+    cams, dols = [], []
+    for seed in range(n_seeds):
+        cam_n, dol_n = _sizes(doc, propagation, accessibility, seed)
+        cams.append(cam_n)
+        dols.append(dol_n)
+    return sum(cams) / n_seeds, sum(dols) / n_seeds
+
+
+def test_fig4a_ratio_sweep(xmark_doc, benchmark):
+    rows = []
+    curves = {}
+    for propagation in PROPAGATION_RATIOS:
+        ratios = []
+        for accessibility in ACCESSIBILITY_RATIOS:
+            cam_n, dol_n = _mean_sizes(xmark_doc, propagation, accessibility)
+            ratio = cam_n / dol_n
+            ratios.append(ratio)
+            rows.append(
+                (f"{propagation:.0%}", f"{accessibility:.0%}", cam_n, dol_n, ratio)
+            )
+        curves[propagation] = ratios
+    print_table(
+        "Figure 4(a): CAM labels / DOL transition nodes (synthetic, 1 subject)",
+        ["propagation", "accessibility", "CAM", "DOL", "CAM/DOL"],
+        rows,
+    )
+
+    for propagation, ratios in curves.items():
+        # Paper shape: the CAM/DOL ratio is lowest at low accessibility
+        # and grows with it (the paper's gap narrows; our minimal
+        # positive-cover CAM eventually exceeds DOL).
+        assert ratios[0] == min(ratios), (propagation, ratios)
+        assert ratios[-1] > ratios[0], (propagation, ratios)
+
+    # time one representative labeling construction
+    benchmark(_sizes, xmark_doc, 0.3, 0.5)
+
+
+def test_fig4a_dol_symmetry(xmark_doc, benchmark):
+    """DOL transition count peaks near 50% accessibility and is roughly
+    symmetric around it; CAM's peak sits right of 50% (asymmetric)."""
+    dol_counts = {}
+    cam_counts = {}
+    for accessibility in ACCESSIBILITY_RATIOS:
+        # average over seeds to smooth sampling noise
+        cams, dols = [], []
+        for seed in range(3):
+            cam_n, dol_n = _sizes(xmark_doc, 0.3, accessibility, seed=seed)
+            cams.append(cam_n)
+            dols.append(dol_n)
+        dol_counts[accessibility] = sum(dols) / len(dols)
+        cam_counts[accessibility] = sum(cams) / len(cams)
+
+    from repro.bench.figures import print_bars
+
+    print_bars(
+        "CAM labels by accessibility ratio (propagation 30%)",
+        [(f"{a:.0%}", cam_counts[a]) for a in ACCESSIBILITY_RATIOS],
+    )
+    print_bars(
+        "DOL transitions by accessibility ratio (propagation 30%)",
+        [(f"{a:.0%}", dol_counts[a]) for a in ACCESSIBILITY_RATIOS],
+    )
+    dol_peak = max(dol_counts, key=dol_counts.get)
+    cam_peak = max(cam_counts, key=cam_counts.get)
+    print_table(
+        "Figure 4(a) detail: size curves (propagation 30%)",
+        ["accessibility", "CAM", "DOL"],
+        [
+            (f"{a:.0%}", cam_counts[a], dol_counts[a])
+            for a in ACCESSIBILITY_RATIOS
+        ],
+    )
+    benchmark(_sizes, xmark_doc, 0.3, 0.6)
+    assert 0.4 <= dol_peak <= 0.6, f"DOL peak at {dol_peak}"
+    # CAM's maximum sits right of 50% (the paper reports 60%).
+    assert cam_peak > 0.5, f"CAM peak at {cam_peak}"
+    assert cam_peak >= dol_peak, f"CAM peak {cam_peak} left of DOL peak {dol_peak}"
+    # DOL symmetry: counts at 10% and 90% are within a factor ~2.5
+    low, high = dol_counts[0.1], dol_counts[0.9]
+    assert max(low, high) / max(1, min(low, high)) < 2.5
+    # CAM asymmetry: 10% accessibility needs far fewer labels than 90%
+    # (the paper reports roughly one third).
+    assert cam_counts[0.1] < 0.6 * cam_counts[0.9]

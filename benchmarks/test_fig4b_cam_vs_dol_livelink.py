@@ -1,0 +1,72 @@
+"""Figure 4(b): CAM labels vs DOL transition nodes per action mode,
+average single user, on the LiveLink surrogate.
+
+The paper samples users for each of the ten access modes and builds a
+single-user CAM and DOL for each; in the worst case DOL had 20–25% more
+nodes than CAM, in other cases the two were about the same.
+"""
+
+import random
+
+from repro.bench.reporting import print_table
+from repro.cam.cam import CAM
+from repro.dol.labeling import DOL
+
+SAMPLED_USERS = 12
+
+
+def _per_mode_averages(dataset, rng):
+    registry = dataset.registry
+    users = [s for s in range(dataset.n_subjects) if not registry.is_group(s)]
+    sample = rng.sample(users, min(SAMPLED_USERS, len(users)))
+    rows = []
+    for mode in dataset.matrix.modes:
+        cam_total = dol_total = 0
+        for user in sample:
+            vector = dataset.matrix.subject_vector(user, mode)
+            cam_total += CAM.from_vector(dataset.doc, vector).n_labels
+            dol_total += DOL.from_vector(vector).n_transitions
+        rows.append(
+            (
+                mode,
+                cam_total / len(sample),
+                dol_total / len(sample),
+            )
+        )
+    return rows
+
+
+def test_fig4b_livelink_modes(livelink, benchmark):
+    rng = random.Random(17)
+    rows = _per_mode_averages(livelink, rng)
+    print_table(
+        "Figure 4(b): average single-user CAM labels vs DOL nodes per mode",
+        ["mode", "CAM labels", "DOL nodes"],
+        rows,
+    )
+    for mode, cam_avg, dol_avg in rows:
+        if cam_avg == 0 and dol_avg <= 1:
+            continue  # mode with no sampled rights: both trivial
+        # Paper: DOL within ~25% of CAM in the worst case, often equal.
+        # Real-data locality keeps the two structures comparable; allow a
+        # generous factor-of-3 band for the smaller surrogate.
+        assert dol_avg <= 3 * max(cam_avg, 1), (mode, cam_avg, dol_avg)
+
+    # time a representative single-user DOL construction ("see" mode)
+    registry = livelink.registry
+    user = next(s for s in range(livelink.n_subjects) if not registry.is_group(s))
+    vector = livelink.matrix.subject_vector(user, "see")
+    benchmark(DOL.from_vector, vector)
+
+
+def test_fig4b_single_user_structures_decode_correctly(livelink, benchmark):
+    """Spot-check that both structures are faithful on surrogate data."""
+    registry = livelink.registry
+    users = [s for s in range(livelink.n_subjects) if not registry.is_group(s)]
+    benchmark(livelink.matrix.subject_vector, users[0], "see")
+    for user in users[:3]:
+        for mode in ("see", "delete"):
+            vector = livelink.matrix.subject_vector(user, mode)
+            assert CAM.from_vector(livelink.doc, vector).to_vector() == vector
+            dol = DOL.from_vector(vector)
+            assert [dol.accessible(0, p) for p in range(len(vector))] == vector

@@ -1,0 +1,68 @@
+"""Figures 5(a) and 5(b): codebook entries as a function of the number of
+subjects, on the LiveLink and Unix file system surrogates.
+
+If subjects' rights were uncorrelated the codebook would grow
+exponentially (up to min(|D|, 2^S)); the paper observes far slower,
+sub-exponential growth — ~4,000 entries for 8,639 LiveLink subjects and
+~855 entries for 247 Unix subjects.
+"""
+
+import random
+
+from repro.bench.reporting import print_table
+from repro.dol.labeling import DOL
+
+
+def _codebook_curve(dataset, mode, fractions, rng):
+    n_subjects = dataset.n_subjects
+    rows = []
+    for fraction in fractions:
+        k = max(1, round(fraction * n_subjects))
+        subjects = rng.sample(range(n_subjects), k)
+        projected = dataset.matrix.restrict_to_subjects(subjects, mode)
+        dol = DOL.from_matrix(projected, mode)
+        rows.append((k, len(dol.codebook), dol.n_transitions))
+    return rows
+
+
+FRACTIONS = [0.1, 0.25, 0.5, 0.75, 1.0]
+
+
+def _check_subexponential(rows, n_nodes):
+    for k, entries, _transitions in rows:
+        # Far below the uncorrelated bound min(|D|, 2^k).
+        bound = min(n_nodes, 2**k)
+        if k > 8:
+            assert entries < bound / 4, (k, entries, bound)
+    # Growth factor between consecutive points is modest, nothing like 2^k.
+    for (k1, e1, _), (k2, e2, _) in zip(rows, rows[1:]):
+        if e1 >= 8:
+            assert e2 / e1 < (k2 / k1) ** 3, (k1, e1, k2, e2)
+
+
+def test_fig5a_livelink_codebook(livelink, benchmark):
+    rng = random.Random(5)
+    rows = _codebook_curve(livelink, "see", FRACTIONS, rng)
+    print_table(
+        "Figure 5(a): codebook entries vs number of LiveLink subjects",
+        ["subjects", "codebook entries", "transition nodes"],
+        [(k, e, t) for k, e, t in rows],
+    )
+    _check_subexponential(rows, len(livelink.doc))
+
+    full_dol = DOL.from_matrix(livelink.matrix, "see")
+    size = full_dol.codebook.size_bytes()
+    print(f"complete LiveLink codebook: {len(full_dol.codebook)} entries, {size} bytes")
+    benchmark(DOL.from_matrix, livelink.matrix, "see")
+
+
+def test_fig5b_unix_codebook(unixfs, benchmark):
+    rng = random.Random(6)
+    rows = _codebook_curve(unixfs, "read", FRACTIONS, rng)
+    print_table(
+        "Figure 5(b): codebook entries vs number of Unix subjects",
+        ["subjects", "codebook entries", "transition nodes"],
+        [(k, e, t) for k, e, t in rows],
+    )
+    _check_subexponential(rows, len(unixfs.doc))
+    benchmark(DOL.from_matrix, unixfs.matrix, "read")

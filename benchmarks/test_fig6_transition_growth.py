@@ -1,0 +1,71 @@
+"""Figures 6(a) and 6(b): transition nodes as a function of the number of
+subjects, on the LiveLink and Unix surrogates.
+
+The paper observes strongly sublinear growth: 8,000+ LiveLink subjects
+need only ~4x the transitions of a single subject, and 247 Unix subjects
+only ~2x those of 5 subjects; transition density stays below 1 in 100
+nodes for the full subject sets.
+"""
+
+import random
+
+from repro.bench.reporting import print_table
+from repro.dol.labeling import DOL
+
+
+def _transition_curve(dataset, mode, counts, rng):
+    rows = []
+    for k in counts:
+        subjects = rng.sample(range(dataset.n_subjects), k)
+        projected = dataset.matrix.restrict_to_subjects(subjects, mode)
+        dol = DOL.from_matrix(projected, mode)
+        rows.append((k, dol.n_transitions, dol.transition_density()))
+    return rows
+
+
+def _counts_for(dataset):
+    n = dataset.n_subjects
+    return sorted({1, max(2, n // 8), max(3, n // 4), max(4, n // 2), n})
+
+
+def _check_sublinear(rows):
+    (k0, t0, _), *_rest, (k1, t1, _) = rows
+    subject_growth = k1 / k0
+    transition_growth = t1 / max(t0, 1)
+    # Sublinear: transitions grow much more slowly than the subject count.
+    assert transition_growth < subject_growth, (rows,)
+    assert transition_growth < 0.5 * subject_growth or subject_growth < 8, (rows,)
+
+
+def test_fig6a_livelink_transitions(livelink, benchmark):
+    rng = random.Random(15)
+    rows = _transition_curve(livelink, "see", _counts_for(livelink), rng)
+    print_table(
+        "Figure 6(a): transition nodes vs number of LiveLink subjects",
+        ["subjects", "transition nodes", "density"],
+        rows,
+    )
+    _check_sublinear(rows)
+    full = rows[-1]
+    # Paper: density below 1 in 10 for the full subject set (1 in 100 at
+    # paper scale; the smaller surrogate tree is denser).
+    assert full[2] < 0.5, full
+
+    subjects = list(range(livelink.n_subjects))
+    benchmark(livelink.matrix.restrict_to_subjects, subjects, "see")
+
+
+def test_fig6b_unix_transitions(unixfs, benchmark):
+    rng = random.Random(16)
+    rows = _transition_curve(unixfs, "read", _counts_for(unixfs), rng)
+    print_table(
+        "Figure 6(b): transition nodes vs number of Unix subjects",
+        ["subjects", "transition nodes", "density"],
+        rows,
+    )
+    _check_sublinear(rows)
+
+    def build_full():
+        return DOL.from_matrix(unixfs.matrix, "read")
+
+    benchmark(build_full)

@@ -1,0 +1,55 @@
+"""Index I/O: B+-tree probes cost O(height) page reads.
+
+NoK matching is seeded from B+-trees on tag names (Section 4.1). The
+disk-backed index participates in the same I/O accounting as data pages;
+a point probe should read about one page per tree level plus the leaf
+chain holding the postings.
+"""
+
+from repro.bench.reporting import print_table
+from repro.index.diskbptree import DiskBPlusTree
+from repro.index.tagindex import DiskTagIndex
+
+
+def test_probe_cost_tracks_height(xmark_doc, benchmark):
+    index = DiskTagIndex(xmark_doc, page_size=1024, buffer_capacity=256)
+    tree = index._by_tag
+    tree.buffer.clear()
+    tree.pager.stats.reset()
+
+    rows = []
+    for tag in ("site", "quantity", "keyword", "item", "text"):
+        tree.buffer.clear()
+        tree.pager.stats.reset()
+        postings = index.positions(tag)
+        rows.append((tag, len(postings), tree.pager.stats.reads))
+    print_table(
+        "DiskTagIndex point probes (cold cache)",
+        ["tag", "postings", "page reads"],
+        rows,
+    )
+    height = tree.height()
+    print(f"index height: {height}, pages: {tree.pager.n_pages}")
+    for tag, n_postings, reads in rows:
+        # descend (height pages) + the leaves holding the postings
+        leaf_budget = max(1, n_postings // 8 + 2)
+        assert reads <= height + leaf_budget, (tag, reads)
+
+    benchmark(index.positions, "item")
+
+
+def test_index_construction_scales(benchmark):
+    def build(n):
+        tree = DiskBPlusTree(page_size=1024)
+        for i in range(n):
+            tree.insert(f"tag{i % 50:02d}", i)
+        return tree
+
+    small = build(1000)
+    large = build(4000)
+    assert large.height() >= small.height()
+    print(
+        f"1k entries: height {small.height()}, {small.pager.n_pages} pages; "
+        f"4k entries: height {large.height()}, {large.pager.n_pages} pages"
+    )
+    benchmark(build, 1000)

@@ -1,0 +1,85 @@
+"""repro — reproduction of "Compact Access Control Labeling for Efficient
+Secure XML Query Evaluation" (Zhang, Zhang, Salem, Zhuo; ICDE 2005).
+
+Public API overview
+-------------------
+
+Documents
+    :func:`repro.parse` / :func:`repro.serialize` — XML text ↔ trees;
+    :class:`repro.Document` — flattened document-order arrays;
+    :func:`repro.xmark.generate_document` — XMark-like synthetic data.
+
+Access control
+    :class:`repro.AccessMatrix` — the accessibility function;
+    :class:`repro.Policy` — rule-based specification with propagation;
+    :mod:`repro.acl.synthetic` / :mod:`repro.acl.surrogates` — workloads.
+
+DOL (the paper's contribution)
+    :class:`repro.DOL` — compact document-ordered labeling;
+    :class:`repro.Codebook` — dictionary-compressed access control lists;
+    :class:`repro.DOLUpdater` — accessibility and structural updates;
+    :func:`repro.build_dol_streaming` — one-pass construction from XML text.
+
+Baseline
+    :class:`repro.CAM` — minimal Compressed Accessibility Map.
+
+Storage & querying
+    :class:`repro.NoKStore` — block storage with embedded access codes;
+    :class:`repro.QueryEngine` — (secure) twig query evaluation;
+    :data:`repro.CHO` / :data:`repro.VIEW` — secure semantics.
+"""
+
+from repro.acl.model import AccessMatrix, SubjectRegistry
+from repro.acl.policy import AccessRule, Policy
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.cam.cam import CAM
+from repro.dol.codebook import Codebook
+from repro.dol.labeling import DOL
+from repro.dol.multimode import MultiModeDOL
+from repro.dol.stream import build_dol_streaming
+from repro.dol.updates import DOLUpdater
+from repro.errors import ReproError
+from repro.index.tagindex import TagIndex
+from repro.secure.dissemination import filter_xml
+from repro.secure.secured import SecuredDocument
+from repro.nok.engine import QueryEngine, QueryResult
+from repro.nok.pattern import PatternTree, parse_query
+from repro.secure.semantics import CHO, VIEW
+from repro.storage.nokstore import NoKStore
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAM",
+    "CHO",
+    "VIEW",
+    "AccessMatrix",
+    "AccessRule",
+    "Codebook",
+    "DOL",
+    "DOLUpdater",
+    "MultiModeDOL",
+    "Document",
+    "Node",
+    "NoKStore",
+    "PatternTree",
+    "Policy",
+    "QueryEngine",
+    "QueryResult",
+    "SecuredDocument",
+    "ReproError",
+    "SubjectRegistry",
+    "SyntheticACLConfig",
+    "TagIndex",
+    "__version__",
+    "build_dol_streaming",
+    "filter_xml",
+    "generate_synthetic_acl",
+    "parse",
+    "parse_query",
+    "serialize",
+]

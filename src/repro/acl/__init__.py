@@ -1,0 +1,27 @@
+"""Fine-grained access control substrate.
+
+Models the paper's accessibility function ``accessible : S x M x D ->
+{true, false}`` (Section 2) as an :class:`~repro.acl.model.AccessMatrix`
+over a flattened document, plus:
+
+- :mod:`~repro.acl.policy` — rule-based specifications compiled into a
+  matrix via Most-Specific-Override propagation.
+- :mod:`~repro.acl.synthetic` — the synthetic seed-based workload of
+  Section 5 (propagation ratio, accessibility ratio, horizontal/vertical
+  locality).
+- :mod:`~repro.acl.surrogates` — LiveLink-like and Unix-filesystem-like
+  multi-user access control data generators.
+"""
+
+from repro.acl.model import AccessMatrix, SubjectRegistry
+from repro.acl.policy import AccessRule, Policy
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+
+__all__ = [
+    "AccessMatrix",
+    "AccessRule",
+    "Policy",
+    "SubjectRegistry",
+    "SyntheticACLConfig",
+    "generate_synthetic_acl",
+]

@@ -1,0 +1,311 @@
+"""Subjects, action modes, and the accessibility matrix.
+
+The paper models fine-grained access control as a function
+``accessible : S x M x D -> {true, false}`` over subjects ``S``, action
+modes ``M`` and document nodes ``D`` (Section 2). We store it per mode as a
+list of integer bitmasks, one per document position: bit ``s`` of
+``mask[pos]`` is 1 iff subject ``s`` may access node ``pos`` in that mode.
+
+Arbitrary-precision Python ints make the per-node *access control list* a
+single hashable value, which is exactly what the DOL codebook dictionary-
+compresses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import AccessControlError, UnknownSubjectError
+
+READ = "read"
+
+
+class SubjectRegistry:
+    """Registry of access control subjects (users and groups).
+
+    Subjects are identified by dense integer ids in registration order;
+    names are unique. Group membership (the paper's separately-maintained
+    subject hierarchy) is recorded so callers can resolve a *user's*
+    effective rights as the union of the user's own subject and its groups.
+    """
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._ids: Dict[str, int] = {}
+        self._groups_of: Dict[int, List[int]] = {}
+        self._is_group: List[bool] = []
+
+    def add(self, name: str, is_group: bool = False) -> int:
+        """Register a subject and return its id."""
+        if name in self._ids:
+            raise AccessControlError(f"duplicate subject name {name!r}")
+        subject_id = len(self._names)
+        self._names.append(name)
+        self._ids[name] = subject_id
+        self._is_group.append(is_group)
+        return subject_id
+
+    def add_many(self, names: Iterable[str], is_group: bool = False) -> List[int]:
+        """Register several subjects, returning their ids."""
+        return [self.add(name, is_group) for name in names]
+
+    def id_of(self, name: str) -> int:
+        """Look up a subject id by name."""
+        try:
+            return self._ids[name]
+        except KeyError:
+            raise UnknownSubjectError(f"unknown subject {name!r}") from None
+
+    def name_of(self, subject_id: int) -> str:
+        """Look up a subject name by id."""
+        self._check(subject_id)
+        return self._names[subject_id]
+
+    def is_group(self, subject_id: int) -> bool:
+        """True if the subject is a group rather than an individual user."""
+        self._check(subject_id)
+        return self._is_group[subject_id]
+
+    def enroll(self, user_id: int, group_id: int) -> None:
+        """Record that ``user_id`` is a member of ``group_id``."""
+        self._check(user_id)
+        self._check(group_id)
+        if not self._is_group[group_id]:
+            raise AccessControlError(
+                f"subject {self._names[group_id]!r} is not a group"
+            )
+        self._groups_of.setdefault(user_id, []).append(group_id)
+
+    def groups_of(self, user_id: int) -> List[int]:
+        """Groups the user belongs to (direct membership only)."""
+        self._check(user_id)
+        return list(self._groups_of.get(user_id, []))
+
+    def effective_subjects(self, user_id: int) -> List[int]:
+        """The user's own subject id plus all its groups, transitively."""
+        self._check(user_id)
+        seen = {user_id}
+        frontier = [user_id]
+        while frontier:
+            current = frontier.pop()
+            for group in self._groups_of.get(current, []):
+                if group not in seen:
+                    seen.add(group)
+                    frontier.append(group)
+        return sorted(seen)
+
+    def _check(self, subject_id: int) -> None:
+        if not 0 <= subject_id < len(self._names):
+            raise UnknownSubjectError(f"unknown subject id {subject_id}")
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self):
+        return iter(range(len(self._names)))
+
+
+class AccessMatrix:
+    """The accessibility function for one document.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of document positions.
+    n_subjects:
+        Number of access control subjects.
+    modes:
+        Action mode names; defaults to a single ``"read"`` mode, matching
+        the paper's single-mode presentation.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_subjects: int,
+        modes: Optional[Sequence[str]] = None,
+    ):
+        if n_nodes <= 0:
+            raise AccessControlError("matrix needs at least one node")
+        if n_subjects <= 0:
+            raise AccessControlError("matrix needs at least one subject")
+        self.n_nodes = n_nodes
+        self.n_subjects = n_subjects
+        self.modes: List[str] = list(modes) if modes else [READ]
+        if len(set(self.modes)) != len(self.modes):
+            raise AccessControlError("duplicate mode names")
+        self._masks: Dict[str, List[int]] = {
+            mode: [0] * n_nodes for mode in self.modes
+        }
+
+    # -- mutation ----------------------------------------------------------
+
+    def set_accessible(
+        self, subject: int, pos: int, value: bool, mode: str = READ
+    ) -> None:
+        """Grant or revoke one (subject, node, mode) right."""
+        self._check(subject, pos, mode)
+        bit = 1 << subject
+        if value:
+            self._masks[mode][pos] |= bit
+        else:
+            self._masks[mode][pos] &= ~bit
+
+    def set_mask(self, pos: int, mask: int, mode: str = READ) -> None:
+        """Replace the full access control list of one node."""
+        self._check(0, pos, mode)
+        if mask < 0 or mask >> self.n_subjects:
+            raise AccessControlError(
+                f"mask {mask:#x} has bits outside {self.n_subjects} subjects"
+            )
+        self._masks[mode][pos] = mask
+
+    def fill_subject(self, subject: int, value: bool, mode: str = READ) -> None:
+        """Set one subject's accessibility uniformly on every node."""
+        self._check(subject, 0, mode)
+        bit = 1 << subject
+        masks = self._masks[mode]
+        for pos in range(self.n_nodes):
+            if value:
+                masks[pos] |= bit
+            else:
+                masks[pos] &= ~bit
+
+    def grant_range(
+        self, subject: int, start: int, end: int, mode: str = READ
+    ) -> None:
+        """Grant one subject access to the contiguous positions [start, end).
+
+        Subtrees are contiguous in document order, so this is the natural
+        bulk operation for recursive (subtree) grants.
+        """
+        self._check(subject, start, mode)
+        if not start < end <= self.n_nodes:
+            raise AccessControlError(f"invalid range [{start}, {end})")
+        bit = 1 << subject
+        masks = self._masks[mode]
+        for pos in range(start, end):
+            masks[pos] |= bit
+
+    def copy_where(
+        self, target: int, source_mask: int, mode: str = READ
+    ) -> None:
+        """Grant ``target`` on every node where any bit of ``source_mask``
+        is set — e.g. give a user the union of its groups' rights."""
+        self._check(target, 0, mode)
+        bit = 1 << target
+        masks = self._masks[mode]
+        for pos in range(self.n_nodes):
+            if masks[pos] & source_mask:
+                masks[pos] |= bit
+
+    # -- queries -----------------------------------------------------------
+
+    def accessible(self, subject: int, pos: int, mode: str = READ) -> bool:
+        """The paper's accessible(s, m, d) predicate."""
+        self._check(subject, pos, mode)
+        return bool(self._masks[mode][pos] >> subject & 1)
+
+    def mask(self, pos: int, mode: str = READ) -> int:
+        """The access control list of a node as an integer bitmask."""
+        self._check(0, pos, mode)
+        return self._masks[mode][pos]
+
+    def masks(self, mode: str = READ) -> List[int]:
+        """All per-node bitmasks in document order (read-only copy)."""
+        self._check(0, 0, mode)
+        return list(self._masks[mode])
+
+    def subject_vector(self, subject: int, mode: str = READ) -> List[bool]:
+        """Single-subject accessibility in document order."""
+        self._check(subject, 0, mode)
+        return [bool(m >> subject & 1) for m in self._masks[mode]]
+
+    def accessible_count(self, mode: str = READ) -> int:
+        """Total number of (subject, node) grants in a mode."""
+        self._check(0, 0, mode)
+        return sum(bin(m).count("1") for m in self._masks[mode])
+
+    def user_mask_view(
+        self, effective_subjects: Sequence[int], mode: str = READ
+    ) -> List[bool]:
+        """Per-node accessibility for a *user*: union over their subjects.
+
+        Implements the footnote of Section 4: a user's actual rights are
+        the union of her own subject's rights and her groups' rights.
+        """
+        self._check(0, 0, mode)
+        combined = 0
+        for subject in effective_subjects:
+            self._check(subject, 0, mode)
+            combined |= 1 << subject
+        return [bool(m & combined) for m in self._masks[mode]]
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        n_nodes: int,
+        n_subjects: int,
+        fn: Callable[[int, int], bool],
+        modes: Optional[Sequence[str]] = None,
+    ) -> "AccessMatrix":
+        """Build a (single-mode) matrix from ``fn(subject, pos) -> bool``."""
+        matrix = cls(n_nodes, n_subjects, modes)
+        mode = matrix.modes[0]
+        for pos in range(n_nodes):
+            mask = 0
+            for subject in range(n_subjects):
+                if fn(subject, pos):
+                    mask |= 1 << subject
+            matrix._masks[mode][pos] = mask
+        return matrix
+
+    @classmethod
+    def from_masks(
+        cls, masks: Sequence[int], n_subjects: int, mode: str = READ
+    ) -> "AccessMatrix":
+        """Build a single-mode matrix from per-node bitmasks."""
+        matrix = cls(len(masks), n_subjects, [mode])
+        for pos, mask in enumerate(masks):
+            matrix.set_mask(pos, mask, mode)
+        return matrix
+
+    def restrict_to_subjects(
+        self, subjects: Sequence[int], mode: str = READ
+    ) -> "AccessMatrix":
+        """Project the matrix onto a subset of subjects (re-indexed densely).
+
+        Used by the Figure 5/6 experiments, which sample random subject
+        subsets and rebuild DOLs for the subset only.
+        """
+        self._check(0, 0, mode)
+        projected = AccessMatrix(self.n_nodes, max(len(subjects), 1), [mode])
+        for pos in range(self.n_nodes):
+            source = self._masks[mode][pos]
+            mask = 0
+            for new_id, old_id in enumerate(subjects):
+                self._check(old_id, 0, mode)
+                if source >> old_id & 1:
+                    mask |= 1 << new_id
+            projected._masks[mode][pos] = mask
+        return projected
+
+    def _check(self, subject: int, pos: int, mode: str) -> None:
+        if mode not in self._masks:
+            raise AccessControlError(f"unknown action mode {mode!r}")
+        if not 0 <= subject < self.n_subjects:
+            raise UnknownSubjectError(f"subject {subject} out of range")
+        if not 0 <= pos < self.n_nodes:
+            raise AccessControlError(f"node position {pos} out of range")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessMatrix):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.n_subjects == other.n_subjects
+            and self.modes == other.modes
+            and self._masks == other._masks
+        )

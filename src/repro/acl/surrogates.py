@@ -1,0 +1,268 @@
+"""Surrogates for the paper's real multi-user access control datasets.
+
+The paper evaluates multi-subject DOL on two proprietary datasets: a
+production OpenText LiveLink instance (65,768 tree-structured items, 8,639
+subjects, 10 action modes, average depth 7.9 / max 19) and a University of
+Waterloo multi-user Unix file system (1.3M files, 182 users, 65 groups).
+Neither is available, so this module generates *surrogates* that reproduce
+the two properties the experiments measure:
+
+- **structural locality** — rights are granted on subtrees (departments,
+  project folders, home directories) and propagate downward, and
+- **inter-subject correlation** — users derive their rights from a much
+  smaller number of groups/roles, so distinct access control lists are few.
+
+Both generators are seeded and size-parameterized so benchmarks can scale
+them from CI-sized to paper-sized instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.acl.model import AccessMatrix, SubjectRegistry
+from repro.errors import AccessControlError
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+#: The ten LiveLink permission levels (names after the product's ACL UI).
+LIVELINK_MODES = (
+    "see",
+    "see_contents",
+    "modify",
+    "edit_attributes",
+    "add_items",
+    "reserve",
+    "delete_versions",
+    "delete",
+    "edit_permissions",
+    "administer",
+)
+
+
+@dataclass
+class SurrogateDataset:
+    """A generated tree + subjects + accessibility matrix bundle."""
+
+    doc: Document
+    registry: SubjectRegistry
+    matrix: AccessMatrix
+
+    @property
+    def n_subjects(self) -> int:
+        return self.matrix.n_subjects
+
+
+def _random_tree(
+    rng: random.Random,
+    n_nodes: int,
+    tag: str,
+    max_children: int,
+    depth_bias: float,
+) -> Node:
+    """Grow a random ordered tree of ``n_nodes`` elements.
+
+    ``depth_bias`` in (0, 1) steers the expected depth: attachment points
+    are drawn from the most recently created nodes with that probability,
+    which produces deep, path-like regions (LiveLink's average depth of ~8)
+    instead of a flat star.
+    """
+    root = Node(tag)
+    nodes = [root]
+    while len(nodes) < n_nodes:
+        if rng.random() < depth_bias:
+            parent = nodes[rng.randrange(max(0, len(nodes) - 8), len(nodes))]
+        else:
+            parent = nodes[rng.randrange(len(nodes))]
+        if len(parent.children) >= max_children:
+            parent = nodes[rng.randrange(len(nodes))]
+        child = Node(tag)
+        parent.append(child)
+        nodes.append(child)
+    return root
+
+
+def generate_livelink(
+    n_items: int = 2000,
+    n_groups: int = 12,
+    n_users: int = 60,
+    modes: Sequence[str] = LIVELINK_MODES,
+    grants_per_group: int = 6,
+    user_extra_rate: float = 0.05,
+    seed: int = 0,
+) -> SurrogateDataset:
+    """Generate a LiveLink-like collaboration hierarchy with ACLs.
+
+    Groups receive recursive grants on a handful of subtrees ("department
+    folders"); deeper permission levels are nested subsets of shallower
+    ones (you cannot ``delete`` what you cannot ``see``), which yields the
+    cross-mode correlation observed in the real system. Users copy the
+    rights of their groups and add a few idiosyncratic personal grants.
+    """
+    if n_items < 10:
+        raise AccessControlError("n_items must be at least 10")
+    rng = random.Random(seed)
+    root = _random_tree(rng, n_items, "item", max_children=12, depth_bias=0.6)
+    doc = Document.from_tree(root)
+    n = len(doc)
+
+    registry = SubjectRegistry()
+    group_ids = registry.add_many(
+        (f"group{i}" for i in range(n_groups)), is_group=True
+    )
+    user_ids = registry.add_many(f"user{i}" for i in range(n_users))
+    for user in user_ids:
+        for group in rng.sample(group_ids, k=rng.randint(1, min(3, n_groups))):
+            registry.enroll(user, group)
+
+    matrix = AccessMatrix(n, len(registry), modes=list(modes))
+
+    def grant_subtree(subject: int, pos: int, up_to_mode: int) -> None:
+        end = doc.subtree_end(pos)
+        for mode_index in range(up_to_mode + 1):
+            matrix.grant_range(subject, pos, end, matrix.modes[mode_index])
+
+    # Group grants: each group owns a few subtrees; the permission depth on
+    # each subtree is geometric (most grants are see/see_contents only).
+    for group in group_ids:
+        for _ in range(grants_per_group):
+            pos = rng.randrange(n)
+            depth = 0
+            while depth < len(modes) - 1 and rng.random() < 0.55:
+                depth += 1
+            grant_subtree(group, pos, depth)
+
+    # Users inherit the union of their groups, plus occasional extras.
+    for user in user_ids:
+        combined = 0
+        for group in registry.groups_of(user):
+            combined |= 1 << group
+        for mode in matrix.modes:
+            matrix.copy_where(user, combined, mode)
+        n_extra = max(0, round(user_extra_rate * grants_per_group * 2))
+        for _ in range(rng.randint(0, n_extra)):
+            pos = rng.randrange(n)
+            depth = rng.randrange(2)
+            grant_subtree(user, pos, depth)
+
+    return SurrogateDataset(doc, registry, matrix)
+
+
+def generate_unix_fs(
+    n_nodes: int = 3000,
+    n_users: int = 40,
+    n_groups: int = 10,
+    world_readable_rate: float = 0.35,
+    group_readable_rate: float = 0.5,
+    permission_inherit_rate: float = 0.9,
+    seed: int = 0,
+) -> SurrogateDataset:
+    """Generate a Unix-filesystem-like tree with per-user read accessibility.
+
+    The tree has per-user home subtrees and per-group project subtrees;
+    ownership is assigned at subtree roots and inherited (files in a home
+    directory belong to that user). A node's subject accessibility follows
+    the Unix read rule: owner bit for the owner, group bit for members of
+    the owning group, world bit otherwise. Group *subjects* are accessible
+    where the group bit (or world bit) grants their members read access,
+    mirroring how the paper treats groups as first-class subjects.
+    """
+    if n_nodes < n_users + n_groups + 10:
+        raise AccessControlError("n_nodes too small for the requested subjects")
+    rng = random.Random(seed)
+
+    registry = SubjectRegistry()
+    group_ids = registry.add_many(
+        (f"grp{i}" for i in range(n_groups)), is_group=True
+    )
+    user_ids = registry.add_many(f"usr{i}" for i in range(n_users))
+    user_groups: List[List[int]] = []
+    for user in user_ids:
+        member_of = rng.sample(group_ids, k=rng.randint(1, min(3, n_groups)))
+        user_groups.append(member_of)
+        for group in member_of:
+            registry.enroll(user, group)
+
+    # Build the directory tree: /home/<user>/... and /proj/<group>/...
+    root = Node("dir")
+    home = root.append(Node("dir"))
+    proj = root.append(Node("dir"))
+    subtree_owner: List[tuple] = []  # (node, owner_user, owner_group)
+    for user in user_ids:
+        user_home = home.append(Node("dir"))
+        subtree_owner.append((user_home, user, rng.choice(user_groups[user - n_groups])))
+    for group in group_ids:
+        group_proj = proj.append(Node("dir"))
+        members = [u for u in user_ids if group in registry.groups_of(u)]
+        owner = rng.choice(members) if members else rng.choice(user_ids)
+        subtree_owner.append((group_proj, owner, group))
+
+    # Fill with files/directories under random owned subtrees.
+    anchors = [entry[0] for entry in subtree_owner]
+    grown: List[List[Node]] = [[anchor] for anchor in anchors]
+    current = root.size()
+    while current < n_nodes:
+        idx = rng.randrange(len(anchors))
+        parent_pool = grown[idx]
+        parent = parent_pool[rng.randrange(len(parent_pool))]
+        is_dir = rng.random() < 0.25
+        child = parent.append(Node("dir" if is_dir else "file"))
+        if is_dir:
+            parent_pool.append(child)
+        current += 1
+
+    doc = Document.from_tree(root)
+    n = len(doc)
+
+    # Assign (owner, group, permission bits) per node: inherited from the
+    # owning subtree root; permissions drawn per node.
+    owner_of = [user_ids[0]] * n
+    group_of = [group_ids[0]] * n
+    anchor_positions = {}
+    # Map original Node objects to document positions via a preorder walk
+    # of the same tree that Document.from_tree flattened.
+    position_of = {}
+    for pos, node in enumerate(root.iter_preorder()):
+        position_of[id(node)] = pos
+    for node, owner, group in subtree_owner:
+        anchor_positions[position_of[id(node)]] = (owner, group)
+    inherited = [(user_ids[0], group_ids[0])] * n
+    for pos in range(n):
+        par = doc.parent[pos]
+        current_og = inherited[par] if par >= 0 else (user_ids[0], group_ids[0])
+        if pos in anchor_positions:
+            current_og = anchor_positions[pos]
+        inherited[pos] = current_og
+        owner_of[pos], group_of[pos] = current_og
+
+    # Permission bits are strongly inherited down the directory tree (the
+    # structural locality real file systems exhibit: `chmod` decisions are
+    # made per directory, not per file).
+    matrix = AccessMatrix(n, len(registry))
+    group_members = {
+        group: {u for u in user_ids if group in registry.groups_of(u)}
+        for group in group_ids
+    }
+    perm_bits: List[tuple] = [(False, False)] * n
+    for pos in range(n):
+        par = doc.parent[pos]
+        if par >= 0 and rng.random() < permission_inherit_rate:
+            world_ok, group_ok = perm_bits[par]
+        else:
+            world_ok = rng.random() < world_readable_rate
+            group_ok = world_ok or rng.random() < group_readable_rate
+        perm_bits[pos] = (world_ok, group_ok)
+
+        owner, group = owner_of[pos], group_of[pos]
+        mask = 1 << owner
+        if group_ok:
+            mask |= 1 << group
+            for member in group_members[group]:
+                mask |= 1 << member
+        if world_ok:
+            mask = (1 << len(registry)) - 1
+        matrix.set_mask(pos, mask)
+
+    return SurrogateDataset(doc, registry, matrix)

@@ -1,0 +1,154 @@
+"""Synthetic access control workloads (Section 5 methodology).
+
+The paper generates synthetic access controls over XMark documents by:
+
+1. randomly choosing *seed* nodes (a ``propagation_ratio`` fraction of all
+   nodes; the root is always a seed so every node ends up labeled),
+2. labeling each seed accessible with probability ``accessibility_ratio``,
+3. simulating *horizontal locality* by giving each seed's direct siblings
+   the same accessibility (unless the sibling is itself a seed), and
+4. simulating *vertical locality* by propagating labels to descendants with
+   the Most-Specific-Override policy (a node inherits from its closest
+   labeled ancestor).
+
+:func:`generate_synthetic_acl` reproduces exactly that procedure.
+:func:`generate_correlated_acl` extends it to multiple subjects whose
+rights are correlated through a small number of shared *profiles* — the
+mechanism behind the paper's multi-user compression results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.acl.model import AccessMatrix
+from repro.errors import AccessControlError
+from repro.xmltree.document import NO_NODE, Document
+
+
+@dataclass(frozen=True)
+class SyntheticACLConfig:
+    """Parameters of the Section 5 synthetic generator."""
+
+    propagation_ratio: float = 0.3
+    accessibility_ratio: float = 0.5
+    horizontal_locality: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.propagation_ratio <= 1.0:
+            raise AccessControlError("propagation_ratio must be in (0, 1]")
+        if not 0.0 <= self.accessibility_ratio <= 1.0:
+            raise AccessControlError("accessibility_ratio must be in [0, 1]")
+
+
+def single_subject_labels(doc: Document, config: SyntheticACLConfig) -> List[bool]:
+    """Per-node accessibility for one subject, in document order."""
+    rng = random.Random(config.seed)
+    n = len(doc)
+
+    n_seeds = max(1, round(config.propagation_ratio * n))
+    seed_positions = set(rng.sample(range(n), n_seeds))
+    seed_positions.add(0)  # the paper always seeds the document root
+
+    labels: Dict[int, bool] = {
+        pos: rng.random() < config.accessibility_ratio for pos in seed_positions
+    }
+
+    if config.horizontal_locality:
+        # Direct siblings of a seed copy its accessibility, provided the
+        # sibling is not itself a seed (and was not already labeled by an
+        # earlier seed — first seed wins, like the paper's random order).
+        for pos in sorted(seed_positions):
+            par = doc.parent[pos]
+            if par == NO_NODE:
+                continue
+            for sibling in doc.children(par):
+                if sibling not in labels:
+                    labels[sibling] = labels[pos]
+
+    # Vertical locality: Most-Specific-Override propagation down the tree.
+    vector = [False] * n
+    for pos in range(n):
+        if pos in labels:
+            vector[pos] = labels[pos]
+        else:
+            vector[pos] = vector[doc.parent[pos]]
+    return vector
+
+
+def generate_synthetic_acl(
+    doc: Document,
+    config: Optional[SyntheticACLConfig] = None,
+    n_subjects: int = 1,
+) -> AccessMatrix:
+    """Generate a synthetic accessibility matrix for ``n_subjects``.
+
+    Subjects are independent draws (fresh RNG stream per subject) — the
+    worst case for multi-subject compression, matching how the paper uses
+    synthetic data for single-subject experiments only.
+    """
+    config = config if config is not None else SyntheticACLConfig()
+    matrix = AccessMatrix(len(doc), n_subjects)
+    for subject in range(n_subjects):
+        subject_config = SyntheticACLConfig(
+            propagation_ratio=config.propagation_ratio,
+            accessibility_ratio=config.accessibility_ratio,
+            horizontal_locality=config.horizontal_locality,
+            seed=config.seed * 10_007 + subject,
+        )
+        vector = single_subject_labels(doc, subject_config)
+        for pos, value in enumerate(vector):
+            if value:
+                matrix.set_accessible(subject, pos, True)
+    return matrix
+
+
+def generate_correlated_acl(
+    doc: Document,
+    n_subjects: int,
+    n_profiles: int = 4,
+    mutation_rate: float = 0.02,
+    config: Optional[SyntheticACLConfig] = None,
+) -> AccessMatrix:
+    """Multi-subject ACLs with controlled inter-subject correlation.
+
+    A small set of *profiles* (departments, in the paper's intuition) each
+    get an independent synthetic labeling; every subject copies one profile
+    and then re-seeds a ``mutation_rate`` fraction of subtrees with flipped
+    accessibility. ``mutation_rate=0`` gives perfectly correlated subjects;
+    large rates approach independence.
+    """
+    if n_profiles <= 0:
+        raise AccessControlError("need at least one profile")
+    if not 0.0 <= mutation_rate <= 1.0:
+        raise AccessControlError("mutation_rate must be in [0, 1]")
+    config = config if config is not None else SyntheticACLConfig()
+    rng = random.Random(config.seed ^ 0x5EED)
+    n = len(doc)
+
+    profiles: List[List[bool]] = []
+    for p in range(n_profiles):
+        profile_config = SyntheticACLConfig(
+            propagation_ratio=config.propagation_ratio,
+            accessibility_ratio=config.accessibility_ratio,
+            horizontal_locality=config.horizontal_locality,
+            seed=config.seed * 31 + 7 * p + 1,
+        )
+        profiles.append(single_subject_labels(doc, profile_config))
+
+    matrix = AccessMatrix(n, n_subjects)
+    n_mutations = round(mutation_rate * n)
+    for subject in range(n_subjects):
+        vector = list(profiles[rng.randrange(n_profiles)])
+        for _ in range(n_mutations):
+            root = rng.randrange(n)
+            flipped = not vector[root]
+            for pos in range(root, doc.subtree_end(root)):
+                vector[pos] = flipped
+        for pos, value in enumerate(vector):
+            if value:
+                matrix.set_accessible(subject, pos, True)
+    return matrix

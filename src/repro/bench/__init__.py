@@ -1,0 +1,15 @@
+"""Benchmark harness utilities.
+
+Shared between the ``benchmarks/`` pytest modules and the examples:
+
+- :mod:`~repro.bench.queries` — the Table 1 benchmark queries;
+- :mod:`~repro.bench.workloads` — canonical document + ACL configurations
+  for each experiment;
+- :mod:`~repro.bench.reporting` — fixed-width table printers that render
+  each reproduced figure/table as text.
+"""
+
+from repro.bench.queries import QUERIES, QUERY_IDS
+from repro.bench.reporting import format_table, print_table
+
+__all__ = ["QUERIES", "QUERY_IDS", "format_table", "print_table"]

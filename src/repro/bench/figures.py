@@ -1,0 +1,64 @@
+"""ASCII figure rendering for benchmark output.
+
+The paper's figures are line/bar charts; benches print their data as
+tables (:mod:`~repro.bench.reporting`) plus, via :func:`render_bars`, a
+quick horizontal bar chart so trends are visible directly in the pytest
+log without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+BAR_WIDTH = 40
+
+
+def render_bars(
+    caption: str,
+    rows: Iterable[Tuple[str, float]],
+    width: int = BAR_WIDTH,
+    unit: str = "",
+) -> str:
+    """Render labeled horizontal bars scaled to the maximum value."""
+    rows = list(rows)
+    if not rows:
+        return caption + "\n(no data)"
+    label_width = max(len(str(label)) for label, _value in rows)
+    peak = max(value for _label, value in rows)
+    lines = [caption]
+    for label, value in rows:
+        filled = 0 if peak <= 0 else round(width * value / peak)
+        bar = "#" * filled
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    caption: str,
+    x_labels: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = BAR_WIDTH,
+) -> str:
+    """Render several named series as grouped bars per x value."""
+    lines = [caption]
+    peak = max(
+        (value for _name, values in series for value in values), default=0
+    )
+    name_width = max((len(name) for name, _values in series), default=0)
+    for index, x_label in enumerate(x_labels):
+        lines.append(f"{x_label}:")
+        for name, values in series:
+            value = values[index]
+            filled = 0 if peak <= 0 else round(width * value / peak)
+            lines.append(
+                f"  {name.rjust(name_width)} |{('#' * filled).ljust(width)}| "
+                f"{value:.4g}"
+            )
+    return "\n".join(lines)
+
+
+def print_bars(caption: str, rows: Iterable[Tuple[str, float]], unit: str = "") -> None:
+    print("\n" + render_bars(caption, rows, unit=unit) + "\n")

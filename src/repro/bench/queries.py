@@ -1,0 +1,35 @@
+"""Table 1 — the paper's benchmark queries.
+
+Q1–Q3 exercise the three classes of NoK pattern trees (branches at the end,
+branches in the middle, a single path); Q4–Q6 are ancestor–descendant
+structural joins with descendants close (Q4), medium (Q5) and distant (Q6)
+from their ancestors.
+
+Note: the published text of Q3 reads
+``/site/categories/category/name[description/text/bold]``, which contradicts
+the prose ("a single path") and can never match XMark data (``name`` has no
+``description`` child) — an apparent typesetting slip. We use the single
+path the prose describes; the printed form is kept as ``Q3_AS_PRINTED`` and
+is also accepted by the parser.
+"""
+
+from __future__ import annotations
+
+QUERIES = {
+    "Q1": "/site/regions/africa/item[location][name][quantity]",
+    "Q2": "/site/categories/category[name]/description/text/bold",
+    "Q3": "/site/categories/category/description/text/bold",
+    "Q4": "//parlist//parlist",
+    "Q5": "//listitem//keyword",
+    "Q6": "//item//emph",
+}
+
+Q3_AS_PRINTED = "/site/categories/category/name[description/text/bold]"
+
+QUERY_IDS = tuple(QUERIES)
+
+#: Queries answered by a single NoK pattern tree (no structural join).
+NOK_ONLY = ("Q1", "Q2", "Q3")
+
+#: Queries requiring ancestor-descendant structural joins.
+JOIN_QUERIES = ("Q4", "Q5", "Q6")

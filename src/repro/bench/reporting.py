@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark output.
+
+Every reproduced figure/table prints through these helpers so the bench
+logs read like the paper's tables: a caption, aligned columns, one row per
+measured point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    caption: str, header: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> str:
+    """Render a fixed-width text table with a caption."""
+    text_rows: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [caption, line(list(header)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def print_table(
+    caption: str, header: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> None:
+    """Print a table (benchmarks run pytest with ``-s`` unnecessary; pytest
+    captures and shows output for failing or ``-rA`` runs, and
+    pytest-benchmark prints its own timing table separately)."""
+    print("\n" + format_table(caption, header, rows) + "\n")

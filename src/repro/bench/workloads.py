@@ -1,0 +1,85 @@
+"""Canonical benchmark workloads.
+
+Each experiment's document + access control configuration lives here so
+benchmarks, examples, and EXPERIMENTS.md all agree on what was run. Sizes
+are scaled down from the paper (which used an 832k-node XMark instance and
+datasets with up to 8,639 subjects) to keep CI runs in seconds; every
+factory takes explicit size parameters for larger runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from repro.acl.model import AccessMatrix
+from repro.acl.surrogates import SurrogateDataset, generate_livelink, generate_unix_fs
+from repro.acl.synthetic import SyntheticACLConfig, single_subject_labels
+from repro.dol.labeling import DOL
+from repro.xmark.generator import XMarkConfig, generate_document
+from repro.xmltree.document import Document
+
+
+@lru_cache(maxsize=4)
+def xmark_document(n_items: int = 400, seed: int = 42) -> Document:
+    """The shared XMark instance (≈20 nodes per item)."""
+    config = XMarkConfig(
+        n_items=n_items,
+        n_categories=max(10, n_items // 10),
+        n_people=max(10, n_items // 8),
+        n_open_auctions=max(10, n_items // 8),
+        seed=seed,
+    )
+    return generate_document(config)
+
+
+def synthetic_vector(
+    doc: Document,
+    accessibility_ratio: float,
+    propagation_ratio: float = 0.3,
+    seed: int = 0,
+):
+    """One subject's synthetic accessibility labels (Section 5 generator)."""
+    config = SyntheticACLConfig(
+        propagation_ratio=propagation_ratio,
+        accessibility_ratio=accessibility_ratio,
+        seed=seed,
+    )
+    return single_subject_labels(doc, config)
+
+
+def secured_xmark(
+    n_items: int = 400,
+    accessibility_ratio: float = 0.7,
+    propagation_ratio: float = 0.3,
+    seed: int = 0,
+) -> Tuple[Document, AccessMatrix, DOL]:
+    """XMark document + single-subject synthetic ACL + its DOL."""
+    doc = xmark_document(n_items)
+    vector = synthetic_vector(doc, accessibility_ratio, propagation_ratio, seed)
+    matrix = AccessMatrix(len(doc), 1)
+    for pos, value in enumerate(vector):
+        if value:
+            matrix.set_accessible(0, pos, True)
+    return doc, matrix, DOL.from_matrix(matrix)
+
+
+@lru_cache(maxsize=2)
+def livelink_dataset(
+    n_items: int = 2000, n_groups: int = 12, n_users: int = 60, seed: int = 0
+) -> SurrogateDataset:
+    """The LiveLink surrogate used by Figures 4(b), 5(a), 6(a)."""
+    return generate_livelink(
+        n_items=n_items, n_groups=n_groups, n_users=n_users, seed=seed
+    )
+
+
+@lru_cache(maxsize=2)
+def unix_dataset(
+    n_nodes: int = 3000, n_users: int = 40, n_groups: int = 10, seed: int = 0
+) -> SurrogateDataset:
+    """The Unix file system surrogate used by Figures 5(b), 6(b)."""
+    return generate_unix_fs(
+        n_nodes=n_nodes, n_users=n_users, n_groups=n_groups, seed=seed
+    )

@@ -1,0 +1,11 @@
+"""CAM — Compressed Accessibility Map baseline (Yu et al., VLDB 2002).
+
+The comparison baseline of the paper's Section 5. :class:`CAM` is the
+positive-cover variant whose size asymmetry matches the published curves;
+:class:`OverrideCAM` is an idealized nearest-override variant built
+provably minimal via dynamic programming, used in the ablation benchmark.
+"""
+
+from repro.cam.cam import CAM, CAMEntry, OverrideCAM, total_cam_labels
+
+__all__ = ["CAM", "CAMEntry", "OverrideCAM", "total_cam_labels"]

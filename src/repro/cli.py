@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-dol``.
+
+Subcommands
+-----------
+
+``xmark``
+    Generate an XMark-like document to a file (or stdout).
+``inspect``
+    Parse an XML file and print structural statistics.
+``label``
+    Attach synthetic access controls, build the DOL (and per-subject CAMs),
+    and print compression statistics.
+``query``
+    Evaluate a twig query against an XML file, optionally securely.
+``explain``
+    Print the NoK evaluation plan for a twig query.
+``disseminate``
+    Filter an XML file for one subject (one-pass secure dissemination).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.bench.reporting import format_table
+from repro.cam.cam import CAM
+from repro.dol.labeling import DOL
+from repro.nok.engine import QueryEngine
+from repro.secure.semantics import CHO, SEMANTICS
+from repro.xmark.generator import XMarkConfig, generate
+from repro.xmltree.document import Document
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+
+def _load_document(path: str) -> Document:
+    with open(path, "r", encoding="utf-8") as handle:
+        return Document.from_tree(parse(handle.read()))
+
+
+def _cmd_xmark(args: argparse.Namespace) -> int:
+    config = XMarkConfig(n_items=args.items, seed=args.seed)
+    text = serialize(generate(config), indent=2 if args.pretty else 0)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text + "\n")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    doc = _load_document(args.file)
+    tag_counts: dict = {}
+    for pos in range(len(doc)):
+        name = doc.tag_name(pos)
+        tag_counts[name] = tag_counts.get(name, 0) + 1
+    rows = sorted(tag_counts.items(), key=lambda kv: -kv[1])[:20]
+    print(f"nodes: {len(doc)}")
+    print(f"max depth: {max(doc.depth)}")
+    print(f"distinct tags: {len(tag_counts)}")
+    print(format_table("top tags", ["tag", "count"], rows))
+    return 0
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    doc = _load_document(args.file)
+    config = SyntheticACLConfig(
+        propagation_ratio=args.propagation,
+        accessibility_ratio=args.accessibility,
+        seed=args.seed,
+    )
+    matrix = generate_synthetic_acl(doc, config, n_subjects=args.subjects)
+    dol = DOL.from_matrix(matrix)
+    cam_labels = sum(
+        CAM.from_matrix(doc, matrix, s).n_labels for s in range(args.subjects)
+    )
+    rows = [
+        ("document nodes", len(doc)),
+        ("subjects", args.subjects),
+        ("DOL transition nodes", dol.n_transitions),
+        ("DOL codebook entries", len(dol.codebook)),
+        ("DOL total bytes", dol.size_bytes()),
+        ("CAM labels (all subjects)", cam_labels),
+    ]
+    print(format_table("DOL vs CAM", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    doc = _load_document(args.file)
+    if args.subject is not None:
+        config = SyntheticACLConfig(
+            accessibility_ratio=args.accessibility, seed=args.seed
+        )
+        matrix = generate_synthetic_acl(config=config, doc=doc, n_subjects=args.subject + 1)
+        engine = QueryEngine.build(doc, matrix)
+        result = engine.evaluate(args.query, subject=args.subject, semantics=args.semantics)
+    else:
+        engine = QueryEngine.build(doc)
+        result = engine.evaluate(args.query)
+    print(f"answers: {result.n_answers}")
+    for pos in result.positions[: args.limit]:
+        print(f"  {pos}: <{doc.tag_name(pos)}> {doc.text(pos)[:60]}")
+    if result.n_answers > args.limit:
+        print(f"  ... and {result.n_answers - args.limit} more")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    doc = _load_document(args.file)
+    engine = QueryEngine.build(doc)
+    print(engine.explain(args.query))
+    return 0
+
+
+def _cmd_disseminate(args: argparse.Namespace) -> int:
+    from repro.secure.dissemination import filter_xml
+
+    doc = _load_document(args.file)
+    config = SyntheticACLConfig(
+        accessibility_ratio=args.accessibility, seed=args.seed
+    )
+    matrix = generate_synthetic_acl(doc, config, n_subjects=args.subject + 1)
+    dol = DOL.from_matrix(matrix)
+    with open(args.file, "r", encoding="utf-8") as handle:
+        xml_text = handle.read()
+    out = filter_xml(xml_text, dol, args.subject, args.policy)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(out)
+        print(f"wrote {len(out)} bytes to {args.output}")
+    else:
+        sys.stdout.write(out + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dol",
+        description="DOL access control labeling for XML (ICDE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_xmark = sub.add_parser("xmark", help="generate an XMark-like document")
+    p_xmark.add_argument("--items", type=int, default=100)
+    p_xmark.add_argument("--seed", type=int, default=42)
+    p_xmark.add_argument("--pretty", action="store_true")
+    p_xmark.add_argument("-o", "--output")
+    p_xmark.set_defaults(func=_cmd_xmark)
+
+    p_inspect = sub.add_parser("inspect", help="print document statistics")
+    p_inspect.add_argument("file")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_label = sub.add_parser("label", help="build DOL + CAM and compare size")
+    p_label.add_argument("file")
+    p_label.add_argument("--subjects", type=int, default=1)
+    p_label.add_argument("--accessibility", type=float, default=0.5)
+    p_label.add_argument("--propagation", type=float, default=0.3)
+    p_label.add_argument("--seed", type=int, default=0)
+    p_label.set_defaults(func=_cmd_label)
+
+    p_query = sub.add_parser("query", help="evaluate a twig query")
+    p_query.add_argument("file")
+    p_query.add_argument("query")
+    p_query.add_argument("--subject", type=int, default=None)
+    p_query.add_argument("--semantics", choices=SEMANTICS, default=CHO)
+    p_query.add_argument("--accessibility", type=float, default=0.7)
+    p_query.add_argument("--seed", type=int, default=0)
+    p_query.add_argument("--limit", type=int, default=10)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_explain = sub.add_parser("explain", help="print the NoK evaluation plan")
+    p_explain.add_argument("file")
+    p_explain.add_argument("query")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_diss = sub.add_parser(
+        "disseminate", help="filter an XML file for one subject"
+    )
+    p_diss.add_argument("file")
+    p_diss.add_argument("--subject", type=int, default=0)
+    p_diss.add_argument("--policy", choices=("prune", "hoist"), default="prune")
+    p_diss.add_argument("--accessibility", type=float, default=0.7)
+    p_diss.add_argument("--seed", type=int, default=0)
+    p_diss.add_argument("-o", "--output")
+    p_diss.set_defaults(func=_cmd_disseminate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""DOL — Document Ordered Labeling (the paper's core contribution).
+
+A DOL represents a secured tree's access control data as:
+
+- a list of *transition nodes* — document positions whose access control
+  list differs from their document-order predecessor (the root is always a
+  transition node), each carrying a small integer *access control code*, and
+- a *codebook* mapping each code to the distinct access control list
+  (subject bitmask) it stands for.
+
+Structural locality keeps transitions few; inter-subject correlation keeps
+the codebook small. See Section 2 of the paper.
+"""
+
+from repro.dol.codebook import Codebook
+from repro.dol.labeling import DOL, transition_count, transitions_from_masks
+from repro.dol.stream import build_dol_streaming
+from repro.dol.updates import DOLUpdater
+
+__all__ = [
+    "Codebook",
+    "DOL",
+    "DOLUpdater",
+    "build_dol_streaming",
+    "transition_count",
+    "transitions_from_masks",
+]

@@ -1,0 +1,192 @@
+"""DOL construction and lookup (Sections 2 and 2.1).
+
+A :class:`DOL` is a document-ordered list of transition positions with
+access control codes, plus the shared :class:`~repro.dol.codebook.Codebook`.
+Construction is a single linear scan over per-node bitmasks in document
+order; lookup is a binary search for the nearest preceding transition.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+from repro.acl.model import READ, AccessMatrix
+from repro.dol.codebook import Codebook
+from repro.errors import AccessControlError
+
+
+def transitions_from_masks(masks: Sequence[int]) -> List[Tuple[int, int]]:
+    """Compute (position, mask) transition pairs from document-order masks.
+
+    A node is a transition node iff its access control list differs from
+    its document-order predecessor; the root (position 0) always is.
+    """
+    if not masks:
+        raise AccessControlError("cannot label an empty document")
+    transitions = [(0, masks[0])]
+    previous = masks[0]
+    for pos in range(1, len(masks)):
+        if masks[pos] != previous:
+            transitions.append((pos, masks[pos]))
+            previous = masks[pos]
+    return transitions
+
+
+def transition_count(vector: Sequence[bool]) -> int:
+    """Number of transition nodes for a single subject's +/- labeling."""
+    return len(transitions_from_masks([int(v) for v in vector]))
+
+
+class DOL:
+    """Document Ordered Labeling of one document (one action mode).
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of document positions covered.
+    codebook:
+        Shared code → access-control-list dictionary.
+    positions / codes:
+        Parallel lists: ``positions`` is strictly increasing with
+        ``positions[0] == 0``; ``codes[i]`` is the access control code in
+        effect from ``positions[i]`` up to the next transition.
+    """
+
+    def __init__(self, n_nodes: int, codebook: Codebook):
+        if n_nodes <= 0:
+            raise AccessControlError("DOL needs at least one node")
+        self.n_nodes = n_nodes
+        self.codebook = codebook
+        self.positions: List[int] = []
+        self.codes: List[int] = []
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_masks(
+        cls, masks: Sequence[int], n_subjects: int, codebook: Optional[Codebook] = None
+    ) -> "DOL":
+        """Build a DOL from per-node bitmasks in document order."""
+        codebook = codebook if codebook is not None else Codebook(n_subjects)
+        dol = cls(len(masks), codebook)
+        for pos, mask in transitions_from_masks(masks):
+            dol.positions.append(pos)
+            dol.codes.append(codebook.encode(mask))
+        return dol
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: AccessMatrix,
+        mode: str = READ,
+        codebook: Optional[Codebook] = None,
+    ) -> "DOL":
+        """Build a DOL for one action mode of an accessibility matrix."""
+        return cls.from_masks(matrix.masks(mode), matrix.n_subjects, codebook)
+
+    @classmethod
+    def from_vector(cls, vector: Sequence[bool]) -> "DOL":
+        """Build a single-subject DOL from a +/- accessibility vector."""
+        return cls.from_masks([int(v) for v in vector], n_subjects=1)
+
+    # -- lookup (Section 3.3) --------------------------------------------------
+
+    def transition_index_for(self, pos: int) -> int:
+        """Index of the transition governing position ``pos``."""
+        if not 0 <= pos < self.n_nodes:
+            raise AccessControlError(f"position {pos} out of range")
+        return bisect_right(self.positions, pos) - 1
+
+    def code_at(self, pos: int) -> int:
+        """Access control code in effect at position ``pos``."""
+        return self.codes[self.transition_index_for(pos)]
+
+    def mask_at(self, pos: int) -> int:
+        """Access control list (bitmask) in effect at position ``pos``."""
+        return self.codebook.decode(self.code_at(pos))
+
+    def accessible(self, subject: int, pos: int) -> bool:
+        """The secure-evaluation ACCESS check: bit ``subject`` at ``pos``."""
+        return self.codebook.accessible(self.code_at(pos), subject)
+
+    def accessible_any(self, subjects: Sequence[int], pos: int) -> bool:
+        """True if *any* of the subjects may access ``pos``.
+
+        This implements the user-level check of Section 4's footnote: a
+        user's actual rights are the union of her own subject's rights and
+        those of the groups she belongs to.
+        """
+        mask = self.mask_at(pos)
+        return any(mask >> subject & 1 for subject in subjects)
+
+    def is_transition(self, pos: int) -> bool:
+        """True iff ``pos`` is a transition node."""
+        index = self.transition_index_for(pos)
+        return self.positions[index] == pos
+
+    # -- reconstruction & metrics ----------------------------------------------
+
+    def to_masks(self) -> List[int]:
+        """Expand back to per-node bitmasks (inverse of from_masks)."""
+        masks: List[int] = []
+        for i, start in enumerate(self.positions):
+            end = self.positions[i + 1] if i + 1 < len(self.positions) else self.n_nodes
+            masks.extend([self.codebook.decode(self.codes[i])] * (end - start))
+        return masks
+
+    def to_matrix(self, n_subjects: Optional[int] = None) -> AccessMatrix:
+        """Expand back to an accessibility matrix."""
+        n_subjects = n_subjects if n_subjects is not None else self.codebook.n_subjects
+        return AccessMatrix.from_masks(self.to_masks(), n_subjects)
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of transition nodes (the paper's primary size metric)."""
+        return len(self.positions)
+
+    def transition_density(self) -> float:
+        """Transitions per node — ``< 0.01`` in the paper's real datasets."""
+        return len(self.positions) / self.n_nodes
+
+    def size_bytes(self) -> int:
+        """Total storage: in-memory codebook + embedded code per transition.
+
+        Matches the paper's Section 5.1.1 accounting: each transition node
+        stores only an access control code (no node pointer — the code is
+        embedded in the structural encoding), and each codebook entry is
+        one bit per subject.
+        """
+        return self.codebook.size_bytes() + self.n_transitions * self.codebook.code_bytes()
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on corruption."""
+        if not self.positions or self.positions[0] != 0:
+            raise AccessControlError("DOL must start with a transition at 0")
+        if len(self.positions) != len(self.codes):
+            raise AccessControlError("positions/codes length mismatch")
+        for i in range(1, len(self.positions)):
+            if self.positions[i] <= self.positions[i - 1]:
+                raise AccessControlError("transition positions must increase")
+            if self.codes[i] == self.codes[i - 1]:
+                raise AccessControlError(
+                    f"redundant transition at {self.positions[i]}"
+                )
+        if self.positions[-1] >= self.n_nodes:
+            raise AccessControlError("transition beyond document end")
+        for code in self.codes:
+            self.codebook.decode(code)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DOL):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.to_masks() == other.to_masks()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DOL(n_nodes={self.n_nodes}, transitions={self.n_transitions}, "
+            f"codebook={len(self.codebook)})"
+        )

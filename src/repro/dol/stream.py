@@ -1,0 +1,92 @@
+"""Single-pass streaming DOL construction.
+
+The paper motivates document order partly because "a document order
+encoding of access rights can be constructed on-the-fly using a single pass
+through a labeled XML document" (Section 2). This module implements that:
+it consumes the SAX-like event stream of :func:`repro.xmltree.parser.iterparse`
+and a labeling callback, and emits a finished :class:`~repro.dol.labeling.DOL`
+without ever materializing the per-node mask list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.dol.codebook import Codebook
+from repro.dol.labeling import DOL
+from repro.errors import AccessControlError
+from repro.xmltree import parser
+
+#: Labeling callback: (position, tag, ancestor-path tags) -> subject bitmask.
+LabelFn = Callable[[int, str, Tuple[str, ...]], int]
+
+
+class StreamingDOLBuilder:
+    """Incremental DOL builder fed one node mask at a time, in document order."""
+
+    def __init__(self, n_subjects: int, codebook: Optional[Codebook] = None):
+        self.codebook = codebook if codebook is not None else Codebook(n_subjects)
+        self._positions: list = []
+        self._codes: list = []
+        self._previous_mask: Optional[int] = None
+        self._next_position = 0
+
+    def feed(self, mask: int) -> None:
+        """Append the next node's access control list."""
+        if mask != self._previous_mask:
+            self._positions.append(self._next_position)
+            self._codes.append(self.codebook.encode(mask))
+            self._previous_mask = mask
+        self._next_position += 1
+
+    def finish(self) -> DOL:
+        """Return the completed DOL."""
+        if self._next_position == 0:
+            raise AccessControlError("no nodes were fed to the builder")
+        dol = DOL(self._next_position, self.codebook)
+        dol.positions = self._positions
+        dol.codes = self._codes
+        return dol
+
+    @property
+    def nodes_seen(self) -> int:
+        return self._next_position
+
+
+def build_dol_streaming(
+    xml_text: str,
+    n_subjects: int,
+    label_fn: LabelFn,
+    codebook: Optional[Codebook] = None,
+) -> DOL:
+    """Build a DOL in one pass over raw XML text.
+
+    ``label_fn`` is called once per element, in document order, with the
+    element's position, tag, and the tag path of its open ancestors — enough
+    context to evaluate propagation-style labeling rules on the fly.
+    """
+    builder = StreamingDOLBuilder(n_subjects, codebook)
+    path: list = []
+    for kind, payload in parser.iterparse(xml_text):
+        if kind == parser.START:
+            tag = payload[0]  # type: ignore[index]
+            mask = label_fn(builder.nodes_seen, tag, tuple(path))
+            builder.feed(mask)
+            path.append(tag)
+        elif kind == parser.END:
+            path.pop()
+    return builder.finish()
+
+
+def masks_in_document_order(events: Iterable, label_fn: LabelFn) -> Iterable[int]:
+    """Generator adapter: turn an event stream into a mask stream."""
+    path: list = []
+    position = 0
+    for kind, payload in events:
+        if kind == parser.START:
+            tag = payload[0]
+            yield label_fn(position, tag, tuple(path))
+            position += 1
+            path.append(tag)
+        elif kind == parser.END:
+            path.pop()

@@ -1,0 +1,209 @@
+"""DOL update operations (Section 3.4).
+
+Two families of updates are supported:
+
+- **accessibility updates** — change the accessibility function itself:
+  one node, or a whole subtree (contiguous document-order range), for one
+  subject or to an explicit access control list;
+- **structural updates** — insert, delete, or move a subtree (the inserted
+  nodes arrive with their own access controls, per the paper).
+
+All operations have the *update locality* property: only the transitions
+between the pair surrounding the affected range are touched. Proposition 1
+(each operation adds at most 2 transition nodes beyond those present in the
+original data and in any inserted data) is enforced by
+:meth:`DOLUpdater.check_proposition1` and verified by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.dol.labeling import DOL, transitions_from_masks
+from repro.errors import UpdateError
+
+MaskFn = Callable[[int], int]
+
+
+class DOLUpdater:
+    """In-place update engine for a :class:`~repro.dol.labeling.DOL`."""
+
+    def __init__(self, dol: DOL):
+        self.dol = dol
+
+    # -- accessibility updates -------------------------------------------------
+
+    def set_node_mask(self, pos: int, mask: int) -> int:
+        """Replace the access control list of a single node.
+
+        Returns the change in transition count (Proposition 1: <= 2).
+        """
+        return self.transform_range(pos, pos + 1, lambda _old: mask)
+
+    def set_range_mask(self, start: int, end: int, mask: int) -> int:
+        """Replace the ACL of every node in [start, end) — a subtree update."""
+        return self.transform_range(start, end, lambda _old: mask)
+
+    def set_subject_accessibility(
+        self, start: int, end: int, subject: int, value: bool
+    ) -> int:
+        """Grant/revoke one subject over [start, end), preserving other bits.
+
+        This is the paper's "change the accessibility of all of the nodes
+        in a document subtree [for a given subject]" operation.
+        """
+        bit = 1 << subject
+        if value:
+            return self.transform_range(start, end, lambda old: old | bit)
+        return self.transform_range(start, end, lambda old: old & ~bit)
+
+    def set_node_accessibility(self, pos: int, subject: int, value: bool) -> int:
+        """Grant/revoke one subject on one node."""
+        return self.set_subject_accessibility(pos, pos + 1, subject, value)
+
+    def transform_range(self, start: int, end: int, fn: MaskFn) -> int:
+        """Apply ``fn`` to the ACL of every node in [start, end).
+
+        The rewrite is local: transitions strictly before ``start`` and
+        strictly after ``end`` are untouched; the segment list covering the
+        range is recomputed, with boundary transitions materialized at
+        ``start`` and ``end`` when needed.
+
+        Returns the transition-count delta.
+        """
+        dol = self.dol
+        if not 0 <= start < end <= dol.n_nodes:
+            raise UpdateError(f"invalid range [{start}, {end})")
+        before = dol.n_transitions
+
+        pairs = self._segment_pairs()
+        rebuilt: List[Tuple[int, int]] = []
+        mask_after_end = dol.mask_at(end) if end < dol.n_nodes else None
+
+        for pos, mask in pairs:
+            if pos < start:
+                rebuilt.append((pos, mask))
+        # The segment in effect at `start`, clipped and transformed.
+        rebuilt.append((start, fn(dol.mask_at(start))))
+        for pos, mask in pairs:
+            if start < pos < end:
+                rebuilt.append((pos, fn(mask)))
+        if mask_after_end is not None:
+            rebuilt.append((end, mask_after_end))
+            for pos, mask in pairs:
+                if pos > end:
+                    rebuilt.append((pos, mask))
+
+        self._install(rebuilt)
+        return dol.n_transitions - before
+
+    # -- structural updates ------------------------------------------------------
+
+    def insert_range(self, at: int, masks: Sequence[int]) -> int:
+        """Insert ``len(masks)`` new nodes (a labeled subtree) at position ``at``.
+
+        Existing positions >= ``at`` shift right. Returns the transition
+        delta *beyond* the inserted data's own transitions, i.e. the
+        Proposition 1 quantity (<= 2).
+        """
+        dol = self.dol
+        if not 0 <= at <= dol.n_nodes:
+            raise UpdateError(f"invalid insert position {at}")
+        if not masks:
+            raise UpdateError("cannot insert an empty subtree")
+        before = dol.n_transitions
+        own = len(transitions_from_masks(masks))
+        k = len(masks)
+
+        pairs = self._segment_pairs()
+        rebuilt: List[Tuple[int, int]] = []
+        for pos, mask in pairs:
+            if pos < at:
+                rebuilt.append((pos, mask))
+        for offset, mask in enumerate(masks):
+            rebuilt.append((at + offset, mask))
+        if at < dol.n_nodes:
+            rebuilt.append((at + k, dol.mask_at(at)))
+            for pos, mask in pairs:
+                if pos > at:
+                    rebuilt.append((pos + k, mask))
+
+        dol.n_nodes += k
+        self._install(rebuilt)
+        return dol.n_transitions - before - own
+
+    def delete_range(self, start: int, end: int) -> int:
+        """Delete the nodes in [start, end) (a subtree). Returns the delta."""
+        dol = self.dol
+        if not 0 <= start < end <= dol.n_nodes:
+            raise UpdateError(f"invalid range [{start}, {end})")
+        if end - start == dol.n_nodes:
+            raise UpdateError("cannot delete the entire document")
+        before = dol.n_transitions
+        k = end - start
+
+        pairs = self._segment_pairs()
+        rebuilt: List[Tuple[int, int]] = []
+        for pos, mask in pairs:
+            if pos < start:
+                rebuilt.append((pos, mask))
+        if end < dol.n_nodes:
+            rebuilt.append((start, dol.mask_at(end)))
+            for pos, mask in pairs:
+                if pos > end:
+                    rebuilt.append((pos - k, mask))
+
+        dol.n_nodes -= k
+        self._install(rebuilt)
+        return dol.n_transitions - before
+
+    def move_range(self, start: int, end: int, to: int) -> int:
+        """Move the subtree [start, end) so it begins at position ``to``.
+
+        ``to`` is interpreted in the coordinates of the document *after*
+        the subtree is excised. Returns the total transition delta.
+        """
+        dol = self.dol
+        if not 0 <= start < end <= dol.n_nodes:
+            raise UpdateError(f"invalid range [{start}, {end})")
+        masks = dol.to_masks()[start:end]
+        before = dol.n_transitions
+        self.delete_range(start, end)
+        if not 0 <= to <= dol.n_nodes:
+            raise UpdateError(f"invalid destination {to}")
+        self.insert_range(to, masks)
+        return dol.n_transitions - before
+
+    # -- Proposition 1 ------------------------------------------------------------
+
+    @staticmethod
+    def check_proposition1(delta: int, operation: str = "update") -> None:
+        """Raise if an operation violated Proposition 1 (delta > 2)."""
+        if delta > 2:
+            raise UpdateError(
+                f"Proposition 1 violated: {operation} added {delta} transitions"
+            )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _segment_pairs(self) -> List[Tuple[int, int]]:
+        dol = self.dol
+        return [
+            (pos, dol.codebook.decode(code))
+            for pos, code in zip(dol.positions, dol.codes)
+        ]
+
+    def _install(self, pairs: List[Tuple[int, int]]) -> None:
+        """Install a candidate segment list, dropping redundant transitions."""
+        dol = self.dol
+        positions: List[int] = []
+        codes: List[int] = []
+        previous_mask: Optional[int] = None
+        for pos, mask in pairs:
+            if mask == previous_mask:
+                continue
+            positions.append(pos)
+            codes.append(dol.codebook.encode(mask))
+            previous_mask = mask
+        dol.positions = positions
+        dol.codes = codes

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from storage errors, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the byte/character ``position`` in the input where the error
+    was detected, when known.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class TreeError(ReproError):
+    """Raised on invalid document-tree operations (bad node ids, cycles)."""
+
+
+class QueryParseError(ReproError):
+    """Raised when a twig-query string cannot be parsed."""
+
+
+class AccessControlError(ReproError):
+    """Raised on invalid access control specifications or lookups."""
+
+
+class UnknownSubjectError(AccessControlError):
+    """Raised when a subject id is not registered with the matrix."""
+
+
+class CodebookError(ReproError):
+    """Raised on codebook misuse (unknown code, capacity exceeded)."""
+
+
+class StorageError(ReproError):
+    """Raised on page/buffer-pool failures (bad page id, page overflow)."""
+
+
+class PageFormatError(StorageError):
+    """Raised when a page's on-disk bytes fail validation."""
+
+
+class IndexError_(ReproError):
+    """Raised on B+-tree structural violations.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class UpdateError(ReproError):
+    """Raised when a DOL update operation is invalid (bad target, etc.)."""

@@ -1,0 +1,14 @@
+"""Index structures.
+
+The NoK query processor seeds pattern matching "by using B+ trees on the
+subtree root's value or tag names" (Section 4.1). This subpackage provides
+a from-scratch in-memory :class:`~repro.index.bptree.BPlusTree`, a
+page-serialized :class:`~repro.index.diskbptree.DiskBPlusTree`, and the
+:class:`~repro.index.tagindex.TagIndex` / ``DiskTagIndex`` built on them.
+"""
+
+from repro.index.bptree import BPlusTree
+from repro.index.diskbptree import DiskBPlusTree
+from repro.index.tagindex import DiskTagIndex, TagIndex
+
+__all__ = ["BPlusTree", "DiskBPlusTree", "DiskTagIndex", "TagIndex"]

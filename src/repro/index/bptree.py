@@ -1,0 +1,308 @@
+"""A from-scratch in-memory B+-tree.
+
+Keys are any totally-ordered values (the library uses strings for tag names
+and tuples for (tag, value) pairs); each key maps to a *postings list* of
+integers (document positions), kept sorted by insertion order — documents
+are loaded in document order, so postings arrive sorted.
+
+Leaves are chained for ordered range scans. Classic split-on-overflow
+insertion; deletion removes a posting, drops the key when its list
+empties, and restores occupancy invariants by borrowing from or merging
+with siblings (textbook B+-tree rebalancing). ``validate`` enforces the
+occupancy bounds on every node except the root.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import IndexError_
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[List[int]] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []  # separator keys; len(children) == len(keys)+1
+        self.children: List[Any] = []
+
+
+class BPlusTree:
+    """B+-tree mapping keys to postings lists of ints."""
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 3:
+            raise IndexError_("B+-tree order must be at least 3")
+        self.order = order
+        self._root: Any = _Leaf()
+        self._n_keys = 0
+        self._n_postings = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def search(self, key: Any) -> List[int]:
+        """Postings for ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def __contains__(self, key: Any) -> bool:
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def range(self, lo: Any, hi: Any) -> Iterator[Tuple[Any, List[int]]]:
+        """Yield (key, postings) for lo <= key <= hi in key order."""
+        leaf = self._find_leaf(lo)
+        index = bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > hi:
+                    return
+                yield key, list(leaf.values[index])
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def items(self) -> Iterator[Tuple[Any, List[int]]]:
+        """All (key, postings) pairs in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for key, value in zip(leaf.keys, leaf.values):
+                yield key, list(value)
+            leaf = leaf.next
+
+    def keys(self) -> List[Any]:
+        return [key for key, _ in self.items()]
+
+    def __len__(self) -> int:
+        return self._n_keys
+
+    @property
+    def n_postings(self) -> int:
+        return self._n_postings
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, key: Any, posting: int) -> None:
+        """Add a posting under ``key`` (creating the key if new)."""
+        split = self._insert(self._root, key, posting)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def delete(self, key: Any, posting: int) -> bool:
+        """Remove one posting; returns True if it was present.
+
+        The key disappears when its postings list empties; underfull
+        nodes borrow from or merge with a sibling, and the root collapses
+        when it is an internal node with a single child.
+        """
+        removed = self._delete(self._root, key, posting)
+        if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        return removed
+
+    def _leaf_min_keys(self) -> int:
+        return self.order // 2
+
+    def _internal_min_children(self) -> int:
+        return (self.order + 1) // 2
+
+    def _delete(self, node: Any, key: Any, posting: int) -> bool:
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            postings = node.values[index]
+            slot = bisect_left(postings, posting)
+            if slot >= len(postings) or postings[slot] != posting:
+                return False
+            postings.pop(slot)
+            self._n_postings -= 1
+            if not postings:
+                node.keys.pop(index)
+                node.values.pop(index)
+                self._n_keys -= 1
+            return True
+
+        slot = bisect_right(node.keys, key)
+        removed = self._delete(node.children[slot], key, posting)
+        if removed and self._underfull(node.children[slot]):
+            self._rebalance(node, slot)
+        return removed
+
+    def _underfull(self, node: Any) -> bool:
+        if isinstance(node, _Leaf):
+            return len(node.keys) < self._leaf_min_keys()
+        return len(node.children) < self._internal_min_children()
+
+    def _rebalance(self, parent: _Internal, slot: int) -> None:
+        """Fix an underfull child by borrowing from, or merging with, a
+        sibling. The parent may become underfull itself; its own parent
+        handles that on the way back up the recursion."""
+        child = parent.children[slot]
+        left = parent.children[slot - 1] if slot > 0 else None
+        right = parent.children[slot + 1] if slot + 1 < len(parent.children) else None
+
+        if isinstance(child, _Leaf):
+            if left is not None and len(left.keys) > self._leaf_min_keys():
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[slot - 1] = child.keys[0]
+            elif right is not None and len(right.keys) > self._leaf_min_keys():
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[slot] = right.keys[0]
+            elif left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                parent.keys.pop(slot - 1)
+                parent.children.pop(slot)
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                parent.keys.pop(slot)
+                parent.children.pop(slot + 1)
+            return
+
+        minimum = self._internal_min_children()
+        if left is not None and len(left.children) > minimum:
+            child.keys.insert(0, parent.keys[slot - 1])
+            parent.keys[slot - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+        elif right is not None and len(right.children) > minimum:
+            child.keys.append(parent.keys[slot])
+            parent.keys[slot] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+        elif left is not None:
+            left.keys.append(parent.keys[slot - 1])
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            parent.keys.pop(slot - 1)
+            parent.children.pop(slot)
+        elif right is not None:
+            child.keys.append(parent.keys[slot])
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            parent.keys.pop(slot)
+            parent.children.pop(slot + 1)
+
+    # -- invariants ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check ordering and fanout invariants; raises on violation."""
+        self._validate_node(self._root, None, None, is_root=True)
+        previous = None
+        for key, postings in self.items():
+            if previous is not None and key <= previous:
+                raise IndexError_("leaf chain keys out of order")
+            if not postings:
+                raise IndexError_(f"empty postings list for {key!r}")
+            if postings != sorted(postings):
+                raise IndexError_(f"unsorted postings for {key!r}")
+            previous = key
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def _insert(self, node: Any, key: Any, posting: int) -> Optional[Tuple[Any, Any]]:
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                insort(node.values[index], posting)
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, [posting])
+                self._n_keys += 1
+            self._n_postings += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+
+        slot = bisect_right(node.keys, key)
+        split = self._insert(node.children[slot], key, posting)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(slot, separator)
+        node.children.insert(slot + 1, right)
+        if len(node.children) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> Tuple[Any, _Internal]:
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return separator, right
+
+    def _validate_node(
+        self, node: Any, lo: Any, hi: Any, is_root: bool = False
+    ) -> None:
+        if isinstance(node, _Leaf):
+            for key in node.keys:
+                if (lo is not None and key < lo) or (hi is not None and key >= hi):
+                    raise IndexError_(f"leaf key {key!r} outside bounds")
+            if node.keys != sorted(node.keys):
+                raise IndexError_("leaf keys unsorted")
+            if not is_root and len(node.keys) < self._leaf_min_keys():
+                raise IndexError_("leaf underfull")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise IndexError_("internal fanout mismatch")
+        if not is_root and len(node.children) < self._internal_min_children():
+            raise IndexError_("internal node underfull")
+        if is_root and len(node.children) < 2:
+            raise IndexError_("internal root must have at least two children")
+        if node.keys != sorted(node.keys):
+            raise IndexError_("internal keys unsorted")
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            self._validate_node(child, bounds[i], bounds[i + 1])

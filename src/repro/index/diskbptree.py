@@ -1,0 +1,300 @@
+"""A disk-backed B+-tree over the page store.
+
+The NoK query processor starts matching "by using B+ trees on the subtree
+root's value or tag names" (Section 4.1). The in-memory
+:class:`~repro.index.bptree.BPlusTree` serves correctness tests; this
+variant serializes nodes into fixed-size pages behind the buffer pool, so
+index probes participate in the same I/O accounting as data pages.
+
+Layout
+------
+Entries are (key, posting) pairs — duplicates are separate entries, which
+keeps every record small and removes the need for overflow chains. Keys
+are UTF-8 strings.
+
+- Leaf page:     ``type=1 | n_entries u16 | next_leaf i32 | entries...``
+  where an entry is ``keylen u16 | key bytes | posting u32``.
+- Internal page: ``type=0 | n_keys u16 | children: (n_keys+1) x u32 |
+  separators: (keylen u16 + bytes + posting u32) ...`` — separators are
+  full (key, posting) pairs so duplicate keys route correctly.
+
+Splits occur when a page's serialized size would exceed the page size.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import IndexError_
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+
+_LEAF = 1
+_INTERNAL = 0
+_HEADER = struct.Struct("<BHi")  # type, count, next_leaf (leaves only)
+_POSTING = struct.Struct("<I")
+_KEYLEN = struct.Struct("<H")
+
+
+class _Node:
+    """Decoded in-memory form of one index page."""
+
+    __slots__ = ("kind", "keys", "postings", "children", "next_leaf")
+
+    def __init__(self, kind: int):
+        self.kind = kind
+        self.keys: List[str] = []
+        self.postings: List[int] = []  # parallel to keys (both node kinds)
+        self.children: List[int] = []  # internal: page ids, len(keys)+1
+        self.next_leaf = -1
+
+    def encode(self, page_size: int) -> bytes:
+        parts = [_HEADER.pack(self.kind, len(self.keys), self.next_leaf)]
+        if self.kind == _INTERNAL:
+            for child in self.children:
+                parts.append(_POSTING.pack(child))
+        for key, posting in zip(self.keys, self.postings):
+            raw = key.encode("utf-8")
+            parts.append(_KEYLEN.pack(len(raw)))
+            parts.append(raw)
+            parts.append(_POSTING.pack(posting))
+        body = b"".join(parts)
+        if len(body) > page_size:
+            raise IndexError_("index node exceeds the page size")
+        return body + bytes(page_size - len(body))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "_Node":
+        kind, count, next_leaf = _HEADER.unpack_from(data, 0)
+        node = cls(kind)
+        node.next_leaf = next_leaf
+        offset = _HEADER.size
+        if kind == _INTERNAL:
+            for _ in range(count + 1):
+                (child,) = _POSTING.unpack_from(data, offset)
+                offset += _POSTING.size
+                node.children.append(child)
+        for _ in range(count):
+            (keylen,) = _KEYLEN.unpack_from(data, offset)
+            offset += _KEYLEN.size
+            node.keys.append(data[offset : offset + keylen].decode("utf-8"))
+            offset += keylen
+            (posting,) = _POSTING.unpack_from(data, offset)
+            offset += _POSTING.size
+            node.postings.append(posting)
+        return node
+
+    def size_bytes(self) -> int:
+        total = _HEADER.size
+        if self.kind == _INTERNAL:
+            total += _POSTING.size * (len(self.keys) + 1)
+        for key in self.keys:
+            total += _KEYLEN.size + len(key.encode("utf-8")) + _POSTING.size
+        return total
+
+
+class DiskBPlusTree:
+    """B+-tree on (string key, int posting) entries, stored in pages."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 32,
+    ):
+        self.pager = Pager(path, page_size)
+        self.buffer = BufferPool(self.pager, buffer_capacity)
+        self.page_size = page_size
+        root = _Node(_LEAF)
+        self._root_id = self.pager.allocate()
+        self._write(self._root_id, root)
+        self._n_entries = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def search(self, key: str) -> List[int]:
+        """All postings stored under ``key``, sorted."""
+        leaf_id = self._find_leaf(key)
+        postings: List[int] = []
+        while leaf_id != -1:
+            leaf = self._read(leaf_id)
+            for k, posting in zip(leaf.keys, leaf.postings):
+                if k == key:
+                    postings.append(posting)
+                elif k > key:
+                    return postings
+            leaf_id = leaf.next_leaf
+        return postings
+
+    def range(self, lo: str, hi: str) -> Iterator[Tuple[str, int]]:
+        """(key, posting) pairs with lo <= key <= hi, in order."""
+        leaf_id = self._find_leaf(lo)
+        while leaf_id != -1:
+            leaf = self._read(leaf_id)
+            for k, posting in zip(leaf.keys, leaf.postings):
+                if k < lo:
+                    continue
+                if k > hi:
+                    return
+                yield k, posting
+            leaf_id = leaf.next_leaf
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Every (key, posting) pair in key order."""
+        leaf_id = self._leftmost_leaf()
+        while leaf_id != -1:
+            leaf = self._read(leaf_id)
+            yield from zip(leaf.keys, leaf.postings)
+            leaf_id = leaf.next_leaf
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    # -- mutation ------------------------------------------------------------------
+
+    def insert(self, key: str, posting: int) -> None:
+        """Insert one (key, posting) entry."""
+        split = self._insert(self._root_id, key, posting)
+        self._n_entries += 1
+        if split is not None:
+            separator, right_id = split
+            new_root = _Node(_INTERNAL)
+            new_root.keys = [separator[0]]
+            new_root.postings = [separator[1]]
+            new_root.children = [self._root_id, right_id]
+            self._root_id = self.pager.allocate()
+            self._write(self._root_id, new_root)
+
+    def _insert(self, page_id: int, key: str, posting: int):
+        node = self._read(page_id)
+        if node.kind == _LEAF:
+            index = self._leaf_slot(node, key, posting)
+            node.keys.insert(index, key)
+            node.postings.insert(index, posting)
+            if node.size_bytes() > self.page_size:
+                return self._split_leaf(page_id, node)
+            self._write(page_id, node)
+            return None
+
+        slot = self._child_slot(node, (key, posting))
+        split = self._insert(node.children[slot], key, posting)
+        if split is None:
+            return None
+        separator, right_id = split
+        node.keys.insert(slot, separator[0])
+        node.postings.insert(slot, separator[1])
+        node.children.insert(slot + 1, right_id)
+        if node.size_bytes() > self.page_size:
+            return self._split_internal(page_id, node)
+        self._write(page_id, node)
+        return None
+
+    # -- internals ------------------------------------------------------------------
+
+    @staticmethod
+    def _leaf_slot(node: _Node, key: str, posting: int) -> int:
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (node.keys[mid], node.postings[mid]) < (key, posting):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @staticmethod
+    def _child_slot(node: _Node, entry) -> int:
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (node.keys[mid], node.postings[mid]) <= entry:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _split_leaf(self, page_id: int, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(_LEAF)
+        right.keys = node.keys[mid:]
+        right.postings = node.postings[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.postings = node.postings[:mid]
+        right_id = self.pager.allocate()
+        node.next_leaf = right_id
+        self._write(right_id, right)
+        self._write(page_id, node)
+        return (right.keys[0], right.postings[0]), right_id
+
+    def _split_internal(self, page_id: int, node: _Node):
+        mid = len(node.keys) // 2
+        separator = (node.keys[mid], node.postings[mid])
+        right = _Node(_INTERNAL)
+        right.keys = node.keys[mid + 1 :]
+        right.postings = node.postings[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.postings = node.postings[:mid]
+        node.children = node.children[: mid + 1]
+        right_id = self.pager.allocate()
+        self._write(right_id, right)
+        self._write(page_id, node)
+        return separator, right_id
+
+    def _find_leaf(self, key: str) -> int:
+        """Leaf that would hold the smallest entry with this key."""
+        page_id = self._root_id
+        node = self._read(page_id)
+        while node.kind == _INTERNAL:
+            page_id = node.children[self._child_slot(node, (key, -1))]
+            node = self._read(page_id)
+        return page_id
+
+    def _leftmost_leaf(self) -> int:
+        page_id = self._root_id
+        node = self._read(page_id)
+        while node.kind == _INTERNAL:
+            page_id = node.children[0]
+            node = self._read(page_id)
+        return page_id
+
+    def _read(self, page_id: int) -> _Node:
+        return _Node.decode(self.buffer.get(page_id))
+
+    def _write(self, page_id: int, node: _Node) -> None:
+        self.buffer.put(page_id, node.encode(self.page_size))
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self.buffer.flush_all()
+
+    def close(self) -> None:
+        self.flush()
+        self.pager.close()
+
+    def height(self) -> int:
+        """Tree height (1 = a single leaf)."""
+        levels = 1
+        node = self._read(self._root_id)
+        while node.kind == _INTERNAL:
+            levels += 1
+            node = self._read(node.children[0])
+        return levels
+
+    def validate(self) -> None:
+        """Check ordering along the leaf chain and separator consistency."""
+        previous = None
+        count = 0
+        for key, posting in self.items():
+            entry = (key, posting)
+            if previous is not None and entry < previous:
+                raise IndexError_("leaf chain out of order")
+            previous = entry
+            count += 1
+        if count != self._n_entries:
+            raise IndexError_(
+                f"entry count drift: chain has {count}, expected {self._n_entries}"
+            )

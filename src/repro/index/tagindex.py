@@ -1,0 +1,106 @@
+"""Tag (and tag+value) index over a flattened document.
+
+NoK pattern matching starts from candidate data nodes for the root of each
+NoK subtree; those candidates come from a B+-tree keyed on tag name (and,
+when the query constrains a value, on (tag, text) pairs). Postings are
+document positions in document order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.index.bptree import BPlusTree
+from repro.xmltree.document import Document
+
+
+class TagIndex:
+    """B+-tree-backed lookup from tag name (optionally + text) to positions."""
+
+    def __init__(self, doc: Document, index_values: bool = True, order: int = 64):
+        self.doc = doc
+        self._by_tag = BPlusTree(order)
+        self._by_tag_value: Optional[BPlusTree] = BPlusTree(order) if index_values else None
+        for pos in range(len(doc)):
+            name = doc.tag_name(pos)
+            self._by_tag.insert(name, pos)
+            if self._by_tag_value is not None and doc.texts[pos]:
+                self._by_tag_value.insert((name, doc.texts[pos]), pos)
+
+    def positions(self, tag: str) -> List[int]:
+        """Document positions with the given tag, in document order."""
+        return self._by_tag.search(tag)
+
+    def positions_with_value(self, tag: str, value: str) -> List[int]:
+        """Positions whose tag and text both match."""
+        if self._by_tag_value is None:
+            return [
+                pos for pos in self._by_tag.search(tag) if self.doc.texts[pos] == value
+            ]
+        return self._by_tag_value.search((tag, value))
+
+    def tags(self) -> List[str]:
+        """All distinct tag names, sorted."""
+        return self._by_tag.keys()
+
+    def count(self, tag: str) -> int:
+        """Number of nodes with the given tag."""
+        return len(self._by_tag.search(tag))
+
+
+class DiskTagIndex:
+    """Disk-backed drop-in for :class:`TagIndex`.
+
+    Backed by :class:`~repro.index.diskbptree.DiskBPlusTree`, so index
+    probes cost (accounted) page I/O like every other storage access. Tag
+    postings use the tag name as key; value postings use
+    ``tag + "\\x00" + text`` composite keys.
+    """
+
+    def __init__(
+        self,
+        doc: Document,
+        index_values: bool = True,
+        path: Optional[str] = None,
+        page_size: int = 4096,
+        buffer_capacity: int = 32,
+    ):
+        from repro.index.diskbptree import DiskBPlusTree
+
+        self.doc = doc
+        self._by_tag = DiskBPlusTree(
+            path=path, page_size=page_size, buffer_capacity=buffer_capacity
+        )
+        self._values_indexed = index_values
+        for pos in range(len(doc)):
+            name = doc.tag_name(pos)
+            self._by_tag.insert(name, pos)
+            if index_values and doc.texts[pos]:
+                self._by_tag.insert(f"{name}\x00{doc.texts[pos]}", pos)
+        self._by_tag.flush()
+
+    def positions(self, tag: str) -> List[int]:
+        """Document positions with the given tag, in document order."""
+        return self._by_tag.search(tag)
+
+    def positions_with_value(self, tag: str, value: str) -> List[int]:
+        """Positions whose tag and text both match."""
+        if self._values_indexed:
+            return self._by_tag.search(f"{tag}\x00{value}")
+        return [
+            pos for pos in self._by_tag.search(tag) if self.doc.texts[pos] == value
+        ]
+
+    def count(self, tag: str) -> int:
+        """Number of nodes with the given tag."""
+        return len(self._by_tag.search(tag))
+
+    def io_stats(self):
+        """(logical reads, physical reads) of index probes so far."""
+        return (
+            self._by_tag.buffer.stats.logical_reads,
+            self._by_tag.pager.stats.reads,
+        )
+
+    def close(self) -> None:
+        self._by_tag.close()

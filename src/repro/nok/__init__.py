@@ -1,0 +1,24 @@
+"""NoK twig query processing (Sections 3.1 and 4).
+
+- :mod:`~repro.nok.pattern` — pattern trees and the XPath-subset parser.
+- :mod:`~repro.nok.decompose` — splitting a pattern tree into NoK subtrees
+  connected by ancestor–descendant edges.
+- :mod:`~repro.nok.matcher` — NPM, the recursive next-of-kin pattern
+  matcher, in non-secure and ε-NoK (secure) variants.
+- :mod:`~repro.nok.stdjoin` — Stack-Tree-Desc structural joins, plus the
+  secure ε-STD variant with path accessibility for view semantics.
+- :mod:`~repro.nok.engine` — the end-to-end query engine with statistics.
+- :mod:`~repro.nok.reference` — a brute-force evaluator used as the test
+  oracle.
+"""
+
+from repro.nok.engine import QueryEngine, QueryResult
+from repro.nok.pattern import PatternNode, PatternTree, parse_query
+
+__all__ = [
+    "PatternNode",
+    "PatternTree",
+    "QueryEngine",
+    "QueryResult",
+    "parse_query",
+]

@@ -1,0 +1,120 @@
+"""Decomposition of pattern trees into NoK subtrees (Section 3.1).
+
+The NoK query processor "first partitions the pattern tree into NoK
+subtrees, each containing only parent-child ... relationships among its
+nodes", then matches each subtree and combines the results with structural
+joins on the ancestor–descendant edges that were cut.
+
+:func:`decompose` performs the partition. Each :class:`NoKSubtree` records
+its root pattern node and its *output nodes* — the pattern nodes whose data
+bindings must survive matching because they participate in a join (they
+have an outgoing AD edge), or because they are the returning node, or are
+the subtree root (the join target from above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.nok.pattern import CHILD, DESCENDANT, PatternNode, PatternTree
+
+
+@dataclass
+class NoKSubtree:
+    """A maximal child-edge-connected fragment of the pattern tree."""
+
+    index: int
+    root: PatternNode
+    #: pattern nodes (by identity) whose bindings must be enumerated
+    output_nodes: List[PatternNode] = field(default_factory=list)
+
+    def contains_returning(self) -> bool:
+        return any(
+            node.is_returning for node in self._own_nodes()
+        )
+
+    def _own_nodes(self) -> List[PatternNode]:
+        """Nodes of this subtree only (descent stops at DESCENDANT edges)."""
+        nodes = [self.root]
+        frontier = [self.root]
+        while frontier:
+            node = frontier.pop()
+            for child, axis in zip(node.children, node.axes):
+                if axis == CHILD:
+                    nodes.append(child)
+                    frontier.append(child)
+        return nodes
+
+
+@dataclass(frozen=True)
+class ADEdge:
+    """An ancestor–descendant join edge produced by the decomposition."""
+
+    parent_subtree: int
+    #: the pattern node inside the parent subtree that the edge hangs off
+    parent_node: PatternNode
+    child_subtree: int
+
+
+@dataclass
+class Decomposition:
+    """The full partition: subtrees (index 0 is the query root) and AD edges."""
+
+    subtrees: List[NoKSubtree]
+    edges: List[ADEdge]
+
+    def children_of(self, subtree_index: int) -> List[ADEdge]:
+        return [e for e in self.edges if e.parent_subtree == subtree_index]
+
+    def join_order(self) -> List[int]:
+        """Subtree indices bottom-up (children before parents)."""
+        order: List[int] = []
+        seen = set()
+
+        def visit(index: int) -> None:
+            for edge in self.children_of(index):
+                visit(edge.child_subtree)
+            if index not in seen:
+                seen.add(index)
+                order.append(index)
+
+        visit(0)
+        return order
+
+
+def decompose(pattern: PatternTree) -> Decomposition:
+    """Partition a pattern tree into NoK subtrees linked by AD edges."""
+    subtrees: List[NoKSubtree] = []
+    edges: List[ADEdge] = []
+
+    def build(root: PatternNode) -> int:
+        index = len(subtrees)
+        subtree = NoKSubtree(index, root)
+        subtrees.append(subtree)
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for child, axis in zip(node.children, node.axes):
+                if axis == CHILD:
+                    frontier.append(child)
+                else:
+                    child_index = build(child)
+                    edges.append(ADEdge(index, node, child_index))
+        return index
+
+    build(pattern.root)
+
+    # Output nodes: subtree roots, AD-edge sources, and the returning node.
+    edge_sources = {id(edge.parent_node) for edge in edges}
+    for subtree in subtrees:
+        outputs: List[PatternNode] = []
+        for node in subtree._own_nodes():
+            if (
+                node is subtree.root
+                or id(node) in edge_sources
+                or node.is_returning
+            ):
+                outputs.append(node)
+        subtree.output_nodes = outputs
+    return Decomposition(subtrees, edges)

@@ -1,0 +1,381 @@
+"""The end-to-end secure NoK query engine (Section 4).
+
+Pipeline: parse → decompose into NoK subtrees → find candidate roots via
+the tag index → NPM each candidate (ε-NoK when a subject is given) →
+structural joins over the ancestor–descendant edges (ε-STD with path
+checks under view semantics) → returning-node bindings.
+
+The engine runs over an in-memory :class:`~repro.xmltree.document.Document`
+or, when constructed with ``use_store=True``, over the block-oriented
+:class:`~repro.storage.nokstore.NoKStore` — in which case every navigation
+and access check goes through the buffer pool and the result carries full
+I/O statistics, including pages *skipped* via the in-memory header table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.acl.model import READ, AccessMatrix
+from repro.dol.labeling import DOL
+from repro.errors import QueryParseError, ReproError
+from repro.index.tagindex import TagIndex
+from repro.nok.decompose import Decomposition, decompose
+from repro.nok.matcher import Binding, match_nok_subtree
+from repro.nok.pattern import CHILD, PatternTree, parse_query
+from repro.nok.stdjoin import PathAccessIndex, stack_tree_desc
+from repro.secure.semantics import CHO, SEMANTICS, VIEW
+from repro.storage.nokstore import NoKStore
+from repro.xmltree.document import Document
+
+
+@dataclass
+class EvalStats:
+    """Measurements for one query evaluation."""
+
+    wall_time: float = 0.0
+    access_checks: int = 0
+    candidates: int = 0
+    candidates_skipped_by_header: int = 0
+    logical_page_reads: int = 0
+    physical_page_reads: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class QueryResult:
+    """Answer of one evaluation: returning-node positions + statistics."""
+
+    positions: List[int] = field(default_factory=list)
+    n_bindings: int = 0
+    stats: EvalStats = field(default_factory=EvalStats)
+
+    @property
+    def n_answers(self) -> int:
+        """Distinct data nodes bound to the returning node."""
+        return len(self.positions)
+
+
+class QueryEngine:
+    """Twig query evaluator with optional DOL-based access control."""
+
+    def __init__(
+        self,
+        doc: Document,
+        dol: Optional[DOL] = None,
+        store: Optional[NoKStore] = None,
+        index: Optional[TagIndex] = None,
+    ):
+        if store is not None and dol is not None and store.dol is not dol:
+            raise ReproError("store and engine must share one DOL")
+        self.doc = doc
+        self.dol = dol if dol is not None else (store.dol if store else None)
+        self.store = store
+        self.index = index if index is not None else TagIndex(doc)
+
+    @classmethod
+    def build(
+        cls,
+        doc: Document,
+        matrix: Optional[AccessMatrix] = None,
+        mode: str = READ,
+        use_store: bool = False,
+        page_size: int = 4096,
+        buffer_capacity: int = 64,
+        store_path: Optional[str] = None,
+    ) -> "QueryEngine":
+        """Construct an engine, optionally with DOL and block storage."""
+        dol = DOL.from_matrix(matrix, mode) if matrix is not None else None
+        store = None
+        if use_store:
+            if dol is None:
+                raise ReproError("a store requires access control data")
+            store = NoKStore(
+                doc, dol, path=store_path, page_size=page_size,
+                buffer_capacity=buffer_capacity,
+            )
+        return cls(doc, dol=dol, store=store)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: Union[str, PatternTree],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+        ordered: bool = False,
+    ) -> QueryResult:
+        """Evaluate a twig query, securely when ``subject`` is given.
+
+        ``subject`` may be a single subject id, or a sequence of ids for
+        user-level evaluation (the user's own subject plus her groups —
+        rights are the union, per Section 4's footnote). ``ordered=True``
+        switches to ordered pattern trees: a pattern node's child-axis
+        children must bind to data siblings in pattern order (the
+        following-sibling next-of-kin constraint the paper's experiments
+        used).
+        """
+        if semantics not in SEMANTICS:
+            raise ReproError(f"unknown semantics {semantics!r}")
+        if subject is not None and self.dol is None:
+            raise ReproError("secure evaluation requires a DOL")
+        if subject is not None and not isinstance(subject, int):
+            subject = tuple(subject)
+            if not subject:
+                raise ReproError("user-level evaluation needs >= 1 subject")
+        pattern = parse_query(query) if isinstance(query, str) else query
+        dec = decompose(pattern)
+
+        stats = EvalStats()
+        source = self.store if self.store is not None else self.doc
+        io_before = self._io_snapshot()
+        started = time.perf_counter()
+
+        access = self._make_access_fn(subject, semantics, stats)
+        fragment_matches = {
+            subtree.index: self._match_subtree(
+                dec, subtree.index, pattern, source, access, subject, stats,
+                ordered,
+            )
+            for subtree in dec.subtrees
+        }
+        matches = self._join(dec, fragment_matches, subject, semantics)
+
+        returning_id = id(pattern.returning_node)
+        positions = sorted({m[returning_id] for m in matches})
+        stats.wall_time = time.perf_counter() - started
+        io_after = self._io_snapshot()
+        stats.logical_page_reads = io_after[0] - io_before[0]
+        stats.physical_page_reads = io_after[1] - io_before[1]
+        return QueryResult(positions=positions, n_bindings=len(matches), stats=stats)
+
+    def evaluate_path(
+        self,
+        query: Union[str, PatternTree],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+    ) -> QueryResult:
+        """Evaluate a query with the holistic PathStack strategy.
+
+        An alternative to NoK decomposition: linear paths (the Q4–Q6
+        class) run plain PathStack — one sorted candidate stream per step,
+        linked stacks, a single pass; branching twigs run PathStack per
+        root-to-leaf path and hash-merge the path solutions on their
+        shared bindings. Secure evaluation pre-filters the streams through
+        the DOL. Unordered semantics only.
+        """
+        from repro.nok.pathstack import (
+            evaluate_pathstack,
+            evaluate_twig_paths,
+            linear_steps,
+        )
+
+        if semantics not in SEMANTICS:
+            raise ReproError(f"unknown semantics {semantics!r}")
+        if subject is not None and self.dol is None:
+            raise ReproError("secure evaluation requires a DOL")
+        if subject is not None and not isinstance(subject, int):
+            subject = tuple(subject)
+            if not subject:
+                raise ReproError("user-level evaluation needs >= 1 subject")
+        pattern = parse_query(query) if isinstance(query, str) else query
+
+        stats = EvalStats()
+        started = time.perf_counter()
+        access = self._make_access_fn(subject, semantics, stats)
+        if linear_steps(pattern) is not None:
+            positions = evaluate_pathstack(self.doc, pattern, self.index, access)
+        else:
+            positions = evaluate_twig_paths(self.doc, pattern, self.index, access)
+        stats.wall_time = time.perf_counter() - started
+        return QueryResult(
+            positions=positions, n_bindings=len(positions), stats=stats
+        )
+
+    def explain(self, query: Union[str, PatternTree]) -> str:
+        """Describe how a query would be evaluated (the NoK plan).
+
+        Returns a human-readable plan: the canonical query form, the NoK
+        subtree decomposition with candidate counts from the tag index,
+        and the bottom-up structural-join order.
+        """
+        pattern = parse_query(query) if isinstance(query, str) else query
+        dec = decompose(pattern)
+        lines = [f"query: {pattern.to_string()}"]
+        lines.append(
+            f"pattern nodes: {pattern.size()}, NoK subtrees: "
+            f"{len(dec.subtrees)}, AD joins: {len(dec.edges)}"
+        )
+        for subtree in dec.subtrees:
+            candidates = len(self._candidates(dec, subtree.index, pattern))
+            marker = " (query root)" if subtree.index == 0 else ""
+            returning = " [returning]" if subtree.contains_returning() else ""
+            lines.append(
+                f"  NoK subtree {subtree.index}: root <{subtree.root.tag}>, "
+                f"{candidates} index candidates{marker}{returning}"
+            )
+        for edge in dec.edges:
+            lines.append(
+                f"  AD join: subtree {edge.parent_subtree} "
+                f"node <{edge.parent_node.tag}> // subtree {edge.child_subtree}"
+            )
+        order = dec.join_order()
+        if len(order) > 1:
+            lines.append("join order (bottom-up): " + " -> ".join(map(str, order)))
+        return "\n".join(lines)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _io_snapshot(self) -> Tuple[int, int]:
+        if self.store is None:
+            return (0, 0)
+        return (
+            self.store.buffer.stats.logical_reads,
+            self.store.pager.stats.reads,
+        )
+
+    def _make_access_fn(
+        self, subject: Optional[int], semantics: str, stats: EvalStats
+    ):
+        if subject is None:
+            return None
+        if semantics == VIEW:
+            # View semantics: a node is usable iff its whole root path is
+            # accessible (the pruned-view model).
+            path_index = PathAccessIndex(self.doc, self.dol, subject)
+
+            def view_access(pos: int) -> bool:
+                stats.access_checks += 1
+                return path_index.deepest_blocked[pos] == -1
+
+            self._path_index = path_index
+            return view_access
+
+        subjects = (subject,) if isinstance(subject, int) else subject
+        if self.store is not None:
+            store = self.store
+
+            def store_access(pos: int) -> bool:
+                stats.access_checks += 1
+                return store.accessible_any(subjects, pos)
+
+            return store_access
+
+        dol = self.dol
+
+        def dol_access(pos: int) -> bool:
+            stats.access_checks += 1
+            return dol.accessible_any(subjects, pos)
+
+        return dol_access
+
+    def _candidates(
+        self, dec: Decomposition, subtree_index: int, pattern: PatternTree
+    ) -> List[int]:
+        subtree = dec.subtrees[subtree_index]
+        root = subtree.root
+        if subtree_index == 0 and pattern.root_axis == CHILD:
+            if root.matches(self.doc.tag_name(0), self.doc.text(0)):
+                return [0]
+            return []
+        if root.tag == "*":
+            return list(range(len(self.doc)))
+        if root.value is not None:
+            return self.index.positions_with_value(root.tag, root.value)
+        return self.index.positions(root.tag)
+
+    def _match_subtree(
+        self,
+        dec: Decomposition,
+        subtree_index: int,
+        pattern: PatternTree,
+        source,
+        access,
+        subject,
+        stats: EvalStats,
+        ordered: bool = False,
+    ) -> List[Binding]:
+        subtree = dec.subtrees[subtree_index]
+        matches: List[Binding] = []
+        for candidate in self._candidates(dec, subtree_index, pattern):
+            stats.candidates += 1
+            if access is not None:
+                # Page-skip optimization (Section 3.3): if the candidate's
+                # page header denies the subject and has no transitions, the
+                # candidate is inaccessible without reading the page.
+                subjects = (subject,) if isinstance(subject, int) else subject
+                if self.store is not None and self.store.page_fully_inaccessible_any(
+                    self.store.page_of(candidate), subjects
+                ):
+                    stats.candidates_skipped_by_header += 1
+                    continue
+            # Verify the root match against the data source itself — this
+            # loads the candidate's page (the index only supplied a
+            # position), exactly the read a NoK evaluator performs before
+            # matching can start.
+            if not subtree.root.matches(
+                source.tag_name(candidate), source.text(candidate)
+            ):
+                continue
+            if subtree.root.attr_tests and not subtree.root.matches_attrs(
+                source.attrs_of(candidate)
+            ):
+                continue
+            if access is not None and not access(candidate):
+                continue  # pre-condition of Algorithm 1
+            matches.extend(
+                match_nok_subtree(source, subtree, candidate, access, ordered)
+            )
+        return matches
+
+    def _join(
+        self,
+        dec: Decomposition,
+        fragment_matches: Dict[int, List[Binding]],
+        subject: Optional[int],
+        semantics: str,
+    ) -> List[Binding]:
+        subtree_end = self.doc.subtree_end
+        pair_filter = None
+        if subject is not None and semantics == VIEW:
+            pair_filter = self._path_index.path_accessible
+
+        joined = dict(fragment_matches)
+        for subtree_index in dec.join_order():
+            current = joined[subtree_index]
+            for edge in dec.children_of(subtree_index):
+                child = joined[edge.child_subtree]
+                if not current or not child:
+                    current = []
+                    break
+                parent_key = id(edge.parent_node)
+                child_key = id(dec.subtrees[edge.child_subtree].root)
+                ancestors = sorted({m[parent_key] for m in current})
+                descendants = sorted({m[child_key] for m in child})
+                pairs = stack_tree_desc(
+                    ancestors, descendants, subtree_end, pair_filter=pair_filter
+                )
+                pair_set: Set[Tuple[int, int]] = set(pairs)
+                descendants_of: Dict[int, List[Binding]] = {}
+                for m in child:
+                    descendants_of.setdefault(m[child_key], []).append(m)
+                merged: List[Binding] = []
+                seen: Set[frozenset] = set()
+                for m in current:
+                    anchor = m[parent_key]
+                    for d_pos, d_matches in descendants_of.items():
+                        if (anchor, d_pos) not in pair_set:
+                            continue
+                        for dm in d_matches:
+                            combined = {**m, **dm}
+                            key = frozenset(combined.items())
+                            if key not in seen:
+                                seen.add(key)
+                                merged.append(combined)
+                current = merged
+            joined[subtree_index] = current
+        return joined[0]

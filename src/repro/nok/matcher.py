@@ -1,0 +1,222 @@
+"""NPM — next-of-kin pattern matching (Algorithm 1), secure and not.
+
+Two entry points:
+
+- :func:`npm` — the literal ε-NoK Algorithm 1: existential matching of a
+  NoK pattern tree below a data node, appending data nodes bound to the
+  returning node to a result list. With ``access=None`` it degenerates to
+  the non-secure NPM.
+- :func:`match_nok_subtree` — the engine's workhorse: matches one NoK
+  subtree and *enumerates bindings* for its output nodes (subtree root,
+  AD-edge sources, returning node) so that structural joins can combine
+  fragments. Non-output branches are matched existentially, which keeps
+  the enumeration small.
+
+Both support *ordered* pattern trees (``ordered=True``): the paper
+presents the unordered variant "for ease of presentation only, though we
+use ordered pattern tree in real experiments" — under ordered semantics
+the children of a pattern node must bind to data siblings in pattern
+order (the following-sibling relationships of the next-of-kin model).
+
+Both operate over any store exposing the next-of-kin interface:
+``first_child(pos)``, ``following_sibling(pos)``, ``tag_name(pos)``,
+``text(pos)`` — i.e. :class:`~repro.xmltree.document.Document` or
+:class:`~repro.storage.nokstore.NoKStore`.
+
+Per the paper's semantics (Section 4.1), the *pre-condition* of the secure
+variants is that the data root passed in is itself accessible; recursion
+skips inaccessible children entirely.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, List, Optional
+
+from repro.nok.decompose import NoKSubtree
+from repro.nok.pattern import CHILD, PatternNode
+from repro.xmltree.document import NO_NODE
+
+AccessFn = Optional[Callable[[int], bool]]
+Binding = Dict[int, int]  # id(pattern node) -> document position
+
+
+def _child_axis_pairs(pnode: PatternNode):
+    """The pattern children connected by CHILD edges (NoK-internal)."""
+    return [
+        child
+        for child, axis in zip(pnode.children, pnode.axes)
+        if axis == CHILD
+    ]
+
+
+def _contains_returning(pnode: PatternNode) -> bool:
+    return any(node.is_returning for node in pnode.iter_nodes())
+
+
+def npm(store, proot: PatternNode, sroot: int, result: List[int], access: AccessFn = None) -> bool:
+    """Algorithm 1 (ε-NoK Pattern Matching, NPM).
+
+    Returns True iff the NoK pattern rooted at ``proot`` matches the data
+    subtree rooted at ``sroot``; data nodes matching the returning node are
+    appended to ``result`` in document order. Pre-condition: ``sroot`` has
+    already passed the tag/value test and, in secure mode, the ACCESS test.
+
+    As in the printed algorithm, a satisfied pattern child is removed from
+    the working set S — except that a branch containing the returning node
+    keeps being matched against later siblings so *all* answers are
+    reported, not just the first (the behaviour the paper's result counts
+    imply).
+    """
+    mark = len(result)
+    if proot.is_returning:
+        result.append(sroot)
+    children = _child_axis_pairs(proot)
+    if not children:
+        return True
+    satisfied = [False] * len(children)
+    keep_scanning = [_contains_returning(s) for s in children]
+    u = store.first_child(sroot)
+    while u != NO_NODE:
+        if all(satisfied) and not any(keep_scanning):
+            break
+        if access is None or access(u):
+            tag, text = store.tag_name(u), store.text(u)
+            for index, s in enumerate(children):
+                if satisfied[index] and not keep_scanning[index]:
+                    continue
+                if not s.matches(tag, text):
+                    continue
+                if s.attr_tests and not s.matches_attrs(store.attrs_of(u)):
+                    continue
+                if npm(store, s, u, result, access):
+                    satisfied[index] = True
+        u = store.following_sibling(u)
+    if not all(satisfied):
+        # Algorithm 1 resets R on failure; bindings added below this call
+        # are discarded so failed matches leak nothing.
+        del result[mark:]
+        return False
+    return True
+
+
+def match_nok_subtree(
+    store,
+    subtree: NoKSubtree,
+    data_pos: int,
+    access: AccessFn = None,
+    ordered: bool = False,
+) -> List[Binding]:
+    """Match one NoK subtree at ``data_pos``, enumerating output bindings.
+
+    Returns a list of binding dicts (empty list = no match). When the
+    subtree matches but has no output nodes below the root, the list is
+    ``[{root: data_pos}]``. The caller must have verified the tag/value
+    test and accessibility of ``data_pos``. With ``ordered=True`` the
+    pattern children must bind to data siblings in pattern order.
+    """
+    output_ids = {id(node) for node in subtree.output_nodes}
+    bindings = _enumerate(store, subtree.root, data_pos, output_ids, access, ordered)
+    return bindings if bindings is not None else []
+
+
+def _enumerate(
+    store,
+    pnode: PatternNode,
+    dpos: int,
+    output_ids: set,
+    access: AccessFn,
+    ordered: bool = False,
+) -> Optional[List[Binding]]:
+    """Recursive binding enumeration; None means no match."""
+    pattern_children = _child_axis_pairs(pnode)
+    if not pattern_children:
+        combined: List[Binding] = [{}]
+    else:
+        # Scan data children once, testing each against every pattern child.
+        # candidates[i] holds (data position, bindings) pairs for child i.
+        candidates: List[List] = [[] for _ in pattern_children]
+        u = store.first_child(dpos)
+        while u != NO_NODE:
+            if access is None or access(u):
+                tag, text = store.tag_name(u), store.text(u)
+                for index, s in enumerate(pattern_children):
+                    if not s.matches(tag, text):
+                        continue
+                    if s.attr_tests and not s.matches_attrs(store.attrs_of(u)):
+                        continue
+                    sub = _enumerate(store, s, u, output_ids, access, ordered)
+                    if sub is not None:
+                        candidates[index].append((u, sub))
+            u = store.following_sibling(u)
+        if any(not found for found in candidates):
+            return None
+        if ordered:
+            combined = _combine_ordered(candidates)
+            if not combined:
+                return None
+        else:
+            combined = _combine_unordered(candidates)
+
+    if id(pnode) in output_ids:
+        for binding in combined:
+            binding[id(pnode)] = dpos
+    return combined
+
+
+def _combine_unordered(candidates: List[List]) -> List[Binding]:
+    """Cartesian combination, collapsing binding-free branches."""
+    combined: List[Binding] = [{}]
+    for found in candidates:
+        flat = _dedupe([b for _u, subs in found for b in subs])
+        if flat == [{}]:
+            continue  # existential branch: contributes no bindings
+        combined = [
+            {**left, **right} for left, right in product(combined, flat)
+        ]
+    return combined
+
+
+def _combine_ordered(candidates: List[List]) -> List[Binding]:
+    """Combination requiring strictly increasing data-sibling positions.
+
+    Pattern child i must bind to a sibling positioned after pattern child
+    i-1's sibling — the following-sibling (next-of-kin) ordering.
+    """
+    memo = {}
+
+    def combine(index: int, min_pos: int) -> List[Binding]:
+        if index == len(candidates):
+            return [{}]
+        key = (index, min_pos)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        results: List[Binding] = []
+        for u, subs in candidates[index]:
+            if u <= min_pos:
+                continue
+            rest = combine(index + 1, u)
+            if not rest:
+                continue
+            for binding in subs:
+                for tail in rest:
+                    results.append({**binding, **tail})
+        results = _dedupe(results) if results else results
+        memo[key] = results
+        return results
+
+    return combine(0, -1)
+
+
+def _dedupe(bindings: List[Binding]) -> List[Binding]:
+    if len(bindings) <= 1:
+        return bindings
+    seen = set()
+    unique: List[Binding] = []
+    for binding in bindings:
+        key = frozenset(binding.items())
+        if key not in seen:
+            seen.add(key)
+            unique.append(binding)
+    return unique or [{}]

@@ -1,0 +1,297 @@
+"""PathStack: holistic path joins (Bruno, Koudas, Srivastava, SIGMOD'02).
+
+The structural-join family the paper builds on ([2], Section 4.2) has a
+holistic cousin: instead of joining ancestor/descendant lists pairwise,
+PathStack processes one sorted stream of candidates per query step and
+maintains a chain of linked stacks, producing every root-to-leaf solution
+of a *linear* path pattern in one pass.
+
+This module implements PathStack over the flattened document (streams come
+from the tag index; each element is its (start, end, level) region code —
+``(pos, subtree_end(pos), depth)`` in preorder numbering) and plugs into
+the query engine as an alternative strategy for path-shaped patterns,
+including the paper's join queries Q4–Q6. Secure evaluation filters the
+streams through the DOL before joining, mirroring ε-STD.
+
+Child (``/``) edges are enforced during solution enumeration (level and
+interval checks), the standard PathStack treatment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.nok.pattern import CHILD, PatternNode, PatternTree
+from repro.xmltree.document import Document
+
+AccessFn = Optional[Callable[[int], bool]]
+
+
+def linear_steps(pattern: PatternTree) -> Optional[List[Tuple[PatternNode, str]]]:
+    """The (node, incoming axis) steps of a linear pattern, or None.
+
+    A pattern is linear when every node has at most one child and carries
+    no value/attribute constraints beyond what streams can pre-filter
+    (tag, value, and attribute tests are all per-node, so any of them are
+    fine — branching is what PathStack cannot express).
+    """
+    steps: List[Tuple[PatternNode, str]] = []
+    node, axis = pattern.root, pattern.root_axis
+    while True:
+        steps.append((node, axis))
+        if not node.children:
+            break
+        if len(node.children) > 1:
+            return None
+        axis = node.axes[0]
+        node = node.children[0]
+    return steps
+
+
+class _StackEntry:
+    __slots__ = ("start", "end", "level", "parent_index")
+
+    def __init__(self, start: int, end: int, level: int, parent_index: int):
+        self.start = start
+        self.end = end
+        self.level = level
+        self.parent_index = parent_index  # index into the previous stack
+
+
+def path_stack(
+    doc: Document,
+    streams: Sequence[Sequence[int]],
+    axes: Sequence[str],
+    returning_index: int,
+) -> List[int]:
+    """Run PathStack; returns distinct positions bound to one step.
+
+    Parameters
+    ----------
+    streams:
+        One sorted position list per path step (root step first).
+    axes:
+        ``axes[i]`` is the axis *into* step i (``axes[0]`` is the root
+        axis and is not constrained here — callers pre-filter stream 0).
+    returning_index:
+        Which step's bindings form the answer.
+    """
+    answers: Set[int] = set()
+    for solution in path_stack_solutions(doc, streams, axes):
+        answers.add(solution[returning_index])
+    return sorted(answers)
+
+
+def path_stack_solutions(
+    doc: Document,
+    streams: Sequence[Sequence[int]],
+    axes: Sequence[str],
+) -> List[Tuple[int, ...]]:
+    """Run PathStack; returns every distinct full path solution.
+
+    Each solution is a tuple of data positions, one per step (root step
+    first). Used both for answer projection and for the path-merge twig
+    strategy.
+    """
+    n = len(streams)
+    if n == 0:
+        return []
+    cursors = [0] * n
+    stacks: List[List[_StackEntry]] = [[] for _ in range(n)]
+    answers: Set[Tuple[int, ...]] = set()
+
+    def current(i: int) -> Optional[int]:
+        return streams[i][cursors[i]] if cursors[i] < len(streams[i]) else None
+
+    while True:
+        qmin = None
+        min_start = None
+        for i in range(n):
+            start = current(i)
+            if start is not None and (min_start is None or start < min_start):
+                min_start = start
+                qmin = i
+        if qmin is None:
+            break
+
+        start = min_start
+        end = doc.subtree_end(start)
+        level = doc.depth[start]
+
+        # Clean: pop entries that cannot be ancestors of anything >= start.
+        for stack in stacks:
+            while stack and stack[-1].end <= start:
+                stack.pop()
+
+        cursors[qmin] += 1
+        if qmin > 0 and not stacks[qmin - 1]:
+            # No potential ancestor chain: skip this candidate.
+            continue
+        parent_index = len(stacks[qmin - 1]) - 1 if qmin > 0 else -1
+        stacks[qmin].append(_StackEntry(start, end, level, parent_index))
+
+        if qmin == n - 1:
+            _emit(stacks, axes, answers)
+            stacks[qmin].pop()
+
+    return sorted(answers)
+
+
+def _emit(
+    stacks: List[List[_StackEntry]],
+    axes: Sequence[str],
+    answers: Set[Tuple[int, ...]],
+) -> None:
+    """Enumerate solutions ending at the just-pushed leaf entry."""
+    n = len(stacks)
+    leaf = stacks[-1][-1]
+
+    def expand(step: int, entry: _StackEntry, chain: List[_StackEntry]) -> None:
+        chain.append(entry)
+        if step == 0:
+            answers.add(tuple(e.start for e in reversed(chain)))
+            chain.pop()
+            return
+        # entry's ancestors live in stacks[step-1][0 .. parent_index];
+        # pops since the entry was pushed can shorten the stack (recorded
+        # pointers may dangle), so clamp and re-check containment.
+        limit = min(entry.parent_index + 1, len(stacks[step - 1]))
+        for index in range(limit):
+            ancestor = stacks[step - 1][index]
+            if not (ancestor.start < entry.start < ancestor.end):
+                continue
+            if axes[step] == CHILD and ancestor.level != entry.level - 1:
+                continue
+            expand(step - 1, ancestor, chain)
+        chain.pop()
+
+    expand(n - 1, leaf, [])
+
+
+def _build_streams(
+    doc: Document,
+    steps: Sequence[Tuple[PatternNode, str]],
+    index,
+    access: AccessFn,
+) -> Tuple[List[List[int]], List[str]]:
+    """Sorted, pre-filtered candidate streams for a sequence of steps."""
+    streams: List[List[int]] = []
+    axes: List[str] = []
+    for i, (node, axis) in enumerate(steps):
+        if node.tag == "*":
+            positions = list(range(len(doc)))
+        elif node.value is not None:
+            positions = index.positions_with_value(node.tag, node.value)
+        else:
+            positions = index.positions(node.tag)
+        if node.value is not None:
+            positions = [p for p in positions if doc.text(p) == node.value]
+        if node.attr_tests:
+            positions = [
+                p for p in positions if node.matches_attrs(doc.attrs_of(p))
+            ]
+        if access is not None:
+            positions = [p for p in positions if access(p)]
+        if i == 0 and axis == CHILD:
+            positions = [p for p in positions if p == 0]
+        streams.append(positions)
+        axes.append(axis)
+    return streams, axes
+
+
+def evaluate_pathstack(
+    doc: Document,
+    pattern: PatternTree,
+    index,
+    access: AccessFn = None,
+) -> List[int]:
+    """Evaluate a linear pattern with PathStack; returns answer positions.
+
+    ``index`` is a tag index (``positions`` / ``positions_with_value``).
+    ``access`` pre-filters every stream — the secure variant: only
+    accessible nodes may participate in any binding (Cho semantics; pass a
+    visibility predicate for view semantics).
+    """
+    steps = linear_steps(pattern)
+    if steps is None:
+        raise ReproError("PathStack requires a linear (non-branching) pattern")
+    returning_index = next(
+        i for i, (node, _axis) in enumerate(steps) if node.is_returning
+    )
+    streams, axes = _build_streams(doc, steps, index, access)
+    return path_stack(doc, streams, axes, returning_index)
+
+
+def root_to_leaf_paths(
+    pattern: PatternTree,
+) -> List[List[Tuple[PatternNode, str]]]:
+    """Every root-to-leaf step sequence of a (possibly branching) pattern."""
+    paths: List[List[Tuple[PatternNode, str]]] = []
+
+    def walk(node: PatternNode, axis: str, prefix: List[Tuple[PatternNode, str]]):
+        extended = prefix + [(node, axis)]
+        if not node.children:
+            paths.append(extended)
+            return
+        for child, child_axis in zip(node.children, node.axes):
+            walk(child, child_axis, extended)
+
+    walk(pattern.root, pattern.root_axis, [])
+    return paths
+
+
+def evaluate_twig_paths(
+    doc: Document,
+    pattern: PatternTree,
+    index,
+    access: AccessFn = None,
+) -> List[int]:
+    """Holistic evaluation of an arbitrary twig: PathStack per root-to-leaf
+    path, then a hash-merge of path solutions on their shared bindings.
+
+    Matches the PathStack paper's twig treatment (decompose into paths,
+    merge path solutions); correct for any pattern the engine accepts,
+    under unordered semantics.
+    """
+    paths = root_to_leaf_paths(pattern)
+    merged: Optional[List[dict]] = None
+    for steps in paths:
+        streams, axes = _build_streams(doc, steps, index, access)
+        solutions = path_stack_solutions(doc, streams, axes)
+        dicts = [
+            {id(node): pos for (node, _axis), pos in zip(steps, solution)}
+            for solution in solutions
+        ]
+        if merged is None:
+            merged = dicts
+        else:
+            merged = _merge_join(merged, dicts)
+        if not merged:
+            return []
+
+    returning = id(pattern.returning_node)
+    return sorted({binding[returning] for binding in merged})
+
+
+def _merge_join(left: List[dict], right: List[dict]) -> List[dict]:
+    """Join two path-solution sets on their shared pattern nodes."""
+    if not left or not right:
+        return []
+    shared = sorted(set(left[0]) & set(right[0]))
+    buckets: dict = {}
+    for binding in right:
+        buckets.setdefault(
+            tuple(binding[key] for key in shared), []
+        ).append(binding)
+    out: List[dict] = []
+    seen: Set[frozenset] = set()
+    for binding in left:
+        key = tuple(binding[k] for k in shared)
+        for other in buckets.get(key, ()):
+            combined = {**binding, **other}
+            signature = frozenset(combined.items())
+            if signature not in seen:
+                seen.add(signature)
+                out.append(combined)
+    return out

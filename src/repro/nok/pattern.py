@@ -1,0 +1,239 @@
+"""Twig query pattern trees and the XPath-subset query parser.
+
+A twig query is a tree of :class:`PatternNode` objects connected by
+``child`` (``/``) or ``descendant`` (``//``) axes. One node is the
+*returning node*: data nodes bound to it form the query answer
+(Section 4.1). The supported syntax covers the paper's Table 1:
+
+- steps: ``/tag``, ``//tag``, ``*`` wildcards;
+- predicates: ``[relative/path]``, nestable, with ``//`` steps allowed;
+- value constraints: ``[payment = "Cash"]`` (text equality);
+- attribute tests: ``[@id]`` (existence) and ``[@id = "item3"]``.
+
+The returning node defaults to the last step of the main path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import QueryParseError
+
+CHILD = "child"
+DESCENDANT = "descendant"
+
+
+class PatternNode:
+    """One query node: a tag test, optional value test, and typed child edges."""
+
+    __slots__ = ("tag", "value", "attr_tests", "children", "axes", "is_returning")
+
+    def __init__(self, tag: str, value: Optional[str] = None):
+        if not tag:
+            raise QueryParseError("pattern node needs a tag (or '*')")
+        self.tag = tag
+        self.value = value
+        #: attribute name -> required value (None = existence test)
+        self.attr_tests: dict = {}
+        self.children: List["PatternNode"] = []
+        self.axes: List[str] = []  # parallel to children: CHILD / DESCENDANT
+        self.is_returning = False
+
+    def add_child(self, child: "PatternNode", axis: str) -> "PatternNode":
+        if axis not in (CHILD, DESCENDANT):
+            raise QueryParseError(f"invalid axis {axis!r}")
+        self.children.append(child)
+        self.axes.append(axis)
+        return child
+
+    def matches(self, tag: str, text: str) -> bool:
+        """Tag and value test against a data node."""
+        if self.tag != "*" and self.tag != tag:
+            return False
+        return self.value is None or self.value == text
+
+    def matches_attrs(self, attrs: dict) -> bool:
+        """Attribute tests against a data node's attribute dict."""
+        for name, required in self.attr_tests.items():
+            if name not in attrs:
+                return False
+            if required is not None and attrs[name] != required:
+                return False
+        return True
+
+    def iter_nodes(self):
+        """All pattern nodes in this subtree, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        marker = "*ret*" if self.is_returning else ""
+        return f"PatternNode({self.tag!r}{marker}, children={len(self.children)})"
+
+
+class PatternTree:
+    """A parsed twig query."""
+
+    def __init__(self, root: PatternNode, root_axis: str):
+        if root_axis not in (CHILD, DESCENDANT):
+            raise QueryParseError(f"invalid root axis {root_axis!r}")
+        self.root = root
+        self.root_axis = root_axis
+
+    @property
+    def returning_node(self) -> PatternNode:
+        for node in self.root.iter_nodes():
+            if node.is_returning:
+                return node
+        raise QueryParseError("pattern has no returning node")
+
+    def size(self) -> int:
+        return sum(1 for _ in self.root.iter_nodes())
+
+    def to_string(self) -> str:
+        """Serialize back to query syntax (canonical form)."""
+        return _node_to_string(self.root, self.root_axis, top=True)
+
+
+def _node_to_string(node: PatternNode, axis: str, top: bool = False) -> str:
+    prefix = "/" if axis == CHILD else "//"
+    out = prefix + node.tag
+    if node.value is not None:
+        out += f' = "{node.value}"'
+    for name, required in node.attr_tests.items():
+        if required is None:
+            out += f"[@{name}]"
+        else:
+            out += f'[@{name} = "{required}"]'
+    main_child: Optional[int] = None
+    for index, child in enumerate(node.children):
+        if _subtree_contains_returning(child):
+            main_child = index
+    for index, child in enumerate(node.children):
+        if index != main_child:
+            inner = _node_to_string(child, node.axes[index])
+            out += f"[{inner.lstrip('/') if node.axes[index] == CHILD else inner}]"
+    if main_child is not None:
+        out += _node_to_string(node.children[main_child], node.axes[main_child])
+    return out
+
+
+def _subtree_contains_returning(node: PatternNode) -> bool:
+    return any(n.is_returning for n in node.iter_nodes())
+
+
+# -- parser --------------------------------------------------------------------------
+
+
+class _Tokens:
+    """Cursor over a query string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        self._skip_ws()
+        return self.pos >= len(self.text)
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self, n: int = 1) -> str:
+        self._skip_ws()
+        return self.text[self.pos : self.pos + n]
+
+    def take(self, literal: str) -> bool:
+        self._skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise QueryParseError(
+                f"expected {literal!r} at offset {self.pos} in {self.text!r}"
+            )
+
+    def name(self) -> str:
+        self._skip_ws()
+        if self.pos < len(self.text) and self.text[self.pos] == "*":
+            self.pos += 1
+            return "*"
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_.-:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise QueryParseError(
+                f"expected a tag name at offset {start} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+    def quoted(self) -> str:
+        self._skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in "'\"":
+            raise QueryParseError(f"expected a quoted value at offset {self.pos}")
+        quote = self.text[self.pos]
+        end = self.text.find(quote, self.pos + 1)
+        if end == -1:
+            raise QueryParseError("unterminated quoted value")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return value
+
+
+def parse_query(query: str) -> PatternTree:
+    """Parse a twig query string into a :class:`PatternTree`."""
+    tokens = _Tokens(query)
+    root_axis = _read_axis(tokens, required=True)
+    root = _parse_step(tokens)
+    current = root
+    while not tokens.eof() and tokens.peek() == "/":
+        axis = _read_axis(tokens, required=True)
+        current = current.add_child(_parse_step(tokens), axis)
+    if not tokens.eof():
+        raise QueryParseError(
+            f"trailing input at offset {tokens.pos} in {query!r}"
+        )
+    current.is_returning = True
+    return PatternTree(root, root_axis)
+
+
+def _read_axis(tokens: _Tokens, required: bool) -> str:
+    if tokens.take("//"):
+        return DESCENDANT
+    if tokens.take("/"):
+        return CHILD
+    if required:
+        raise QueryParseError(f"query must start with '/' or '//': {tokens.text!r}")
+    return CHILD
+
+
+def _parse_step(tokens: _Tokens) -> PatternNode:
+    node = PatternNode(tokens.name())
+    if tokens.take("="):
+        node.value = tokens.quoted()
+    while tokens.take("["):
+        if tokens.take("@"):
+            name = tokens.name()
+            node.attr_tests[name] = tokens.quoted() if tokens.take("=") else None
+        else:
+            node.add_child(*_parse_predicate(tokens))
+        tokens.expect("]")
+    return node
+
+
+def _parse_predicate(tokens: _Tokens) -> "tuple[PatternNode, str]":
+    """Parse a relative path inside [...]; returns (subtree root, first axis)."""
+    first_axis = DESCENDANT if tokens.take("//") else (CHILD, tokens.take("/"))[0]
+    root = _parse_step(tokens)
+    current = root
+    while tokens.peek() == "/":
+        axis = _read_axis(tokens, required=True)
+        current = current.add_child(_parse_step(tokens), axis)
+    return root, first_axis

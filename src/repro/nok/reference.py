@@ -1,0 +1,130 @@
+"""Brute-force twig query evaluator — the correctness oracle for tests.
+
+Enumerates *all* binding tuples of a pattern tree against an in-memory
+document by exhaustive recursion, then applies the secure-semantics filter
+directly from the definition:
+
+- Cho semantics: keep a binding set iff every bound data node is accessible;
+- view semantics: keep it iff every bound node's entire root path is
+  accessible.
+
+This is exponential in the worst case and meant only for small documents;
+the engine's answers must always equal this evaluator's answers.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.nok.pattern import CHILD, PatternNode, PatternTree
+from repro.secure.semantics import CHO, VIEW
+from repro.xmltree.document import NO_NODE, Document
+
+Binding = Dict[int, int]
+
+
+def evaluate_reference(
+    doc: Document,
+    pattern: PatternTree,
+    masks: Optional[Sequence[int]] = None,
+    subject: Optional[int] = None,
+    semantics: str = CHO,
+    ordered: bool = False,
+) -> Set[int]:
+    """Distinct returning-node positions under the given semantics."""
+    bindings = enumerate_bindings(doc, pattern, masks, subject, semantics, ordered)
+    returning = id(pattern.returning_node)
+    return {binding[returning] for binding in bindings}
+
+
+def enumerate_bindings(
+    doc: Document,
+    pattern: PatternTree,
+    masks: Optional[Sequence[int]] = None,
+    subject: Optional[int] = None,
+    semantics: str = CHO,
+    ordered: bool = False,
+) -> List[Binding]:
+    """All distinct full binding tuples (pattern node → data position).
+
+    ``ordered=True`` additionally requires each pattern node's child-axis
+    children to bind to data children in strictly increasing document
+    order (ordered pattern trees; descendant-axis children are not
+    order-constrained, matching the engine's join semantics).
+    """
+    accessible = _access_predicate(doc, masks, subject, semantics)
+    if pattern.root_axis == CHILD:
+        starts = [0]
+    else:
+        starts = list(range(len(doc)))
+    results: List[Binding] = []
+    seen = set()
+    for pos in starts:
+        for binding in _match_all(doc, pattern.root, pos, accessible, ordered):
+            key = frozenset(binding.items())
+            if key not in seen:
+                seen.add(key)
+                results.append(binding)
+    return results
+
+
+def _access_predicate(doc, masks, subject, semantics):
+    if subject is None or masks is None:
+        return None
+    bit = 1 << subject
+    if semantics == CHO:
+        return lambda pos: bool(masks[pos] & bit)
+    if semantics == VIEW:
+        visible = [False] * len(doc)
+        for pos in range(len(doc)):
+            par = doc.parent[pos]
+            above = visible[par] if par != NO_NODE else True
+            visible[pos] = above and bool(masks[pos] & bit)
+        return lambda pos: visible[pos]
+    raise ValueError(f"unknown semantics {semantics!r}")
+
+
+def _match_all(
+    doc: Document,
+    pnode: PatternNode,
+    pos: int,
+    accessible,
+    ordered: bool = False,
+) -> List[Binding]:
+    if not pnode.matches(doc.tag_name(pos), doc.text(pos)):
+        return []
+    if pnode.attr_tests and not pnode.matches_attrs(doc.attrs_of(pos)):
+        return []
+    if accessible is not None and not accessible(pos):
+        return []
+    # (axis, child pattern node, [(candidate position, bindings)])
+    per_child: List[tuple] = []
+    for child, axis in zip(pnode.children, pnode.axes):
+        if axis == CHILD:
+            candidates = list(doc.children(pos))
+        else:
+            candidates = list(doc.descendants(pos))
+        found = []
+        for candidate in candidates:
+            subs = _match_all(doc, child, candidate, accessible, ordered)
+            if subs:
+                found.append((candidate, subs))
+        if not found:
+            return []
+        per_child.append((axis, child, found))
+
+    combined: List[tuple] = [({id(pnode): pos}, -1)]  # (binding, last child pos)
+    for axis, child, found in per_child:
+        next_combined: List[tuple] = []
+        for binding, last_pos in combined:
+            for candidate, subs in found:
+                if ordered and axis == CHILD and candidate <= last_pos:
+                    continue
+                new_last = candidate if axis == CHILD else last_pos
+                for sub in subs:
+                    next_combined.append(({**binding, **sub}, new_last))
+        combined = next_combined
+        if not combined:
+            return []
+    return [binding for binding, _last in combined]

@@ -1,0 +1,6 @@
+"""Secure query evaluation semantics and secure streaming dissemination."""
+
+from repro.secure.dissemination import HOIST, PRUNE, filter_xml
+from repro.secure.semantics import CHO, SEMANTICS, VIEW
+
+__all__ = ["CHO", "HOIST", "PRUNE", "SEMANTICS", "VIEW", "filter_xml"]

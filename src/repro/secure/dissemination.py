@@ -1,0 +1,136 @@
+"""Secure one-pass XML dissemination.
+
+The paper's conclusion points out that because DOL embeds access controls
+into the document encoding in document order, "many one-pass algorithms on
+streaming XML data can be made secure". This module implements the
+canonical such algorithm — selective dissemination: given raw XML text,
+a DOL, and a subject, emit the portion of the document the subject may
+see, in a single pass over the input event stream.
+
+Two filtering policies are provided, mirroring the two secure-evaluation
+semantics:
+
+- ``PRUNE`` (view semantics, Gabillon-Bruno): an inaccessible element is
+  removed together with its entire subtree.
+- ``HOIST`` (Cho-style): an inaccessible element is removed but its
+  accessible children are spliced into the nearest retained ancestor —
+  the transformation used by fine-grained dissemination systems that let
+  answers come from inside denied regions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dol.labeling import DOL
+from repro.errors import AccessControlError
+from repro.xmltree import parser
+from repro.xmltree.serializer import escape_attr, escape_text
+
+PRUNE = "prune"
+HOIST = "hoist"
+
+_POLICIES = (PRUNE, HOIST)
+
+
+def filter_xml(
+    xml_text: str,
+    dol: DOL,
+    subject: int,
+    policy: str = PRUNE,
+) -> str:
+    """Produce the XML a subject is allowed to see, in one pass.
+
+    The input is consumed as a SAX-like event stream; each start event is
+    matched to its document position (events arrive in document order, the
+    same order the DOL is keyed on) and checked against the DOL.
+
+    The output is a well-formed XML *fragment*: under ``PRUNE`` it is a
+    single element or empty; under ``HOIST`` hoisting can surface several
+    sibling roots (wrap it before re-parsing if a single document is
+    needed).
+    """
+    if policy not in _POLICIES:
+        raise AccessControlError(f"unknown dissemination policy {policy!r}")
+
+    out: List[str] = []
+    position = 0
+    # Per open element: its tag if kept, None if dropped.
+    stack: List[Optional[str]] = []
+    #: kept element whose start tag is buffered until we know whether it
+    #: is empty (lets us emit <tag/> like the serializer does)
+    pending: Optional[str] = None
+    prune_depth: Optional[int] = None  # depth at which a PRUNE cut began
+
+    def flush_pending() -> None:
+        nonlocal pending
+        if pending is not None:
+            out.append(f"<{pending[0]}{pending[1]}>")
+            pending = None
+
+    for kind, payload in parser.iterparse(xml_text):
+        if kind == parser.START:
+            tag, attrs = payload  # type: ignore[misc]
+            pos = position
+            position += 1
+            if prune_depth is not None:
+                stack.append(None)
+                continue
+            if pos >= dol.n_nodes:
+                raise AccessControlError(
+                    "document has more elements than the DOL covers"
+                )
+            if dol.accessible(subject, pos):
+                flush_pending()
+                attr_text = "".join(
+                    f' {name}="{escape_attr(value)}"'
+                    for name, value in attrs.items()  # type: ignore[union-attr]
+                )
+                pending = (tag, attr_text)
+                stack.append(tag)
+            elif policy == PRUNE:
+                prune_depth = len(stack)
+                stack.append(None)
+            else:  # HOIST: drop the element, keep descending
+                stack.append(None)
+        elif kind == parser.END:
+            kept = stack.pop()
+            if kept is not None:
+                if pending is not None and pending[0] == kept:
+                    out.append(f"<{pending[0]}{pending[1]}/>")
+                    pending = None
+                else:
+                    out.append(f"</{kept}>")
+            if prune_depth is not None and len(stack) == prune_depth:
+                prune_depth = None
+        else:  # TEXT belongs to the innermost open element
+            if prune_depth is None and stack and stack[-1] is not None:
+                flush_pending()
+                out.append(escape_text(str(payload)))
+
+    return "".join(out)
+
+
+def visible_positions(dol: DOL, subject: int, doc) -> List[int]:
+    """Positions surviving PRUNE filtering (view-visible nodes).
+
+    A node survives iff every node on its root path, itself included, is
+    accessible — the same set the :class:`~repro.nok.stdjoin.PathAccessIndex`
+    computes; exposed here for verification and tests.
+    """
+    visible: List[int] = []
+    flags = [False] * dol.n_nodes
+    for pos in range(dol.n_nodes):
+        par = doc.parent[pos]
+        above = flags[par] if par >= 0 else True
+        flags[pos] = above and dol.accessible(subject, pos)
+        if flags[pos]:
+            visible.append(pos)
+    return visible
+
+
+def hoisted_positions(dol: DOL, subject: int) -> List[int]:
+    """Positions surviving HOIST filtering: simply the accessible nodes."""
+    return [
+        pos for pos in range(dol.n_nodes) if dol.accessible(subject, pos)
+    ]

@@ -1,0 +1,149 @@
+"""LRU buffer pool over a :class:`~repro.storage.pager.Pager`.
+
+The pool serves page reads out of memory when possible and tracks both
+logical accesses and physical I/O, so experiments can verify claims like
+"accessibility checks require no additional I/O" and "inaccessible pages
+are never read".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+
+
+@dataclass
+class BufferStats:
+    """Counters of buffer pool activity."""
+
+    logical_reads: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.logical_reads if self.logical_reads else 0.0
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writes = 0
+
+
+class BufferPool:
+    """A bounded LRU cache of page frames with write-back on eviction."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        capacity: int = 64,
+        on_evict: Optional[Callable[[int], None]] = None,
+    ):
+        if capacity < 1:
+            raise StorageError("buffer pool needs at least one frame")
+        self.pager = pager
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self.on_evict = on_evict
+        self._frames: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: Dict[int, bool] = {}
+
+    def touch(self, page_id: int) -> bool:
+        """Record a logical access; True iff the page was resident.
+
+        Callers that keep their own decoded view of a resident page use
+        this to account for the access without copying the frame bytes.
+        A miss is *not* serviced — follow up with :meth:`get`.
+        """
+        self.stats.logical_reads += 1
+        if page_id in self._frames:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def get(self, page_id: int) -> bytes:
+        """Return page contents, reading from the pager on a miss."""
+        self.stats.logical_reads += 1
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return bytes(frame)
+        self.stats.misses += 1
+        data = self.pager.read_page(page_id)
+        self._admit(page_id, bytearray(data), dirty=False)
+        return data
+
+    def fetch(self, page_id: int) -> bytes:
+        """Service a miss previously recorded by :meth:`touch`.
+
+        Performs the physical read and admits the frame without counting a
+        second logical access.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            return bytes(frame)
+        data = self.pager.read_page(page_id)
+        self._admit(page_id, bytearray(data), dirty=False)
+        return data
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Install new page contents in the pool (write-back later)."""
+        if len(data) != self.pager.page_size:
+            raise StorageError("page data has the wrong size")
+        if page_id in self._frames:
+            self._frames[page_id][:] = data
+            self._frames.move_to_end(page_id)
+            self._dirty[page_id] = True
+        else:
+            self._admit(page_id, bytearray(data), dirty=True)
+
+    def flush(self, page_id: int) -> None:
+        """Write one dirty page through to the pager."""
+        if self._dirty.get(page_id):
+            self.pager.write_page(page_id, bytes(self._frames[page_id]))
+            self.stats.dirty_writes += 1
+            self._dirty[page_id] = False
+
+    def flush_all(self) -> None:
+        """Write all dirty pages through to the pager."""
+        for page_id in list(self._frames):
+            self.flush(page_id)
+
+    def clear(self) -> None:
+        """Flush and drop every frame (cold cache)."""
+        self.flush_all()
+        if self.on_evict is not None:
+            for page_id in self._frames:
+                self.on_evict(page_id)
+        self._frames.clear()
+        self._dirty.clear()
+
+    def resident(self, page_id: int) -> bool:
+        """True if the page is currently cached (no I/O to read it)."""
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def _admit(self, page_id: int, frame: bytearray, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity:
+            victim, victim_frame = self._frames.popitem(last=False)
+            if self._dirty.pop(victim, False):
+                self.pager.write_page(victim, bytes(victim_frame))
+                self.stats.dirty_writes += 1
+            self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        self._frames[page_id] = frame
+        self._dirty[page_id] = dirty

@@ -1,0 +1,134 @@
+"""Succinct document-order structure encoding.
+
+The NoK storage scheme serializes the data tree by listing nodes in
+document order with markup for subtree nesting; the paper's example is
+``(a(b)(c)(d)(e(f)(g)(h(i)(j)(k)(l))))``, further compacted by dropping the
+redundant open parentheses. This module provides:
+
+- :func:`to_structure_string` / :func:`parse_structure_string` — the
+  human-readable succinct form, used for validation and round-trip tests;
+- :class:`NodeEntry` and its fixed-width binary codec — the per-node record
+  actually stored in pages by :class:`~repro.storage.nokstore.NoKStore`
+  (tag id, depth, subtree size, embedded access control code + transition
+  flag).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import PageFormatError, StorageError
+from repro.xmltree.document import Document, TagDictionary
+
+
+def to_structure_string(doc: Document, compact: bool = False) -> str:
+    """Serialize the document structure as a parenthesized tag string.
+
+    ``compact=True`` drops the open parentheses (they are redundant given
+    the tag names), matching the footnoted optimization in Section 3.1:
+    ``a b) c) d) e f) g) h i) j) k) l)))))`` for the paper's example — we
+    keep single spaces as tag delimiters.
+    """
+    parts: List[str] = []
+    # Iterative preorder with explicit close markers, safe on deep documents.
+    stack: List[Tuple[int, bool]] = [(0, False)]
+    while stack:
+        pos, closed = stack.pop()
+        if closed:
+            parts.append(")")
+            continue
+        if compact:
+            parts.append(doc.tag_name(pos) + " ")
+        else:
+            parts.append("(" + doc.tag_name(pos))
+        stack.append((pos, True))
+        for child in reversed(list(doc.children(pos))):
+            stack.append((child, False))
+    return "".join(parts)
+
+
+def parse_structure_string(text: str) -> Document:
+    """Rebuild a (structure-only) document from the parenthesized form."""
+    tags: List[int] = []
+    parent: List[int] = []
+    subtree: List[int] = []
+    depth: List[int] = []
+    tag_dict = TagDictionary()
+
+    stack: List[int] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "(":
+            j = i + 1
+            while j < n and text[j] not in "()":
+                j += 1
+            name = text[i + 1 : j].strip()
+            if not name:
+                raise StorageError(f"missing tag name at offset {i}")
+            if not stack and tags:
+                raise StorageError(f"second root element at offset {i}")
+            pos = len(tags)
+            tags.append(tag_dict.intern(name))
+            parent.append(stack[-1] if stack else -1)
+            subtree.append(1)
+            depth.append(len(stack))
+            stack.append(pos)
+            i = j
+        elif ch == ")":
+            if not stack:
+                raise StorageError(f"unbalanced ')' at offset {i}")
+            stack.pop()
+            i += 1
+        elif ch.isspace():
+            i += 1
+        else:
+            raise StorageError(f"unexpected character {ch!r} at offset {i}")
+    if stack:
+        raise StorageError("unbalanced structure string: unclosed subtrees")
+    if not tags:
+        raise StorageError("empty structure string")
+
+    for pos in range(len(tags) - 1, 0, -1):
+        subtree[parent[pos]] += subtree[pos]
+    texts = [""] * len(tags)
+    return Document(tags, parent, subtree, depth, texts, tag_dict)
+
+
+#: Binary layout of one node entry: tag id (u16), depth (u16), subtree size
+#: (u32), access control code (u16), flags (u8, bit 0 = transition node),
+#: one pad byte. Little-endian, 12 bytes.
+_ENTRY = struct.Struct("<HHIHBx")
+ENTRY_SIZE = _ENTRY.size
+FLAG_TRANSITION = 0x01
+
+
+@dataclass(frozen=True)
+class NodeEntry:
+    """One fixed-width node record as stored in a page."""
+
+    tag_id: int
+    depth: int
+    subtree: int
+    code: int
+    is_transition: bool
+
+    def pack(self) -> bytes:
+        """Encode to the 12-byte on-page representation."""
+        flags = FLAG_TRANSITION if self.is_transition else 0
+        try:
+            return _ENTRY.pack(self.tag_id, self.depth, self.subtree, self.code, flags)
+        except struct.error as exc:
+            raise PageFormatError(f"entry field out of range: {exc}") from exc
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "NodeEntry":
+        """Decode from the on-page representation."""
+        try:
+            tag_id, depth, subtree, code, flags = _ENTRY.unpack_from(data, offset)
+        except struct.error as exc:
+            raise PageFormatError(f"truncated node entry: {exc}") from exc
+        return cls(tag_id, depth, subtree, code, bool(flags & FLAG_TRANSITION))

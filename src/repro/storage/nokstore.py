@@ -1,0 +1,442 @@
+"""The integrated NoK + DOL physical store (Section 3.2).
+
+A :class:`NoKStore` lays a flattened document out on fixed-size pages in
+document order. Each page holds fixed-width :class:`NodeEntry` records (tag,
+depth, subtree size) with the DOL access control codes *embedded*: a node
+that is a transition node carries its code in its entry, and the first node
+of every page is treated as a transition node regardless (its code also
+lives in the page header, mirrored in memory).
+
+Consequences, each measurable through the I/O counters:
+
+- an accessibility check for a node whose page is already loaded costs no
+  I/O (the governing transition is on the same page);
+- a page whose header code denies the subject and whose change bit is clear
+  can be skipped entirely;
+- an accessibility update to a subtree of N nodes rewrites only the
+  ~N/B pages that hold it (update locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dol.labeling import DOL
+from repro.dol.updates import DOLUpdater
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.encoding import ENTRY_SIZE, NodeEntry
+from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+from repro.xmltree.document import NO_NODE, Document
+
+
+@dataclass
+class _DecodedPage:
+    """Cached decoded view of one page: entries + running access codes."""
+
+    entries: List[NodeEntry]
+    codes: List[int]  # access control code in effect at each offset
+
+
+@dataclass
+class UpdateCost:
+    """Physical cost report for a store update."""
+
+    pages_rewritten: int
+    transition_delta: int
+
+
+class NoKStore:
+    """Block-oriented document store with embedded DOL access codes."""
+
+    def __init__(
+        self,
+        doc: Document,
+        dol: DOL,
+        path: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 64,
+        paged_values: bool = False,
+    ):
+        if dol.n_nodes != len(doc):
+            raise StorageError("DOL and document disagree on node count")
+        if len(dol.codebook) > 0xFFFF:
+            raise StorageError("codebook too large for u16 embedded codes")
+        self.doc = doc
+        self.dol = dol
+        self.page_size = page_size
+        self.entries_per_page = (page_size - HEADER_SIZE) // ENTRY_SIZE
+        if self.entries_per_page < 1:
+            raise StorageError("page size too small for even one node entry")
+        self.pager = Pager(path, page_size)
+        self._decoded: Dict[int, _DecodedPage] = {}
+        self.buffer = BufferPool(
+            self.pager,
+            buffer_capacity,
+            on_evict=lambda page_id: self._decoded.pop(page_id, None),
+        )
+        self.headers = PageHeaderTable()
+        self.values = None
+        if paged_values:
+            from repro.storage.valuestore import ValueStore
+
+            self.values = ValueStore(
+                doc.texts,
+                path=path + ".values" if path else None,
+                page_size=page_size,
+            )
+        self._build()
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        doc: Document,
+        dol: DOL,
+        pager,
+        headers: PageHeaderTable,
+        buffer_capacity: int = 64,
+    ) -> "NoKStore":
+        """Wrap already-written pages (used when reopening a saved store)."""
+        if dol.n_nodes != len(doc):
+            raise StorageError("DOL and document disagree on node count")
+        store = cls.__new__(cls)
+        store.doc = doc
+        store.dol = dol
+        store.page_size = pager.page_size
+        store.entries_per_page = (pager.page_size - HEADER_SIZE) // ENTRY_SIZE
+        store.pager = pager
+        store._decoded = {}
+        store.buffer = BufferPool(
+            pager,
+            buffer_capacity,
+            on_evict=lambda page_id: store._decoded.pop(page_id, None),
+        )
+        store.headers = headers
+        store.values = None
+        store._n_data_pages = len(headers)
+        return store
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.doc)
+
+    @property
+    def n_pages(self) -> int:
+        """Pages currently holding document data.
+
+        May be fewer than the pager's allocated pages after a shrinking
+        structural update (page files do not shrink in place).
+        """
+        return self._n_data_pages
+
+    def page_of(self, pos: int) -> int:
+        """Page index holding document position ``pos``."""
+        self._check(pos)
+        return pos // self.entries_per_page
+
+    def _build(self) -> None:
+        n = self.n_nodes
+        self._n_data_pages = 0
+        for first in range(0, n, self.entries_per_page):
+            page_id = self.pager.allocate()
+            data, header = self._render_page_bytes(first)
+            self.pager.write_page(page_id, data)
+            self.headers.append(header)
+            self._n_data_pages += 1
+        self.reset_io_stats()
+
+    def _render_page_bytes(self, first: int) -> "tuple[bytes, PageHeader]":
+        doc, dol = self.doc, self.dol
+        last = min(first + self.entries_per_page, self.n_nodes)
+        change_bit = False
+        parts: List[bytes] = []
+        for pos in range(first, last):
+            is_transition = dol.is_transition(pos)
+            if pos == first:
+                code = dol.code_at(pos)
+                entry_transition = True
+            else:
+                code = dol.code_at(pos) if is_transition else 0
+                entry_transition = is_transition
+                change_bit = change_bit or is_transition
+            parts.append(
+                NodeEntry(
+                    tag_id=doc.tags[pos],
+                    depth=doc.depth[pos],
+                    subtree=doc.subtree[pos],
+                    code=code,
+                    is_transition=entry_transition,
+                ).pack()
+            )
+        n_entries = last - first
+        header = PageHeader(
+            first_code=self.dol.code_at(first),
+            change_bit=change_bit,
+            n_entries=n_entries,
+        )
+        body = b"".join(parts)
+        padding = bytes(self.page_size - HEADER_SIZE - len(body))
+        return header.pack() + body + padding, header
+
+    # -- page access ---------------------------------------------------------------
+
+    def _page(self, page_id: int) -> _DecodedPage:
+        decoded = self._decoded.get(page_id)
+        resident = self.buffer.touch(page_id)
+        if decoded is not None and resident:
+            return decoded
+        data = self.buffer.fetch(page_id)
+        decoded = self._decode(data)
+        self._decoded[page_id] = decoded
+        return decoded
+
+    def _decode(self, data: bytes) -> _DecodedPage:
+        header = PageHeader.unpack(data)
+        entries: List[NodeEntry] = []
+        codes: List[int] = []
+        current = header.first_code
+        offset = HEADER_SIZE
+        for _ in range(header.n_entries):
+            entry = NodeEntry.unpack(data, offset)
+            if entry.is_transition:
+                current = entry.code
+            entries.append(entry)
+            codes.append(current)
+            offset += ENTRY_SIZE
+        return _DecodedPage(entries, codes)
+
+    def entry(self, pos: int) -> NodeEntry:
+        """The stored record for position ``pos`` (loads its page)."""
+        self._check(pos)
+        page = self._page(pos // self.entries_per_page)
+        return page.entries[pos % self.entries_per_page]
+
+    # -- navigation (the next-of-kin primitives) -------------------------------------
+
+    def tag_id(self, pos: int) -> int:
+        return self.entry(pos).tag_id
+
+    def tag_name(self, pos: int) -> str:
+        return self.doc.tag_dict.name_of(self.entry(pos).tag_id)
+
+    def text(self, pos: int) -> str:
+        """Node text, from the separate NoK value store.
+
+        With ``paged_values=True`` the value pages go through their own
+        buffer pool (I/O-accounted); otherwise values are served from
+        memory.
+        """
+        self._check(pos)
+        if self.values is not None:
+            return self.values.text(pos)
+        return self.doc.texts[pos]
+
+    def attrs_of(self, pos: int):
+        """Node attributes (served with the value store's metadata)."""
+        self._check(pos)
+        return self.doc.attrs[pos]
+
+    def first_child(self, pos: int) -> int:
+        """FIRST-CHILD of Algorithm 1; ``NO_NODE`` for leaves."""
+        return pos + 1 if self.entry(pos).subtree > 1 else NO_NODE
+
+    def following_sibling(self, pos: int) -> int:
+        """FOLLOWING-SIBLING of Algorithm 1; ``NO_NODE`` at the end."""
+        here = self.entry(pos)
+        nxt = pos + here.subtree
+        if nxt >= self.n_nodes:
+            return NO_NODE
+        return nxt if self.entry(nxt).depth == here.depth else NO_NODE
+
+    def subtree_end(self, pos: int) -> int:
+        return pos + self.entry(pos).subtree
+
+    # -- access control (Section 3.3) ---------------------------------------------
+
+    def access_code_at(self, pos: int) -> int:
+        """Access control code governing ``pos``.
+
+        Found on the node's own page (the first node of every page is a
+        transition node), so this never costs I/O beyond the page that the
+        caller is already reading.
+        """
+        self._check(pos)
+        page = self._page(pos // self.entries_per_page)
+        return page.codes[pos % self.entries_per_page]
+
+    def accessible(self, subject: int, pos: int) -> bool:
+        """ACCESS of Algorithm 1."""
+        return self.dol.codebook.accessible(self.access_code_at(pos), subject)
+
+    def accessible_any(self, subjects, pos: int) -> bool:
+        """User-level ACCESS: true if any of the subjects is granted."""
+        mask = self.dol.codebook.decode(self.access_code_at(pos))
+        return any(mask >> subject & 1 for subject in subjects)
+
+    def page_fully_inaccessible(self, page_id: int, subject: int) -> bool:
+        """Header-only page-skip test — costs no I/O."""
+        return self.headers.page_fully_inaccessible(page_id, subject, self.dol.codebook)
+
+    def page_fully_inaccessible_any(self, page_id: int, subjects) -> bool:
+        """Page-skip test for a user holding several subjects."""
+        return all(
+            self.headers.page_fully_inaccessible(page_id, subject, self.dol.codebook)
+            for subject in subjects
+        )
+
+    def subtree_fully_inaccessible(self, pos: int, subject: int) -> bool:
+        """True if every page covering the subtree can be header-skipped.
+
+        A sufficient (not necessary) condition used by the secure matcher
+        to avoid reading pages of entirely inaccessible regions.
+        """
+        self._check(pos)
+        first_page = pos // self.entries_per_page
+        last = self.doc.subtree_end(pos) - 1
+        last_page = last // self.entries_per_page
+        return all(
+            self.page_fully_inaccessible(page_id, subject)
+            for page_id in range(first_page, last_page + 1)
+        )
+
+    # -- updates (Section 3.4) -------------------------------------------------------
+
+    def update_subject_range(
+        self, start: int, end: int, subject: int, value: bool
+    ) -> UpdateCost:
+        """Grant/revoke a subject over [start, end) and rewrite its pages."""
+        updater = DOLUpdater(self.dol)
+        delta = updater.set_subject_accessibility(start, end, subject, value)
+        pages = self._rewrite_range(start, end)
+        return UpdateCost(pages_rewritten=pages, transition_delta=delta)
+
+    def update_range_mask(self, start: int, end: int, mask: int) -> UpdateCost:
+        """Replace the ACL of [start, end) and rewrite its pages."""
+        updater = DOLUpdater(self.dol)
+        delta = updater.set_range_mask(start, end, mask)
+        pages = self._rewrite_range(start, end)
+        return UpdateCost(pages_rewritten=pages, transition_delta=delta)
+
+    def _rewrite_range(self, start: int, end: int) -> int:
+        """Re-render every page overlapping [start, end]; returns the count.
+
+        ``end`` is included because the update may materialize a boundary
+        transition at position ``end``.
+        """
+        if len(self.dol.codebook) > 0xFFFF:
+            raise StorageError("codebook overflow after update")
+        first_page = start // self.entries_per_page
+        last_pos = min(end, self.n_nodes - 1)
+        last_page = last_pos // self.entries_per_page
+        for page_id in range(first_page, last_page + 1):
+            data, header = self._render_page_bytes(page_id * self.entries_per_page)
+            self.buffer.put(page_id, data)
+            self.buffer.flush(page_id)
+            self.headers.set(page_id, header)
+            self._decoded.pop(page_id, None)
+        return last_page - first_page + 1
+
+    def apply_structural_update(self, new_doc: Document, from_pos: int) -> int:
+        """Install an edited document, rewriting pages from ``from_pos`` on.
+
+        The caller (``SecuredDocument``) has already spliced ``self.dol``
+        to match ``new_doc``. Node entries at positions >= ``from_pos``
+        shifted, so every page from ``from_pos``'s page to the new end is
+        re-rendered — the physical cost of a structural update. Returns
+        the number of pages rewritten.
+        """
+        if self.dol.n_nodes != len(new_doc):
+            raise StorageError("DOL and edited document disagree on node count")
+        self.doc = new_doc
+        if self.values is not None:
+            # Value records shifted with the structure: rebuild the heap.
+            from repro.storage.valuestore import ValueStore
+
+            old_path = self.values.pager.path
+            self.values.close()
+            self.values = ValueStore(
+                new_doc.texts, path=old_path, page_size=self.page_size
+            )
+        first_page = min(from_pos, max(len(new_doc) - 1, 0)) // self.entries_per_page
+        needed = -(-len(new_doc) // self.entries_per_page)
+        while self.pager.n_pages < needed:
+            self.pager.allocate()
+        while len(self.headers) < needed:
+            self.headers.append(PageHeader(0, False, 0))
+        for page_id in range(first_page, needed):
+            data, header = self._render_page_bytes(page_id * self.entries_per_page)
+            self.buffer.put(page_id, data)
+            self.buffer.flush(page_id)
+            self.headers.set(page_id, header)
+            self._decoded.pop(page_id, None)
+        if needed < self._n_data_pages:
+            for stale in range(needed, self._n_data_pages):
+                self._decoded.pop(stale, None)
+            self.headers.truncate(needed)
+        self._n_data_pages = needed
+        return needed - first_page
+
+    def verify(self) -> None:
+        """Integrity check: pages must agree with the document and DOL.
+
+        Re-reads every page (bypassing caches) and cross-checks each
+        entry's structure fields and running access code. Raises
+        :class:`StorageError` on the first discrepancy — the tool to run
+        after a crash or a suspected corruption.
+        """
+        doc, dol = self.doc, self.dol
+        pos = 0
+        for page_id in range(self.n_pages):
+            data = self.pager.read_page(page_id)
+            decoded = self._decode(data)
+            header = self.headers.get(page_id)
+            if header.n_entries != len(decoded.entries):
+                raise StorageError(f"page {page_id}: header entry-count drift")
+            if decoded.codes and header.first_code != decoded.codes[0]:
+                raise StorageError(f"page {page_id}: header code drift")
+            for offset, entry in enumerate(decoded.entries):
+                if entry.tag_id != doc.tags[pos]:
+                    raise StorageError(f"position {pos}: tag drift")
+                if entry.depth != doc.depth[pos]:
+                    raise StorageError(f"position {pos}: depth drift")
+                if entry.subtree != doc.subtree[pos]:
+                    raise StorageError(f"position {pos}: subtree drift")
+                if decoded.codes[offset] != dol.code_at(pos):
+                    raise StorageError(f"position {pos}: access code drift")
+                pos += 1
+        if pos != self.n_nodes:
+            raise StorageError(
+                f"pages hold {pos} entries, document has {self.n_nodes}"
+            )
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def reset_io_stats(self) -> None:
+        """Zero both logical and physical counters (e.g. after the build)."""
+        self.pager.stats.reset()
+        self.buffer.stats.reset()
+
+    def drop_caches(self) -> None:
+        """Flush and empty the buffer pool and decode cache (cold start)."""
+        self.buffer.clear()
+        self._decoded.clear()
+
+    def close(self) -> None:
+        self.buffer.flush_all()
+        self.pager.close()
+        if self.values is not None:
+            self.values.close()
+
+    def __enter__(self) -> "NoKStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check(self, pos: int) -> None:
+        if not 0 <= pos < self.n_nodes:
+            raise StorageError(f"position {pos} out of range")

@@ -1,0 +1,144 @@
+"""Fixed-size page storage with physical I/O accounting.
+
+A :class:`Pager` exposes a flat array of pages, backed either by a real
+file on disk or by an in-memory buffer (useful for tests and benchmarks
+that should not depend on filesystem speed). Every physical read and write
+is counted; the buffer pool sits on top and adds caching.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import StorageError
+
+DEFAULT_PAGE_SIZE = 4096  # the paper's experiments use 4 KB pages
+
+
+@dataclass
+class PagerStats:
+    """Counters of physical page operations."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+
+class Pager:
+    """An array of fixed-size pages backed by a file or by memory."""
+
+    def __init__(self, path: Optional[str] = None, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size < 64:
+            raise StorageError("page size must be at least 64 bytes")
+        self.page_size = page_size
+        self.path = path
+        self.stats = PagerStats()
+        self._n_pages = 0
+        self._file = None
+        self._memory: Optional[bytearray] = None
+        if path is None:
+            self._memory = bytearray()
+        else:
+            self._file = open(path, "w+b")
+
+    @classmethod
+    def open_existing(cls, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "Pager":
+        """Attach to an existing page file without truncating it."""
+        pager = cls.__new__(cls)
+        if page_size < 64:
+            raise StorageError("page size must be at least 64 bytes")
+        pager.page_size = page_size
+        pager.path = path
+        pager.stats = PagerStats()
+        pager._memory = None
+        pager._file = open(path, "r+b")
+        pager._file.seek(0, os.SEEK_END)
+        size = pager._file.tell()
+        if size % page_size:
+            raise StorageError(
+                f"file size {size} is not a multiple of the page size {page_size}"
+            )
+        pager._n_pages = size // page_size
+        return pager
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and release the backing file, if any."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- operations ---------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        """Number of allocated pages."""
+        return self._n_pages
+
+    def allocate(self) -> int:
+        """Allocate a zeroed page at the end; returns its page id."""
+        page_id = self._n_pages
+        self._n_pages += 1
+        self.stats.allocations += 1
+        zero = bytes(self.page_size)
+        if self._memory is not None:
+            self._memory.extend(zero)
+        else:
+            assert self._file is not None
+            self._file.seek(page_id * self.page_size)
+            self._file.write(zero)
+        return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        """Physically read one page."""
+        self._check(page_id)
+        self.stats.reads += 1
+        offset = page_id * self.page_size
+        if self._memory is not None:
+            return bytes(self._memory[offset : offset + self.page_size])
+        assert self._file is not None
+        self._file.seek(offset)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read on page {page_id}")
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Physically write one page."""
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page data must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        self.stats.writes += 1
+        offset = page_id * self.page_size
+        if self._memory is not None:
+            self._memory[offset : offset + self.page_size] = data
+        else:
+            assert self._file is not None
+            self._file.seek(offset)
+            self._file.write(data)
+
+    def sync(self) -> None:
+        """Force file contents to stable storage."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < self._n_pages:
+            raise StorageError(f"page id {page_id} out of range")

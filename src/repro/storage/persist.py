@@ -1,0 +1,137 @@
+"""Persistence: save and reopen a :class:`~repro.storage.nokstore.NoKStore`.
+
+The page file already holds the document structure and the embedded DOL
+transition codes; what it cannot hold is the in-memory state the paper
+keeps alongside it — the codebook, the tag dictionary, and the NoK value
+store (node texts). :func:`save_store` writes those to a JSON *catalog*
+next to the page file; :func:`open_store` reads both back, reconstructing
+the flattened document (parents from depths, a stack-based linear pass)
+and the DOL (real transitions are entries whose code differs from the
+running code — page-initial pseudo-transitions are filtered out) directly
+from the on-disk pages.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from repro.dol.codebook import Codebook
+from repro.dol.labeling import DOL
+from repro.errors import StorageError
+from repro.storage.encoding import ENTRY_SIZE, NodeEntry
+from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
+from repro.storage.nokstore import NoKStore
+from repro.storage.pager import Pager
+from repro.xmltree.document import NO_NODE, Document, TagDictionary
+
+CATALOG_VERSION = 1
+
+
+def catalog_path_for(path: str) -> str:
+    """Default sidecar catalog location for a page file."""
+    return path + ".catalog.json"
+
+
+def save_store(store: NoKStore, catalog_path: str = None) -> str:
+    """Persist a file-backed store's in-memory state; returns the path."""
+    if store.pager.path is None:
+        raise StorageError("only file-backed stores can be saved")
+    store.buffer.flush_all()
+    store.pager.sync()
+
+    doc = store.doc
+    catalog = {
+        "version": CATALOG_VERSION,
+        "page_size": store.page_size,
+        "n_nodes": store.n_nodes,
+        "n_pages": store.n_pages,
+        "n_subjects": store.dol.codebook.n_subjects,
+        "tags": [doc.tag_dict.name_of(i) for i in range(len(doc.tag_dict))],
+        "texts": doc.texts,
+        "codebook": [f"{mask:x}" for _code, mask in store.dol.codebook.entries()],
+    }
+    catalog_path = catalog_path or catalog_path_for(store.pager.path)
+    with open(catalog_path, "w", encoding="utf-8") as handle:
+        json.dump(catalog, handle)
+    return catalog_path
+
+
+def open_store(
+    path: str, catalog_path: str = None, buffer_capacity: int = 64
+) -> NoKStore:
+    """Reopen a saved store: pages from disk, catalog from the sidecar."""
+    catalog_path = catalog_path or catalog_path_for(path)
+    if not os.path.exists(catalog_path):
+        raise StorageError(f"missing catalog {catalog_path}")
+    with open(catalog_path, "r", encoding="utf-8") as handle:
+        catalog = json.load(handle)
+    if catalog.get("version") != CATALOG_VERSION:
+        raise StorageError(f"unsupported catalog version {catalog.get('version')}")
+
+    page_size = catalog["page_size"]
+    n_nodes = catalog["n_nodes"]
+    n_pages = catalog["n_pages"]
+    pager = Pager.open_existing(path, page_size)
+    if pager.n_pages < n_pages:
+        raise StorageError("page file shorter than the catalog records")
+
+    # Rebuild the codebook.
+    codebook = Codebook(catalog["n_subjects"])
+    for mask_hex in catalog["codebook"]:
+        codebook.encode(int(mask_hex, 16))
+
+    # One pass over the pages: rebuild document arrays, headers, and DOL.
+    tag_dict = TagDictionary()
+    for name in catalog["tags"]:
+        tag_dict.intern(name)
+    texts = list(catalog["texts"])
+    if len(texts) != n_nodes:
+        raise StorageError("catalog texts do not match the node count")
+
+    tags: List[int] = []
+    depth: List[int] = []
+    subtree: List[int] = []
+    parent: List[int] = []
+    stack: List[int] = []  # positions of open ancestors
+    headers = PageHeaderTable()
+    positions: List[int] = []
+    codes: List[int] = []
+    running_code = None
+
+    pos = 0
+    for page_id in range(n_pages):
+        data = pager.read_page(page_id)
+        header = PageHeader.unpack(data)
+        headers.append(header)
+        offset = HEADER_SIZE
+        for index in range(header.n_entries):
+            entry = NodeEntry.unpack(data, offset)
+            offset += ENTRY_SIZE
+            tags.append(entry.tag_id)
+            depth.append(entry.depth)
+            subtree.append(entry.subtree)
+            while len(stack) > entry.depth:
+                stack.pop()
+            parent.append(stack[-1] if stack else NO_NODE)
+            stack.append(pos)
+            if entry.is_transition and entry.code != running_code:
+                positions.append(pos)
+                codes.append(entry.code)
+                running_code = entry.code
+            pos += 1
+    if pos != n_nodes:
+        raise StorageError(
+            f"pages hold {pos} entries but the catalog records {n_nodes}"
+        )
+
+    doc = Document(tags, parent, subtree, depth, texts, tag_dict)
+    doc.validate()
+    dol = DOL(n_nodes, codebook)
+    dol.positions = positions
+    dol.codes = codes
+    dol.validate()
+
+    pager.stats.reset()
+    return NoKStore.attach(doc, dol, pager, headers, buffer_capacity)

@@ -1,0 +1,96 @@
+"""Paged storage for node values (text content).
+
+The NoK scheme stores "the structure of the data tree ... separately from
+the node values" (Section 3.1). The structure pages are handled by
+:class:`~repro.storage.nokstore.NoKStore`; this module provides the value
+side: UTF-8 records packed into pages in document order, addressed through
+an in-memory slot table, read through a buffer pool so value accesses are
+I/O-accounted like everything else.
+
+Document order means value locality mirrors structural locality: the
+values touched by one NoK subtree match typically share a page.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+
+
+class ValueStore:
+    """Append-only paged heap of per-node text values."""
+
+    def __init__(
+        self,
+        texts: Sequence[str],
+        path: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 16,
+    ):
+        self.pager = Pager(path, page_size)
+        self.buffer = BufferPool(self.pager, buffer_capacity)
+        self.page_size = page_size
+        #: per position: (page id, offset, byte length); (-1, 0, 0) = empty
+        self._slots: List[Tuple[int, int, int]] = []
+        self._build(texts)
+
+    def _build(self, texts: Sequence[str]) -> None:
+        current = bytearray()
+        page_id = self.pager.allocate()
+        for text in texts:
+            raw = text.encode("utf-8")
+            if len(raw) > self.page_size:
+                raise StorageError(
+                    f"value of {len(raw)} bytes exceeds the page size"
+                )
+            if not raw:
+                self._slots.append((-1, 0, 0))
+                continue
+            if len(current) + len(raw) > self.page_size:
+                self.pager.write_page(page_id, bytes(current) + bytes(self.page_size - len(current)))
+                page_id = self.pager.allocate()
+                current = bytearray()
+            self._slots.append((page_id, len(current), len(raw)))
+            current.extend(raw)
+        self.pager.write_page(
+            page_id, bytes(current) + bytes(self.page_size - len(current))
+        )
+        self.pager.stats.reset()
+
+    def text(self, pos: int) -> str:
+        """The text value of the node at document position ``pos``."""
+        if not 0 <= pos < len(self._slots):
+            raise StorageError(f"position {pos} out of range")
+        page_id, offset, length = self._slots[pos]
+        if page_id == -1:
+            return ""
+        data = self.buffer.get(page_id)
+        return data[offset : offset + length].decode("utf-8")
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def n_pages(self) -> int:
+        return self.pager.n_pages
+
+    def slot_table_bytes(self) -> int:
+        """In-memory footprint of the slot table (3 ints per node)."""
+        return len(self._slots) * 12
+
+    def reset_io_stats(self) -> None:
+        self.pager.stats.reset()
+        self.buffer.stats.reset()
+
+    def close(self) -> None:
+        self.buffer.flush_all()
+        self.pager.close()
+
+    def __enter__(self) -> "ValueStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

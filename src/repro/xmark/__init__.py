@@ -1,0 +1,13 @@
+"""XMark-like synthetic XML benchmark documents.
+
+The paper's query experiments run on XMark [1] instances. This generator
+reproduces the XMark element vocabulary and nesting that queries Q1–Q6
+exercise — regional item listings, category descriptions, and the
+recursively nested ``parlist``/``listitem`` markup — with seeded randomness
+and a size parameter, so documents from a few hundred to hundreds of
+thousands of nodes can be produced deterministically.
+"""
+
+from repro.xmark.generator import XMarkConfig, generate, generate_document
+
+__all__ = ["XMarkConfig", "generate", "generate_document"]

@@ -1,0 +1,181 @@
+"""The XMark-like document generator.
+
+Generates a ``site`` document with the substructure the paper's benchmark
+queries (Table 1) traverse:
+
+- ``site/regions/<region>/item`` with ``location``, ``quantity``, ``name``,
+  ``payment``, ``description``, ``shipping``, ``incategory``, ``mailbox``
+  children (Q1, Q6);
+- ``site/categories/category`` with ``name`` and ``description`` (Q2, Q3);
+- rich-text ``description`` content: either ``text`` (with nested ``bold``,
+  ``keyword``, ``emph``) or a recursive ``parlist`` of ``listitem`` elements
+  (Q4, Q5);
+- ``site/people/person`` and ``site/open_auctions/open_auction`` filler so
+  the document's tag mix resembles real XMark.
+
+Sizes are controlled by :class:`XMarkConfig`; ``n_items`` is the main knob
+(each item subtree averages roughly 20 nodes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.xmark import vocab
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Size and shape parameters for document generation."""
+
+    n_items: int = 100
+    n_categories: int = 20
+    n_people: int = 25
+    n_open_auctions: int = 25
+    parlist_probability: float = 0.35
+    parlist_decay: float = 0.45
+    max_parlist_depth: int = 5
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise ReproError("n_items must be positive")
+        if not 0.0 <= self.parlist_probability <= 1.0:
+            raise ReproError("parlist_probability must be in [0, 1]")
+        if not 0.0 <= self.parlist_decay < 1.0:
+            raise ReproError("parlist_decay must be in [0, 1)")
+
+
+def generate(config: XMarkConfig = XMarkConfig()) -> Node:
+    """Generate an XMark-like document tree."""
+    rng = random.Random(config.seed)
+    site = Node("site")
+    site.append(_regions(rng, config))
+    site.append(_categories(rng, config))
+    site.append(_people(rng, config))
+    site.append(_open_auctions(rng, config))
+    return site
+
+
+def generate_document(config: XMarkConfig = XMarkConfig()) -> Document:
+    """Generate and flatten in one step."""
+    return Document.from_tree(generate(config))
+
+
+# -- sections -------------------------------------------------------------------
+
+
+def _regions(rng: random.Random, config: XMarkConfig) -> Node:
+    regions = Node("regions")
+    buckets = {name: regions.append(Node(name)) for name in vocab.REGIONS}
+    for item_id in range(config.n_items):
+        region = rng.choice(vocab.REGIONS)
+        buckets[region].append(_item(rng, config, item_id))
+    return regions
+
+
+def _item(rng: random.Random, config: XMarkConfig, item_id: int) -> Node:
+    item = Node("item", attrs={"id": f"item{item_id}"})
+    item.append(Node("location", rng.choice(vocab.CITIES)))
+    item.append(Node("quantity", str(rng.randint(1, 10))))
+    item.append(Node("name", vocab.words(rng, 2, 4)))
+    payment = item.append(Node("payment"))
+    payment.text = rng.choice(("Cash", "Creditcard", "Money order"))
+    item.append(_description(rng, config))
+    item.append(Node("shipping", rng.choice(("Will ship internationally", "Buyer pays"))))
+    item.append(
+        Node("incategory", attrs={"category": f"category{rng.randrange(max(1, config.n_categories))}"})
+    )
+    if rng.random() < 0.5:
+        mailbox = item.append(Node("mailbox"))
+        for _ in range(rng.randint(1, 3)):
+            mail = mailbox.append(Node("mail"))
+            mail.append(Node("from", vocab.person_name(rng)))
+            mail.append(Node("date", f"0{rng.randint(1, 9)}/200{rng.randint(0, 4)}"))
+            mail.append(_text_block(rng))
+    return item
+
+
+def _categories(rng: random.Random, config: XMarkConfig) -> Node:
+    categories = Node("categories")
+    for cat_id in range(config.n_categories):
+        category = categories.append(
+            Node("category", attrs={"id": f"category{cat_id}"})
+        )
+        category.append(Node("name", vocab.words(rng, 1, 3)))
+        category.append(_description(rng, config))
+    return categories
+
+
+def _people(rng: random.Random, config: XMarkConfig) -> Node:
+    people = Node("people")
+    for person_id in range(config.n_people):
+        person = people.append(Node("person", attrs={"id": f"person{person_id}"}))
+        person.append(Node("name", vocab.person_name(rng)))
+        person.append(Node("emailaddress", f"mailto:p{person_id}@example.org"))
+        if rng.random() < 0.6:
+            address = person.append(Node("address"))
+            address.append(Node("street", f"{rng.randint(1, 99)} {rng.choice(vocab.WORDS)} st"))
+            address.append(Node("city", rng.choice(vocab.CITIES)))
+            address.append(Node("country", rng.choice(("Canada", "Germany", "Japan"))))
+    return people
+
+
+def _open_auctions(rng: random.Random, config: XMarkConfig) -> Node:
+    auctions = Node("open_auctions")
+    for auction_id in range(config.n_open_auctions):
+        auction = auctions.append(
+            Node("open_auction", attrs={"id": f"open_auction{auction_id}"})
+        )
+        auction.append(Node("initial", f"{rng.uniform(1, 300):.2f}"))
+        auction.append(Node("reserve", f"{rng.uniform(1, 600):.2f}"))
+        for _ in range(rng.randint(0, 3)):
+            bidder = auction.append(Node("bidder"))
+            bidder.append(Node("date", f"0{rng.randint(1, 9)}/2004"))
+            bidder.append(Node("increase", f"{rng.uniform(1, 50):.2f}"))
+        auction.append(Node("current", f"{rng.uniform(1, 900):.2f}"))
+        annotation = auction.append(Node("annotation"))
+        annotation.append(Node("author", vocab.person_name(rng)))
+        annotation.append(_description(rng, config))
+    return auctions
+
+
+# -- rich text -----------------------------------------------------------------------
+
+
+def _description(rng: random.Random, config: XMarkConfig) -> Node:
+    """A description holds either a text block or a (recursive) parlist."""
+    description = Node("description")
+    if rng.random() < config.parlist_probability:
+        description.append(_parlist(rng, config, depth=1))
+    else:
+        description.append(_text_block(rng))
+    return description
+
+
+def _parlist(rng: random.Random, config: XMarkConfig, depth: int) -> Node:
+    parlist = Node("parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = parlist.append(Node("listitem"))
+        nest_probability = config.parlist_probability * (config.parlist_decay ** depth)
+        if depth < config.max_parlist_depth and rng.random() < nest_probability:
+            listitem.append(_parlist(rng, config, depth + 1))
+        else:
+            listitem.append(_text_block(rng))
+    return parlist
+
+
+def _text_block(rng: random.Random) -> Node:
+    """A ``text`` element with optional bold/keyword/emph markup children."""
+    text = Node("text", vocab.words(rng, 3, 8))
+    for _ in range(rng.randint(0, 2)):
+        markup_tag = rng.choice(("bold", "keyword", "emph"))
+        markup = text.append(Node(markup_tag, vocab.words(rng, 1, 2)))
+        if rng.random() < 0.2:
+            inner_tag = rng.choice(("bold", "keyword", "emph"))
+            markup.append(Node(inner_tag, vocab.words(rng, 1, 1)))
+    return text

@@ -1,0 +1,56 @@
+"""Word lists for XMark-like text content.
+
+The real XMark generator draws its prose from *Hamlet*; we use a fixed
+vocabulary of common words, which is equally adequate for value predicates
+and keeps generated documents deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+WORDS = (
+    "against arms take sea troubles opposing end them die sleep more "
+    "heart ache thousand natural shocks flesh heir consummation devoutly "
+    "wish rub dream come when shuffled mortal coil pause respect calamity "
+    "long life whips scorns time oppressor wrong proud man contumely pangs "
+    "despised love law delay insolence office spurns patient merit unworthy "
+    "quietus bare bodkin burden grunt sweat weary dread something after "
+    "death undiscovered country bourn traveller returns puzzles will makes "
+    "rather bear ills have fly others know conscience cowards native hue "
+    "resolution sicklied pale cast thought enterprises great pith moment "
+    "currents turn awry lose name action soft fair nymph orisons sins"
+).split()
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+CITIES = (
+    "Waterloo", "Toronto", "Zurich", "Amsterdam", "Leuven", "Singapore",
+    "Kyoto", "Cape Town", "Lima", "Auckland", "Tampere", "Madison",
+)
+
+FIRST_NAMES = (
+    "Huaxin", "Ning", "Kenneth", "Donghui", "Ada", "Edgar", "Grace",
+    "Barbara", "Michael", "Jim", "Pat", "David",
+)
+
+LAST_NAMES = (
+    "Zhang", "Salem", "Zhuo", "Codd", "Hopper", "Liskov", "Gray",
+    "Stonebraker", "Selinger", "Bernstein", "Tompa", "Ozsu",
+)
+
+
+def words(rng: random.Random, low: int, high: int) -> str:
+    """A phrase of ``low``..``high`` vocabulary words."""
+    count = rng.randint(low, high)
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def keywords(rng: random.Random, count: int) -> List[str]:
+    """Distinct keywords, useful for equality predicates."""
+    return rng.sample(WORDS, count)
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"

@@ -1,0 +1,29 @@
+"""XML document substrate.
+
+This subpackage provides everything the rest of the library needs to model
+XML documents:
+
+- :class:`~repro.xmltree.node.Node` — a mutable element tree used while
+  building or parsing a document.
+- :class:`~repro.xmltree.document.Document` — an immutable, flattened
+  document-order representation (parallel arrays indexed by preorder rank)
+  that the DOL, CAM, and NoK algorithms operate on.
+- :func:`~repro.xmltree.parser.parse` — a from-scratch XML parser.
+- :func:`~repro.xmltree.serializer.serialize` — the inverse.
+- :mod:`~repro.xmltree.builder` — concise programmatic tree construction.
+"""
+
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document, TagDictionary
+from repro.xmltree.node import Node
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+__all__ = [
+    "Document",
+    "Node",
+    "TagDictionary",
+    "parse",
+    "serialize",
+    "tree",
+]

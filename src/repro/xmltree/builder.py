@@ -1,0 +1,36 @@
+"""Concise programmatic construction of XML trees.
+
+The :func:`tree` helper turns nested tuples into a :class:`Node` tree, which
+keeps test fixtures readable::
+
+    root = tree(("a", ("b",), ("c", ("d", "some text"))))
+
+Each tuple is ``(tag, *children)`` where a child may be another tuple, a
+ready-made :class:`Node`, or a string (text content of the parent).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.errors import TreeError
+from repro.xmltree.node import Node
+
+Spec = Union[Tuple, Node, str]
+
+
+def tree(spec: Spec) -> Node:
+    """Build a :class:`Node` tree from a nested-tuple specification."""
+    if isinstance(spec, Node):
+        return spec
+    if isinstance(spec, str):
+        raise TreeError("the root of a tree spec must be a tuple or Node")
+    if not spec or not isinstance(spec[0], str):
+        raise TreeError("tree spec tuples must start with a tag name")
+    node = Node(spec[0])
+    for child in spec[1:]:
+        if isinstance(child, str):
+            node.text = child if not node.text else node.text + " " + child
+        else:
+            node.append(tree(child))
+    return node

@@ -1,0 +1,118 @@
+"""Structural editing of flattened documents.
+
+:class:`Document` is immutable by design (every algorithm indexes it by
+document position), so structural updates — insert, delete, or move a
+subtree (Section 3.4's second update family) — produce a *new* Document
+plus the position information the DOL update needs. The
+:class:`~repro.secure.secured.SecuredDocument` wrapper applies both halves
+in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import TreeError
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """Outcome of a subtree insertion."""
+
+    doc: Document
+    position: int  # document position of the inserted subtree root
+    size: int  # number of inserted nodes
+
+
+@dataclass(frozen=True)
+class MoveResult:
+    """Outcome of a subtree move."""
+
+    doc: Document
+    source: Tuple[int, int]  # [start, end) of the subtree before the move
+    destination: int  # subtree root position after the move
+
+
+def insert_position(doc: Document, parent: int, child_index: int) -> int:
+    """Document position a subtree inserted at (parent, child_index) gets."""
+    _check_pos(doc, parent)
+    children = list(doc.children(parent))
+    if not 0 <= child_index <= len(children):
+        raise TreeError(
+            f"child index {child_index} out of range for node {parent} "
+            f"({len(children)} children)"
+        )
+    if child_index == len(children):
+        return doc.subtree_end(parent)
+    return children[child_index]
+
+
+def insert_subtree(
+    doc: Document, parent: int, child_index: int, subtree: Node
+) -> InsertResult:
+    """Insert a detached subtree as the child_index-th child of parent."""
+    if subtree.parent is not None:
+        raise TreeError("subtree to insert must be detached")
+    position = insert_position(doc, parent, child_index)
+    size = subtree.size()
+
+    root = doc.to_tree()
+    nodes = list(root.iter_preorder())
+    nodes[parent].insert(child_index, subtree.copy())
+    return InsertResult(
+        Document.from_tree(root, doc.tag_dict), position, size
+    )
+
+
+def delete_subtree(doc: Document, pos: int) -> Document:
+    """Delete the subtree rooted at ``pos`` (the root cannot be deleted)."""
+    _check_pos(doc, pos)
+    if pos == 0:
+        raise TreeError("cannot delete the document root")
+    root = doc.to_tree()
+    nodes = list(root.iter_preorder())
+    nodes[pos].detach()
+    return Document.from_tree(root, doc.tag_dict)
+
+
+def move_subtree(
+    doc: Document, pos: int, new_parent: int, child_index: Optional[int] = None
+) -> MoveResult:
+    """Move the subtree at ``pos`` to become a child of ``new_parent``.
+
+    ``child_index`` defaults to appending as the last child. The new
+    parent must not lie inside the moved subtree.
+    """
+    _check_pos(doc, pos)
+    _check_pos(doc, new_parent)
+    if pos == 0:
+        raise TreeError("cannot move the document root")
+    if pos <= new_parent < doc.subtree_end(pos):
+        raise TreeError("cannot move a subtree into itself")
+
+    source = (pos, doc.subtree_end(pos))
+    root = doc.to_tree()
+    nodes = list(root.iter_preorder())
+    moved = nodes[pos].detach()
+    target = nodes[new_parent]
+    if child_index is None:
+        child_index = len(target.children)
+    if not 0 <= child_index <= len(target.children):
+        raise TreeError(f"child index {child_index} out of range")
+    target.insert(child_index, moved)
+
+    new_doc = Document.from_tree(root, doc.tag_dict)
+    destination = next(
+        rank
+        for rank, node in enumerate(root.iter_preorder())
+        if node is moved
+    )
+    return MoveResult(new_doc, source, destination)
+
+
+def _check_pos(doc: Document, pos: int) -> None:
+    if not 0 <= pos < len(doc):
+        raise TreeError(f"position {pos} out of range")

@@ -1,0 +1,157 @@
+"""Mutable XML element tree.
+
+:class:`Node` is the builder-side representation of an XML element: it has a
+tag, optional text content, attributes, and an ordered list of children.
+Parsing and synthetic generation produce ``Node`` trees; algorithms then
+flatten them into :class:`~repro.xmltree.document.Document` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TreeError
+
+
+class Node:
+    """One XML element.
+
+    Attributes
+    ----------
+    tag:
+        Element name, e.g. ``"item"``.
+    text:
+        Text content directly under this element (concatenated, mixed
+        content is not order-preserved — sufficient for the paper's value
+        predicates).
+    attrs:
+        Attribute name → value mapping.
+    children:
+        Ordered child elements.
+    parent:
+        Back-reference, maintained by :meth:`append` / :meth:`detach`.
+    """
+
+    __slots__ = ("tag", "text", "attrs", "children", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        text: str = "",
+        attrs: Optional[Dict[str, str]] = None,
+    ):
+        if not tag:
+            raise TreeError("element tag must be a non-empty string")
+        self.tag = tag
+        self.text = text
+        self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
+        self.children: List["Node"] = []
+        self.parent: Optional["Node"] = None
+
+    def append(self, child: "Node") -> "Node":
+        """Attach ``child`` as the last child of this node and return it."""
+        if child.parent is not None:
+            raise TreeError(
+                f"node <{child.tag}> already has a parent <{child.parent.tag}>"
+            )
+        if child is self or child.is_ancestor_of(self):
+            raise TreeError("appending would create a cycle")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert(self, index: int, child: "Node") -> "Node":
+        """Attach ``child`` at position ``index`` among the children."""
+        if child.parent is not None:
+            raise TreeError(
+                f"node <{child.tag}> already has a parent <{child.parent.tag}>"
+            )
+        if child is self or child.is_ancestor_of(self):
+            raise TreeError("inserting would create a cycle")
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent and return it."""
+        if self.parent is None:
+            raise TreeError("cannot detach a root node")
+        self.parent.children.remove(self)
+        self.parent = None
+        return self
+
+    def child(self, tag: str) -> "Node":
+        """Return the first child with the given tag.
+
+        Raises :class:`TreeError` if there is none.
+        """
+        for c in self.children:
+            if c.tag == tag:
+                return c
+        raise TreeError(f"<{self.tag}> has no <{tag}> child")
+
+    def find_all(self, tag: str) -> List["Node"]:
+        """Return all descendants (preorder) with the given tag."""
+        return [n for n in self.iter_preorder() if n.tag == tag]
+
+    def is_ancestor_of(self, other: "Node") -> bool:
+        """True if this node is a proper ancestor of ``other``."""
+        cur = other.parent
+        while cur is not None:
+            if cur is self:
+                return True
+            cur = cur.parent
+        return False
+
+    def iter_preorder(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here (including self)."""
+        return sum(1 for _ in self.iter_preorder())
+
+    def depth(self) -> int:
+        """Distance from the root (root depth is 0)."""
+        d = 0
+        cur = self.parent
+        while cur is not None:
+            d += 1
+            cur = cur.parent
+        return d
+
+    def path(self) -> str:
+        """Slash-separated tag path from the root, e.g. ``/site/regions``."""
+        parts: List[str] = []
+        cur: Optional[Node] = self
+        while cur is not None:
+            parts.append(cur.tag)
+            cur = cur.parent
+        return "/" + "/".join(reversed(parts))
+
+    def structurally_equal(self, other: "Node") -> bool:
+        """Deep comparison of tags, text, attributes, and child order."""
+        if (
+            self.tag != other.tag
+            or self.text != other.text
+            or self.attrs != other.attrs
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(
+            a.structurally_equal(b) for a, b in zip(self.children, other.children)
+        )
+
+    def copy(self) -> "Node":
+        """Deep copy of the subtree rooted here (detached)."""
+        clone = Node(self.tag, self.text, self.attrs)
+        for c in self.children:
+            clone.append(c.copy())
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.tag!r}, children={len(self.children)})"

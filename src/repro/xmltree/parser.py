@@ -1,0 +1,240 @@
+"""A from-scratch, dependency-free XML parser.
+
+Supports the subset of XML the paper's workloads need: elements with
+attributes, text content, self-closing tags, comments, CDATA sections,
+processing instructions, an optional XML declaration and DOCTYPE, and the
+five predefined entities. Namespaces are treated as plain tag characters.
+
+The parser is a single left-to-right scan (no backtracking), which also
+serves as the "single pass over a labeled XML document" entry point for
+streaming DOL construction (:mod:`repro.dol.stream`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import XMLParseError
+from repro.xmltree.node import Node
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+# Event kinds produced by iterparse().
+START = "start"
+END = "end"
+TEXT = "text"
+
+
+def _decode_entities(text: str, offset: int) -> str:
+    """Replace XML entity references in ``text``."""
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLParseError("unterminated entity reference", offset + i)
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XMLParseError(f"unknown entity &{name};", offset + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_:"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_:.-"
+
+
+class _Scanner:
+    """Cursor over the input string with primitive token readers."""
+
+    def __init__(self, data: str):
+        self.data = data
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def peek(self, n: int = 1) -> str:
+        return self.data[self.pos : self.pos + n]
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.data[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.data.startswith(literal, self.pos):
+            raise XMLParseError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def read_until(self, literal: str) -> str:
+        end = self.data.find(literal, self.pos)
+        if end == -1:
+            raise XMLParseError(f"missing {literal!r}", self.pos)
+        text = self.data[self.pos : end]
+        self.pos = end + len(literal)
+        return text
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or not _is_name_start(self.data[self.pos]):
+            raise XMLParseError("expected a name", self.pos)
+        self.pos += 1
+        while not self.eof() and _is_name_char(self.data[self.pos]):
+            self.pos += 1
+        return self.data[start : self.pos]
+
+    def read_attrs(self) -> Dict[str, str]:
+        attrs: Dict[str, str] = {}
+        while True:
+            self.skip_ws()
+            if self.eof():
+                raise XMLParseError("unterminated start tag", self.pos)
+            if self.peek() in (">", "/"):
+                return attrs
+            name = self.read_name()
+            self.skip_ws()
+            self.expect("=")
+            self.skip_ws()
+            quote = self.peek()
+            if quote not in ("'", '"'):
+                raise XMLParseError("attribute value must be quoted", self.pos)
+            self.advance()
+            value_start = self.pos
+            value = self.read_until(quote)
+            attrs[name] = _decode_entities(value, value_start)
+
+
+def iterparse(data: str) -> Iterator[Tuple[str, object]]:
+    """Yield SAX-like events from an XML string.
+
+    Events are ``(START, (tag, attrs))``, ``(TEXT, text)`` and
+    ``(END, tag)``. This generator is the streaming entry point used for
+    one-pass DOL construction.
+    """
+    sc = _Scanner(data)
+    depth = 0
+    seen_root = False
+
+    # Prolog: XML declaration, comments, PIs, DOCTYPE.
+    while True:
+        sc.skip_ws()
+        if sc.peek(2) == "<?":
+            sc.advance(2)
+            sc.read_until("?>")
+        elif sc.peek(4) == "<!--":
+            sc.advance(4)
+            sc.read_until("-->")
+        elif sc.peek(2) == "<!":
+            sc.advance(2)
+            sc.read_until(">")
+        else:
+            break
+
+    while not sc.eof():
+        if sc.peek() == "<":
+            if sc.peek(4) == "<!--":
+                sc.advance(4)
+                sc.read_until("-->")
+            elif sc.peek(9) == "<![CDATA[":
+                sc.advance(9)
+                if depth == 0:
+                    raise XMLParseError("CDATA outside the root element", sc.pos)
+                yield TEXT, sc.read_until("]]>")
+            elif sc.peek(2) == "<?":
+                sc.advance(2)
+                sc.read_until("?>")
+            elif sc.peek(2) == "</":
+                sc.advance(2)
+                tag = sc.read_name()
+                sc.skip_ws()
+                sc.expect(">")
+                depth -= 1
+                if depth < 0:
+                    raise XMLParseError(f"unmatched </{tag}>", sc.pos)
+                yield END, tag
+            else:
+                sc.advance(1)
+                tag_pos = sc.pos
+                tag = sc.read_name()
+                attrs = sc.read_attrs()
+                if depth == 0 and seen_root:
+                    raise XMLParseError(
+                        "multiple root elements", tag_pos
+                    )
+                seen_root = seen_root or depth == 0
+                if sc.peek() == "/":
+                    sc.expect("/>")
+                    yield START, (tag, attrs)
+                    yield END, tag
+                else:
+                    sc.expect(">")
+                    depth += 1
+                    yield START, (tag, attrs)
+        else:
+            start = sc.pos
+            end = sc.data.find("<", sc.pos)
+            if end == -1:  # trailing text after the root element
+                raw = sc.data[sc.pos :]
+                sc.pos = len(sc.data)
+            else:
+                raw = sc.data[sc.pos : end]
+                sc.pos = end
+            if depth > 0:
+                text = _decode_entities(raw, start)
+                if text.strip():
+                    yield TEXT, text.strip()
+            elif raw.strip():
+                raise XMLParseError("text outside the root element", start)
+
+    if depth != 0:
+        raise XMLParseError("unexpected end of input: unclosed elements", sc.pos)
+    if not seen_root:
+        raise XMLParseError("document has no root element", 0)
+
+
+def parse(data: str) -> Node:
+    """Parse an XML string into a :class:`Node` tree."""
+    root: Optional[Node] = None
+    stack: List[Node] = []
+    for kind, payload in iterparse(data):
+        if kind == START:
+            tag, attrs = payload  # type: ignore[misc]
+            node = Node(tag, attrs=attrs)  # type: ignore[arg-type]
+            if stack:
+                stack[-1].append(node)
+            elif root is None:
+                root = node
+            stack.append(node)
+        elif kind == END:
+            top = stack.pop()
+            if top.tag != payload:
+                raise XMLParseError(
+                    f"mismatched end tag </{payload}> for <{top.tag}>"
+                )
+        else:  # TEXT
+            if stack[-1].text:
+                stack[-1].text += " " + str(payload)
+            else:
+                stack[-1].text = str(payload)
+    assert root is not None  # iterparse guarantees a root or raises
+    return root

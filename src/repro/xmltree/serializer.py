@@ -1,0 +1,74 @@
+"""Serialization of :class:`~repro.xmltree.node.Node` trees back to XML text."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(text: str) -> str:
+    """Escape characters that are special in XML text content."""
+    for raw, escaped in _TEXT_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def escape_attr(text: str) -> str:
+    """Escape characters that are special in double-quoted attributes."""
+    for raw, escaped in _ATTR_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def serialize(
+    root: Union[Node, Document],
+    indent: int = 0,
+    declaration: bool = False,
+) -> str:
+    """Serialize a tree (or flattened document) to an XML string.
+
+    Parameters
+    ----------
+    root:
+        A :class:`Node` or a :class:`Document` (which is first rebuilt
+        into a tree).
+    indent:
+        Spaces per nesting level; ``0`` produces compact single-line output
+        that round-trips exactly through :func:`~repro.xmltree.parser.parse`.
+    declaration:
+        Prefix the output with an XML declaration.
+    """
+    if isinstance(root, Document):
+        root = root.to_tree()
+    parts: List[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent:
+            parts.append("\n")
+    _emit(root, parts, indent, 0)
+    return "".join(parts)
+
+
+def _emit(node: Node, parts: List[str], indent: int, level: int) -> None:
+    pad = " " * (indent * level) if indent else ""
+    newline = "\n" if indent else ""
+    attrs = "".join(
+        f' {name}="{escape_attr(value)}"' for name, value in node.attrs.items()
+    )
+    if not node.children and not node.text:
+        parts.append(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    if node.text:
+        parts.append(escape_text(node.text))
+    if node.children:
+        parts.append(newline)
+        for child in node.children:
+            _emit(child, parts, indent, level + 1)
+        parts.append(pad)
+    parts.append(f"</{node.tag}>{newline}")

@@ -1,0 +1,90 @@
+"""Shared fixtures: small hand-built documents and XMark instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.dol.labeling import DOL
+from repro.xmark.generator import XMarkConfig, generate_document
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+@pytest.fixture
+def paper_tree():
+    """The data tree of the paper's Figure 2:
+
+    a(b, c, d, e(f, g, h(i, j, k, l))) — 12 nodes, document order a..l.
+    """
+    return tree(
+        (
+            "a",
+            ("b",),
+            ("c",),
+            ("d",),
+            ("e", ("f",), ("g",), ("h", ("i",), ("j",), ("k",), ("l",))),
+        )
+    )
+
+
+@pytest.fixture
+def paper_doc(paper_tree):
+    return Document.from_tree(paper_tree)
+
+
+@pytest.fixture
+def small_doc():
+    """A 7-node document with text values for predicate tests."""
+    return Document.from_tree(
+        tree(
+            (
+                "site",
+                ("item", ("name", "anvil"), ("price", "10")),
+                ("item", ("name", "hammer"), ("price", "10")),
+            )
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def xmark_doc():
+    """A shared mid-size XMark instance (~3k nodes)."""
+    return generate_document(XMarkConfig(n_items=100, seed=11))
+
+
+@pytest.fixture(scope="session")
+def xmark_acl(xmark_doc):
+    """Three-subject synthetic ACL over the shared XMark instance."""
+    config = SyntheticACLConfig(
+        propagation_ratio=0.3, accessibility_ratio=0.6, seed=5
+    )
+    return generate_synthetic_acl(xmark_doc, config, n_subjects=3)
+
+
+@pytest.fixture(scope="session")
+def xmark_dol(xmark_acl):
+    return DOL.from_matrix(xmark_acl)
+
+
+def random_masks(rng: random.Random, n_nodes: int, n_subjects: int):
+    """Uniform random per-node ACL bitmasks (worst case for compression)."""
+    limit = 1 << n_subjects
+    return [rng.randrange(limit) for _ in range(n_nodes)]
+
+
+def random_document(rng: random.Random, n_nodes: int) -> Document:
+    """A random tree flattened to a document (random parent links)."""
+    from repro.xmltree.node import Node
+
+    root = Node("n0")
+    nodes = [root]
+    for index in range(1, n_nodes):
+        parent = nodes[rng.randrange(len(nodes))]
+        child = Node(f"n{rng.randrange(5)}")
+        parent.append(child)
+        nodes.append(child)
+    return Document.from_tree(root)

@@ -1,0 +1,172 @@
+"""Unit tests for subjects, modes, and the accessibility matrix."""
+
+import pytest
+
+from repro.acl.model import READ, AccessMatrix, SubjectRegistry
+from repro.errors import AccessControlError, UnknownSubjectError
+
+
+class TestSubjectRegistry:
+    def test_dense_ids(self):
+        reg = SubjectRegistry()
+        assert reg.add("alice") == 0
+        assert reg.add("bob") == 1
+        assert reg.id_of("bob") == 1
+        assert reg.name_of(0) == "alice"
+
+    def test_duplicate_name_rejected(self):
+        reg = SubjectRegistry()
+        reg.add("alice")
+        with pytest.raises(AccessControlError):
+            reg.add("alice")
+
+    def test_unknown_lookups(self):
+        reg = SubjectRegistry()
+        with pytest.raises(UnknownSubjectError):
+            reg.id_of("ghost")
+        with pytest.raises(UnknownSubjectError):
+            reg.name_of(3)
+
+    def test_groups_and_enrollment(self):
+        reg = SubjectRegistry()
+        staff = reg.add("staff", is_group=True)
+        alice = reg.add("alice")
+        reg.enroll(alice, staff)
+        assert reg.groups_of(alice) == [staff]
+        assert reg.is_group(staff)
+        assert not reg.is_group(alice)
+
+    def test_enroll_in_non_group_rejected(self):
+        reg = SubjectRegistry()
+        alice = reg.add("alice")
+        bob = reg.add("bob")
+        with pytest.raises(AccessControlError):
+            reg.enroll(alice, bob)
+
+    def test_effective_subjects_transitive(self):
+        reg = SubjectRegistry()
+        org = reg.add("org", is_group=True)
+        dept = reg.add("dept", is_group=True)
+        user = reg.add("user")
+        reg.enroll(dept, org)
+        reg.enroll(user, dept)
+        assert reg.effective_subjects(user) == [org, dept, user]
+
+
+class TestAccessMatrix:
+    def test_default_denies_everything(self):
+        matrix = AccessMatrix(4, 2)
+        assert not any(
+            matrix.accessible(s, p) for s in range(2) for p in range(4)
+        )
+
+    def test_set_and_get(self):
+        matrix = AccessMatrix(4, 2)
+        matrix.set_accessible(1, 2, True)
+        assert matrix.accessible(1, 2)
+        assert not matrix.accessible(0, 2)
+        matrix.set_accessible(1, 2, False)
+        assert not matrix.accessible(1, 2)
+
+    def test_masks(self):
+        matrix = AccessMatrix(3, 3)
+        matrix.set_mask(1, 0b101)
+        assert matrix.mask(1) == 0b101
+        assert matrix.accessible(0, 1)
+        assert not matrix.accessible(1, 1)
+        assert matrix.accessible(2, 1)
+
+    def test_mask_out_of_range_rejected(self):
+        matrix = AccessMatrix(3, 2)
+        with pytest.raises(AccessControlError):
+            matrix.set_mask(0, 0b100)
+
+    def test_grant_range(self):
+        matrix = AccessMatrix(6, 1)
+        matrix.grant_range(0, 2, 5)
+        assert matrix.subject_vector(0) == [False, False, True, True, True, False]
+
+    def test_grant_range_invalid(self):
+        matrix = AccessMatrix(4, 1)
+        with pytest.raises(AccessControlError):
+            matrix.grant_range(0, 3, 2)
+        with pytest.raises(AccessControlError):
+            matrix.grant_range(0, 1, 9)
+
+    def test_copy_where(self):
+        matrix = AccessMatrix(4, 3)
+        matrix.set_accessible(0, 1, True)
+        matrix.set_accessible(1, 3, True)
+        matrix.copy_where(2, 0b011)
+        assert matrix.accessible(2, 1)
+        assert matrix.accessible(2, 3)
+        assert not matrix.accessible(2, 0)
+
+    def test_fill_subject(self):
+        matrix = AccessMatrix(3, 2)
+        matrix.fill_subject(0, True)
+        assert matrix.subject_vector(0) == [True] * 3
+        matrix.fill_subject(0, False)
+        assert matrix.subject_vector(0) == [False] * 3
+
+    def test_multiple_modes_independent(self):
+        matrix = AccessMatrix(2, 1, modes=["read", "write"])
+        matrix.set_accessible(0, 0, True, "read")
+        assert matrix.accessible(0, 0, "read")
+        assert not matrix.accessible(0, 0, "write")
+
+    def test_unknown_mode_rejected(self):
+        matrix = AccessMatrix(2, 1)
+        with pytest.raises(AccessControlError):
+            matrix.accessible(0, 0, "write")
+
+    def test_duplicate_modes_rejected(self):
+        with pytest.raises(AccessControlError):
+            AccessMatrix(2, 1, modes=["read", "read"])
+
+    def test_from_function(self):
+        matrix = AccessMatrix.from_function(4, 2, lambda s, p: (s + p) % 2 == 0)
+        assert matrix.accessible(0, 0)
+        assert not matrix.accessible(0, 1)
+        assert matrix.accessible(1, 1)
+
+    def test_from_masks_roundtrip(self):
+        masks = [0b01, 0b11, 0b00, 0b10]
+        matrix = AccessMatrix.from_masks(masks, 2)
+        assert matrix.masks() == masks
+
+    def test_accessible_count(self):
+        matrix = AccessMatrix.from_masks([0b11, 0b01, 0], 2)
+        assert matrix.accessible_count() == 3
+
+    def test_user_mask_view_unions_groups(self):
+        matrix = AccessMatrix(3, 3)
+        matrix.set_accessible(0, 0, True)  # user's own right
+        matrix.set_accessible(2, 2, True)  # group right
+        view = matrix.user_mask_view([0, 2])
+        assert view == [True, False, True]
+
+    def test_restrict_to_subjects(self):
+        matrix = AccessMatrix.from_masks([0b101, 0b010, 0b111], 3)
+        projected = matrix.restrict_to_subjects([2, 0])
+        # new subject 0 = old 2, new subject 1 = old 0
+        assert projected.masks() == [0b011 & 0b11, 0b01 & 0b10, 0b11]
+        assert projected.n_subjects == 2
+
+    def test_equality(self):
+        a = AccessMatrix.from_masks([1, 0], 1)
+        b = AccessMatrix.from_masks([1, 0], 1)
+        c = AccessMatrix.from_masks([0, 0], 1)
+        assert a == b
+        assert a != c
+
+    def test_bounds_checks(self):
+        matrix = AccessMatrix(2, 2)
+        with pytest.raises(UnknownSubjectError):
+            matrix.accessible(5, 0)
+        with pytest.raises(AccessControlError):
+            matrix.accessible(0, 5)
+        with pytest.raises(AccessControlError):
+            AccessMatrix(0, 1)
+        with pytest.raises(AccessControlError):
+            AccessMatrix(1, 0)

@@ -1,0 +1,133 @@
+"""Unit tests for rule-based policies and Most-Specific-Override propagation."""
+
+import pytest
+
+from repro.acl.policy import (
+    DENY_OVERRIDES,
+    GRANT_OVERRIDES,
+    LAST_RULE_WINS,
+    AccessRule,
+    Policy,
+    select,
+)
+from repro.errors import AccessControlError
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+@pytest.fixture
+def doc():
+    #        site(0)
+    #   dept(1)        dept(4)
+    #  doc(2) doc(3)   doc(5)
+    return Document.from_tree(
+        tree(("site", ("dept", ("doc",), ("doc",)), ("dept", ("doc",))))
+    )
+
+
+class TestSelect:
+    def test_absolute_path(self, doc):
+        assert select(doc, "/site") == [0]
+        assert select(doc, "/site/dept") == [1, 4]
+        assert select(doc, "/site/dept/doc") == [2, 3, 5]
+
+    def test_wildcard_step(self, doc):
+        assert select(doc, "/site/*") == [1, 4]
+        assert select(doc, "/*/dept") == [1, 4]
+
+    def test_descendant_pattern(self, doc):
+        assert select(doc, "//doc") == [2, 3, 5]
+        assert select(doc, "//*") == [0, 1, 2, 3, 4, 5]
+
+    def test_nonmatching_root(self, doc):
+        assert select(doc, "/other") == []
+
+    def test_invalid_paths_rejected(self, doc):
+        for bad in ("dept", "/site//dept", "//a/b", "/site//"):
+            with pytest.raises(AccessControlError):
+                select(doc, bad)
+
+
+class TestPropagation:
+    def test_recursive_grant_cascades(self, doc):
+        policy = Policy(doc, n_subjects=1)
+        policy.grant(0, "/site/dept")
+        matrix = policy.compile()
+        assert matrix.subject_vector(0) == [False, True, True, True, True, True]
+
+    def test_most_specific_override(self, doc):
+        policy = Policy(doc, n_subjects=1)
+        policy.grant(0, "/site")
+        policy.deny(0, 1)  # deny first dept subtree recursively
+        matrix = policy.compile()
+        assert matrix.subject_vector(0) == [True, False, False, False, True, True]
+
+    def test_local_rule_applies_to_node_only(self, doc):
+        policy = Policy(doc, n_subjects=1)
+        policy.deny(0, "/site")  # recursive deny everywhere
+        policy.grant(0, 1, recursive=False)  # local grant on dept(1)
+        matrix = policy.compile()
+        assert matrix.subject_vector(0) == [False, True, False, False, False, False]
+
+    def test_closed_world_default(self, doc):
+        matrix = Policy(doc, n_subjects=1).compile()
+        assert matrix.accessible_count() == 0
+
+    def test_open_world_default(self, doc):
+        matrix = Policy(doc, n_subjects=1, default_grant=True).compile()
+        assert matrix.accessible_count() == len(doc)
+
+    def test_subjects_independent(self, doc):
+        policy = Policy(doc, n_subjects=2)
+        policy.grant(0, "/site")
+        policy.grant(1, "/site/dept/doc", recursive=False)
+        matrix = policy.compile()
+        assert matrix.subject_vector(0) == [True] * 6
+        assert matrix.subject_vector(1) == [False, False, True, True, False, True]
+
+
+class TestConflicts:
+    def _policy(self, doc, conflict):
+        policy = Policy(doc, n_subjects=1, conflict=conflict)
+        policy.grant(0, 0)
+        policy.deny(0, 0)
+        return policy.compile()
+
+    def test_deny_overrides(self, doc):
+        assert not self._policy(doc, DENY_OVERRIDES).accessible(0, 0)
+
+    def test_grant_overrides(self, doc):
+        assert self._policy(doc, GRANT_OVERRIDES).accessible(0, 0)
+
+    def test_last_rule_wins(self, doc):
+        assert not self._policy(doc, LAST_RULE_WINS).accessible(0, 0)
+        policy = Policy(doc, n_subjects=1, conflict=LAST_RULE_WINS)
+        policy.deny(0, 0)
+        policy.grant(0, 0)
+        assert policy.compile().accessible(0, 0)
+
+    def test_unknown_conflict_rejected(self, doc):
+        with pytest.raises(AccessControlError):
+            Policy(doc, 1, conflict="random")
+
+
+class TestRuleValidation:
+    def test_subject_out_of_range(self, doc):
+        policy = Policy(doc, n_subjects=1)
+        with pytest.raises(AccessControlError):
+            policy.add_rule(AccessRule(subject=5, target="/site", grant=True))
+
+    def test_bad_node_position(self, doc):
+        policy = Policy(doc, n_subjects=1)
+        policy.grant(0, 99)
+        with pytest.raises(AccessControlError):
+            policy.compile()
+
+    def test_multiple_modes(self, doc):
+        policy = Policy(doc, n_subjects=1)
+        policy.add_rule(AccessRule(0, "/site", True, mode="read"))
+        policy.add_rule(AccessRule(0, 4, True, mode="write"))
+        matrix = policy.compile()
+        assert matrix.accessible(0, 3, "read")
+        assert not matrix.accessible(0, 3, "write")
+        assert matrix.accessible(0, 5, "write")

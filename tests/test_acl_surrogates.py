@@ -1,0 +1,103 @@
+"""Unit tests for the LiveLink and Unix-filesystem surrogates."""
+
+import pytest
+
+from repro.acl.surrogates import (
+    LIVELINK_MODES,
+    generate_livelink,
+    generate_unix_fs,
+)
+from repro.dol.labeling import DOL
+from repro.errors import AccessControlError
+
+
+class TestLiveLink:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_livelink(n_items=400, n_groups=6, n_users=20, seed=2)
+
+    def test_shape(self, dataset):
+        assert dataset.matrix.n_nodes == len(dataset.doc)
+        assert dataset.n_subjects == 26  # 6 groups + 20 users
+        assert dataset.matrix.modes == list(LIVELINK_MODES)
+
+    def test_tree_is_consistent(self, dataset):
+        dataset.doc.validate()
+
+    def test_tree_is_deep(self, dataset):
+        # LiveLink's real tree averages depth ~8; the surrogate must not be
+        # a flat star.
+        assert max(dataset.doc.depth) >= 6
+
+    def test_modes_are_nested(self, dataset):
+        """A deeper permission implies the shallower ones (see < delete)."""
+        matrix = dataset.matrix
+        for pos in range(0, matrix.n_nodes, 37):
+            for shallow, deep in zip(matrix.modes, matrix.modes[1:]):
+                deep_mask = matrix.mask(pos, deep)
+                shallow_mask = matrix.mask(pos, shallow)
+                assert deep_mask & shallow_mask == deep_mask
+
+    def test_users_correlate_with_groups(self, dataset):
+        """Users inherit their groups' rights, so group rights ⊆ user rights."""
+        registry = dataset.registry
+        matrix = dataset.matrix
+        user = registry.id_of("user0")
+        groups = registry.groups_of(user)
+        assert groups
+        combined = 0
+        for group in groups:
+            combined |= 1 << group
+        for pos in range(0, matrix.n_nodes, 53):
+            if matrix.mask(pos, "see") & combined:
+                assert matrix.accessible(user, pos, "see")
+
+    def test_deterministic(self):
+        a = generate_livelink(n_items=100, n_groups=3, n_users=5, seed=8)
+        b = generate_livelink(n_items=100, n_groups=3, n_users=5, seed=8)
+        assert a.matrix == b.matrix
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AccessControlError):
+            generate_livelink(n_items=2)
+
+
+class TestUnixFS:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_unix_fs(n_nodes=600, n_users=12, n_groups=4, seed=3)
+
+    def test_shape(self, dataset):
+        assert dataset.matrix.n_nodes == len(dataset.doc)
+        assert dataset.n_subjects == 16
+
+    def test_tree_tags(self, dataset):
+        tags = {dataset.doc.tag_name(i) for i in range(len(dataset.doc))}
+        assert tags <= {"dir", "file"}
+
+    def test_owner_always_reads_home(self, dataset):
+        """Each user can read the root of their own home subtree."""
+        doc, registry, matrix = dataset.doc, dataset.registry, dataset.matrix
+        home = list(doc.children(0))[0]
+        for user_home in doc.children(home):
+            owners = [
+                s
+                for s in range(matrix.n_subjects)
+                if not registry.is_group(s) and matrix.accessible(s, user_home)
+            ]
+            assert owners, "every home dir must be readable by someone"
+
+    def test_correlation_present(self, dataset):
+        """Group structure must make distinct ACLs far fewer than 2^S."""
+        dol = DOL.from_matrix(dataset.matrix)
+        assert len(dol.codebook) < dataset.matrix.n_nodes
+        assert len(dol.codebook) < 2 ** dataset.n_subjects
+
+    def test_deterministic(self):
+        a = generate_unix_fs(n_nodes=200, n_users=5, n_groups=2, seed=1)
+        b = generate_unix_fs(n_nodes=200, n_users=5, n_groups=2, seed=1)
+        assert a.matrix == b.matrix
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AccessControlError):
+            generate_unix_fs(n_nodes=10, n_users=20, n_groups=5)

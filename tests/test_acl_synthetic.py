@@ -1,0 +1,103 @@
+"""Unit tests for the Section 5 synthetic ACL generator."""
+
+import pytest
+
+from repro.acl.synthetic import (
+    SyntheticACLConfig,
+    generate_correlated_acl,
+    generate_synthetic_acl,
+    single_subject_labels,
+)
+from repro.dol.labeling import DOL
+from repro.errors import AccessControlError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticACLConfig()
+
+    def test_bad_ratios_rejected(self):
+        with pytest.raises(AccessControlError):
+            SyntheticACLConfig(propagation_ratio=0.0)
+        with pytest.raises(AccessControlError):
+            SyntheticACLConfig(propagation_ratio=1.5)
+        with pytest.raises(AccessControlError):
+            SyntheticACLConfig(accessibility_ratio=-0.1)
+
+
+class TestSingleSubject:
+    def test_deterministic(self, xmark_doc):
+        config = SyntheticACLConfig(seed=12)
+        assert single_subject_labels(xmark_doc, config) == single_subject_labels(
+            xmark_doc, config
+        )
+
+    def test_every_node_labeled(self, xmark_doc):
+        vector = single_subject_labels(xmark_doc, SyntheticACLConfig(seed=1))
+        assert len(vector) == len(xmark_doc)
+
+    def test_accessibility_ratio_tracks_parameter(self, xmark_doc):
+        for target in (0.2, 0.5, 0.8):
+            config = SyntheticACLConfig(
+                accessibility_ratio=target, propagation_ratio=0.3, seed=3
+            )
+            vector = single_subject_labels(xmark_doc, config)
+            observed = sum(vector) / len(vector)
+            assert abs(observed - target) < 0.2
+
+    def test_extreme_ratios(self, xmark_doc):
+        all_no = single_subject_labels(
+            xmark_doc, SyntheticACLConfig(accessibility_ratio=0.0, seed=1)
+        )
+        assert not any(all_no)
+        all_yes = single_subject_labels(
+            xmark_doc, SyntheticACLConfig(accessibility_ratio=1.0, seed=1)
+        )
+        assert all(all_yes)
+
+    def test_structural_locality_reduces_transitions(self, xmark_doc):
+        """More seeds (higher propagation ratio) => more transitions."""
+        def transitions(propagation):
+            config = SyntheticACLConfig(
+                propagation_ratio=propagation, accessibility_ratio=0.5, seed=7
+            )
+            vector = single_subject_labels(xmark_doc, config)
+            return DOL.from_vector(vector).n_transitions
+
+        assert transitions(0.05) < transitions(0.5)
+
+
+class TestMultiSubject:
+    def test_matrix_shape(self, xmark_doc):
+        matrix = generate_synthetic_acl(xmark_doc, n_subjects=4)
+        assert matrix.n_subjects == 4
+        assert matrix.n_nodes == len(xmark_doc)
+
+    def test_subjects_differ(self, xmark_doc):
+        matrix = generate_synthetic_acl(xmark_doc, n_subjects=2)
+        assert matrix.subject_vector(0) != matrix.subject_vector(1)
+
+
+class TestCorrelated:
+    def test_zero_mutation_copies_profiles(self, xmark_doc):
+        matrix = generate_correlated_acl(
+            xmark_doc, n_subjects=10, n_profiles=2, mutation_rate=0.0
+        )
+        distinct = {tuple(matrix.subject_vector(s)) for s in range(10)}
+        assert len(distinct) <= 2
+
+    def test_correlation_shrinks_codebook(self, xmark_doc):
+        correlated = generate_correlated_acl(
+            xmark_doc, n_subjects=8, n_profiles=2, mutation_rate=0.01
+        )
+        independent = generate_synthetic_acl(xmark_doc, n_subjects=8)
+        dol_c = DOL.from_matrix(correlated)
+        dol_i = DOL.from_matrix(independent)
+        assert len(dol_c.codebook) < len(dol_i.codebook)
+        assert dol_c.n_transitions < dol_i.n_transitions
+
+    def test_bad_parameters_rejected(self, xmark_doc):
+        with pytest.raises(AccessControlError):
+            generate_correlated_acl(xmark_doc, 2, n_profiles=0)
+        with pytest.raises(AccessControlError):
+            generate_correlated_acl(xmark_doc, 2, mutation_rate=2.0)

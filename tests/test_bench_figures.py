@@ -1,0 +1,87 @@
+"""Tests for ASCII figure rendering."""
+
+from repro.bench.figures import print_bars, render_bars, render_series
+
+
+class TestRenderBars:
+    def test_scaled_to_peak(self):
+        out = render_bars("chart", [("a", 10.0), ("b", 5.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0] == "chart"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = render_bars("c", [("short", 1.0), ("much-longer", 2.0)])
+        lines = out.splitlines()[1:]
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_shown(self):
+        out = render_bars("c", [("x", 3.25)])
+        assert "3.25" in out
+
+    def test_unit_suffix(self):
+        out = render_bars("c", [("x", 2.0)], unit="ms")
+        assert "2ms" in out
+
+    def test_empty(self):
+        assert "(no data)" in render_bars("c", [])
+
+    def test_zero_values(self):
+        out = render_bars("c", [("a", 0.0), ("b", 0.0)])
+        assert "#" not in out
+
+
+class TestRenderSeries:
+    def test_grouped_output(self):
+        out = render_series(
+            "fig",
+            ["10%", "20%"],
+            [("cam", [1.0, 2.0]), ("dol", [2.0, 4.0])],
+        )
+        assert out.count("cam") == 2
+        assert out.count("10%:") == 1
+
+    def test_global_scaling(self):
+        out = render_series("f", ["x"], [("a", [1.0]), ("b", [2.0])], width=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+
+class TestPrint:
+    def test_print_bars(self, capsys):
+        print_bars("cap", [("a", 1.0)])
+        assert "cap" in capsys.readouterr().out
+
+
+class TestStoreVerify:
+    def test_clean_store_verifies(self, paper_doc):
+        from repro.dol.labeling import DOL
+        from repro.storage.nokstore import NoKStore
+
+        store = NoKStore(paper_doc, DOL.from_masks([1] * 12, 1), page_size=96)
+        store.verify()
+
+    def test_verify_after_updates(self, paper_doc):
+        from repro.dol.labeling import DOL
+        from repro.storage.nokstore import NoKStore
+
+        store = NoKStore(paper_doc, DOL.from_masks([0b11] * 12, 2), page_size=96)
+        store.update_subject_range(3, 9, 0, False)
+        store.verify()
+
+    def test_corruption_detected(self, paper_doc):
+        import pytest
+
+        from repro.dol.labeling import DOL
+        from repro.errors import StorageError
+        from repro.storage.nokstore import NoKStore
+
+        store = NoKStore(paper_doc, DOL.from_masks([1] * 12, 1), page_size=96)
+        # smash a page behind the store's back
+        data = bytearray(store.pager.read_page(0))
+        data[20] ^= 0xFF
+        store.pager.write_page(0, bytes(data))
+        with pytest.raises(StorageError):
+            store.verify()

@@ -1,0 +1,153 @@
+"""Unit tests for the CAM baselines (positive-cover and override variants)."""
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.cam.cam import CAM, CAMEntry, OverrideCAM, total_cam_labels
+from repro.errors import AccessControlError
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+class TestPositiveCoverLookup:
+    def test_uniform_accessible_needs_one_entry(self, paper_doc):
+        cam = CAM.from_vector(paper_doc, [True] * 12)
+        assert cam.n_labels == 1
+        assert all(cam.accessible(i) for i in range(12))
+
+    def test_all_denied_needs_no_entries(self, paper_doc):
+        cam = CAM.from_vector(paper_doc, [False] * 12)
+        assert cam.n_labels == 0
+        assert not any(cam.accessible(i) for i in range(12))
+
+    def test_accessible_island(self, paper_doc):
+        # Only the subtree rooted at h (pos 7..11) accessible.
+        vector = [False] * 12
+        for pos in range(7, 12):
+            vector[pos] = True
+        cam = CAM.from_vector(paper_doc, vector)
+        assert cam.to_vector() == vector
+        assert cam.n_labels == 1
+        assert cam.entries[7] == CAMEntry(7, True, True)
+
+    def test_descendants_of_denied_node_grantable(self):
+        # a(-) with accessible children: one (self=0, desc=1) entry at a.
+        doc = Document.from_tree(tree(("a", ("b",), ("c",))))
+        cam = CAM.from_vector(doc, [False, True, True])
+        assert cam.n_labels == 1
+        assert cam.entries[0] == CAMEntry(0, False, True)
+        assert cam.to_vector() == [False, True, True]
+
+    def test_hole_fragments_cover(self, paper_doc):
+        # Everything accessible except h's subtree: holes make the
+        # positive cover expensive (the paper's asymmetry).
+        vector = [True] * 12
+        for pos in range(7, 12):
+            vector[pos] = False
+        cam = CAM.from_vector(paper_doc, vector)
+        assert cam.to_vector() == vector
+        # a(1,0), b, c, d (leaf grants), e(1,0), f, g -> 7 entries
+        assert cam.n_labels == 7
+
+    def test_out_of_range_lookup(self, paper_doc):
+        cam = CAM.from_vector(paper_doc, [True] * 12)
+        with pytest.raises(AccessControlError):
+            cam.accessible(99)
+
+    def test_vector_length_checked(self, paper_doc):
+        with pytest.raises(AccessControlError):
+            CAM.from_vector(paper_doc, [True])
+
+    def test_asymmetry_under_complement(self, paper_doc):
+        """Few accessible nodes: cheap. Few holes: expensive."""
+        sparse = [False] * 12
+        sparse[7] = sparse[8] = sparse[9] = sparse[10] = sparse[11] = True
+        dense = [not v for v in sparse]
+        assert (
+            CAM.from_vector(paper_doc, sparse).n_labels
+            < CAM.from_vector(paper_doc, dense).n_labels
+        )
+
+
+class TestOverrideCAM:
+    def test_uniform_tree_needs_one_entry(self, paper_doc):
+        cam = OverrideCAM.from_vector(paper_doc, [True] * 12)
+        assert cam.n_labels == 1
+        assert all(cam.accessible(i) for i in range(12))
+
+    def test_all_denied_needs_one_entry(self, paper_doc):
+        cam = OverrideCAM.from_vector(paper_doc, [False] * 12)
+        assert cam.n_labels == 1
+
+    def test_subtree_exception_is_one_extra_entry(self, paper_doc):
+        vector = [True] * 12
+        for pos in range(7, 12):
+            vector[pos] = False
+        cam = OverrideCAM.from_vector(paper_doc, vector)
+        assert cam.to_vector() == vector
+        assert cam.n_labels == 2  # override handles the hole in one entry
+
+    def test_self_differs_from_descendants(self, paper_doc):
+        vector = [True] * 12
+        vector[4] = False
+        cam = OverrideCAM.from_vector(paper_doc, vector)
+        assert cam.to_vector() == vector
+        assert cam.n_labels == 2
+
+    def test_alternating_path(self):
+        doc = Document.from_tree(tree(("a", ("b", ("c", ("d",))))))
+        vector = [True, False, True, False]
+        cam = OverrideCAM.from_vector(doc, vector)
+        assert cam.to_vector() == vector
+        assert cam.n_labels == 2  # (a: +,-) and (c: +,-)
+
+    def test_root_entry_required(self, paper_doc):
+        with pytest.raises(AccessControlError):
+            OverrideCAM(paper_doc, {})
+
+    def test_never_larger_than_positive_cover(self, paper_doc):
+        for bits in range(0, 4096, 37):
+            vector = [bool(bits >> i & 1) for i in range(12)]
+            positive = CAM.from_vector(paper_doc, vector)
+            override = OverrideCAM.from_vector(paper_doc, vector)
+            # +1 because the override variant always labels the root
+            assert override.n_labels <= positive.n_labels + 1
+
+
+class TestFromMatrix:
+    def test_per_subject(self, paper_doc):
+        matrix = AccessMatrix(12, 2)
+        matrix.grant_range(0, 0, 12)
+        matrix.grant_range(1, 4, 12)
+        cam0 = CAM.from_matrix(paper_doc, matrix, 0)
+        cam1 = CAM.from_matrix(paper_doc, matrix, 1)
+        assert cam0.n_labels == 1
+        assert cam1.to_vector() == matrix.subject_vector(1)
+
+    def test_total_cam_labels_sums_subjects(self, paper_doc):
+        matrix = AccessMatrix(12, 3)
+        matrix.grant_range(0, 0, 12)
+        total = total_cam_labels(paper_doc, matrix)
+        per_subject = [
+            CAM.from_matrix(paper_doc, matrix, s).n_labels for s in range(3)
+        ]
+        assert total == sum(per_subject)
+
+    def test_total_with_subject_subset(self, paper_doc):
+        matrix = AccessMatrix(12, 3)
+        matrix.grant_range(1, 0, 12)
+        assert total_cam_labels(paper_doc, matrix, subjects=[1]) == 1
+        assert total_cam_labels(paper_doc, matrix, subjects=[0]) == 0
+
+
+class TestSizeModel:
+    def test_size_bytes(self, paper_doc):
+        cam = CAM.from_vector(paper_doc, [True] * 12)
+        # 1 label x (32-bit pointer + 2 bits) = 34 bits -> 5 bytes
+        assert cam.size_bytes() == 5
+        # the paper's "unrealistic" 1-byte-pointer accounting
+        assert cam.size_bytes(pointer_bytes=1) == 2
+
+    def test_override_size_model_same_form(self, paper_doc):
+        cam = OverrideCAM.from_vector(paper_doc, [True] * 12)
+        assert cam.size_bytes() == 5

@@ -1,0 +1,86 @@
+"""Tests for the repro-dol command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmark.generator import XMarkConfig, generate
+from repro.xmltree.serializer import serialize
+
+
+@pytest.fixture
+def xmark_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(serialize(generate(XMarkConfig(n_items=20, seed=1))))
+    return str(path)
+
+
+class TestXmark:
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "out.xml"
+        assert main(["xmark", "--items", "5", "-o", str(out)]) == 0
+        assert out.read_text().startswith("<site>")
+
+    def test_stdout(self, capsys):
+        assert main(["xmark", "--items", "3"]) == 0
+        assert "<site>" in capsys.readouterr().out
+
+    def test_pretty(self, tmp_path):
+        out = tmp_path / "pretty.xml"
+        main(["xmark", "--items", "3", "--pretty", "-o", str(out)])
+        assert "\n" in out.read_text()
+
+
+class TestInspect:
+    def test_prints_statistics(self, xmark_file, capsys):
+        assert main(["inspect", xmark_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out
+        assert "item" in out
+
+
+class TestLabel:
+    def test_prints_dol_and_cam_sizes(self, xmark_file, capsys):
+        assert main(["label", xmark_file, "--subjects", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DOL transition nodes" in out
+        assert "CAM labels" in out
+
+
+class TestExplain:
+    def test_plan_printed(self, xmark_file, capsys):
+        assert main(["explain", xmark_file, "//listitem//keyword"]) == 0
+        out = capsys.readouterr().out
+        assert "NoK subtrees: 2" in out
+        assert "join order" in out
+
+
+class TestDisseminate:
+    def test_filtered_output(self, xmark_file, capsys):
+        assert main(["disseminate", xmark_file, "--accessibility", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert len(out) > 0
+
+    def test_writes_file(self, xmark_file, tmp_path, capsys):
+        out_path = tmp_path / "filtered.xml"
+        assert main(
+            ["disseminate", xmark_file, "-o", str(out_path), "--policy", "hoist"]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out_path.exists()
+
+
+class TestQuery:
+    def test_non_secure(self, xmark_file, capsys):
+        assert main(["query", xmark_file, "//item"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("answers: 20")
+
+    def test_secure(self, xmark_file, capsys):
+        assert main(["query", xmark_file, "//item", "--subject", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "answers:" in out
+
+    def test_limit(self, xmark_file, capsys):
+        main(["query", xmark_file, "//item", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "... and 18 more" in out

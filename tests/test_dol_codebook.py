@@ -1,0 +1,128 @@
+"""Unit tests for the DOL codebook."""
+
+import pytest
+
+from repro.dol.codebook import Codebook
+from repro.errors import CodebookError
+
+
+class TestEncodeDecode:
+    def test_codes_are_dense(self):
+        book = Codebook(3)
+        assert book.encode(0b101) == 0
+        assert book.encode(0b010) == 1
+        assert book.encode(0b101) == 0  # reused, not duplicated
+        assert len(book) == 2
+
+    def test_decode_roundtrip(self):
+        book = Codebook(4)
+        for mask in (0, 0b1111, 0b0101):
+            assert book.decode(book.encode(mask)) == mask
+
+    def test_unknown_code_rejected(self):
+        book = Codebook(2)
+        with pytest.raises(CodebookError):
+            book.decode(0)
+
+    def test_mask_out_of_width_rejected(self):
+        book = Codebook(2)
+        with pytest.raises(CodebookError):
+            book.encode(0b100)
+        with pytest.raises(CodebookError):
+            book.encode(-1)
+
+    def test_accessible_bit_lookup(self):
+        book = Codebook(3)
+        code = book.encode(0b101)
+        assert book.accessible(code, 0)
+        assert not book.accessible(code, 1)
+        assert book.accessible(code, 2)
+        with pytest.raises(CodebookError):
+            book.accessible(code, 3)
+
+    def test_contains_and_entries(self):
+        book = Codebook(2)
+        book.encode(0b01)
+        assert 0b01 in book
+        assert 0b10 not in book
+        assert list(book.entries()) == [(0, 0b01)]
+
+
+class TestSubjectMaintenance:
+    def test_add_subject_with_no_rights(self):
+        book = Codebook(2)
+        code = book.encode(0b11)
+        new = book.add_subject()
+        assert new == 2
+        assert book.n_subjects == 3
+        assert not book.accessible(code, new)
+
+    def test_add_subject_copying_existing(self):
+        book = Codebook(2)
+        a = book.encode(0b01)
+        b = book.encode(0b10)
+        new = book.add_subject(initially_like=0)
+        assert book.accessible(a, new)  # subject 0 had access in entry a
+        assert not book.accessible(b, new)
+
+    def test_add_subject_bad_template_rejected(self):
+        book = Codebook(1)
+        with pytest.raises(CodebookError):
+            book.add_subject(initially_like=5)
+
+    def test_remove_subject_clears_column(self):
+        book = Codebook(3)
+        code = book.encode(0b111)
+        book.remove_subject(1)
+        assert book.decode(code) == 0b101
+
+    def test_remove_creates_lazy_duplicates(self):
+        book = Codebook(2)
+        book.encode(0b01)
+        book.encode(0b11)
+        assert book.duplicate_entry_count() == 0
+        book.remove_subject(1)
+        assert book.duplicate_entry_count() == 1
+
+    def test_compact_merges_duplicates(self):
+        book = Codebook(2)
+        a = book.encode(0b01)
+        b = book.encode(0b11)
+        book.remove_subject(1)
+        remap = book.compact()
+        assert remap == {a: 0, b: 0}
+        assert len(book) == 1
+        assert book.duplicate_entry_count() == 0
+
+    def test_remove_out_of_range(self):
+        with pytest.raises(CodebookError):
+            Codebook(2).remove_subject(2)
+
+
+class TestSizeModel:
+    def test_entry_bytes_byte_aligned(self):
+        assert Codebook(1).entry_bytes() == 1
+        assert Codebook(8).entry_bytes() == 1
+        assert Codebook(9).entry_bytes() == 2
+        assert Codebook(8639).entry_bytes() == 1080  # the LiveLink figure
+
+    def test_code_bytes_grows_with_entries(self):
+        book = Codebook(4)
+        assert book.code_bytes() == 1
+        for mask in range(16):
+            book.encode(mask)
+        assert book.code_bytes() == 1
+        big = Codebook(16)
+        for mask in range(300):
+            big.encode(mask)
+        assert big.code_bytes() == 2
+
+    def test_size_bytes(self):
+        book = Codebook(16)
+        book.encode(0)
+        book.encode(1)
+        assert book.size_bytes() == 2 * 2
+
+    def test_zero_subjects_rejected(self):
+        with pytest.raises(CodebookError):
+            Codebook(0)

@@ -1,0 +1,102 @@
+"""Unit tests for the multi-mode DOL generalization."""
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.dol.codebook import Codebook
+from repro.dol.labeling import DOL
+from repro.dol.multimode import MultiModeDOL
+from repro.errors import AccessControlError
+
+
+@pytest.fixture
+def matrix():
+    m = AccessMatrix(6, 2, modes=["read", "write"])
+    m.grant_range(0, 0, 6, "read")
+    m.grant_range(1, 2, 5, "read")
+    m.grant_range(0, 2, 4, "write")
+    return m
+
+
+class TestConstruction:
+    def test_roundtrip(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        assert combined.to_matrix() == matrix
+
+    def test_accessible_matches_matrix(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        for mode in matrix.modes:
+            for subject in range(2):
+                for pos in range(6):
+                    assert combined.accessible(subject, pos, mode) == (
+                        matrix.accessible(subject, pos, mode)
+                    ), (mode, subject, pos)
+
+    def test_column_layout(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        assert combined.column(0, "read") == 0
+        assert combined.column(1, "read") == 1
+        assert combined.column(0, "write") == 2
+        assert combined.column(1, "write") == 3
+
+    def test_unknown_mode_rejected(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        with pytest.raises(AccessControlError):
+            combined.accessible(0, 0, "execute")
+        with pytest.raises(AccessControlError):
+            combined.column(5, "read")
+
+    def test_width_validated(self, matrix):
+        dol = DOL.from_masks([0] * 6, 3)
+        with pytest.raises(AccessControlError):
+            MultiModeDOL(dol, ["read", "write"], 2)
+
+    def test_shared_codebook(self, matrix):
+        book = Codebook(4)
+        combined = MultiModeDOL.from_matrix(matrix, codebook=book)
+        assert combined.dol.codebook is book
+
+
+class TestCompression:
+    def test_single_mode_degenerates_to_dol(self):
+        matrix = AccessMatrix(5, 2)
+        matrix.grant_range(0, 1, 4)
+        combined = MultiModeDOL.from_matrix(matrix)
+        plain = DOL.from_matrix(matrix)
+        assert combined.n_transitions == plain.n_transitions
+
+    def test_correlated_modes_share_transitions(self):
+        """When the write set is nested in the read set and changes at the
+        same boundaries, the combined DOL needs no extra transitions."""
+        matrix = AccessMatrix(8, 1, modes=["read", "write"])
+        matrix.grant_range(0, 2, 6, "read")
+        matrix.grant_range(0, 2, 6, "write")
+        combined = MultiModeDOL.from_matrix(matrix)
+        assert combined.n_transitions == DOL.from_matrix(matrix, "read").n_transitions
+
+    def test_combined_never_worse_than_sum(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        per_mode = sum(
+            DOL.from_matrix(matrix, mode).n_transitions for mode in matrix.modes
+        )
+        assert combined.n_transitions <= per_mode
+
+    def test_livelink_cross_mode_compression(self):
+        """Nested LiveLink modes: one combined DOL is much smaller than
+        ten per-mode DOLs."""
+        from repro.acl.surrogates import generate_livelink
+
+        dataset = generate_livelink(n_items=300, n_groups=4, n_users=10, seed=3)
+        combined = MultiModeDOL.from_matrix(dataset.matrix)
+        per_mode_transitions = sum(
+            DOL.from_matrix(dataset.matrix, mode).n_transitions
+            for mode in dataset.matrix.modes
+        )
+        assert combined.n_transitions < per_mode_transitions
+        assert combined.to_matrix() == dataset.matrix
+
+    def test_per_mode_total_bytes_helper(self, matrix):
+        total = MultiModeDOL.per_mode_total_bytes(matrix)
+        assert total == sum(
+            DOL.from_matrix(matrix, mode).size_bytes() for mode in matrix.modes
+        )

@@ -1,0 +1,24 @@
+"""Every example script must run cleanly — examples are executable docs."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,201 @@
+"""Unit tests for the B+-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert tree.search("x") == []
+        assert "x" not in tree
+        assert len(tree) == 0
+
+    def test_insert_search(self):
+        tree = BPlusTree()
+        tree.insert("b", 2)
+        tree.insert("a", 1)
+        tree.insert("b", 5)
+        assert tree.search("a") == [1]
+        assert tree.search("b") == [2, 5]
+        assert len(tree) == 2
+        assert tree.n_postings == 3
+
+    def test_postings_sorted(self):
+        tree = BPlusTree()
+        for posting in (9, 1, 5, 3):
+            tree.insert("k", posting)
+        assert tree.search("k") == [1, 3, 5, 9]
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+
+class TestSplitting:
+    def test_many_keys_stay_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = [f"k{i:03d}" for i in range(200)]
+        shuffled = list(keys)
+        random.Random(0).shuffle(shuffled)
+        for index, key in enumerate(shuffled):
+            tree.insert(key, index)
+        assert tree.keys() == keys
+        tree.validate()
+
+    def test_lookup_after_splits(self):
+        tree = BPlusTree(order=3)
+        for i in range(100):
+            tree.insert(i % 17, i)
+        for key in range(17):
+            expected = sorted(i for i in range(100) if i % 17 == key)
+            assert tree.search(key) == expected
+
+    def test_matches_dict_reference(self):
+        rng = random.Random(42)
+        tree = BPlusTree(order=5)
+        reference = {}
+        for _ in range(500):
+            key = rng.randrange(60)
+            posting = rng.randrange(10000)
+            tree.insert(key, posting)
+            reference.setdefault(key, []).append(posting)
+        for key, postings in reference.items():
+            assert tree.search(key) == sorted(postings)
+        tree.validate()
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # even keys only
+            tree.insert(i, i * 10)
+        return tree
+
+    def test_inclusive_range(self, tree):
+        keys = [k for k, _ in tree.range(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_range_with_absent_bounds(self, tree):
+        keys = [k for k, _ in tree.range(11, 19)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(200, 300)) == []
+
+    def test_items_in_order(self, tree):
+        assert [k for k, _ in tree.items()] == list(range(0, 100, 2))
+
+
+class TestDelete:
+    def test_delete_posting(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.delete("k", 1)
+        assert tree.search("k") == [2]
+        assert tree.n_postings == 1
+
+    def test_key_removed_when_empty(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        assert tree.delete("k", 1)
+        assert "k" not in tree
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        assert not tree.delete("k", 9)
+        assert not tree.delete("nope", 1)
+
+    def test_delete_after_splits(self):
+        tree = BPlusTree(order=3)
+        for i in range(50):
+            tree.insert(i, i)
+        for i in range(0, 50, 2):
+            assert tree.delete(i, i)
+        assert tree.keys() == list(range(1, 50, 2))
+        tree.validate()
+
+
+class TestRebalancing:
+    def test_drain_to_empty(self):
+        tree = BPlusTree(order=3)
+        for i in range(100):
+            tree.insert(i, i)
+        for i in range(100):
+            assert tree.delete(i, i)
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.keys() == []
+
+    def test_root_collapses(self):
+        tree = BPlusTree(order=3)
+        for i in range(50):
+            tree.insert(i, i)
+        for i in range(49):
+            tree.delete(i, i)
+        tree.validate()
+        assert tree.search(49) == [49]
+
+    def test_borrow_from_left_sibling(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.insert(i, i)
+        # delete from the right edge to force borrows
+        for i in range(19, 10, -1):
+            tree.delete(i, i)
+            tree.validate()
+        assert tree.keys() == list(range(11))
+
+    def test_merge_preserves_leaf_chain(self):
+        tree = BPlusTree(order=3)
+        for i in range(60):
+            tree.insert(i, i)
+        for i in range(0, 60, 2):
+            tree.delete(i, i)
+        remaining = [k for k, _ in tree.items()]
+        assert remaining == list(range(1, 60, 2))
+        tree.validate()
+
+    def test_interleaved_random_fuzz(self):
+        import random
+
+        rng = random.Random(99)
+        tree = BPlusTree(order=4)
+        reference = {}
+        for _ in range(3000):
+            key = rng.randrange(25)
+            posting = rng.randrange(30)
+            if rng.random() < 0.5:
+                tree.insert(key, posting)
+                reference.setdefault(key, []).append(posting)
+                reference[key].sort()
+            else:
+                removed = tree.delete(key, posting)
+                present = key in reference and posting in reference[key]
+                assert removed == present
+                if present:
+                    reference[key].remove(posting)
+                    if not reference[key]:
+                        del reference[key]
+        tree.validate()
+        for key, postings in reference.items():
+            assert tree.search(key) == postings
+
+
+class TestValidate:
+    def test_detects_corruption(self):
+        tree = BPlusTree(order=3)
+        for i in range(30):
+            tree.insert(i, i)
+        leaf = tree._leftmost_leaf()
+        leaf.keys.reverse()
+        with pytest.raises(IndexError_):
+            tree.validate()

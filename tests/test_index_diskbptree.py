@@ -1,0 +1,127 @@
+"""Unit and property tests for the disk-backed B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index.diskbptree import DiskBPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = DiskBPlusTree(page_size=128)
+        assert tree.search("x") == []
+        assert len(tree) == 0
+        assert tree.height() == 1
+
+    def test_insert_and_search(self):
+        tree = DiskBPlusTree(page_size=128)
+        tree.insert("b", 2)
+        tree.insert("a", 1)
+        tree.insert("b", 5)
+        assert tree.search("a") == [1]
+        assert tree.search("b") == [2, 5]
+        assert len(tree) == 3
+
+    def test_duplicates_across_page_splits(self):
+        tree = DiskBPlusTree(page_size=96)
+        for posting in range(200):
+            tree.insert("same-key", posting)
+        assert tree.search("same-key") == list(range(200))
+        assert tree.height() > 1
+
+    def test_unicode_keys(self):
+        tree = DiskBPlusTree(page_size=256)
+        tree.insert("tag-ü", 1)
+        tree.insert("標籤", 2)
+        assert tree.search("tag-ü") == [1]
+        assert tree.search("標籤") == [2]
+
+    def test_oversized_key_rejected(self):
+        tree = DiskBPlusTree(page_size=96)
+        with pytest.raises(IndexError_):
+            tree.insert("k" * 200, 1)
+
+
+class TestScale:
+    def test_many_entries_match_reference(self):
+        rng = random.Random(7)
+        tree = DiskBPlusTree(page_size=128)
+        reference = {}
+        for _ in range(2000):
+            key = f"tag{rng.randrange(60):03d}"
+            posting = rng.randrange(10**6)
+            tree.insert(key, posting)
+            reference.setdefault(key, []).append(posting)
+        for key, postings in reference.items():
+            assert tree.search(key) == sorted(postings)
+        tree.validate()
+        assert tree.height() >= 3
+
+    def test_items_sorted(self):
+        rng = random.Random(8)
+        tree = DiskBPlusTree(page_size=128)
+        for _ in range(500):
+            tree.insert(f"k{rng.randrange(30)}", rng.randrange(1000))
+        items = list(tree.items())
+        assert items == sorted(items)
+
+    def test_range_query(self):
+        tree = DiskBPlusTree(page_size=128)
+        for i in range(300):
+            tree.insert(f"k{i % 20:02d}", i)
+        got = [k for k, _ in tree.range("k05", "k07")]
+        assert set(got) == {"k05", "k06", "k07"}
+        assert got == sorted(got)
+
+
+class TestDiskBehaviour:
+    def test_file_backed(self, tmp_path):
+        path = str(tmp_path / "index.db")
+        tree = DiskBPlusTree(path=path, page_size=128)
+        for i in range(200):
+            tree.insert(f"k{i % 10}", i)
+        tree.flush()
+        assert tree.search("k3") == list(range(3, 200, 10))
+        tree.close()
+
+    def test_probes_cost_bounded_io(self):
+        tree = DiskBPlusTree(page_size=128, buffer_capacity=4)
+        for i in range(2000):
+            tree.insert(f"key{i:05d}", i)
+        tree.flush()
+        tree.buffer.clear()
+        tree.pager.stats.reset()
+        tree.search("key01000")
+        # a point probe reads about one page per level
+        assert tree.pager.stats.reads <= tree.height() + 1
+
+    def test_validate_detects_count_drift(self):
+        tree = DiskBPlusTree(page_size=128)
+        tree.insert("a", 1)
+        tree._n_entries = 5
+        with pytest.raises(IndexError_):
+            tree.validate()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=25), st.integers(min_value=0, max_value=999)),
+        max_size=300,
+    ),
+    st.sampled_from([96, 128, 256]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_matches_dict(pairs, page_size):
+    tree = DiskBPlusTree(page_size=page_size)
+    reference = {}
+    for key_n, posting in pairs:
+        key = f"k{key_n:02d}"
+        tree.insert(key, posting)
+        reference.setdefault(key, []).append(posting)
+    for key, postings in reference.items():
+        assert tree.search(key) == sorted(postings)
+    tree.validate()

@@ -1,0 +1,79 @@
+"""Unit tests for the tag/value indexes (in-memory and disk-backed)."""
+
+import pytest
+
+from repro.index.tagindex import DiskTagIndex, TagIndex
+
+
+class TestTagLookup:
+    def test_positions_match_scan(self, xmark_doc):
+        index = TagIndex(xmark_doc)
+        for tag in ("item", "keyword", "parlist", "bold"):
+            assert index.positions(tag) == xmark_doc.positions_with_tag(tag)
+
+    def test_positions_sorted(self, xmark_doc):
+        index = TagIndex(xmark_doc)
+        positions = index.positions("item")
+        assert positions == sorted(positions)
+
+    def test_absent_tag(self, xmark_doc):
+        assert TagIndex(xmark_doc).positions("nonexistent") == []
+
+    def test_count(self, small_doc):
+        index = TagIndex(small_doc)
+        assert index.count("item") == 2
+        assert index.count("nope") == 0
+
+    def test_tags_sorted(self, small_doc):
+        assert TagIndex(small_doc).tags() == ["item", "name", "price", "site"]
+
+
+class TestDiskTagIndex:
+    @pytest.fixture(scope="class")
+    def disk_index(self, request):
+        xmark_doc = request.getfixturevalue("xmark_doc")
+        return DiskTagIndex(xmark_doc, page_size=512)
+
+    def test_matches_in_memory_index(self, xmark_doc, disk_index):
+        memory = TagIndex(xmark_doc)
+        for tag in ("item", "keyword", "parlist", "bold", "absent"):
+            assert disk_index.positions(tag) == memory.positions(tag)
+            assert disk_index.count(tag) == memory.count(tag)
+
+    def test_value_lookup(self, small_doc):
+        index = DiskTagIndex(small_doc, page_size=256)
+        assert index.positions_with_value("name", "anvil") == [2]
+        assert index.positions_with_value("price", "10") == [3, 6]
+
+    def test_value_scan_fallback(self, small_doc):
+        index = DiskTagIndex(small_doc, page_size=256, index_values=False)
+        assert index.positions_with_value("name", "anvil") == [2]
+
+    def test_engine_accepts_disk_index(self, xmark_doc, disk_index):
+        from repro.bench.queries import QUERIES
+        from repro.nok.engine import QueryEngine
+        from repro.nok.pattern import parse_query
+        from repro.nok.reference import evaluate_reference
+
+        engine = QueryEngine(xmark_doc, index=disk_index)
+        got = set(engine.evaluate(QUERIES["Q5"]).positions)
+        assert got == evaluate_reference(xmark_doc, parse_query(QUERIES["Q5"]))
+
+    def test_probe_io_counted(self, xmark_doc, disk_index):
+        before = disk_index.io_stats()
+        disk_index.positions("item")
+        after = disk_index.io_stats()
+        assert after[0] > before[0]
+
+
+class TestValueLookup:
+    def test_tag_value_pairs(self, small_doc):
+        index = TagIndex(small_doc)
+        assert index.positions_with_value("name", "anvil") == [2]
+        assert index.positions_with_value("price", "10") == [3, 6]
+        assert index.positions_with_value("name", "missing") == []
+
+    def test_without_value_index_falls_back_to_scan(self, small_doc):
+        index = TagIndex(small_doc, index_values=False)
+        assert index.positions_with_value("name", "anvil") == [2]
+        assert index.positions_with_value("price", "10") == [3, 6]

@@ -1,0 +1,119 @@
+"""Attribute predicates: [@name] existence and [@name = "value"] equality."""
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.errors import QueryParseError
+from repro.nok.engine import QueryEngine
+from repro.nok.pattern import parse_query
+from repro.nok.reference import evaluate_reference
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+from repro.xmltree.parser import parse
+
+
+@pytest.fixture
+def doc():
+    return Document.from_tree(
+        parse(
+            '<site>'
+            '<item id="i1" featured="yes"><name>anvil</name></item>'
+            '<item id="i2"><name>rope</name></item>'
+            '<item id="i3" featured="no"><name>hammer</name></item>'
+            '</site>'
+        )
+    )
+
+
+class TestDocumentAttrs:
+    def test_attrs_flattened(self, doc):
+        assert doc.attrs_of(1) == {"id": "i1", "featured": "yes"}
+        assert doc.attrs_of(3) == {"id": "i2"}
+        assert doc.attrs_of(0) == {}
+
+    def test_attrs_roundtrip_through_tree(self, doc):
+        again = Document.from_tree(doc.to_tree())
+        assert again.attrs == doc.attrs
+
+    def test_attrs_survive_flatten_serialize_parse(self, doc):
+        from repro.xmltree.serializer import serialize
+
+        text = serialize(doc.to_tree())
+        again = Document.from_tree(parse(text))
+        assert again.attrs == doc.attrs
+
+
+class TestParsing:
+    def test_existence_test(self):
+        tree = parse_query("//item[@featured]")
+        assert tree.root.attr_tests == {"featured": None}
+
+    def test_value_test(self):
+        tree = parse_query('//item[@id = "i2"]')
+        assert tree.root.attr_tests == {"id": "i2"}
+
+    def test_mixed_predicates(self):
+        tree = parse_query('//item[@featured = "yes"][name]')
+        assert tree.root.attr_tests == {"featured": "yes"}
+        assert tree.root.children[0].tag == "name"
+
+    def test_to_string_roundtrip(self):
+        tree = parse_query('//item[@id = "i1"][@featured]')
+        again = parse_query(tree.to_string())
+        assert again.root.attr_tests == tree.root.attr_tests
+
+    def test_bad_attr_syntax(self):
+        with pytest.raises(QueryParseError):
+            parse_query("//item[@]")
+
+
+class TestEvaluation:
+    def test_existence(self, doc):
+        engine = QueryEngine.build(doc)
+        result = engine.evaluate("//item[@featured]")
+        assert result.positions == [1, 5]
+
+    def test_value_equality(self, doc):
+        engine = QueryEngine.build(doc)
+        result = engine.evaluate('//item[@featured = "yes"]')
+        assert result.positions == [1]
+
+    def test_attr_on_inner_step(self, doc):
+        engine = QueryEngine.build(doc)
+        result = engine.evaluate('/site/item[@id = "i2"]/name')
+        assert [doc.text(p) for p in result.positions] == ["rope"]
+
+    def test_missing_attr_matches_nothing(self, doc):
+        engine = QueryEngine.build(doc)
+        assert engine.evaluate("//item[@nonexistent]").positions == []
+
+    def test_matches_reference(self, doc):
+        engine = QueryEngine.build(doc)
+        for query in (
+            "//item[@featured]",
+            '//item[@id = "i3"]',
+            '/site/item[@featured = "no"]/name',
+        ):
+            got = set(engine.evaluate(query).positions)
+            want = evaluate_reference(doc, parse_query(query))
+            assert got == want, query
+
+    def test_secure_attr_query(self, doc):
+        matrix = AccessMatrix(len(doc), 1)
+        matrix.grant_range(0, 0, len(doc))
+        matrix.set_accessible(0, 1, False)  # first item denied
+        engine = QueryEngine.build(doc, matrix)
+        result = engine.evaluate("//item[@featured]", subject=0)
+        assert result.positions == [5]
+
+    def test_store_backed_attr_query(self, doc):
+        matrix = AccessMatrix(len(doc), 1)
+        matrix.grant_range(0, 0, len(doc))
+        engine = QueryEngine.build(doc, matrix, use_store=True, page_size=128)
+        result = engine.evaluate('//item[@id = "i1"]', subject=0)
+        assert result.positions == [1]
+
+    def test_xmark_item_ids(self, xmark_doc):
+        engine = QueryEngine.build(xmark_doc)
+        result = engine.evaluate('//item[@id = "item3"]')
+        assert result.n_answers == 1

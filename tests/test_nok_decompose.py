@@ -1,0 +1,81 @@
+"""Unit tests for NoK subtree decomposition."""
+
+from repro.bench.queries import QUERIES
+from repro.nok.decompose import decompose
+from repro.nok.pattern import parse_query
+
+
+class TestSingleSubtree:
+    def test_child_only_pattern(self):
+        dec = decompose(parse_query("/a/b[c]/d"))
+        assert len(dec.subtrees) == 1
+        assert dec.edges == []
+
+    def test_q1_is_one_nok_tree(self):
+        dec = decompose(parse_query(QUERIES["Q1"]))
+        assert len(dec.subtrees) == 1
+
+    def test_output_nodes_include_root_and_returning(self):
+        dec = decompose(parse_query("/a/b"))
+        (subtree,) = dec.subtrees
+        tags = {node.tag for node in subtree.output_nodes}
+        assert tags == {"a", "b"}
+
+
+class TestSplitting:
+    def test_q4_splits_in_two(self):
+        dec = decompose(parse_query(QUERIES["Q4"]))
+        assert len(dec.subtrees) == 2
+        (edge,) = dec.edges
+        assert edge.parent_subtree == 0
+        assert edge.child_subtree == 1
+        assert edge.parent_node.tag == "parlist"
+
+    def test_three_level_chain(self):
+        dec = decompose(parse_query("//a//b//c"))
+        assert len(dec.subtrees) == 3
+        assert sorted((e.parent_subtree, e.child_subtree) for e in dec.edges) == [
+            (0, 1),
+            (1, 2),
+        ]
+
+    def test_mixed_pattern(self):
+        dec = decompose(parse_query("/a/b//c/d"))
+        assert len(dec.subtrees) == 2
+        assert dec.subtrees[0].root.tag == "a"
+        assert dec.subtrees[1].root.tag == "c"
+        (edge,) = dec.edges
+        assert edge.parent_node.tag == "b"
+
+    def test_descendant_predicate_splits(self):
+        dec = decompose(parse_query("/a[//k]/b"))
+        assert len(dec.subtrees) == 2
+        assert dec.subtrees[1].root.tag == "k"
+
+    def test_edge_source_becomes_output_node(self):
+        dec = decompose(parse_query("/a/b//c"))
+        outputs0 = {node.tag for node in dec.subtrees[0].output_nodes}
+        assert "b" in outputs0  # the AD edge hangs off b
+
+    def test_contains_returning(self):
+        dec = decompose(parse_query("//a//b"))
+        assert not dec.subtrees[0].contains_returning()
+        assert dec.subtrees[1].contains_returning()
+
+
+class TestJoinOrder:
+    def test_children_before_parents(self):
+        dec = decompose(parse_query("//a//b//c"))
+        order = dec.join_order()
+        assert order.index(2) < order.index(1) < order.index(0)
+
+    def test_fan_out(self):
+        dec = decompose(parse_query("/a[//x]//y"))
+        order = dec.join_order()
+        assert order[-1] == 0
+        assert set(order) == {0, 1, 2}
+
+    def test_children_of(self):
+        dec = decompose(parse_query("/a[//x]//y"))
+        assert len(dec.children_of(0)) == 2
+        assert dec.children_of(1) == []

@@ -1,0 +1,115 @@
+"""Ordered pattern trees: following-sibling (next-of-kin) constraints.
+
+The paper presents unordered matching "for ease of presentation only,
+though we use ordered pattern tree in real experiments" (Section 4.1).
+With ``ordered=True``, a pattern node's child-axis children must bind to
+data siblings in pattern order.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.model import AccessMatrix
+from repro.nok.engine import QueryEngine
+from repro.nok.pattern import parse_query
+from repro.nok.reference import evaluate_reference
+from repro.secure.semantics import CHO
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+from tests.conftest import random_document
+
+
+@pytest.fixture
+def doc():
+    # r -> a(b, c), a(c, b): sibling order differs between the two a's.
+    return Document.from_tree(
+        tree(("r", ("a", ("b",), ("c",)), ("a", ("c",), ("b",))))
+    )
+
+
+class TestOrderedSemantics:
+    def test_unordered_matches_both(self, doc):
+        engine = QueryEngine.build(doc)
+        result = engine.evaluate("/r/a[b][c]")
+        assert result.positions == [1, 4]
+
+    def test_ordered_respects_sibling_order(self, doc):
+        engine = QueryEngine.build(doc)
+        # [b][c] in pattern order: only the first a has b before c.
+        assert engine.evaluate("/r/a[b][c]", ordered=True).positions == [1]
+        # [c][b]: only the second a.
+        assert engine.evaluate("/r/a[c][b]", ordered=True).positions == [4]
+
+    def test_ordered_subset_of_unordered(self, doc):
+        engine = QueryEngine.build(doc)
+        for query in ("/r/a[b][c]", "/r/a[c]/b", "//a[b]"):
+            ordered = set(engine.evaluate(query, ordered=True).positions)
+            unordered = set(engine.evaluate(query).positions)
+            assert ordered <= unordered, query
+
+    def test_same_data_node_cannot_serve_twice(self):
+        # a has a single b child; pattern needs two b's in order.
+        doc = Document.from_tree(tree(("r", ("a", ("b",)))))
+        engine = QueryEngine.build(doc)
+        assert engine.evaluate("/r/a[b][b]", ordered=True).positions == []
+        # unordered Algorithm-1 semantics lets one child satisfy both.
+        assert engine.evaluate("/r/a[b][b]").positions == [1]
+
+    def test_ordered_with_returning_in_branch(self, doc):
+        engine = QueryEngine.build(doc)
+        # return c where a has pattern (b, c) in order
+        result = engine.evaluate("/r/a[b]/c", ordered=True)
+        assert result.positions == [3]
+
+    def test_secure_ordered(self, doc):
+        matrix = AccessMatrix(len(doc), 1)
+        matrix.grant_range(0, 0, len(doc))
+        matrix.set_accessible(0, 2, False)  # first a's b inaccessible
+        engine = QueryEngine.build(doc, matrix)
+        result = engine.evaluate("/r/a[b][c]", subject=0, ordered=True)
+        assert result.positions == []
+
+
+class TestOrderedOracle:
+    @st.composite
+    def cases(draw):
+        seed = draw(st.integers(min_value=0, max_value=9999))
+        rng = random.Random(seed)
+        doc = random_document(rng, draw(st.integers(min_value=1, max_value=30)))
+        query = draw(
+            st.sampled_from(
+                [
+                    "//n0[n1][n2]",
+                    "//n1[n0][n0]",
+                    "/n0/n1[n2]/n3",
+                    "//n2[n1]/n0",
+                    "//n0[n1/n2][n3]",
+                ]
+            )
+        )
+        masks = [rng.randrange(2) for _ in range(len(doc))]
+        return doc, query, masks
+
+    @given(cases())
+    @settings(max_examples=120, deadline=None)
+    def test_engine_matches_reference(self, case):
+        doc, query, masks = case
+        pattern = parse_query(query)
+        engine = QueryEngine.build(doc)
+        got = set(engine.evaluate(pattern, ordered=True).positions)
+        want = evaluate_reference(doc, pattern, ordered=True)
+        assert got == want
+
+    @given(cases())
+    @settings(max_examples=80, deadline=None)
+    def test_secure_ordered_matches_reference(self, case):
+        doc, query, masks = case
+        pattern = parse_query(query)
+        matrix = AccessMatrix.from_masks(masks, 1)
+        engine = QueryEngine.build(doc, matrix)
+        got = set(engine.evaluate(pattern, subject=0, ordered=True).positions)
+        want = evaluate_reference(doc, pattern, masks, 0, CHO, ordered=True)
+        assert got == want

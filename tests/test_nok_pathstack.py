@@ -1,0 +1,204 @@
+"""Tests for the PathStack holistic path join."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.model import AccessMatrix
+from repro.bench.queries import JOIN_QUERIES, QUERIES
+from repro.errors import ReproError
+from repro.nok.engine import QueryEngine
+from repro.nok.pathstack import evaluate_pathstack, linear_steps
+from repro.nok.pattern import parse_query
+from repro.nok.reference import evaluate_reference
+from repro.secure.semantics import CHO, VIEW
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+from tests.conftest import random_document
+
+
+class TestLinearSteps:
+    def test_path_is_linear(self):
+        steps = linear_steps(parse_query("//a//b/c"))
+        assert [node.tag for node, _axis in steps] == ["a", "b", "c"]
+
+    def test_branching_is_not(self):
+        assert linear_steps(parse_query("//a[b]/c")) is None
+
+    def test_single_step(self):
+        steps = linear_steps(parse_query("//keyword"))
+        assert len(steps) == 1
+
+
+class TestBasicJoins:
+    @pytest.fixture
+    def doc(self):
+        return Document.from_tree(
+            tree(("r", ("a", ("b", ("c",))), ("a", ("c",)), ("b", ("a", ("c",)))))
+        )
+
+    def _eval(self, doc, query, access=None):
+        from repro.index.tagindex import TagIndex
+
+        return evaluate_pathstack(doc, parse_query(query), TagIndex(doc), access)
+
+    def test_descendant_path(self, doc):
+        assert self._eval(doc, "//a//c") == sorted(
+            evaluate_reference(doc, parse_query("//a//c"))
+        )
+
+    def test_child_edges_enforced(self, doc):
+        assert self._eval(doc, "//a/c") == sorted(
+            evaluate_reference(doc, parse_query("//a/c"))
+        )
+
+    def test_rooted_path(self, doc):
+        assert self._eval(doc, "/r/a/b/c") == sorted(
+            evaluate_reference(doc, parse_query("/r/a/b/c"))
+        )
+
+    def test_returning_not_leaf(self, doc):
+        # return the *ancestor*: //a//c with a as the returning node
+        pattern = parse_query("//a//c")
+        pattern.returning_node.is_returning = False
+        pattern.root.is_returning = True
+        from repro.index.tagindex import TagIndex
+
+        got = evaluate_pathstack(doc, pattern, TagIndex(doc), None)
+        want = sorted(evaluate_reference(doc, pattern))
+        assert got == want
+
+    def test_same_tag_self_join(self):
+        doc = Document.from_tree(tree(("p", ("p", ("p",)), ("x",))))
+        got = self._eval(doc, "//p//p")
+        assert got == sorted(evaluate_reference(doc, parse_query("//p//p")))
+
+    def test_branching_uses_path_merge(self, doc):
+        engine = QueryEngine.build(doc)
+        holistic = engine.evaluate_path("//a[b]/c")
+        nok = engine.evaluate("//a[b]/c")
+        assert holistic.positions == nok.positions
+
+    def test_raw_pathstack_rejects_branching(self, doc):
+        from repro.index.tagindex import TagIndex
+        from repro.nok.pathstack import evaluate_pathstack
+
+        with pytest.raises(ReproError):
+            evaluate_pathstack(doc, parse_query("//a[b]/c"), TagIndex(doc))
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("qid", JOIN_QUERIES)
+    def test_q4_q6_match_nok_strategy(self, xmark_doc, qid):
+        engine = QueryEngine.build(xmark_doc)
+        nok = engine.evaluate(QUERIES[qid])
+        holistic = engine.evaluate_path(QUERIES[qid])
+        assert holistic.positions == nok.positions, qid
+
+    @pytest.mark.parametrize("qid", JOIN_QUERIES)
+    @pytest.mark.parametrize("semantics", [CHO, VIEW])
+    def test_secure_matches_nok(self, xmark_doc, xmark_acl, qid, semantics):
+        engine = QueryEngine.build(xmark_doc, xmark_acl)
+        nok = engine.evaluate(QUERIES[qid], subject=1, semantics=semantics)
+        holistic = engine.evaluate_path(QUERIES[qid], subject=1, semantics=semantics)
+        assert holistic.positions == nok.positions, (qid, semantics)
+
+    @pytest.mark.parametrize("qid", sorted(QUERIES))
+    def test_all_table1_queries_agree(self, xmark_doc, xmark_acl, qid):
+        """Branching Q1/Q2 go through the path-merge; all six agree."""
+        engine = QueryEngine.build(xmark_doc, xmark_acl)
+        nok = engine.evaluate(QUERIES[qid], subject=0)
+        holistic = engine.evaluate_path(QUERIES[qid], subject=0)
+        assert holistic.positions == nok.positions, qid
+
+
+@st.composite
+def path_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    doc = random_document(rng, draw(st.integers(min_value=1, max_value=40)))
+    query = draw(
+        st.sampled_from(
+            [
+                "//n0//n1",
+                "//n1/n0",
+                "//n0//n1//n2",
+                "//n2/n1//n0",
+                "//n0/n0/n0",
+                "//n3//n3",
+                "/n0//n2",
+            ]
+        )
+    )
+    masks = [rng.randrange(2) for _ in range(len(doc))]
+    return doc, query, masks
+
+
+@st.composite
+def twig_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    doc = random_document(rng, draw(st.integers(min_value=1, max_value=35)))
+    query = draw(
+        st.sampled_from(
+            [
+                "//n0[n1][n2]",
+                "//n0[n1]//n2",
+                "//n1[//n0]/n2",
+                "/n0[n1/n2]//n3",
+                "//n0[n1][n2/n3]//n4",
+                "//n2[n0][n1][n3]",
+            ]
+        )
+    )
+    masks = [rng.randrange(2) for _ in range(len(doc))]
+    return doc, query, masks
+
+
+@given(twig_cases())
+@settings(max_examples=150, deadline=None)
+def test_twig_path_merge_matches_oracle(case):
+    doc, query, _masks = case
+    pattern = parse_query(query)
+    engine = QueryEngine.build(doc)
+    holistic = engine.evaluate_path(pattern).positions
+    want = sorted(evaluate_reference(doc, pattern))
+    assert holistic == want, query
+
+
+@given(twig_cases())
+@settings(max_examples=100, deadline=None)
+def test_secure_twig_path_merge_matches_oracle(case):
+    doc, query, masks = case
+    pattern = parse_query(query)
+    matrix = AccessMatrix.from_masks(masks, 1)
+    engine = QueryEngine.build(doc, matrix)
+    got = engine.evaluate_path(pattern, subject=0).positions
+    want = sorted(evaluate_reference(doc, pattern, masks, 0, CHO))
+    assert got == want, query
+
+
+@given(path_cases())
+@settings(max_examples=200, deadline=None)
+def test_pathstack_matches_oracle(case):
+    from repro.index.tagindex import TagIndex
+
+    doc, query, _masks = case
+    pattern = parse_query(query)
+    got = evaluate_pathstack(doc, pattern, TagIndex(doc), None)
+    want = sorted(evaluate_reference(doc, pattern))
+    assert got == want, query
+
+
+@given(path_cases())
+@settings(max_examples=120, deadline=None)
+def test_secure_pathstack_matches_oracle(case):
+    doc, query, masks = case
+    pattern = parse_query(query)
+    matrix = AccessMatrix.from_masks(masks, 1)
+    engine = QueryEngine.build(doc, matrix)
+    got = engine.evaluate_path(pattern, subject=0).positions
+    want = sorted(evaluate_reference(doc, pattern, masks, 0, CHO))
+    assert got == want, query

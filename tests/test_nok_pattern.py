@@ -1,0 +1,135 @@
+"""Unit tests for pattern trees and the query parser."""
+
+import pytest
+
+from repro.bench.queries import Q3_AS_PRINTED, QUERIES
+from repro.errors import QueryParseError
+from repro.nok.pattern import CHILD, DESCENDANT, PatternNode, parse_query
+
+
+class TestParseSimplePaths:
+    def test_single_step(self):
+        tree = parse_query("/site")
+        assert tree.root.tag == "site"
+        assert tree.root_axis == CHILD
+        assert tree.root.is_returning
+
+    def test_child_chain(self):
+        tree = parse_query("/a/b/c")
+        assert tree.root.tag == "a"
+        b = tree.root.children[0]
+        c = b.children[0]
+        assert (b.tag, c.tag) == ("b", "c")
+        assert tree.root.axes == [CHILD]
+        assert c.is_returning
+        assert not b.is_returning
+
+    def test_descendant_axes(self):
+        tree = parse_query("//a//b")
+        assert tree.root_axis == DESCENDANT
+        assert tree.root.axes == [DESCENDANT]
+
+    def test_mixed_axes(self):
+        tree = parse_query("/a//b/c")
+        assert tree.root_axis == CHILD
+        assert tree.root.axes == [DESCENDANT]
+        assert tree.root.children[0].axes == [CHILD]
+
+    def test_wildcard(self):
+        tree = parse_query("/a/*/c")
+        assert tree.root.children[0].tag == "*"
+
+
+class TestParsePredicates:
+    def test_single_predicate(self):
+        tree = parse_query("/a[b]")
+        assert tree.root.is_returning
+        assert tree.root.children[0].tag == "b"
+        assert not tree.root.children[0].is_returning
+
+    def test_multiple_predicates(self):
+        tree = parse_query("/item[location][name][quantity]")
+        assert [c.tag for c in tree.root.children] == [
+            "location",
+            "name",
+            "quantity",
+        ]
+
+    def test_predicate_path(self):
+        tree = parse_query("/a[b/c/d]")
+        b = tree.root.children[0]
+        assert b.children[0].tag == "c"
+        assert b.children[0].children[0].tag == "d"
+
+    def test_predicate_descendant(self):
+        tree = parse_query("/a[//k]")
+        assert tree.root.axes == [DESCENDANT]
+
+    def test_predicate_then_path_continues(self):
+        tree = parse_query("/a[x]/b")
+        assert [c.tag for c in tree.root.children] == ["x", "b"]
+        assert tree.root.children[1].is_returning
+
+    def test_value_constraint(self):
+        tree = parse_query('/a[payment = "Cash"]')
+        assert tree.root.children[0].value == "Cash"
+
+    def test_single_quoted_value(self):
+        tree = parse_query("/a[b='x y']")
+        assert tree.root.children[0].value == "x y"
+
+
+class TestTableOneQueries:
+    @pytest.mark.parametrize("query", list(QUERIES.values()) + [Q3_AS_PRINTED])
+    def test_all_parse(self, query):
+        tree = parse_query(query)
+        assert tree.returning_node is not None
+
+    def test_q1_shape(self):
+        tree = parse_query(QUERIES["Q1"])
+        item = tree.returning_node
+        assert item.tag == "item"
+        assert len(item.children) == 3
+
+    def test_q2_branch_in_middle(self):
+        tree = parse_query(QUERIES["Q2"])
+        category = tree.root.children[0].children[0]
+        assert category.tag == "category"
+        assert [c.tag for c in category.children] == ["name", "description"]
+        assert tree.returning_node.tag == "bold"
+
+    def test_q4_two_nok_trees(self):
+        tree = parse_query(QUERIES["Q4"])
+        assert tree.root.tag == "parlist"
+        assert tree.root.axes == [DESCENDANT]
+        assert tree.returning_node.tag == "parlist"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a/b", "/a[", "/a]", "/a[]", "/", "//", "/a/'x'", "/a[b='unterminated]"],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("/a/b )")
+
+
+class TestToString:
+    @pytest.mark.parametrize("query", list(QUERIES.values()))
+    def test_roundtrip_through_parser(self, query):
+        tree = parse_query(query)
+        again = parse_query(tree.to_string())
+        assert again.to_string() == tree.to_string()
+
+    def test_pattern_node_matches(self):
+        node = PatternNode("a")
+        assert node.matches("a", "")
+        assert not node.matches("b", "")
+        star = PatternNode("*", value="x")
+        assert star.matches("anything", "x")
+        assert not star.matches("anything", "y")

@@ -1,0 +1,66 @@
+"""Sanity tests for the brute-force reference evaluator itself."""
+
+import pytest
+
+from repro.nok.pattern import parse_query
+from repro.nok.reference import enumerate_bindings, evaluate_reference
+from repro.secure.semantics import CHO, VIEW
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+@pytest.fixture
+def doc():
+    return Document.from_tree(
+        tree(("a", ("b", ("c",)), ("b", ("c",), ("c",))))
+    )
+
+
+class TestEnumeration:
+    def test_all_bindings_enumerated(self, doc):
+        bindings = enumerate_bindings(doc, parse_query("/a/b/c"))
+        assert len(bindings) == 3  # (b1,c2), (b3,c4), (b3,c5)
+
+    def test_binding_covers_all_pattern_nodes(self, doc):
+        pattern = parse_query("/a/b/c")
+        (first, *_rest) = enumerate_bindings(doc, pattern)
+        assert len(first) == 3
+
+    def test_descendant_axis(self, doc):
+        assert evaluate_reference(doc, parse_query("//c")) == {2, 4, 5}
+
+    def test_wildcard(self, doc):
+        assert evaluate_reference(doc, parse_query("/a/*")) == {1, 3}
+
+    def test_no_match(self, doc):
+        assert evaluate_reference(doc, parse_query("/a/x")) == set()
+
+
+class TestSecureFilters:
+    def test_cho_filters_bound_nodes_only(self, doc):
+        # Block b(1); //c doesn't bind b, so c(2) survives under Cho.
+        masks = [1, 0, 1, 1, 1, 1]
+        assert evaluate_reference(
+            doc, parse_query("//c"), masks, 0, CHO
+        ) == {2, 4, 5}
+        # /a/b/c does bind b(1): only the second b's cs survive.
+        assert evaluate_reference(
+            doc, parse_query("/a/b/c"), masks, 0, CHO
+        ) == {4, 5}
+
+    def test_view_prunes_subtrees(self, doc):
+        masks = [1, 0, 1, 1, 1, 1]
+        assert evaluate_reference(doc, parse_query("//c"), masks, 0, VIEW) == {4, 5}
+
+    def test_view_blocked_root_blocks_everything(self, doc):
+        masks = [0, 1, 1, 1, 1, 1]
+        assert evaluate_reference(doc, parse_query("//c"), masks, 0, VIEW) == set()
+        # Cho doesn't bind the root for //c.
+        assert evaluate_reference(doc, parse_query("//c"), masks, 0, CHO) == {2, 4, 5}
+
+    def test_unknown_semantics(self, doc):
+        with pytest.raises(ValueError):
+            evaluate_reference(doc, parse_query("//c"), [1] * 6, 0, "nope")
+
+    def test_no_subject_means_non_secure(self, doc):
+        assert evaluate_reference(doc, parse_query("//c"), [0] * 6, None) == {2, 4, 5}

@@ -1,0 +1,129 @@
+"""Unit tests for Stack-Tree-Desc and the path accessibility index."""
+
+import random
+
+import pytest
+
+from repro.dol.labeling import DOL
+from repro.nok.stdjoin import PathAccessIndex, secure_stack_tree_desc, stack_tree_desc
+from repro.xmltree.document import NO_NODE
+
+
+def brute_force_pairs(doc, ancestors, descendants):
+    return [
+        (a, d)
+        for d in descendants
+        for a in ancestors
+        if doc.is_ancestor(a, d)
+    ]
+
+
+class TestStackTreeDesc:
+    def test_basic_join(self, paper_doc):
+        # e (4) is an ancestor of i..l (8..11); h (7) of i..l as well.
+        pairs = stack_tree_desc([4, 7], [8, 9], paper_doc.subtree_end)
+        assert sorted(pairs) == [(4, 8), (4, 9), (7, 8), (7, 9)]
+
+    def test_non_ancestors_excluded(self, paper_doc):
+        pairs = stack_tree_desc([1, 2], [3, 8], paper_doc.subtree_end)
+        assert pairs == []
+
+    def test_equal_position_not_proper_ancestor(self, paper_doc):
+        pairs = stack_tree_desc([4], [4], paper_doc.subtree_end)
+        assert pairs == []
+
+    def test_nested_ancestors_all_reported(self, paper_doc):
+        # 0 (a), 4 (e), 7 (h) all contain 8 (i).
+        pairs = stack_tree_desc([0, 4, 7], [8], paper_doc.subtree_end)
+        assert sorted(pairs) == [(0, 8), (4, 8), (7, 8)]
+
+    def test_matches_brute_force_random(self, paper_doc):
+        rng = random.Random(3)
+        for _ in range(50):
+            ancestors = sorted(rng.sample(range(12), rng.randint(0, 6)))
+            descendants = sorted(rng.sample(range(12), rng.randint(0, 6)))
+            got = sorted(stack_tree_desc(ancestors, descendants, paper_doc.subtree_end))
+            want = sorted(brute_force_pairs(paper_doc, ancestors, descendants))
+            assert got == want
+
+    def test_matches_brute_force_xmark(self, xmark_doc):
+        rng = random.Random(4)
+        n = len(xmark_doc)
+        ancestors = sorted(rng.sample(range(n), 80))
+        descendants = sorted(rng.sample(range(n), 80))
+        got = sorted(stack_tree_desc(ancestors, descendants, xmark_doc.subtree_end))
+        want = sorted(brute_force_pairs(xmark_doc, ancestors, descendants))
+        assert got == want
+
+    def test_pair_filter_applied(self, paper_doc):
+        pairs = stack_tree_desc(
+            [0], [1, 2, 3], paper_doc.subtree_end, pair_filter=lambda a, d: d != 2
+        )
+        assert sorted(pairs) == [(0, 1), (0, 3)]
+
+
+class TestPathAccessIndex:
+    def make_index(self, doc, vector, subject=0):
+        dol = DOL.from_masks([int(v) for v in vector], 1)
+        return PathAccessIndex(doc, dol, subject)
+
+    def test_all_accessible(self, paper_doc):
+        index = self.make_index(paper_doc, [True] * 12)
+        assert all(index.deepest_blocked[pos] == NO_NODE for pos in range(12))
+        assert index.path_accessible(0, 11)
+
+    def test_blocked_node_recorded(self, paper_doc):
+        vector = [True] * 12
+        vector[7] = False  # h blocked
+        index = self.make_index(paper_doc, vector)
+        assert index.deepest_blocked[7] == 7
+        assert index.deepest_blocked[8] == 7  # i inherits the block
+        assert index.deepest_blocked[4] == NO_NODE
+
+    def test_node_accessible(self, paper_doc):
+        vector = [True] * 12
+        vector[7] = False
+        index = self.make_index(paper_doc, vector)
+        assert not index.node_accessible(7)
+        assert index.node_accessible(8)
+
+    def test_path_blocked_in_middle(self, paper_doc):
+        vector = [True] * 12
+        vector[4] = False  # e blocked: a -> e -> h path is broken
+        index = self.make_index(paper_doc, vector)
+        assert not index.path_accessible(0, 7)
+        assert not index.path_accessible(4, 7)  # e itself is blocked
+        # but within e's subtree, h -> i is fine
+        assert index.path_accessible(7, 8)
+
+    def test_block_above_ancestor_ignored(self, paper_doc):
+        vector = [True] * 12
+        vector[0] = False  # the root itself
+        index = self.make_index(paper_doc, vector)
+        # path from e (4) down to i (8) doesn't include the root
+        assert index.path_accessible(4, 8)
+
+    def test_deeper_block_overrides(self, paper_doc):
+        vector = [True] * 12
+        vector[4] = False
+        vector[7] = False
+        index = self.make_index(paper_doc, vector)
+        assert index.deepest_blocked[8] == 7
+
+
+class TestSecureJoin:
+    def test_blocked_paths_pruned(self, paper_doc):
+        vector = [True] * 12
+        vector[7] = False  # h blocked
+        dol = DOL.from_masks([int(v) for v in vector], 1)
+        index = PathAccessIndex(paper_doc, dol, 0)
+        # join e (4) with descendants {5, 8}: 8 is below blocked h
+        pairs = secure_stack_tree_desc([4], [5, 8], paper_doc.subtree_end, index)
+        assert pairs == [(4, 5)]
+
+    def test_unblocked_equals_plain_join(self, paper_doc):
+        dol = DOL.from_masks([1] * 12, 1)
+        index = PathAccessIndex(paper_doc, dol, 0)
+        plain = stack_tree_desc([0, 4], [8, 9], paper_doc.subtree_end)
+        secure = secure_stack_tree_desc([0, 4], [8, 9], paper_doc.subtree_end, index)
+        assert plain == secure

@@ -1,0 +1,73 @@
+"""Robustness fuzzing: the parser must reject garbage cleanly.
+
+Whatever bytes arrive, :func:`repro.xmltree.parser.parse` must either
+return a tree or raise :class:`~repro.errors.XMLParseError` — never an
+IndexError, RecursionError on reasonable inputs, or a hang.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XMLParseError
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+from repro.xmltree.builder import tree
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=300)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse(text)
+    except XMLParseError:
+        pass
+    except (ValueError, OverflowError) as err:
+        # numeric character references can overflow chr(); that surfaces
+        # as a clean ValueError from int/chr — acceptable, not a crash
+        assert "&#" in text, err
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=20))
+@settings(max_examples=150)
+def test_mutated_valid_documents(seed, n_mutations):
+    """Take a valid document, flip bytes, expect parse-or-clean-error."""
+    rng = random.Random(seed)
+    root = tree(("a", ("b", "text & more"), ("c", ("d",), ("e", "x < y"))))
+    text = list(serialize(root))
+    for _ in range(n_mutations):
+        index = rng.randrange(len(text))
+        action = rng.random()
+        if action < 0.4:
+            text[index] = rng.choice('<>&"=/abc ')
+        elif action < 0.7:
+            del text[index]
+        else:
+            text.insert(index, rng.choice("<>/&;!?xyz"))
+    mutated = "".join(text)
+    try:
+        parse(mutated)
+    except XMLParseError:
+        pass
+    except (ValueError, OverflowError):
+        assert "&#" in mutated
+
+
+def test_deeply_nested_document():
+    """1000 levels of nesting parse without hitting recursion limits in
+    iterparse (the parser is iterative); building the Node tree is also
+    iteration-free on append."""
+    depth = 1000
+    text = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+        f"</n{i}>" for i in reversed(range(depth))
+    )
+    root = parse(text)
+    count = sum(1 for _ in root.iter_preorder())
+    assert count == depth
+
+
+def test_wide_document():
+    text = "<r>" + "<c/>" * 5000 + "</r>"
+    root = parse(text)
+    assert len(root.children) == 5000

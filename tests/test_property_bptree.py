@@ -1,0 +1,63 @@
+"""Property-based tests for the B+-tree against a dict reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bptree import BPlusTree
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=30),  # key
+        st.integers(min_value=0, max_value=100),  # posting
+    ),
+    max_size=300,
+)
+
+
+@given(operations, st.integers(min_value=3, max_value=16))
+@settings(max_examples=150)
+def test_matches_reference_model(ops, order):
+    tree = BPlusTree(order=order)
+    reference = {}
+    for op, key, posting in ops:
+        if op == "insert":
+            tree.insert(key, posting)
+            reference.setdefault(key, []).append(posting)
+            reference[key].sort()
+        else:
+            removed = tree.delete(key, posting)
+            expected = key in reference and posting in reference[key]
+            assert removed == expected
+            if expected:
+                reference[key].remove(posting)
+                if not reference[key]:
+                    del reference[key]
+    assert sorted(tree.keys()) == sorted(reference)
+    for key, postings in reference.items():
+        assert tree.search(key) == postings
+    tree.validate()
+
+
+@given(operations)
+def test_iteration_sorted(ops):
+    tree = BPlusTree(order=4)
+    for op, key, posting in ops:
+        if op == "insert":
+            tree.insert(key, posting)
+    keys = [k for k, _ in tree.items()]
+    assert keys == sorted(keys)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), max_size=200),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_range_query(keys, lo, hi):
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    got = [k for k, _ in tree.range(min(lo, hi), max(lo, hi))]
+    want = sorted({k for k in keys if min(lo, hi) <= k <= max(lo, hi)})
+    assert got == want

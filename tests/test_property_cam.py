@@ -1,0 +1,90 @@
+"""Property-based tests for the CAM baselines."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cam.cam import CAM, OverrideCAM
+from repro.dol.labeling import DOL
+from tests.conftest import random_document
+
+
+@st.composite
+def doc_and_vector(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=1, max_value=60))
+    rng = random.Random(seed)
+    doc = random_document(rng, n)
+    vector = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return doc, vector
+
+
+@given(doc_and_vector())
+def test_positive_cover_roundtrip(case):
+    """CAM lookup reproduces the original accessibility exactly."""
+    doc, vector = case
+    cam = CAM.from_vector(doc, vector)
+    assert cam.to_vector() == vector
+    for pos in range(len(doc)):
+        assert cam.accessible(pos) == vector[pos]
+
+
+@given(doc_and_vector())
+def test_override_roundtrip(case):
+    doc, vector = case
+    cam = OverrideCAM.from_vector(doc, vector)
+    assert cam.to_vector() == vector
+    for pos in range(len(doc)):
+        assert cam.accessible(pos) == vector[pos]
+
+
+@given(doc_and_vector())
+def test_label_count_bounds(case):
+    """Neither variant ever needs more labels than there are nodes."""
+    doc, vector = case
+    assert 0 <= CAM.from_vector(doc, vector).n_labels <= len(doc)
+    assert 1 <= OverrideCAM.from_vector(doc, vector).n_labels <= len(doc)
+
+
+@given(doc_and_vector())
+def test_desc_grants_only_on_fully_accessible_subtrees(case):
+    """Soundness of the positive cover: a descendant bit at v is only
+    legal when every proper descendant of v is accessible."""
+    doc, vector = case
+    cam = CAM.from_vector(doc, vector)
+    for pos, entry in cam.entries.items():
+        if entry.descendant_default:
+            assert all(vector[d] for d in doc.descendants(pos))
+
+
+@given(doc_and_vector())
+@settings(max_examples=60)
+def test_override_never_beaten_by_positive_cover(case):
+    """The override model is strictly more expressive, so its minimal
+    labeling is never larger (modulo its mandatory root entry)."""
+    doc, vector = case
+    positive = CAM.from_vector(doc, vector)
+    override = OverrideCAM.from_vector(doc, vector)
+    assert override.n_labels <= positive.n_labels + 1
+
+
+@given(doc_and_vector())
+@settings(max_examples=60)
+def test_uniform_subtrees_compress(case):
+    doc, _ = case
+    assert CAM.from_vector(doc, [True] * len(doc)).n_labels == 1
+    assert CAM.from_vector(doc, [False] * len(doc)).n_labels == 0
+    assert OverrideCAM.from_vector(doc, [True] * len(doc)).n_labels == 1
+
+
+@given(doc_and_vector())
+@settings(max_examples=60)
+def test_cam_and_dol_agree(case):
+    """All three structures decode to the same accessibility function."""
+    doc, vector = case
+    cam = CAM.from_vector(doc, vector)
+    override = OverrideCAM.from_vector(doc, vector)
+    dol = DOL.from_vector(vector)
+    for pos in range(len(doc)):
+        assert cam.accessible(pos) == dol.accessible(0, pos) == override.accessible(pos)

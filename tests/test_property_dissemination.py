@@ -1,0 +1,82 @@
+"""Property tests for one-pass secure dissemination on random documents."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dol.labeling import DOL
+from repro.secure.dissemination import (
+    HOIST,
+    PRUNE,
+    filter_xml,
+    hoisted_positions,
+    visible_positions,
+)
+from repro.xmltree.document import Document
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+from tests.conftest import random_document
+
+
+@st.composite
+def cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=99_999))
+    n = draw(st.integers(min_value=1, max_value=50))
+    rng = random.Random(seed)
+    doc = random_document(rng, n)
+    vector = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return doc, vector
+
+
+@given(cases())
+@settings(max_examples=120, deadline=None)
+def test_prune_output_equals_visible_set(case):
+    doc, vector = case
+    dol = DOL.from_masks([int(v) for v in vector], 1)
+    xml = serialize(doc.to_tree())
+    out = filter_xml(xml, dol, 0, PRUNE)
+    expected = visible_positions(dol, 0, doc)
+    if not expected:
+        assert out == ""
+        return
+    filtered = Document.from_tree(parse(out))
+    filtered.validate()
+    assert [filtered.tag_name(i) for i in range(len(filtered))] == [
+        doc.tag_name(p) for p in expected
+    ]
+
+
+@given(cases())
+@settings(max_examples=120, deadline=None)
+def test_hoist_output_equals_accessible_set(case):
+    doc, vector = case
+    dol = DOL.from_masks([int(v) for v in vector], 1)
+    xml = serialize(doc.to_tree())
+    out = filter_xml(xml, dol, 0, HOIST)
+    expected = hoisted_positions(dol, 0)
+    if not expected:
+        assert out == ""
+        return
+    wrapped = Document.from_tree(parse(f"<wrap>{out}</wrap>"))
+    assert [wrapped.tag_name(i) for i in range(1, len(wrapped))] == [
+        doc.tag_name(p) for p in expected
+    ]
+
+
+@given(cases())
+@settings(max_examples=80, deadline=None)
+def test_prune_subset_of_hoist(case):
+    """Everything visible under PRUNE is also kept by HOIST."""
+    doc, vector = case
+    dol = DOL.from_masks([int(v) for v in vector], 1)
+    assert set(visible_positions(dol, 0, doc)) <= set(hoisted_positions(dol, 0))
+
+
+@given(cases())
+@settings(max_examples=60, deadline=None)
+def test_full_access_is_identity(case):
+    doc, _vector = case
+    dol = DOL.from_masks([1] * len(doc), 1)
+    xml = serialize(doc.to_tree())
+    assert parse(filter_xml(xml, dol, 0, PRUNE)).structurally_equal(parse(xml))

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for DOL invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dol.codebook import Codebook
+from repro.dol.labeling import DOL, transitions_from_masks
+from repro.dol.stream import StreamingDOLBuilder
+
+masks_lists = st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200)
+
+
+@given(masks_lists)
+def test_dol_roundtrip(masks):
+    """from_masks . to_masks is the identity."""
+    assert DOL.from_masks(masks, 8).to_masks() == masks
+
+
+@given(masks_lists)
+def test_transition_count_definition(masks):
+    """Transitions = 1 + number of adjacent differing pairs."""
+    expected = 1 + sum(1 for a, b in zip(masks, masks[1:]) if a != b)
+    assert len(transitions_from_masks(masks)) == expected
+
+
+@given(masks_lists)
+def test_dol_validates(masks):
+    DOL.from_masks(masks, 8).validate()
+
+
+@given(masks_lists)
+def test_codebook_entries_equal_distinct_masks_seen_at_transitions(masks):
+    dol = DOL.from_masks(masks, 8)
+    distinct = {mask for _pos, mask in transitions_from_masks(masks)}
+    assert len(dol.codebook) == len(distinct)
+
+
+@given(masks_lists)
+def test_transitions_bounded_by_nodes(masks):
+    dol = DOL.from_masks(masks, 8)
+    assert 1 <= dol.n_transitions <= len(masks)
+    assert 0 < dol.transition_density() <= 1
+
+
+@given(masks_lists)
+def test_streaming_equals_batch(masks):
+    builder = StreamingDOLBuilder(8)
+    for mask in masks:
+        builder.feed(mask)
+    assert builder.finish() == DOL.from_masks(masks, 8)
+
+
+@given(masks_lists, st.integers(min_value=0, max_value=7))
+def test_accessible_matches_bit(masks, subject):
+    dol = DOL.from_masks(masks, 8)
+    for pos, mask in enumerate(masks):
+        assert dol.accessible(subject, pos) == bool(mask >> subject & 1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=60))
+def test_shared_codebook_is_superset(masks):
+    """Building several DOLs against one codebook never loses entries."""
+    book = Codebook(10)
+    first = DOL.from_masks(masks, 10, codebook=book)
+    entries_after_first = len(book)
+    DOL.from_masks(list(reversed(masks)), 10, codebook=book)
+    assert len(book) >= entries_after_first
+    assert first.to_masks() == masks
+
+
+@given(masks_lists)
+@settings(max_examples=50)
+def test_size_bytes_monotone_in_transitions(masks):
+    """A constant labeling can never cost more than the real labeling."""
+    dol = DOL.from_masks(masks, 8)
+    flat = DOL.from_masks([masks[0]] * len(masks), 8)
+    assert flat.size_bytes() <= dol.size_bytes()

@@ -1,0 +1,90 @@
+"""Property-based tests: engine answers equal the brute-force oracle on
+random documents, random ACLs, and random (generated) twig queries."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.model import AccessMatrix
+from repro.nok.engine import QueryEngine
+from repro.nok.pattern import CHILD, DESCENDANT, PatternNode, PatternTree
+from repro.nok.reference import evaluate_reference
+from repro.secure.semantics import CHO, VIEW
+from tests.conftest import random_document
+
+
+@st.composite
+def random_patterns(draw, max_nodes=5):
+    """Random small pattern trees over the n0..n4 tag alphabet."""
+    tags = [f"n{i}" for i in range(5)] + ["*"]
+    root = PatternNode(draw(st.sampled_from(tags)))
+    nodes = [root]
+    for _ in range(draw(st.integers(min_value=0, max_value=max_nodes - 1))):
+        parent = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+        child = PatternNode(draw(st.sampled_from(tags)))
+        axis = draw(st.sampled_from([CHILD, DESCENDANT]))
+        parent.add_child(child, axis)
+        nodes.append(child)
+    returning = nodes[draw(st.integers(min_value=0, max_value=len(nodes) - 1))]
+    returning.is_returning = True
+    root_axis = draw(st.sampled_from([CHILD, DESCENDANT]))
+    return PatternTree(root, root_axis)
+
+
+@st.composite
+def scenario(draw):
+    seed = draw(st.integers(min_value=0, max_value=99_999))
+    n = draw(st.integers(min_value=1, max_value=40))
+    rng = random.Random(seed)
+    doc = random_document(rng, n)
+    masks = [rng.randrange(4) for _ in range(n)]
+    pattern = draw(random_patterns())
+    return doc, masks, pattern
+
+
+@given(scenario())
+@settings(max_examples=150, deadline=None)
+def test_non_secure_matches_oracle(case):
+    doc, _masks, pattern = case
+    engine = QueryEngine.build(doc)
+    got = set(engine.evaluate(pattern).positions)
+    want = evaluate_reference(doc, pattern)
+    assert got == want
+
+
+@given(scenario(), st.integers(min_value=0, max_value=1), st.sampled_from([CHO, VIEW]))
+@settings(max_examples=150, deadline=None)
+def test_secure_matches_oracle(case, subject, semantics):
+    doc, masks, pattern = case
+    matrix = AccessMatrix.from_masks(masks, 2)
+    engine = QueryEngine.build(doc, matrix)
+    got = set(engine.evaluate(pattern, subject=subject, semantics=semantics).positions)
+    want = evaluate_reference(doc, pattern, masks, subject, semantics)
+    assert got == want
+
+
+@given(scenario(), st.integers(min_value=0, max_value=1))
+@settings(max_examples=60, deadline=None)
+def test_store_backed_matches_in_memory(case, subject):
+    doc, masks, pattern = case
+    matrix = AccessMatrix.from_masks(masks, 2)
+    in_memory = QueryEngine.build(doc, matrix)
+    stored = QueryEngine.build(
+        doc, matrix, use_store=True, page_size=128, buffer_capacity=4
+    )
+    a = set(in_memory.evaluate(pattern, subject=subject).positions)
+    b = set(stored.evaluate(pattern, subject=subject).positions)
+    assert a == b
+
+
+@given(scenario())
+@settings(max_examples=80, deadline=None)
+def test_secure_view_subset_of_cho_subset_of_plain(case):
+    doc, masks, pattern = case
+    matrix = AccessMatrix.from_masks(masks, 2)
+    engine = QueryEngine.build(doc, matrix)
+    plain = set(engine.evaluate(pattern).positions)
+    cho = set(engine.evaluate(pattern, subject=0, semantics=CHO).positions)
+    view = set(engine.evaluate(pattern, subject=0, semantics=VIEW).positions)
+    assert view <= cho <= plain

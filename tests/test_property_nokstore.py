@@ -1,0 +1,83 @@
+"""Property tests: the block store is observationally equal to the
+in-memory document + DOL, for random trees, ACLs, and page sizes."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dol.labeling import DOL
+from repro.storage.nokstore import NoKStore
+from tests.conftest import random_document
+
+
+@st.composite
+def store_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=99_999))
+    n = draw(st.integers(min_value=1, max_value=60))
+    rng = random.Random(seed)
+    doc = random_document(rng, n)
+    masks = [rng.randrange(8) for _ in range(n)]
+    page_size = draw(st.sampled_from([64, 96, 128, 256]))
+    capacity = draw(st.integers(min_value=1, max_value=8))
+    return doc, masks, page_size, capacity
+
+
+@given(store_cases())
+@settings(max_examples=80, deadline=None)
+def test_store_equals_document(case):
+    doc, masks, page_size, capacity = case
+    dol = DOL.from_masks(masks, 3)
+    store = NoKStore(doc, dol, page_size=page_size, buffer_capacity=capacity)
+    for pos in range(len(doc)):
+        assert store.tag_name(pos) == doc.tag_name(pos)
+        assert store.first_child(pos) == doc.first_child(pos)
+        assert store.following_sibling(pos) == doc.following_sibling(pos)
+        assert store.subtree_end(pos) == doc.subtree_end(pos)
+        for subject in range(3):
+            assert store.accessible(subject, pos) == bool(
+                masks[pos] >> subject & 1
+            )
+
+
+@given(store_cases(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_store_updates_equal_dol_updates(case, data):
+    doc, masks, page_size, capacity = case
+    dol = DOL.from_masks(masks, 3)
+    store = NoKStore(doc, dol, page_size=page_size, buffer_capacity=capacity)
+    n = len(doc)
+    reference = list(masks)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+        start = data.draw(st.integers(min_value=0, max_value=n - 1))
+        end = data.draw(st.integers(min_value=start + 1, max_value=n))
+        subject = data.draw(st.integers(min_value=0, max_value=2))
+        value = data.draw(st.booleans())
+        cost = store.update_subject_range(start, end, subject, value)
+        assert cost.transition_delta <= 2
+        bit = 1 << subject
+        for pos in range(start, end):
+            reference[pos] = reference[pos] | bit if value else reference[pos] & ~bit
+    store.drop_caches()  # force re-reads from the page file image
+    for pos in range(n):
+        for subject in range(3):
+            assert store.accessible(subject, pos) == bool(
+                reference[pos] >> subject & 1
+            )
+
+
+@given(store_cases())
+@settings(max_examples=50, deadline=None)
+def test_page_skip_soundness(case):
+    """If the header test says a page is fully inaccessible for a subject,
+    then no node on that page is accessible — never a false skip."""
+    doc, masks, page_size, capacity = case
+    dol = DOL.from_masks(masks, 3)
+    store = NoKStore(doc, dol, page_size=page_size, buffer_capacity=capacity)
+    for page_id in range(store.n_pages):
+        first = page_id * store.entries_per_page
+        last = min(first + store.entries_per_page, store.n_nodes)
+        for subject in range(3):
+            if store.page_fully_inaccessible(page_id, subject):
+                for pos in range(first, last):
+                    assert not bool(masks[pos] >> subject & 1)

@@ -1,0 +1,86 @@
+"""Property-based tests: XML serialize/parse round trips, document flattening."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.encoding import parse_structure_string, to_structure_string
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+from tests.conftest import random_document
+
+tag_names = st.sampled_from(["a", "b", "item", "name", "x1", "ns:tag", "_private"])
+texts = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_categories=("Cs", "Cc"),
+    ),
+    max_size=20,
+).map(str.strip)
+
+
+@st.composite
+def xml_trees(draw, max_depth=4):
+    node = Node(draw(tag_names), text=draw(texts))
+    n_attrs = draw(st.integers(min_value=0, max_value=2))
+    for index in range(n_attrs):
+        node.attrs[f"a{index}"] = draw(texts)
+    if max_depth > 0:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            node.append(draw(xml_trees(max_depth=max_depth - 1)))
+    return node
+
+
+@given(xml_trees())
+@settings(max_examples=150)
+def test_serialize_parse_roundtrip(root):
+    assert parse(serialize(root)).structurally_equal(root)
+
+
+@given(xml_trees())
+@settings(max_examples=60)
+def test_pretty_serialize_roundtrip_structure(root):
+    """Indented output preserves tags/attrs/children (whitespace-only text
+    may be normalized away, so compare a text-stripped skeleton)."""
+
+    def skeleton(node):
+        return (node.tag, tuple(sorted(node.attrs.items())),
+                tuple(skeleton(c) for c in node.children))
+
+    again = parse(serialize(root, indent=2))
+    assert skeleton(again) == skeleton(root)
+
+
+@given(st.integers(min_value=0, max_value=9999), st.integers(min_value=1, max_value=120))
+def test_document_flatten_roundtrip(seed, n):
+    doc = random_document(random.Random(seed), n)
+    doc.validate()
+    again = Document.from_tree(doc.to_tree())
+    assert again.tags == doc.tags
+    assert again.parent == doc.parent
+    assert again.subtree == doc.subtree
+    assert again.depth == doc.depth
+
+
+@given(st.integers(min_value=0, max_value=9999), st.integers(min_value=1, max_value=120))
+def test_structure_string_roundtrip(seed, n):
+    doc = random_document(random.Random(seed), n)
+    rebuilt = parse_structure_string(to_structure_string(doc))
+    assert rebuilt.parent == doc.parent
+    assert rebuilt.subtree == doc.subtree
+
+
+@given(st.integers(min_value=0, max_value=9999), st.integers(min_value=1, max_value=80))
+def test_navigation_consistency(seed, n):
+    """first_child/following_sibling traversal visits children() exactly."""
+    doc = random_document(random.Random(seed), n)
+    for pos in range(len(doc)):
+        via_nok = []
+        child = doc.first_child(pos)
+        while child != -1:
+            via_nok.append(child)
+            child = doc.following_sibling(child)
+        assert via_nok == list(doc.children(pos))

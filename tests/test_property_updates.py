@@ -1,0 +1,128 @@
+"""Property-based tests for DOL updates: correctness + Proposition 1."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dol.labeling import DOL, transitions_from_masks
+from repro.dol.updates import DOLUpdater
+
+masks_lists = st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=80)
+
+
+def span(draw, n):
+    start = draw(st.integers(min_value=0, max_value=n - 1))
+    end = draw(st.integers(min_value=start + 1, max_value=n))
+    return start, end
+
+
+@st.composite
+def masks_and_range(draw):
+    masks = draw(masks_lists)
+    start, end = span(draw, len(masks))
+    return masks, start, end
+
+
+@given(masks_and_range(), st.integers(min_value=0, max_value=15))
+def test_range_mask_update(case, new_mask):
+    masks, start, end = case
+    dol = DOL.from_masks(masks, 4)
+    delta = DOLUpdater(dol).set_range_mask(start, end, new_mask)
+    expected = list(masks)
+    expected[start:end] = [new_mask] * (end - start)
+    assert dol.to_masks() == expected
+    assert delta <= 2  # Proposition 1
+    dol.validate()
+
+
+@given(masks_and_range(), st.integers(min_value=0, max_value=3), st.booleans())
+def test_subject_range_update(case, subject, value):
+    masks, start, end = case
+    dol = DOL.from_masks(masks, 4)
+    delta = DOLUpdater(dol).set_subject_accessibility(start, end, subject, value)
+    bit = 1 << subject
+    expected = [
+        (m | bit if value else m & ~bit) if start <= i < end else m
+        for i, m in enumerate(masks)
+    ]
+    assert dol.to_masks() == expected
+    assert delta <= 2
+    dol.validate()
+
+
+@st.composite
+def masks_and_insert(draw):
+    masks = draw(masks_lists)
+    at = draw(st.integers(min_value=0, max_value=len(masks)))
+    inserted = draw(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=20)
+    )
+    return masks, at, inserted
+
+
+@given(masks_and_insert())
+def test_insert_subtree(case):
+    masks, at, inserted = case
+    dol = DOL.from_masks(masks, 4)
+    extra = DOLUpdater(dol).insert_range(at, inserted)
+    expected = masks[:at] + inserted + masks[at:]
+    assert dol.to_masks() == expected
+    # Proposition 1: at most 2 beyond the inserted data's own transitions.
+    assert extra <= 2
+    dol.validate()
+
+
+@given(masks_and_range())
+def test_delete_subtree(case):
+    masks, start, end = case
+    if end - start == len(masks):
+        return  # deleting the whole document is rejected, tested elsewhere
+    dol = DOL.from_masks(masks, 4)
+    delta = DOLUpdater(dol).delete_range(start, end)
+    assert dol.to_masks() == masks[:start] + masks[end:]
+    assert delta <= 2
+    dol.validate()
+
+
+@st.composite
+def masks_and_move(draw):
+    masks = draw(st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=60))
+    start, end = span(draw, len(masks))
+    if end - start == len(masks):
+        end -= 1
+        if end <= start:
+            start, end = 0, 1
+    to = draw(st.integers(min_value=0, max_value=len(masks) - (end - start)))
+    return masks, start, end, to
+
+
+@given(masks_and_move())
+@settings(max_examples=200)
+def test_move_subtree(case):
+    masks, start, end, to = case
+    dol = DOL.from_masks(masks, 4)
+    delta = DOLUpdater(dol).move_range(start, end, to)
+    segment = masks[start:end]
+    rest = masks[:start] + masks[end:]
+    assert dol.to_masks() == rest[:to] + segment + rest[to:]
+    # move = delete + insert: at most 2 transitions per constituent op
+    assert delta <= 4
+    dol.validate()
+
+
+@given(masks_lists, st.data())
+def test_update_locality(masks, data):
+    """Transitions strictly before the updated range never change."""
+    start, end = span(data.draw, len(masks))
+    dol = DOL.from_masks(masks, 4)
+    head_before = [
+        (p, dol.codebook.decode(c))
+        for p, c in zip(dol.positions, dol.codes)
+        if p < start
+    ]
+    DOLUpdater(dol).set_range_mask(start, end, 7)
+    head_after = [
+        (p, dol.codebook.decode(c))
+        for p, c in zip(dol.positions, dol.codes)
+        if p < start
+    ]
+    assert head_before == head_after

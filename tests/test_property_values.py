@@ -1,0 +1,87 @@
+"""Property tests with value predicates: all strategies must agree.
+
+Random documents with random short texts, queries mixing tag, value, and
+wildcard tests — NoK evaluation, the PathStack strategies, and the
+brute-force oracle must return identical answers.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.model import AccessMatrix
+from repro.nok.engine import QueryEngine
+from repro.nok.pattern import parse_query
+from repro.nok.reference import evaluate_reference
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+
+TEXTS = ["", "x", "y", "zz"]
+
+
+def random_document_with_texts(rng: random.Random, n: int) -> Document:
+    root = Node("n0", text=rng.choice(TEXTS))
+    nodes = [root]
+    for _ in range(1, n):
+        parent = nodes[rng.randrange(len(nodes))]
+        child = Node(f"n{rng.randrange(4)}", text=rng.choice(TEXTS))
+        parent.append(child)
+        nodes.append(child)
+    return Document.from_tree(root)
+
+
+QUERIES = [
+    '//n0 = "x"',
+    '//n1[n0 = "y"]',
+    '//n0/n1 = "zz"',
+    '//*[n2]/n0 = "x"',
+    '//n2 = "x"//n1',
+    '/n0//n3 = "y"',
+    '//n1[n0 = "x"][n2]',
+]
+
+
+@st.composite
+def cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=99_999))
+    rng = random.Random(seed)
+    doc = random_document_with_texts(rng, draw(st.integers(min_value=1, max_value=35)))
+    query = draw(st.sampled_from(QUERIES))
+    masks = [rng.randrange(2) for _ in range(len(doc))]
+    return doc, query, masks
+
+
+@given(cases())
+@settings(max_examples=150, deadline=None)
+def test_nok_with_values_matches_oracle(case):
+    doc, query, _masks = case
+    pattern = parse_query(query)
+    engine = QueryEngine.build(doc)
+    got = set(engine.evaluate(pattern).positions)
+    want = evaluate_reference(doc, pattern)
+    assert got == want, query
+
+
+@given(cases())
+@settings(max_examples=120, deadline=None)
+def test_pathstack_with_values_matches_oracle(case):
+    doc, query, _masks = case
+    pattern = parse_query(query)
+    engine = QueryEngine.build(doc)
+    got = set(engine.evaluate_path(pattern).positions)
+    want = evaluate_reference(doc, pattern)
+    assert got == want, query
+
+
+@given(cases())
+@settings(max_examples=100, deadline=None)
+def test_secure_strategies_agree_with_values(case):
+    doc, query, masks = case
+    pattern = parse_query(query)
+    matrix = AccessMatrix.from_masks(masks, 1)
+    engine = QueryEngine.build(doc, matrix)
+    nok = set(engine.evaluate(pattern, subject=0).positions)
+    holistic = set(engine.evaluate_path(pattern, subject=0).positions)
+    oracle = evaluate_reference(doc, pattern, masks, 0)
+    assert nok == holistic == oracle, query

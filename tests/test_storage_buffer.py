@@ -1,0 +1,130 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def pager():
+    p = Pager(page_size=128)
+    for index in range(8):
+        page_id = p.allocate()
+        p.write_page(page_id, bytes([index]) * 128)
+    p.stats.reset()
+    return p
+
+
+class TestCaching:
+    def test_hit_avoids_physical_read(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get(0)
+        pool.get(0)
+        assert pager.stats.reads == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.logical_reads == 2
+
+    def test_contents_correct(self, pager):
+        pool = BufferPool(pager, capacity=2)
+        assert pool.get(3) == bytes([3]) * 128
+        assert pool.get(3) == bytes([3]) * 128
+
+    def test_capacity_bound(self, pager):
+        pool = BufferPool(pager, capacity=2)
+        for page_id in range(5):
+            pool.get(page_id)
+        assert len(pool) <= 2
+
+    def test_lru_eviction_order(self, pager):
+        pool = BufferPool(pager, capacity=2)
+        pool.get(0)
+        pool.get(1)
+        pool.get(0)  # refresh page 0
+        pool.get(2)  # evicts page 1, not 0
+        assert pool.resident(0)
+        assert not pool.resident(1)
+
+    def test_hit_ratio(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get(0)
+        pool.get(0)
+        pool.get(0)
+        pool.get(1)
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_capacity_must_be_positive(self, pager):
+        with pytest.raises(StorageError):
+            BufferPool(pager, capacity=0)
+
+
+class TestTouchAndFetch:
+    def test_touch_counts_without_copying(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        assert not pool.touch(0)  # miss recorded
+        pool.fetch(0)  # physical read, no extra logical count
+        assert pool.touch(0)  # now a hit
+        assert pool.stats.logical_reads == 2
+        assert pager.stats.reads == 1
+
+    def test_fetch_of_resident_page_is_free(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get(2)
+        pager.stats.reset()
+        assert pool.fetch(2) == bytes([2]) * 128
+        assert pager.stats.reads == 0
+
+
+class TestWriteBack:
+    def test_put_and_flush(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.put(1, b"x" * 128)
+        assert pager.read_page(1) == bytes([1]) * 128  # not yet flushed
+        pool.flush(1)
+        assert pager.read_page(1) == b"x" * 128
+        assert pool.stats.dirty_writes == 1
+
+    def test_eviction_writes_dirty_page(self, pager):
+        pool = BufferPool(pager, capacity=1)
+        pool.put(0, b"d" * 128)
+        pool.get(1)  # evicts dirty page 0
+        assert pager.read_page(0) == b"d" * 128
+
+    def test_flush_all(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.put(0, b"a" * 128)
+        pool.put(1, b"b" * 128)
+        pool.flush_all()
+        assert pager.read_page(0) == b"a" * 128
+        assert pager.read_page(1) == b"b" * 128
+
+    def test_clear_flushes_and_empties(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.put(0, b"c" * 128)
+        pool.clear()
+        assert len(pool) == 0
+        assert pager.read_page(0) == b"c" * 128
+
+    def test_put_wrong_size_rejected(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        with pytest.raises(StorageError):
+            pool.put(0, b"short")
+
+
+class TestEvictionCallback:
+    def test_on_evict_called(self, pager):
+        evicted = []
+        pool = BufferPool(pager, capacity=1, on_evict=evicted.append)
+        pool.get(0)
+        pool.get(1)
+        assert evicted == [0]
+
+    def test_clear_notifies(self, pager):
+        evicted = []
+        pool = BufferPool(pager, capacity=4, on_evict=evicted.append)
+        pool.get(0)
+        pool.get(1)
+        pool.clear()
+        assert sorted(evicted) == [0, 1]

@@ -1,0 +1,82 @@
+"""Unit tests for the succinct structure encoding and node entries."""
+
+import pytest
+
+from repro.errors import PageFormatError, StorageError
+from repro.storage.encoding import (
+    ENTRY_SIZE,
+    NodeEntry,
+    parse_structure_string,
+    to_structure_string,
+)
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+class TestStructureString:
+    def test_paper_example(self, paper_doc):
+        """Section 3.1's example string for the Figure 2 data tree."""
+        expected = "(a(b)(c)(d)(e(f)(g)(h(i)(j)(k)(l))))"
+        assert to_structure_string(paper_doc) == expected
+
+    def test_compact_form_drops_open_parens(self, paper_doc):
+        compact = to_structure_string(paper_doc, compact=True)
+        assert "(" not in compact
+        assert compact.count(")") == 12
+
+    def test_roundtrip(self, paper_doc):
+        rebuilt = parse_structure_string(to_structure_string(paper_doc))
+        assert rebuilt.tags == paper_doc.tags
+        assert rebuilt.parent == paper_doc.parent
+        assert rebuilt.subtree == paper_doc.subtree
+        assert rebuilt.depth == paper_doc.depth
+
+    def test_roundtrip_xmark(self, xmark_doc):
+        rebuilt = parse_structure_string(to_structure_string(xmark_doc))
+        assert rebuilt.subtree == xmark_doc.subtree
+
+    def test_single_node(self):
+        doc = Document.from_tree(tree(("only",)))
+        assert to_structure_string(doc) == "(only)"
+        assert parse_structure_string("(only)").tag_name(0) == "only"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "(a", "a)", "(a))", "((a)", "(a)(b)", "()", "(a(b)"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(StorageError):
+            parse_structure_string(bad)
+
+
+class TestNodeEntry:
+    def test_pack_unpack_roundtrip(self):
+        entry = NodeEntry(tag_id=7, depth=3, subtree=1000, code=42, is_transition=True)
+        assert NodeEntry.unpack(entry.pack()) == entry
+
+    def test_entry_size_fixed(self):
+        assert len(NodeEntry(0, 0, 1, 0, False).pack()) == ENTRY_SIZE
+
+    def test_flag_encoding(self):
+        plain = NodeEntry(1, 1, 1, 0, False)
+        marked = NodeEntry(1, 1, 1, 0, True)
+        assert plain.pack() != marked.pack()
+        assert not NodeEntry.unpack(plain.pack()).is_transition
+        assert NodeEntry.unpack(marked.pack()).is_transition
+
+    def test_offset_unpack(self):
+        a = NodeEntry(1, 0, 5, 0, True).pack()
+        b = NodeEntry(2, 1, 1, 3, False).pack()
+        buf = a + b
+        assert NodeEntry.unpack(buf, ENTRY_SIZE).tag_id == 2
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(PageFormatError):
+            NodeEntry(tag_id=70000, depth=0, subtree=1, code=0, is_transition=False).pack()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PageFormatError):
+            NodeEntry.unpack(b"\x00\x01")
+
+    def test_large_subtree_supported(self):
+        entry = NodeEntry(0, 0, 2**31, 0, False)
+        assert NodeEntry.unpack(entry.pack()).subtree == 2**31

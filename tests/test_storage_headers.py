@@ -1,0 +1,64 @@
+"""Unit tests for page headers and the in-memory header table."""
+
+import pytest
+
+from repro.dol.codebook import Codebook
+from repro.errors import StorageError
+from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
+
+
+class TestPageHeader:
+    def test_pack_unpack(self):
+        header = PageHeader(first_code=9, change_bit=True, n_entries=340)
+        again = PageHeader.unpack(header.pack())
+        assert (again.first_code, again.change_bit, again.n_entries) == (9, True, 340)
+
+    def test_size(self):
+        assert len(PageHeader(0, False, 0).pack()) == HEADER_SIZE
+
+
+class TestHeaderTable:
+    @pytest.fixture
+    def table(self):
+        table = PageHeaderTable()
+        table.append(PageHeader(first_code=0, change_bit=False, n_entries=10))
+        table.append(PageHeader(first_code=1, change_bit=True, n_entries=10))
+        return table
+
+    @pytest.fixture
+    def codebook(self):
+        book = Codebook(2)
+        book.encode(0b00)  # code 0: nobody
+        book.encode(0b01)  # code 1: subject 0 only
+        return book
+
+    def test_get_set(self, table):
+        assert table.get(0).first_code == 0
+        table.set(0, PageHeader(5, True, 3))
+        assert table.get(0).first_code == 5
+        assert len(table) == 2
+
+    def test_bounds(self, table):
+        with pytest.raises(StorageError):
+            table.get(2)
+        with pytest.raises(StorageError):
+            table.set(9, PageHeader(0, False, 0))
+
+    def test_page_skip_when_denied_and_unchanged(self, table, codebook):
+        # page 0: first code denies everyone, change bit clear -> skippable
+        assert table.page_fully_inaccessible(0, 0, codebook)
+        assert table.page_fully_inaccessible(0, 1, codebook)
+
+    def test_no_skip_when_change_bit_set(self, table, codebook):
+        # page 1 has other transitions; cannot conclude anything
+        assert not table.page_fully_inaccessible(1, 1, codebook)
+
+    def test_no_skip_when_first_code_grants(self, codebook):
+        table = PageHeaderTable()
+        table.append(PageHeader(first_code=1, change_bit=False, n_entries=5))
+        assert not table.page_fully_inaccessible(0, 0, codebook)
+        # ...but a different subject is still denied on the whole page
+        assert table.page_fully_inaccessible(0, 1, codebook)
+
+    def test_size_accounting(self, table):
+        assert table.size_bytes() == 2 * HEADER_SIZE

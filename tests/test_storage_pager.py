@@ -1,0 +1,82 @@
+"""Unit tests for the page store."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+
+
+@pytest.fixture(params=["memory", "file"])
+def pager(request, tmp_path):
+    if request.param == "memory":
+        with Pager(page_size=256) as p:
+            yield p
+    else:
+        path = str(tmp_path / "pages.db")
+        with Pager(path, page_size=256) as p:
+            yield p
+
+
+class TestAllocation:
+    def test_ids_are_sequential(self, pager):
+        assert [pager.allocate() for _ in range(3)] == [0, 1, 2]
+        assert pager.n_pages == 3
+
+    def test_new_pages_are_zeroed(self, pager):
+        page_id = pager.allocate()
+        assert pager.read_page(page_id) == bytes(256)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, pager):
+        page_id = pager.allocate()
+        data = bytes(range(256))
+        pager.write_page(page_id, data)
+        assert pager.read_page(page_id) == data
+
+    def test_pages_are_independent(self, pager):
+        a, b = pager.allocate(), pager.allocate()
+        pager.write_page(a, b"a" * 256)
+        pager.write_page(b, b"b" * 256)
+        assert pager.read_page(a) == b"a" * 256
+        assert pager.read_page(b) == b"b" * 256
+
+    def test_wrong_size_rejected(self, pager):
+        page_id = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write_page(page_id, b"short")
+
+    def test_unknown_page_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.read_page(0)
+        with pytest.raises(StorageError):
+            pager.write_page(5, bytes(256))
+
+
+class TestStats:
+    def test_counters(self, pager):
+        page_id = pager.allocate()
+        pager.write_page(page_id, bytes(256))
+        pager.read_page(page_id)
+        pager.read_page(page_id)
+        assert pager.stats.allocations == 1
+        assert pager.stats.writes == 1
+        assert pager.stats.reads == 2
+        pager.stats.reset()
+        assert pager.stats.reads == 0
+
+
+class TestFileBacking:
+    def test_data_lands_in_file(self, tmp_path):
+        path = str(tmp_path / "x.db")
+        with Pager(path, page_size=128) as pager:
+            page_id = pager.allocate()
+            pager.write_page(page_id, b"z" * 128)
+            pager.sync()
+            assert os.path.getsize(path) == 128
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            Pager(page_size=16)

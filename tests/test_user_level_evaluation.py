@@ -1,0 +1,108 @@
+"""User-level secure evaluation: rights = union over subject + groups.
+
+Section 4, footnote 4: "a user's access rights may include her own plus
+those [of] any groups of which she is a member." The engine accepts a
+sequence of subject ids and evaluates against their union.
+"""
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.acl.surrogates import generate_livelink
+from repro.dol.labeling import DOL
+from repro.errors import ReproError
+from repro.nok.engine import QueryEngine
+from repro.nok.reference import evaluate_reference
+from repro.nok.pattern import parse_query
+from repro.secure.semantics import CHO, VIEW
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+@pytest.fixture
+def setting():
+    doc = Document.from_tree(
+        tree(("root", ("a", ("x",)), ("b", ("x",)), ("c", ("x",))))
+    )
+    # subject 0 (user): root + subtree a; subject 1 (group): root + subtree b
+    matrix = AccessMatrix(len(doc), 2)
+    matrix.grant_range(0, 0, 1)
+    matrix.grant_range(1, 0, 1)
+    matrix.grant_range(0, 1, 3)
+    matrix.grant_range(1, 3, 5)
+    return doc, matrix
+
+
+class TestUnionSemantics:
+    def test_union_combines_rights(self, setting):
+        doc, matrix = setting
+        engine = QueryEngine.build(doc, matrix)
+        own = engine.evaluate("//x", subject=0)
+        group = engine.evaluate("//x", subject=1)
+        union = engine.evaluate("//x", subject=[0, 1])
+        assert set(union.positions) == set(own.positions) | set(group.positions)
+
+    def test_singleton_sequence_equals_int(self, setting):
+        doc, matrix = setting
+        engine = QueryEngine.build(doc, matrix)
+        assert (
+            engine.evaluate("//x", subject=[0]).positions
+            == engine.evaluate("//x", subject=0).positions
+        )
+
+    def test_union_matches_reference_on_merged_subject(self, setting):
+        doc, matrix = setting
+        engine = QueryEngine.build(doc, matrix)
+        # Build a reference matrix with a merged pseudo-subject.
+        merged = [
+            int(bool(matrix.mask(pos) & 0b11)) for pos in range(len(doc))
+        ]
+        for semantics in (CHO, VIEW):
+            got = set(
+                engine.evaluate("//x", subject=[0, 1], semantics=semantics).positions
+            )
+            want = evaluate_reference(
+                doc, parse_query("//x"), merged, 0, semantics
+            )
+            assert got == want, semantics
+
+    def test_empty_subject_list_rejected(self, setting):
+        doc, matrix = setting
+        engine = QueryEngine.build(doc, matrix)
+        with pytest.raises(ReproError):
+            engine.evaluate("//x", subject=[])
+
+
+class TestStoreBackedUserEvaluation:
+    def test_union_through_block_store(self, setting):
+        doc, matrix = setting
+        engine = QueryEngine.build(doc, matrix, use_store=True, page_size=128)
+        union = engine.evaluate("//x", subject=[0, 1])
+        in_memory = QueryEngine.build(doc, matrix).evaluate("//x", subject=[0, 1])
+        assert union.positions == in_memory.positions
+
+    def test_page_skip_requires_all_subjects_denied(self, setting):
+        doc, matrix = setting
+        engine = QueryEngine.build(doc, matrix, use_store=True, page_size=128)
+        # one page likely; skipping must not trigger when any subject sees it
+        result = engine.evaluate("//x", subject=[0, 1])
+        assert result.n_answers == 2
+
+
+class TestLiveLinkUsers:
+    def test_effective_rights_on_surrogate(self):
+        dataset = generate_livelink(n_items=300, n_groups=5, n_users=10, seed=4)
+        engine = QueryEngine.build(dataset.doc, dataset.matrix, mode="see")
+        registry = dataset.registry
+        user = registry.id_of("user0")
+        effective = registry.effective_subjects(user)
+        own = engine.evaluate("//item", subject=user)
+        combined = engine.evaluate("//item", subject=effective)
+        assert set(own.positions) <= set(combined.positions)
+
+    def test_dol_accessible_any(self):
+        dol = DOL.from_masks([0b01, 0b10, 0b00], 2)
+        assert dol.accessible_any([0, 1], 0)
+        assert dol.accessible_any([0, 1], 1)
+        assert not dol.accessible_any([0, 1], 2)
+        assert not dol.accessible_any([0], 1)

@@ -1,0 +1,122 @@
+"""Unit tests for the XMark-like generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.xmark.generator import XMarkConfig, generate, generate_document
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        a = generate(XMarkConfig(n_items=20, seed=9))
+        b = generate(XMarkConfig(n_items=20, seed=9))
+        assert a.structurally_equal(b)
+
+    def test_different_seed_different_document(self):
+        a = generate(XMarkConfig(n_items=20, seed=1))
+        b = generate(XMarkConfig(n_items=20, seed=2))
+        assert not a.structurally_equal(b)
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return generate_document(XMarkConfig(n_items=60, seed=4))
+
+    def test_top_level_sections(self, doc):
+        root = doc.to_tree()
+        assert root.tag == "site"
+        assert [c.tag for c in root.children] == [
+            "regions",
+            "categories",
+            "people",
+            "open_auctions",
+        ]
+
+    def test_item_count(self, doc):
+        assert len(doc.positions_with_tag("item")) == 60
+
+    def test_items_have_q1_children(self, doc):
+        root = doc.to_tree()
+        for region in root.child("regions").children:
+            for item in region.children:
+                child_tags = {c.tag for c in item.children}
+                assert {"location", "name", "quantity"} <= child_tags
+
+    def test_q4_nested_parlists_exist(self, doc):
+        # //parlist//parlist must have matches for the join benchmarks.
+        parlists = doc.positions_with_tag("parlist")
+        assert parlists
+        nested = [
+            d
+            for p in parlists
+            for d in doc.descendants(p)
+            if doc.tag_name(d) == "parlist"
+        ]
+        assert nested, "generator must produce recursive parlists"
+
+    def test_q5_listitem_keywords_exist(self, doc):
+        listitems = doc.positions_with_tag("listitem")
+        assert listitems
+        assert any(
+            doc.tag_name(d) == "keyword"
+            for p in listitems
+            for d in doc.descendants(p)
+        )
+
+    def test_q6_item_emphs_exist(self, doc):
+        assert any(
+            doc.tag_name(d) == "emph"
+            for p in doc.positions_with_tag("item")
+            for d in doc.descendants(p)
+        )
+
+    def test_category_descriptions_with_bold(self, doc):
+        # Q2/Q3 need category/description/text/bold paths.
+        root = doc.to_tree()
+        found = False
+        for category in root.child("categories").children:
+            for description in category.children:
+                if description.tag != "description":
+                    continue
+                for text in description.children:
+                    if text.tag == "text" and any(
+                        c.tag == "bold" for c in text.children
+                    ):
+                        found = True
+        assert found
+
+    def test_parlist_depth_bounded(self, doc):
+        config = XMarkConfig(n_items=60, seed=4)
+        parlists = doc.positions_with_tag("parlist")
+        for p in parlists:
+            nesting = sum(
+                1 for a in doc.ancestors(p) if doc.tag_name(a) == "parlist"
+            )
+            assert nesting < config.max_parlist_depth
+
+
+class TestScaling:
+    def test_size_grows_with_items(self):
+        small = generate_document(XMarkConfig(n_items=10, seed=0))
+        large = generate_document(XMarkConfig(n_items=100, seed=0))
+        # fixed sections (people, auctions) give the small doc a floor,
+        # so growth is sublinear at the low end
+        assert len(large) > 2 * len(small)
+
+    def test_roughly_twenty_nodes_per_item(self):
+        doc = generate_document(XMarkConfig(n_items=200, seed=0))
+        assert 10 * 200 < len(doc) < 40 * 200
+
+
+class TestValidation:
+    def test_generated_document_is_consistent(self):
+        generate_document(XMarkConfig(n_items=30, seed=3)).validate()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ReproError):
+            XMarkConfig(n_items=0)
+        with pytest.raises(ReproError):
+            XMarkConfig(parlist_probability=1.5)
+        with pytest.raises(ReproError):
+            XMarkConfig(parlist_decay=1.0)

@@ -1,0 +1,46 @@
+"""Unit tests for the nested-tuple tree builder."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.xmltree.builder import tree
+from repro.xmltree.node import Node
+
+
+def test_single_node():
+    assert tree(("a",)).tag == "a"
+
+
+def test_nested_children():
+    root = tree(("a", ("b",), ("c", ("d",))))
+    assert [c.tag for c in root.children] == ["b", "c"]
+    assert root.children[1].children[0].tag == "d"
+
+
+def test_string_child_becomes_text():
+    assert tree(("a", "hello")).text == "hello"
+
+
+def test_multiple_strings_concatenate():
+    assert tree(("a", "one", "two")).text == "one two"
+
+
+def test_node_child_passed_through():
+    existing = Node("x")
+    root = tree(("a", existing))
+    assert root.children[0] is existing
+
+
+def test_string_root_rejected():
+    with pytest.raises(TreeError):
+        tree("just-a-string")
+
+
+def test_tuple_without_tag_rejected():
+    with pytest.raises(TreeError):
+        tree((123, "x"))
+
+
+def test_empty_tuple_rejected():
+    with pytest.raises(TreeError):
+        tree(())

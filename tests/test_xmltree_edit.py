@@ -1,0 +1,102 @@
+"""Unit tests for structural document editing."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.xmltree import edit
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+
+
+@pytest.fixture
+def doc():
+    # a(0) -> b(1){c(2)}, d(3), e(4){f(5), g(6)}
+    return Document.from_tree(
+        tree(("a", ("b", ("c",)), ("d",), ("e", ("f",), ("g",))))
+    )
+
+
+class TestInsertPosition:
+    def test_first_child(self, doc):
+        assert edit.insert_position(doc, 0, 0) == 1
+
+    def test_middle_child(self, doc):
+        assert edit.insert_position(doc, 0, 1) == 3  # before d
+        assert edit.insert_position(doc, 0, 2) == 4  # before e
+
+    def test_append(self, doc):
+        assert edit.insert_position(doc, 0, 3) == 7  # after e's subtree
+        assert edit.insert_position(doc, 4, 2) == 7  # after g
+
+    def test_into_leaf(self, doc):
+        assert edit.insert_position(doc, 3, 0) == 4
+
+    def test_bad_index(self, doc):
+        with pytest.raises(TreeError):
+            edit.insert_position(doc, 0, 4)
+
+
+class TestInsertSubtree:
+    def test_insert_in_middle(self, doc):
+        result = edit.insert_subtree(doc, 0, 1, tree(("x", ("y",))))
+        assert result.position == 3
+        assert result.size == 2
+        names = [result.doc.tag_name(i) for i in range(len(result.doc))]
+        assert names == ["a", "b", "c", "x", "y", "d", "e", "f", "g"]
+        result.doc.validate()
+
+    def test_insert_at_end(self, doc):
+        result = edit.insert_subtree(doc, 4, 2, tree(("z",)))
+        names = [result.doc.tag_name(i) for i in range(len(result.doc))]
+        assert names == ["a", "b", "c", "d", "e", "f", "g", "z"]
+
+    def test_original_unchanged(self, doc):
+        before = [doc.tag_name(i) for i in range(len(doc))]
+        edit.insert_subtree(doc, 0, 0, tree(("x",)))
+        assert [doc.tag_name(i) for i in range(len(doc))] == before
+
+    def test_attached_subtree_rejected(self, doc):
+        parent = tree(("p", ("q",)))
+        with pytest.raises(TreeError):
+            edit.insert_subtree(doc, 0, 0, parent.children[0])
+
+
+class TestDeleteSubtree:
+    def test_delete_inner(self, doc):
+        new_doc = edit.delete_subtree(doc, 1)
+        names = [new_doc.tag_name(i) for i in range(len(new_doc))]
+        assert names == ["a", "d", "e", "f", "g"]
+        new_doc.validate()
+
+    def test_delete_leaf(self, doc):
+        new_doc = edit.delete_subtree(doc, 5)
+        assert [new_doc.tag_name(i) for i in range(len(new_doc))] == [
+            "a", "b", "c", "d", "e", "g",
+        ]
+
+    def test_delete_root_rejected(self, doc):
+        with pytest.raises(TreeError):
+            edit.delete_subtree(doc, 0)
+
+
+class TestMoveSubtree:
+    def test_move_forward(self, doc):
+        result = edit.move_subtree(doc, 1, 4)  # b under e, appended
+        names = [result.doc.tag_name(i) for i in range(len(result.doc))]
+        assert names == ["a", "d", "e", "f", "g", "b", "c"]
+        assert result.source == (1, 3)
+        assert result.destination == 5
+
+    def test_move_backward_with_index(self, doc):
+        result = edit.move_subtree(doc, 5, 0, child_index=0)  # f first child of a
+        names = [result.doc.tag_name(i) for i in range(len(result.doc))]
+        assert names == ["a", "f", "b", "c", "d", "e", "g"]
+        assert result.destination == 1
+
+    def test_move_into_self_rejected(self, doc):
+        with pytest.raises(TreeError):
+            edit.move_subtree(doc, 4, 5)
+
+    def test_move_root_rejected(self, doc):
+        with pytest.raises(TreeError):
+            edit.move_subtree(doc, 0, 4)

@@ -1,0 +1,123 @@
+"""Unit tests for the mutable Node tree."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.xmltree.builder import tree
+from repro.xmltree.node import Node
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        node = Node("item", text="hello", attrs={"id": "i1"})
+        assert node.tag == "item"
+        assert node.text == "hello"
+        assert node.attrs == {"id": "i1"}
+        assert node.children == []
+        assert node.parent is None
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(TreeError):
+            Node("")
+
+    def test_append_sets_parent(self):
+        parent = Node("a")
+        child = parent.append(Node("b"))
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_attached_node_rejected(self):
+        a, b = Node("a"), Node("b")
+        child = Node("c")
+        a.append(child)
+        with pytest.raises(TreeError):
+            b.append(child)
+
+    def test_append_self_rejected(self):
+        node = Node("a")
+        with pytest.raises(TreeError):
+            node.append(node)
+
+    def test_append_ancestor_rejected(self):
+        root = Node("a")
+        child = root.append(Node("b"))
+        with pytest.raises(TreeError):
+            child.append(root)
+
+    def test_insert_positions_child(self):
+        root = Node("a")
+        root.append(Node("b"))
+        root.append(Node("d"))
+        root.insert(1, Node("c"))
+        assert [c.tag for c in root.children] == ["b", "c", "d"]
+
+
+class TestNavigation:
+    def test_preorder_is_document_order(self, paper_tree):
+        tags = [node.tag for node in paper_tree.iter_preorder()]
+        assert tags == list("abcdefghijkl")
+
+    def test_size_and_depth(self, paper_tree):
+        assert paper_tree.size() == 12
+        h = paper_tree.children[3].children[2]
+        assert h.tag == "h"
+        assert h.depth() == 2
+        assert h.size() == 5
+
+    def test_child_lookup(self, paper_tree):
+        assert paper_tree.child("e").tag == "e"
+        with pytest.raises(TreeError):
+            paper_tree.child("zzz")
+
+    def test_find_all(self, paper_tree):
+        assert [n.tag for n in paper_tree.find_all("h")] == ["h"]
+        assert paper_tree.find_all("nope") == []
+
+    def test_path(self, paper_tree):
+        h = paper_tree.child("e").child("h")
+        assert h.path() == "/a/e/h"
+
+    def test_is_ancestor_of(self, paper_tree):
+        e = paper_tree.child("e")
+        h = e.child("h")
+        assert paper_tree.is_ancestor_of(h)
+        assert e.is_ancestor_of(h)
+        assert not h.is_ancestor_of(e)
+        assert not h.is_ancestor_of(h)
+
+
+class TestMutation:
+    def test_detach(self, paper_tree):
+        e = paper_tree.child("e")
+        e.detach()
+        assert e.parent is None
+        assert paper_tree.size() == 4
+
+    def test_detach_root_rejected(self, paper_tree):
+        with pytest.raises(TreeError):
+            paper_tree.detach()
+
+    def test_copy_is_deep_and_detached(self, paper_tree):
+        e = paper_tree.child("e")
+        clone = e.copy()
+        assert clone.parent is None
+        assert clone.structurally_equal(e)
+        clone.children[0].tag = "changed"
+        assert e.children[0].tag == "f"
+
+
+class TestEquality:
+    def test_structurally_equal(self):
+        a = tree(("x", ("y", "txt"), ("z",)))
+        b = tree(("x", ("y", "txt"), ("z",)))
+        assert a.structurally_equal(b)
+
+    def test_text_difference_detected(self):
+        a = tree(("x", ("y", "one")))
+        b = tree(("x", ("y", "two")))
+        assert not a.structurally_equal(b)
+
+    def test_child_order_matters(self):
+        a = tree(("x", ("y",), ("z",)))
+        b = tree(("x", ("z",), ("y",)))
+        assert not a.structurally_equal(b)

@@ -1,0 +1,127 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree.parser import END, START, TEXT, iterparse, parse
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse("<a/>")
+        assert root.tag == "a"
+        assert root.children == []
+
+    def test_nested_elements(self):
+        root = parse("<a><b><c/></b><d/></a>")
+        assert [c.tag for c in root.children] == ["b", "d"]
+        assert root.children[0].children[0].tag == "c"
+
+    def test_text_content(self):
+        root = parse("<a>hello world</a>")
+        assert root.text == "hello world"
+
+    def test_mixed_text_concatenated(self):
+        root = parse("<a>one<b/>two</a>")
+        assert root.text == "one two"
+
+    def test_attributes(self):
+        root = parse('<a id="1" name="x"/>')
+        assert root.attrs == {"id": "1", "name": "x"}
+
+    def test_single_quoted_attributes(self):
+        root = parse("<a id='1'/>")
+        assert root.attrs == {"id": "1"}
+
+    def test_whitespace_in_tags(self):
+        root = parse("<a  id = '1' ><b /></a >")
+        assert root.attrs == {"id": "1"}
+        assert root.children[0].tag == "b"
+
+    def test_whitespace_only_text_ignored(self):
+        root = parse("<a>\n  <b/>\n</a>")
+        assert root.text == ""
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        root = parse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>")
+        assert root.text == "<x> & \"y\" 'z'"
+
+    def test_numeric_entities(self):
+        assert parse("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_entities_in_attributes(self):
+        assert parse('<a v="&amp;&lt;"/>').attrs["v"] == "&<"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse("<a>&nosuch;</a>")
+
+    def test_comments_skipped(self):
+        root = parse("<a><!-- hi --><b/><!-- bye --></a>")
+        assert [c.tag for c in root.children] == ["b"]
+
+    def test_cdata(self):
+        root = parse("<a><![CDATA[<not-a-tag> & raw]]></a>")
+        assert root.text == "<not-a-tag> & raw"
+
+    def test_declaration_and_doctype(self):
+        root = parse('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert root.tag == "a"
+
+    def test_processing_instruction_skipped(self):
+        assert parse("<a><?php echo ?><b/></a>").children[0].tag == "b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "</a>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a attr=unquoted/>",
+            "<a>&unterminated",
+            "<1bad/>",
+            "text<a/>",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XMLParseError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLParseError) as err:
+            parse("<a>&nosuch;</a>")
+        assert err.value.position >= 0
+
+
+class TestIterparse:
+    def test_event_stream(self):
+        events = list(iterparse("<a><b>t</b></a>"))
+        assert events == [
+            (START, ("a", {})),
+            (START, ("b", {})),
+            (TEXT, "t"),
+            (END, "b"),
+            (END, "a"),
+        ]
+
+    def test_self_closing_emits_both_events(self):
+        events = list(iterparse("<a/>"))
+        assert events == [(START, ("a", {})), (END, "a")]
+
+    def test_document_order_matches_preorder(self, paper_tree):
+        from repro.xmltree.serializer import serialize
+
+        starts = [
+            payload[0]
+            for kind, payload in iterparse(serialize(paper_tree))
+            if kind == START
+        ]
+        assert starts == [n.tag for n in paper_tree.iter_preorder()]

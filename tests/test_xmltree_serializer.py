@@ -1,0 +1,58 @@
+"""Unit tests for XML serialization and round-tripping."""
+
+from repro.xmltree.builder import tree
+from repro.xmltree.document import Document
+from repro.xmltree.node import Node
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import escape_attr, escape_text, serialize
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attr_escapes_quotes(self):
+        assert escape_attr('say "hi" & go') == "say &quot;hi&quot; &amp; go"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Node("a")) == "<a/>"
+
+    def test_text_and_children(self):
+        root = tree(("a", "hello", ("b",)))
+        assert serialize(root) == "<a>hello<b/></a>"
+
+    def test_attributes_rendered(self):
+        node = Node("a", attrs={"id": "1"})
+        assert serialize(node) == '<a id="1"/>'
+
+    def test_declaration(self):
+        out = serialize(Node("a"), declaration=True)
+        assert out.startswith("<?xml")
+
+    def test_indented_output_parses_back(self, paper_tree):
+        pretty = serialize(paper_tree, indent=2)
+        assert "\n" in pretty
+        assert parse(pretty).structurally_equal(paper_tree)
+
+    def test_document_input(self, paper_doc):
+        out = serialize(paper_doc)
+        assert parse(out).structurally_equal(paper_doc.to_tree())
+
+
+class TestRoundTrip:
+    def test_compact_roundtrip(self, paper_tree):
+        assert parse(serialize(paper_tree)).structurally_equal(paper_tree)
+
+    def test_special_characters_roundtrip(self):
+        root = tree(("a", ("b", 'quotes " and <angles> & amps')))
+        again = parse(serialize(root))
+        assert again.children[0].text == 'quotes " and <angles> & amps'
+
+    def test_xmark_roundtrip(self, xmark_doc):
+        text = serialize(xmark_doc.to_tree())
+        doc2 = Document.from_tree(parse(text))
+        assert doc2.tags == xmark_doc.tags
+        assert doc2.subtree == xmark_doc.subtree
+        assert doc2.texts == xmark_doc.texts
