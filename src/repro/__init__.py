@@ -26,6 +26,8 @@ Baseline
 Storage & querying
     :class:`repro.NoKStore` — block storage with embedded access codes;
     :class:`repro.QueryEngine` — (secure) twig query evaluation;
+    :class:`repro.Planner` / :class:`repro.PhysicalPlan` — the Volcano
+    operator pipeline queries compile into;
     :data:`repro.CHO` / :data:`repro.VIEW` — secure semantics.
 """
 
@@ -39,6 +41,7 @@ from repro.dol.multimode import MultiModeDOL
 from repro.dol.stream import build_dol_streaming
 from repro.dol.updates import DOLUpdater
 from repro.errors import ReproError
+from repro.exec.planner import PhysicalPlan, Planner
 from repro.index.tagindex import TagIndex
 from repro.secure.dissemination import filter_xml
 from repro.secure.secured import SecuredDocument
@@ -67,6 +70,8 @@ __all__ = [
     "Node",
     "NoKStore",
     "PatternTree",
+    "PhysicalPlan",
+    "Planner",
     "Policy",
     "QueryEngine",
     "QueryResult",

@@ -10,6 +10,18 @@ Shared between the ``benchmarks/`` pytest modules and the examples:
 """
 
 from repro.bench.queries import QUERIES, QUERY_IDS
-from repro.bench.reporting import format_table, print_table
+from repro.bench.reporting import (
+    format_plan_table,
+    format_table,
+    plan_rows,
+    print_table,
+)
 
-__all__ = ["QUERIES", "QUERY_IDS", "format_table", "print_table"]
+__all__ = [
+    "QUERIES",
+    "QUERY_IDS",
+    "format_plan_table",
+    "format_table",
+    "plan_rows",
+    "print_table",
+]

@@ -43,3 +43,43 @@ def print_table(
     captures and shows output for failing or ``-rA`` runs, and
     pytest-benchmark prints its own timing table separately)."""
     print("\n" + format_table(caption, header, rows) + "\n")
+
+
+def plan_rows(plan) -> List[Sequence[Cell]]:
+    """Per-operator report rows for a (run) physical plan.
+
+    One row per operator, preorder: name, detail, rows out, inclusive
+    milliseconds, and any operator-specific counters (pages skipped,
+    candidates denied, join pairs pruned). Feed the result straight to
+    :func:`format_table` / :func:`print_table`.
+    """
+    rows: List[Sequence[Cell]] = []
+    for depth, op in _walk_with_depth(plan.root, 0):
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(op.stats.extra.items())
+        )
+        rows.append(
+            (
+                "  " * depth + op.name,
+                op.describe(),
+                op.stats.rows_out,
+                op.stats.time * 1000.0,
+                extras,
+            )
+        )
+    return rows
+
+
+def format_plan_table(caption: str, plan) -> str:
+    """Render a physical plan's per-operator counters as a text table."""
+    return format_table(
+        caption,
+        ["operator", "detail", "rows", "ms", "counters"],
+        plan_rows(plan),
+    )
+
+
+def _walk_with_depth(op, depth: int):
+    yield depth, op
+    for child in op.children:
+        yield from _walk_with_depth(child, depth + 1)

@@ -98,10 +98,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         matrix = generate_synthetic_acl(config=config, doc=doc, n_subjects=args.subject + 1)
         engine = QueryEngine.build(doc, matrix)
-        result = engine.evaluate(args.query, subject=args.subject, semantics=args.semantics)
     else:
         engine = QueryEngine.build(doc)
-        result = engine.evaluate(args.query)
+
+    if args.explain:
+        plan = engine.compile(
+            args.query, subject=args.subject, semantics=args.semantics
+        )
+        print("physical plan:")
+        print(plan.explain())
+        return 0
+
+    if args.explain_analyze:
+        result, plan_text = engine.explain_analyze(
+            args.query, subject=args.subject, semantics=args.semantics
+        )
+        print("physical plan (analyzed):")
+        print(plan_text)
+        print(
+            f"answers: {result.n_answers}  bindings: {result.n_bindings}  "
+            f"access checks: {result.stats.access_checks}  "
+            f"wall time: {result.stats.wall_time * 1000.0:.3f}ms"
+        )
+        return 0
+
+    result = engine.evaluate(
+        args.query, subject=args.subject, semantics=args.semantics
+    )
     print(f"answers: {result.n_answers}")
     for pos in result.positions[: args.limit]:
         print(f"  {pos}: <{doc.tag_name(pos)}> {doc.text(pos)[:60]}")
@@ -113,7 +136,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     doc = _load_document(args.file)
     engine = QueryEngine.build(doc)
-    print(engine.explain(args.query))
+    if args.analyze:
+        result, plan_text = engine.explain_analyze(args.query)
+        print(engine.explain(args.query))
+        print("physical plan (analyzed):")
+        print(plan_text)
+        print(f"answers: {result.n_answers}")
+    else:
+        print(engine.explain(args.query))
     return 0
 
 
@@ -172,11 +202,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--accessibility", type=float, default=0.7)
     p_query.add_argument("--seed", type=int, default=0)
     p_query.add_argument("--limit", type=int, default=10)
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compiled physical plan instead of executing",
+    )
+    p_query.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="execute, then print the plan with per-operator rows/timings",
+    )
     p_query.set_defaults(func=_cmd_query)
 
-    p_explain = sub.add_parser("explain", help="print the NoK evaluation plan")
+    p_explain = sub.add_parser(
+        "explain", help="print the NoK logical plan and the physical plan"
+    )
     p_explain.add_argument("file")
     p_explain.add_argument("query")
+    p_explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also execute and print per-operator row counts and timings",
+    )
     p_explain.set_defaults(func=_cmd_explain)
 
     p_diss = sub.add_parser(

@@ -1,0 +1,51 @@
+"""Physical query execution: Volcano operators, planner, and context.
+
+Compiles a parsed twig query + NoK decomposition into an explicit tree of
+composable iterator operators so results stream out incrementally —
+instead of materializing every intermediate list. See
+:mod:`repro.exec.planner` for the compilation pipeline and the
+secure-semantics plan rewrites, :mod:`repro.exec.operators` for the
+operators themselves, and :mod:`repro.exec.context` for the shared
+execution state and statistics.
+"""
+
+from repro.exec.context import EvalStats, ExecutionContext, OperatorStats, QueryResult
+from repro.exec.operators import (
+    AccessFilter,
+    Limit,
+    NPMMatch,
+    Operator,
+    PageSkipScan,
+    PathCheck,
+    Project,
+    RootVerify,
+    STDJoin,
+    TagIndexScan,
+)
+from repro.exec.planner import (
+    PhysicalPlan,
+    Planner,
+    apply_cho_rewrite,
+    apply_view_rewrite,
+)
+
+__all__ = [
+    "AccessFilter",
+    "EvalStats",
+    "ExecutionContext",
+    "Limit",
+    "NPMMatch",
+    "Operator",
+    "OperatorStats",
+    "PageSkipScan",
+    "PathCheck",
+    "PhysicalPlan",
+    "Planner",
+    "Project",
+    "QueryResult",
+    "RootVerify",
+    "STDJoin",
+    "TagIndexScan",
+    "apply_cho_rewrite",
+    "apply_view_rewrite",
+]

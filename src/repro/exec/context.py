@@ -1,0 +1,204 @@
+"""Execution context and statistics for the physical operator pipeline.
+
+One :class:`ExecutionContext` is threaded through every operator of a
+compiled plan. It carries the data source (in-memory document or block
+store), the DOL, the tag index, the secure-evaluation subject(s) and
+semantics, and the measurement state: the query-level :class:`EvalStats`
+plus the per-subject path-accessibility oracle used by view semantics.
+
+:class:`EvalStats` and :class:`QueryResult` are defined here (rather than
+in :mod:`repro.nok.engine`) so the operator layer does not depend on the
+engine facade; the engine re-exports both under their historical names.
+
+This module must not import from :mod:`repro.nok` at module level — the
+``nok`` package imports the engine, which imports the execution layer.
+The single ``nok`` dependency (:class:`~repro.nok.stdjoin.PathAccessIndex`)
+is imported lazily when view semantics first needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dol.labeling import DOL
+from repro.errors import ReproError
+from repro.secure.semantics import CHO, SEMANTICS, VIEW
+from repro.storage.nokstore import NoKStore
+from repro.xmltree.document import NO_NODE, Document
+
+AccessFn = Optional[Callable[[int], bool]]
+Subject = Union[int, Sequence[int]]
+
+
+@dataclass
+class EvalStats:
+    """Measurements for one query evaluation."""
+
+    wall_time: float = 0.0
+    access_checks: int = 0
+    candidates: int = 0
+    candidates_skipped_by_header: int = 0
+    logical_page_reads: int = 0
+    physical_page_reads: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class QueryResult:
+    """Answer of one evaluation: returning-node positions + statistics."""
+
+    positions: List[int] = field(default_factory=list)
+    n_bindings: int = 0
+    stats: EvalStats = field(default_factory=EvalStats)
+
+    @property
+    def n_answers(self) -> int:
+        """Distinct data nodes bound to the returning node."""
+        return len(self.positions)
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator instrumentation collected while a plan runs.
+
+    ``time`` is *inclusive*: the seconds spent inside this operator's
+    iterator, children included (the convention of EXPLAIN ANALYZE).
+    ``extra`` holds operator-specific counters, e.g. ``skipped`` for
+    :class:`~repro.exec.operators.PageSkipScan`.
+    """
+
+    rows_out: int = 0
+    time: float = 0.0
+    executions: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.extra[counter] = self.extra.get(counter, 0) + amount
+
+
+class ExecutionContext:
+    """Shared state for one plan execution.
+
+    Normalizes the ``subject`` argument (a single subject id, or a
+    sequence of ids for user-level evaluation — rights are the union, per
+    Section 4's footnote), owns the per-query :class:`EvalStats`, and
+    lazily builds the ACCESS function appropriate to the semantics:
+
+    - Cho semantics: node-level accessibility straight from the store's
+      embedded codes (no extra I/O) or the in-memory DOL;
+    - view semantics: whole-root-path accessibility via the
+      :class:`~repro.nok.stdjoin.PathAccessIndex` (the pruned-view model).
+    """
+
+    def __init__(
+        self,
+        doc: Document,
+        dol: Optional[DOL] = None,
+        store: Optional[NoKStore] = None,
+        index=None,
+        subject: Optional[Subject] = None,
+        semantics: str = CHO,
+    ):
+        if semantics not in SEMANTICS:
+            raise ReproError(f"unknown semantics {semantics!r}")
+        if subject is not None and dol is None:
+            raise ReproError("secure evaluation requires a DOL")
+        if subject is not None and not isinstance(subject, int):
+            subject = tuple(subject)
+            if not subject:
+                raise ReproError("user-level evaluation needs >= 1 subject")
+        self.doc = doc
+        self.dol = dol
+        self.store = store
+        self.index = index
+        self.semantics = semantics
+        self.subject = subject
+        self.subjects: Optional[Tuple[int, ...]] = (
+            None
+            if subject is None
+            else ((subject,) if isinstance(subject, int) else tuple(subject))
+        )
+        self.stats = EvalStats()
+        self._access: AccessFn = None
+        self._access_built = False
+        self._path_index = None
+
+    # -- data source -------------------------------------------------------
+
+    @property
+    def source(self):
+        """Where navigation reads go: the block store when present."""
+        return self.store if self.store is not None else self.doc
+
+    @property
+    def secure(self) -> bool:
+        return self.subjects is not None
+
+    def io_snapshot(self) -> Tuple[int, int]:
+        """(logical reads, physical reads) of the store, zeros without one."""
+        if self.store is None:
+            return (0, 0)
+        return (
+            self.store.buffer.stats.logical_reads,
+            self.store.pager.stats.reads,
+        )
+
+    # -- access control ----------------------------------------------------
+
+    @property
+    def path_index(self):
+        """Per-subject path-accessibility oracle (view semantics only)."""
+        if self._path_index is None:
+            from repro.nok.stdjoin import PathAccessIndex
+
+            if self.subject is None:
+                raise ReproError("path index requires a subject")
+            self._path_index = PathAccessIndex(self.doc, self.dol, self.subject)
+        return self._path_index
+
+    @property
+    def access(self) -> AccessFn:
+        """The ACCESS function of Algorithm 1 (None for non-secure plans).
+
+        Every call is counted in ``stats.access_checks``.
+        """
+        if not self._access_built:
+            self._access = self._build_access()
+            self._access_built = True
+        return self._access
+
+    def _build_access(self) -> AccessFn:
+        if self.subjects is None:
+            return None
+        stats = self.stats
+        if self.semantics == VIEW:
+            # View semantics: a node is usable iff its whole root path is
+            # accessible (the pruned-view model).
+            deepest_blocked = self.path_index.deepest_blocked
+
+            def view_access(pos: int) -> bool:
+                stats.access_checks += 1
+                return deepest_blocked[pos] == NO_NODE
+
+            return view_access
+
+        subjects = self.subjects
+        if self.store is not None:
+            store = self.store
+
+            def store_access(pos: int) -> bool:
+                stats.access_checks += 1
+                return store.accessible_any(subjects, pos)
+
+            return store_access
+
+        dol = self.dol
+
+        def dol_access(pos: int) -> bool:
+            stats.access_checks += 1
+            return dol.accessible_any(subjects, pos)
+
+        return dol_access

@@ -1,0 +1,363 @@
+"""Volcano-style physical operators for secure NoK query evaluation.
+
+Each operator is an iterator factory: :meth:`Operator.execute` returns a
+generator that pulls rows lazily from its children, so results stream out
+of the plan incrementally — a :class:`Limit` near the root stops the
+entire pipeline after ``k`` rows, touching only the candidates, pages and
+access checks needed to produce them.
+
+Row types are uniform per plan edge:
+
+- scan-level operators (:class:`TagIndexScan`, :class:`PageSkipScan`,
+  :class:`RootVerify`, :class:`AccessFilter`) produce candidate document
+  positions (``int``);
+- :class:`NPMMatch` turns candidate positions into binding dicts
+  (``id(pattern node) -> position``);
+- :class:`STDJoin` and :class:`PathCheck` consume and produce bindings;
+- :class:`Project` reduces bindings to distinct returning-node positions.
+
+Every operator records :class:`~repro.exec.context.OperatorStats` (rows
+out, inclusive time, operator-specific counters), which ``EXPLAIN
+ANALYZE`` renders per plan node.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional
+
+from repro.exec.context import ExecutionContext, OperatorStats
+from repro.nok.decompose import NoKSubtree
+from repro.nok.matcher import Binding, match_nok_subtree
+from repro.nok.pattern import PatternNode
+
+Row = object
+
+
+class Operator:
+    """Base class: a plan node with children, stats, and a row generator."""
+
+    name = "Operator"
+
+    def __init__(self, *children: "Operator"):
+        self.children: List[Operator] = list(children)
+        self.stats = OperatorStats()
+
+    @property
+    def child(self) -> "Operator":
+        return self.children[0]
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        """Open the operator and return its (instrumented) row stream."""
+        self.stats.executions += 1
+        return self._instrumented(ctx)
+
+    def _instrumented(self, ctx: ExecutionContext) -> Iterator[Row]:
+        rows = self._rows(ctx)
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(rows)
+            except StopIteration:
+                self.stats.time += time.perf_counter() - started
+                return
+            self.stats.time += time.perf_counter() - started
+            self.stats.rows_out += 1
+            yield row
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Operator-specific detail shown in EXPLAIN output."""
+        return ""
+
+    def walk(self) -> Iterator["Operator"]:
+        """This operator and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class TagIndexScan(Operator):
+    """Candidate positions for one NoK subtree root, from the tag index.
+
+    ``anchored=True`` marks the query root under a ``/`` root axis: the
+    only candidate is document position 0 (checked against the tag test).
+    Wildcard roots scan every position; value-constrained roots use the
+    (tag, text) index. Every emitted candidate is counted in
+    ``EvalStats.candidates``.
+    """
+
+    name = "TagIndexScan"
+
+    def __init__(self, pnode: PatternNode, anchored: bool = False):
+        super().__init__()
+        self.pnode = pnode
+        self.anchored = anchored
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
+        pnode, doc, stats = self.pnode, ctx.doc, ctx.stats
+        if self.anchored:
+            if pnode.matches(doc.tag_name(0), doc.text(0)):
+                stats.candidates += 1
+                yield 0
+            return
+        if pnode.tag == "*":
+            positions: "range | List[int]" = range(len(doc))
+        elif pnode.value is not None:
+            positions = ctx.index.positions_with_value(pnode.tag, pnode.value)
+        else:
+            positions = ctx.index.positions(pnode.tag)
+        for pos in positions:
+            stats.candidates += 1
+            yield pos
+
+    def describe(self) -> str:
+        detail = f"<{self.pnode.tag}>"
+        if self.pnode.value is not None:
+            detail += f" ={self.pnode.value!r}"
+        if self.anchored:
+            detail += " anchored@root"
+        return detail
+
+
+class PageSkipScan(Operator):
+    """Header-driven page skipping (Section 3.3) over a candidate stream.
+
+    A candidate whose page header denies every subject and has a clear
+    change bit is inaccessible without reading the page — it is dropped
+    here at zero I/O cost. Inserted by the secure rewrites only when the
+    plan runs over a :class:`~repro.storage.nokstore.NoKStore`.
+    """
+
+    name = "PageSkipScan"
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
+        store, subjects = ctx.store, ctx.subjects
+        for pos in self.child.execute(ctx):
+            if store.page_fully_inaccessible_any(store.page_of(pos), subjects):
+                ctx.stats.candidates_skipped_by_header += 1
+                self.stats.bump("skipped")
+                continue
+            yield pos
+
+    def describe(self) -> str:
+        return "header table"
+
+
+class RootVerify(Operator):
+    """Verify candidates against the data source itself.
+
+    The index only supplied a position; re-checking the tag/value and
+    attribute tests against the source loads the candidate's page —
+    exactly the read a NoK evaluator performs before matching can start.
+    """
+
+    name = "RootVerify"
+
+    def __init__(self, child: Operator, pnode: PatternNode):
+        super().__init__(child)
+        self.pnode = pnode
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
+        pnode, source = self.pnode, ctx.source
+        for pos in self.child.execute(ctx):
+            if not pnode.matches(source.tag_name(pos), source.text(pos)):
+                continue
+            if pnode.attr_tests and not pnode.matches_attrs(source.attrs_of(pos)):
+                continue
+            yield pos
+
+    def describe(self) -> str:
+        return f"<{self.pnode.tag}>"
+
+
+class AccessFilter(Operator):
+    """The ε-NoK ACCESS pre-condition on candidate roots (Algorithm 1).
+
+    Under Cho semantics the check is node-level accessibility; under view
+    semantics the context's ACCESS function is already path-based, making
+    this the Gabillon–Bruno pruned-view test. Inserted only by the secure
+    rewrites — non-secure plans carry no filter at all.
+    """
+
+    name = "AccessFilter"
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
+        access = ctx.access
+        for pos in self.child.execute(ctx):
+            if access(pos):
+                yield pos
+            else:
+                self.stats.bump("denied")
+
+    def describe(self) -> str:
+        return "ε-NoK pre-condition"
+
+
+class NPMMatch(Operator):
+    """ε-NoK next-of-kin pattern matching of one NoK subtree.
+
+    For each (verified, access-checked) candidate root it enumerates the
+    output-node bindings via :func:`~repro.nok.matcher.match_nok_subtree`
+    and streams them out one by one. With ``ordered=True`` pattern
+    children must bind to data siblings in pattern order.
+    """
+
+    name = "NPMMatch"
+
+    def __init__(self, child: Operator, subtree: NoKSubtree, ordered: bool = False):
+        super().__init__(child)
+        self.subtree = subtree
+        self.ordered = ordered
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        source, subtree, ordered = ctx.source, self.subtree, self.ordered
+        access = ctx.access
+        for pos in self.child.execute(ctx):
+            yield from match_nok_subtree(source, subtree, pos, access, ordered)
+
+    def describe(self) -> str:
+        detail = f"subtree {self.subtree.index} root <{self.subtree.root.tag}>"
+        if self.ordered:
+            detail += " ordered"
+        return detail
+
+
+class STDJoin(Operator):
+    """Structural ancestor–descendant join of two binding streams.
+
+    The descendant (build) side is materialized and grouped by the
+    child-subtree root's position; the ancestor (probe) side then streams
+    through, each binding probing the sorted descendant positions with
+    the preorder interval test ``a < d < subtree_end(a)`` — producing
+    exactly the proper-AD pairs of Stack-Tree-Desc while keeping the
+    probe side fully pipelined. Duplicate merged bindings are suppressed,
+    matching the engine's historical join semantics.
+    """
+
+    name = "STDJoin"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        parent_node: PatternNode,
+        child_root: PatternNode,
+    ):
+        super().__init__(left, right)
+        self.parent_node = parent_node
+        self.child_root = child_root
+        self.parent_key = id(parent_node)
+        self.child_key = id(child_root)
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        descendants_of: Dict[int, List[Binding]] = {}
+        for binding in self.children[1].execute(ctx):
+            descendants_of.setdefault(binding[self.child_key], []).append(binding)
+        self.stats.bump("build_rows", sum(map(len, descendants_of.values())))
+        if not descendants_of:
+            return  # empty build side: never pull the probe side
+        desc_positions = sorted(descendants_of)
+        subtree_end = ctx.doc.subtree_end
+        parent_key = self.parent_key
+        seen = set()
+        for m in self.children[0].execute(ctx):
+            anchor = m[parent_key]
+            end = subtree_end(anchor)
+            lo = bisect_right(desc_positions, anchor)
+            for i in range(lo, len(desc_positions)):
+                d = desc_positions[i]
+                if d >= end:
+                    break
+                for dm in descendants_of[d]:
+                    combined = {**m, **dm}
+                    key = frozenset(combined.items())
+                    if key not in seen:
+                        seen.add(key)
+                        yield combined
+
+    def describe(self) -> str:
+        return f"<{self.parent_node.tag}> // <{self.child_root.tag}>"
+
+
+class PathCheck(Operator):
+    """ε-STD path-accessibility test on joined pairs (view semantics).
+
+    A joined (ancestor, descendant) pair survives only if every node on
+    the path between them is accessible — the Gabillon–Bruno condition,
+    answered in O(1) per pair by the precomputed deepest-blocked-ancestor
+    index. Inserted above every :class:`STDJoin` by the view rewrite.
+    """
+
+    name = "PathCheck"
+
+    def __init__(self, child: "STDJoin"):
+        super().__init__(child)
+        self.parent_key = child.parent_key
+        self.child_key = child.child_key
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Binding]:
+        path_ok = ctx.path_index.path_accessible
+        parent_key, child_key = self.parent_key, self.child_key
+        for m in self.child.execute(ctx):
+            if path_ok(m[parent_key], m[child_key]):
+                yield m
+            else:
+                self.stats.bump("pruned")
+
+    def describe(self) -> str:
+        return "ε-STD path accessibility"
+
+
+class Project(Operator):
+    """Distinct returning-node positions, in discovery (streaming) order.
+
+    Counts incoming bindings in ``extra['bindings_in']`` so the facade can
+    report ``QueryResult.n_bindings`` without a blocking materialization.
+    """
+
+    name = "Project"
+
+    def __init__(self, child: Operator, returning_node: PatternNode):
+        super().__init__(child)
+        self.returning_node = returning_node
+        self.returning_key = id(returning_node)
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
+        seen = set()
+        key = self.returning_key
+        for binding in self.child.execute(ctx):
+            self.stats.bump("bindings_in")
+            pos = binding[key]
+            if pos not in seen:
+                seen.add(pos)
+                yield pos
+
+    def describe(self) -> str:
+        return f"returning <{self.returning_node.tag}>"
+
+
+class Limit(Operator):
+    """Stop the pipeline after ``k`` rows (early termination)."""
+
+    name = "Limit"
+
+    def __init__(self, child: Operator, k: int):
+        super().__init__(child)
+        self.k = k
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self.k <= 0:
+            return
+        emitted = 0
+        for row in self.child.execute(ctx):
+            yield row
+            emitted += 1
+            if emitted >= self.k:
+                return
+
+    def describe(self) -> str:
+        return f"k={self.k}"

@@ -1,0 +1,239 @@
+"""Compiling twig queries into physical operator plans.
+
+The :class:`Planner` turns a parsed pattern tree plus its NoK
+decomposition into a tree of Volcano operators:
+
+1. each NoK subtree becomes ``TagIndexScan → RootVerify → NPMMatch``;
+2. every ancestor–descendant edge of the decomposition folds the child
+   subtree's plan into its parent via an :class:`~repro.exec.operators.STDJoin`
+   (children joined bottom-up, in decomposition-edge order);
+3. the secure-semantics *rewrites* then transform the tree — security is
+   a plan transformation, not an ``if`` branch inside an evaluator:
+
+   - :func:`apply_cho_rewrite` (Cho et al.): inserts an
+     :class:`~repro.exec.operators.AccessFilter` above every
+     ``RootVerify`` (the ε-NoK pre-condition) and, over a block store, a
+     :class:`~repro.exec.operators.PageSkipScan` above every
+     ``TagIndexScan``;
+   - :func:`apply_view_rewrite` (Gabillon–Bruno): same insertions — the
+     context's ACCESS function is path-based under view semantics, so the
+     filters prune the view — plus a
+     :class:`~repro.exec.operators.PathCheck` above every ``STDJoin``
+     (the ε-STD condition);
+
+4. a :class:`~repro.exec.operators.Project` (distinct returning-node
+   positions) and an optional :class:`~repro.exec.operators.Limit` cap
+   the plan.
+
+The resulting :class:`PhysicalPlan` executes lazily (`execute()` yields
+positions as they are found), runs to completion (`run()` returns a
+:class:`~repro.exec.context.QueryResult`), and renders itself
+(`explain()` / `explain(analyze=True)` with per-operator row counts and
+timings).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Iterator, List, Optional, Union
+
+from repro.exec.context import ExecutionContext, QueryResult
+from repro.exec.operators import (
+    AccessFilter,
+    Limit,
+    NPMMatch,
+    Operator,
+    PageSkipScan,
+    PathCheck,
+    Project,
+    RootVerify,
+    STDJoin,
+    TagIndexScan,
+)
+from repro.nok.decompose import Decomposition, decompose
+from repro.nok.pattern import CHILD, PatternTree, parse_query
+from repro.secure.semantics import VIEW
+
+
+class PhysicalPlan:
+    """A compiled, executable operator tree plus its execution context."""
+
+    def __init__(
+        self,
+        root: Operator,
+        ctx: ExecutionContext,
+        pattern: PatternTree,
+        decomposition: Decomposition,
+    ):
+        self.root = root
+        self.ctx = ctx
+        self.pattern = pattern
+        self.decomposition = decomposition
+        self.executed = False
+
+    def operators(self) -> List[Operator]:
+        """All plan operators, preorder."""
+        return list(self.root.walk())
+
+    def execute(self) -> Iterator[int]:
+        """Stream distinct returning-node positions as they are found.
+
+        Page-read deltas and wall time are folded into ``ctx.stats`` when
+        the stream is exhausted or closed; ``wall_time`` is the root
+        operator's inclusive time (consumer think-time excluded).
+        """
+        self.executed = True
+        io_before = self.ctx.io_snapshot()
+        try:
+            yield from self.root.execute(self.ctx)
+        finally:
+            io_after = self.ctx.io_snapshot()
+            stats = self.ctx.stats
+            stats.logical_page_reads += io_after[0] - io_before[0]
+            stats.physical_page_reads += io_after[1] - io_before[1]
+            stats.wall_time = self.root.stats.time
+
+    def run(self) -> QueryResult:
+        """Execute to completion and package a :class:`QueryResult`."""
+        started = perf_counter()
+        positions = sorted(self.execute())
+        elapsed = perf_counter() - started
+        stats = self.ctx.stats
+        if stats.wall_time == 0.0:
+            stats.wall_time = elapsed
+        n_bindings = self._bindings_seen()
+        return QueryResult(
+            positions=positions, n_bindings=n_bindings, stats=stats
+        )
+
+    def _bindings_seen(self) -> int:
+        for op in self.root.walk():
+            if isinstance(op, Project):
+                return op.stats.extra.get("bindings_in", 0)
+        return 0
+
+    def explain(self, analyze: bool = False) -> str:
+        """Render the plan tree, with live counters when ``analyze``."""
+        lines: List[str] = []
+        self._render(self.root, 0, analyze, lines)
+        return "\n".join(lines)
+
+    def _render(
+        self, op: Operator, depth: int, analyze: bool, lines: List[str]
+    ) -> None:
+        detail = op.describe()
+        text = "  " * depth + ("-> " if depth else "") + op.name
+        if detail:
+            text += f" [{detail}]"
+        if analyze:
+            text += (
+                f"  (rows={op.stats.rows_out}"
+                f" time={op.stats.time * 1000.0:.3f}ms"
+            )
+            for counter, value in sorted(op.stats.extra.items()):
+                text += f" {counter}={value}"
+            text += ")"
+        lines.append(text)
+        for child in op.children:
+            self._render(child, depth + 1, analyze, lines)
+
+
+# -- secure-semantics rewrites -------------------------------------------------
+
+
+def _transform(op: Operator, fn: Callable[[Operator], Operator]) -> Operator:
+    """Bottom-up tree rewrite: children first, then the node itself."""
+    op.children = [_transform(child, fn) for child in op.children]
+    return fn(op)
+
+
+def apply_cho_rewrite(root: Operator, ctx: ExecutionContext) -> Operator:
+    """Cho et al. secure semantics as a plan transformation.
+
+    Every candidate root gains the ε-NoK ACCESS pre-condition
+    (:class:`AccessFilter`); over a block store every scan gains
+    header-driven page skipping (:class:`PageSkipScan`). Joins need
+    nothing extra — every binding delivered by ε-NoK already passed its
+    node-level check.
+    """
+
+    def rewrite(op: Operator) -> Operator:
+        if isinstance(op, TagIndexScan) and ctx.store is not None:
+            return PageSkipScan(op)
+        if isinstance(op, RootVerify):
+            return AccessFilter(op)
+        return op
+
+    return _transform(root, rewrite)
+
+
+def apply_view_rewrite(root: Operator, ctx: ExecutionContext) -> Operator:
+    """Gabillon–Bruno view semantics as a plan transformation.
+
+    Same filter/skip insertions as the Cho rewrite — but the context's
+    ACCESS function is *path* accessibility, so the filters prune the
+    view — plus the ε-STD :class:`PathCheck` above every structural join.
+    """
+
+    def rewrite(op: Operator) -> Operator:
+        if isinstance(op, TagIndexScan) and ctx.store is not None:
+            return PageSkipScan(op)
+        if isinstance(op, RootVerify):
+            return AccessFilter(op)
+        if isinstance(op, STDJoin):
+            return PathCheck(op)
+        return op
+
+    return _transform(root, rewrite)
+
+
+class Planner:
+    """Compiles pattern trees into :class:`PhysicalPlan` objects."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    def plan(
+        self,
+        query: Union[str, PatternTree],
+        ordered: bool = False,
+        limit: Optional[int] = None,
+    ) -> PhysicalPlan:
+        """Compile a query (string or pattern tree) into a physical plan."""
+        pattern = parse_query(query) if isinstance(query, str) else query
+        dec = decompose(pattern)
+        root = self._plan_subtree(dec, 0, pattern, ordered)
+        root = self._apply_semantics(root)
+        root = Project(root, pattern.returning_node)
+        if limit is not None:
+            root = Limit(root, limit)
+        return PhysicalPlan(root, self.ctx, pattern, dec)
+
+    def _plan_subtree(
+        self,
+        dec: Decomposition,
+        index: int,
+        pattern: PatternTree,
+        ordered: bool,
+    ) -> Operator:
+        subtree = dec.subtrees[index]
+        anchored = index == 0 and pattern.root_axis == CHILD
+        op: Operator = TagIndexScan(subtree.root, anchored=anchored)
+        op = RootVerify(op, subtree.root)
+        op = NPMMatch(op, subtree, ordered)
+        for edge in dec.children_of(index):
+            child_plan = self._plan_subtree(dec, edge.child_subtree, pattern, ordered)
+            op = STDJoin(
+                op,
+                child_plan,
+                edge.parent_node,
+                dec.subtrees[edge.child_subtree].root,
+            )
+        return op
+
+    def _apply_semantics(self, root: Operator) -> Operator:
+        if not self.ctx.secure:
+            return root
+        if self.ctx.semantics == VIEW:
+            return apply_view_rewrite(root, self.ctx)
+        return apply_cho_rewrite(root, self.ctx)

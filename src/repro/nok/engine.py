@@ -1,9 +1,16 @@
-"""The end-to-end secure NoK query engine (Section 4).
+"""The end-to-end secure NoK query engine (Section 4) — a facade.
 
-Pipeline: parse → decompose into NoK subtrees → find candidate roots via
-the tag index → NPM each candidate (ε-NoK when a subject is given) →
-structural joins over the ancestor–descendant edges (ε-STD with path
-checks under view semantics) → returning-node bindings.
+Evaluation is compiled, not interpreted: a query is parsed, decomposed
+into NoK subtrees, and handed to the :class:`~repro.exec.planner.Planner`,
+which emits an explicit physical plan of Volcano-style operators
+(``TagIndexScan → RootVerify → NPMMatch``, folded together by ``STDJoin``
+edges, with the secure semantics applied as plan rewrites — the ε-NoK
+ACCESS pre-condition, header-driven page skipping over a
+:class:`~repro.storage.nokstore.NoKStore`, and ε-STD path checks under
+view semantics). Operators pull bindings lazily from their children, so
+results stream out incrementally; :meth:`QueryEngine.stream` exposes the
+raw iterator and :meth:`QueryEngine.evaluate` drains it into the
+historical :class:`QueryResult`.
 
 The engine runs over an in-memory :class:`~repro.xmltree.document.Document`
 or, when constructed with ``use_store=True``, over the block-oriented
@@ -14,50 +21,20 @@ I/O statistics, including pages *skipped* via the in-memory header table.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.acl.model import READ, AccessMatrix
 from repro.dol.labeling import DOL
-from repro.errors import QueryParseError, ReproError
+from repro.errors import ReproError
+from repro.exec.context import EvalStats, ExecutionContext, QueryResult
 from repro.index.tagindex import TagIndex
 from repro.nok.decompose import Decomposition, decompose
-from repro.nok.matcher import Binding, match_nok_subtree
 from repro.nok.pattern import CHILD, PatternTree, parse_query
-from repro.nok.stdjoin import PathAccessIndex, stack_tree_desc
-from repro.secure.semantics import CHO, SEMANTICS, VIEW
+from repro.secure.semantics import CHO, SEMANTICS
 from repro.storage.nokstore import NoKStore
 from repro.xmltree.document import Document
 
-
-@dataclass
-class EvalStats:
-    """Measurements for one query evaluation."""
-
-    wall_time: float = 0.0
-    access_checks: int = 0
-    candidates: int = 0
-    candidates_skipped_by_header: int = 0
-    logical_page_reads: int = 0
-    physical_page_reads: int = 0
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self.__dict__)
-
-
-@dataclass
-class QueryResult:
-    """Answer of one evaluation: returning-node positions + statistics."""
-
-    positions: List[int] = field(default_factory=list)
-    n_bindings: int = 0
-    stats: EvalStats = field(default_factory=EvalStats)
-
-    @property
-    def n_answers(self) -> int:
-        """Distinct data nodes bound to the returning node."""
-        return len(self.positions)
+__all__ = ["EvalStats", "QueryEngine", "QueryResult"]
 
 
 class QueryEngine:
@@ -100,7 +77,33 @@ class QueryEngine:
             )
         return cls(doc, dol=dol, store=store)
 
-    # -- evaluation -------------------------------------------------------------
+    # -- compilation & evaluation ---------------------------------------------
+
+    def compile(
+        self,
+        query: Union[str, PatternTree],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+    ):
+        """Compile a query into a :class:`~repro.exec.planner.PhysicalPlan`.
+
+        The plan carries a fresh :class:`~repro.exec.context.ExecutionContext`
+        (and so fresh statistics); execute it once via ``plan.execute()``
+        (streaming) or ``plan.run()`` (drained :class:`QueryResult`).
+        """
+        from repro.exec.planner import Planner
+
+        ctx = ExecutionContext(
+            self.doc,
+            dol=self.dol,
+            store=self.store,
+            index=self.index,
+            subject=subject,
+            semantics=semantics,
+        )
+        return Planner(ctx).plan(query, ordered=ordered, limit=limit)
 
     def evaluate(
         self,
@@ -108,6 +111,7 @@ class QueryEngine:
         subject: Optional[Union[int, Sequence[int]]] = None,
         semantics: str = CHO,
         ordered: bool = False,
+        limit: Optional[int] = None,
     ) -> QueryResult:
         """Evaluate a twig query, securely when ``subject`` is given.
 
@@ -117,41 +121,34 @@ class QueryEngine:
         switches to ordered pattern trees: a pattern node's child-axis
         children must bind to data siblings in pattern order (the
         following-sibling next-of-kin constraint the paper's experiments
-        used).
+        used). ``limit`` caps the number of distinct answers via a
+        streaming ``Limit`` operator — the pipeline stops pulling (and
+        checking, and reading pages) as soon as the cap is reached.
         """
-        if semantics not in SEMANTICS:
-            raise ReproError(f"unknown semantics {semantics!r}")
-        if subject is not None and self.dol is None:
-            raise ReproError("secure evaluation requires a DOL")
-        if subject is not None and not isinstance(subject, int):
-            subject = tuple(subject)
-            if not subject:
-                raise ReproError("user-level evaluation needs >= 1 subject")
-        pattern = parse_query(query) if isinstance(query, str) else query
-        dec = decompose(pattern)
+        return self.compile(
+            query, subject=subject, semantics=semantics, ordered=ordered,
+            limit=limit,
+        ).run()
 
-        stats = EvalStats()
-        source = self.store if self.store is not None else self.doc
-        io_before = self._io_snapshot()
-        started = time.perf_counter()
+    def stream(
+        self,
+        query: Union[str, PatternTree],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+    ) -> Iterator[int]:
+        """Lazily yield distinct returning-node positions as found.
 
-        access = self._make_access_fn(subject, semantics, stats)
-        fragment_matches = {
-            subtree.index: self._match_subtree(
-                dec, subtree.index, pattern, source, access, subject, stats,
-                ordered,
-            )
-            for subtree in dec.subtrees
-        }
-        matches = self._join(dec, fragment_matches, subject, semantics)
-
-        returning_id = id(pattern.returning_node)
-        positions = sorted({m[returning_id] for m in matches})
-        stats.wall_time = time.perf_counter() - started
-        io_after = self._io_snapshot()
-        stats.logical_page_reads = io_after[0] - io_before[0]
-        stats.physical_page_reads = io_after[1] - io_before[1]
-        return QueryResult(positions=positions, n_bindings=len(matches), stats=stats)
+        The streaming face of :meth:`evaluate`: positions arrive in
+        discovery order (not sorted), and abandoning the iterator stops
+        the pipeline early — no further candidates are matched, checked,
+        or paged in.
+        """
+        return self.compile(
+            query, subject=subject, semantics=semantics, ordered=ordered,
+            limit=limit,
+        ).execute()
 
     def evaluate_path(
         self,
@@ -168,6 +165,8 @@ class QueryEngine:
         shared bindings. Secure evaluation pre-filters the streams through
         the DOL. Unordered semantics only.
         """
+        import time
+
         from repro.nok.pathstack import (
             evaluate_pathstack,
             evaluate_twig_paths,
@@ -178,15 +177,15 @@ class QueryEngine:
             raise ReproError(f"unknown semantics {semantics!r}")
         if subject is not None and self.dol is None:
             raise ReproError("secure evaluation requires a DOL")
-        if subject is not None and not isinstance(subject, int):
-            subject = tuple(subject)
-            if not subject:
-                raise ReproError("user-level evaluation needs >= 1 subject")
         pattern = parse_query(query) if isinstance(query, str) else query
 
-        stats = EvalStats()
+        ctx = ExecutionContext(
+            self.doc, dol=self.dol, store=None, index=self.index,
+            subject=subject, semantics=semantics,
+        )
+        stats = ctx.stats
         started = time.perf_counter()
-        access = self._make_access_fn(subject, semantics, stats)
+        access = ctx.access
         if linear_steps(pattern) is not None:
             positions = evaluate_pathstack(self.doc, pattern, self.index, access)
         else:
@@ -196,12 +195,15 @@ class QueryEngine:
             positions=positions, n_bindings=len(positions), stats=stats
         )
 
-    def explain(self, query: Union[str, PatternTree]) -> str:
-        """Describe how a query would be evaluated (the NoK plan).
+    # -- plan inspection ------------------------------------------------------
 
-        Returns a human-readable plan: the canonical query form, the NoK
-        subtree decomposition with candidate counts from the tag index,
-        and the bottom-up structural-join order.
+    def explain(self, query: Union[str, PatternTree]) -> str:
+        """Describe how a query would be evaluated.
+
+        Returns a human-readable report in two parts: the logical NoK
+        plan (canonical query form, subtree decomposition with candidate
+        counts from the tag index, bottom-up structural-join order) and
+        the compiled physical operator tree.
         """
         pattern = parse_query(query) if isinstance(query, str) else query
         dec = decompose(pattern)
@@ -226,56 +228,38 @@ class QueryEngine:
         order = dec.join_order()
         if len(order) > 1:
             lines.append("join order (bottom-up): " + " -> ".join(map(str, order)))
+        lines.append("physical plan:")
+        lines.append(self.compile(pattern).explain())
         return "\n".join(lines)
 
-    # -- internals ------------------------------------------------------------------
+    def explain_analyze(
+        self,
+        query: Union[str, PatternTree],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+    ) -> "tuple[QueryResult, str]":
+        """Execute a query and return (result, annotated physical plan).
 
-    def _io_snapshot(self) -> Tuple[int, int]:
-        if self.store is None:
-            return (0, 0)
-        return (
-            self.store.buffer.stats.logical_reads,
-            self.store.pager.stats.reads,
+        The plan text carries per-operator output row counts, inclusive
+        timings, and operator-specific counters (pages skipped, candidates
+        denied, join pairs pruned) — EXPLAIN ANALYZE for secure twig
+        queries.
+        """
+        plan = self.compile(
+            query, subject=subject, semantics=semantics, ordered=ordered,
+            limit=limit,
         )
+        result = plan.run()
+        return result, plan.explain(analyze=True)
 
-    def _make_access_fn(
-        self, subject: Optional[int], semantics: str, stats: EvalStats
-    ):
-        if subject is None:
-            return None
-        if semantics == VIEW:
-            # View semantics: a node is usable iff its whole root path is
-            # accessible (the pruned-view model).
-            path_index = PathAccessIndex(self.doc, self.dol, subject)
-
-            def view_access(pos: int) -> bool:
-                stats.access_checks += 1
-                return path_index.deepest_blocked[pos] == -1
-
-            self._path_index = path_index
-            return view_access
-
-        subjects = (subject,) if isinstance(subject, int) else subject
-        if self.store is not None:
-            store = self.store
-
-            def store_access(pos: int) -> bool:
-                stats.access_checks += 1
-                return store.accessible_any(subjects, pos)
-
-            return store_access
-
-        dol = self.dol
-
-        def dol_access(pos: int) -> bool:
-            stats.access_checks += 1
-            return dol.accessible_any(subjects, pos)
-
-        return dol_access
+    # -- internals ------------------------------------------------------------
 
     def _candidates(
         self, dec: Decomposition, subtree_index: int, pattern: PatternTree
     ) -> List[int]:
+        """Index candidates for one NoK subtree root (logical explain)."""
         subtree = dec.subtrees[subtree_index]
         root = subtree.root
         if subtree_index == 0 and pattern.root_axis == CHILD:
@@ -287,95 +271,3 @@ class QueryEngine:
         if root.value is not None:
             return self.index.positions_with_value(root.tag, root.value)
         return self.index.positions(root.tag)
-
-    def _match_subtree(
-        self,
-        dec: Decomposition,
-        subtree_index: int,
-        pattern: PatternTree,
-        source,
-        access,
-        subject,
-        stats: EvalStats,
-        ordered: bool = False,
-    ) -> List[Binding]:
-        subtree = dec.subtrees[subtree_index]
-        matches: List[Binding] = []
-        for candidate in self._candidates(dec, subtree_index, pattern):
-            stats.candidates += 1
-            if access is not None:
-                # Page-skip optimization (Section 3.3): if the candidate's
-                # page header denies the subject and has no transitions, the
-                # candidate is inaccessible without reading the page.
-                subjects = (subject,) if isinstance(subject, int) else subject
-                if self.store is not None and self.store.page_fully_inaccessible_any(
-                    self.store.page_of(candidate), subjects
-                ):
-                    stats.candidates_skipped_by_header += 1
-                    continue
-            # Verify the root match against the data source itself — this
-            # loads the candidate's page (the index only supplied a
-            # position), exactly the read a NoK evaluator performs before
-            # matching can start.
-            if not subtree.root.matches(
-                source.tag_name(candidate), source.text(candidate)
-            ):
-                continue
-            if subtree.root.attr_tests and not subtree.root.matches_attrs(
-                source.attrs_of(candidate)
-            ):
-                continue
-            if access is not None and not access(candidate):
-                continue  # pre-condition of Algorithm 1
-            matches.extend(
-                match_nok_subtree(source, subtree, candidate, access, ordered)
-            )
-        return matches
-
-    def _join(
-        self,
-        dec: Decomposition,
-        fragment_matches: Dict[int, List[Binding]],
-        subject: Optional[int],
-        semantics: str,
-    ) -> List[Binding]:
-        subtree_end = self.doc.subtree_end
-        pair_filter = None
-        if subject is not None and semantics == VIEW:
-            pair_filter = self._path_index.path_accessible
-
-        joined = dict(fragment_matches)
-        for subtree_index in dec.join_order():
-            current = joined[subtree_index]
-            for edge in dec.children_of(subtree_index):
-                child = joined[edge.child_subtree]
-                if not current or not child:
-                    current = []
-                    break
-                parent_key = id(edge.parent_node)
-                child_key = id(dec.subtrees[edge.child_subtree].root)
-                ancestors = sorted({m[parent_key] for m in current})
-                descendants = sorted({m[child_key] for m in child})
-                pairs = stack_tree_desc(
-                    ancestors, descendants, subtree_end, pair_filter=pair_filter
-                )
-                pair_set: Set[Tuple[int, int]] = set(pairs)
-                descendants_of: Dict[int, List[Binding]] = {}
-                for m in child:
-                    descendants_of.setdefault(m[child_key], []).append(m)
-                merged: List[Binding] = []
-                seen: Set[frozenset] = set()
-                for m in current:
-                    anchor = m[parent_key]
-                    for d_pos, d_matches in descendants_of.items():
-                        if (anchor, d_pos) not in pair_set:
-                            continue
-                        for dm in d_matches:
-                            combined = {**m, **dm}
-                            key = frozenset(combined.items())
-                            if key not in seen:
-                                seen.add(key)
-                                merged.append(combined)
-                current = merged
-            joined[subtree_index] = current
-        return joined[0]

@@ -1,6 +1,19 @@
 """Secure query evaluation semantics and secure streaming dissemination."""
 
-from repro.secure.dissemination import HOIST, PRUNE, filter_xml
+from repro.secure.dissemination import (
+    HOIST,
+    PRUNE,
+    filter_xml,
+    stream_answer_fragments,
+)
 from repro.secure.semantics import CHO, SEMANTICS, VIEW
 
-__all__ = ["CHO", "HOIST", "PRUNE", "SEMANTICS", "VIEW", "filter_xml"]
+__all__ = [
+    "CHO",
+    "HOIST",
+    "PRUNE",
+    "SEMANTICS",
+    "VIEW",
+    "filter_xml",
+    "stream_answer_fragments",
+]

@@ -20,12 +20,14 @@ semantics:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.dol.labeling import DOL
 from repro.errors import AccessControlError
 from repro.xmltree import parser
-from repro.xmltree.serializer import escape_attr, escape_text
+from repro.xmltree.document import NO_NODE
+from repro.xmltree.node import Node
+from repro.xmltree.serializer import escape_attr, escape_text, serialize
 
 PRUNE = "prune"
 HOIST = "hoist"
@@ -134,3 +136,76 @@ def hoisted_positions(dol: DOL, subject: int) -> List[int]:
     return [
         pos for pos in range(dol.n_nodes) if dol.accessible(subject, pos)
     ]
+
+
+# -- query-driven dissemination ------------------------------------------------
+
+
+def stream_answer_fragments(
+    engine,
+    query,
+    subject: int,
+    semantics: str = "cho",
+    policy: str = PRUNE,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[int, str]]:
+    """Disseminate *query answers*: (position, XML fragment) pairs, lazily.
+
+    Consumes the engine's streaming iterator — the compiled physical plan
+    is pulled one answer at a time, so a subscriber that stops reading (or
+    passes ``limit``) terminates evaluation early, with no further access
+    checks or page reads. Each answer subtree is filtered for the subject
+    under the given policy before serialization, exactly like
+    :func:`filter_xml` filters a whole document:
+
+    - ``PRUNE``: an inaccessible descendant disappears with its subtree;
+    - ``HOIST``: an inaccessible descendant is dropped but its accessible
+      children are spliced into the nearest retained ancestor.
+    """
+    if policy not in _POLICIES:
+        raise AccessControlError(f"unknown dissemination policy {policy!r}")
+    doc, dol = engine.doc, engine.dol
+    if dol is None:
+        raise AccessControlError("dissemination requires access control data")
+    for pos in engine.stream(query, subject=subject, semantics=semantics, limit=limit):
+        yield pos, serialize_visible_subtree(doc, dol, subject, pos, policy)
+
+
+def serialize_visible_subtree(
+    doc, dol: DOL, subject: int, root: int, policy: str = PRUNE
+) -> str:
+    """Serialize the subtree at ``root``, filtered for one subject.
+
+    The root itself must be accessible (under Cho semantics every answer
+    position is). Returns a well-formed XML fragment.
+    """
+    if policy not in _POLICIES:
+        raise AccessControlError(f"unknown dissemination policy {policy!r}")
+    if not dol.accessible(subject, root):
+        raise AccessControlError(
+            f"answer position {root} is not accessible to subject {subject}"
+        )
+    return serialize(_visible_node(doc, dol, subject, root, policy))
+
+
+def _visible_node(doc, dol: DOL, subject: int, pos: int, policy: str) -> Node:
+    """Rebuild the accessible portion of the subtree at ``pos`` as a tree."""
+    node = Node(doc.tag_name(pos), text=doc.text(pos), attrs=doc.attrs_of(pos))
+    for child_node in _visible_children(doc, dol, subject, pos, policy):
+        node.append(child_node)
+    return node
+
+
+def _visible_children(
+    doc, dol: DOL, subject: int, pos: int, policy: str
+) -> List[Node]:
+    out: List[Node] = []
+    child = doc.first_child(pos)
+    while child != NO_NODE:
+        if dol.accessible(subject, child):
+            out.append(_visible_node(doc, dol, subject, child, policy))
+        elif policy == HOIST:
+            # Drop the element, splice its accessible children upward.
+            out.extend(_visible_children(doc, dol, subject, child, policy))
+        child = doc.following_sibling(child)
+    return out

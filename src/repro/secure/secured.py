@@ -11,11 +11,15 @@ kept physically consistent as well.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nok.pattern import PatternTree
 
 from repro.dol.labeling import DOL
 from repro.dol.updates import DOLUpdater
 from repro.errors import AccessControlError
+from repro.secure.semantics import CHO
 from repro.storage.nokstore import NoKStore
 from repro.xmltree import edit
 from repro.xmltree.document import Document
@@ -44,6 +48,7 @@ class SecuredDocument:
         self.dol = dol
         self.store = store
         self._updater = DOLUpdater(dol)
+        self._engine = None  # query engine cache, invalidated on structural edits
 
     # -- accessibility updates ------------------------------------------------
 
@@ -109,6 +114,47 @@ class SecuredDocument:
         return EditReport(result.destination, end - start, delta, pages)
 
     # -- queries --------------------------------------------------------------------
+
+    def query(
+        self,
+        query: Union[str, "PatternTree"],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+        limit: Optional[int] = None,
+    ):
+        """Evaluate a twig query over the current document/DOL pair.
+
+        Compiled through the physical-operator pipeline; the engine (and
+        its tag index) is cached across calls and rebuilt only after a
+        structural edit replaces the document. Accessibility updates
+        mutate the shared DOL in place, so the cache survives them.
+        """
+        return self._query_engine().evaluate(
+            query, subject=subject, semantics=semantics, limit=limit
+        )
+
+    def stream_query(
+        self,
+        query: Union[str, "PatternTree"],
+        subject: Optional[Union[int, Sequence[int]]] = None,
+        semantics: str = CHO,
+        limit: Optional[int] = None,
+    ) -> Iterator[int]:
+        """Lazily yield answer positions as the compiled plan finds them.
+
+        Abandoning the iterator terminates the operator pipeline early —
+        no further candidates are matched or access-checked.
+        """
+        return self._query_engine().stream(
+            query, subject=subject, semantics=semantics, limit=limit
+        )
+
+    def _query_engine(self):
+        from repro.nok.engine import QueryEngine
+
+        if self._engine is None or self._engine.doc is not self.doc:
+            self._engine = QueryEngine(self.doc, dol=self.dol, store=self.store)
+        return self._engine
 
     def accessible(self, subject: int, pos: int) -> bool:
         return self.dol.accessible(subject, pos)

@@ -52,6 +52,15 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "NoK subtrees: 2" in out
         assert "join order" in out
+        assert "physical plan:" in out
+        assert "STDJoin" in out
+
+    def test_analyze_adds_counters(self, xmark_file, capsys):
+        assert main(["explain", xmark_file, "//item", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "physical plan (analyzed):" in out
+        assert "rows=" in out
+        assert "answers:" in out
 
 
 class TestDisseminate:
@@ -84,3 +93,26 @@ class TestQuery:
         main(["query", xmark_file, "//item", "--limit", "2"])
         out = capsys.readouterr().out
         assert "... and 18 more" in out
+
+    def test_explain_prints_plan_without_executing(self, xmark_file, capsys):
+        assert main(["query", xmark_file, "//item", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "physical plan:" in out
+        assert "TagIndexScan" in out
+        assert "answers:" not in out
+        assert "rows=" not in out
+
+    def test_explain_secure_shows_rewrites(self, xmark_file, capsys):
+        assert main(
+            ["query", xmark_file, "//item", "--subject", "0", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "AccessFilter" in out
+
+    def test_explain_analyze_executes_and_annotates(self, xmark_file, capsys):
+        assert main(["query", xmark_file, "//item", "--explain-analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "physical plan (analyzed):" in out
+        assert "rows=" in out
+        assert "answers: 20" in out
+        assert "wall time:" in out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.storage.buffer import BufferPool
+from repro.storage.buffer import BufferPool, BufferStats
 from repro.storage.pager import Pager
 
 
@@ -128,3 +128,54 @@ class TestEvictionCallback:
         pool.get(1)
         pool.clear()
         assert sorted(evicted) == [0, 1]
+
+    def test_write_back_precedes_on_evict(self, pager):
+        """The callback must observe the victim already persisted."""
+        observed = []
+
+        def on_evict(page_id):
+            observed.append((page_id, pager.read_page(page_id)))
+
+        pool = BufferPool(pager, capacity=1, on_evict=on_evict)
+        pool.put(0, b"w" * 128)
+        pool.get(1)  # evicts dirty page 0
+        assert observed == [(0, b"w" * 128)]
+        assert pool.stats.dirty_writes == 1
+
+    def test_touch_hit_refreshes_recency_for_eviction(self, pager):
+        evicted = []
+        pool = BufferPool(pager, capacity=2, on_evict=evicted.append)
+        pool.get(0)
+        pool.get(1)
+        assert pool.touch(0)  # page 1 becomes least recently used
+        pool.get(2)
+        assert evicted == [1]
+
+    def test_clean_eviction_skips_write_back(self, pager):
+        pool = BufferPool(pager, capacity=1)
+        pool.get(0)
+        pool.get(1)
+        assert pool.stats.evictions == 1
+        assert pool.stats.dirty_writes == 0
+        assert pager.stats.writes == 0
+
+
+class TestBufferStats:
+    def test_hit_ratio_with_zero_reads(self):
+        assert BufferStats().hit_ratio == 0.0
+
+    def test_reset_zeroes_all_counters(self, pager):
+        pool = BufferPool(pager, capacity=1)
+        pool.put(0, b"r" * 128)
+        pool.get(1)  # dirty eviction: every counter is nonzero
+        stats = pool.stats
+        assert stats.logical_reads and stats.evictions and stats.dirty_writes
+        stats.reset()
+        assert (
+            stats.logical_reads,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.dirty_writes,
+        ) == (0, 0, 0, 0, 0)
+        assert stats.hit_ratio == 0.0
