@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.acl.model import AccessMatrix, SubjectRegistry
 from repro.errors import AccessControlError

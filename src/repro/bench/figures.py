@@ -8,7 +8,7 @@ log without plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 BAR_WIDTH = 40
 

@@ -16,6 +16,9 @@ Subcommands
     Print the NoK evaluation plan for a twig query.
 ``disseminate``
     Filter an XML file for one subject (one-pass secure dissemination).
+``verify-store``
+    Offline fsck of a saved page store: checksums, catalog agreement,
+    header/entry agreement, WAL state. Exits non-zero on any finding.
 """
 
 from __future__ import annotations
@@ -168,6 +171,19 @@ def _cmd_disseminate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    from repro.storage.persist import fsck_store
+
+    findings = fsck_store(args.store, catalog_path=args.catalog)
+    if not findings:
+        print(f"{args.store}: clean")
+        return 0
+    for finding in findings:
+        print(f"{args.store}: {finding}")
+    print(f"{len(findings)} problem(s) found")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dol",
@@ -236,6 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_diss.add_argument("--seed", type=int, default=0)
     p_diss.add_argument("-o", "--output")
     p_diss.set_defaults(func=_cmd_disseminate)
+
+    p_fsck = sub.add_parser(
+        "verify-store", help="check a saved page store for corruption"
+    )
+    p_fsck.add_argument("store", help="path to the page file")
+    p_fsck.add_argument(
+        "--catalog", default=None, help="sidecar catalog (default: <store>.catalog.json)"
+    )
+    p_fsck.set_defaults(func=_cmd_verify_store)
     return parser
 
 

@@ -17,19 +17,34 @@ original data and in any inserted data) is enforced by
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dol.labeling import DOL, transitions_from_masks
 from repro.errors import UpdateError
 
 MaskFn = Callable[[int], int]
+JournalFn = Callable[[Dict[str, object]], None]
 
 
 class DOLUpdater:
-    """In-place update engine for a :class:`~repro.dol.labeling.DOL`."""
+    """In-place update engine for a :class:`~repro.dol.labeling.DOL`.
 
-    def __init__(self, dol: DOL):
+    ``journal``, when given, receives one small dict per logical
+    operation (kind, range, transition delta). The block store uses it to
+    embed the logical update description in the write-ahead log's commit
+    record, so a recovered store can report *what* the batch it replayed
+    or rolled back was doing.
+    """
+
+    def __init__(self, dol: DOL, journal: Optional[JournalFn] = None):
         self.dol = dol
+        self.journal = journal
+
+    def _record(self, op: str, **fields) -> None:
+        if self.journal is not None:
+            entry: Dict[str, object] = {"op": op}
+            entry.update(fields)
+            self.journal(entry)
 
     # -- accessibility updates -------------------------------------------------
 
@@ -95,7 +110,9 @@ class DOLUpdater:
                     rebuilt.append((pos, mask))
 
         self._install(rebuilt)
-        return dol.n_transitions - before
+        delta = dol.n_transitions - before
+        self._record("transform_range", start=start, end=end, delta=delta)
+        return delta
 
     # -- structural updates ------------------------------------------------------
 
@@ -130,7 +147,9 @@ class DOLUpdater:
 
         dol.n_nodes += k
         self._install(rebuilt)
-        return dol.n_transitions - before - own
+        delta = dol.n_transitions - before - own
+        self._record("insert_range", at=at, n_nodes=k, delta=delta)
+        return delta
 
     def delete_range(self, start: int, end: int) -> int:
         """Delete the nodes in [start, end) (a subtree). Returns the delta."""
@@ -155,7 +174,9 @@ class DOLUpdater:
 
         dol.n_nodes -= k
         self._install(rebuilt)
-        return dol.n_transitions - before
+        delta = dol.n_transitions - before
+        self._record("delete_range", start=start, end=end, delta=delta)
+        return delta
 
     def move_range(self, start: int, end: int, to: int) -> int:
         """Move the subtree [start, end) so it begins at position ``to``.

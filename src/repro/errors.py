@@ -54,6 +54,36 @@ class PageFormatError(StorageError):
     """Raised when a page's on-disk bytes fail validation."""
 
 
+class PageCorruptionError(PageFormatError):
+    """Raised when a page fails checksum verification.
+
+    Carries the ``page_id`` and, when the failure came from a CRC
+    mismatch, the ``expected`` (stored) and ``actual`` (recomputed)
+    digests so fsck output and logs can show exactly what was read.
+    """
+
+    def __init__(
+        self,
+        page_id: int,
+        expected: "int | None" = None,
+        actual: "int | None" = None,
+        detail: str = "",
+    ):
+        message = f"page {page_id} failed verification"
+        if expected is not None and actual is not None:
+            message += f": checksum expected {expected:#010x}, got {actual:#010x}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.page_id = page_id
+        self.expected = expected
+        self.actual = actual
+
+
+class WALError(StorageError):
+    """Raised on write-ahead-log misuse or an unrecoverable log file."""
+
+
 class IndexError_(ReproError):
     """Raised on B+-tree structural violations.
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dol.labeling import DOL
-from repro.errors import ReproError
+from repro.errors import PageCorruptionError, ReproError
 from repro.secure.semantics import CHO, SEMANTICS, VIEW
 from repro.storage.nokstore import NoKStore
 from repro.xmltree.document import NO_NODE, Document
@@ -41,9 +41,15 @@ class EvalStats:
     candidates_skipped_by_header: int = 0
     logical_page_reads: int = 0
     physical_page_reads: int = 0
+    #: pages that failed checksum verification during this query
+    #: (``strict=False`` only — strict evaluation raises instead)
+    corrupted_pages: List[int] = field(default_factory=list)
+    candidates_skipped_corrupt: int = 0
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.__dict__)
+        report = dict(self.__dict__)
+        report["corrupted_pages"] = list(self.corrupted_pages)
+        return report
 
 
 @dataclass
@@ -101,6 +107,7 @@ class ExecutionContext:
         index=None,
         subject: Optional[Subject] = None,
         semantics: str = CHO,
+        strict: bool = True,
     ):
         if semantics not in SEMANTICS:
             raise ReproError(f"unknown semantics {semantics!r}")
@@ -121,6 +128,7 @@ class ExecutionContext:
             if subject is None
             else ((subject,) if isinstance(subject, int) else tuple(subject))
         )
+        self.strict = strict
         self.stats = EvalStats()
         self._access: AccessFn = None
         self._access_built = False
@@ -136,6 +144,28 @@ class ExecutionContext:
     @property
     def secure(self) -> bool:
         return self.subjects is not None
+
+    # -- graceful degradation ----------------------------------------------
+
+    def report_corruption(self, exc: PageCorruptionError) -> None:
+        """Handle a corrupt page hit mid-query.
+
+        In strict mode (the default) the error propagates: a query never
+        silently computes over damaged data. With ``strict=False`` the
+        page is quarantined on the store (so the scan does not re-read
+        and re-fail on the same bytes per candidate), recorded in
+        ``stats.corrupted_pages``, and the candidate is dropped — the
+        query completes over the readable remainder and the caller can
+        see exactly what was skipped.
+        """
+        if self.strict:
+            raise exc
+        page_id = exc.page_id
+        if self.store is not None and page_id is not None:
+            self.store.quarantine(page_id)
+        if page_id not in self.stats.corrupted_pages:
+            self.stats.corrupted_pages.append(page_id)
+        self.stats.candidates_skipped_corrupt += 1
 
     def io_snapshot(self) -> Tuple[int, int]:
         """(logical reads, physical reads) of the store, zeros without one."""

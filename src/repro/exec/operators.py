@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_right
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
+from repro.errors import PageCorruptionError
 from repro.exec.context import ExecutionContext, OperatorStats
 from repro.nok.decompose import NoKSubtree
 from repro.nok.matcher import Binding, match_nok_subtree
@@ -137,7 +138,14 @@ class PageSkipScan(Operator):
     def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
         store, subjects = ctx.store, ctx.subjects
         for pos in self.child.execute(ctx):
-            if store.page_fully_inaccessible_any(store.page_of(pos), subjects):
+            page_id = store.page_of(pos)
+            if not ctx.strict and page_id in store.quarantined:
+                # Degraded mode: the page already failed verification
+                # this query; skip its candidates without re-reading it.
+                ctx.stats.candidates_skipped_corrupt += 1
+                self.stats.bump("skipped_corrupt")
+                continue
+            if store.page_fully_inaccessible_any(page_id, subjects):
                 ctx.stats.candidates_skipped_by_header += 1
                 self.stats.bump("skipped")
                 continue
@@ -164,9 +172,15 @@ class RootVerify(Operator):
     def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
         pnode, source = self.pnode, ctx.source
         for pos in self.child.execute(ctx):
-            if not pnode.matches(source.tag_name(pos), source.text(pos)):
-                continue
-            if pnode.attr_tests and not pnode.matches_attrs(source.attrs_of(pos)):
+            try:
+                if not pnode.matches(source.tag_name(pos), source.text(pos)):
+                    continue
+                if pnode.attr_tests and not pnode.matches_attrs(
+                    source.attrs_of(pos)
+                ):
+                    continue
+            except PageCorruptionError as exc:
+                ctx.report_corruption(exc)  # raises when ctx.strict
                 continue
             yield pos
 
@@ -188,7 +202,12 @@ class AccessFilter(Operator):
     def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
         access = ctx.access
         for pos in self.child.execute(ctx):
-            if access(pos):
+            try:
+                granted = access(pos)
+            except PageCorruptionError as exc:
+                ctx.report_corruption(exc)  # raises when ctx.strict
+                continue
+            if granted:
                 yield pos
             else:
                 self.stats.bump("denied")
@@ -217,7 +236,12 @@ class NPMMatch(Operator):
         source, subtree, ordered = ctx.source, self.subtree, self.ordered
         access = ctx.access
         for pos in self.child.execute(ctx):
-            yield from match_nok_subtree(source, subtree, pos, access, ordered)
+            try:
+                yield from match_nok_subtree(source, subtree, pos, access, ordered)
+            except PageCorruptionError as exc:
+                # The match walked onto a corrupt page: drop this
+                # candidate's (possibly partial) bindings.
+                ctx.report_corruption(exc)  # raises when ctx.strict
 
     def describe(self) -> str:
         detail = f"subtree {self.subtree.index} root <{self.subtree.root.tag}>"

@@ -28,7 +28,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import IndexError_
 from repro.storage.buffer import BufferPool
-from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+from repro.storage.pager import CHECKSUM_SIZE, DEFAULT_PAGE_SIZE, Pager
 
 _LEAF = 1
 _INTERNAL = 0
@@ -60,8 +60,8 @@ class _Node:
             parts.append(raw)
             parts.append(_POSTING.pack(posting))
         body = b"".join(parts)
-        if len(body) > page_size:
-            raise IndexError_("index node exceeds the page size")
+        if len(body) > page_size - CHECKSUM_SIZE:
+            raise IndexError_("index node exceeds the page capacity")
         return body + bytes(page_size - len(body))
 
     @classmethod
@@ -172,7 +172,7 @@ class DiskBPlusTree:
             index = self._leaf_slot(node, key, posting)
             node.keys.insert(index, key)
             node.postings.insert(index, posting)
-            if node.size_bytes() > self.page_size:
+            if node.size_bytes() > self.page_size - CHECKSUM_SIZE:
                 return self._split_leaf(page_id, node)
             self._write(page_id, node)
             return None
@@ -185,7 +185,7 @@ class DiskBPlusTree:
         node.keys.insert(slot, separator[0])
         node.postings.insert(slot, separator[1])
         node.children.insert(slot + 1, right_id)
-        if node.size_bytes() > self.page_size:
+        if node.size_bytes() > self.page_size - CHECKSUM_SIZE:
             return self._split_internal(page_id, node)
         self._write(page_id, node)
         return None

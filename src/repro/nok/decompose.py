@@ -15,7 +15,7 @@ the subtree root (the join target from above).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from repro.nok.pattern import CHILD, DESCENDANT, PatternNode, PatternTree
 

@@ -86,6 +86,7 @@ class QueryEngine:
         semantics: str = CHO,
         ordered: bool = False,
         limit: Optional[int] = None,
+        strict: bool = True,
     ):
         """Compile a query into a :class:`~repro.exec.planner.PhysicalPlan`.
 
@@ -102,6 +103,7 @@ class QueryEngine:
             index=self.index,
             subject=subject,
             semantics=semantics,
+            strict=strict,
         )
         return Planner(ctx).plan(query, ordered=ordered, limit=limit)
 
@@ -112,6 +114,7 @@ class QueryEngine:
         semantics: str = CHO,
         ordered: bool = False,
         limit: Optional[int] = None,
+        strict: bool = True,
     ) -> QueryResult:
         """Evaluate a twig query, securely when ``subject`` is given.
 
@@ -124,10 +127,14 @@ class QueryEngine:
         used). ``limit`` caps the number of distinct answers via a
         streaming ``Limit`` operator — the pipeline stops pulling (and
         checking, and reading pages) as soon as the cap is reached.
+        ``strict=False`` degrades gracefully on storage corruption: a
+        page that fails its checksum is quarantined and skipped, and the
+        result's ``stats.corrupted_pages`` lists what was lost; the
+        default raises :class:`~repro.errors.PageCorruptionError`.
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit,
+            limit=limit, strict=strict,
         ).run()
 
     def stream(
@@ -137,6 +144,7 @@ class QueryEngine:
         semantics: str = CHO,
         ordered: bool = False,
         limit: Optional[int] = None,
+        strict: bool = True,
     ) -> Iterator[int]:
         """Lazily yield distinct returning-node positions as found.
 
@@ -147,7 +155,7 @@ class QueryEngine:
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit,
+            limit=limit, strict=strict,
         ).execute()
 
     def evaluate_path(
@@ -239,6 +247,7 @@ class QueryEngine:
         semantics: str = CHO,
         ordered: bool = False,
         limit: Optional[int] = None,
+        strict: bool = True,
     ) -> "tuple[QueryResult, str]":
         """Execute a query and return (result, annotated physical plan).
 
@@ -249,7 +258,7 @@ class QueryEngine:
         """
         plan = self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit,
+            limit=limit, strict=strict,
         )
         result = plan.run()
         return result, plan.explain(analyze=True)

@@ -14,7 +14,6 @@ the engine's answers must always equal this evaluator's answers.
 
 from __future__ import annotations
 
-from itertools import product
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.nok.pattern import CHILD, PatternNode, PatternTree

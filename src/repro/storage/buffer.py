@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.errors import StorageError
-from repro.storage.pager import Pager
+from repro.storage.pager import Pager, stamp_page
 
 
 @dataclass
@@ -39,13 +39,22 @@ class BufferStats:
 
 
 class BufferPool:
-    """A bounded LRU cache of page frames with write-back on eviction."""
+    """A bounded LRU cache of page frames with write-back on eviction.
+
+    When a :class:`~repro.storage.wal.WriteAheadLog` is attached via
+    ``wal`` and has an open batch, every physical write-back (explicit
+    flush *and* dirty eviction) first logs a physiological record — the
+    page's current on-disk bytes as the before-image, the stamped new
+    bytes as the after-image — and fsyncs the log. This is the WAL rule:
+    no data page reaches the file before the log can undo or redo it.
+    """
 
     def __init__(
         self,
         pager: Pager,
         capacity: int = 64,
         on_evict: Optional[Callable[[int], None]] = None,
+        wal=None,
     ):
         if capacity < 1:
             raise StorageError("buffer pool needs at least one frame")
@@ -53,6 +62,7 @@ class BufferPool:
         self.capacity = capacity
         self.stats = BufferStats()
         self.on_evict = on_evict
+        self.wal = wal
         self._frames: "OrderedDict[int, bytearray]" = OrderedDict()
         self._dirty: Dict[int, bool] = {}
 
@@ -111,8 +121,7 @@ class BufferPool:
     def flush(self, page_id: int) -> None:
         """Write one dirty page through to the pager."""
         if self._dirty.get(page_id):
-            self.pager.write_page(page_id, bytes(self._frames[page_id]))
-            self.stats.dirty_writes += 1
+            self._write_back(page_id, bytes(self._frames[page_id]))
             self._dirty[page_id] = False
 
     def flush_all(self) -> None:
@@ -140,10 +149,17 @@ class BufferPool:
         while len(self._frames) >= self.capacity:
             victim, victim_frame = self._frames.popitem(last=False)
             if self._dirty.pop(victim, False):
-                self.pager.write_page(victim, bytes(victim_frame))
-                self.stats.dirty_writes += 1
+                self._write_back(victim, bytes(victim_frame))
             self.stats.evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
         self._frames[page_id] = frame
         self._dirty[page_id] = dirty
+
+    def _write_back(self, page_id: int, data: bytes) -> None:
+        """One physical write-back, WAL-logged first when a batch is open."""
+        if self.wal is not None and self.wal.in_batch:
+            before = self.pager.read_page_raw(page_id)
+            self.wal.log_page_write(page_id, before, stamp_page(data))
+        self.pager.write_page(page_id, data)
+        self.stats.dirty_writes += 1

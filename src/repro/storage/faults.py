@@ -1,0 +1,169 @@
+"""Deterministic fault injection for the storage stack.
+
+Crash-safety claims are only as good as the failure model they were
+tested against. This module provides that model in a seedable,
+reproducible form:
+
+- :class:`FaultPlan` — a schedule of storage-level faults, expressed
+  against global operation counters ("fail the 7th write", "tear the 4th
+  write at byte 130", "crash at the 2nd sync", "flip bit 11 of the 3rd
+  read", "silently drop every sync"). One plan instance is shared by the
+  page file and the write-ahead log, so the counters cover every byte the
+  store persists.
+- :class:`FaultInjectingPager` — a :class:`~repro.storage.pager.Pager`
+  whose raw byte I/O consults a plan.
+- :class:`InjectedCrash` — the simulated power-cut. It deliberately does
+  **not** derive from :class:`~repro.errors.ReproError`: library code
+  that catches storage errors must never absorb a crash.
+
+After a plan has fired its crash, every further operation raises — a
+crashed process does not keep doing I/O. The crash-recovery harness
+(``tests/test_crash_recovery.py``) runs an update workload once per
+schedule point, kills it there, reopens the store through WAL recovery,
+and asserts the result is exactly the pre- or post-update state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+
+
+class InjectedCrash(Exception):
+    """The simulated crash: raised at a scheduled fault point."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of storage faults.
+
+    All operation indices are 1-based and counted across every consumer
+    sharing the plan (data pages and WAL alike). ``tear_offset`` and
+    ``flip_bit_index`` may be left ``None`` to be derived from ``seed``,
+    keeping plans reproducible without hand-picking byte positions.
+    """
+
+    crash_at_write: Optional[int] = None  # the Nth write fails before any byte lands
+    tear_at_write: Optional[int] = None  # the Nth write lands partially, then crash
+    tear_offset: Optional[int] = None  # bytes of the torn write that land (seeded if None)
+    crash_at_sync: Optional[int] = None  # crash at the Nth sync, before it takes effect
+    drop_syncs: bool = False  # syncs silently become no-ops
+    flip_bit_at_read: Optional[int] = None  # the Nth read returns one flipped bit
+    flip_bit_index: Optional[int] = None  # which bit of the read payload (seeded if None)
+    seed: int = 0
+
+    writes: int = field(default=0, init=False)
+    reads: int = field(default=0, init=False)
+    syncs: int = field(default=0, init=False)
+    crashed: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_write(self, n_bytes: int) -> int:
+        """Account one write of ``n_bytes``; returns how many may land.
+
+        Raises :class:`InjectedCrash` for a scheduled hard failure. A
+        return value smaller than ``n_bytes`` instructs the caller to
+        write that prefix and then call :meth:`crash` — the torn write.
+        """
+        self._check_alive()
+        self.writes += 1
+        if self.crash_at_write is not None and self.writes == self.crash_at_write:
+            self.crash(f"write #{self.writes} failed before any byte landed")
+        if self.tear_at_write is not None and self.writes == self.tear_at_write:
+            offset = self.tear_offset
+            if offset is None:
+                offset = self._rng.randrange(max(n_bytes, 1))
+            return min(offset, n_bytes)
+        return n_bytes
+
+    def on_read(self, data: bytes) -> bytes:
+        """Account one read; possibly return it with one bit flipped."""
+        self._check_alive()
+        self.reads += 1
+        if self.flip_bit_at_read is not None and self.reads == self.flip_bit_at_read:
+            bit = self.flip_bit_index
+            if bit is None:
+                bit = self._rng.randrange(max(len(data) * 8, 1))
+            corrupted = bytearray(data)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            return bytes(corrupted)
+        return data
+
+    def on_sync(self) -> bool:
+        """Account one sync; False means the sync must be skipped."""
+        self._check_alive()
+        self.syncs += 1
+        if self.crash_at_sync is not None and self.syncs == self.crash_at_sync:
+            self.crash(f"crash at sync #{self.syncs}")
+        return not self.drop_syncs
+
+    def crash(self, reason: str) -> None:
+        """Mark the plan crashed and raise :class:`InjectedCrash`."""
+        self.crashed = True
+        raise InjectedCrash(reason)
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise InjectedCrash("process already crashed")
+
+
+def faulted_write(
+    plan: Optional[FaultPlan], write: Callable[[bytes], object], payload: bytes
+) -> None:
+    """Write ``payload`` through ``write`` under a plan's write faults."""
+    if plan is None:
+        write(payload)
+        return
+    allowed = plan.on_write(len(payload))
+    if allowed >= len(payload):
+        write(payload)
+        return
+    write(payload[:allowed])
+    plan.crash(f"torn write: {allowed} of {len(payload)} bytes landed")
+
+
+class FaultInjectingPager(Pager):
+    """A pager whose raw reads, writes, and syncs consult a fault plan."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        plan: Optional[FaultPlan] = None,
+    ):
+        super().__init__(path, page_size)
+        self.plan = plan
+
+    @classmethod
+    def open_existing(
+        cls,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        plan: Optional[FaultPlan] = None,
+    ) -> "FaultInjectingPager":
+        pager = super().open_existing(path, page_size)
+        pager.plan = plan
+        return pager
+
+    def _read_raw(self, offset: int, length: int) -> bytes:
+        data = super()._read_raw(offset, length)
+        if self.plan is not None:
+            data = self.plan.on_read(data)
+        return data
+
+    def _write_raw(self, offset: int, payload: bytes) -> None:
+        faulted_write(
+            self.plan, lambda chunk: super(FaultInjectingPager, self)._write_raw(offset, chunk), payload
+        )
+
+    def sync(self) -> None:
+        if self.plan is not None and not self.plan.on_sync():
+            return
+        super().sync()

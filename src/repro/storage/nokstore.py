@@ -20,16 +20,27 @@ Consequences, each measurable through the I/O counters:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.dol.labeling import DOL
 from repro.dol.updates import DOLUpdater
-from repro.errors import StorageError
+from repro.errors import PageCorruptionError, StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
-from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+from repro.storage.pager import CHECKSUM_SIZE, DEFAULT_PAGE_SIZE, Pager
+from repro.storage.wal import WriteAheadLog
 from repro.xmltree.document import NO_NODE, Document
+
+
+def entries_per_page_for(page_size: int) -> int:
+    """Node entries that fit one page beside the header and CRC trailer."""
+    return (page_size - HEADER_SIZE - CHECKSUM_SIZE) // ENTRY_SIZE
+
+
+def wal_path_for(path: str) -> str:
+    """Default write-ahead-log location for a page file."""
+    return path + ".wal"
 
 
 @dataclass
@@ -67,27 +78,39 @@ class NoKStore:
         self.doc = doc
         self.dol = dol
         self.page_size = page_size
-        self.entries_per_page = (page_size - HEADER_SIZE) // ENTRY_SIZE
+        self.entries_per_page = entries_per_page_for(page_size)
         if self.entries_per_page < 1:
             raise StorageError("page size too small for even one node entry")
         self.pager = Pager(path, page_size)
-        self._decoded: Dict[int, _DecodedPage] = {}
-        self.buffer = BufferPool(
-            self.pager,
-            buffer_capacity,
-            on_evict=lambda page_id: self._decoded.pop(page_id, None),
-        )
-        self.headers = PageHeaderTable()
-        self.values = None
-        if paged_values:
-            from repro.storage.valuestore import ValueStore
-
-            self.values = ValueStore(
-                doc.texts,
-                path=path + ".values" if path else None,
-                page_size=page_size,
+        self.wal: Optional[WriteAheadLog] = None
+        try:
+            if path is not None:
+                self.wal = WriteAheadLog(wal_path_for(path))
+            self._decoded: Dict[int, _DecodedPage] = {}
+            self.quarantined: Set[int] = set()
+            self.buffer = BufferPool(
+                self.pager,
+                buffer_capacity,
+                on_evict=lambda page_id: self._decoded.pop(page_id, None),
+                wal=self.wal,
             )
-        self._build()
+            self.headers = PageHeaderTable()
+            self.values = None
+            if paged_values:
+                from repro.storage.valuestore import ValueStore
+
+                self.values = ValueStore(
+                    doc.texts,
+                    path=path + ".values" if path else None,
+                    page_size=page_size,
+                )
+            self._build()
+        except BaseException:
+            # Don't leak the file handles when construction fails mid-way.
+            self.pager.close()
+            if self.wal is not None:
+                self.wal.close()
+            raise
 
     # -- construction -----------------------------------------------------------
 
@@ -99,6 +122,7 @@ class NoKStore:
         pager,
         headers: PageHeaderTable,
         buffer_capacity: int = 64,
+        wal: Optional[WriteAheadLog] = None,
     ) -> "NoKStore":
         """Wrap already-written pages (used when reopening a saved store)."""
         if dol.n_nodes != len(doc):
@@ -107,13 +131,16 @@ class NoKStore:
         store.doc = doc
         store.dol = dol
         store.page_size = pager.page_size
-        store.entries_per_page = (pager.page_size - HEADER_SIZE) // ENTRY_SIZE
+        store.entries_per_page = entries_per_page_for(pager.page_size)
         store.pager = pager
+        store.wal = wal
         store._decoded = {}
+        store.quarantined = set()
         store.buffer = BufferPool(
             pager,
             buffer_capacity,
             on_evict=lambda page_id: store._decoded.pop(page_id, None),
+            wal=wal,
         )
         store.headers = headers
         store.values = None
@@ -185,6 +212,8 @@ class NoKStore:
     # -- page access ---------------------------------------------------------------
 
     def _page(self, page_id: int) -> _DecodedPage:
+        if page_id in self.quarantined:
+            raise PageCorruptionError(page_id, detail="page is quarantined")
         decoded = self._decoded.get(page_id)
         resident = self.buffer.touch(page_id)
         if decoded is not None and resident:
@@ -193,6 +222,16 @@ class NoKStore:
         decoded = self._decode(data)
         self._decoded[page_id] = decoded
         return decoded
+
+    def quarantine(self, page_id: int) -> None:
+        """Mark a page corrupt: further access raises without re-reading.
+
+        Used by the execution layer's ``strict=False`` degradation mode —
+        the page is reported once and skipped afterwards, instead of the
+        scan re-reading (and re-failing on) the same bytes per candidate.
+        """
+        self.quarantined.add(page_id)
+        self._decoded.pop(page_id, None)
 
     def _decode(self, data: bytes) -> _DecodedPage:
         header = PageHeader.unpack(data)
@@ -309,35 +348,81 @@ class NoKStore:
         self, start: int, end: int, subject: int, value: bool
     ) -> UpdateCost:
         """Grant/revoke a subject over [start, end) and rewrite its pages."""
-        updater = DOLUpdater(self.dol)
+        ops: List[dict] = []
+        updater = DOLUpdater(self.dol, journal=ops.append)
         delta = updater.set_subject_accessibility(start, end, subject, value)
-        pages = self._rewrite_range(start, end)
+        pages = self._rewrite_range(start, end, ops)
         return UpdateCost(pages_rewritten=pages, transition_delta=delta)
 
     def update_range_mask(self, start: int, end: int, mask: int) -> UpdateCost:
         """Replace the ACL of [start, end) and rewrite its pages."""
-        updater = DOLUpdater(self.dol)
+        ops: List[dict] = []
+        updater = DOLUpdater(self.dol, journal=ops.append)
         delta = updater.set_range_mask(start, end, mask)
-        pages = self._rewrite_range(start, end)
+        pages = self._rewrite_range(start, end, ops)
         return UpdateCost(pages_rewritten=pages, transition_delta=delta)
 
-    def _rewrite_range(self, start: int, end: int) -> int:
+    def catalog_state(self) -> Dict[str, object]:
+        """The catalog fields a mutation can change.
+
+        This is the payload of a WAL commit record: after replaying the
+        batch's pages, recovery overwrites these keys in the on-disk
+        catalog so the codebook (and, for structural updates, the texts,
+        tags and counts) match the replayed pages.
+        """
+        doc = self.doc
+        return {
+            "n_nodes": self.n_nodes,
+            "n_pages": self._n_data_pages,
+            "n_subjects": self.dol.codebook.n_subjects,
+            "tags": [doc.tag_dict.name_of(i) for i in range(len(doc.tag_dict))],
+            "texts": list(doc.texts),
+            "codebook": [
+                f"{mask:x}" for _code, mask in self.dol.codebook.entries()
+            ],
+        }
+
+    def _wal_begin(self) -> None:
+        if self.wal is not None:
+            self.wal.begin()
+
+    def _wal_commit(self, ops: Optional[List[dict]]) -> None:
+        if self.wal is not None:
+            self.wal.commit(self.catalog_state(), ops)
+
+    def _wal_abort(self) -> None:
+        if self.wal is not None:
+            self.wal.abort()
+
+    def _rewrite_range(
+        self, start: int, end: int, ops: Optional[List[dict]] = None
+    ) -> int:
         """Re-render every page overlapping [start, end]; returns the count.
 
         ``end`` is included because the update may materialize a boundary
-        transition at position ``end``.
+        transition at position ``end``. On a file-backed store the whole
+        rewrite runs as one WAL batch: each page write is preceded by its
+        physiological log record, and the commit record (codebook patch +
+        logical ops) is forced before the batch counts as durable.
         """
         if len(self.dol.codebook) > 0xFFFF:
             raise StorageError("codebook overflow after update")
         first_page = start // self.entries_per_page
         last_pos = min(end, self.n_nodes - 1)
         last_page = last_pos // self.entries_per_page
-        for page_id in range(first_page, last_page + 1):
-            data, header = self._render_page_bytes(page_id * self.entries_per_page)
-            self.buffer.put(page_id, data)
-            self.buffer.flush(page_id)
-            self.headers.set(page_id, header)
-            self._decoded.pop(page_id, None)
+        self._wal_begin()
+        try:
+            for page_id in range(first_page, last_page + 1):
+                data, header = self._render_page_bytes(page_id * self.entries_per_page)
+                self.buffer.put(page_id, data)
+                self.buffer.flush(page_id)
+                self.headers.set(page_id, header)
+                self._decoded.pop(page_id, None)
+            self._wal_commit(ops)
+            self.pager.sync()
+        except BaseException:
+            self._wal_abort()
+            raise
         return last_page - first_page + 1
 
     def apply_structural_update(self, new_doc: Document, from_pos: int) -> int:
@@ -367,17 +452,24 @@ class NoKStore:
             self.pager.allocate()
         while len(self.headers) < needed:
             self.headers.append(PageHeader(0, False, 0))
-        for page_id in range(first_page, needed):
-            data, header = self._render_page_bytes(page_id * self.entries_per_page)
-            self.buffer.put(page_id, data)
-            self.buffer.flush(page_id)
-            self.headers.set(page_id, header)
-            self._decoded.pop(page_id, None)
-        if needed < self._n_data_pages:
-            for stale in range(needed, self._n_data_pages):
-                self._decoded.pop(stale, None)
-            self.headers.truncate(needed)
-        self._n_data_pages = needed
+        self._wal_begin()
+        try:
+            for page_id in range(first_page, needed):
+                data, header = self._render_page_bytes(page_id * self.entries_per_page)
+                self.buffer.put(page_id, data)
+                self.buffer.flush(page_id)
+                self.headers.set(page_id, header)
+                self._decoded.pop(page_id, None)
+            if needed < self._n_data_pages:
+                for stale in range(needed, self._n_data_pages):
+                    self._decoded.pop(stale, None)
+                self.headers.truncate(needed)
+            self._n_data_pages = needed
+            self._wal_commit([{"op": "structural", "from_pos": from_pos}])
+            self.pager.sync()
+        except BaseException:
+            self._wal_abort()
+            raise
         return needed - first_page
 
     def verify(self) -> None:
@@ -394,10 +486,11 @@ class NoKStore:
             data = self.pager.read_page(page_id)
             decoded = self._decode(data)
             header = self.headers.get(page_id)
-            if header.n_entries != len(decoded.entries):
-                raise StorageError(f"page {page_id}: header entry-count drift")
-            if decoded.codes and header.first_code != decoded.codes[0]:
-                raise StorageError(f"page {page_id}: header code drift")
+            expected = PageHeader.expected_for(decoded.entries)
+            if header != expected:
+                raise StorageError(
+                    f"page {page_id}: header drift (table {header}, page implies {expected})"
+                )
             for offset, entry in enumerate(decoded.entries):
                 if entry.tag_id != doc.tags[pos]:
                     raise StorageError(f"position {pos}: tag drift")
@@ -427,7 +520,10 @@ class NoKStore:
 
     def close(self) -> None:
         self.buffer.flush_all()
+        self.pager.sync()
         self.pager.close()
+        if self.wal is not None:
+            self.wal.close()
         if self.values is not None:
             self.values.close()
 

@@ -1,20 +1,72 @@
-"""Fixed-size page storage with physical I/O accounting.
+"""Fixed-size page storage with physical I/O accounting and checksums.
 
 A :class:`Pager` exposes a flat array of pages, backed either by a real
 file on disk or by an in-memory buffer (useful for tests and benchmarks
 that should not depend on filesystem speed). Every physical read and write
 is counted; the buffer pool sits on top and adds caching.
+
+Page format (v2)
+----------------
+The last :data:`CHECKSUM_SIZE` bytes of every page are a trailer owned by
+the pager: a little-endian CRC32 of the preceding payload, stamped on
+every :meth:`Pager.write_page` and verified on every
+:meth:`Pager.read_page`. Callers lay out their data in the first
+``page_size - CHECKSUM_SIZE`` bytes (:attr:`Pager.usable_size`) and must
+leave the trailer zeroed — the pager rejects writes that put data there,
+so a consumer that miscounts its capacity fails loudly instead of being
+silently truncated. A page that is entirely zero (payload and trailer) is
+considered valid: it is the state of a freshly allocated, never-written
+page.
+
+A verification failure raises
+:class:`~repro.errors.PageCorruptionError` carrying the page id and the
+expected/actual digests. Maintenance tools (fsck, WAL recovery) that must
+look at corrupt pages use :meth:`Pager.read_page_raw`, which skips both
+verification and the read counter.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+import struct
+import zlib
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import StorageError
+from repro.errors import PageCorruptionError, StorageError
 
 DEFAULT_PAGE_SIZE = 4096  # the paper's experiments use 4 KB pages
+
+#: Reserved trailer at the end of every page: CRC32 of the payload, u32 LE.
+CHECKSUM_SIZE = 4
+_CRC = struct.Struct("<I")
+
+
+def page_checksum(payload: bytes) -> int:
+    """CRC32 digest of a page payload (the page minus its trailer)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def stamp_page(data: bytes) -> bytes:
+    """Return ``data`` with its trailer overwritten by the payload CRC."""
+    payload = data[:-CHECKSUM_SIZE]
+    return payload + _CRC.pack(page_checksum(payload))
+
+
+def verify_page_bytes(data: bytes, page_id: int) -> None:
+    """Raise :class:`PageCorruptionError` unless the trailer matches.
+
+    An all-zero page (payload and trailer) passes: it is a freshly
+    allocated page that was never written.
+    """
+    payload = data[:-CHECKSUM_SIZE]
+    (stored,) = _CRC.unpack_from(data, len(data) - CHECKSUM_SIZE)
+    actual = page_checksum(payload)
+    if stored == actual:
+        return
+    if stored == 0 and not any(payload):
+        return
+    raise PageCorruptionError(page_id, expected=stored, actual=actual)
 
 
 @dataclass
@@ -46,7 +98,9 @@ class Pager:
         if path is None:
             self._memory = bytearray()
         else:
-            self._file = open(path, "w+b")
+            # Unbuffered: a crash (simulated or real) leaves the file with
+            # exactly the writes that were issued, nothing half-buffered.
+            self._file = open(path, "w+b", buffering=0)
 
     @classmethod
     def open_existing(cls, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "Pager":
@@ -58,13 +112,18 @@ class Pager:
         pager.path = path
         pager.stats = PagerStats()
         pager._memory = None
-        pager._file = open(path, "r+b")
-        pager._file.seek(0, os.SEEK_END)
-        size = pager._file.tell()
-        if size % page_size:
-            raise StorageError(
-                f"file size {size} is not a multiple of the page size {page_size}"
-            )
+        pager._file = open(path, "r+b", buffering=0)
+        try:
+            pager._file.seek(0, os.SEEK_END)
+            size = pager._file.tell()
+            if size % page_size:
+                raise StorageError(
+                    f"file size {size} is not a multiple of the page size {page_size}"
+                )
+        except BaseException:
+            pager._file.close()
+            pager._file = None
+            raise
         pager._n_pages = size // page_size
         return pager
 
@@ -75,6 +134,11 @@ class Pager:
         if self._file is not None:
             self._file.close()
             self._file = None
+
+    @property
+    def closed(self) -> bool:
+        """True once a file-backed pager has released its handle."""
+        return self._memory is None and self._file is None
 
     def __enter__(self) -> "Pager":
         return self
@@ -89,55 +153,92 @@ class Pager:
         """Number of allocated pages."""
         return self._n_pages
 
+    @property
+    def usable_size(self) -> int:
+        """Bytes per page available to callers (page size minus trailer)."""
+        return self.page_size - CHECKSUM_SIZE
+
     def allocate(self) -> int:
         """Allocate a zeroed page at the end; returns its page id."""
         page_id = self._n_pages
         self._n_pages += 1
         self.stats.allocations += 1
-        zero = bytes(self.page_size)
         if self._memory is not None:
-            self._memory.extend(zero)
+            self._memory.extend(bytes(self.page_size))
         else:
-            assert self._file is not None
-            self._file.seek(page_id * self.page_size)
-            self._file.write(zero)
+            self._write_raw(page_id * self.page_size, bytes(self.page_size))
         return page_id
 
     def read_page(self, page_id: int) -> bytes:
-        """Physically read one page."""
+        """Physically read one page, verifying its checksum trailer."""
         self._check(page_id)
         self.stats.reads += 1
-        offset = page_id * self.page_size
-        if self._memory is not None:
-            return bytes(self._memory[offset : offset + self.page_size])
-        assert self._file is not None
-        self._file.seek(offset)
-        data = self._file.read(self.page_size)
+        data = self._read_raw(page_id * self.page_size, self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read on page {page_id}")
+        verify_page_bytes(data, page_id)
+        return data
+
+    def read_page_raw(self, page_id: int) -> bytes:
+        """Read one page without checksum verification or I/O accounting.
+
+        The maintenance path: fsck reports on corrupt pages instead of
+        refusing to look at them, and WAL logging captures before-images
+        exactly as stored.
+        """
+        self._check(page_id)
+        data = self._read_raw(page_id * self.page_size, self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_id}")
         return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
-        """Physically write one page."""
+        """Physically write one page, stamping the checksum trailer."""
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page data must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        if any(data[-CHECKSUM_SIZE:]):
+            raise StorageError(
+                f"page {page_id}: the last {CHECKSUM_SIZE} bytes are the "
+                "checksum trailer and must be zero on write"
+            )
+        self.stats.writes += 1
+        self._write_raw(page_id * self.page_size, stamp_page(data))
+
+    def write_page_raw(self, page_id: int, data: bytes) -> None:
+        """Write pre-stamped page bytes verbatim (WAL recovery images)."""
         self._check(page_id)
         if len(data) != self.page_size:
             raise StorageError(
                 f"page data must be exactly {self.page_size} bytes, got {len(data)}"
             )
         self.stats.writes += 1
-        offset = page_id * self.page_size
-        if self._memory is not None:
-            self._memory[offset : offset + self.page_size] = data
-        else:
-            assert self._file is not None
-            self._file.seek(offset)
-            self._file.write(data)
+        self._write_raw(page_id * self.page_size, data)
 
     def sync(self) -> None:
         """Force file contents to stable storage."""
         if self._file is not None:
             self._file.flush()
             os.fsync(self._file.fileno())
+
+    # -- raw byte I/O (the override point for fault injection) ----------------
+
+    def _read_raw(self, offset: int, length: int) -> bytes:
+        if self._memory is not None:
+            return bytes(self._memory[offset : offset + length])
+        assert self._file is not None
+        self._file.seek(offset)
+        return self._file.read(length)
+
+    def _write_raw(self, offset: int, payload: bytes) -> None:
+        if self._memory is not None:
+            self._memory[offset : offset + len(payload)] = payload
+        else:
+            assert self._file is not None
+            self._file.seek(offset)
+            self._file.write(payload)
 
     def _check(self, page_id: int) -> None:
         if not 0 <= page_id < self._n_pages:

@@ -1,4 +1,4 @@
-"""Persistence: save and reopen a :class:`~repro.storage.nokstore.NoKStore`.
+"""Persistence: save, recover, reopen and fsck a :class:`NoKStore`.
 
 The page file already holds the document structure and the embedded DOL
 transition codes; what it cannot hold is the in-memory state the paper
@@ -9,24 +9,43 @@ the flattened document (parents from depths, a stack-based linear pass)
 and the DOL (real transitions are entries whose code differs from the
 running code — page-initial pseudo-transitions are filtered out) directly
 from the on-disk pages.
+
+Durability protocol
+-------------------
+``save_store`` is atomic (temp file + fsync + ``os.replace``) and acts as
+the checkpoint: once the catalog durably reflects the pages, the
+write-ahead log is truncated. ``open_store`` starts with a recovery pass
+(:meth:`WriteAheadLog.recover`): committed update batches are replayed
+onto the page file and their catalog patch folded into the catalog, an
+uncommitted tail is rolled back — so the store observed after a crash is
+exactly the pre- or post-update state, never a torn mixture. Recovery is
+idempotent; a crash *during* recovery just means it runs again.
+
+:func:`fsck_store` is the offline checker behind ``repro verify-store``:
+checksums, catalog/page-file agreement, header-vs-entry agreement, and
+transition-code sanity, reported without giving up at the first fault.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.dol.codebook import Codebook
 from repro.dol.labeling import DOL
-from repro.errors import StorageError
+from repro.errors import PageCorruptionError, StorageError
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
+from repro.storage.faults import FaultInjectingPager, FaultPlan
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
-from repro.storage.nokstore import NoKStore
-from repro.storage.pager import Pager
+from repro.storage.nokstore import NoKStore, entries_per_page_for, wal_path_for
+from repro.storage.pager import Pager, verify_page_bytes
+from repro.storage.wal import RecoveryResult, WriteAheadLog, _fsync_dir
 from repro.xmltree.document import NO_NODE, Document, TagDictionary
 
-CATALOG_VERSION = 1
+#: v2 adds the per-page CRC trailer and the WAL sidecar; v1 files predate
+#: both and cannot be verified, so they are refused rather than guessed at.
+CATALOG_VERSION = 2
 
 
 def catalog_path_for(path: str) -> str:
@@ -34,104 +53,280 @@ def catalog_path_for(path: str) -> str:
     return path + ".catalog.json"
 
 
+def _write_json_atomic(path: str, payload: Dict[str, object]) -> None:
+    """Write JSON so a crash leaves either the old file or the new one."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path)
+
+
+def _catalog_from_store(store: NoKStore) -> Dict[str, object]:
+    catalog = {"version": CATALOG_VERSION, "page_size": store.page_size}
+    catalog.update(store.catalog_state())
+    return catalog
+
+
 def save_store(store: NoKStore, catalog_path: str = None) -> str:
-    """Persist a file-backed store's in-memory state; returns the path."""
+    """Persist a file-backed store's in-memory state; returns the path.
+
+    The sequence is the checkpoint protocol: data pages are flushed and
+    fsynced, the catalog is replaced atomically, and only then is the WAL
+    truncated — a crash at any point leaves a state `open_store` can
+    recover.
+    """
     if store.pager.path is None:
         raise StorageError("only file-backed stores can be saved")
     store.buffer.flush_all()
     store.pager.sync()
 
-    doc = store.doc
-    catalog = {
-        "version": CATALOG_VERSION,
-        "page_size": store.page_size,
-        "n_nodes": store.n_nodes,
-        "n_pages": store.n_pages,
-        "n_subjects": store.dol.codebook.n_subjects,
-        "tags": [doc.tag_dict.name_of(i) for i in range(len(doc.tag_dict))],
-        "texts": doc.texts,
-        "codebook": [f"{mask:x}" for _code, mask in store.dol.codebook.entries()],
-    }
     catalog_path = catalog_path or catalog_path_for(store.pager.path)
-    with open(catalog_path, "w", encoding="utf-8") as handle:
-        json.dump(catalog, handle)
+    _write_json_atomic(catalog_path, _catalog_from_store(store))
+    if store.wal is not None:
+        store.wal.truncate()
     return catalog_path
 
 
-def open_store(
-    path: str, catalog_path: str = None, buffer_capacity: int = 64
-) -> NoKStore:
-    """Reopen a saved store: pages from disk, catalog from the sidecar."""
-    catalog_path = catalog_path or catalog_path_for(path)
+def _load_catalog(path: str, catalog_path: str) -> Dict[str, object]:
     if not os.path.exists(catalog_path):
         raise StorageError(f"missing catalog {catalog_path}")
     with open(catalog_path, "r", encoding="utf-8") as handle:
-        catalog = json.load(handle)
+        try:
+            catalog = json.load(handle)
+        except ValueError as exc:
+            raise StorageError(f"catalog {catalog_path} is not valid JSON: {exc}")
     if catalog.get("version") != CATALOG_VERSION:
-        raise StorageError(f"unsupported catalog version {catalog.get('version')}")
+        raise StorageError(
+            f"unsupported catalog version {catalog.get('version')!r} "
+            f"(this build reads version {CATALOG_VERSION})"
+        )
+    return catalog
+
+
+def _validate_catalog(catalog: Dict[str, object], path: str) -> None:
+    """Cross-check the catalog against the actual page file."""
+    page_size = catalog.get("page_size")
+    if not isinstance(page_size, int) or page_size < 64:
+        raise StorageError(f"catalog page_size {page_size!r} is not usable")
+    if entries_per_page_for(page_size) < 1:
+        raise StorageError(
+            f"catalog page_size {page_size} cannot hold a single node entry"
+        )
+    for key in ("n_nodes", "n_pages", "n_subjects"):
+        value = catalog.get(key)
+        if not isinstance(value, int) or value < 0:
+            raise StorageError(f"catalog field {key}={value!r} is not usable")
+    if not os.path.exists(path):
+        raise StorageError(f"missing page file {path}")
+    size = os.path.getsize(path)
+    if size % page_size:
+        raise StorageError(
+            f"page file size {size} is not a multiple of page_size {page_size}"
+        )
+    if size // page_size < catalog["n_pages"]:
+        raise StorageError(
+            f"page file holds {size // page_size} pages but the catalog "
+            f"records {catalog['n_pages']}"
+        )
+    texts = catalog.get("texts")
+    if not isinstance(texts, list) or len(texts) != catalog["n_nodes"]:
+        raise StorageError("catalog texts do not match the node count")
+
+
+def _recover(path: str, catalog_path: str) -> RecoveryResult:
+    """WAL recovery + checkpoint, run before the store is opened."""
+    wal_path = wal_path_for(path)
+    result = WriteAheadLog.recover(wal_path, path)
+    if result.catalog_patch is not None:
+        catalog = _load_catalog(path, catalog_path)
+        catalog.update(result.catalog_patch)
+        _write_json_atomic(catalog_path, catalog)
+    if result.acted:
+        with WriteAheadLog(wal_path) as wal:
+            wal.truncate()
+    return result
+
+
+def open_store(
+    path: str,
+    catalog_path: str = None,
+    buffer_capacity: int = 64,
+    fault_plan: Optional[FaultPlan] = None,
+) -> NoKStore:
+    """Reopen a saved store: recover the WAL, then rebuild from pages.
+
+    ``fault_plan`` threads a :class:`FaultPlan` into the reopened pager
+    and WAL (the crash-recovery harness); production callers leave it
+    ``None``.
+    """
+    catalog_path = catalog_path or catalog_path_for(path)
+    _recover(path, catalog_path)
+    catalog = _load_catalog(path, catalog_path)
+    _validate_catalog(catalog, path)
 
     page_size = catalog["page_size"]
     n_nodes = catalog["n_nodes"]
     n_pages = catalog["n_pages"]
-    pager = Pager.open_existing(path, page_size)
-    if pager.n_pages < n_pages:
-        raise StorageError("page file shorter than the catalog records")
+    if fault_plan is not None:
+        pager = FaultInjectingPager.open_existing(path, page_size, plan=fault_plan)
+    else:
+        pager = Pager.open_existing(path, page_size)
 
-    # Rebuild the codebook.
-    codebook = Codebook(catalog["n_subjects"])
-    for mask_hex in catalog["codebook"]:
-        codebook.encode(int(mask_hex, 16))
+    try:
+        # Rebuild the codebook.
+        codebook = Codebook(catalog["n_subjects"])
+        for mask_hex in catalog["codebook"]:
+            codebook.encode(int(mask_hex, 16))
 
-    # One pass over the pages: rebuild document arrays, headers, and DOL.
-    tag_dict = TagDictionary()
-    for name in catalog["tags"]:
-        tag_dict.intern(name)
-    texts = list(catalog["texts"])
-    if len(texts) != n_nodes:
-        raise StorageError("catalog texts do not match the node count")
+        # One pass over the pages: rebuild document arrays, headers, DOL.
+        tag_dict = TagDictionary()
+        for name in catalog["tags"]:
+            tag_dict.intern(name)
+        texts = list(catalog["texts"])
 
-    tags: List[int] = []
-    depth: List[int] = []
-    subtree: List[int] = []
-    parent: List[int] = []
-    stack: List[int] = []  # positions of open ancestors
-    headers = PageHeaderTable()
-    positions: List[int] = []
-    codes: List[int] = []
-    running_code = None
+        tags: List[int] = []
+        depth: List[int] = []
+        subtree: List[int] = []
+        parent: List[int] = []
+        stack: List[int] = []  # positions of open ancestors
+        headers = PageHeaderTable()
+        positions: List[int] = []
+        codes: List[int] = []
+        running_code = None
 
-    pos = 0
-    for page_id in range(n_pages):
-        data = pager.read_page(page_id)
-        header = PageHeader.unpack(data)
-        headers.append(header)
-        offset = HEADER_SIZE
-        for index in range(header.n_entries):
-            entry = NodeEntry.unpack(data, offset)
-            offset += ENTRY_SIZE
-            tags.append(entry.tag_id)
-            depth.append(entry.depth)
-            subtree.append(entry.subtree)
-            while len(stack) > entry.depth:
-                stack.pop()
-            parent.append(stack[-1] if stack else NO_NODE)
-            stack.append(pos)
-            if entry.is_transition and entry.code != running_code:
-                positions.append(pos)
-                codes.append(entry.code)
-                running_code = entry.code
-            pos += 1
-    if pos != n_nodes:
-        raise StorageError(
-            f"pages hold {pos} entries but the catalog records {n_nodes}"
+        pos = 0
+        for page_id in range(n_pages):
+            data = pager.read_page(page_id)
+            header = PageHeader.unpack(data)
+            offset = HEADER_SIZE
+            entries: List[NodeEntry] = []
+            for _ in range(header.n_entries):
+                entries.append(NodeEntry.unpack(data, offset))
+                offset += ENTRY_SIZE
+            expected = PageHeader.expected_for(entries)
+            if header != expected:
+                raise StorageError(
+                    f"page {page_id}: stored header {header} disagrees with "
+                    f"its entries (implied {expected})"
+                )
+            headers.append(header)
+            for entry in entries:
+                tags.append(entry.tag_id)
+                depth.append(entry.depth)
+                subtree.append(entry.subtree)
+                while len(stack) > entry.depth:
+                    stack.pop()
+                parent.append(stack[-1] if stack else NO_NODE)
+                stack.append(pos)
+                if entry.is_transition and entry.code != running_code:
+                    positions.append(pos)
+                    codes.append(entry.code)
+                    running_code = entry.code
+                pos += 1
+        if pos != n_nodes:
+            raise StorageError(
+                f"pages hold {pos} entries but the catalog records {n_nodes}"
+            )
+
+        doc = Document(tags, parent, subtree, depth, texts, tag_dict)
+        doc.validate()
+        dol = DOL(n_nodes, codebook)
+        dol.positions = positions
+        dol.codes = codes
+        dol.validate()
+
+        pager.stats.reset()
+        wal = WriteAheadLog(wal_path_for(path), fault_plan=fault_plan)
+    except BaseException:
+        pager.close()
+        raise
+    return NoKStore.attach(doc, dol, pager, headers, buffer_capacity, wal=wal)
+
+
+def fsck_store(path: str, catalog_path: str = None) -> List[str]:
+    """Offline integrity check; returns human-readable findings.
+
+    Unlike :func:`open_store`, which stops at the first problem, fsck
+    keeps going and reports everything it can still reach: checksum
+    failures per page, header/entry disagreement, entry-count drift
+    against the catalog, transition codes outside the codebook, and a
+    WAL left with pending batches. An empty list means a clean store.
+    """
+    catalog_path = catalog_path or catalog_path_for(path)
+    findings: List[str] = []
+
+    try:
+        catalog = _load_catalog(path, catalog_path)
+        _validate_catalog(catalog, path)
+    except StorageError as exc:
+        return [str(exc)]
+
+    page_size = catalog["page_size"]
+    n_pages = catalog["n_pages"]
+    n_codes = len(catalog.get("codebook", []))
+    per_page = entries_per_page_for(page_size)
+
+    wal_path = wal_path_for(path)
+    if os.path.exists(wal_path):
+        try:
+            batches = WriteAheadLog.scan(wal_path)
+        except StorageError as exc:
+            findings.append(str(exc))
+            batches = []
+        pending = [b for b in batches if b.pages or b.committed]
+        if pending:
+            raise_note = sum(1 for b in pending if not b.committed)
+            findings.append(
+                f"WAL holds {len(pending)} unapplied batch(es)"
+                + (f", {raise_note} uncommitted" if raise_note else "")
+                + " — open_store will recover them"
+            )
+
+    total_entries = 0
+    unreadable_pages = 0
+    with Pager.open_existing(path, page_size) as pager:
+        for page_id in range(n_pages):
+            data = pager.read_page_raw(page_id)
+            try:
+                verify_page_bytes(data, page_id)
+            except PageCorruptionError as exc:
+                findings.append(str(exc))
+                unreadable_pages += 1
+                continue
+            header = PageHeader.unpack(data)
+            if header.n_entries > per_page:
+                findings.append(
+                    f"page {page_id}: header claims {header.n_entries} "
+                    f"entries, capacity is {per_page}"
+                )
+                unreadable_pages += 1
+                continue
+            offset = HEADER_SIZE
+            entries = []
+            for index in range(header.n_entries):
+                entry = NodeEntry.unpack(data, offset)
+                offset += ENTRY_SIZE
+                entries.append(entry)
+                if entry.is_transition and entry.code >= max(n_codes, 1):
+                    findings.append(
+                        f"page {page_id} entry {index}: transition code "
+                        f"{entry.code} outside the codebook ({n_codes} codes)"
+                    )
+            expected = PageHeader.expected_for(entries)
+            if header != expected:
+                findings.append(
+                    f"page {page_id}: stored header {header} disagrees with "
+                    f"its entries (implied {expected})"
+                )
+            total_entries += len(entries)
+    # Count drift is only an independent finding when every page was
+    # parseable — otherwise it is just a consequence of the pages above.
+    if not unreadable_pages and total_entries != catalog["n_nodes"]:
+        findings.append(
+            f"pages hold {total_entries} entries but the catalog records "
+            f"{catalog['n_nodes']}"
         )
-
-    doc = Document(tags, parent, subtree, depth, texts, tag_dict)
-    doc.validate()
-    dol = DOL(n_nodes, codebook)
-    dol.positions = positions
-    dol.codes = codes
-    dol.validate()
-
-    pager.stats.reset()
-    return NoKStore.attach(doc, dol, pager, headers, buffer_capacity)
+    return findings

@@ -33,6 +33,8 @@ class ValueStore:
         self.pager = Pager(path, page_size)
         self.buffer = BufferPool(self.pager, buffer_capacity)
         self.page_size = page_size
+        #: records must leave the pager's checksum trailer untouched
+        self.capacity = self.pager.usable_size
         #: per position: (page id, offset, byte length); (-1, 0, 0) = empty
         self._slots: List[Tuple[int, int, int]] = []
         self._build(texts)
@@ -42,14 +44,14 @@ class ValueStore:
         page_id = self.pager.allocate()
         for text in texts:
             raw = text.encode("utf-8")
-            if len(raw) > self.page_size:
+            if len(raw) > self.capacity:
                 raise StorageError(
-                    f"value of {len(raw)} bytes exceeds the page size"
+                    f"value of {len(raw)} bytes exceeds the page capacity"
                 )
             if not raw:
                 self._slots.append((-1, 0, 0))
                 continue
-            if len(current) + len(raw) > self.page_size:
+            if len(current) + len(raw) > self.capacity:
                 self.pager.write_page(page_id, bytes(current) + bytes(self.page_size - len(current)))
                 page_id = self.pager.allocate()
                 current = bytearray()

@@ -79,9 +79,13 @@ class TestStoreVerify:
         from repro.storage.nokstore import NoKStore
 
         store = NoKStore(paper_doc, DOL.from_masks([1] * 12, 1), page_size=96)
-        # smash a page behind the store's back
+        # smash a page behind the store's back (zeroing the checksum
+        # trailer so write_page re-stamps it — a "valid" but wrong page)
+        from repro.storage.pager import CHECKSUM_SIZE
+
         data = bytearray(store.pager.read_page(0))
         data[20] ^= 0xFF
+        data[-CHECKSUM_SIZE:] = bytes(CHECKSUM_SIZE)
         store.pager.write_page(0, bytes(data))
         with pytest.raises(StorageError):
             store.verify()

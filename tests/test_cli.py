@@ -116,3 +116,44 @@ class TestQuery:
         assert "rows=" in out
         assert "answers: 20" in out
         assert "wall time:" in out
+
+
+class TestVerifyStore:
+    @pytest.fixture
+    def saved_store(self, tmp_path):
+        from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+        from repro.dol.labeling import DOL
+        from repro.storage.nokstore import NoKStore
+        from repro.storage.persist import save_store
+        from repro.xmark.generator import generate_document
+
+        doc = generate_document(XMarkConfig(n_items=15, seed=4))
+        matrix = generate_synthetic_acl(
+            doc, SyntheticACLConfig(accessibility_ratio=0.7, seed=1), n_subjects=2
+        )
+        path = str(tmp_path / "store.db")
+        store = NoKStore(doc, DOL.from_matrix(matrix), path=path, page_size=512)
+        save_store(store)
+        store.close()
+        return path
+
+    def test_clean_store_passes(self, saved_store, capsys):
+        assert main(["verify-store", saved_store]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bit_flip_fails_nonzero(self, saved_store, capsys):
+        with open(saved_store, "r+b") as handle:
+            handle.seek(512 + 25)
+            byte = handle.read(1)
+            handle.seek(512 + 25)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["verify-store", saved_store]) == 1
+        out = capsys.readouterr().out
+        assert "page 1" in out
+        assert "problem(s) found" in out
+
+    def test_missing_catalog_fails(self, saved_store, capsys):
+        import os
+
+        os.remove(saved_store + ".catalog.json")
+        assert main(["verify-store", saved_store]) == 1

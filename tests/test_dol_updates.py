@@ -172,3 +172,41 @@ class TestProposition1:
     def test_check_rejects_violation(self):
         with pytest.raises(UpdateError):
             DOLUpdater.check_proposition1(3, "insert")
+
+
+class TestJournal:
+    """The journal callback feeds WAL commit records (logical logging)."""
+
+    def test_accessibility_update_journaled(self):
+        from repro.dol.labeling import DOL
+        from repro.dol.updates import DOLUpdater
+
+        dol = DOL.from_masks([0b11] * 8, 2)
+        ops = []
+        delta = DOLUpdater(dol, journal=ops.append).set_subject_accessibility(
+            2, 6, 0, False
+        )
+        assert len(ops) == 1
+        assert ops[0]["op"] == "transform_range"
+        assert (ops[0]["start"], ops[0]["end"]) == (2, 6)
+        assert ops[0]["delta"] == delta
+
+    def test_structural_updates_journaled(self):
+        from repro.dol.labeling import DOL
+        from repro.dol.updates import DOLUpdater
+
+        dol = DOL.from_masks([0b1] * 6, 1)
+        ops = []
+        updater = DOLUpdater(dol, journal=ops.append)
+        updater.insert_range(3, [0b1, 0b1])
+        updater.delete_range(0, 2)
+        assert [entry["op"] for entry in ops] == ["insert_range", "delete_range"]
+        assert ops[0]["at"] == 3 and ops[0]["n_nodes"] == 2
+        assert (ops[1]["start"], ops[1]["end"]) == (0, 2)
+
+    def test_no_journal_is_silent(self):
+        from repro.dol.labeling import DOL
+        from repro.dol.updates import DOLUpdater
+
+        dol = DOL.from_masks([0b1] * 4, 1)
+        DOLUpdater(dol).set_range_mask(1, 3, 0b1)  # must not raise

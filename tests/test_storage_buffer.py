@@ -4,7 +4,14 @@ import pytest
 
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool, BufferStats
-from repro.storage.pager import Pager
+from repro.storage.pager import CHECKSUM_SIZE, Pager
+
+USABLE = 128 - CHECKSUM_SIZE
+
+
+def payload(fill: bytes) -> bytes:
+    """A 128-byte page image: ``fill`` bytes plus a zeroed trailer."""
+    return fill * USABLE + bytes(CHECKSUM_SIZE)
 
 
 @pytest.fixture
@@ -12,7 +19,7 @@ def pager():
     p = Pager(page_size=128)
     for index in range(8):
         page_id = p.allocate()
-        p.write_page(page_id, bytes([index]) * 128)
+        p.write_page(page_id, payload(bytes([index])))
     p.stats.reset()
     return p
 
@@ -29,8 +36,8 @@ class TestCaching:
 
     def test_contents_correct(self, pager):
         pool = BufferPool(pager, capacity=2)
-        assert pool.get(3) == bytes([3]) * 128
-        assert pool.get(3) == bytes([3]) * 128
+        assert pool.get(3)[:USABLE] == bytes([3]) * USABLE
+        assert pool.get(3)[:USABLE] == bytes([3]) * USABLE
 
     def test_capacity_bound(self, pager):
         pool = BufferPool(pager, capacity=2)
@@ -73,39 +80,39 @@ class TestTouchAndFetch:
         pool = BufferPool(pager, capacity=4)
         pool.get(2)
         pager.stats.reset()
-        assert pool.fetch(2) == bytes([2]) * 128
+        assert pool.fetch(2)[:USABLE] == bytes([2]) * USABLE
         assert pager.stats.reads == 0
 
 
 class TestWriteBack:
     def test_put_and_flush(self, pager):
         pool = BufferPool(pager, capacity=4)
-        pool.put(1, b"x" * 128)
-        assert pager.read_page(1) == bytes([1]) * 128  # not yet flushed
+        pool.put(1, payload(b"x"))
+        assert pager.read_page(1)[:USABLE] == bytes([1]) * USABLE  # not yet flushed
         pool.flush(1)
-        assert pager.read_page(1) == b"x" * 128
+        assert pager.read_page(1)[:USABLE] == b"x" * USABLE
         assert pool.stats.dirty_writes == 1
 
     def test_eviction_writes_dirty_page(self, pager):
         pool = BufferPool(pager, capacity=1)
-        pool.put(0, b"d" * 128)
+        pool.put(0, payload(b"d"))
         pool.get(1)  # evicts dirty page 0
-        assert pager.read_page(0) == b"d" * 128
+        assert pager.read_page(0)[:USABLE] == b"d" * USABLE
 
     def test_flush_all(self, pager):
         pool = BufferPool(pager, capacity=4)
-        pool.put(0, b"a" * 128)
-        pool.put(1, b"b" * 128)
+        pool.put(0, payload(b"a"))
+        pool.put(1, payload(b"b"))
         pool.flush_all()
-        assert pager.read_page(0) == b"a" * 128
-        assert pager.read_page(1) == b"b" * 128
+        assert pager.read_page(0)[:USABLE] == b"a" * USABLE
+        assert pager.read_page(1)[:USABLE] == b"b" * USABLE
 
     def test_clear_flushes_and_empties(self, pager):
         pool = BufferPool(pager, capacity=4)
-        pool.put(0, b"c" * 128)
+        pool.put(0, payload(b"c"))
         pool.clear()
         assert len(pool) == 0
-        assert pager.read_page(0) == b"c" * 128
+        assert pager.read_page(0)[:USABLE] == b"c" * USABLE
 
     def test_put_wrong_size_rejected(self, pager):
         pool = BufferPool(pager, capacity=4)
@@ -137,9 +144,11 @@ class TestEvictionCallback:
             observed.append((page_id, pager.read_page(page_id)))
 
         pool = BufferPool(pager, capacity=1, on_evict=on_evict)
-        pool.put(0, b"w" * 128)
+        pool.put(0, payload(b"w"))
         pool.get(1)  # evicts dirty page 0
-        assert observed == [(0, b"w" * 128)]
+        assert [(pid, data[:USABLE]) for pid, data in observed] == [
+            (0, b"w" * USABLE)
+        ]
         assert pool.stats.dirty_writes == 1
 
     def test_touch_hit_refreshes_recency_for_eviction(self, pager):
@@ -166,7 +175,7 @@ class TestBufferStats:
 
     def test_reset_zeroes_all_counters(self, pager):
         pool = BufferPool(pager, capacity=1)
-        pool.put(0, b"r" * 128)
+        pool.put(0, payload(b"r"))
         pool.get(1)  # dirty eviction: every counter is nonzero
         stats = pool.stats
         assert stats.logical_reads and stats.evictions and stats.dirty_writes

@@ -4,18 +4,34 @@ import os
 
 import pytest
 
-from repro.errors import StorageError
-from repro.storage.pager import Pager
+from repro.errors import PageCorruptionError, StorageError
+from repro.storage.pager import (
+    CHECKSUM_SIZE,
+    Pager,
+    page_checksum,
+    stamp_page,
+    verify_page_bytes,
+)
+
+PAGE = 256
+USABLE = PAGE - CHECKSUM_SIZE
+
+
+def payload(fill: bytes, page_size: int = PAGE) -> bytes:
+    """A full page whose usable bytes are ``fill`` and trailer is zero."""
+    usable = page_size - CHECKSUM_SIZE
+    body = (fill * usable)[:usable]
+    return body + bytes(CHECKSUM_SIZE)
 
 
 @pytest.fixture(params=["memory", "file"])
 def pager(request, tmp_path):
     if request.param == "memory":
-        with Pager(page_size=256) as p:
+        with Pager(page_size=PAGE) as p:
             yield p
     else:
         path = str(tmp_path / "pages.db")
-        with Pager(path, page_size=256) as p:
+        with Pager(path, page_size=PAGE) as p:
             yield p
 
 
@@ -26,22 +42,22 @@ class TestAllocation:
 
     def test_new_pages_are_zeroed(self, pager):
         page_id = pager.allocate()
-        assert pager.read_page(page_id) == bytes(256)
+        assert pager.read_page(page_id) == bytes(PAGE)
 
 
 class TestReadWrite:
     def test_roundtrip(self, pager):
         page_id = pager.allocate()
-        data = bytes(range(256))
+        data = bytes(range(USABLE)) + bytes(CHECKSUM_SIZE)
         pager.write_page(page_id, data)
-        assert pager.read_page(page_id) == data
+        assert pager.read_page(page_id)[:USABLE] == data[:USABLE]
 
     def test_pages_are_independent(self, pager):
         a, b = pager.allocate(), pager.allocate()
-        pager.write_page(a, b"a" * 256)
-        pager.write_page(b, b"b" * 256)
-        assert pager.read_page(a) == b"a" * 256
-        assert pager.read_page(b) == b"b" * 256
+        pager.write_page(a, payload(b"a"))
+        pager.write_page(b, payload(b"b"))
+        assert pager.read_page(a)[:USABLE] == b"a" * USABLE
+        assert pager.read_page(b)[:USABLE] == b"b" * USABLE
 
     def test_wrong_size_rejected(self, pager):
         page_id = pager.allocate()
@@ -52,13 +68,59 @@ class TestReadWrite:
         with pytest.raises(StorageError):
             pager.read_page(0)
         with pytest.raises(StorageError):
-            pager.write_page(5, bytes(256))
+            pager.write_page(5, bytes(PAGE))
+
+    def test_nonzero_trailer_rejected(self, pager):
+        """Data in the reserved trailer means the caller miscounted."""
+        page_id = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write_page(page_id, bytes(range(PAGE)))
+
+
+class TestChecksums:
+    def test_usable_size(self, pager):
+        assert pager.usable_size == USABLE
+
+    def test_read_verifies_stamp(self, pager):
+        page_id = pager.allocate()
+        pager.write_page(page_id, payload(b"q"))
+        stored = pager.read_page(page_id)
+        assert stored[-CHECKSUM_SIZE:] != bytes(CHECKSUM_SIZE)
+        verify_page_bytes(stored, page_id)  # must not raise
+
+    def test_bit_flip_detected(self, pager):
+        page_id = pager.allocate()
+        pager.write_page(page_id, payload(b"q"))
+        smashed = bytearray(pager.read_page(page_id))
+        smashed[7] ^= 0x10
+        pager.write_page_raw(page_id, bytes(smashed))
+        with pytest.raises(PageCorruptionError) as excinfo:
+            pager.read_page(page_id)
+        assert excinfo.value.page_id == page_id
+        assert excinfo.value.expected != excinfo.value.actual
+
+    def test_raw_read_skips_verification(self, pager):
+        page_id = pager.allocate()
+        pager.write_page(page_id, payload(b"q"))
+        smashed = bytearray(pager.read_page(page_id))
+        smashed[7] ^= 0x10
+        pager.write_page_raw(page_id, bytes(smashed))
+        assert pager.read_page_raw(page_id) == bytes(smashed)
+
+    def test_stamp_and_checksum_agree(self):
+        data = payload(b"s")
+        stamped = stamp_page(data)
+        assert stamped[:USABLE] == data[:USABLE]
+        verify_page_bytes(stamped, 0)
+        assert page_checksum(stamped[:USABLE]) == int.from_bytes(
+            stamped[-CHECKSUM_SIZE:], "little"
+        )
 
 
 class TestStats:
     def test_counters(self, pager):
         page_id = pager.allocate()
-        pager.write_page(page_id, bytes(256))
+        pager.write_page(page_id, bytes(PAGE))
         pager.read_page(page_id)
         pager.read_page(page_id)
         assert pager.stats.allocations == 1
@@ -73,10 +135,33 @@ class TestFileBacking:
         path = str(tmp_path / "x.db")
         with Pager(path, page_size=128) as pager:
             page_id = pager.allocate()
-            pager.write_page(page_id, b"z" * 128)
+            pager.write_page(page_id, payload(b"z", 128))
             pager.sync()
             assert os.path.getsize(path) == 128
 
     def test_tiny_page_size_rejected(self):
         with pytest.raises(StorageError):
             Pager(page_size=16)
+
+    def test_open_existing_rejects_ragged_file(self, tmp_path):
+        path = str(tmp_path / "ragged.db")
+        with open(path, "wb") as handle:
+            handle.write(bytes(100))  # not a multiple of 128
+        with pytest.raises(StorageError):
+            Pager.open_existing(path, page_size=128)
+
+    def test_open_existing_failure_releases_handle(self, tmp_path):
+        """The pager must not leak its file handle when validation fails."""
+        path = str(tmp_path / "ragged.db")
+        with open(path, "wb") as handle:
+            handle.write(bytes(100))
+        with pytest.raises(StorageError):
+            Pager.open_existing(path, page_size=128)
+        os.replace(path, path + ".moved")  # fails on Windows if still open
+
+    def test_closed_property(self, tmp_path):
+        path = str(tmp_path / "c.db")
+        pager = Pager(path, page_size=128)
+        assert not pager.closed
+        pager.close()
+        assert pager.closed

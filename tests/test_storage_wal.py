@@ -1,0 +1,188 @@
+"""Unit tests for the write-ahead log: format, scan, redo/undo."""
+
+import os
+
+import pytest
+
+from repro.errors import WALError
+from repro.storage.wal import MAGIC, WALBatch, WriteAheadLog
+
+PAGE = 64
+
+
+def image(fill: int) -> bytes:
+    return bytes([fill]) * PAGE
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "store.db.wal")
+
+
+class TestBatchProtocol:
+    def test_fresh_log_has_magic(self, wal_path):
+        with WriteAheadLog(wal_path):
+            pass
+        with open(wal_path, "rb") as handle:
+            assert handle.read() == MAGIC
+
+    def test_page_outside_batch_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(WALError):
+                wal.log_page_write(0, image(1), image(2))
+
+    def test_commit_outside_batch_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(WALError):
+                wal.commit({})
+
+    def test_nested_begin_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            with pytest.raises(WALError):
+                wal.begin()
+
+    def test_mismatched_images_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            with pytest.raises(WALError):
+                wal.log_page_write(0, image(1), image(2) + b"x")
+
+
+class TestScan:
+    def test_committed_batch_roundtrip(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(3, image(1), image(2))
+            wal.log_page_write(4, image(3), image(4))
+            wal.commit({"n_nodes": 7}, ops=[{"op": "test"}])
+        batches = WriteAheadLog.scan(wal_path)
+        assert len(batches) == 1
+        batch = batches[0]
+        assert batch.committed
+        assert batch.pages == [(3, image(1), image(2)), (4, image(3), image(4))]
+        assert batch.catalog_patch == {"n_nodes": 7}
+        assert batch.ops == [{"op": "test"}]
+
+    def test_uncommitted_tail_is_parsed(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(0, image(5), image(6))
+            wal.abort()
+        batches = WriteAheadLog.scan(wal_path)
+        assert len(batches) == 1
+        assert not batches[0].committed
+        assert batches[0].pages == [(0, image(5), image(6))]
+
+    def test_torn_tail_discarded(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(0, image(1), image(2))
+            wal.commit({})
+        # chop bytes off the commit record: its CRC must fail
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(size - 3)
+        batches = WriteAheadLog.scan(wal_path)
+        assert len(batches) == 1
+        assert not batches[0].committed  # commit no longer counts
+
+    def test_corrupt_record_ends_scan(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(0, image(1), image(2))
+            wal.commit({})
+            wal.begin()
+            wal.log_page_write(1, image(3), image(4))
+            wal.commit({})
+        # flip one byte inside the second batch's page record
+        with open(wal_path, "r+b") as handle:
+            data = bytearray(handle.read())
+            data[-PAGE - 20] ^= 0xFF
+            handle.seek(0)
+            handle.write(data)
+        batches = WriteAheadLog.scan(wal_path)
+        assert len(batches) >= 1
+        assert batches[0].committed  # first batch unaffected
+
+    def test_bad_magic_rejected(self, wal_path):
+        with open(wal_path, "wb") as handle:
+            handle.write(b"NOTAWAL!")
+        with pytest.raises(WALError):
+            WriteAheadLog.scan(wal_path)
+
+
+class TestRecover:
+    def _page_file(self, tmp_path, n_pages=4):
+        path = str(tmp_path / "store.db")
+        with open(path, "wb") as handle:
+            for fill in range(n_pages):
+                handle.write(image(10 + fill))
+        return path
+
+    def test_committed_batch_is_redone(self, tmp_path, wal_path):
+        page_path = self._page_file(tmp_path)
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(1, image(11), image(99))
+            wal.commit({"n_nodes": 42})
+        result = WriteAheadLog.recover(wal_path, page_path)
+        assert result.batches_replayed == 1
+        assert result.pages_replayed == 1
+        assert result.catalog_patch == {"n_nodes": 42}
+        with open(page_path, "rb") as handle:
+            data = handle.read()
+        assert data[PAGE : 2 * PAGE] == image(99)
+
+    def test_uncommitted_tail_is_rolled_back(self, tmp_path, wal_path):
+        page_path = self._page_file(tmp_path)
+        # simulate: page 2 was overwritten, then the process died pre-commit
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(2, image(12), image(77))
+            wal.abort()
+        with open(page_path, "r+b") as handle:
+            handle.seek(2 * PAGE)
+            handle.write(image(77))
+        result = WriteAheadLog.recover(wal_path, page_path)
+        assert result.batches_rolled_back == 1
+        assert result.pages_rolled_back == 1
+        assert result.catalog_patch is None
+        with open(page_path, "rb") as handle:
+            data = handle.read()
+        assert data[2 * PAGE : 3 * PAGE] == image(12)  # before-image restored
+
+    def test_recovery_is_idempotent(self, tmp_path, wal_path):
+        page_path = self._page_file(tmp_path)
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(0, image(10), image(55))
+            wal.commit({})
+        WriteAheadLog.recover(wal_path, page_path)
+        WriteAheadLog.recover(wal_path, page_path)  # running twice is safe
+        with open(page_path, "rb") as handle:
+            assert handle.read(PAGE) == image(55)
+
+    def test_no_wal_is_a_noop(self, tmp_path):
+        page_path = self._page_file(tmp_path)
+        result = WriteAheadLog.recover(str(tmp_path / "absent.wal"), page_path)
+        assert not result.acted
+
+    def test_truncate_resets_to_magic(self, tmp_path, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.begin()
+            wal.log_page_write(0, image(1), image(2))
+            wal.commit({})
+            wal.truncate()
+            assert os.path.getsize(wal_path) == len(MAGIC)
+            # the log is still usable after the checkpoint
+            wal.begin()
+            wal.log_page_write(1, image(3), image(4))
+            wal.commit({})
+        assert len(WriteAheadLog.scan(wal_path)) == 1
+
+
+class TestBatchDataclass:
+    def test_committed_property(self):
+        assert not WALBatch().committed
+        assert WALBatch(catalog_patch={}).committed
