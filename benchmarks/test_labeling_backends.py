@@ -1,0 +1,79 @@
+"""Per-backend labeling comparison on the XMark instance.
+
+Builds every registered backend (DOL / CAM / naive) from one synthetic
+accessibility matrix, checks that all of them produce identical secure
+answers for the Table 1 workload, prints the size and timing comparison,
+and emits the machine-readable report as ``BENCH_labeling.json``.
+"""
+
+import os
+
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.bench.labeling import compare_backends, write_report
+from repro.bench.queries import QUERIES
+from repro.bench.reporting import print_table
+from repro.labeling.registry import available_backends, build_labeling
+
+N_SUBJECTS = 4
+ACL_CONFIG = SyntheticACLConfig(
+    propagation_ratio=0.3, accessibility_ratio=0.7, seed=11
+)
+
+
+def _matrix(doc):
+    return generate_synthetic_acl(doc, ACL_CONFIG, n_subjects=N_SUBJECTS)
+
+
+def test_backend_comparison_report(xmark_doc):
+    matrix = _matrix(xmark_doc)
+    report = compare_backends(xmark_doc, matrix, subject=1)
+
+    backends = report["backends"]
+    assert set(backends) == set(available_backends())
+
+    # Differential gate: every backend answers the whole workload
+    # identically (count and position fingerprint).
+    for qid in QUERIES:
+        per_backend = {
+            name: (
+                entry["queries"][qid]["n_answers"],
+                entry["queries"][qid]["positions_digest"],
+            )
+            for name, entry in backends.items()
+        }
+        assert len(set(per_backend.values())) == 1, (qid, per_backend)
+
+    print_table(
+        "Labeling backends on XMark (size + Q1 wall time)",
+        ["backend", "labels", "bytes", "build ms", "Q1 ms"],
+        [
+            (
+                name,
+                entry["n_labels"],
+                entry["size_bytes"],
+                entry["build_time"] * 1000.0,
+                entry["queries"]["Q1"]["wall_time"] * 1000.0,
+            )
+            for name, entry in sorted(backends.items())
+        ],
+    )
+
+    out = os.environ.get("REPRO_BENCH_LABELING_OUT", "BENCH_labeling.json")
+    path = write_report(report, out)
+    assert os.path.exists(path)
+
+
+def test_dol_is_smallest_backend(xmark_doc, benchmark):
+    """The paper's size claim: the DOL stores far fewer labels than naive
+    per-node ACLs, and fewer bytes than per-subject CAMs at multi-subject
+    scale."""
+    matrix = _matrix(xmark_doc)
+    built = {
+        name: build_labeling(name, xmark_doc, matrix)
+        for name in available_backends()
+    }
+    assert built["dol"].n_labels < built["naive"].n_labels
+    assert built["dol"].size_bytes() < built["cam"].size_bytes()
+    assert built["dol"].size_bytes() < built["naive"].size_bytes()
+
+    benchmark(build_labeling, "dol", xmark_doc, matrix)

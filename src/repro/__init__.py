@@ -23,6 +23,13 @@ DOL (the paper's contribution)
 Baseline
     :class:`repro.CAM` — minimal Compressed Accessibility Map.
 
+Labeling backends
+    :class:`repro.AccessLabeling` — the pluggable backend interface;
+    :func:`repro.build_labeling` — build a backend by name
+    (``dol`` / ``cam`` / ``naive``);
+    :class:`repro.CAMLabeling` / :class:`repro.NaiveLabeling` — the
+    baseline engines behind the interface.
+
 Storage & querying
     :class:`repro.NoKStore` — block storage with embedded access codes;
     :class:`repro.QueryEngine` — (secure) twig query evaluation;
@@ -43,6 +50,12 @@ from repro.dol.updates import DOLUpdater
 from repro.errors import ReproError
 from repro.exec.planner import PhysicalPlan, Planner
 from repro.index.tagindex import TagIndex
+from repro.labeling import (
+    AccessLabeling,
+    CAMLabeling,
+    NaiveLabeling,
+    build_labeling,
+)
 from repro.secure.dissemination import filter_xml
 from repro.secure.secured import SecuredDocument
 from repro.nok.engine import QueryEngine, QueryResult
@@ -60,12 +73,15 @@ __all__ = [
     "CAM",
     "CHO",
     "VIEW",
+    "AccessLabeling",
     "AccessMatrix",
     "AccessRule",
+    "CAMLabeling",
     "Codebook",
     "DOL",
     "DOLUpdater",
     "MultiModeDOL",
+    "NaiveLabeling",
     "Document",
     "Node",
     "NoKStore",
@@ -82,6 +98,7 @@ __all__ = [
     "TagIndex",
     "__version__",
     "build_dol_streaming",
+    "build_labeling",
     "filter_xml",
     "generate_synthetic_acl",
     "parse",

@@ -1,0 +1,90 @@
+"""Per-backend labeling comparison: sizes, build time, query timings.
+
+The head-to-head the paper runs between the DOL and prior-art labelings,
+generalized over every registered :class:`~repro.labeling.base.AccessLabeling`
+backend. :func:`compare_backends` builds each backend from one
+accessibility matrix, sizes it under its own cost model, runs a query
+workload through the real engine per backend, and returns a JSON-safe
+report — the payload behind ``BENCH_labeling.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.acl.model import AccessMatrix
+from repro.bench.queries import QUERIES
+from repro.labeling.registry import available_backends, build_labeling
+from repro.nok.engine import QueryEngine
+from repro.xmltree.document import Document
+
+
+def compare_backends(
+    doc: Document,
+    matrix: AccessMatrix,
+    queries: Optional[Dict[str, str]] = None,
+    subject: int = 0,
+    semantics: str = "cho",
+    backends: Optional[Sequence[str]] = None,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """Build every backend and run the workload; returns the comparison.
+
+    The report carries, per backend: construction time, label count and
+    byte size under the backend's own cost model, and per-query wall time
+    plus the answer count (identical across backends by construction —
+    callers may assert it).
+    """
+    names = tuple(backends) if backends is not None else available_backends()
+    queries = queries if queries is not None else dict(QUERIES)
+    report: Dict[str, object] = {
+        "n_nodes": len(doc),
+        "n_subjects": matrix.n_subjects,
+        "subject": subject,
+        "semantics": semantics,
+        "backends": {},
+    }
+    for name in names:
+        started = time.perf_counter()
+        labeling = build_labeling(name, doc, matrix)
+        build_time = time.perf_counter() - started
+        engine = QueryEngine(doc, labeling=labeling)
+        entry: Dict[str, object] = {
+            "build_time": build_time,
+            "n_labels": labeling.n_labels,
+            "size_bytes": labeling.size_bytes(),
+            "queries": {},
+        }
+        for qid, query in queries.items():
+            best = None
+            answers = None
+            for _ in range(max(repeats, 1)):
+                result = engine.evaluate(query, subject=subject, semantics=semantics)
+                best = (
+                    result.stats.wall_time
+                    if best is None
+                    else min(best, result.stats.wall_time)
+                )
+                answers = sorted(result.positions)
+            entry["queries"][qid] = {
+                "wall_time": best,
+                "n_answers": len(answers),
+                "positions_digest": _digest(answers),
+            }
+        report["backends"][name] = entry
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> str:
+    """Write the comparison as JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _digest(positions: Sequence[int]) -> int:
+    """Order-independent fingerprint for cross-backend answer agreement."""
+    return hash(tuple(positions)) & 0xFFFFFFFF

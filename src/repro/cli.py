@@ -8,10 +8,14 @@ Subcommands
 ``inspect``
     Parse an XML file and print structural statistics.
 ``label``
-    Attach synthetic access controls, build the DOL (and per-subject CAMs),
-    and print compression statistics.
+    Attach synthetic access controls, build every labeling backend (DOL,
+    CAM, naive), and print their sizes side by side.
+``build``
+    Build a page store from an XML file with a chosen labeling backend
+    (``--labeling {dol,cam,naive}``) and save it to disk.
 ``query``
-    Evaluate a twig query against an XML file, optionally securely.
+    Evaluate a twig query against an XML file, optionally securely and
+    with a chosen labeling backend.
 ``explain``
     Print the NoK evaluation plan for a twig query.
 ``disseminate``
@@ -29,8 +33,11 @@ from typing import List, Optional
 
 from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
 from repro.bench.reporting import format_table
-from repro.cam.cam import CAM
-from repro.dol.labeling import DOL
+from repro.labeling.registry import (
+    DEFAULT_BACKEND,
+    available_backends,
+    build_labeling,
+)
 from repro.nok.engine import QueryEngine
 from repro.secure.semantics import CHO, SEMANTICS
 from repro.xmark.generator import XMarkConfig, generate
@@ -77,19 +84,57 @@ def _cmd_label(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     matrix = generate_synthetic_acl(doc, config, n_subjects=args.subjects)
-    dol = DOL.from_matrix(matrix)
-    cam_labels = sum(
-        CAM.from_matrix(doc, matrix, s).n_labels for s in range(args.subjects)
+    wanted = (
+        available_backends() if args.labeling == "all" else (args.labeling,)
     )
+    backends = {name: build_labeling(name, doc, matrix) for name in wanted}
     rows = [
         ("document nodes", len(doc)),
         ("subjects", args.subjects),
-        ("DOL transition nodes", dol.n_transitions),
-        ("DOL codebook entries", len(dol.codebook)),
-        ("DOL total bytes", dol.size_bytes()),
-        ("CAM labels (all subjects)", cam_labels),
     ]
-    print(format_table("DOL vs CAM", ["metric", "value"], rows))
+    dol = backends.get("dol")
+    if dol is not None:
+        rows += [
+            ("DOL transition nodes", dol.n_labels),
+            ("DOL codebook entries", len(dol.codebook)),
+            ("DOL total bytes", dol.size_bytes()),
+        ]
+    cam = backends.get("cam")
+    if cam is not None:
+        rows += [
+            ("CAM labels (all subjects)", cam.n_labels),
+            ("CAM total bytes", cam.size_bytes()),
+        ]
+    naive = backends.get("naive")
+    if naive is not None:
+        rows += [
+            ("naive labels (one per node)", naive.n_labels),
+            ("naive total bytes", naive.size_bytes()),
+        ]
+    print(format_table("labeling backends", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.storage.nokstore import NoKStore
+    from repro.storage.persist import save_store
+
+    doc = _load_document(args.file)
+    config = SyntheticACLConfig(
+        propagation_ratio=args.propagation,
+        accessibility_ratio=args.accessibility,
+        seed=args.seed,
+    )
+    matrix = generate_synthetic_acl(doc, config, n_subjects=args.subjects)
+    labeling = build_labeling(args.labeling, doc, matrix)
+    with NoKStore(doc, labeling, path=args.store, page_size=args.page_size) as store:
+        catalog = save_store(store)
+        print(
+            f"built {args.labeling} store: {store.n_nodes} nodes on "
+            f"{store.n_pages} pages, {labeling.n_labels} labels "
+            f"({labeling.size_bytes()} bytes)"
+        )
+        print(f"wrote {args.store} + {catalog}")
     return 0
 
 
@@ -100,7 +145,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             accessibility_ratio=args.accessibility, seed=args.seed
         )
         matrix = generate_synthetic_acl(config=config, doc=doc, n_subjects=args.subject + 1)
-        engine = QueryEngine.build(doc, matrix)
+        engine = QueryEngine.build(doc, matrix, labeling=args.labeling)
     else:
         engine = QueryEngine.build(doc)
 
@@ -158,10 +203,10 @@ def _cmd_disseminate(args: argparse.Namespace) -> int:
         accessibility_ratio=args.accessibility, seed=args.seed
     )
     matrix = generate_synthetic_acl(doc, config, n_subjects=args.subject + 1)
-    dol = DOL.from_matrix(matrix)
+    labeling = build_labeling(args.labeling, doc, matrix)
     with open(args.file, "r", encoding="utf-8") as handle:
         xml_text = handle.read()
-    out = filter_xml(xml_text, dol, args.subject, args.policy)
+    out = filter_xml(xml_text, labeling, args.subject, args.policy)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(out)
@@ -202,19 +247,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("file")
     p_inspect.set_defaults(func=_cmd_inspect)
 
-    p_label = sub.add_parser("label", help="build DOL + CAM and compare size")
+    backend_names = available_backends()
+
+    p_label = sub.add_parser(
+        "label", help="build the labeling backends and compare sizes"
+    )
     p_label.add_argument("file")
     p_label.add_argument("--subjects", type=int, default=1)
     p_label.add_argument("--accessibility", type=float, default=0.5)
     p_label.add_argument("--propagation", type=float, default=0.3)
     p_label.add_argument("--seed", type=int, default=0)
+    p_label.add_argument(
+        "--labeling",
+        choices=backend_names + ("all",),
+        default="all",
+        help="report one backend only (default: all side by side)",
+    )
     p_label.set_defaults(func=_cmd_label)
+
+    p_build = sub.add_parser(
+        "build", help="build a page store from an XML file and save it"
+    )
+    p_build.add_argument("file")
+    p_build.add_argument("store", help="path for the page file")
+    p_build.add_argument("--subjects", type=int, default=2)
+    p_build.add_argument("--accessibility", type=float, default=0.7)
+    p_build.add_argument("--propagation", type=float, default=0.3)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--page-size", type=int, default=4096)
+    p_build.add_argument(
+        "--labeling", choices=backend_names, default=DEFAULT_BACKEND
+    )
+    p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="evaluate a twig query")
     p_query.add_argument("file")
     p_query.add_argument("query")
     p_query.add_argument("--subject", type=int, default=None)
     p_query.add_argument("--semantics", choices=SEMANTICS, default=CHO)
+    p_query.add_argument(
+        "--labeling",
+        choices=backend_names,
+        default=DEFAULT_BACKEND,
+        help="access-labeling backend for secure evaluation",
+    )
     p_query.add_argument("--accessibility", type=float, default=0.7)
     p_query.add_argument("--seed", type=int, default=0)
     p_query.add_argument("--limit", type=int, default=10)
@@ -248,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_diss.add_argument("file")
     p_diss.add_argument("--subject", type=int, default=0)
     p_diss.add_argument("--policy", choices=("prune", "hoist"), default="prune")
+    p_diss.add_argument(
+        "--labeling", choices=backend_names, default=DEFAULT_BACKEND
+    )
     p_diss.add_argument("--accessibility", type=float, default=0.7)
     p_diss.add_argument("--seed", type=int, default=0)
     p_diss.add_argument("-o", "--output")

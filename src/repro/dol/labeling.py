@@ -4,16 +4,29 @@ A :class:`DOL` is a document-ordered list of transition positions with
 access control codes, plus the shared :class:`~repro.dol.codebook.Codebook`.
 Construction is a single linear scan over per-node bitmasks in document
 order; lookup is a binary search for the nearest preceding transition.
+
+:class:`DOL` is the ``"dol"`` backend of the pluggable
+:class:`~repro.labeling.base.AccessLabeling` interface — the only backend
+with ``has_page_hints``: its transition codes embed into
+:class:`~repro.storage.nokstore.NoKStore` pages (the on-disk format is
+unchanged by the interface), enabling the Section 3.3 page-skip test and
+zero-I/O accessibility checks. Update hooks delegate to
+:class:`~repro.dol.updates.DOLUpdater`, the local splice that Proposition
+1 bounds at two extra transitions per operation.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.acl.model import READ, AccessMatrix
 from repro.dol.codebook import Codebook
 from repro.errors import AccessControlError
+from repro.labeling.base import AccessLabeling, MaskFn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xmltree.document import Document
 
 
 def transitions_from_masks(masks: Sequence[int]) -> List[Tuple[int, int]]:
@@ -38,7 +51,7 @@ def transition_count(vector: Sequence[bool]) -> int:
     return len(transitions_from_masks([int(v) for v in vector]))
 
 
-class DOL:
+class DOL(AccessLabeling):
     """Document Ordered Labeling of one document (one action mode).
 
     Attributes
@@ -52,6 +65,9 @@ class DOL:
         ``positions[0] == 0``; ``codes[i]`` is the access control code in
         effect from ``positions[i]`` up to the next transition.
     """
+
+    backend_name = "dol"
+    has_page_hints = True
 
     def __init__(self, n_nodes: int, codebook: Codebook):
         if n_nodes <= 0:
@@ -89,6 +105,17 @@ class DOL:
     def from_vector(cls, vector: Sequence[bool]) -> "DOL":
         """Build a single-subject DOL from a +/- accessibility vector."""
         return cls.from_masks([int(v) for v in vector], n_subjects=1)
+
+    @classmethod
+    def build(
+        cls, doc: "Document", matrix: AccessMatrix, mode: str = READ
+    ) -> "DOL":
+        """The :class:`~repro.labeling.base.AccessLabeling` constructor.
+
+        A DOL is purely positional — the document argument only sets the
+        expectation that ``matrix`` covers it (checked by the registry).
+        """
+        return cls.from_matrix(matrix, mode)
 
     # -- lookup (Section 3.3) --------------------------------------------------
 
@@ -145,6 +172,11 @@ class DOL:
         """Number of transition nodes (the paper's primary size metric)."""
         return len(self.positions)
 
+    @property
+    def n_labels(self) -> int:
+        """Backend size metric: for a DOL, the transition count."""
+        return len(self.positions)
+
     def transition_density(self) -> float:
         """Transitions per node — ``< 0.01`` in the paper's real datasets."""
         return len(self.positions) / self.n_nodes
@@ -176,6 +208,69 @@ class DOL:
             raise AccessControlError("transition beyond document end")
         for code in self.codes:
             self.codebook.decode(code)
+
+    # -- catalog serialization (AccessLabeling) --------------------------------
+    #
+    # A store-backed DOL round-trips through the page file itself (the
+    # embedded transition codes ARE the serialization — the format the
+    # paper designed, unchanged by the backend interface); the catalog
+    # payload below is the page-free fallback used when a DOL must travel
+    # without its pages.
+
+    def to_catalog(self) -> Dict[str, object]:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_subjects": self.codebook.n_subjects,
+            "codebook": [f"{mask:x}" for _code, mask in self.codebook.entries()],
+            "positions": list(self.positions),
+            "codes": list(self.codes),
+        }
+
+    @classmethod
+    def from_catalog(cls, payload: Dict[str, object], doc: "Document") -> "DOL":
+        codebook = Codebook(payload["n_subjects"])
+        for mask_hex in payload["codebook"]:
+            codebook.encode(int(mask_hex, 16))
+        dol = cls(payload["n_nodes"], codebook)
+        dol.positions = list(payload["positions"])
+        dol.codes = list(payload["codes"])
+        dol.validate()
+        return dol
+
+    # -- update hooks (AccessLabeling; Section 3.4) ----------------------------
+    #
+    # Delegated to DOLUpdater — the local transition splice. Unlike the
+    # generic rebuild-from-masks defaults, these touch only the segment
+    # list covering the range; Proposition 1 bounds each operation at two
+    # extra transitions.
+
+    def transform_range(self, start: int, end: int, fn: MaskFn) -> int:
+        return self._updater().transform_range(start, end, fn)
+
+    def insert_range(self, at: int, masks: Sequence[int]) -> int:
+        return self._updater().insert_range(at, masks)
+
+    def delete_range(self, start: int, end: int) -> int:
+        return self._updater().delete_range(start, end)
+
+    def move_range(self, start: int, end: int, to: int) -> int:
+        return self._updater().move_range(start, end, to)
+
+    def _updater(self):
+        from repro.dol.updates import DOLUpdater
+
+        return DOLUpdater(self)
+
+    def _install_masks(self, masks: List[int]) -> None:
+        """Full rebuild fallback (the update hooks above splice locally)."""
+        if not masks:
+            raise AccessControlError("cannot label an empty document")
+        self.n_nodes = len(masks)
+        self.positions = []
+        self.codes = []
+        for pos, mask in transitions_from_masks(masks):
+            self.positions.append(pos)
+            self.codes.append(self.codebook.encode(mask))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DOL):

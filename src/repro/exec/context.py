@@ -2,9 +2,11 @@
 
 One :class:`ExecutionContext` is threaded through every operator of a
 compiled plan. It carries the data source (in-memory document or block
-store), the DOL, the tag index, the secure-evaluation subject(s) and
-semantics, and the measurement state: the query-level :class:`EvalStats`
-plus the per-subject path-accessibility oracle used by view semantics.
+store), the access labeling (any :class:`~repro.labeling.base.AccessLabeling`
+backend — DOL, CAM, or naive), the tag index, the secure-evaluation
+subject(s) and semantics, and the measurement state: the query-level
+:class:`EvalStats` plus the per-subject path-accessibility oracle used by
+view semantics.
 
 :class:`EvalStats` and :class:`QueryResult` are defined here (rather than
 in :mod:`repro.nok.engine`) so the operator layer does not depend on the
@@ -21,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.dol.labeling import DOL
 from repro.errors import PageCorruptionError, ReproError
+from repro.labeling.base import AccessLabeling
 from repro.secure.semantics import CHO, SEMANTICS, VIEW
 from repro.storage.nokstore import NoKStore
 from repro.xmltree.document import NO_NODE, Document
@@ -94,31 +96,40 @@ class ExecutionContext:
     lazily builds the ACCESS function appropriate to the semantics:
 
     - Cho semantics: node-level accessibility straight from the store's
-      embedded codes (no extra I/O) or the in-memory DOL;
+      embedded codes (no extra I/O for backends with page hints) or the
+      in-memory labeling;
     - view semantics: whole-root-path accessibility via the
       :class:`~repro.nok.stdjoin.PathAccessIndex` (the pruned-view model).
+
+    ``labeling`` accepts any backend; the historical ``dol=`` keyword and
+    ``.dol`` attribute remain as aliases.
     """
 
     def __init__(
         self,
         doc: Document,
-        dol: Optional[DOL] = None,
+        labeling: Optional[AccessLabeling] = None,
         store: Optional[NoKStore] = None,
         index=None,
         subject: Optional[Subject] = None,
         semantics: str = CHO,
         strict: bool = True,
+        dol: Optional[AccessLabeling] = None,
     ):
+        if labeling is None:
+            labeling = dol
+        elif dol is not None and dol is not labeling:
+            raise ReproError("pass either labeling= or its alias dol=, not both")
         if semantics not in SEMANTICS:
             raise ReproError(f"unknown semantics {semantics!r}")
-        if subject is not None and dol is None:
-            raise ReproError("secure evaluation requires a DOL")
+        if subject is not None and labeling is None:
+            raise ReproError("secure evaluation requires an access labeling")
         if subject is not None and not isinstance(subject, int):
             subject = tuple(subject)
             if not subject:
                 raise ReproError("user-level evaluation needs >= 1 subject")
         self.doc = doc
-        self.dol = dol
+        self.labeling = labeling
         self.store = store
         self.index = index
         self.semantics = semantics
@@ -133,6 +144,11 @@ class ExecutionContext:
         self._access: AccessFn = None
         self._access_built = False
         self._path_index = None
+
+    @property
+    def dol(self) -> Optional[AccessLabeling]:
+        """Historical alias for :attr:`labeling` (any backend, not only DOL)."""
+        return self.labeling
 
     # -- data source -------------------------------------------------------
 
@@ -186,7 +202,7 @@ class ExecutionContext:
 
             if self.subject is None:
                 raise ReproError("path index requires a subject")
-            self._path_index = PathAccessIndex(self.doc, self.dol, self.subject)
+            self._path_index = PathAccessIndex(self.doc, self.labeling, self.subject)
         return self._path_index
 
     @property
@@ -225,10 +241,10 @@ class ExecutionContext:
 
             return store_access
 
-        dol = self.dol
+        labeling = self.labeling
 
-        def dol_access(pos: int) -> bool:
+        def labeling_access(pos: int) -> bool:
             stats.access_checks += 1
-            return dol.accessible_any(subjects, pos)
+            return labeling.accessible_any(subjects, pos)
 
-        return dol_access
+        return labeling_access

@@ -131,12 +131,19 @@ class PageSkipScan(Operator):
     change bit is inaccessible without reading the page — it is dropped
     here at zero I/O cost. Inserted by the secure rewrites only when the
     plan runs over a :class:`~repro.storage.nokstore.NoKStore`.
+
+    The header test requires a labeling backend with page hints (the
+    DOL's embedded transition codes); for hint-free backends (CAM,
+    naive) the operator degrades to a pass-through — every candidate
+    proceeds to the per-node :class:`AccessFilter`, and only the
+    quarantine check (degraded mode) still applies.
     """
 
     name = "PageSkipScan"
 
     def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
         store, subjects = ctx.store, ctx.subjects
+        has_hints = store.has_page_hints
         for pos in self.child.execute(ctx):
             page_id = store.page_of(pos)
             if not ctx.strict and page_id in store.quarantined:
@@ -145,7 +152,7 @@ class PageSkipScan(Operator):
                 ctx.stats.candidates_skipped_corrupt += 1
                 self.stats.bump("skipped_corrupt")
                 continue
-            if store.page_fully_inaccessible_any(page_id, subjects):
+            if has_hints and store.page_fully_inaccessible_any(page_id, subjects):
                 ctx.stats.candidates_skipped_by_header += 1
                 self.stats.bump("skipped")
                 continue

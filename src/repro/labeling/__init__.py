@@ -1,0 +1,38 @@
+"""Pluggable access-control labeling backends.
+
+One interface (:class:`AccessLabeling`), three engines:
+
+- ``dol`` — :class:`repro.dol.labeling.DOL`, the paper's contribution
+  (transition codes + codebook, embedded in store pages);
+- ``cam`` — :class:`CAMLabeling`, per-subject Compressed Accessibility
+  Maps (the prior-art baseline, Yu et al.);
+- ``naive`` — :class:`NaiveLabeling`, explicit per-node ACLs (the
+  strawman).
+
+All three answer the same probes, serialize through the store catalog,
+and support the Section 3.4 update operations, so the paper's DOL-vs-CAM
+head-to-head runs end-to-end through the real query engine, and a
+cross-backend differential suite serves as the secure-semantics oracle.
+"""
+
+from repro.labeling.base import AccessLabeling
+from repro.labeling.cam_backend import CAMLabeling
+from repro.labeling.naive import NaiveLabeling
+from repro.labeling.registry import (
+    DEFAULT_BACKEND,
+    available_backends,
+    build_labeling,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "AccessLabeling",
+    "CAMLabeling",
+    "DEFAULT_BACKEND",
+    "NaiveLabeling",
+    "available_backends",
+    "build_labeling",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,241 @@
+"""The :class:`AccessLabeling` backend interface.
+
+The paper's experiments compare three ways of attaching an accessibility
+function to an XML document: the DOL (its contribution), the Compressed
+Accessibility Map (CAM, the prior art), and naive per-node labels (the
+strawman). This module defines the contract all three implement so the
+query engine, the block store, secure dissemination, and the benchmarks
+can run against any of them interchangeably:
+
+- **accessibility probes** — ``accessible`` / ``accessible_any`` /
+  ``mask_at`` answer the paper's ``accessible(s, d)`` predicate;
+- **skip hints** — ``has_page_hints`` declares whether the backend embeds
+  transition codes into store pages (enabling the Section 3.3 page-skip
+  test); backends without hints degrade gracefully — every page is read;
+- **catalog serialization** — ``to_catalog`` / ``from_catalog`` move the
+  labeling through the store's JSON catalog (the DOL backend is special:
+  its codes are *embedded in the pages*, so it round-trips through the
+  page file instead and keeps its on-disk format);
+- **update hooks** — the Section 3.4 accessibility and structural update
+  operations, with a generic rebuild-from-masks default that concrete
+  backends override when they can do better (the DOL's local splice);
+- **size accounting** — ``n_labels`` / ``size_bytes`` under each
+  backend's own cost model (Section 5.1.1), so size comparisons are
+  uniform.
+
+Backends register themselves in :mod:`repro.labeling.registry`; the CLI
+and benches select them by name (``dol`` / ``cam`` / ``naive``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+from repro.acl.model import READ
+from repro.errors import AccessControlError, UpdateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.acl.model import AccessMatrix
+    from repro.xmltree.document import Document
+
+MaskFn = Callable[[int], int]
+
+
+class AccessLabeling(abc.ABC):
+    """Abstract access-control labeling of one document (one action mode).
+
+    Concrete backends carry ``n_nodes`` as an instance attribute and set
+    the two class attributes:
+
+    ``backend_name``
+        The registry/catalog tag (``"dol"``, ``"cam"``, ``"naive"``).
+    ``has_page_hints``
+        True iff the backend supplies embedded per-page transition codes,
+        i.e. the store can render its pages with access codes inline and
+        answer the header-only page-skip test. Only the DOL does; other
+        backends keep their labels beside the data and every page must be
+        read.
+    """
+
+    backend_name: str = "abstract"
+    has_page_hints: bool = False
+
+    n_nodes: int
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    @abc.abstractmethod
+    def build(
+        cls, doc: "Document", matrix: "AccessMatrix", mode: str = READ
+    ) -> "AccessLabeling":
+        """Label ``doc`` with one action mode of an accessibility matrix."""
+
+    # -- accessibility probes ----------------------------------------------
+
+    @abc.abstractmethod
+    def accessible(self, subject: int, pos: int) -> bool:
+        """The secure-evaluation ACCESS check: may ``subject`` see ``pos``?"""
+
+    @abc.abstractmethod
+    def mask_at(self, pos: int) -> int:
+        """The access control list (subject bitmask) in effect at ``pos``."""
+
+    def accessible_any(self, subjects: Sequence[int], pos: int) -> bool:
+        """True if *any* of the subjects may access ``pos``.
+
+        The user-level check of Section 4's footnote: a user's rights are
+        the union of her own subject's and her groups'.
+        """
+        mask = self.mask_at(pos)
+        return any(mask >> subject & 1 for subject in subjects)
+
+    def to_masks(self) -> List[int]:
+        """Per-node access control lists in document order."""
+        return [self.mask_at(pos) for pos in range(self.n_nodes)]
+
+    # -- size accounting (Section 5.1.1) -----------------------------------
+
+    @property
+    @abc.abstractmethod
+    def n_labels(self) -> int:
+        """The backend's primary size metric: how many labels it stores.
+
+        DOL counts transition nodes, CAM counts entries across all
+        per-subject maps, naive counts one label per node.
+        """
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Total storage under the backend's own cost model."""
+
+    # -- catalog serialization ---------------------------------------------
+
+    @abc.abstractmethod
+    def to_catalog(self) -> Dict[str, object]:
+        """JSON-safe payload for the store catalog's ``labeling_data``."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_catalog(
+        cls, payload: Dict[str, object], doc: "Document"
+    ) -> "AccessLabeling":
+        """Rebuild the labeling from a catalog payload and its document."""
+
+    # -- update hooks (Section 3.4) ----------------------------------------
+    #
+    # The default implementations rebuild the whole labeling from the
+    # updated per-node masks — correct for every backend, and exactly the
+    # non-local cost the paper holds against CAM and naive labels. The DOL
+    # backend overrides them with its local transition splice (Proposition
+    # 1: at most 2 extra transitions per operation). Each hook returns the
+    # backend's label-count delta.
+
+    @abc.abstractmethod
+    def _install_masks(self, masks: List[int]) -> None:
+        """Replace the labeling so it encodes exactly ``masks``."""
+
+    def _count_labels(self) -> "int | None":
+        """``n_labels`` for delta accounting, or None when uncountable.
+
+        Backends whose labels depend on the document shape (CAM) cannot
+        count labels between a structural mask edit and the matching
+        :meth:`rebind_document`; they return None and the hook reports a
+        zero delta for that operation.
+        """
+        return self.n_labels
+
+    @staticmethod
+    def _delta(before: "int | None", after: "int | None") -> int:
+        if before is None or after is None:
+            return 0
+        return after - before
+
+    def transform_range(self, start: int, end: int, fn: MaskFn) -> int:
+        """Apply ``fn`` to the ACL of every node in [start, end)."""
+        if not 0 <= start < end <= self.n_nodes:
+            raise UpdateError(f"invalid range [{start}, {end})")
+        before = self._count_labels()
+        masks = self.to_masks()
+        for pos in range(start, end):
+            masks[pos] = fn(masks[pos])
+        self._install_masks(masks)
+        return self._delta(before, self._count_labels())
+
+    def set_node_mask(self, pos: int, mask: int) -> int:
+        """Replace the access control list of a single node."""
+        return self.transform_range(pos, pos + 1, lambda _old: mask)
+
+    def set_range_mask(self, start: int, end: int, mask: int) -> int:
+        """Replace the ACL of every node in [start, end) — a subtree update."""
+        return self.transform_range(start, end, lambda _old: mask)
+
+    def set_subject_accessibility(
+        self, start: int, end: int, subject: int, value: bool
+    ) -> int:
+        """Grant/revoke one subject over [start, end), keeping other bits."""
+        bit = 1 << subject
+        if value:
+            return self.transform_range(start, end, lambda old: old | bit)
+        return self.transform_range(start, end, lambda old: old & ~bit)
+
+    def set_node_accessibility(self, pos: int, subject: int, value: bool) -> int:
+        """Grant/revoke one subject on one node."""
+        return self.set_subject_accessibility(pos, pos + 1, subject, value)
+
+    def insert_range(self, at: int, masks: Sequence[int]) -> int:
+        """Insert ``len(masks)`` labeled nodes at position ``at``."""
+        if not 0 <= at <= self.n_nodes:
+            raise UpdateError(f"invalid insert position {at}")
+        if not masks:
+            raise UpdateError("cannot insert an empty subtree")
+        before = self._count_labels()
+        rebuilt = self.to_masks()
+        rebuilt[at:at] = list(masks)
+        self._install_masks(rebuilt)
+        return self._delta(before, self._count_labels())
+
+    def delete_range(self, start: int, end: int) -> int:
+        """Delete the nodes in [start, end) (a subtree)."""
+        if not 0 <= start < end <= self.n_nodes:
+            raise UpdateError(f"invalid range [{start}, {end})")
+        if end - start == self.n_nodes:
+            raise UpdateError("cannot delete the entire document")
+        before = self._count_labels()
+        rebuilt = self.to_masks()
+        del rebuilt[start:end]
+        self._install_masks(rebuilt)
+        return self._delta(before, self._count_labels())
+
+    def move_range(self, start: int, end: int, to: int) -> int:
+        """Move the subtree [start, end) so it begins at ``to`` (post-excise
+        coordinates)."""
+        if not 0 <= start < end <= self.n_nodes:
+            raise UpdateError(f"invalid range [{start}, {end})")
+        before = self._count_labels()
+        rebuilt = self.to_masks()
+        moved = rebuilt[start:end]
+        del rebuilt[start:end]
+        if not 0 <= to <= len(rebuilt):
+            raise UpdateError(f"invalid destination {to}")
+        rebuilt[to:to] = moved
+        self._install_masks(rebuilt)
+        return self._delta(before, self._count_labels())
+
+    def rebind_document(self, doc: "Document") -> None:
+        """Point the labeling at a structurally edited document.
+
+        Backends that derive labels from tree shape (CAM) must see the
+        post-edit document before they rebuild; positional backends (DOL,
+        naive) need nothing.
+        """
+
+    # -- invariants ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on corruption."""
+
+    def _check_pos(self, pos: int) -> None:
+        if not 0 <= pos < self.n_nodes:
+            raise AccessControlError(f"position {pos} out of range")

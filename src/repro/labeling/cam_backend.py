@@ -1,0 +1,151 @@
+"""The CAM access-labeling backend: per-subject Compressed Accessibility
+Maps behind the :class:`~repro.labeling.base.AccessLabeling` interface.
+
+The CAM of Yu et al. [17] is a *single-subject* structure, so the backend
+keeps one map per subject (the multi-user deployment the paper charges
+CAM for in its size comparisons). Accessibility probes resolve through
+each subject's CAM entry tree — the existential ancestor walk, not a mask
+array read — so secure query evaluation genuinely exercises the CAM
+lookup path end-to-end.
+
+The authoritative state is the per-node mask array; CAMs are built from
+it lazily per subject and dropped on any update or structural rebind
+(CAM labels depend on tree shape, so an edited document invalidates
+them). This mirrors CAM's real update story: no locality — a changed
+range rebuilds every affected subject's map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.acl.model import READ, AccessMatrix
+from repro.cam.cam import CAM
+from repro.errors import AccessControlError
+from repro.labeling.base import AccessLabeling
+from repro.xmltree.document import Document
+
+
+class CAMLabeling(AccessLabeling):
+    """One positive-cover CAM per subject, as a pluggable backend."""
+
+    backend_name = "cam"
+    has_page_hints = False
+
+    def __init__(self, doc: Document, masks: Sequence[int], n_subjects: int):
+        if len(masks) != len(doc):
+            raise AccessControlError("mask count must match document size")
+        if n_subjects <= 0:
+            raise AccessControlError("need at least one subject column")
+        self.doc = doc
+        self.n_nodes = len(masks)
+        self.n_subjects = n_subjects
+        self._masks: List[int] = list(masks)
+        self._cams: Dict[int, CAM] = {}
+
+    @classmethod
+    def build(
+        cls, doc: Document, matrix: AccessMatrix, mode: str = READ
+    ) -> "CAMLabeling":
+        return cls(doc, matrix.masks(mode), matrix.n_subjects)
+
+    # -- the per-subject maps ----------------------------------------------
+
+    def cam_for(self, subject: int) -> CAM:
+        """The (lazily built) CAM of one subject."""
+        if not 0 <= subject < self.n_subjects:
+            raise AccessControlError(f"subject {subject} out of range")
+        cam = self._cams.get(subject)
+        if cam is None:
+            vector = [bool(mask >> subject & 1) for mask in self._masks]
+            cam = CAM.from_vector(self.doc, vector)
+            self._cams[subject] = cam
+        return cam
+
+    # -- probes -------------------------------------------------------------
+
+    def accessible(self, subject: int, pos: int) -> bool:
+        """Resolve through the subject's CAM entries (the real lookup)."""
+        return self.cam_for(subject).accessible(pos)
+
+    def accessible_any(self, subjects: Sequence[int], pos: int) -> bool:
+        return any(self.cam_for(subject).accessible(pos) for subject in subjects)
+
+    def mask_at(self, pos: int) -> int:
+        self._check_pos(pos)
+        return self._masks[pos]
+
+    def to_masks(self) -> List[int]:
+        return list(self._masks)
+
+    # -- size accounting ----------------------------------------------------
+
+    @property
+    def n_labels(self) -> int:
+        """Total CAM entries across all subjects (the paper's CAM metric)."""
+        return sum(
+            self.cam_for(subject).n_labels for subject in range(self.n_subjects)
+        )
+
+    def size_bytes(self) -> int:
+        """Sum of per-subject CAM sizes under the Section 5.1.1 model."""
+        return sum(
+            self.cam_for(subject).size_bytes()
+            for subject in range(self.n_subjects)
+        )
+
+    # -- catalog serialization ---------------------------------------------
+
+    def to_catalog(self) -> Dict[str, object]:
+        return {
+            "n_subjects": self.n_subjects,
+            "masks": [f"{mask:x}" for mask in self._masks],
+        }
+
+    @classmethod
+    def from_catalog(
+        cls, payload: Dict[str, object], doc: Document
+    ) -> "CAMLabeling":
+        masks = [int(text, 16) for text in payload["masks"]]
+        return cls(doc, masks, payload["n_subjects"])
+
+    # -- updates ------------------------------------------------------------
+
+    def _install_masks(self, masks: List[int]) -> None:
+        self._masks = list(masks)
+        self.n_nodes = len(masks)
+        self._cams.clear()
+
+    def _count_labels(self) -> "int | None":
+        # CAM labels depend on tree shape: between a structural mask edit
+        # and rebind_document the maps cannot be built, so the label-count
+        # delta for that operation is unknowable.
+        if len(self._masks) != len(self.doc):
+            return None
+        return self.n_labels
+
+    def rebind_document(self, doc: Document) -> None:
+        """Adopt a structurally edited document; CAMs rebuild lazily."""
+        self.doc = doc
+        self._cams.clear()
+
+    def rebuilt_subjects(self) -> Optional[int]:
+        """How many per-subject CAMs are currently materialized."""
+        return len(self._cams)
+
+    def validate(self) -> None:
+        if len(self._masks) != self.n_nodes or self.n_nodes != len(self.doc):
+            raise AccessControlError("mask array / document drift")
+        for subject, cam in self._cams.items():
+            decoded = cam.to_vector()
+            expected = [bool(m >> subject & 1) for m in self._masks]
+            if decoded != expected:
+                raise AccessControlError(
+                    f"subject {subject}: CAM decodes to the wrong vector"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CAMLabeling(n_nodes={self.n_nodes}, "
+            f"n_subjects={self.n_subjects})"
+        )

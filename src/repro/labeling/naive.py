@@ -1,0 +1,112 @@
+"""Naive per-node labeling — the paper's strawman baseline.
+
+Every node stores its full access control list explicitly (Section 1's
+"associate an access control list with each node"). Lookup is a direct
+array read; size is one ACL per node with no compression; updates touch
+every node in the range. It exists to anchor the comparisons: the DOL and
+CAM must decode to exactly this labeling, and the size/update benchmarks
+measure how far each compresses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.acl.model import READ, AccessMatrix
+from repro.errors import AccessControlError
+from repro.labeling.base import AccessLabeling
+from repro.xmltree.document import Document
+
+
+class NaiveLabeling(AccessLabeling):
+    """Explicit per-node access control lists (no compression)."""
+
+    backend_name = "naive"
+    has_page_hints = False
+
+    def __init__(self, masks: Sequence[int], n_subjects: int):
+        if not masks:
+            raise AccessControlError("cannot label an empty document")
+        if n_subjects <= 0:
+            raise AccessControlError("need at least one subject column")
+        self.n_nodes = len(masks)
+        self.n_subjects = n_subjects
+        self._masks: List[int] = list(masks)
+
+    @classmethod
+    def build(
+        cls, doc: Document, matrix: AccessMatrix, mode: str = READ
+    ) -> "NaiveLabeling":
+        return cls(matrix.masks(mode), matrix.n_subjects)
+
+    @classmethod
+    def from_masks(cls, masks: Sequence[int], n_subjects: int) -> "NaiveLabeling":
+        return cls(masks, n_subjects)
+
+    # -- probes -------------------------------------------------------------
+
+    def accessible(self, subject: int, pos: int) -> bool:
+        if not 0 <= subject < self.n_subjects:
+            raise AccessControlError(f"subject {subject} out of range")
+        self._check_pos(pos)
+        return bool(self._masks[pos] >> subject & 1)
+
+    def mask_at(self, pos: int) -> int:
+        self._check_pos(pos)
+        return self._masks[pos]
+
+    def to_masks(self) -> List[int]:
+        return list(self._masks)
+
+    # -- size accounting ----------------------------------------------------
+
+    @property
+    def n_labels(self) -> int:
+        """One explicit label per node — the strawman's defining cost."""
+        return self.n_nodes
+
+    def size_bytes(self) -> int:
+        """One byte-aligned ACL (a bit per subject) on every node."""
+        return self.n_nodes * ((self.n_subjects + 7) // 8)
+
+    # -- catalog serialization ---------------------------------------------
+
+    def to_catalog(self) -> Dict[str, object]:
+        return {
+            "n_subjects": self.n_subjects,
+            "masks": [f"{mask:x}" for mask in self._masks],
+        }
+
+    @classmethod
+    def from_catalog(
+        cls, payload: Dict[str, object], doc: Document
+    ) -> "NaiveLabeling":
+        masks = [int(text, 16) for text in payload["masks"]]
+        labeling = cls(masks, payload["n_subjects"])
+        if labeling.n_nodes != len(doc):
+            raise AccessControlError(
+                f"catalog holds {labeling.n_nodes} labels for a "
+                f"{len(doc)}-node document"
+            )
+        return labeling
+
+    # -- updates ------------------------------------------------------------
+
+    def _install_masks(self, masks: List[int]) -> None:
+        self._masks = list(masks)
+        self.n_nodes = len(masks)
+
+    def validate(self) -> None:
+        if len(self._masks) != self.n_nodes:
+            raise AccessControlError("mask array / node count drift")
+        for pos, mask in enumerate(self._masks):
+            if mask < 0 or mask >> self.n_subjects:
+                raise AccessControlError(
+                    f"mask at {pos} has bits outside {self.n_subjects} subjects"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NaiveLabeling(n_nodes={self.n_nodes}, "
+            f"n_subjects={self.n_subjects})"
+        )

@@ -1,0 +1,74 @@
+"""Backend registry: labeling engines selectable by name.
+
+The CLI (``--labeling {dol,cam,naive}``), the store catalog (its backend
+tag), and the benchmarks all resolve backends through this registry, so a
+new engine only needs to subclass :class:`~repro.labeling.base.AccessLabeling`
+and call :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.acl.model import READ, AccessMatrix
+from repro.errors import AccessControlError
+from repro.labeling.base import AccessLabeling
+from repro.labeling.cam_backend import CAMLabeling
+from repro.labeling.naive import NaiveLabeling
+from repro.xmltree.document import Document
+
+#: The default backend — the paper's contribution.
+DEFAULT_BACKEND = "dol"
+
+_BACKENDS: Dict[str, Type[AccessLabeling]] = {}
+
+
+def register_backend(cls: Type[AccessLabeling]) -> Type[AccessLabeling]:
+    """Register a backend class under its ``backend_name`` tag."""
+    name = cls.backend_name
+    if not name or name == "abstract":
+        raise AccessControlError(f"{cls.__name__} has no usable backend_name")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def get_backend(name: str) -> Type[AccessLabeling]:
+    """Resolve a backend class by name; raises with the known names."""
+    _ensure_builtins()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise AccessControlError(
+            f"unknown labeling backend {name!r} "
+            f"(available: {', '.join(available_backends())})"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_BACKENDS))
+
+
+def build_labeling(
+    name: str, doc: Document, matrix: AccessMatrix, mode: str = READ
+) -> AccessLabeling:
+    """Build the named backend for one mode of an accessibility matrix."""
+    if matrix.n_nodes != len(doc):
+        raise AccessControlError(
+            f"matrix covers {matrix.n_nodes} nodes, document has {len(doc)}"
+        )
+    return get_backend(name).build(doc, matrix, mode)
+
+
+def _ensure_builtins() -> None:
+    # Deferred to first lookup: repro.dol.labeling imports
+    # repro.labeling.base (DOL subclasses the interface), so importing DOL
+    # while this package initializes would be circular.
+    if "dol" in _BACKENDS:
+        return
+    from repro.dol.labeling import DOL
+
+    register_backend(DOL)
+    register_backend(CAMLabeling)
+    register_backend(NaiveLabeling)

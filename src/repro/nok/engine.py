@@ -24,9 +24,10 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.acl.model import READ, AccessMatrix
-from repro.dol.labeling import DOL
 from repro.errors import ReproError
 from repro.exec.context import EvalStats, ExecutionContext, QueryResult
+from repro.labeling.base import AccessLabeling
+from repro.labeling.registry import DEFAULT_BACKEND, build_labeling
 from repro.index.tagindex import TagIndex
 from repro.nok.decompose import Decomposition, decompose
 from repro.nok.pattern import CHILD, PatternTree, parse_query
@@ -38,21 +39,38 @@ __all__ = ["EvalStats", "QueryEngine", "QueryResult"]
 
 
 class QueryEngine:
-    """Twig query evaluator with optional DOL-based access control."""
+    """Twig query evaluator with optional labeling-based access control.
+
+    The labeling may be any :class:`~repro.labeling.base.AccessLabeling`
+    backend (DOL, CAM, naive); the ``dol=`` keyword and ``.dol``
+    attribute remain as historical aliases for ``labeling``.
+    """
 
     def __init__(
         self,
         doc: Document,
-        dol: Optional[DOL] = None,
+        labeling: Optional[AccessLabeling] = None,
         store: Optional[NoKStore] = None,
         index: Optional[TagIndex] = None,
+        dol: Optional[AccessLabeling] = None,
     ):
-        if store is not None and dol is not None and store.dol is not dol:
-            raise ReproError("store and engine must share one DOL")
+        if labeling is None:
+            labeling = dol
+        elif dol is not None and dol is not labeling:
+            raise ReproError("pass either labeling= or its alias dol=, not both")
+        if store is not None and labeling is not None and store.labeling is not labeling:
+            raise ReproError("store and engine must share one labeling")
         self.doc = doc
-        self.dol = dol if dol is not None else (store.dol if store else None)
+        self.labeling = (
+            labeling if labeling is not None else (store.labeling if store else None)
+        )
         self.store = store
         self.index = index if index is not None else TagIndex(doc)
+
+    @property
+    def dol(self) -> Optional[AccessLabeling]:
+        """Historical alias for :attr:`labeling` (any backend, not only DOL)."""
+        return self.labeling
 
     @classmethod
     def build(
@@ -64,18 +82,27 @@ class QueryEngine:
         page_size: int = 4096,
         buffer_capacity: int = 64,
         store_path: Optional[str] = None,
+        labeling: str = DEFAULT_BACKEND,
     ) -> "QueryEngine":
-        """Construct an engine, optionally with DOL and block storage."""
-        dol = DOL.from_matrix(matrix, mode) if matrix is not None else None
+        """Construct an engine, optionally with labeling and block storage.
+
+        ``labeling`` names the access-labeling backend (``"dol"``,
+        ``"cam"``, or ``"naive"``) built from ``matrix``.
+        """
+        built = (
+            build_labeling(labeling, doc, matrix, mode)
+            if matrix is not None
+            else None
+        )
         store = None
         if use_store:
-            if dol is None:
+            if built is None:
                 raise ReproError("a store requires access control data")
             store = NoKStore(
-                doc, dol, path=store_path, page_size=page_size,
+                doc, built, path=store_path, page_size=page_size,
                 buffer_capacity=buffer_capacity,
             )
-        return cls(doc, dol=dol, store=store)
+        return cls(doc, labeling=built, store=store)
 
     # -- compilation & evaluation ---------------------------------------------
 
@@ -98,7 +125,7 @@ class QueryEngine:
 
         ctx = ExecutionContext(
             self.doc,
-            dol=self.dol,
+            labeling=self.labeling,
             store=self.store,
             index=self.index,
             subject=subject,
@@ -171,7 +198,7 @@ class QueryEngine:
         linked stacks, a single pass; branching twigs run PathStack per
         root-to-leaf path and hash-merge the path solutions on their
         shared bindings. Secure evaluation pre-filters the streams through
-        the DOL. Unordered semantics only.
+        the access labeling. Unordered semantics only.
         """
         import time
 
@@ -183,12 +210,12 @@ class QueryEngine:
 
         if semantics not in SEMANTICS:
             raise ReproError(f"unknown semantics {semantics!r}")
-        if subject is not None and self.dol is None:
-            raise ReproError("secure evaluation requires a DOL")
+        if subject is not None and self.labeling is None:
+            raise ReproError("secure evaluation requires an access labeling")
         pattern = parse_query(query) if isinstance(query, str) else query
 
         ctx = ExecutionContext(
-            self.doc, dol=self.dol, store=None, index=self.index,
+            self.doc, labeling=self.labeling, store=None, index=self.index,
             subject=subject, semantics=semantics,
         )
         stats = ctx.stats

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.dol.labeling import DOL
+from repro.labeling.base import AccessLabeling
 from repro.xmltree.document import NO_NODE, Document
 
 EndFn = Callable[[int], int]
@@ -67,14 +67,15 @@ class PathAccessIndex:
     ``deepest_blocked[pos]`` is the document position of the deepest
     inaccessible node on the root-to-pos path (including ``pos`` itself),
     or ``NO_NODE`` if the whole path is accessible. Computed in one linear
-    scan over the document using the DOL.
+    scan over the document using the access labeling (any backend — only
+    per-node masks are consumed).
     """
 
-    def __init__(self, doc: Document, dol: DOL, subject):
+    def __init__(self, doc: Document, labeling: AccessLabeling, subject):
         self.doc = doc
         n = len(doc)
         blocked = [NO_NODE] * n
-        masks = dol.to_masks()
+        masks = labeling.to_masks()
         # `subject` may be a single subject id or a collection of ids (a
         # user's own subject plus her groups; union semantics).
         if isinstance(subject, int):

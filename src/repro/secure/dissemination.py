@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
-from repro.dol.labeling import DOL
+from repro.labeling.base import AccessLabeling
 from repro.errors import AccessControlError
 from repro.xmltree import parser
 from repro.xmltree.document import NO_NODE
@@ -37,7 +37,7 @@ _POLICIES = (PRUNE, HOIST)
 
 def filter_xml(
     xml_text: str,
-    dol: DOL,
+    labeling: AccessLabeling,
     subject: int,
     policy: str = PRUNE,
 ) -> str:
@@ -78,11 +78,11 @@ def filter_xml(
             if prune_depth is not None:
                 stack.append(None)
                 continue
-            if pos >= dol.n_nodes:
+            if pos >= labeling.n_nodes:
                 raise AccessControlError(
                     "document has more elements than the DOL covers"
                 )
-            if dol.accessible(subject, pos):
+            if labeling.accessible(subject, pos):
                 flush_pending()
                 attr_text = "".join(
                     f' {name}="{escape_attr(value)}"'
@@ -113,7 +113,7 @@ def filter_xml(
     return "".join(out)
 
 
-def visible_positions(dol: DOL, subject: int, doc) -> List[int]:
+def visible_positions(labeling: AccessLabeling, subject: int, doc) -> List[int]:
     """Positions surviving PRUNE filtering (view-visible nodes).
 
     A node survives iff every node on its root path, itself included, is
@@ -121,20 +121,20 @@ def visible_positions(dol: DOL, subject: int, doc) -> List[int]:
     computes; exposed here for verification and tests.
     """
     visible: List[int] = []
-    flags = [False] * dol.n_nodes
-    for pos in range(dol.n_nodes):
+    flags = [False] * labeling.n_nodes
+    for pos in range(labeling.n_nodes):
         par = doc.parent[pos]
         above = flags[par] if par >= 0 else True
-        flags[pos] = above and dol.accessible(subject, pos)
+        flags[pos] = above and labeling.accessible(subject, pos)
         if flags[pos]:
             visible.append(pos)
     return visible
 
 
-def hoisted_positions(dol: DOL, subject: int) -> List[int]:
+def hoisted_positions(labeling: AccessLabeling, subject: int) -> List[int]:
     """Positions surviving HOIST filtering: simply the accessible nodes."""
     return [
-        pos for pos in range(dol.n_nodes) if dol.accessible(subject, pos)
+        pos for pos in range(labeling.n_nodes) if labeling.accessible(subject, pos)
     ]
 
 
@@ -164,15 +164,15 @@ def stream_answer_fragments(
     """
     if policy not in _POLICIES:
         raise AccessControlError(f"unknown dissemination policy {policy!r}")
-    doc, dol = engine.doc, engine.dol
-    if dol is None:
+    doc, labeling = engine.doc, engine.labeling
+    if labeling is None:
         raise AccessControlError("dissemination requires access control data")
     for pos in engine.stream(query, subject=subject, semantics=semantics, limit=limit):
-        yield pos, serialize_visible_subtree(doc, dol, subject, pos, policy)
+        yield pos, serialize_visible_subtree(doc, labeling, subject, pos, policy)
 
 
 def serialize_visible_subtree(
-    doc, dol: DOL, subject: int, root: int, policy: str = PRUNE
+    doc, labeling: AccessLabeling, subject: int, root: int, policy: str = PRUNE
 ) -> str:
     """Serialize the subtree at ``root``, filtered for one subject.
 
@@ -181,31 +181,31 @@ def serialize_visible_subtree(
     """
     if policy not in _POLICIES:
         raise AccessControlError(f"unknown dissemination policy {policy!r}")
-    if not dol.accessible(subject, root):
+    if not labeling.accessible(subject, root):
         raise AccessControlError(
             f"answer position {root} is not accessible to subject {subject}"
         )
-    return serialize(_visible_node(doc, dol, subject, root, policy))
+    return serialize(_visible_node(doc, labeling, subject, root, policy))
 
 
-def _visible_node(doc, dol: DOL, subject: int, pos: int, policy: str) -> Node:
+def _visible_node(doc, labeling: AccessLabeling, subject: int, pos: int, policy: str) -> Node:
     """Rebuild the accessible portion of the subtree at ``pos`` as a tree."""
     node = Node(doc.tag_name(pos), text=doc.text(pos), attrs=doc.attrs_of(pos))
-    for child_node in _visible_children(doc, dol, subject, pos, policy):
+    for child_node in _visible_children(doc, labeling, subject, pos, policy):
         node.append(child_node)
     return node
 
 
 def _visible_children(
-    doc, dol: DOL, subject: int, pos: int, policy: str
+    doc, labeling: AccessLabeling, subject: int, pos: int, policy: str
 ) -> List[Node]:
     out: List[Node] = []
     child = doc.first_child(pos)
     while child != NO_NODE:
-        if dol.accessible(subject, child):
-            out.append(_visible_node(doc, dol, subject, child, policy))
+        if labeling.accessible(subject, child):
+            out.append(_visible_node(doc, labeling, subject, child, policy))
         elif policy == HOIST:
             # Drop the element, splice its accessible children upward.
-            out.extend(_visible_children(doc, dol, subject, child, policy))
+            out.extend(_visible_children(doc, labeling, subject, child, policy))
         child = doc.following_sibling(child)
     return out

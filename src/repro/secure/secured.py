@@ -1,11 +1,13 @@
-"""SecuredDocument: a document and its DOL, updated in lockstep.
+"""SecuredDocument: a document and its access labeling, updated in lockstep.
 
 Section 3.4 describes two update families — accessibility updates and
 structural updates (where "the nodes inserted have access controls
 already"). This wrapper coordinates the two representations so neither
 can drift: every structural edit rewrites the document arrays *and*
-splices the DOL, preserving Proposition 1, and an optional block store is
-kept physically consistent as well.
+updates the labeling through the :class:`~repro.labeling.base.AccessLabeling`
+hooks (the DOL backend splices locally, preserving Proposition 1; CAM and
+naive rebuild — exactly the non-local cost the paper charges them), and
+an optional block store is kept physically consistent as well.
 """
 
 from __future__ import annotations
@@ -16,9 +18,8 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Union
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nok.pattern import PatternTree
 
-from repro.dol.labeling import DOL
-from repro.dol.updates import DOLUpdater
 from repro.errors import AccessControlError
+from repro.labeling.base import AccessLabeling
 from repro.secure.semantics import CHO
 from repro.storage.nokstore import NoKStore
 from repro.xmltree import edit
@@ -37,18 +38,31 @@ class EditReport:
 
 
 class SecuredDocument:
-    """A document + DOL pair with coordinated updates."""
+    """A document + access labeling pair with coordinated updates.
 
-    def __init__(self, doc: Document, dol: DOL, store: Optional[NoKStore] = None):
-        if dol.n_nodes != len(doc):
-            raise AccessControlError("document and DOL disagree on node count")
-        if store is not None and store.dol is not dol:
-            raise AccessControlError("store must share the SecuredDocument's DOL")
+    Works with any labeling backend; the ``.dol`` attribute remains as a
+    historical alias for ``labeling``.
+    """
+
+    def __init__(
+        self,
+        doc: Document,
+        labeling: AccessLabeling,
+        store: Optional[NoKStore] = None,
+    ):
+        if labeling.n_nodes != len(doc):
+            raise AccessControlError("document and labeling disagree on node count")
+        if store is not None and store.labeling is not labeling:
+            raise AccessControlError("store must share the SecuredDocument's labeling")
         self.doc = doc
-        self.dol = dol
+        self.labeling = labeling
         self.store = store
-        self._updater = DOLUpdater(dol)
         self._engine = None  # query engine cache, invalidated on structural edits
+
+    @property
+    def dol(self) -> AccessLabeling:
+        """Historical alias for :attr:`labeling` (any backend, not only DOL)."""
+        return self.labeling
 
     # -- accessibility updates ------------------------------------------------
 
@@ -60,7 +74,7 @@ class SecuredDocument:
         if self.store is not None:
             cost = self.store.update_subject_range(pos, end, subject, value)
             return EditReport(pos, end - pos, cost.transition_delta, cost.pages_rewritten)
-        delta = self._updater.set_subject_accessibility(pos, end, subject, value)
+        delta = self.labeling.set_subject_accessibility(pos, end, subject, value)
         return EditReport(pos, end - pos, delta, 0)
 
     def set_node_mask(self, pos: int, mask: int) -> EditReport:
@@ -68,7 +82,7 @@ class SecuredDocument:
         if self.store is not None:
             cost = self.store.update_range_mask(pos, pos + 1, mask)
             return EditReport(pos, 1, cost.transition_delta, cost.pages_rewritten)
-        delta = self._updater.set_node_mask(pos, mask)
+        delta = self.labeling.set_node_mask(pos, mask)
         return EditReport(pos, 1, delta, 0)
 
     # -- structural updates -------------------------------------------------------
@@ -88,8 +102,9 @@ class SecuredDocument:
                 f"({subtree.size()} nodes, {len(masks)} masks)"
             )
         result = edit.insert_subtree(self.doc, parent, child_index, subtree)
-        delta = self._updater.insert_range(result.position, list(masks))
+        delta = self.labeling.insert_range(result.position, list(masks))
         self.doc = result.doc
+        self.labeling.rebind_document(result.doc)
         pages = self._sync_store(result.position)
         return EditReport(result.position, result.size, delta, pages)
 
@@ -97,8 +112,9 @@ class SecuredDocument:
         """Delete the subtree at ``pos``."""
         end = self.doc.subtree_end(pos)
         new_doc = edit.delete_subtree(self.doc, pos)
-        delta = self._updater.delete_range(pos, end)
+        delta = self.labeling.delete_range(pos, end)
         self.doc = new_doc
+        self.labeling.rebind_document(new_doc)
         pages = self._sync_store(pos)
         return EditReport(pos, end - pos, delta, pages)
 
@@ -108,8 +124,9 @@ class SecuredDocument:
         """Move the subtree at ``pos`` under ``new_parent``."""
         result = edit.move_subtree(self.doc, pos, new_parent, child_index)
         start, end = result.source
-        delta = self._updater.move_range(start, end, result.destination)
+        delta = self.labeling.move_range(start, end, result.destination)
         self.doc = result.doc
+        self.labeling.rebind_document(result.doc)
         pages = self._sync_store(min(start, result.destination))
         return EditReport(result.destination, end - start, delta, pages)
 
@@ -122,12 +139,12 @@ class SecuredDocument:
         semantics: str = CHO,
         limit: Optional[int] = None,
     ):
-        """Evaluate a twig query over the current document/DOL pair.
+        """Evaluate a twig query over the current document/labeling pair.
 
         Compiled through the physical-operator pipeline; the engine (and
         its tag index) is cached across calls and rebuilt only after a
         structural edit replaces the document. Accessibility updates
-        mutate the shared DOL in place, so the cache survives them.
+        mutate the shared labeling in place, so the cache survives them.
         """
         return self._query_engine().evaluate(
             query, subject=subject, semantics=semantics, limit=limit
@@ -153,21 +170,23 @@ class SecuredDocument:
         from repro.nok.engine import QueryEngine
 
         if self._engine is None or self._engine.doc is not self.doc:
-            self._engine = QueryEngine(self.doc, dol=self.dol, store=self.store)
+            self._engine = QueryEngine(
+                self.doc, labeling=self.labeling, store=self.store
+            )
         return self._engine
 
     def accessible(self, subject: int, pos: int) -> bool:
-        return self.dol.accessible(subject, pos)
+        return self.labeling.accessible(subject, pos)
 
     def masks(self) -> List[int]:
-        return self.dol.to_masks()
+        return self.labeling.to_masks()
 
     def validate(self) -> None:
         """Cross-check the two representations."""
         self.doc.validate()
-        self.dol.validate()
-        if self.dol.n_nodes != len(self.doc):
-            raise AccessControlError("document/DOL node-count drift")
+        self.labeling.validate()
+        if self.labeling.n_nodes != len(self.doc):
+            raise AccessControlError("document/labeling node-count drift")
 
     def _sync_store(self, from_pos: int) -> int:
         if self.store is None:

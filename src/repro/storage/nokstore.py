@@ -15,6 +15,14 @@ Consequences, each measurable through the I/O counters:
   can be skipped entirely;
 - an accessibility update to a subtree of N nodes rewrites only the
   ~N/B pages that hold it (update locality).
+
+The store accepts any :class:`~repro.labeling.base.AccessLabeling`
+backend. Only a backend with ``has_page_hints`` (the DOL) embeds its
+codes as above — the page layout it defined is unchanged. A hint-free
+backend (CAM, naive) keeps its labels beside the pages: entries carry
+code 0, the header test answers "cannot skip", accessibility probes
+resolve in memory through the backend, and accessibility updates rewrite
+no pages (the labeling travels through the catalog instead).
 """
 
 from __future__ import annotations
@@ -22,9 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.dol.labeling import DOL
 from repro.dol.updates import DOLUpdater
 from repro.errors import PageCorruptionError, StorageError
+from repro.labeling.base import AccessLabeling
 from repro.storage.buffer import BufferPool
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
@@ -60,23 +68,28 @@ class UpdateCost:
 
 
 class NoKStore:
-    """Block-oriented document store with embedded DOL access codes."""
+    """Block-oriented document store with pluggable access labeling.
+
+    With a DOL the access codes are embedded in the pages (the paper's
+    design); the ``.dol`` attribute remains as a historical alias for
+    ``labeling``, whatever the backend.
+    """
 
     def __init__(
         self,
         doc: Document,
-        dol: DOL,
+        labeling: AccessLabeling,
         path: Optional[str] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 64,
         paged_values: bool = False,
     ):
-        if dol.n_nodes != len(doc):
-            raise StorageError("DOL and document disagree on node count")
-        if len(dol.codebook) > 0xFFFF:
+        if labeling.n_nodes != len(doc):
+            raise StorageError("labeling and document disagree on node count")
+        if labeling.has_page_hints and len(labeling.codebook) > 0xFFFF:
             raise StorageError("codebook too large for u16 embedded codes")
         self.doc = doc
-        self.dol = dol
+        self.labeling = labeling
         self.page_size = page_size
         self.entries_per_page = entries_per_page_for(page_size)
         if self.entries_per_page < 1:
@@ -118,18 +131,18 @@ class NoKStore:
     def attach(
         cls,
         doc: Document,
-        dol: DOL,
+        labeling: AccessLabeling,
         pager,
         headers: PageHeaderTable,
         buffer_capacity: int = 64,
         wal: Optional[WriteAheadLog] = None,
     ) -> "NoKStore":
         """Wrap already-written pages (used when reopening a saved store)."""
-        if dol.n_nodes != len(doc):
-            raise StorageError("DOL and document disagree on node count")
+        if labeling.n_nodes != len(doc):
+            raise StorageError("labeling and document disagree on node count")
         store = cls.__new__(cls)
         store.doc = doc
-        store.dol = dol
+        store.labeling = labeling
         store.page_size = pager.page_size
         store.entries_per_page = entries_per_page_for(pager.page_size)
         store.pager = pager
@@ -146,6 +159,35 @@ class NoKStore:
         store.values = None
         store._n_data_pages = len(headers)
         return store
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        catalog_path: Optional[str] = None,
+        buffer_capacity: int = 64,
+        labeling: Optional[str] = None,
+    ) -> "NoKStore":
+        """Reopen a saved store (see :func:`repro.storage.persist.open_store`).
+
+        ``labeling`` asserts the expected backend name; a catalog written
+        by a different backend raises :class:`ValueError` naming both.
+        """
+        from repro.storage.persist import open_store
+
+        return open_store(
+            path, catalog_path, buffer_capacity, labeling=labeling
+        )
+
+    @property
+    def dol(self) -> AccessLabeling:
+        """Historical alias for :attr:`labeling` (any backend, not only DOL)."""
+        return self.labeling
+
+    @property
+    def has_page_hints(self) -> bool:
+        """Whether the labeling embeds page-skip hints (DOL only)."""
+        return self.labeling.has_page_hints
 
     @property
     def n_nodes(self) -> int:
@@ -177,17 +219,22 @@ class NoKStore:
         self.reset_io_stats()
 
     def _render_page_bytes(self, first: int) -> "tuple[bytes, PageHeader]":
-        doc, dol = self.doc, self.dol
+        doc, labeling = self.doc, self.labeling
+        embed = labeling.has_page_hints
         last = min(first + self.entries_per_page, self.n_nodes)
         change_bit = False
         parts: List[bytes] = []
         for pos in range(first, last):
-            is_transition = dol.is_transition(pos)
+            # Hint-free backends render the structural layout unchanged
+            # but with no access information: every entry carries code 0
+            # (the page-initial pseudo-transition included), so the bytes
+            # say nothing the backend doesn't answer in memory.
+            is_transition = embed and labeling.is_transition(pos)
             if pos == first:
-                code = dol.code_at(pos)
+                code = labeling.code_at(pos) if embed else 0
                 entry_transition = True
             else:
-                code = dol.code_at(pos) if is_transition else 0
+                code = labeling.code_at(pos) if is_transition else 0
                 entry_transition = is_transition
                 change_bit = change_bit or is_transition
             parts.append(
@@ -201,7 +248,7 @@ class NoKStore:
             )
         n_entries = last - first
         header = PageHeader(
-            first_code=self.dol.code_at(first),
+            first_code=labeling.code_at(first) if embed else 0,
             change_bit=change_bit,
             n_entries=n_entries,
         )
@@ -297,7 +344,7 @@ class NoKStore:
     # -- access control (Section 3.3) ---------------------------------------------
 
     def access_code_at(self, pos: int) -> int:
-        """Access control code governing ``pos``.
+        """Access control code governing ``pos`` (page-hint backends only).
 
         Found on the node's own page (the first node of every page is a
         transition node), so this never costs I/O beyond the page that the
@@ -308,22 +355,44 @@ class NoKStore:
         return page.codes[pos % self.entries_per_page]
 
     def accessible(self, subject: int, pos: int) -> bool:
-        """ACCESS of Algorithm 1."""
-        return self.dol.codebook.accessible(self.access_code_at(pos), subject)
+        """ACCESS of Algorithm 1.
+
+        With a DOL the check reads the embedded code on the node's page
+        (zero extra I/O); a hint-free backend answers from memory.
+        """
+        if not self.has_page_hints:
+            self._check(pos)
+            return self.labeling.accessible(subject, pos)
+        return self.labeling.codebook.accessible(self.access_code_at(pos), subject)
 
     def accessible_any(self, subjects, pos: int) -> bool:
         """User-level ACCESS: true if any of the subjects is granted."""
-        mask = self.dol.codebook.decode(self.access_code_at(pos))
+        if not self.has_page_hints:
+            self._check(pos)
+            return self.labeling.accessible_any(subjects, pos)
+        mask = self.labeling.codebook.decode(self.access_code_at(pos))
         return any(mask >> subject & 1 for subject in subjects)
 
     def page_fully_inaccessible(self, page_id: int, subject: int) -> bool:
-        """Header-only page-skip test — costs no I/O."""
-        return self.headers.page_fully_inaccessible(page_id, subject, self.dol.codebook)
+        """Header-only page-skip test — costs no I/O.
+
+        Always False for hint-free backends: their headers carry no
+        access information, so no page can be proven skippable.
+        """
+        if not self.has_page_hints:
+            return False
+        return self.headers.page_fully_inaccessible(
+            page_id, subject, self.labeling.codebook
+        )
 
     def page_fully_inaccessible_any(self, page_id: int, subjects) -> bool:
         """Page-skip test for a user holding several subjects."""
+        if not self.has_page_hints:
+            return False
         return all(
-            self.headers.page_fully_inaccessible(page_id, subject, self.dol.codebook)
+            self.headers.page_fully_inaccessible(
+                page_id, subject, self.labeling.codebook
+            )
             for subject in subjects
         )
 
@@ -347,20 +416,59 @@ class NoKStore:
     def update_subject_range(
         self, start: int, end: int, subject: int, value: bool
     ) -> UpdateCost:
-        """Grant/revoke a subject over [start, end) and rewrite its pages."""
+        """Grant/revoke a subject over [start, end) and rewrite its pages.
+
+        With a DOL the pages holding the range are re-rendered (the
+        embedded codes changed); a hint-free backend updates in memory and
+        commits only a catalog patch — no page bytes change.
+        """
+        if not self.has_page_hints:
+            return self._update_in_memory(
+                lambda: self.labeling.set_subject_accessibility(
+                    start, end, subject, value
+                ),
+                {
+                    "op": "set_subject_range",
+                    "start": start,
+                    "end": end,
+                    "subject": subject,
+                    "value": value,
+                },
+            )
         ops: List[dict] = []
-        updater = DOLUpdater(self.dol, journal=ops.append)
+        updater = DOLUpdater(self.labeling, journal=ops.append)
         delta = updater.set_subject_accessibility(start, end, subject, value)
         pages = self._rewrite_range(start, end, ops)
         return UpdateCost(pages_rewritten=pages, transition_delta=delta)
 
     def update_range_mask(self, start: int, end: int, mask: int) -> UpdateCost:
         """Replace the ACL of [start, end) and rewrite its pages."""
+        if not self.has_page_hints:
+            return self._update_in_memory(
+                lambda: self.labeling.set_range_mask(start, end, mask),
+                {"op": "set_range_mask", "start": start, "end": end, "mask": mask},
+            )
         ops: List[dict] = []
-        updater = DOLUpdater(self.dol, journal=ops.append)
+        updater = DOLUpdater(self.labeling, journal=ops.append)
         delta = updater.set_range_mask(start, end, mask)
         pages = self._rewrite_range(start, end, ops)
         return UpdateCost(pages_rewritten=pages, transition_delta=delta)
+
+    def _update_in_memory(self, apply, op: dict) -> UpdateCost:
+        """Accessibility update for a backend with no embedded codes.
+
+        The labeling mutates in memory; durability comes from the WAL
+        commit record alone, whose catalog patch carries the backend's
+        refreshed ``labeling_data``.
+        """
+        self._wal_begin()
+        try:
+            delta = apply()
+            self._wal_commit([op])
+        except BaseException:
+            self._wal_abort()
+            raise
+        return UpdateCost(pages_rewritten=0, transition_delta=delta)
 
     def catalog_state(self) -> Dict[str, object]:
         """The catalog fields a mutation can change.
@@ -371,16 +479,26 @@ class NoKStore:
         tags and counts) match the replayed pages.
         """
         doc = self.doc
-        return {
+        labeling = self.labeling
+        state: Dict[str, object] = {
             "n_nodes": self.n_nodes,
             "n_pages": self._n_data_pages,
-            "n_subjects": self.dol.codebook.n_subjects,
             "tags": [doc.tag_dict.name_of(i) for i in range(len(doc.tag_dict))],
             "texts": list(doc.texts),
-            "codebook": [
-                f"{mask:x}" for _code, mask in self.dol.codebook.entries()
-            ],
+            "labeling": labeling.backend_name,
         }
+        if labeling.has_page_hints:
+            # DOL: the labeling round-trips through the page codes; the
+            # catalog only needs the codebook (the pre-refactor layout).
+            state["n_subjects"] = labeling.codebook.n_subjects
+            state["codebook"] = [
+                f"{mask:x}" for _code, mask in labeling.codebook.entries()
+            ]
+        else:
+            state["n_subjects"] = getattr(labeling, "n_subjects", 0)
+            state["codebook"] = []
+            state["labeling_data"] = labeling.to_catalog()
+        return state
 
     def _wal_begin(self) -> None:
         if self.wal is not None:
@@ -405,7 +523,7 @@ class NoKStore:
         physiological log record, and the commit record (codebook patch +
         logical ops) is forced before the batch counts as durable.
         """
-        if len(self.dol.codebook) > 0xFFFF:
+        if self.has_page_hints and len(self.labeling.codebook) > 0xFFFF:
             raise StorageError("codebook overflow after update")
         first_page = start // self.entries_per_page
         last_pos = min(end, self.n_nodes - 1)
@@ -428,14 +546,15 @@ class NoKStore:
     def apply_structural_update(self, new_doc: Document, from_pos: int) -> int:
         """Install an edited document, rewriting pages from ``from_pos`` on.
 
-        The caller (``SecuredDocument``) has already spliced ``self.dol``
+        The caller (``SecuredDocument``) has already spliced the labeling
         to match ``new_doc``. Node entries at positions >= ``from_pos``
         shifted, so every page from ``from_pos``'s page to the new end is
         re-rendered — the physical cost of a structural update. Returns
         the number of pages rewritten.
         """
-        if self.dol.n_nodes != len(new_doc):
-            raise StorageError("DOL and edited document disagree on node count")
+        if self.labeling.n_nodes != len(new_doc):
+            raise StorageError("labeling and edited document disagree on node count")
+        self.labeling.rebind_document(new_doc)
         self.doc = new_doc
         if self.values is not None:
             # Value records shifted with the structure: rebuild the heap.
@@ -473,14 +592,16 @@ class NoKStore:
         return needed - first_page
 
     def verify(self) -> None:
-        """Integrity check: pages must agree with the document and DOL.
+        """Integrity check: pages must agree with the document and labeling.
 
         Re-reads every page (bypassing caches) and cross-checks each
-        entry's structure fields and running access code. Raises
-        :class:`StorageError` on the first discrepancy — the tool to run
-        after a crash or a suspected corruption.
+        entry's structure fields and running access code (code 0
+        throughout for hint-free backends). Raises :class:`StorageError`
+        on the first discrepancy — the tool to run after a crash or a
+        suspected corruption.
         """
-        doc, dol = self.doc, self.dol
+        doc, labeling = self.doc, self.labeling
+        embed = labeling.has_page_hints
         pos = 0
         for page_id in range(self.n_pages):
             data = self.pager.read_page(page_id)
@@ -498,7 +619,8 @@ class NoKStore:
                     raise StorageError(f"position {pos}: depth drift")
                 if entry.subtree != doc.subtree[pos]:
                     raise StorageError(f"position {pos}: subtree drift")
-                if decoded.codes[offset] != dol.code_at(pos):
+                expected_code = labeling.code_at(pos) if embed else 0
+                if decoded.codes[offset] != expected_code:
                     raise StorageError(f"position {pos}: access code drift")
                 pos += 1
         if pos != self.n_nodes:

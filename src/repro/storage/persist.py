@@ -10,6 +10,14 @@ and the DOL (real transitions are entries whose code differs from the
 running code — page-initial pseudo-transitions are filtered out) directly
 from the on-disk pages.
 
+The catalog carries a ``labeling`` backend tag (missing in pre-refactor
+catalogs, which are all DOL — they load exactly as before, byte for
+byte). A hint-free backend (``cam``, ``naive``) cannot round-trip through
+page codes, so its state travels in the catalog's ``labeling_data``
+payload and is rebuilt via the backend's ``from_catalog``. Passing
+``labeling=`` to :func:`open_store` asserts the expected backend; a
+mismatch raises :class:`ValueError` naming both.
+
 Durability protocol
 -------------------
 ``save_store`` is atomic (temp file + fsync + ``os.replace``) and acts as
@@ -35,6 +43,8 @@ from typing import Dict, List, Optional
 from repro.dol.codebook import Codebook
 from repro.dol.labeling import DOL
 from repro.errors import PageCorruptionError, StorageError
+from repro.labeling.base import AccessLabeling
+from repro.labeling.registry import get_backend
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
 from repro.storage.faults import FaultInjectingPager, FaultPlan
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
@@ -134,6 +144,13 @@ def _validate_catalog(catalog: Dict[str, object], path: str) -> None:
     texts = catalog.get("texts")
     if not isinstance(texts, list) or len(texts) != catalog["n_nodes"]:
         raise StorageError("catalog texts do not match the node count")
+    backend = catalog.get("labeling", "dol")
+    if not isinstance(backend, str) or not backend:
+        raise StorageError(f"catalog labeling tag {backend!r} is not usable")
+    if backend != "dol" and "labeling_data" not in catalog:
+        raise StorageError(
+            f"catalog tagged with backend {backend!r} but holds no labeling_data"
+        )
 
 
 def _recover(path: str, catalog_path: str) -> RecoveryResult:
@@ -155,8 +172,14 @@ def open_store(
     catalog_path: str = None,
     buffer_capacity: int = 64,
     fault_plan: Optional[FaultPlan] = None,
+    labeling: Optional[str] = None,
 ) -> NoKStore:
     """Reopen a saved store: recover the WAL, then rebuild from pages.
+
+    ``labeling`` asserts the expected backend: when given and the catalog
+    was written by a different backend, :class:`ValueError` names both.
+    Catalogs with no backend tag predate the pluggable interface and are
+    DOL by construction.
 
     ``fault_plan`` threads a :class:`FaultPlan` into the reopened pager
     and WAL (the crash-recovery harness); production callers leave it
@@ -167,6 +190,13 @@ def open_store(
     catalog = _load_catalog(path, catalog_path)
     _validate_catalog(catalog, path)
 
+    backend = catalog.get("labeling", "dol")
+    if labeling is not None and labeling != backend:
+        raise ValueError(
+            f"store at {path} was built with labeling backend {backend!r}, "
+            f"but {labeling!r} was requested"
+        )
+
     page_size = catalog["page_size"]
     n_nodes = catalog["n_nodes"]
     n_pages = catalog["n_pages"]
@@ -176,12 +206,13 @@ def open_store(
         pager = Pager.open_existing(path, page_size)
 
     try:
-        # Rebuild the codebook.
+        # Rebuild the codebook (empty for hint-free backends).
         codebook = Codebook(catalog["n_subjects"])
         for mask_hex in catalog["codebook"]:
             codebook.encode(int(mask_hex, 16))
 
-        # One pass over the pages: rebuild document arrays, headers, DOL.
+        # One pass over the pages: rebuild document arrays, headers, and
+        # (for the DOL backend) the transition list from embedded codes.
         tag_dict = TagDictionary()
         for name in catalog["tags"]:
             tag_dict.intern(name)
@@ -233,17 +264,29 @@ def open_store(
 
         doc = Document(tags, parent, subtree, depth, texts, tag_dict)
         doc.validate()
-        dol = DOL(n_nodes, codebook)
-        dol.positions = positions
-        dol.codes = codes
-        dol.validate()
+        if backend == "dol":
+            rebuilt: AccessLabeling = DOL(n_nodes, codebook)
+            rebuilt.positions = positions
+            rebuilt.codes = codes
+            rebuilt.validate()
+        else:
+            # Hint-free backends: page codes are all zero; the labeling
+            # state lives in the catalog payload instead.
+            backend_cls = get_backend(backend)
+            rebuilt = backend_cls.from_catalog(catalog["labeling_data"], doc)
+            if rebuilt.n_nodes != n_nodes:
+                raise StorageError(
+                    f"catalog labeling_data covers {rebuilt.n_nodes} nodes "
+                    f"but the catalog records {n_nodes}"
+                )
+            rebuilt.validate()
 
         pager.stats.reset()
         wal = WriteAheadLog(wal_path_for(path), fault_plan=fault_plan)
     except BaseException:
         pager.close()
         raise
-    return NoKStore.attach(doc, dol, pager, headers, buffer_capacity, wal=wal)
+    return NoKStore.attach(doc, rebuilt, pager, headers, buffer_capacity, wal=wal)
 
 
 def fsck_store(path: str, catalog_path: str = None) -> List[str]:

@@ -45,6 +45,48 @@ class TestLabel:
         assert "DOL transition nodes" in out
         assert "CAM labels" in out
 
+    def test_prints_all_backends_side_by_side(self, xmark_file, capsys):
+        assert main(["label", xmark_file, "--subjects", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "DOL total bytes" in out
+        assert "CAM total bytes" in out
+        assert "naive labels (one per node)" in out
+        assert "naive total bytes" in out
+
+    def test_single_backend_selection(self, xmark_file, capsys):
+        assert main(
+            ["label", xmark_file, "--subjects", "2", "--labeling", "naive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "naive labels" in out
+        assert "DOL transition nodes" not in out
+        assert "CAM labels" not in out
+
+
+class TestBuild:
+    @pytest.mark.parametrize("backend", ("dol", "cam", "naive"))
+    def test_builds_and_saves_each_backend(
+        self, xmark_file, tmp_path, capsys, backend
+    ):
+        store = str(tmp_path / f"{backend}.db")
+        assert main(
+            ["build", xmark_file, store, "--labeling", backend]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"built {backend} store" in out
+        import json
+        import os
+
+        assert os.path.exists(store)
+        with open(store + ".catalog.json", "r", encoding="utf-8") as handle:
+            assert json.load(handle)["labeling"] == backend
+
+    def test_built_store_passes_fsck(self, xmark_file, tmp_path, capsys):
+        store = str(tmp_path / "cam.db")
+        assert main(["build", xmark_file, store, "--labeling", "cam"]) == 0
+        assert main(["verify-store", store]) == 0
+        assert "clean" in capsys.readouterr().out
+
 
 class TestExplain:
     def test_plan_printed(self, xmark_file, capsys):
@@ -116,6 +158,26 @@ class TestQuery:
         assert "rows=" in out
         assert "answers: 20" in out
         assert "wall time:" in out
+
+    @pytest.mark.parametrize("backend", ("cam", "naive"))
+    def test_secure_query_with_alternate_backend(
+        self, xmark_file, capsys, backend
+    ):
+        assert main(
+            ["query", xmark_file, "//item", "--subject", "0",
+             "--labeling", backend]
+        ) == 0
+        assert "answers:" in capsys.readouterr().out
+
+    def test_backends_answer_identically(self, xmark_file, capsys):
+        counts = {}
+        for backend in ("dol", "cam", "naive"):
+            assert main(
+                ["query", xmark_file, "//item", "--subject", "1",
+                 "--labeling", backend]
+            ) == 0
+            counts[backend] = capsys.readouterr().out.splitlines()[0]
+        assert counts["cam"] == counts["dol"] == counts["naive"]
 
 
 class TestVerifyStore:

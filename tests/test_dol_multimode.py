@@ -100,3 +100,78 @@ class TestCompression:
         assert total == sum(
             DOL.from_matrix(matrix, mode).size_bytes() for mode in matrix.modes
         )
+
+
+class TestModeRoundTrips:
+    """Each action mode must survive the combine/expand cycle intact."""
+
+    def test_per_mode_masks_roundtrip(self, matrix):
+        expanded = MultiModeDOL.from_matrix(matrix).to_matrix()
+        for mode in matrix.modes:
+            assert expanded.masks(mode) == matrix.masks(mode), mode
+
+    def test_roundtrip_is_idempotent(self, matrix):
+        once = MultiModeDOL.from_matrix(matrix)
+        twice = MultiModeDOL.from_matrix(once.to_matrix())
+        assert twice.to_matrix() == matrix
+        assert twice.n_transitions == once.n_transitions
+
+    def test_three_mode_roundtrip(self):
+        matrix = AccessMatrix(10, 3, modes=["see", "read", "write"])
+        matrix.grant_range(0, 0, 10, "see")
+        matrix.grant_range(1, 3, 8, "see")
+        matrix.grant_range(1, 3, 8, "read")
+        matrix.grant_range(2, 5, 6, "write")
+        combined = MultiModeDOL.from_matrix(matrix)
+        assert combined.to_matrix() == matrix
+        for mode in matrix.modes:
+            for subject in range(3):
+                for pos in range(10):
+                    assert combined.accessible(subject, pos, mode) == (
+                        matrix.accessible(subject, pos, mode)
+                    ), (mode, subject, pos)
+
+    def test_mode_order_preserved(self, matrix):
+        expanded = MultiModeDOL.from_matrix(matrix).to_matrix()
+        assert list(expanded.modes) == list(matrix.modes)
+
+
+class TestSingleModeAgreement:
+    """The combined DOL answers every probe exactly as an independent
+    single-mode DOL built from the same matrix column would."""
+
+    def test_agreement_with_single_mode_dols(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        for mode in matrix.modes:
+            single = DOL.from_matrix(matrix, mode)
+            for subject in range(matrix.n_subjects):
+                for pos in range(matrix.n_nodes):
+                    assert combined.accessible(subject, pos, mode) == (
+                        single.accessible(subject, pos)
+                    ), (mode, subject, pos)
+
+    def test_agreement_on_livelink_surrogate(self):
+        from repro.acl.surrogates import generate_livelink
+
+        dataset = generate_livelink(n_items=120, n_groups=3, n_users=6, seed=8)
+        matrix = dataset.matrix
+        combined = MultiModeDOL.from_matrix(matrix)
+        for mode in matrix.modes:
+            single = DOL.from_matrix(matrix, mode)
+            assert [
+                [combined.accessible(s, p, mode) for p in range(matrix.n_nodes)]
+                for s in range(matrix.n_subjects)
+            ] == [
+                [single.accessible(s, p) for p in range(matrix.n_nodes)]
+                for s in range(matrix.n_subjects)
+            ], mode
+
+    def test_column_projection_matches_single_mode_masks(self, matrix):
+        combined = MultiModeDOL.from_matrix(matrix)
+        subject_mask = (1 << matrix.n_subjects) - 1
+        for mode_index, mode in enumerate(matrix.modes):
+            projected = [
+                mask >> (mode_index * matrix.n_subjects) & subject_mask
+                for mask in combined.dol.to_masks()
+            ]
+            assert projected == DOL.from_matrix(matrix, mode).to_masks(), mode

@@ -1,0 +1,157 @@
+"""Differential test: the three labeling backends are indistinguishable.
+
+The refactor's end-to-end oracle. Over a seeded grid of
+(document, policy, query) triples — more than fifty of them — and both
+secure semantics (``cho`` and ``view``), the DOL, CAM and naive backends
+must produce identical answer sets and identical secure-pruning
+decisions. The DOL is the reference; any divergence is a bug in one of
+the engines, not a matter of taste.
+"""
+
+import pytest
+
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.labeling.registry import available_backends, build_labeling
+from repro.nok.engine import QueryEngine
+from repro.secure.semantics import CHO, VIEW
+from repro.xmark.generator import XMarkConfig, generate_document
+
+BACKENDS = ("dol", "cam", "naive")
+
+#: Seeded document grid: (n_items, generator seed).
+DOC_CONFIGS = (
+    (4, 7),
+    (8, 21),
+    (12, 99),
+)
+
+#: Seeded policy grid: (n_subjects, accessibility, propagation, acl seed).
+ACL_CONFIGS = (
+    (1, 0.5, 0.3, 1),
+    (2, 0.7, 0.2, 13),
+    (3, 0.3, 0.5, 42),
+    (4, 0.9, 0.1, 77),
+)
+
+QUERY_SET = (
+    "//item",
+    "//person/name",
+    "/site/regions",
+    "//item[name]/quantity",
+    "//listitem//keyword",
+)
+
+#: The acceptance bar: at least fifty distinct (doc, policy, query) triples.
+N_TRIPLES = len(DOC_CONFIGS) * len(ACL_CONFIGS) * len(QUERY_SET)
+
+
+def test_grid_is_large_enough():
+    assert N_TRIPLES >= 50
+    assert set(BACKENDS) == set(available_backends())
+
+
+def _setup(doc_config, acl_config):
+    n_items, doc_seed = doc_config
+    n_subjects, accessibility, propagation, acl_seed = acl_config
+    doc = generate_document(XMarkConfig(n_items=n_items, seed=doc_seed))
+    matrix = generate_synthetic_acl(
+        doc,
+        SyntheticACLConfig(
+            propagation_ratio=propagation,
+            accessibility_ratio=accessibility,
+            seed=acl_seed,
+        ),
+        n_subjects=n_subjects,
+    )
+    labelings = {name: build_labeling(name, doc, matrix) for name in BACKENDS}
+    engines = {
+        name: QueryEngine(doc, labeling=labeling)
+        for name, labeling in labelings.items()
+    }
+    return doc, matrix, labelings, engines
+
+
+@pytest.mark.parametrize("acl_config", ACL_CONFIGS)
+@pytest.mark.parametrize("doc_config", DOC_CONFIGS)
+def test_backends_agree_on_pruning_decisions(doc_config, acl_config):
+    """Every per-node accessibility decision — the input to secure pruning —
+    is identical across backends, for every subject."""
+    doc, matrix, labelings, _ = _setup(doc_config, acl_config)
+    reference = labelings["dol"]
+    for name in ("cam", "naive"):
+        other = labelings[name]
+        for subject in range(matrix.n_subjects):
+            mismatches = [
+                pos
+                for pos in range(len(doc))
+                if other.accessible(subject, pos)
+                != reference.accessible(subject, pos)
+            ]
+            assert not mismatches, (name, subject, mismatches[:10])
+
+
+@pytest.mark.parametrize("acl_config", ACL_CONFIGS)
+@pytest.mark.parametrize("doc_config", DOC_CONFIGS)
+def test_backends_agree_on_answer_sets(doc_config, acl_config):
+    """Identical secure answers for every query, subject and semantics."""
+    _, matrix, _, engines = _setup(doc_config, acl_config)
+    for query in QUERY_SET:
+        for semantics in (CHO, VIEW):
+            for subject in range(matrix.n_subjects):
+                answers = {
+                    name: sorted(
+                        engine.evaluate(
+                            query, subject=subject, semantics=semantics
+                        ).positions
+                    )
+                    for name, engine in engines.items()
+                }
+                assert answers["cam"] == answers["dol"], (
+                    query, semantics, subject,
+                )
+                assert answers["naive"] == answers["dol"], (
+                    query, semantics, subject,
+                )
+
+
+@pytest.mark.parametrize("acl_config", ACL_CONFIGS[:2])
+@pytest.mark.parametrize("doc_config", DOC_CONFIGS[:2])
+def test_backends_agree_after_accessibility_update(doc_config, acl_config):
+    """Agreement must survive the update hooks: apply the same grant and
+    revoke through every backend, then re-run the differential check."""
+    doc, matrix, labelings, engines = _setup(doc_config, acl_config)
+    lo, hi = 2, min(len(doc) // 2 + 2, len(doc))
+    for labeling in labelings.values():
+        labeling.set_subject_accessibility(lo, hi, 0, True)
+        labeling.set_node_accessibility(1, 0, False)
+        labeling.validate()
+    reference = labelings["dol"].to_masks()
+    for name in ("cam", "naive"):
+        assert labelings[name].to_masks() == reference, name
+    for semantics in (CHO, VIEW):
+        answers = {
+            name: sorted(
+                engine.evaluate(
+                    "//item", subject=0, semantics=semantics
+                ).positions
+            )
+            for name, engine in engines.items()
+        }
+        assert answers["cam"] == answers["dol"] == answers["naive"], semantics
+
+
+@pytest.mark.parametrize("semantics", (CHO, VIEW))
+def test_insecure_evaluation_unaffected_by_backend(semantics):
+    """Without a subject the backends never even get probed; answers match
+    the label-free engine."""
+    doc = generate_document(XMarkConfig(n_items=6, seed=3))
+    matrix = generate_synthetic_acl(
+        doc, SyntheticACLConfig(seed=9), n_subjects=2
+    )
+    plain = QueryEngine(doc)
+    for name in BACKENDS:
+        engine = QueryEngine(doc, labeling=build_labeling(name, doc, matrix))
+        for query in QUERY_SET:
+            assert sorted(engine.evaluate(query).positions) == sorted(
+                plain.evaluate(query).positions
+            ), (name, query)
