@@ -36,6 +36,14 @@ Storage & querying
     :class:`repro.Planner` / :class:`repro.PhysicalPlan` — the Volcano
     operator pipeline queries compile into;
     :data:`repro.CHO` / :data:`repro.VIEW` — secure semantics.
+
+Concurrent serving
+    :class:`repro.StoreSnapshot` — immutable epoch-stamped read views
+    (``store.snapshot()``) giving queries snapshot isolation under a
+    concurrent Section 3.4 update stream;
+    :class:`repro.PlanCache` — shared compiled-plan artifacts;
+    :class:`repro.QueryService` / :class:`repro.ServiceConfig` — the
+    bounded-pool serving layer behind ``repro-dol serve``.
 """
 
 from repro.acl.model import AccessMatrix, SubjectRegistry
@@ -48,6 +56,7 @@ from repro.dol.multimode import MultiModeDOL
 from repro.dol.stream import build_dol_streaming
 from repro.dol.updates import DOLUpdater
 from repro.errors import ReproError
+from repro.exec.plancache import PlanCache
 from repro.exec.planner import PhysicalPlan, Planner
 from repro.index.tagindex import TagIndex
 from repro.labeling import (
@@ -61,7 +70,9 @@ from repro.secure.secured import SecuredDocument
 from repro.nok.engine import QueryEngine, QueryResult
 from repro.nok.pattern import PatternTree, parse_query
 from repro.secure.semantics import CHO, VIEW
+from repro.server.service import QueryService, ServiceConfig
 from repro.storage.nokstore import NoKStore
+from repro.storage.snapshot import StoreSnapshot
 from repro.xmltree.document import Document
 from repro.xmltree.node import Node
 from repro.xmltree.parser import parse
@@ -87,12 +98,16 @@ __all__ = [
     "NoKStore",
     "PatternTree",
     "PhysicalPlan",
+    "PlanCache",
     "Planner",
     "Policy",
     "QueryEngine",
     "QueryResult",
+    "QueryService",
     "SecuredDocument",
     "ReproError",
+    "ServiceConfig",
+    "StoreSnapshot",
     "SubjectRegistry",
     "SyntheticACLConfig",
     "TagIndex",

@@ -23,6 +23,10 @@ Subcommands
 ``verify-store``
     Offline fsck of a saved page store: checksums, catalog agreement,
     header/entry agreement, WAL state. Exits non-zero on any finding.
+``serve``
+    Serve secure queries and accessibility updates concurrently over a
+    newline-delimited JSON TCP protocol (bounded worker pool, snapshot
+    isolation, request shedding under overload).
 """
 
 from __future__ import annotations
@@ -216,6 +220,41 @@ def _cmd_disseminate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.netserver import serve
+    from repro.server.service import QueryService, ServiceConfig
+
+    doc = _load_document(args.file)
+    config = SyntheticACLConfig(
+        propagation_ratio=args.propagation,
+        accessibility_ratio=args.accessibility,
+        seed=args.seed,
+    )
+    matrix = generate_synthetic_acl(doc, config, n_subjects=args.subjects)
+    engine = QueryEngine.build(
+        doc, matrix, use_store=True, labeling=args.labeling
+    )
+    service = QueryService(
+        engine,
+        ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            timeout=args.timeout if args.timeout > 0 else None,
+        ),
+    )
+    print(
+        f"serving {args.file} ({len(doc)} nodes, {args.subjects} subjects, "
+        f"{args.labeling} labeling) on {args.host}:{args.port} "
+        f"with {args.workers} workers"
+    )
+    try:
+        serve(service, host=args.host, port=args.port)
+    finally:
+        service.close()
+        engine.store.close()
+    return 0
+
+
 def _cmd_verify_store(args: argparse.Namespace) -> int:
     from repro.storage.persist import fsck_store
 
@@ -340,6 +379,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--catalog", default=None, help="sidecar catalog (default: <store>.catalog.json)"
     )
     p_fsck.set_defaults(func=_cmd_verify_store)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve secure queries over newline-delimited JSON on TCP",
+    )
+    p_serve.add_argument("file", help="XML document to serve")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="extra requests admitted beyond busy workers before shedding",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds (0 disables)",
+    )
+    p_serve.add_argument(
+        "--labeling", default=DEFAULT_BACKEND, choices=available_backends()
+    )
+    p_serve.add_argument("--subjects", type=int, default=8)
+    p_serve.add_argument("--propagation", type=float, default=0.85)
+    p_serve.add_argument("--accessibility", type=float, default=0.5)
+    p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -58,6 +58,18 @@ class Codebook:
         """Yield (code, mask) pairs in code order."""
         return enumerate(self._code_to_mask)
 
+    def clone(self) -> "Codebook":
+        """An independent copy (snapshot isolation for concurrent readers).
+
+        Codes are not append-only — :meth:`compact`, :meth:`add_subject`
+        and :meth:`remove_subject` all remap or rewrite entries — so a
+        frozen read view must carry its own copy rather than share.
+        """
+        copy = Codebook(self.n_subjects)
+        copy._mask_to_code = dict(self._mask_to_code)
+        copy._code_to_mask = list(self._code_to_mask)
+        return copy
+
     # -- subject-set maintenance (Section 3.4) ------------------------------
 
     def add_subject(self, initially_like: int = -1) -> int:

@@ -272,6 +272,18 @@ class DOL(AccessLabeling):
             self.positions.append(pos)
             self.codes.append(self.codebook.encode(mask))
 
+    def clone(self) -> "DOL":
+        """Independent copy: own transition lists, own codebook.
+
+        The codebook must be copied too — updates encode new masks into
+        it, and maintenance (compact, add/remove subject) remaps codes,
+        so a shared codebook would leak writer state into a snapshot.
+        """
+        dol = DOL(self.n_nodes, self.codebook.clone())
+        dol.positions = list(self.positions)
+        dol.codes = list(self.codes)
+        return dol
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DOL):
             return NotImplemented

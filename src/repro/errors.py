@@ -93,3 +93,29 @@ class IndexError_(ReproError):
 
 class UpdateError(ReproError):
     """Raised when a DOL update operation is invalid (bad target, etc.)."""
+
+
+class ServiceError(ReproError):
+    """Raised on query-service failures (the concurrent serving layer)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Raised when the service sheds a request: every worker is busy and
+    the admission queue is at its depth limit. Carries the limit so
+    clients can log/back off meaningfully."""
+
+    def __init__(self, inflight: int, limit: int):
+        super().__init__(
+            f"service overloaded: {inflight} requests in flight "
+            f"(admission limit {limit})"
+        )
+        self.inflight = inflight
+        self.limit = limit
+
+
+class ServiceTimeout(ServiceError):
+    """Raised when a request exceeds the service's per-request timeout."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"request exceeded the {seconds:g}s timeout")
+        self.seconds = seconds

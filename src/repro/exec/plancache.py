@@ -1,0 +1,120 @@
+"""A thread-safe cache of compiled query plans (the data-independent part).
+
+Compiling a twig query has two halves. Parsing the query string into a
+:class:`~repro.nok.pattern.PatternTree` and decomposing it into NoK
+subtrees (:func:`~repro.nok.decompose.decompose`) depend only on the
+query text — they are immutable once built and safely shared by any
+number of concurrent executions. Building the *operator tree* is cheap
+but stateful (operators carry per-run counters and iterators), so it is
+re-done per execution from the cached halves.
+
+The cache therefore stores ``(pattern, decomposition)`` pairs under a
+:class:`PlanKey` of (query text, semantics, subject set, ordered flag) —
+the full identity of a compiled plan shape, matching how a serving
+workload repeats requests. Entries are immutable, eviction is LRU, and
+hit/miss counters feed the service metrics. Because cached artifacts are
+data-independent, an accessibility update does **not** invalidate them:
+a plan compiled before the update, executed against a post-update
+snapshot, reads the new labeling through its
+:class:`~repro.exec.context.ExecutionContext`. Only :meth:`clear` (e.g.
+on structural document replacement) empties the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: (query text, semantics, subjects or None, ordered)
+PlanKey = Tuple[str, str, Optional[Tuple[int, ...]], bool]
+
+
+def plan_key(
+    query: str,
+    semantics: str,
+    subject,
+    ordered: bool,
+) -> PlanKey:
+    """Normalize a compile request into a hashable cache key.
+
+    ``subject`` may be ``None``, a single id, or a sequence of ids (the
+    user-level union); sequences normalize to a tuple so equal subject
+    sets hit the same entry regardless of container type.
+    """
+    if subject is None:
+        subjects: Optional[Tuple[int, ...]] = None
+    elif isinstance(subject, int):
+        subjects = (subject,)
+    else:
+        subjects = tuple(subject)
+    return (query, semantics, subjects, ordered)
+
+
+class PlanCache:
+    """Bounded LRU map from :data:`PlanKey` to (pattern, decomposition).
+
+    All methods are safe to call from any number of threads; the single
+    internal lock is held only for dictionary operations (never across a
+    parse or decompose, so concurrent misses may both compile — the
+    second insert wins harmlessly, both artifacts being equivalent).
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanKey, tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: PlanKey):
+        """The cached (pattern, decomposition) for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: PlanKey, pattern, decomposition) -> None:
+        with self._lock:
+            self._entries[key] = (pattern, decomposition)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters and the derived hit ratio (0.0 when unused)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_ratio": (self.hits / total) if total else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PlanCache(entries={len(self)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

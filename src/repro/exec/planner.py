@@ -202,6 +202,22 @@ class Planner:
         """Compile a query (string or pattern tree) into a physical plan."""
         pattern = parse_query(query) if isinstance(query, str) else query
         dec = decompose(pattern)
+        return self.plan_from(pattern, dec, ordered=ordered, limit=limit)
+
+    def plan_from(
+        self,
+        pattern: PatternTree,
+        dec: Decomposition,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+    ) -> PhysicalPlan:
+        """Build a fresh operator tree from pre-compiled artifacts.
+
+        ``pattern`` and ``dec`` are the data-independent halves of a
+        compile (what the :class:`~repro.exec.plancache.PlanCache`
+        stores, shared read-only across plans); the operator tree is
+        stateful and therefore always built anew.
+        """
         root = self._plan_subtree(dec, 0, pattern, ordered)
         root = self._apply_semantics(root)
         root = Project(root, pattern.returning_node)

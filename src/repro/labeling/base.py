@@ -231,6 +231,20 @@ class AccessLabeling(abc.ABC):
         naive) need nothing.
         """
 
+    # -- snapshots ----------------------------------------------------------
+
+    def clone(self) -> "AccessLabeling":
+        """An independent copy that future updates to ``self`` never touch.
+
+        The snapshot mechanism (:class:`~repro.storage.snapshot.StoreSnapshot`)
+        freezes the labeling state at commit time with this hook: the
+        clone must answer every probe identically to ``self`` *now*, and
+        must share no mutable state with it — mutating either afterwards
+        cannot be observed through the other. Backends with cheaper
+        copies than the catalog round-trip override it.
+        """
+        return type(self).from_catalog(self.to_catalog(), getattr(self, "doc", None))
+
     # -- invariants ---------------------------------------------------------
 
     def validate(self) -> None:

@@ -17,6 +17,7 @@ range rebuilds every affected subject's map.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.acl.model import READ, AccessMatrix
@@ -42,6 +43,14 @@ class CAMLabeling(AccessLabeling):
         self.n_subjects = n_subjects
         self._masks: List[int] = list(masks)
         self._cams: Dict[int, CAM] = {}
+        # Guards the lazy map cache: concurrent readers of one (snapshot)
+        # labeling may race to build the same subject's CAM; the lock
+        # makes the build-and-insert atomic. Update hooks clear the cache
+        # under the same lock, inside the store's writer critical section
+        # — but isolation for in-flight readers comes from clone(): a
+        # snapshot keeps its own map dict, so a writer clearing the live
+        # labeling's maps can never empty a cache a reader is using.
+        self._cams_lock = threading.Lock()
 
     @classmethod
     def build(
@@ -52,14 +61,17 @@ class CAMLabeling(AccessLabeling):
     # -- the per-subject maps ----------------------------------------------
 
     def cam_for(self, subject: int) -> CAM:
-        """The (lazily built) CAM of one subject."""
+        """The (lazily built) CAM of one subject (thread-safe)."""
         if not 0 <= subject < self.n_subjects:
             raise AccessControlError(f"subject {subject} out of range")
         cam = self._cams.get(subject)
         if cam is None:
-            vector = [bool(mask >> subject & 1) for mask in self._masks]
-            cam = CAM.from_vector(self.doc, vector)
-            self._cams[subject] = cam
+            with self._cams_lock:
+                cam = self._cams.get(subject)
+                if cam is None:
+                    vector = [bool(mask >> subject & 1) for mask in self._masks]
+                    cam = CAM.from_vector(self.doc, vector)
+                    self._cams[subject] = cam
         return cam
 
     # -- probes -------------------------------------------------------------
@@ -112,9 +124,15 @@ class CAMLabeling(AccessLabeling):
     # -- updates ------------------------------------------------------------
 
     def _install_masks(self, masks: List[int]) -> None:
-        self._masks = list(masks)
-        self.n_nodes = len(masks)
-        self._cams.clear()
+        # Map invalidation runs inside the writer critical section (the
+        # store holds its writer lock around every update hook); the lock
+        # below additionally serializes against a concurrent lazy build
+        # on this same object. Readers on an older snapshot are unharmed
+        # either way: clone() gave them their own _cams dict.
+        with self._cams_lock:
+            self._masks = list(masks)
+            self.n_nodes = len(masks)
+            self._cams.clear()
 
     def _count_labels(self) -> "int | None":
         # CAM labels depend on tree shape: between a structural mask edit
@@ -125,9 +143,29 @@ class CAMLabeling(AccessLabeling):
         return self.n_labels
 
     def rebind_document(self, doc: Document) -> None:
-        """Adopt a structurally edited document; CAMs rebuild lazily."""
-        self.doc = doc
-        self._cams.clear()
+        """Adopt a structurally edited document; CAMs rebuild lazily.
+
+        Like :meth:`_install_masks`, the invalidation is only sound
+        inside the writer critical section — the store calls it with the
+        writer lock held, after old-snapshot readers were given clones.
+        """
+        with self._cams_lock:
+            self.doc = doc
+            self._cams.clear()
+
+    def clone(self) -> "CAMLabeling":
+        """Snapshot copy: own mask array, own map cache.
+
+        Built CAM objects are shared — a CAM is immutable once built
+        (probes only walk its entry tree) and the live labeling drops,
+        never mutates, its maps on update. The clone's independent
+        ``_cams`` dict is the point: the writer clearing the live cache
+        cannot empty what a snapshot reader is probing.
+        """
+        copy = CAMLabeling(self.doc, self._masks, self.n_subjects)
+        with self._cams_lock:
+            copy._cams = dict(self._cams)
+        return copy
 
     def rebuilt_subjects(self) -> Optional[int]:
         """How many per-subject CAMs are currently materialized."""

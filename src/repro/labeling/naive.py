@@ -96,6 +96,10 @@ class NaiveLabeling(AccessLabeling):
         self._masks = list(masks)
         self.n_nodes = len(masks)
 
+    def clone(self) -> "NaiveLabeling":
+        """Snapshot copy: an independent mask array is the whole state."""
+        return NaiveLabeling(self._masks, self.n_subjects)
+
     def validate(self) -> None:
         if len(self._masks) != self.n_nodes:
             raise AccessControlError("mask array / node count drift")

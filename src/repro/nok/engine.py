@@ -26,6 +26,7 @@ from typing import Iterator, List, Optional, Sequence, Union
 from repro.acl.model import READ, AccessMatrix
 from repro.errors import ReproError
 from repro.exec.context import EvalStats, ExecutionContext, QueryResult
+from repro.exec.plancache import PlanCache, plan_key
 from repro.labeling.base import AccessLabeling
 from repro.labeling.registry import DEFAULT_BACKEND, build_labeling
 from repro.index.tagindex import TagIndex
@@ -33,6 +34,7 @@ from repro.nok.decompose import Decomposition, decompose
 from repro.nok.pattern import CHILD, PatternTree, parse_query
 from repro.secure.semantics import CHO, SEMANTICS
 from repro.storage.nokstore import NoKStore
+from repro.storage.snapshot import StoreSnapshot
 from repro.xmltree.document import Document
 
 __all__ = ["EvalStats", "QueryEngine", "QueryResult"]
@@ -53,6 +55,7 @@ class QueryEngine:
         store: Optional[NoKStore] = None,
         index: Optional[TagIndex] = None,
         dol: Optional[AccessLabeling] = None,
+        plan_cache_size: int = 128,
     ):
         if labeling is None:
             labeling = dol
@@ -66,6 +69,9 @@ class QueryEngine:
         )
         self.store = store
         self.index = index if index is not None else TagIndex(doc)
+        #: compiled (pattern, decomposition) artifacts, shared by every
+        #: execution — immutable once built, so cache hits are thread-safe
+        self.plan_cache = PlanCache(plan_cache_size)
 
     @property
     def dol(self) -> Optional[AccessLabeling]:
@@ -114,25 +120,54 @@ class QueryEngine:
         ordered: bool = False,
         limit: Optional[int] = None,
         strict: bool = True,
+        snapshot: Optional[StoreSnapshot] = None,
     ):
         """Compile a query into a :class:`~repro.exec.planner.PhysicalPlan`.
 
         The plan carries a fresh :class:`~repro.exec.context.ExecutionContext`
         (and so fresh statistics); execute it once via ``plan.execute()``
         (streaming) or ``plan.run()`` (drained :class:`QueryResult`).
+
+        Over a block store the context binds to a
+        :class:`~repro.storage.snapshot.StoreSnapshot` — by default the
+        store's current one, or an explicitly pinned ``snapshot=`` — so
+        the whole execution reads one consistent epoch even while updates
+        commit concurrently. The data-independent compile artifacts
+        (pattern parse + NoK decomposition) come from the engine's
+        :class:`~repro.exec.plancache.PlanCache` for string queries,
+        making compile/evaluate/stream safe and cheap to call from many
+        threads at once.
         """
         from repro.exec.planner import Planner
 
+        if snapshot is None and self.store is not None:
+            snapshot = self.store.snapshot()
+        if snapshot is not None:
+            doc, labeling, source = snapshot.doc, snapshot.labeling, snapshot
+        else:
+            doc, labeling, source = self.doc, self.labeling, None
         ctx = ExecutionContext(
-            self.doc,
-            labeling=self.labeling,
-            store=self.store,
+            doc,
+            labeling=labeling,
+            store=source,
             index=self.index,
             subject=subject,
             semantics=semantics,
             strict=strict,
         )
-        return Planner(ctx).plan(query, ordered=ordered, limit=limit)
+        if isinstance(query, str):
+            key = plan_key(query, semantics, subject, ordered)
+            cached = self.plan_cache.get(key)
+            if cached is None:
+                pattern = parse_query(query)
+                dec = decompose(pattern)
+                self.plan_cache.put(key, pattern, dec)
+            else:
+                pattern, dec = cached
+        else:
+            pattern = query
+            dec = decompose(pattern)
+        return Planner(ctx).plan_from(pattern, dec, ordered=ordered, limit=limit)
 
     def evaluate(
         self,
@@ -142,6 +177,7 @@ class QueryEngine:
         ordered: bool = False,
         limit: Optional[int] = None,
         strict: bool = True,
+        snapshot: Optional[StoreSnapshot] = None,
     ) -> QueryResult:
         """Evaluate a twig query, securely when ``subject`` is given.
 
@@ -161,7 +197,7 @@ class QueryEngine:
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit, strict=strict,
+            limit=limit, strict=strict, snapshot=snapshot,
         ).run()
 
     def stream(
@@ -172,6 +208,7 @@ class QueryEngine:
         ordered: bool = False,
         limit: Optional[int] = None,
         strict: bool = True,
+        snapshot: Optional[StoreSnapshot] = None,
     ) -> Iterator[int]:
         """Lazily yield distinct returning-node positions as found.
 
@@ -182,7 +219,7 @@ class QueryEngine:
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit, strict=strict,
+            limit=limit, strict=strict, snapshot=snapshot,
         ).execute()
 
     def evaluate_path(
@@ -275,6 +312,7 @@ class QueryEngine:
         ordered: bool = False,
         limit: Optional[int] = None,
         strict: bool = True,
+        snapshot: Optional[StoreSnapshot] = None,
     ) -> "tuple[QueryResult, str]":
         """Execute a query and return (result, annotated physical plan).
 
@@ -285,7 +323,7 @@ class QueryEngine:
         """
         plan = self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit, strict=strict,
+            limit=limit, strict=strict, snapshot=snapshot,
         )
         result = plan.run()
         return result, plan.explain(analyze=True)

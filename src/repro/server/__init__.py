@@ -1,0 +1,23 @@
+"""Concurrent query serving on top of the secure NoK engine.
+
+The package splits the serving layer into three small pieces:
+
+- :mod:`repro.server.service` — :class:`QueryService`, the embeddable
+  core: a bounded worker pool executing engine calls with admission
+  control, per-request timeouts and service metrics. Fully testable
+  without any socket.
+- :mod:`repro.server.protocol` — the newline-delimited JSON request and
+  response format the wire server speaks.
+- :mod:`repro.server.netserver` — a threading TCP server binding the
+  protocol to a :class:`QueryService` (the ``repro-dol serve`` command).
+"""
+
+from repro.server.protocol import decode_request, encode_response
+from repro.server.service import QueryService, ServiceConfig
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "decode_request",
+    "encode_response",
+]

@@ -1,0 +1,83 @@
+"""TCP front end: newline-delimited JSON over a threading socket server.
+
+Each connection gets its own handler thread reading request lines;
+evaluation itself happens on the :class:`~repro.server.service.QueryService`
+pool, so the *service* — not the number of open sockets — bounds the
+concurrent work. Connection threads merely block on their request's
+future, and a shed request is answered in-band without occupying a
+worker.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.server.protocol import decode_request, encode_response, error_response
+from repro.server.service import QueryService
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                request = decode_request(line)
+            except ServiceError as exc:
+                self.wfile.write(encode_response(error_response(exc)))
+                continue
+            response = service.handle(request)
+            try:
+                self.wfile.write(encode_response(response))
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class QueryServer(socketserver.ThreadingTCPServer):
+    """One listening socket bound to one :class:`QueryService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound (host, port) — port 0 resolves here."""
+        return self.server_address[:2]
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    background: bool = False,
+) -> QueryServer:
+    """Start serving; blocks unless ``background`` (tests use that).
+
+    Returns the server either way — callers own ``shutdown()`` /
+    ``server_close()``.
+    """
+    server = QueryServer((host, port), service)
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return server
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    return server

@@ -1,0 +1,60 @@
+"""Newline-delimited JSON: the wire format of ``repro-dol serve``.
+
+One request per line, one response line per request, in order:
+
+.. code-block:: text
+
+    -> {"op": "ping"}
+    <- {"ok": true, "pong": true}
+    -> {"op": "query", "query": "//item/name", "subject": 3}
+    <- {"ok": true, "positions": [...], "n_answers": 4, "epoch": 7, ...}
+    -> {"op": "update", "kind": "subject_range", "start": 10, "end": 90,
+        "subject": 3, "value": false}
+    <- {"ok": true, "epoch": 8, "pages_rewritten": 2, ...}
+    -> {"op": "metrics"}
+    <- {"ok": true, "metrics": {...}}
+
+Failures are in-band — ``{"ok": false, "error": "ServiceOverloaded",
+"message": "..."}`` — so a shed or malformed request never drops the
+connection. The format is trivially scriptable (``nc`` + ``jq``) and
+keeps the server free of any framing beyond ``\\n``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ServiceError
+
+#: protect the line reader against garbage/abusive peers
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def decode_request(line: "str | bytes") -> Dict[str, Any]:
+    """Parse one request line into a dictionary (:class:`ServiceError` on
+    anything that is not a single JSON object)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(f"request is not valid UTF-8: {exc}")
+    if len(line) > MAX_REQUEST_BYTES:
+        raise ServiceError("request line exceeds the 1 MiB limit")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(f"request is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ServiceError("request must be a JSON object")
+    return payload
+
+
+def encode_response(response: Dict[str, Any]) -> bytes:
+    """Serialize one response dictionary to a single UTF-8 line."""
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def error_response(exc: BaseException) -> Dict[str, Any]:
+    """The in-band error shape used by the service and the wire server."""
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}

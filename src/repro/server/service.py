@@ -1,0 +1,306 @@
+"""The embeddable query service: a bounded pool over one engine.
+
+:class:`QueryService` is the concurrency contract of the serving layer
+made concrete:
+
+- a fixed pool of worker threads executes engine calls; each call binds
+  to the store's current :class:`~repro.storage.snapshot.StoreSnapshot`,
+  so a request reads one consistent epoch end to end;
+- admission control bounds *total* in-flight work at ``workers +
+  queue_depth``; a request beyond that is shed immediately with
+  :class:`~repro.errors.ServiceOverloaded` rather than queued without
+  bound (fail fast beats unbounded latency);
+- every request carries a deadline: a result not produced within the
+  timeout raises :class:`~repro.errors.ServiceTimeout` to the caller.
+  The worker itself cannot be killed mid-iterator — it finishes and its
+  result is discarded — so the in-flight gauge stays honest: the slot
+  counts as occupied until the worker actually returns;
+- metrics aggregate request counts and latency with the engine's plan
+  cache statistics, the store's buffer/latch counters and the current
+  snapshot epoch, giving the serving picture in one dictionary.
+
+:meth:`QueryService.handle` additionally speaks the wire protocol's
+request dictionaries directly (``ping`` / ``query`` / ``update`` /
+``metrics``), so the whole service is testable without opening a socket.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ReproError, ServiceError, ServiceOverloaded, ServiceTimeout
+from repro.nok.engine import QueryEngine
+from repro.secure.semantics import CHO, SEMANTICS
+
+
+@dataclass
+class ServiceConfig:
+    """Sizing knobs for a :class:`QueryService`."""
+
+    workers: int = 4
+    #: extra requests admitted beyond the busy workers before shedding
+    queue_depth: int = 16
+    #: per-request deadline in seconds (``None`` disables)
+    timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError("service needs at least one worker")
+        if self.queue_depth < 0:
+            raise ServiceError("queue depth cannot be negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ServiceError("timeout must be positive (or None)")
+
+
+class QueryService:
+    """Thread-safe query/update serving over one :class:`QueryEngine`."""
+
+    def __init__(self, engine: QueryEngine, config: Optional[ServiceConfig] = None):
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self._limit = self.config.workers + self.config.queue_depth
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-query"
+        )
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._closed = False
+        # -- counters (all guarded by _lock) --
+        self._requests = 0
+        self._completed = 0
+        self._failed = 0
+        self._shed = 0
+        self._timeouts = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work and wait for in-flight requests."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution core ----------------------------------------------------
+
+    def _submit(self, fn: Callable[[], Any], timeout: Optional[float]) -> Any:
+        """Run ``fn`` on the pool under admission control + deadline."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            if self._inflight >= self._limit:
+                self._shed += 1
+                raise ServiceOverloaded(self._inflight, self._limit)
+            self._inflight += 1
+            self._requests += 1
+
+        started = perf_counter()
+
+        def run() -> Any:
+            try:
+                return fn()
+            finally:
+                elapsed = perf_counter() - started
+                with self._lock:
+                    self._inflight -= 1
+                    self._latency_total += elapsed
+                    self._latency_max = max(self._latency_max, elapsed)
+
+        try:
+            future = self._pool.submit(run)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
+        deadline = timeout if timeout is not None else self.config.timeout
+        try:
+            result = future.result(timeout=deadline)
+        except FutureTimeout:
+            # The worker thread cannot be interrupted; it will finish and
+            # release its slot on its own. The caller just stops waiting.
+            with self._lock:
+                self._timeouts += 1
+                self._failed += 1
+            raise ServiceTimeout(deadline) from None
+        except BaseException:
+            with self._lock:
+                self._failed += 1
+            raise
+        with self._lock:
+            self._completed += 1
+        return result
+
+    # -- public request API ------------------------------------------------
+
+    def evaluate(
+        self,
+        query: str,
+        subject=None,
+        semantics: str = CHO,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Evaluate one query on the pool; returns a plain-data response.
+
+        The worker pins the store's current snapshot first, so the
+        response can name the epoch the answer is consistent with.
+        """
+        if semantics not in SEMANTICS:
+            raise ServiceError(f"unknown semantics {semantics!r}")
+
+        def work() -> Dict[str, Any]:
+            store = self.engine.store
+            snapshot = store.snapshot() if store is not None else None
+            result = self.engine.evaluate(
+                query,
+                subject=subject,
+                semantics=semantics,
+                ordered=ordered,
+                limit=limit,
+                snapshot=snapshot,
+            )
+            return {
+                "positions": result.positions,
+                "n_answers": result.n_answers,
+                "epoch": snapshot.epoch if snapshot is not None else 0,
+                "stats": {
+                    "access_checks": result.stats.access_checks,
+                    "logical_page_reads": result.stats.logical_page_reads,
+                    "physical_page_reads": result.stats.physical_page_reads,
+                    "wall_time": result.stats.wall_time,
+                },
+            }
+
+        return self._submit(work, timeout)
+
+    def update(
+        self,
+        kind: str,
+        start: int,
+        end: int,
+        subject: Optional[int] = None,
+        value: Optional[bool] = None,
+        mask: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Apply one Section 3.4 accessibility update through the pool.
+
+        Updates serialize on the store's writer lock; running them on the
+        same pool keeps the admission limit a bound on *all* service
+        work, and gives updates the same deadline discipline as queries.
+        """
+        store = self.engine.store
+        if store is None:
+            raise ServiceError("service engine has no store to update")
+
+        def work() -> Dict[str, Any]:
+            if kind == "subject_range":
+                if subject is None or value is None:
+                    raise ServiceError(
+                        "subject_range update needs subject= and value="
+                    )
+                cost = store.update_subject_range(start, end, subject, value)
+            elif kind == "range_mask":
+                if mask is None:
+                    raise ServiceError("range_mask update needs mask=")
+                cost = store.update_range_mask(start, end, mask)
+            else:
+                raise ServiceError(f"unknown update kind {kind!r}")
+            return {
+                "epoch": store.epoch,
+                "pages_rewritten": cost.pages_rewritten,
+                "transition_delta": cost.transition_delta,
+            }
+
+        return self._submit(work, timeout)
+
+    def metrics(self) -> Dict[str, Any]:
+        """One dictionary covering the whole serving stack."""
+        with self._lock:
+            served = self._completed
+            report: Dict[str, Any] = {
+                "requests": self._requests,
+                "completed": served,
+                "failed": self._failed,
+                "shed": self._shed,
+                "timeouts": self._timeouts,
+                "inflight": self._inflight,
+                "workers": self.config.workers,
+                "admission_limit": self._limit,
+                "latency_mean": (self._latency_total / served) if served else 0.0,
+                "latency_max": self._latency_max,
+            }
+        report["plan_cache"] = self.engine.plan_cache.stats()
+        store = self.engine.store
+        if store is not None:
+            report["epoch"] = store.epoch
+            snap = store._snapshot
+            report["snapshot_frozen_pages"] = (
+                snap.frozen_page_count() if snap is not None else 0
+            )
+            report["buffer"] = store.buffer.stats.snapshot()
+        return report
+
+    # -- wire-protocol dispatch -------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one protocol request dictionary; never raises.
+
+        Errors come back as ``{"ok": false, "error": <class>, "message":
+        ...}`` so one malformed or shed request cannot tear down a
+        connection serving others.
+        """
+        try:
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "metrics":
+                return {"ok": True, "metrics": self.metrics()}
+            if op == "query":
+                query = request.get("query")
+                if not isinstance(query, str) or not query:
+                    raise ServiceError("query request needs a query string")
+                body = self.evaluate(
+                    query,
+                    subject=request.get("subject"),
+                    semantics=request.get("semantics", CHO),
+                    ordered=bool(request.get("ordered", False)),
+                    limit=request.get("limit"),
+                    timeout=request.get("timeout"),
+                )
+                return {"ok": True, **body}
+            if op == "update":
+                body = self.update(
+                    request.get("kind", ""),
+                    int(request.get("start", -1)),
+                    int(request.get("end", -1)),
+                    subject=request.get("subject"),
+                    value=request.get("value"),
+                    mask=request.get("mask"),
+                    timeout=request.get("timeout"),
+                )
+                return {"ok": True, **body}
+            raise ServiceError(f"unknown op {op!r}")
+        except ReproError as exc:
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        except (TypeError, ValueError) as exc:
+            return {"ok": False, "error": "BadRequest", "message": str(exc)}

@@ -1,14 +1,30 @@
-"""LRU buffer pool over a :class:`~repro.storage.pager.Pager`.
+"""Latched LRU buffer pool over a :class:`~repro.storage.pager.Pager`.
 
 The pool serves page reads out of memory when possible and tracks both
 logical accesses and physical I/O, so experiments can verify claims like
 "accessibility checks require no additional I/O" and "inaccessible pages
 are never read".
+
+Concurrency
+-----------
+The pool is safe for many threads: every public operation runs under a
+single pool-level **latch** (an :class:`threading.RLock`), and frames can
+be **pinned** so that eviction never races a reader that is still using a
+page. All :class:`BufferStats` counters are mutated only while the latch
+is held, which makes them race-free; ``latch_contention`` counts how
+often a thread found the latch already taken (the pool's contention
+metric, exported by the serving layer).
+
+Latch ordering (see DESIGN.md §10): the pool latch is the *innermost*
+lock of the storage stack — no code may acquire the store writer lock or
+any other lock while holding it.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -18,28 +34,56 @@ from repro.storage.pager import Pager, stamp_page
 
 @dataclass
 class BufferStats:
-    """Counters of buffer pool activity."""
+    """Counters of buffer pool activity.
+
+    All fields are updated under the pool latch only, so concurrent
+    readers never lose increments. ``latch_contention`` counts latch
+    acquisitions that had to wait because another thread held it.
+    """
 
     logical_reads: int = 0
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     dirty_writes: int = 0
+    latch_contention: int = 0
 
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.logical_reads if self.logical_reads else 0.0
 
     def reset(self) -> None:
+        """Zero every counter.
+
+        Contract: this resets *measurement* state only — it never touches
+        frames, dirty flags, or pins, so no in-flight dirty-page
+        accounting is lost (a dirty frame stays dirty and will still be
+        written back; only the ``dirty_writes`` tally restarts from zero).
+        When the pool is shared between threads, call
+        :meth:`BufferPool.reset_stats` instead so the reset runs under
+        the latch and cannot interleave with a concurrent increment.
+        """
         self.logical_reads = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.dirty_writes = 0
+        self.latch_contention = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of the counters (for metrics endpoints)."""
+        return {
+            "logical_reads": self.logical_reads,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "dirty_writes": self.dirty_writes,
+            "latch_contention": self.latch_contention,
+        }
 
 
 class BufferPool:
-    """A bounded LRU cache of page frames with write-back on eviction.
+    """A bounded, latched LRU cache of page frames with write-back.
 
     When a :class:`~repro.storage.wal.WriteAheadLog` is attached via
     ``wal`` and has an open batch, every physical write-back (explicit
@@ -47,6 +91,12 @@ class BufferPool:
     page's current on-disk bytes as the before-image, the stamped new
     bytes as the after-image — and fsyncs the log. This is the WAL rule:
     no data page reaches the file before the log can undo or redo it.
+
+    Pinning: :meth:`pin` / :meth:`unpin` bracket multi-step uses of a
+    resident frame. A pinned frame is never chosen as an eviction victim;
+    if every frame is pinned the pool temporarily admits beyond
+    ``capacity`` rather than deadlock (counted in ``pin_overflows`` via
+    the eviction loop simply not finding a victim).
     """
 
     def __init__(
@@ -63,36 +113,88 @@ class BufferPool:
         self.stats = BufferStats()
         self.on_evict = on_evict
         self.wal = wal
+        self.latch = threading.RLock()
         self._frames: "OrderedDict[int, bytearray]" = OrderedDict()
         self._dirty: Dict[int, bool] = {}
+        self._pins: Dict[int, int] = {}
+
+    @contextmanager
+    def latched(self):
+        """Acquire the pool latch, counting contention race-free.
+
+        The contention counter is bumped only after the latch is held, so
+        the increment itself can never race. Re-entrant acquisition by
+        the holding thread never counts as contention (RLock fast path).
+        """
+        contended = not self.latch.acquire(blocking=False)
+        if contended:
+            self.latch.acquire()
+        try:
+            if contended:
+                self.stats.latch_contention += 1
+            yield
+        finally:
+            self.latch.release()
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        """Protect a resident frame from eviction until :meth:`unpin`.
+
+        Pin counts nest; the frame must currently be resident.
+        """
+        with self.latched():
+            if page_id not in self._frames:
+                raise StorageError(f"cannot pin non-resident page {page_id}")
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on a frame."""
+        with self.latched():
+            count = self._pins.get(page_id, 0)
+            if count <= 0:
+                raise StorageError(f"page {page_id} is not pinned")
+            if count == 1:
+                del self._pins[page_id]
+            else:
+                self._pins[page_id] = count - 1
+
+    def pin_count(self, page_id: int) -> int:
+        """Current pin count of a frame (0 when unpinned or absent)."""
+        with self.latched():
+            return self._pins.get(page_id, 0)
+
+    # -- reads -----------------------------------------------------------------
 
     def touch(self, page_id: int) -> bool:
         """Record a logical access; True iff the page was resident.
 
         Callers that keep their own decoded view of a resident page use
         this to account for the access without copying the frame bytes.
-        A miss is *not* serviced — follow up with :meth:`get`.
+        A miss is *not* serviced — follow up with :meth:`fetch`.
         """
-        self.stats.logical_reads += 1
-        if page_id in self._frames:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-            return True
-        self.stats.misses += 1
-        return False
+        with self.latched():
+            self.stats.logical_reads += 1
+            if page_id in self._frames:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return True
+            self.stats.misses += 1
+            return False
 
     def get(self, page_id: int) -> bytes:
         """Return page contents, reading from the pager on a miss."""
-        self.stats.logical_reads += 1
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-            return bytes(frame)
-        self.stats.misses += 1
-        data = self.pager.read_page(page_id)
-        self._admit(page_id, bytearray(data), dirty=False)
-        return data
+        with self.latched():
+            self.stats.logical_reads += 1
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return bytes(frame)
+            self.stats.misses += 1
+            data = self.pager.read_page(page_id)
+            self._admit(page_id, bytearray(data), dirty=False)
+            return data
 
     def fetch(self, page_id: int) -> bytes:
         """Service a miss previously recorded by :meth:`touch`.
@@ -100,54 +202,95 @@ class BufferPool:
         Performs the physical read and admits the frame without counting a
         second logical access.
         """
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            return bytes(frame)
-        data = self.pager.read_page(page_id)
-        self._admit(page_id, bytearray(data), dirty=False)
-        return data
+        with self.latched():
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                return bytes(frame)
+            data = self.pager.read_page(page_id)
+            self._admit(page_id, bytearray(data), dirty=False)
+            return data
+
+    def peek(self, page_id: int) -> Optional[bytes]:
+        """Frame bytes if resident, else None — no stats, no I/O.
+
+        Used by the snapshot layer to capture pre-images without
+        perturbing the hit/miss accounting experiments rely on.
+        """
+        with self.latched():
+            frame = self._frames.get(page_id)
+            return bytes(frame) if frame is not None else None
+
+    # -- writes ----------------------------------------------------------------
 
     def put(self, page_id: int, data: bytes) -> None:
         """Install new page contents in the pool (write-back later)."""
-        if len(data) != self.pager.page_size:
-            raise StorageError("page data has the wrong size")
-        if page_id in self._frames:
-            self._frames[page_id][:] = data
-            self._frames.move_to_end(page_id)
-            self._dirty[page_id] = True
-        else:
-            self._admit(page_id, bytearray(data), dirty=True)
+        with self.latched():
+            if len(data) != self.pager.page_size:
+                raise StorageError("page data has the wrong size")
+            if page_id in self._frames:
+                self._frames[page_id][:] = data
+                self._frames.move_to_end(page_id)
+                self._dirty[page_id] = True
+            else:
+                self._admit(page_id, bytearray(data), dirty=True)
 
     def flush(self, page_id: int) -> None:
         """Write one dirty page through to the pager."""
-        if self._dirty.get(page_id):
-            self._write_back(page_id, bytes(self._frames[page_id]))
-            self._dirty[page_id] = False
+        with self.latched():
+            if self._dirty.get(page_id):
+                self._write_back(page_id, bytes(self._frames[page_id]))
+                self._dirty[page_id] = False
 
     def flush_all(self) -> None:
         """Write all dirty pages through to the pager."""
-        for page_id in list(self._frames):
-            self.flush(page_id)
+        with self.latched():
+            for page_id in list(self._frames):
+                self.flush(page_id)
 
     def clear(self) -> None:
-        """Flush and drop every frame (cold cache)."""
-        self.flush_all()
-        if self.on_evict is not None:
-            for page_id in self._frames:
-                self.on_evict(page_id)
-        self._frames.clear()
-        self._dirty.clear()
+        """Flush and drop every frame (cold cache). Pins are released:
+        this is a whole-pool reset, only valid when no reader is mid-use.
+        """
+        with self.latched():
+            self.flush_all()
+            if self.on_evict is not None:
+                for page_id in self._frames:
+                    self.on_evict(page_id)
+            self._frames.clear()
+            self._dirty.clear()
+            self._pins.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters under the latch (see :meth:`BufferStats.reset`).
+
+        Only measurement state is touched: frames, dirty flags and pins
+        survive, so a reset issued mid-use never loses a pending dirty
+        write-back — only its tally.
+        """
+        with self.latched():
+            self.stats.reset()
 
     def resident(self, page_id: int) -> bool:
         """True if the page is currently cached (no I/O to read it)."""
-        return page_id in self._frames
+        with self.latched():
+            return page_id in self._frames
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self.latched():
+            return len(self._frames)
 
     def _admit(self, page_id: int, frame: bytearray, dirty: bool) -> None:
+        # Caller holds the latch. Pinned frames are never victims; when
+        # everything is pinned the pool overflows its capacity rather
+        # than evict a frame a reader still holds.
         while len(self._frames) >= self.capacity:
-            victim, victim_frame = self._frames.popitem(last=False)
+            victim = next(
+                (pid for pid in self._frames if self._pins.get(pid, 0) == 0),
+                None,
+            )
+            if victim is None:
+                break
+            victim_frame = self._frames.pop(victim)
             if self._dirty.pop(victim, False):
                 self._write_back(victim, bytes(victim_frame))
             self.stats.evictions += 1

@@ -78,6 +78,16 @@ class PageHeaderTable:
         self._check(page_index)
         return self._headers[page_index]
 
+    def clone(self) -> "PageHeaderTable":
+        """An independent copy for a store snapshot.
+
+        :class:`PageHeader` entries are replaced (never mutated in
+        place), so a shallow list copy freezes the table's state.
+        """
+        table = PageHeaderTable()
+        table._headers = list(self._headers)
+        return table
+
     def truncate(self, n_pages: int) -> None:
         """Drop headers beyond ``n_pages`` (after a shrinking update)."""
         if n_pages < 0:

@@ -27,6 +27,7 @@ no pages (the labeling travels through the catalog instead).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -37,6 +38,7 @@ from repro.storage.buffer import BufferPool
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
 from repro.storage.pager import CHECKSUM_SIZE, DEFAULT_PAGE_SIZE, Pager
+from repro.storage.snapshot import StoreSnapshot
 from repro.storage.wal import WriteAheadLog
 from repro.xmltree.document import NO_NODE, Document
 
@@ -96,6 +98,7 @@ class NoKStore:
             raise StorageError("page size too small for even one node entry")
         self.pager = Pager(path, page_size)
         self.wal: Optional[WriteAheadLog] = None
+        self.values = None
         try:
             if path is not None:
                 self.wal = WriteAheadLog(wal_path_for(path))
@@ -108,7 +111,7 @@ class NoKStore:
                 wal=self.wal,
             )
             self.headers = PageHeaderTable()
-            self.values = None
+            self._init_concurrency()
             if paged_values:
                 from repro.storage.valuestore import ValueStore
 
@@ -119,10 +122,12 @@ class NoKStore:
                 )
             self._build()
         except BaseException:
-            # Don't leak the file handles when construction fails mid-way.
+            # Don't leak any file handle when construction fails mid-way.
             self.pager.close()
             if self.wal is not None:
                 self.wal.close()
+            if self.values is not None:
+                self.values.close()
             raise
 
     # -- construction -----------------------------------------------------------
@@ -158,7 +163,21 @@ class NoKStore:
         store.headers = headers
         store.values = None
         store._n_data_pages = len(headers)
+        store._init_concurrency()
         return store
+
+    def _init_concurrency(self) -> None:
+        """Single-writer lock + snapshot publication state.
+
+        The writer lock is the *outermost* storage lock (see DESIGN.md
+        §10): every Section 3.4 update holds it across labeling mutation,
+        page rewrite and snapshot publication. Readers never take it —
+        they bind to the published :class:`StoreSnapshot`, whose
+        acquisition after the first call is a plain reference load.
+        """
+        self._writer_lock = threading.RLock()
+        self._epoch = 0
+        self._snapshot: Optional[StoreSnapshot] = None
 
     @classmethod
     def open(
@@ -206,6 +225,76 @@ class NoKStore:
         """Page index holding document position ``pos``."""
         self._check(pos)
         return pos // self.entries_per_page
+
+    # -- snapshots (concurrent serving; DESIGN.md §10) ---------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic commit counter; bumped by every committed update."""
+        return self._epoch
+
+    def snapshot(self) -> StoreSnapshot:
+        """The current immutable read view of this store.
+
+        The first call materializes it (under the writer lock, so the
+        clone cannot tear against a committing update); afterwards every
+        committed update publishes a successor, and acquiring the current
+        snapshot is a single reference load — readers never block on
+        writers.
+        """
+        snap = self._snapshot
+        if snap is not None:
+            return snap
+        with self._writer_lock:
+            if self._snapshot is None:
+                self._snapshot = self._make_snapshot()
+            return self._snapshot
+
+    def _make_snapshot(self) -> StoreSnapshot:
+        return StoreSnapshot(
+            self,
+            self._epoch,
+            self.doc,
+            self.labeling.clone(),
+            self.headers.clone(),
+            self._n_data_pages,
+        )
+
+    def _freeze_pages(self, first_page: int, last_page_exclusive: int) -> None:
+        """Copy-on-write: stash pre-images into the outgoing snapshot.
+
+        Must run (writer lock held) *before* any page in the range is
+        rewritten — snapshot readers rely on "overlay installed before
+        rewrite" to close their read/recheck race. A no-op while no
+        snapshot has ever been taken (single-threaded usage pays nothing).
+        """
+        prior = self._snapshot
+        if prior is None:
+            return
+        for page_id in range(first_page, min(last_page_exclusive, self.pager.n_pages)):
+            if page_id in prior._overlay:
+                continue
+            data = self.buffer.peek(page_id)
+            if data is None:
+                data = self.pager.read_page_raw(page_id)
+            prior._overlay[page_id] = data
+
+    def _publish_snapshot(self) -> None:
+        """Commit point for readers: bump the epoch and atomically swap in
+        a fresh snapshot, linking the outgoing one to its successor.
+
+        Runs with the writer lock held, after the update fully applied.
+        In-flight readers keep the outgoing snapshot: its labeling,
+        headers and document were cloned/immutable, and its page overlay
+        was filled by :meth:`_freeze_pages` before any byte changed.
+        """
+        self._epoch += 1
+        prior = self._snapshot
+        if prior is None:
+            return
+        successor = self._make_snapshot()
+        prior._next = successor
+        self._snapshot = successor
 
     def _build(self) -> None:
         n = self.n_nodes
@@ -261,14 +350,18 @@ class NoKStore:
     def _page(self, page_id: int) -> _DecodedPage:
         if page_id in self.quarantined:
             raise PageCorruptionError(page_id, detail="page is quarantined")
-        decoded = self._decoded.get(page_id)
-        resident = self.buffer.touch(page_id)
-        if decoded is not None and resident:
+        # The whole lookup runs under the pool latch so the decode cache
+        # and the frame LRU stay coherent when many readers share the
+        # store (touch/fetch re-enter the same RLock).
+        with self.buffer.latched():
+            decoded = self._decoded.get(page_id)
+            resident = self.buffer.touch(page_id)
+            if decoded is not None and resident:
+                return decoded
+            data = self.buffer.fetch(page_id)
+            decoded = self._decode(data)
+            self._decoded[page_id] = decoded
             return decoded
-        data = self.buffer.fetch(page_id)
-        decoded = self._decode(data)
-        self._decoded[page_id] = decoded
-        return decoded
 
     def quarantine(self, page_id: int) -> None:
         """Mark a page corrupt: further access raises without re-reading.
@@ -277,8 +370,9 @@ class NoKStore:
         the page is reported once and skipped afterwards, instead of the
         scan re-reading (and re-failing on) the same bytes per candidate.
         """
-        self.quarantined.add(page_id)
-        self._decoded.pop(page_id, None)
+        with self.buffer.latched():
+            self.quarantined.add(page_id)
+            self._decoded.pop(page_id, None)
 
     def _decode(self, data: bytes) -> _DecodedPage:
         header = PageHeader.unpack(data)
@@ -421,45 +515,54 @@ class NoKStore:
         With a DOL the pages holding the range are re-rendered (the
         embedded codes changed); a hint-free backend updates in memory and
         commits only a catalog patch — no page bytes change.
+
+        Updates run under the store's single-writer lock and publish a
+        fresh :class:`StoreSnapshot` at commit; queries in flight keep
+        reading the snapshot they started on.
         """
-        if not self.has_page_hints:
-            return self._update_in_memory(
-                lambda: self.labeling.set_subject_accessibility(
-                    start, end, subject, value
-                ),
-                {
-                    "op": "set_subject_range",
-                    "start": start,
-                    "end": end,
-                    "subject": subject,
-                    "value": value,
-                },
-            )
-        ops: List[dict] = []
-        updater = DOLUpdater(self.labeling, journal=ops.append)
-        delta = updater.set_subject_accessibility(start, end, subject, value)
-        pages = self._rewrite_range(start, end, ops)
-        return UpdateCost(pages_rewritten=pages, transition_delta=delta)
+        with self._writer_lock:
+            if not self.has_page_hints:
+                return self._update_in_memory(
+                    lambda: self.labeling.set_subject_accessibility(
+                        start, end, subject, value
+                    ),
+                    {
+                        "op": "set_subject_range",
+                        "start": start,
+                        "end": end,
+                        "subject": subject,
+                        "value": value,
+                    },
+                )
+            ops: List[dict] = []
+            updater = DOLUpdater(self.labeling, journal=ops.append)
+            delta = updater.set_subject_accessibility(start, end, subject, value)
+            pages = self._rewrite_range(start, end, ops)
+            return UpdateCost(pages_rewritten=pages, transition_delta=delta)
 
     def update_range_mask(self, start: int, end: int, mask: int) -> UpdateCost:
         """Replace the ACL of [start, end) and rewrite its pages."""
-        if not self.has_page_hints:
-            return self._update_in_memory(
-                lambda: self.labeling.set_range_mask(start, end, mask),
-                {"op": "set_range_mask", "start": start, "end": end, "mask": mask},
-            )
-        ops: List[dict] = []
-        updater = DOLUpdater(self.labeling, journal=ops.append)
-        delta = updater.set_range_mask(start, end, mask)
-        pages = self._rewrite_range(start, end, ops)
-        return UpdateCost(pages_rewritten=pages, transition_delta=delta)
+        with self._writer_lock:
+            if not self.has_page_hints:
+                return self._update_in_memory(
+                    lambda: self.labeling.set_range_mask(start, end, mask),
+                    {"op": "set_range_mask", "start": start, "end": end, "mask": mask},
+                )
+            ops: List[dict] = []
+            updater = DOLUpdater(self.labeling, journal=ops.append)
+            delta = updater.set_range_mask(start, end, mask)
+            pages = self._rewrite_range(start, end, ops)
+            return UpdateCost(pages_rewritten=pages, transition_delta=delta)
 
     def _update_in_memory(self, apply, op: dict) -> UpdateCost:
         """Accessibility update for a backend with no embedded codes.
 
         The labeling mutates in memory; durability comes from the WAL
         commit record alone, whose catalog patch carries the backend's
-        refreshed ``labeling_data``.
+        refreshed ``labeling_data``. The caller holds the writer lock;
+        the backend's own map invalidation therefore happens inside the
+        writer critical section, and old-snapshot readers keep probing
+        the labeling clone the last publish gave them.
         """
         self._wal_begin()
         try:
@@ -468,6 +571,7 @@ class NoKStore:
         except BaseException:
             self._wal_abort()
             raise
+        self._publish_snapshot()
         return UpdateCost(pages_rewritten=0, transition_delta=delta)
 
     def catalog_state(self) -> Dict[str, object]:
@@ -528,6 +632,9 @@ class NoKStore:
         first_page = start // self.entries_per_page
         last_pos = min(end, self.n_nodes - 1)
         last_page = last_pos // self.entries_per_page
+        # Snapshot isolation: pre-images must land in the outgoing
+        # snapshot's overlay before the first byte of the range changes.
+        self._freeze_pages(first_page, last_page + 1)
         self._wal_begin()
         try:
             for page_id in range(first_page, last_page + 1):
@@ -541,6 +648,7 @@ class NoKStore:
         except BaseException:
             self._wal_abort()
             raise
+        self._publish_snapshot()
         return last_page - first_page + 1
 
     def apply_structural_update(self, new_doc: Document, from_pos: int) -> int:
@@ -551,45 +659,65 @@ class NoKStore:
         shifted, so every page from ``from_pos``'s page to the new end is
         re-rendered — the physical cost of a structural update. Returns
         the number of pages rewritten.
-        """
-        if self.labeling.n_nodes != len(new_doc):
-            raise StorageError("labeling and edited document disagree on node count")
-        self.labeling.rebind_document(new_doc)
-        self.doc = new_doc
-        if self.values is not None:
-            # Value records shifted with the structure: rebuild the heap.
-            from repro.storage.valuestore import ValueStore
 
-            old_path = self.values.pager.path
-            self.values.close()
-            self.values = ValueStore(
-                new_doc.texts, path=old_path, page_size=self.page_size
+        Runs under the single-writer lock and publishes a fresh snapshot
+        at commit. Readers on older snapshots are untouched: their
+        document/labeling/header objects were captured by value, their
+        texts come from the frozen document (the value heap rebuilt below
+        is not versioned), and every rewritten page that existed at their
+        epoch gets its pre-image frozen before the first byte changes.
+        """
+        with self._writer_lock:
+            if self.labeling.n_nodes != len(new_doc):
+                raise StorageError(
+                    "labeling and edited document disagree on node count"
+                )
+            self.labeling.rebind_document(new_doc)
+            self.doc = new_doc
+            if self.values is not None:
+                # Value records shifted with the structure: rebuild the heap.
+                from repro.storage.valuestore import ValueStore
+
+                old_path = self.values.pager.path
+                self.values.close()
+                self.values = ValueStore(
+                    new_doc.texts, path=old_path, page_size=self.page_size
+                )
+            first_page = (
+                min(from_pos, max(len(new_doc) - 1, 0)) // self.entries_per_page
             )
-        first_page = min(from_pos, max(len(new_doc) - 1, 0)) // self.entries_per_page
-        needed = -(-len(new_doc) // self.entries_per_page)
-        while self.pager.n_pages < needed:
-            self.pager.allocate()
-        while len(self.headers) < needed:
-            self.headers.append(PageHeader(0, False, 0))
-        self._wal_begin()
-        try:
-            for page_id in range(first_page, needed):
-                data, header = self._render_page_bytes(page_id * self.entries_per_page)
-                self.buffer.put(page_id, data)
-                self.buffer.flush(page_id)
-                self.headers.set(page_id, header)
-                self._decoded.pop(page_id, None)
-            if needed < self._n_data_pages:
-                for stale in range(needed, self._n_data_pages):
-                    self._decoded.pop(stale, None)
-                self.headers.truncate(needed)
-            self._n_data_pages = needed
-            self._wal_commit([{"op": "structural", "from_pos": from_pos}])
-            self.pager.sync()
-        except BaseException:
-            self._wal_abort()
-            raise
-        return needed - first_page
+            needed = -(-len(new_doc) // self.entries_per_page)
+            # Pre-images for every page this commit rewrites that existed
+            # at the outgoing snapshot's epoch (freshly allocated pages
+            # beyond the old extent need none — no old reader can reach
+            # them, their snapshot's page count bounds the scan).
+            self._freeze_pages(first_page, min(needed, self._n_data_pages))
+            while self.pager.n_pages < needed:
+                self.pager.allocate()
+            while len(self.headers) < needed:
+                self.headers.append(PageHeader(0, False, 0))
+            self._wal_begin()
+            try:
+                for page_id in range(first_page, needed):
+                    data, header = self._render_page_bytes(
+                        page_id * self.entries_per_page
+                    )
+                    self.buffer.put(page_id, data)
+                    self.buffer.flush(page_id)
+                    self.headers.set(page_id, header)
+                    self._decoded.pop(page_id, None)
+                if needed < self._n_data_pages:
+                    for stale in range(needed, self._n_data_pages):
+                        self._decoded.pop(stale, None)
+                    self.headers.truncate(needed)
+                self._n_data_pages = needed
+                self._wal_commit([{"op": "structural", "from_pos": from_pos}])
+                self.pager.sync()
+            except BaseException:
+                self._wal_abort()
+                raise
+            self._publish_snapshot()
+            return needed - first_page
 
     def verify(self) -> None:
         """Integrity check: pages must agree with the document and labeling.
@@ -633,12 +761,13 @@ class NoKStore:
     def reset_io_stats(self) -> None:
         """Zero both logical and physical counters (e.g. after the build)."""
         self.pager.stats.reset()
-        self.buffer.stats.reset()
+        self.buffer.reset_stats()
 
     def drop_caches(self) -> None:
         """Flush and empty the buffer pool and decode cache (cold start)."""
-        self.buffer.clear()
-        self._decoded.clear()
+        with self.buffer.latched():
+            self.buffer.clear()
+            self._decoded.clear()
 
     def close(self) -> None:
         self.buffer.flush_all()

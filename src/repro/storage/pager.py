@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Optional
@@ -92,6 +93,12 @@ class Pager:
         self.page_size = page_size
         self.path = path
         self.stats = PagerStats()
+        # One shared file handle means seek+read/write pairs must not
+        # interleave across threads; the I/O lock also keeps the stats
+        # counters race-free. It is the innermost storage lock (the
+        # buffer-pool latch may be held when it is taken, never the
+        # other way around).
+        self._io_lock = threading.RLock()
         self._n_pages = 0
         self._file = None
         self._memory: Optional[bytearray] = None
@@ -111,6 +118,7 @@ class Pager:
         pager.page_size = page_size
         pager.path = path
         pager.stats = PagerStats()
+        pager._io_lock = threading.RLock()
         pager._memory = None
         pager._file = open(path, "r+b", buffering=0)
         try:
@@ -160,20 +168,22 @@ class Pager:
 
     def allocate(self) -> int:
         """Allocate a zeroed page at the end; returns its page id."""
-        page_id = self._n_pages
-        self._n_pages += 1
-        self.stats.allocations += 1
-        if self._memory is not None:
-            self._memory.extend(bytes(self.page_size))
-        else:
-            self._write_raw(page_id * self.page_size, bytes(self.page_size))
-        return page_id
+        with self._io_lock:
+            page_id = self._n_pages
+            self._n_pages += 1
+            self.stats.allocations += 1
+            if self._memory is not None:
+                self._memory.extend(bytes(self.page_size))
+            else:
+                self._write_raw(page_id * self.page_size, bytes(self.page_size))
+            return page_id
 
     def read_page(self, page_id: int) -> bytes:
         """Physically read one page, verifying its checksum trailer."""
-        self._check(page_id)
-        self.stats.reads += 1
-        data = self._read_raw(page_id * self.page_size, self.page_size)
+        with self._io_lock:
+            self._check(page_id)
+            self.stats.reads += 1
+            data = self._read_raw(page_id * self.page_size, self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_id}")
         verify_page_bytes(data, page_id)
@@ -186,15 +196,15 @@ class Pager:
         refusing to look at them, and WAL logging captures before-images
         exactly as stored.
         """
-        self._check(page_id)
-        data = self._read_raw(page_id * self.page_size, self.page_size)
+        with self._io_lock:
+            self._check(page_id)
+            data = self._read_raw(page_id * self.page_size, self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_id}")
         return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Physically write one page, stamping the checksum trailer."""
-        self._check(page_id)
         if len(data) != self.page_size:
             raise StorageError(
                 f"page data must be exactly {self.page_size} bytes, got {len(data)}"
@@ -204,24 +214,28 @@ class Pager:
                 f"page {page_id}: the last {CHECKSUM_SIZE} bytes are the "
                 "checksum trailer and must be zero on write"
             )
-        self.stats.writes += 1
-        self._write_raw(page_id * self.page_size, stamp_page(data))
+        with self._io_lock:
+            self._check(page_id)
+            self.stats.writes += 1
+            self._write_raw(page_id * self.page_size, stamp_page(data))
 
     def write_page_raw(self, page_id: int, data: bytes) -> None:
         """Write pre-stamped page bytes verbatim (WAL recovery images)."""
-        self._check(page_id)
         if len(data) != self.page_size:
             raise StorageError(
                 f"page data must be exactly {self.page_size} bytes, got {len(data)}"
             )
-        self.stats.writes += 1
-        self._write_raw(page_id * self.page_size, data)
+        with self._io_lock:
+            self._check(page_id)
+            self.stats.writes += 1
+            self._write_raw(page_id * self.page_size, data)
 
     def sync(self) -> None:
         """Force file contents to stable storage."""
-        if self._file is not None:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+        with self._io_lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
 
     # -- raw byte I/O (the override point for fault injection) ----------------
 

@@ -205,6 +205,7 @@ def open_store(
     else:
         pager = Pager.open_existing(path, page_size)
 
+    wal: Optional[WriteAheadLog] = None
     try:
         # Rebuild the codebook (empty for hint-free backends).
         codebook = Codebook(catalog["n_subjects"])
@@ -283,10 +284,16 @@ def open_store(
 
         pager.stats.reset()
         wal = WriteAheadLog(wal_path_for(path), fault_plan=fault_plan)
+        # attach() validates too (labeling/document agreement) — it must
+        # stay inside the guard or a failure leaks both descriptors.
+        return NoKStore.attach(
+            doc, rebuilt, pager, headers, buffer_capacity, wal=wal
+        )
     except BaseException:
         pager.close()
+        if wal is not None:
+            wal.close()
         raise
-    return NoKStore.attach(doc, rebuilt, pager, headers, buffer_capacity, wal=wal)
 
 
 def fsck_store(path: str, catalog_path: str = None) -> List[str]:

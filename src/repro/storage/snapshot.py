@@ -1,0 +1,271 @@
+"""Snapshot-isolated read views of a :class:`~repro.storage.nokstore.NoKStore`.
+
+Concurrent serving (DESIGN.md §10) needs many readers to evaluate secure
+queries against one resident store while Section 3.4 updates commit
+underneath them. A :class:`StoreSnapshot` is the mechanism: an immutable
+view of the store at one *epoch*, carrying its own frozen copies of the
+mutable logical state — the document, the access labeling (cloned via
+:meth:`~repro.labeling.base.AccessLabeling.clone`), and the page-header
+table — plus a copy-on-write **page overlay** for physical bytes.
+
+Lifecycle
+---------
+``store.snapshot()`` returns the current snapshot (shared by every reader
+at that epoch; creation is lazy, so a store that is never read
+concurrently pays nothing). When a writer commits an update, it runs
+under the store's single-writer lock and, *before* rewriting any page,
+copies that page's current bytes into the outgoing snapshot's overlay
+("copy-on-write at update commit"). It then publishes a fresh snapshot
+with a bumped epoch and links the old one to it. In-flight readers keep
+the old snapshot: their labeling/header/document objects were never
+mutated, and any page the writer touched resolves through the overlay
+chain to its pre-update image — a reader never blocks on a writer and
+never observes a half-applied update.
+
+Page resolution for a snapshot at epoch *E*: walk the chain of successor
+snapshots looking for an overlay entry (the bytes page *p* had when the
+first post-*E* writer was about to change it); if no overlay holds *p*,
+the store's live bytes are still exactly the epoch-*E* bytes and the read
+goes through the shared latched buffer pool. A re-check after the live
+read closes the race with a writer installing the overlay concurrently:
+pre-images are always published *before* the page is rewritten, so "no
+overlay after the read" proves the read saw epoch-*E* bytes.
+
+The snapshot exposes the full reader API of :class:`NoKStore` (navigation
+primitives, accessibility probes, the header page-skip test), so the
+execution layer binds an :class:`~repro.exec.context.ExecutionContext` to
+a snapshot exactly as it would to the store itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import PageCorruptionError, StorageError
+from repro.labeling.base import AccessLabeling
+from repro.storage.headers import PageHeaderTable
+from repro.xmltree.document import NO_NODE, Document
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.nokstore import NoKStore, _DecodedPage
+
+
+class StoreSnapshot:
+    """An immutable, epoch-stamped read view of one :class:`NoKStore`.
+
+    Duck-types the store's reader API so planners, operators and the NoK
+    matcher run against it unchanged. All mutating store operations are
+    absent by design — a snapshot cannot be written.
+    """
+
+    def __init__(
+        self,
+        store: "NoKStore",
+        epoch: int,
+        doc: Document,
+        labeling: AccessLabeling,
+        headers: PageHeaderTable,
+        n_data_pages: int,
+    ):
+        self._store = store
+        self.epoch = epoch
+        self.doc = doc
+        self.labeling = labeling
+        self.headers = headers
+        self._n_data_pages = n_data_pages
+        self.entries_per_page = store.entries_per_page
+        self.page_size = store.page_size
+        #: pre-update page images, installed by the writer that
+        #: superseded this snapshot, *before* it rewrote each page
+        self._overlay: Dict[int, bytes] = {}
+        self._overlay_decoded: Dict[int, "_DecodedPage"] = {}
+        #: the snapshot that superseded this one (None while current)
+        self._next: Optional["StoreSnapshot"] = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def dol(self) -> AccessLabeling:
+        """Historical alias for :attr:`labeling` (any backend)."""
+        return self.labeling
+
+    @property
+    def has_page_hints(self) -> bool:
+        return self.labeling.has_page_hints
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.doc)
+
+    @property
+    def n_pages(self) -> int:
+        return self._n_data_pages
+
+    @property
+    def is_current(self) -> bool:
+        """True while no update has committed since this snapshot."""
+        return self._next is None
+
+    @property
+    def quarantined(self):
+        """Corrupt-page set — physical state, shared with the store."""
+        return self._store.quarantined
+
+    @property
+    def buffer(self):
+        """The store's shared buffer pool (for I/O accounting)."""
+        return self._store.buffer
+
+    @property
+    def pager(self):
+        """The store's shared pager (for I/O accounting)."""
+        return self._store.pager
+
+    def quarantine(self, page_id: int) -> None:
+        """Mark a page corrupt (degraded mode) — delegates to the store;
+        corruption is a physical property, true in every epoch."""
+        self._store.quarantine(page_id)
+
+    # -- page access -------------------------------------------------------
+
+    def _frozen_bytes(self, page_id: int) -> Optional[bytes]:
+        """Pre-image bytes for this epoch, walking the successor chain."""
+        snap: Optional[StoreSnapshot] = self
+        while snap is not None:
+            data = snap._overlay.get(page_id)
+            if data is not None:
+                return data
+            snap = snap._next
+        return None
+
+    def _page(self, page_id: int) -> "_DecodedPage":
+        if page_id in self._store.quarantined:
+            raise PageCorruptionError(page_id, detail="page is quarantined")
+        decoded = self._overlay_decoded.get(page_id)
+        if decoded is not None:
+            return decoded
+        frozen = self._frozen_bytes(page_id)
+        if frozen is None:
+            decoded = self._store._page(page_id)
+            # Re-check: a writer may have installed the pre-image while
+            # we read. Writers install overlays strictly before
+            # rewriting, so finding none now proves the live read
+            # returned this epoch's bytes.
+            frozen = self._frozen_bytes(page_id)
+            if frozen is None:
+                return decoded
+        decoded = self._store._decode(frozen)
+        # Benign race between readers: the decode is deterministic, so
+        # concurrent inserts of the same page are interchangeable.
+        self._overlay_decoded[page_id] = decoded
+        return decoded
+
+    def page_of(self, pos: int) -> int:
+        """Page index holding document position ``pos``."""
+        self._check(pos)
+        return pos // self.entries_per_page
+
+    def entry(self, pos: int):
+        """The stored record for position ``pos`` at this epoch."""
+        self._check(pos)
+        page = self._page(pos // self.entries_per_page)
+        return page.entries[pos % self.entries_per_page]
+
+    # -- navigation (the next-of-kin primitives) ---------------------------
+
+    def tag_id(self, pos: int) -> int:
+        return self.entry(pos).tag_id
+
+    def tag_name(self, pos: int) -> str:
+        return self.doc.tag_dict.name_of(self.entry(pos).tag_id)
+
+    def text(self, pos: int) -> str:
+        """Node text, from the snapshot's frozen document arrays.
+
+        Value pages are not versioned: a structural update rebuilds the
+        store's value heap in place, so a snapshot always serves texts
+        from the document it captured.
+        """
+        self._check(pos)
+        return self.doc.texts[pos]
+
+    def attrs_of(self, pos: int):
+        self._check(pos)
+        return self.doc.attrs[pos]
+
+    def first_child(self, pos: int) -> int:
+        return pos + 1 if self.entry(pos).subtree > 1 else NO_NODE
+
+    def following_sibling(self, pos: int) -> int:
+        here = self.entry(pos)
+        nxt = pos + here.subtree
+        if nxt >= self.n_nodes:
+            return NO_NODE
+        return nxt if self.entry(nxt).depth == here.depth else NO_NODE
+
+    def subtree_end(self, pos: int) -> int:
+        return pos + self.entry(pos).subtree
+
+    # -- access control (Section 3.3, frozen at this epoch) ----------------
+
+    def access_code_at(self, pos: int) -> int:
+        self._check(pos)
+        page = self._page(pos // self.entries_per_page)
+        return page.codes[pos % self.entries_per_page]
+
+    def accessible(self, subject: int, pos: int) -> bool:
+        if not self.has_page_hints:
+            self._check(pos)
+            return self.labeling.accessible(subject, pos)
+        return self.labeling.codebook.accessible(self.access_code_at(pos), subject)
+
+    def accessible_any(self, subjects, pos: int) -> bool:
+        if not self.has_page_hints:
+            self._check(pos)
+            return self.labeling.accessible_any(subjects, pos)
+        mask = self.labeling.codebook.decode(self.access_code_at(pos))
+        return any(mask >> subject & 1 for subject in subjects)
+
+    def page_fully_inaccessible(self, page_id: int, subject: int) -> bool:
+        if not self.has_page_hints:
+            return False
+        return self.headers.page_fully_inaccessible(
+            page_id, subject, self.labeling.codebook
+        )
+
+    def page_fully_inaccessible_any(self, page_id: int, subjects) -> bool:
+        if not self.has_page_hints:
+            return False
+        return all(
+            self.headers.page_fully_inaccessible(
+                page_id, subject, self.labeling.codebook
+            )
+            for subject in subjects
+        )
+
+    def subtree_fully_inaccessible(self, pos: int, subject: int) -> bool:
+        self._check(pos)
+        first_page = pos // self.entries_per_page
+        last = self.doc.subtree_end(pos) - 1
+        last_page = last // self.entries_per_page
+        return all(
+            self.page_fully_inaccessible(page_id, subject)
+            for page_id in range(first_page, last_page + 1)
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def frozen_page_count(self) -> int:
+        """Pages this snapshot holds as copy-on-write pre-images."""
+        return len(self._overlay)
+
+    def _check(self, pos: int) -> None:
+        if not 0 <= pos < self.n_nodes:
+            raise StorageError(f"position {pos} out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "current" if self.is_current else "superseded"
+        return (
+            f"StoreSnapshot(epoch={self.epoch}, {state}, "
+            f"n_nodes={self.n_nodes}, frozen_pages={len(self._overlay)})"
+        )

@@ -1,0 +1,208 @@
+"""The serving layer: QueryService semantics and the NDJSON TCP server.
+
+Service tests run without sockets (``handle`` takes protocol dicts
+directly); one test binds a real server on an ephemeral port and runs
+the full wire round-trip.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.errors import (
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.nok.engine import QueryEngine
+from repro.server.netserver import serve
+from repro.server.protocol import decode_request, encode_response
+from repro.server.service import QueryService, ServiceConfig
+
+
+@pytest.fixture
+def engine(small_doc):
+    masks = [0b11] * len(small_doc)
+    masks[5] = 0b01  # second subject loses the second <name> node
+    matrix = AccessMatrix.from_masks(masks, 2)
+    engine = QueryEngine.build(small_doc, matrix, use_store=True, page_size=128)
+    yield engine
+    engine.store.close()
+
+
+@pytest.fixture
+def service(engine):
+    with QueryService(engine, ServiceConfig(workers=2, queue_depth=2)) as svc:
+        yield svc
+
+
+class TestService:
+    def test_query_round_trip(self, service):
+        body = service.evaluate("//item/name", subject=0)
+        assert body["n_answers"] == 2
+        assert body["epoch"] == 0
+        assert body["stats"]["access_checks"] > 0
+
+    def test_update_bumps_epoch_and_changes_answers(self, service, engine):
+        before = service.evaluate("//item/name", subject=0)
+        body = service.update(
+            "subject_range", 0, len(engine.doc), subject=0, value=False
+        )
+        assert body["epoch"] == 1
+        after = service.evaluate("//item/name", subject=0)
+        assert before["n_answers"] == 2
+        assert after["n_answers"] == 0
+        assert after["epoch"] == 1
+
+    def test_unknown_semantics_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.evaluate("//item", semantics="nope")
+
+    def test_unknown_update_kind_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.update("rename", 0, 1)
+
+    def test_overload_sheds_fast(self, engine):
+        svc = QueryService(engine, ServiceConfig(workers=1, queue_depth=0))
+        release = threading.Event()
+        started = threading.Event()
+
+        def stall():
+            started.set()
+            release.wait(timeout=10)
+            return {}
+
+        blocker = threading.Thread(
+            target=lambda: svc._submit(stall, timeout=10)
+        )
+        blocker.start()
+        try:
+            assert started.wait(timeout=5)
+            with pytest.raises(ServiceOverloaded) as info:
+                svc.evaluate("//item")
+            assert info.value.limit == 1
+            assert svc.metrics()["shed"] == 1
+        finally:
+            release.set()
+            blocker.join()
+            svc.close()
+
+    def test_timeout_raises_and_counts(self, engine):
+        svc = QueryService(engine, ServiceConfig(workers=1, timeout=0.05))
+        release = threading.Event()
+        try:
+            with pytest.raises(ServiceTimeout):
+                svc._submit(lambda: release.wait(timeout=10), timeout=0.05)
+            release.set()
+            metrics = svc.metrics()
+            assert metrics["timeouts"] == 1
+            assert metrics["failed"] == 1
+        finally:
+            release.set()
+            svc.close()
+
+    def test_metrics_cover_the_stack(self, service):
+        service.evaluate("//item/name", subject=0)
+        service.evaluate("//item/name", subject=0)
+        metrics = service.metrics()
+        assert metrics["completed"] == 2
+        assert metrics["inflight"] == 0
+        assert metrics["latency_mean"] > 0
+        assert metrics["plan_cache"]["hits"] >= 1
+        assert "latch_contention" in metrics["buffer"]
+        assert metrics["epoch"] == 0
+
+    def test_closed_service_rejects_work(self, engine):
+        svc = QueryService(engine)
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.evaluate("//item")
+
+
+class TestHandleDispatch:
+    def test_ping(self, service):
+        assert service.handle({"op": "ping"}) == {"ok": True, "pong": True}
+
+    def test_query_op(self, service):
+        response = service.handle(
+            {"op": "query", "query": "//item/name", "subject": 1}
+        )
+        assert response["ok"]
+        assert response["n_answers"] == 1  # subject 1 lost one name
+
+    def test_errors_are_in_band(self, service):
+        assert service.handle({"op": "query"})["error"] == "ServiceError"
+        assert service.handle({"op": "wat"})["error"] == "ServiceError"
+        assert service.handle([])["error"] == "ServiceError"
+        response = service.handle(
+            {"op": "update", "kind": "range_mask", "start": 0, "end": 1}
+        )
+        assert response["error"] == "ServiceError"
+
+    def test_metrics_op(self, service):
+        response = service.handle({"op": "metrics"})
+        assert response["ok"] and "requests" in response["metrics"]
+
+
+class TestProtocol:
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ServiceError):
+            decode_request("[1, 2]")
+        with pytest.raises(ServiceError):
+            decode_request("not json")
+        with pytest.raises(ServiceError):
+            decode_request(b"\xff\xfe")
+
+    def test_encode_round_trip(self):
+        line = encode_response({"ok": True, "positions": [1, 2]})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"ok": True, "positions": [1, 2]}
+
+
+class TestWireServer:
+    def test_tcp_round_trip(self, service):
+        server = serve(service, host="127.0.0.1", port=0, background=True)
+        host, port = server.address
+        try:
+            with socket.create_connection((host, port), timeout=5) as conn:
+                reader = conn.makefile("rb")
+                for request, check in [
+                    ({"op": "ping"}, lambda r: r["pong"]),
+                    (
+                        {"op": "query", "query": "//item/name", "subject": 0},
+                        lambda r: r["n_answers"] == 2,
+                    ),
+                    (
+                        {
+                            "op": "update",
+                            "kind": "subject_range",
+                            "start": 0,
+                            "end": 7,
+                            "subject": 0,
+                            "value": False,
+                        },
+                        lambda r: r["epoch"] == 1,
+                    ),
+                    (
+                        {"op": "query", "query": "//item/name", "subject": 0},
+                        lambda r: r["n_answers"] == 0,
+                    ),
+                    ({"op": "metrics"}, lambda r: r["metrics"]["epoch"] == 1),
+                ]:
+                    conn.sendall(encode_response(request))
+                    response = json.loads(reader.readline())
+                    assert response["ok"], response
+                    assert check(response)
+                # malformed line: answered in-band, connection survives
+                conn.sendall(b"this is not json\n")
+                response = json.loads(reader.readline())
+                assert response["ok"] is False
+                conn.sendall(encode_response({"op": "ping"}))
+                assert json.loads(reader.readline())["pong"]
+        finally:
+            server.shutdown()
+            server.server_close()

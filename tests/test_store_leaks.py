@@ -1,0 +1,205 @@
+"""File-descriptor hygiene of store open/attach failure paths.
+
+Every way :func:`~repro.storage.persist.open_store` or the
+:class:`~repro.storage.nokstore.NoKStore` constructor can fail after a
+file was opened must close that file again — a long-lived serving
+process reopening stores on demand would otherwise bleed descriptors.
+The tests monkeypatch the opener classes to capture every instance
+created during one induced failure, then assert each is closed.
+"""
+
+import json
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.dol.labeling import DOL
+from repro.errors import ReproError, StorageError
+from repro.storage import persist
+from repro.storage.nokstore import NoKStore, wal_path_for
+from repro.storage.pager import Pager
+from repro.storage.persist import catalog_path_for, open_store, save_store
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def saved_store(tmp_path, paper_doc):
+    """A valid on-disk store to corrupt per test."""
+    path = str(tmp_path / "doc.pages")
+    masks = [0b01] * len(paper_doc)
+    dol = DOL.from_masks(masks, 2)
+    with NoKStore(paper_doc, dol, path=path, page_size=96) as store:
+        save_store(store)
+    return path
+
+
+class _Tracker:
+    """Record every pager/WAL opened during one call, for leak checks."""
+
+    def __init__(self, monkeypatch):
+        self.pagers = []
+        self.wals = []
+        tracker = self
+
+        real_open_existing = Pager.open_existing.__func__
+
+        def tracked_open_existing(cls, *args, **kwargs):
+            pager = real_open_existing(cls, *args, **kwargs)
+            tracker.pagers.append(pager)
+            return pager
+
+        real_wal_init = WriteAheadLog.__init__
+
+        def tracked_wal_init(wal_self, *args, **kwargs):
+            real_wal_init(wal_self, *args, **kwargs)
+            tracker.wals.append(wal_self)
+
+        monkeypatch.setattr(
+            Pager, "open_existing", classmethod(tracked_open_existing)
+        )
+        monkeypatch.setattr(WriteAheadLog, "__init__", tracked_wal_init)
+
+    def assert_all_closed(self):
+        assert self.pagers or self.wals, "failure path opened no files?"
+        for pager in self.pagers:
+            assert pager.closed, f"pager {pager.path} leaked its descriptor"
+        for wal in self.wals:
+            assert wal._file is None, f"WAL {wal.path} leaked its descriptor"
+
+
+def edit_catalog(path, **changes):
+    catalog_path = catalog_path_for(path)
+    with open(catalog_path) as handle:
+        catalog = json.load(handle)
+    catalog.update(changes)
+    with open(catalog_path, "w") as handle:
+        json.dump(catalog, handle)
+
+
+class TestOpenStoreFailureBranches:
+    def test_page_rebuild_failure_closes_pager(
+        self, saved_store, monkeypatch
+    ):
+        # Catalog claims more nodes than the pages hold: the rebuild loop
+        # completes and the count check raises before the WAL is opened.
+        tracker = _Tracker(monkeypatch)
+        edit_catalog(saved_store, n_nodes=999, texts=[""] * 999)
+        with pytest.raises(StorageError):
+            open_store(saved_store)
+        tracker.assert_all_closed()
+
+    def test_catalog_codebook_failure_closes_pager(
+        self, saved_store, monkeypatch
+    ):
+        tracker = _Tracker(monkeypatch)
+        edit_catalog(saved_store, codebook=["zz-not-hex"])
+        with pytest.raises((ValueError, ReproError)):
+            open_store(saved_store)
+        tracker.assert_all_closed()
+
+    def test_attach_failure_closes_pager_and_wal(
+        self, saved_store, monkeypatch
+    ):
+        # Force the very last step to fail: everything (pager AND wal) is
+        # open by then, and both must be closed on the way out.
+        tracker = _Tracker(monkeypatch)
+
+        def exploding_attach(*args, **kwargs):
+            raise StorageError("injected attach failure")
+
+        monkeypatch.setattr(NoKStore, "attach", classmethod(
+            lambda cls, *a, **k: exploding_attach()
+        ))
+        with pytest.raises(StorageError, match="injected attach failure"):
+            open_store(saved_store)
+        tracker.assert_all_closed()
+
+    def test_wal_open_failure_closes_pager(self, saved_store, monkeypatch):
+        tracker = _Tracker(monkeypatch)
+
+        def exploding_wal_init(wal_self, *args, **kwargs):
+            raise StorageError("injected wal failure")
+
+        monkeypatch.setattr(WriteAheadLog, "__init__", exploding_wal_init)
+        with pytest.raises(StorageError, match="injected wal failure"):
+            open_store(saved_store)
+        for pager in tracker.pagers:
+            assert pager.closed
+
+    def test_successful_open_keeps_files_open_until_close(self, saved_store):
+        store = open_store(saved_store)
+        assert not store.pager.closed
+        assert store.wal._file is not None
+        store.close()
+        assert store.pager.closed
+        assert store.wal._file is None
+
+
+class TestConstructorFailureBranches:
+    def test_build_failure_closes_pager_and_wal(
+        self, tmp_path, paper_doc, monkeypatch
+    ):
+        path = str(tmp_path / "doc.pages")
+        dol = DOL.from_masks([0b01] * len(paper_doc), 2)
+
+        def exploding_build(self):
+            raise StorageError("injected build failure")
+
+        monkeypatch.setattr(NoKStore, "_build", exploding_build)
+        with pytest.raises(StorageError, match="injected build failure"):
+            NoKStore(paper_doc, dol, path=path, page_size=96)
+        # No handle survived: the page file and WAL can be replaced freely
+        # (on POSIX this is weak evidence, so check the WAL registry too).
+        import os
+
+        assert os.path.exists(wal_path_for(path))
+
+    def test_build_failure_closes_tracked_wal(
+        self, tmp_path, paper_doc, monkeypatch
+    ):
+        created = []
+        real_wal_init = WriteAheadLog.__init__
+
+        def tracked(wal_self, *args, **kwargs):
+            real_wal_init(wal_self, *args, **kwargs)
+            created.append(wal_self)
+
+        monkeypatch.setattr(WriteAheadLog, "__init__", tracked)
+        monkeypatch.setattr(
+            NoKStore,
+            "_build",
+            lambda self: (_ for _ in ()).throw(StorageError("boom")),
+        )
+        path = str(tmp_path / "doc.pages")
+        dol = DOL.from_masks([0b01] * len(paper_doc), 2)
+        with pytest.raises(StorageError):
+            NoKStore(paper_doc, dol, path=path, page_size=96)
+        assert created and all(wal._file is None for wal in created)
+
+    def test_valuestore_failure_closes_everything(
+        self, tmp_path, paper_doc, monkeypatch
+    ):
+        from repro.storage import valuestore
+
+        created = []
+        real_wal_init = WriteAheadLog.__init__
+
+        def tracked(wal_self, *args, **kwargs):
+            real_wal_init(wal_self, *args, **kwargs)
+            created.append(wal_self)
+
+        monkeypatch.setattr(WriteAheadLog, "__init__", tracked)
+
+        def exploding_valuestore(*args, **kwargs):
+            raise StorageError("injected valuestore failure")
+
+        monkeypatch.setattr(
+            valuestore, "ValueStore", exploding_valuestore
+        )
+        path = str(tmp_path / "doc.pages")
+        dol = DOL.from_masks([0b01] * len(paper_doc), 2)
+        with pytest.raises(StorageError, match="injected valuestore"):
+            NoKStore(
+                paper_doc, dol, path=path, page_size=96, paged_values=True
+            )
+        assert created and all(wal._file is None for wal in created)
