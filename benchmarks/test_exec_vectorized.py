@@ -1,0 +1,51 @@
+"""Batch-vs-tuple execution benchmark — emits ``BENCH_exec.json``.
+
+Runs the secure-query workload in both execution modes at three document
+sizes (scaled by ``REPRO_BENCH_SCALE``) and writes the per-query latency,
+speedup, and probes-saved report. Answer identity between the modes is
+enforced inside :func:`~repro.bench.exec.run_exec_benchmark` itself; the
+assertions here are deliberately loose on timing — the committed
+baseline gate (the ``bench`` CLI subcommand against
+``BENCH_baseline.json``) is where regressions are judged.
+"""
+
+import os
+
+from repro.bench.exec import run_exec_benchmark, write_report
+
+
+def test_exec_vectorized_report(bench_scale):
+    sizes = (40 * bench_scale, 80 * bench_scale, 160 * bench_scale)
+    report = run_exec_benchmark(sizes=sizes, repeats=3)
+
+    assert set(report["sizes"]) == {str(s) for s in sizes}
+    for entry in report["sizes"].values():
+        for qid, q in entry["queries"].items():
+            assert q["tuple_ms"] > 0 and q["batch_ms"] > 0, qid
+        assert entry["speedup_overall"] > 0
+
+    # The vectorized operators must not lose to tuple mode overall at
+    # the largest size (the committed baseline shows >= 2x; CI boxes are
+    # noisy, so the in-test floor is deliberately soft).
+    assert report["largest"]["speedup_overall"] > 1.0
+
+    # Every secure query answers through run intervals, never per-node
+    # backend probes.
+    biggest = report["sizes"][str(sizes[-1])]
+    assert all(
+        q["probes_saved"] > 0
+        for q in biggest["queries"].values()
+        if q["access_checks"] > 0
+    )
+
+    out = os.environ.get("REPRO_BENCH_EXEC_OUT", "BENCH_exec.json")
+    write_report(report, out)
+
+    print("\nBatch vs tuple execution (best of 3):")
+    for size in sorted(report["sizes"], key=int):
+        entry = report["sizes"][size]
+        print(
+            f"  n_items={size}: tuple {entry['tuple_total_ms']:.2f}ms  "
+            f"batch {entry['batch_total_ms']:.2f}ms  "
+            f"speedup {entry['speedup_overall']:.2f}x"
+        )

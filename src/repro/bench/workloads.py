@@ -9,7 +9,6 @@ factory takes explicit size parameters for larger runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 from typing import Tuple
 

@@ -143,6 +143,77 @@ class CAM:
             )
         return vector
 
+    def runs(self, lo: int = 0, hi: Optional[int] = None):
+        """Maximal ``(start, end, accessible)`` runs over ``[lo, hi)``.
+
+        One walk of the entry tree instead of per-node ancestor walks:
+        accessibility only changes at entry positions and at subtree ends
+        of descendant grants, so the walk hops between those events and
+        emits each uniform stretch as one run. A stack of active grant
+        subtree-ends (seeded from the ancestors of ``lo``, outermost
+        first, so ends are non-increasing and pop innermost-first) tracks
+        descendant coverage in O(1) amortized per event.
+        """
+        doc = self.doc
+        n = len(doc)
+        hi = n if hi is None else hi
+        if not 0 <= lo <= hi <= n:
+            raise AccessControlError(f"invalid run range [{lo}, {hi})")
+        if lo >= hi:
+            return
+        entries = self.entries
+        entry_positions = sorted(p for p in entries if lo <= p < hi)
+
+        ends: List[int] = []
+        if lo > 0:
+            for anc in reversed(list(doc.ancestors(lo))):
+                entry = entries.get(anc)
+                if entry is not None and entry.descendant_default:
+                    end = anc + doc.subtree[anc]
+                    if end > lo:
+                        ends.append(end)
+
+        run_start = lo
+        run_flag: "bool | None" = None
+        cur = lo
+        i = 0
+        n_entries = len(entry_positions)
+        while cur < hi:
+            while ends and ends[-1] <= cur:
+                ends.pop()
+            covered = bool(ends)
+            # Next accessibility event: an entry, a grant expiring, or hi.
+            nxt = hi
+            if i < n_entries and entry_positions[i] < nxt:
+                nxt = entry_positions[i]
+            if ends and ends[-1] < nxt:
+                nxt = ends[-1]
+            if nxt > cur:
+                # Uniform stretch [cur, nxt): covered-or-nothing.
+                if run_flag is None:
+                    run_flag = covered
+                elif covered != run_flag:
+                    yield (run_start, cur, run_flag)
+                    run_start, run_flag = cur, covered
+                cur = nxt
+                continue
+            # An entry sits at cur: its node takes self-or-covered, its
+            # descendant grant (if any, and not already covered) opens.
+            entry = entries[cur]
+            i += 1
+            flag = covered or entry.self_accessible
+            if run_flag is None:
+                run_flag = flag
+            elif flag != run_flag:
+                yield (run_start, cur, run_flag)
+                run_start, run_flag = cur, flag
+            if entry.descendant_default and not covered:
+                end = cur + doc.subtree[cur]
+                if end > cur + 1:
+                    ends.append(end)
+            cur += 1
+        yield (run_start, hi, run_flag)
+
     @property
     def n_labels(self) -> int:
         """Number of CAM entries (the paper's size metric for CAM)."""

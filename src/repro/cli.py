@@ -23,6 +23,11 @@ Subcommands
 ``verify-store``
     Offline fsck of a saved page store: checksums, catalog agreement,
     header/entry agreement, WAL state. Exits non-zero on any finding.
+``bench``
+    Run the batch-vs-tuple execution benchmark, write the report
+    (``BENCH_exec.json``), and optionally gate against a committed
+    baseline — exits non-zero if the speedup regresses past the
+    threshold.
 ``serve``
     Serve secure queries and accessibility updates concurrently over a
     newline-delimited JSON TCP protocol (bounded worker pool, snapshot
@@ -149,9 +154,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
             accessibility_ratio=args.accessibility, seed=args.seed
         )
         matrix = generate_synthetic_acl(config=config, doc=doc, n_subjects=args.subject + 1)
-        engine = QueryEngine.build(doc, matrix, labeling=args.labeling)
+        engine = QueryEngine.build(
+            doc, matrix, labeling=args.labeling, exec_mode=args.exec_mode
+        )
     else:
-        engine = QueryEngine.build(doc)
+        engine = QueryEngine.build(doc, exec_mode=args.exec_mode)
 
     if args.explain:
         plan = engine.compile(
@@ -268,6 +275,37 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.exec import diff_reports, run_exec_benchmark, write_report
+
+    report = run_exec_benchmark(
+        sizes=tuple(args.sizes), repeats=args.repeats,
+        semantics=args.semantics,
+    )
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    for size in sorted(report["sizes"], key=int):
+        entry = report["sizes"][size]
+        print(
+            f"  n_items={size}: tuple {entry['tuple_total_ms']:.2f}ms, "
+            f"batch {entry['batch_total_ms']:.2f}ms "
+            f"({entry['speedup_overall']:.2f}x)"
+        )
+    if args.baseline is None:
+        return 0
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    regressions = diff_reports(baseline, report, threshold=args.threshold)
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        return 1
+    print(f"no regressions against {args.baseline} (threshold {args.threshold:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dol",
@@ -343,7 +381,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute, then print the plan with per-operator rows/timings",
     )
+    p_query.add_argument(
+        "--exec-mode",
+        choices=("batch", "tuple"),
+        default="batch",
+        help="operator set: vectorized batches (default) or row-at-a-time",
+    )
     p_query.set_defaults(func=_cmd_query)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="batch-vs-tuple execution benchmark with optional baseline gate",
+    )
+    p_bench.add_argument(
+        "--sizes", type=int, nargs="+", default=[40, 80, 160],
+        help="XMark n_items per benchmarked document",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--semantics", choices=SEMANTICS, default=CHO)
+    p_bench.add_argument("-o", "--output", default="BENCH_exec.json")
+    p_bench.add_argument(
+        "--baseline", default=None,
+        help="committed report to diff against (e.g. BENCH_baseline.json)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="max relative speedup drop tolerated before failing",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_explain = sub.add_parser(
         "explain", help="print the NoK logical plan and the physical plan"

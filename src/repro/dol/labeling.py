@@ -152,6 +152,34 @@ class DOL(AccessLabeling):
         index = self.transition_index_for(pos)
         return self.positions[index] == pos
 
+    # -- bulk accessibility (run-length intervals) -----------------------------
+    #
+    # The DOL *is* a run-length encoding: a run boundary can only sit at
+    # a transition node, so decoding the transition codes straight into
+    # run lists costs O(transitions in range) — the native form of the
+    # AccessLabeling bulk API (the generic fallback probes every node).
+
+    def access_runs(self, subject, lo=0, hi=None):
+        """Maximal runs for one subject, decoded from the transition list."""
+        from repro.dol.stream import decode_transition_runs
+
+        lo, hi = self._check_range(lo, hi)
+        return decode_transition_runs(
+            self.positions, self.codes, self.codebook, (subject,), lo, hi
+        )
+
+    def access_runs_any(self, subjects, lo=0, hi=None):
+        """Maximal runs of the subjects' union rights (one decode pass)."""
+        from repro.dol.stream import decode_transition_runs
+
+        lo, hi = self._check_range(lo, hi)
+        subjects = tuple(subjects)
+        if not subjects:
+            raise AccessControlError("access_runs_any needs >= 1 subject")
+        return decode_transition_runs(
+            self.positions, self.codes, self.codebook, subjects, lo, hi
+        )
+
     # -- reconstruction & metrics ----------------------------------------------
 
     def to_masks(self) -> List[int]:
@@ -271,6 +299,7 @@ class DOL(AccessLabeling):
         for pos, mask in transitions_from_masks(masks):
             self.positions.append(pos)
             self.codes.append(self.codebook.encode(mask))
+        self._bump_runs_epoch()
 
     def clone(self) -> "DOL":
         """Independent copy: own transition lists, own codebook.

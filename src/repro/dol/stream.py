@@ -1,4 +1,4 @@
-"""Single-pass streaming DOL construction.
+"""Single-pass streaming DOL construction and run-length decoding.
 
 The paper motivates document order partly because "a document order
 encoding of access rights can be constructed on-the-fly using a single pass
@@ -6,15 +6,22 @@ through a labeled XML document" (Section 2). This module implements that:
 it consumes the SAX-like event stream of :func:`repro.xmltree.parser.iterparse`
 and a labeling callback, and emits a finished :class:`~repro.dol.labeling.DOL`
 without ever materializing the per-node mask list.
+
+The inverse single pass lives here too: :func:`decode_transition_runs`
+streams a DOL transition list straight back out as maximal accessibility
+runs — the native producer behind :meth:`DOL.access_runs`, decoding each
+distinct code once and never touching individual nodes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Tuple
+from bisect import bisect_right
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.dol.codebook import Codebook
 from repro.dol.labeling import DOL
 from repro.errors import AccessControlError
+from repro.labeling.runs import Run
 from repro.xmltree import parser
 
 #: Labeling callback: (position, tag, ancestor-path tags) -> subject bitmask.
@@ -76,6 +83,48 @@ def build_dol_streaming(
         elif kind == parser.END:
             path.pop()
     return builder.finish()
+
+
+def decode_transition_runs(
+    positions: Sequence[int],
+    codes: Sequence[int],
+    codebook: Codebook,
+    subjects: Sequence[int],
+    lo: int,
+    hi: int,
+) -> Iterator[Run]:
+    """Decode a transition list into maximal accessibility runs.
+
+    One pass over the transitions overlapping ``[lo, hi)``: each distinct
+    code's union-accessibility for ``subjects`` is decoded once and
+    memoized, adjacent equal-flag segments merge as they stream out, and
+    no per-node work happens at all — cost is O(transitions in range),
+    not O(nodes in range).
+    """
+    if lo >= hi:
+        return
+    i = bisect_right(positions, lo) - 1
+    decoded: Dict[int, bool] = {}
+    run_start = lo
+    run_flag: "bool | None" = None
+    n = len(positions)
+    while i < n and positions[i] < hi:
+        code = codes[i]
+        flag = decoded.get(code)
+        if flag is None:
+            mask = codebook.decode(code)
+            flag = any(mask >> subject & 1 for subject in subjects)
+            decoded[code] = flag
+        if run_flag is None:
+            run_flag = flag
+        elif flag != run_flag:
+            seg_start = positions[i]
+            yield (run_start, seg_start, run_flag)
+            run_start, run_flag = seg_start, flag
+        i += 1
+    if run_flag is None:
+        raise AccessControlError(f"no transition covers position {lo}")
+    yield (run_start, hi, run_flag)
 
 
 def masks_in_document_order(events: Iterable, label_fn: LabelFn) -> Iterable[int]:

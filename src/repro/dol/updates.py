@@ -228,3 +228,6 @@ class DOLUpdater:
             previous_mask = mask
         dol.positions = positions
         dol.codes = codes
+        # Every updater mutation funnels through here; bumping the run
+        # epoch invalidates cached run lists keyed on the old content.
+        dol._bump_runs_epoch()

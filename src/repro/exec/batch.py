@@ -1,0 +1,433 @@
+"""Vectorized (batch-at-a-time) physical operators.
+
+The tuple operators in :mod:`repro.exec.operators` move one row per
+Python generator hop, paying interpreter dispatch and two clock reads of
+instrumentation per row — the dominant cost of the pipeline on CPython.
+The operators here are drop-in *subclasses* of their tuple counterparts
+(same plan shape, same EXPLAIN names, same pruning decisions) whose rows
+are batches:
+
+- scan-level edges carry ``array('q')`` position batches; binding-level
+  edges carry lists of binding dicts;
+- :class:`BatchTagIndexScan` emits batches with doubling sizes (64 up to
+  1024), so a ``Limit`` near the root still touches only a prefix of the
+  candidates — streaming is preserved at batch granularity;
+- :class:`BatchAccessFilter` intersects whole batches against the
+  query's decoded accessibility run list
+  (:meth:`~repro.exec.context.ExecutionContext.run_list`) instead of
+  probing nodes; :class:`BatchPageSkipScan` tests each page once per
+  batch group and routes hint-free backends through the same run list;
+- :class:`BatchRootVerify` verifies a batch page-group at a time over a
+  store (one decoded-page fetch per group) and straight off the tag
+  array in memory; :class:`BatchSTDJoin` merges sorted position arrays
+  with ``bisect``;
+- instrumentation is per *batch*: ``rows_out`` still counts rows, and
+  every batch operator reports a ``batches`` counter that
+  ``EXPLAIN ANALYZE`` turns into rows-per-batch.
+
+The Planner selects these by default (``exec_mode="batch"``); the tuple
+operators remain for differential testing (``exec_mode="tuple"``).
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from bisect import bisect_left, bisect_right
+from types import SimpleNamespace
+from typing import Dict, Iterator, List
+
+from repro.errors import PageCorruptionError
+from repro.exec.context import ExecutionContext
+from repro.exec.operators import (
+    AccessFilter,
+    Limit,
+    NPMMatch,
+    PageSkipScan,
+    PathCheck,
+    Project,
+    RootVerify,
+    STDJoin,
+    TagIndexScan,
+)
+from repro.nok.matcher import Binding, match_nok_subtree
+from repro.nok.pattern import CHILD
+from repro.secure.semantics import VIEW
+
+#: First batch a scan emits; each subsequent batch doubles up to the max,
+#: so early-terminating plans (Limit) touch few candidates while long
+#: scans amortize per-batch overhead.
+MIN_BATCH_SIZE = 32
+MAX_BATCH_SIZE = 1024
+
+
+class BatchOperatorMixin:
+    """Batch-granular instrumentation shared by every batch operator.
+
+    ``_rows`` yields batches; ``rows_out`` counts the rows inside them
+    and ``extra['batches']`` the batches themselves — two clock reads per
+    batch instead of two per row.
+    """
+
+    #: plan edges below this operator carry batches, not rows
+    emits_batches = True
+
+    def _instrumented(self, ctx: ExecutionContext):
+        rows = self._rows(ctx)
+        stats = self.stats
+        perf = time.perf_counter
+        while True:
+            started = perf()
+            try:
+                batch = next(rows)
+            except StopIteration:
+                stats.time += perf() - started
+                return
+            stats.time += perf() - started
+            stats.rows_out += len(batch)
+            stats.bump("batches")
+            yield batch
+
+
+class BatchTagIndexScan(BatchOperatorMixin, TagIndexScan):
+    """Index candidates as ``array('q')`` batches with doubling sizes."""
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
+        pnode, doc, stats = self.pnode, ctx.doc, ctx.stats
+        if self.anchored:
+            if pnode.matches(doc.tag_name(0), doc.text(0)):
+                stats.candidates += 1
+                yield array("q", (0,))
+            return
+        if pnode.tag == "*":
+            positions: "range | List[int]" = range(len(doc))
+        elif pnode.value is not None:
+            positions = ctx.index.positions_with_value(pnode.tag, pnode.value)
+        else:
+            positions = ctx.index.positions(pnode.tag)
+        total = len(positions)
+        start = 0
+        size = MIN_BATCH_SIZE
+        while start < total:
+            batch = array("q", positions[start : start + size])
+            stats.candidates += len(batch)
+            start += len(batch)
+            size = min(size * 2, MAX_BATCH_SIZE)
+            yield batch
+
+
+class BatchPageSkipScan(BatchOperatorMixin, PageSkipScan):
+    """Section 3.3 page skipping, one header test per page group.
+
+    Candidate batches arrive sorted, so each batch splits into runs of
+    positions sharing a page; the quarantine and header tests run once
+    per group (header verdicts additionally memoized for the query).
+    Hint-free backends intersect the surviving batch against the decoded
+    run list — the bulk route that replaces per-node re-probing.
+    """
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
+        store, subjects, stats = ctx.store, ctx.subjects, ctx.stats
+        has_hints = store.has_page_hints
+        run_list = None if has_hints else ctx.run_list()
+        entries_per_page = store.entries_per_page
+        header_skips: Dict[int, bool] = {}
+        for batch in self.child.execute(ctx):
+            out = array("q")
+            i, n = 0, len(batch)
+            while i < n:
+                page_id = batch[i] // entries_per_page
+                j = bisect_left(batch, (page_id + 1) * entries_per_page, i)
+                count = j - i
+                if not ctx.strict and page_id in store.quarantined:
+                    stats.candidates_skipped_corrupt += count
+                    self.stats.bump("skipped_corrupt", count)
+                elif has_hints:
+                    skip = header_skips.get(page_id)
+                    if skip is None:
+                        skip = store.page_fully_inaccessible_any(page_id, subjects)
+                        header_skips[page_id] = skip
+                    if skip:
+                        stats.candidates_skipped_by_header += count
+                        self.stats.bump("skipped", count)
+                    else:
+                        out.extend(batch[i:j])
+                else:
+                    out.extend(batch[i:j])
+                i = j
+            if run_list is not None and out:
+                kept = run_list.filter_positions(out)
+                dropped = len(out) - len(kept)
+                if dropped:
+                    stats.candidates_skipped_by_runs += dropped
+                    stats.probes_saved += dropped
+                    self.stats.bump("skipped_runs", dropped)
+                out = kept
+            if out:
+                yield out
+
+
+class BatchRootVerify(BatchOperatorMixin, RootVerify):
+    """Verify candidate batches against the source, page group at a time.
+
+    In memory the common case (tag test only) is a straight comparison
+    against the document's tag-id array. Over a store each page group
+    costs one decoded-page fetch; a corrupt page drops its whole group
+    (reported through the usual degradation path).
+    """
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
+        pnode = self.pnode
+        simple = pnode.value is None and not pnode.attr_tests
+        if ctx.store is None:
+            yield from self._verify_memory(ctx, simple)
+        else:
+            yield from self._verify_store(ctx, simple)
+
+    def _verify_memory(self, ctx: ExecutionContext, simple: bool) -> Iterator[array]:
+        pnode, doc = self.pnode, ctx.doc
+        if simple and pnode.tag == "*":
+            yield from self.child.execute(ctx)
+            return
+        if simple:
+            tag_id = doc.tag_dict.get(pnode.tag)
+            tags = doc.tags
+            for batch in self.child.execute(ctx):
+                kept = array("q", [pos for pos in batch if tags[pos] == tag_id])
+                if kept:
+                    yield kept
+            return
+        for batch in self.child.execute(ctx):
+            kept = array("q")
+            for pos in batch:
+                if not pnode.matches(doc.tag_name(pos), doc.text(pos)):
+                    continue
+                if pnode.attr_tests and not pnode.matches_attrs(doc.attrs_of(pos)):
+                    continue
+                kept.append(pos)
+            if kept:
+                yield kept
+
+    def _verify_store(self, ctx: ExecutionContext, simple: bool) -> Iterator[array]:
+        pnode, store = self.pnode, ctx.store
+        doc = ctx.doc
+        wildcard = pnode.tag == "*"
+        tag_id = None if wildcard else doc.tag_dict.get(pnode.tag)
+        name_of = doc.tag_dict.name_of
+        entries_per_page = store.entries_per_page
+        for batch in self.child.execute(ctx):
+            kept = array("q")
+            i, n = 0, len(batch)
+            while i < n:
+                page_id = batch[i] // entries_per_page
+                j = bisect_left(batch, (page_id + 1) * entries_per_page, i)
+                try:
+                    entries = store.page_entries(page_id)
+                except PageCorruptionError as exc:
+                    ctx.report_corruption(exc)  # raises when ctx.strict
+                    # report_corruption counted one candidate; the rest
+                    # of this page group is dropped with it.
+                    ctx.stats.candidates_skipped_corrupt += j - i - 1
+                    i = j
+                    continue
+                base = page_id * entries_per_page
+                for k in range(i, j):
+                    pos = batch[k]
+                    entry = entries[pos - base]
+                    if not wildcard and entry.tag_id != tag_id:
+                        continue
+                    if simple:
+                        kept.append(pos)
+                        continue
+                    if not pnode.matches(name_of(entry.tag_id), store.text(pos)):
+                        continue
+                    if pnode.attr_tests and not pnode.matches_attrs(
+                        store.attrs_of(pos)
+                    ):
+                        continue
+                    kept.append(pos)
+                i = j
+            if kept:
+                yield kept
+
+
+class BatchAccessFilter(BatchOperatorMixin, AccessFilter):
+    """The ε-NoK ACCESS pre-condition as a batch-vs-run-list intersection.
+
+    Instead of probing each candidate, the sorted batch is intersected
+    against the accessible intervals of the query's run list — the same
+    decisions the tuple filter makes, without per-node probes. Checks
+    are still counted per candidate in ``stats.access_checks``.
+    """
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
+        run_list = ctx.run_list()
+        stats = ctx.stats
+        if run_list is None:  # pragma: no cover - only secure plans carry one
+            access = ctx.access
+            for batch in self.child.execute(ctx):
+                kept = array("q", [pos for pos in batch if access(pos)])
+                if len(kept) < len(batch):
+                    self.stats.bump("denied", len(batch) - len(kept))
+                if kept:
+                    yield kept
+            return
+        count_probes = ctx.semantics != VIEW
+        for batch in self.child.execute(ctx):
+            kept = run_list.filter_positions(batch)
+            n, k = len(batch), len(kept)
+            stats.access_checks += n
+            if count_probes:
+                stats.probes_saved += n
+            if k < n:
+                self.stats.bump("denied", n - k)
+            if k:
+                yield kept
+
+
+class BatchNPMMatch(BatchOperatorMixin, NPMMatch):
+    """ε-NoK matching of a candidate batch into a binding batch.
+
+    A single-node NoK subtree (the common shape under ``//``-chained
+    queries: every step its own subtree, folded by structural joins)
+    matches trivially — the candidate already passed the tag and access
+    tests, so the binding is just ``{root: pos}``. That case skips the
+    recursive matcher entirely; it performs no access calls for leaf
+    subtrees either, so the counters agree with tuple mode exactly.
+    """
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[List[Binding]]:
+        source, subtree, ordered = ctx.source, self.subtree, self.ordered
+        root = subtree.root
+        if not any(axis == CHILD for axis in root.axes):
+            key = id(root)
+            bound = any(node is root for node in subtree.output_nodes)
+            for batch in self.child.execute(ctx):
+                if bound:
+                    yield [{key: pos} for pos in batch]
+                else:
+                    yield [{} for _ in batch]
+            return
+        access = ctx.access
+        for batch in self.child.execute(ctx):
+            out: List[Binding] = []
+            for pos in batch:
+                try:
+                    out.extend(
+                        match_nok_subtree(source, subtree, pos, access, ordered)
+                    )
+                except PageCorruptionError as exc:
+                    ctx.report_corruption(exc)  # raises when ctx.strict
+            if out:
+                yield out
+
+
+class BatchSTDJoin(BatchOperatorMixin, STDJoin):
+    """Structural join as a merge over sorted position arrays.
+
+    The build side's distinct positions freeze into an ``array('q')``;
+    each probe anchor then takes its descendant slice with two bisects
+    (``(anchor, subtree_end(anchor))`` interval containment) instead of
+    a scan-and-test loop.
+    """
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[List[Binding]]:
+        descendants_of: Dict[int, List[Binding]] = {}
+        for batch in self.children[1].execute(ctx):
+            for binding in batch:
+                descendants_of.setdefault(binding[self.child_key], []).append(
+                    binding
+                )
+        self.stats.bump("build_rows", sum(map(len, descendants_of.values())))
+        if not descendants_of:
+            return  # empty build side: never pull the probe side
+        desc_positions = array("q", sorted(descendants_of))
+        subtree_end = ctx.doc.subtree_end
+        parent_key = self.parent_key
+        seen = set()
+        for batch in self.children[0].execute(ctx):
+            out: List[Binding] = []
+            for m in batch:
+                anchor = m[parent_key]
+                lo = bisect_right(desc_positions, anchor)
+                hi = bisect_left(desc_positions, subtree_end(anchor), lo)
+                for i in range(lo, hi):
+                    for dm in descendants_of[desc_positions[i]]:
+                        combined = {**m, **dm}
+                        key = frozenset(combined.items())
+                        if key not in seen:
+                            seen.add(key)
+                            out.append(combined)
+            if out:
+                yield out
+
+
+class BatchPathCheck(BatchOperatorMixin, PathCheck):
+    """ε-STD path test over binding batches (view semantics).
+
+    Each joined pair resolves through the deepest-blocked-ancestor index
+    — interval containment of the blocked ancestor against the pair — in
+    O(1), batched to one generator hop per batch.
+    """
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[List[Binding]]:
+        path_ok = ctx.path_index.path_accessible
+        parent_key, child_key = self.parent_key, self.child_key
+        for batch in self.child.execute(ctx):
+            out = [m for m in batch if path_ok(m[parent_key], m[child_key])]
+            pruned = len(batch) - len(out)
+            if pruned:
+                self.stats.bump("pruned", pruned)
+            if out:
+                yield out
+
+
+class BatchProject(BatchOperatorMixin, Project):
+    """Distinct returning-node positions, batched."""
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
+        seen = set()
+        key = self.returning_key
+        for batch in self.child.execute(ctx):
+            self.stats.bump("bindings_in", len(batch))
+            out = array("q")
+            for binding in batch:
+                pos = binding[key]
+                if pos not in seen:
+                    seen.add(pos)
+                    out.append(pos)
+            if out:
+                yield out
+
+
+class BatchLimit(BatchOperatorMixin, Limit):
+    """Stop after ``k`` rows, truncating the final batch."""
+
+    def _rows(self, ctx: ExecutionContext):
+        k = self.k
+        if k <= 0:
+            return
+        emitted = 0
+        for batch in self.child.execute(ctx):
+            remaining = k - emitted
+            if len(batch) > remaining:
+                batch = batch[:remaining]
+            emitted += len(batch)
+            yield batch
+            if emitted >= k:
+                return
+
+
+#: The batch operator set, shaped like the Planner expects an operator
+#: namespace to look (see ``repro.exec.planner.TUPLE_OPERATORS``).
+BATCH_OPERATORS = SimpleNamespace(
+    TagIndexScan=BatchTagIndexScan,
+    PageSkipScan=BatchPageSkipScan,
+    RootVerify=BatchRootVerify,
+    AccessFilter=BatchAccessFilter,
+    NPMMatch=BatchNPMMatch,
+    STDJoin=BatchSTDJoin,
+    PathCheck=BatchPathCheck,
+    Project=BatchProject,
+    Limit=BatchLimit,
+)

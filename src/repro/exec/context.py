@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PageCorruptionError, ReproError
 from repro.labeling.base import AccessLabeling
+from repro.labeling.runs import RunCache, RunList
 from repro.secure.semantics import CHO, SEMANTICS, VIEW
 from repro.storage.nokstore import NoKStore
 from repro.xmltree.document import NO_NODE, Document
@@ -41,6 +42,14 @@ class EvalStats:
     access_checks: int = 0
     candidates: int = 0
     candidates_skipped_by_header: int = 0
+    #: candidates dropped by the run-list test in PageSkipScan (the
+    #: hint-free bulk path — each was decided once at run-decode time)
+    candidates_skipped_by_runs: int = 0
+    #: per-node backend probes avoided because the answer came from a
+    #: decoded accessibility run interval instead
+    probes_saved: int = 0
+    run_cache_hits: int = 0
+    run_cache_misses: int = 0
     logical_page_reads: int = 0
     physical_page_reads: int = 0
     #: pages that failed checksum verification during this query
@@ -115,6 +124,7 @@ class ExecutionContext:
         semantics: str = CHO,
         strict: bool = True,
         dol: Optional[AccessLabeling] = None,
+        run_cache: Optional[RunCache] = None,
     ):
         if labeling is None:
             labeling = dol
@@ -144,6 +154,10 @@ class ExecutionContext:
         self._access: AccessFn = None
         self._access_built = False
         self._path_index = None
+        #: shared across queries when the engine passes its cache in; a
+        #: standalone context gets a private one on first use
+        self._run_cache = run_cache
+        self._run_list: Optional[RunList] = None
 
     @property
     def dol(self) -> Optional[AccessLabeling]:
@@ -216,6 +230,55 @@ class ExecutionContext:
             self._access_built = True
         return self._access
 
+    def run_list(self) -> Optional[RunList]:
+        """The query's decoded accessibility run list (None if non-secure).
+
+        Under Cho semantics this is the bulk decode of the labeling's
+        node-level accessibility for the subject set; under view
+        semantics, of *path* accessibility (a position's run flag says
+        its whole root path is accessible). Always decoded from the
+        in-memory labeling — the snapshot's frozen clone when store-backed
+        — so building it performs no page I/O.
+
+        Lists are memoized in the :class:`~repro.labeling.runs.RunCache`
+        keyed by ``(epoch, subjects, semantics)``: the store epoch when a
+        snapshot is bound (a commit bumps it, invalidating by key), the
+        labeling's ``runs_epoch`` otherwise. Hits and misses land in
+        ``stats.run_cache_hits`` / ``stats.run_cache_misses``.
+        """
+        if self.subjects is None:
+            return None
+        if self._run_list is not None:
+            return self._run_list
+        if self._run_cache is None:
+            self._run_cache = RunCache(capacity=8)
+        if self.store is not None:
+            key = ("store", self.store.epoch, self.subjects, self.semantics)
+        else:
+            labeling = self.labeling
+            key = (
+                "mem", id(labeling), labeling.runs_epoch,
+                self.subjects, self.semantics,
+            )
+        built, hit = self._run_cache.get_or_build(key, self._decode_run_list)
+        if hit:
+            self.stats.run_cache_hits += 1
+        else:
+            self.stats.run_cache_misses += 1
+        self._run_list = built
+        return built
+
+    def _decode_run_list(self) -> RunList:
+        n = len(self.doc)
+        if self.semantics == VIEW:
+            deepest_blocked = self.path_index.deepest_blocked
+            return RunList.from_flags(
+                [blocked == NO_NODE for blocked in deepest_blocked]
+            )
+        return RunList.from_runs(
+            self.labeling.access_runs_any(self.subjects, 0, n), 0, n
+        )
+
     def _build_access(self) -> AccessFn:
         if self.subjects is None:
             return None
@@ -231,20 +294,16 @@ class ExecutionContext:
 
             return view_access
 
-        subjects = self.subjects
-        if self.store is not None:
-            store = self.store
+        # Cho semantics: node-level accessibility, answered from the
+        # decoded run list — a bisect over run boundaries instead of a
+        # per-node backend probe (CAM ancestor walk, store code read),
+        # and zero I/O even store-backed. Each answered check is a probe
+        # the backend never had to perform.
+        run_list = self.run_list()
 
-            def store_access(pos: int) -> bool:
-                stats.access_checks += 1
-                return store.accessible_any(subjects, pos)
-
-            return store_access
-
-        labeling = self.labeling
-
-        def labeling_access(pos: int) -> bool:
+        def run_access(pos: int) -> bool:
             stats.access_checks += 1
-            return labeling.accessible_any(subjects, pos)
+            stats.probes_saved += 1
+            return run_list.is_accessible(pos)
 
-        return labeling_access
+        return run_access

@@ -133,10 +133,12 @@ class PageSkipScan(Operator):
     plan runs over a :class:`~repro.storage.nokstore.NoKStore`.
 
     The header test requires a labeling backend with page hints (the
-    DOL's embedded transition codes); for hint-free backends (CAM,
-    naive) the operator degrades to a pass-through — every candidate
-    proceeds to the per-node :class:`AccessFilter`, and only the
-    quarantine check (degraded mode) still applies.
+    DOL's embedded transition codes). Hint-free backends (CAM, naive)
+    take the bulk route instead: each candidate is tested against the
+    query's decoded accessibility run list — every node was decided once
+    at run-decode time, so no candidate reaches :class:`AccessFilter`
+    only to be re-probed and rejected. The quarantine check (degraded
+    mode) applies either way.
     """
 
     name = "PageSkipScan"
@@ -144,6 +146,7 @@ class PageSkipScan(Operator):
     def _rows(self, ctx: ExecutionContext) -> Iterator[int]:
         store, subjects = ctx.store, ctx.subjects
         has_hints = store.has_page_hints
+        run_list = None if has_hints else ctx.run_list()
         for pos in self.child.execute(ctx):
             page_id = store.page_of(pos)
             if not ctx.strict and page_id in store.quarantined:
@@ -155,6 +158,11 @@ class PageSkipScan(Operator):
             if has_hints and store.page_fully_inaccessible_any(page_id, subjects):
                 ctx.stats.candidates_skipped_by_header += 1
                 self.stats.bump("skipped")
+                continue
+            if run_list is not None and not run_list.is_accessible(pos):
+                ctx.stats.candidates_skipped_by_runs += 1
+                ctx.stats.probes_saved += 1
+                self.stats.bump("skipped_runs")
                 continue
             yield pos
 

@@ -35,8 +35,11 @@ timings).
 from __future__ import annotations
 
 from time import perf_counter
+from types import SimpleNamespace
 from typing import Callable, Iterator, List, Optional, Union
 
+from repro.errors import ReproError
+from repro.exec.batch import BATCH_OPERATORS
 from repro.exec.context import ExecutionContext, QueryResult
 from repro.exec.operators import (
     AccessFilter,
@@ -53,6 +56,24 @@ from repro.exec.operators import (
 from repro.nok.decompose import Decomposition, decompose
 from repro.nok.pattern import CHILD, PatternTree, parse_query
 from repro.secure.semantics import VIEW
+
+#: The classic one-row-per-hop operator set. The batch set
+#: (:data:`repro.exec.batch.BATCH_OPERATORS`) mirrors it name for name
+#: with subclasses, so plan *shape* is identical in both modes and only
+#: the row granularity differs.
+TUPLE_OPERATORS = SimpleNamespace(
+    TagIndexScan=TagIndexScan,
+    PageSkipScan=PageSkipScan,
+    RootVerify=RootVerify,
+    AccessFilter=AccessFilter,
+    NPMMatch=NPMMatch,
+    STDJoin=STDJoin,
+    PathCheck=PathCheck,
+    Project=Project,
+    Limit=Limit,
+)
+
+EXEC_MODES = {"batch": BATCH_OPERATORS, "tuple": TUPLE_OPERATORS}
 
 
 class PhysicalPlan:
@@ -85,7 +106,12 @@ class PhysicalPlan:
         self.executed = True
         io_before = self.ctx.io_snapshot()
         try:
-            yield from self.root.execute(self.ctx)
+            rows = self.root.execute(self.ctx)
+            if getattr(self.root, "emits_batches", False):
+                for batch in rows:
+                    yield from batch
+            else:
+                yield from rows
         finally:
             io_after = self.ctx.io_snapshot()
             stats = self.ctx.stats
@@ -122,7 +148,10 @@ class PhysicalPlan:
         self, op: Operator, depth: int, analyze: bool, lines: List[str]
     ) -> None:
         detail = op.describe()
-        text = "  " * depth + ("-> " if depth else "") + op.name
+        name = op.name
+        if getattr(op, "emits_batches", False):
+            name += "[batch]"
+        text = "  " * depth + ("-> " if depth else "") + name
         if detail:
             text += f" [{detail}]"
         if analyze:
@@ -132,6 +161,9 @@ class PhysicalPlan:
             )
             for counter, value in sorted(op.stats.extra.items()):
                 text += f" {counter}={value}"
+            batches = op.stats.extra.get("batches", 0)
+            if batches:
+                text += f" rows/batch={op.stats.rows_out / batches:.1f}"
             text += ")"
         lines.append(text)
         for child in op.children:
@@ -147,27 +179,32 @@ def _transform(op: Operator, fn: Callable[[Operator], Operator]) -> Operator:
     return fn(op)
 
 
-def apply_cho_rewrite(root: Operator, ctx: ExecutionContext) -> Operator:
+def apply_cho_rewrite(
+    root: Operator, ctx: ExecutionContext, ops=TUPLE_OPERATORS
+) -> Operator:
     """Cho et al. secure semantics as a plan transformation.
 
     Every candidate root gains the ε-NoK ACCESS pre-condition
     (:class:`AccessFilter`); over a block store every scan gains
     header-driven page skipping (:class:`PageSkipScan`). Joins need
     nothing extra — every binding delivered by ε-NoK already passed its
-    node-level check.
+    node-level check. ``ops`` selects the operator set to insert (tuple
+    or batch), matching whichever set built the tree.
     """
 
     def rewrite(op: Operator) -> Operator:
         if isinstance(op, TagIndexScan) and ctx.store is not None:
-            return PageSkipScan(op)
+            return ops.PageSkipScan(op)
         if isinstance(op, RootVerify):
-            return AccessFilter(op)
+            return ops.AccessFilter(op)
         return op
 
     return _transform(root, rewrite)
 
 
-def apply_view_rewrite(root: Operator, ctx: ExecutionContext) -> Operator:
+def apply_view_rewrite(
+    root: Operator, ctx: ExecutionContext, ops=TUPLE_OPERATORS
+) -> Operator:
     """Gabillon–Bruno view semantics as a plan transformation.
 
     Same filter/skip insertions as the Cho rewrite — but the context's
@@ -177,21 +214,31 @@ def apply_view_rewrite(root: Operator, ctx: ExecutionContext) -> Operator:
 
     def rewrite(op: Operator) -> Operator:
         if isinstance(op, TagIndexScan) and ctx.store is not None:
-            return PageSkipScan(op)
+            return ops.PageSkipScan(op)
         if isinstance(op, RootVerify):
-            return AccessFilter(op)
+            return ops.AccessFilter(op)
         if isinstance(op, STDJoin):
-            return PathCheck(op)
+            return ops.PathCheck(op)
         return op
 
     return _transform(root, rewrite)
 
 
 class Planner:
-    """Compiles pattern trees into :class:`PhysicalPlan` objects."""
+    """Compiles pattern trees into :class:`PhysicalPlan` objects.
 
-    def __init__(self, ctx: ExecutionContext):
+    ``exec_mode`` selects the operator set: ``"batch"`` (the default)
+    builds the vectorized operators of :mod:`repro.exec.batch`,
+    ``"tuple"`` the classic row-at-a-time operators — same plan shape
+    either way, kept selectable for differential testing.
+    """
+
+    def __init__(self, ctx: ExecutionContext, exec_mode: str = "batch"):
+        if exec_mode not in EXEC_MODES:
+            raise ReproError(f"unknown exec_mode {exec_mode!r}")
         self.ctx = ctx
+        self.exec_mode = exec_mode
+        self.ops = EXEC_MODES[exec_mode]
 
     def plan(
         self,
@@ -220,9 +267,9 @@ class Planner:
         """
         root = self._plan_subtree(dec, 0, pattern, ordered)
         root = self._apply_semantics(root)
-        root = Project(root, pattern.returning_node)
+        root = self.ops.Project(root, pattern.returning_node)
         if limit is not None:
-            root = Limit(root, limit)
+            root = self.ops.Limit(root, limit)
         return PhysicalPlan(root, self.ctx, pattern, dec)
 
     def _plan_subtree(
@@ -234,12 +281,13 @@ class Planner:
     ) -> Operator:
         subtree = dec.subtrees[index]
         anchored = index == 0 and pattern.root_axis == CHILD
-        op: Operator = TagIndexScan(subtree.root, anchored=anchored)
-        op = RootVerify(op, subtree.root)
-        op = NPMMatch(op, subtree, ordered)
+        ops = self.ops
+        op: Operator = ops.TagIndexScan(subtree.root, anchored=anchored)
+        op = ops.RootVerify(op, subtree.root)
+        op = ops.NPMMatch(op, subtree, ordered)
         for edge in dec.children_of(index):
             child_plan = self._plan_subtree(dec, edge.child_subtree, pattern, ordered)
-            op = STDJoin(
+            op = ops.STDJoin(
                 op,
                 child_plan,
                 edge.parent_node,
@@ -251,5 +299,5 @@ class Planner:
         if not self.ctx.secure:
             return root
         if self.ctx.semantics == VIEW:
-            return apply_view_rewrite(root, self.ctx)
-        return apply_cho_rewrite(root, self.ctx)
+            return apply_view_rewrite(root, self.ctx, self.ops)
+        return apply_cho_rewrite(root, self.ctx, self.ops)

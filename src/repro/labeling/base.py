@@ -30,10 +30,11 @@ and benches select them by name (``dol`` / ``cam`` / ``naive``).
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Sequence
 
 from repro.acl.model import READ
 from repro.errors import AccessControlError, UpdateError
+from repro.labeling.runs import Run, runs_from_predicate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.acl.model import AccessMatrix
@@ -94,6 +95,64 @@ class AccessLabeling(abc.ABC):
     def to_masks(self) -> List[int]:
         """Per-node access control lists in document order."""
         return [self.mask_at(pos) for pos in range(self.n_nodes)]
+
+    # -- bulk accessibility (run-length intervals) ---------------------------
+    #
+    # Accessibility is piecewise constant in document order (the paper's
+    # Section 2 observation); these hooks expose that structure to the
+    # vectorized executor. The contract: the yielded (start, end,
+    # accessible) triples are half-open, tile [lo, hi) exactly (no gaps,
+    # no overlaps), and are maximal — consecutive runs differ in their
+    # flag. The defaults probe per node; backends with run-native
+    # decodings (DOL transition lists, CAM entry walks) override them.
+
+    def access_runs(
+        self, subject: int, lo: int = 0, hi: "int | None" = None
+    ) -> Iterator[Run]:
+        """Maximal accessibility runs of one subject over ``[lo, hi)``."""
+        lo, hi = self._check_range(lo, hi)
+        return runs_from_predicate(
+            lambda pos: self.accessible(subject, pos), lo, hi
+        )
+
+    def access_runs_any(
+        self, subjects: Sequence[int], lo: int = 0, hi: "int | None" = None
+    ) -> Iterator[Run]:
+        """Maximal runs of the subjects' *union* rights over ``[lo, hi)``.
+
+        The bulk form of :meth:`accessible_any` (user-level rights are
+        the union of the user's subjects', per Section 4's footnote).
+        """
+        lo, hi = self._check_range(lo, hi)
+        subjects = tuple(subjects)
+        if not subjects:
+            raise AccessControlError("access_runs_any needs >= 1 subject")
+        if len(subjects) == 1:
+            return self.access_runs(subjects[0], lo, hi)
+        return runs_from_predicate(
+            lambda pos: self.accessible_any(subjects, pos), lo, hi
+        )
+
+    @property
+    def runs_epoch(self) -> int:
+        """Monotone version of the labeling's accessibility content.
+
+        Every mutating hook bumps it; a cached artifact derived from the
+        labeling (decoded run lists, most importantly) is valid exactly
+        as long as the ``runs_epoch`` it was keyed under is current.
+        Store-backed evaluation keys on the store epoch instead — the
+        snapshot's labeling clone is frozen for its lifetime.
+        """
+        return getattr(self, "_runs_epoch", 0)
+
+    def _bump_runs_epoch(self) -> None:
+        self._runs_epoch = self.runs_epoch + 1
+
+    def _check_range(self, lo: int, hi: "int | None") -> "tuple[int, int]":
+        hi = self.n_nodes if hi is None else hi
+        if not 0 <= lo <= hi <= self.n_nodes:
+            raise AccessControlError(f"invalid run range [{lo}, {hi})")
+        return lo, hi
 
     # -- size accounting (Section 5.1.1) -----------------------------------
 
@@ -161,6 +220,7 @@ class AccessLabeling(abc.ABC):
         for pos in range(start, end):
             masks[pos] = fn(masks[pos])
         self._install_masks(masks)
+        self._bump_runs_epoch()
         return self._delta(before, self._count_labels())
 
     def set_node_mask(self, pos: int, mask: int) -> int:
@@ -194,6 +254,7 @@ class AccessLabeling(abc.ABC):
         rebuilt = self.to_masks()
         rebuilt[at:at] = list(masks)
         self._install_masks(rebuilt)
+        self._bump_runs_epoch()
         return self._delta(before, self._count_labels())
 
     def delete_range(self, start: int, end: int) -> int:
@@ -206,6 +267,7 @@ class AccessLabeling(abc.ABC):
         rebuilt = self.to_masks()
         del rebuilt[start:end]
         self._install_masks(rebuilt)
+        self._bump_runs_epoch()
         return self._delta(before, self._count_labels())
 
     def move_range(self, start: int, end: int, to: int) -> int:
@@ -221,6 +283,7 @@ class AccessLabeling(abc.ABC):
             raise UpdateError(f"invalid destination {to}")
         rebuilt[to:to] = moved
         self._install_masks(rebuilt)
+        self._bump_runs_epoch()
         return self._delta(before, self._count_labels())
 
     def rebind_document(self, doc: "Document") -> None:
@@ -228,8 +291,10 @@ class AccessLabeling(abc.ABC):
 
         Backends that derive labels from tree shape (CAM) must see the
         post-edit document before they rebuild; positional backends (DOL,
-        naive) need nothing.
+        naive) need nothing. Bumps :attr:`runs_epoch` either way — the
+        document shape feeds view-semantics run lists.
         """
+        self._bump_runs_epoch()
 
     # -- snapshots ----------------------------------------------------------
 

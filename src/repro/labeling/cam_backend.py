@@ -24,6 +24,7 @@ from repro.acl.model import READ, AccessMatrix
 from repro.cam.cam import CAM
 from repro.errors import AccessControlError
 from repro.labeling.base import AccessLabeling
+from repro.labeling.runs import union_runs
 from repro.xmltree.document import Document
 
 
@@ -90,6 +91,32 @@ class CAMLabeling(AccessLabeling):
     def to_masks(self) -> List[int]:
         return list(self._masks)
 
+    # -- bulk accessibility (run-length intervals) ---------------------------
+
+    def access_runs(self, subject: int, lo: int = 0, hi: "int | None" = None):
+        """Decode one subject's CAM entry tree straight into runs.
+
+        One :meth:`~repro.cam.cam.CAM.runs` walk over the entries —
+        not a per-node ancestor probe — so bulk decoding costs
+        O(entries + runs) after the subject's map is built.
+        """
+        lo, hi = self._check_range(lo, hi)
+        return self.cam_for(subject).runs(lo, hi)
+
+    def access_runs_any(
+        self, subjects: Sequence[int], lo: int = 0, hi: "int | None" = None
+    ):
+        """Union of the per-subject CAM runs (one walk per subject)."""
+        lo, hi = self._check_range(lo, hi)
+        subjects = tuple(subjects)
+        if not subjects:
+            raise AccessControlError("access_runs_any needs >= 1 subject")
+        if len(subjects) == 1:
+            return self.access_runs(subjects[0], lo, hi)
+        return union_runs(
+            [self.cam_for(subject).runs(lo, hi) for subject in subjects], lo, hi
+        )
+
     # -- size accounting ----------------------------------------------------
 
     @property
@@ -133,6 +160,7 @@ class CAMLabeling(AccessLabeling):
             self._masks = list(masks)
             self.n_nodes = len(masks)
             self._cams.clear()
+        self._bump_runs_epoch()
 
     def _count_labels(self) -> "int | None":
         # CAM labels depend on tree shape: between a structural mask edit
@@ -152,6 +180,7 @@ class CAMLabeling(AccessLabeling):
         with self._cams_lock:
             self.doc = doc
             self._cams.clear()
+        self._bump_runs_epoch()
 
     def clone(self) -> "CAMLabeling":
         """Snapshot copy: own mask array, own map cache.

@@ -1,0 +1,273 @@
+"""Accessibility run-length intervals: the bulk face of a labeling.
+
+The paper's central observation is that accessibility is piecewise
+constant in document order (Section 2: transition nodes are rare). The
+per-node probe interface hides that structure from the executor; this
+module gives it a first-class representation:
+
+- a *run* is a maximal half-open interval ``(start, end, accessible)``
+  over which one subject set's accessibility is constant; consecutive
+  runs differ in their flag and tile ``[lo, hi)`` with no gaps;
+- :class:`RunList` freezes a run sequence into parallel arrays for
+  O(log R) point probes (``is_accessible``) and O(R + log B) sorted-batch
+  intersection (``filter_positions``) — the primitive the vectorized
+  operators are built on;
+- :class:`RunCache` memoizes decoded run lists per ``(snapshot epoch,
+  subject set, semantics)`` so a serving workload decodes each labeling
+  epoch once, not once per query. Invalidation is by construction: a
+  commit bumps the store epoch (or the labeling's ``runs_epoch``), which
+  changes every key derived from it; stale entries age out of the LRU.
+
+Run *production* lives with the backends
+(:meth:`~repro.labeling.base.AccessLabeling.access_runs`); this module
+only represents, combines, and caches them, so it must not import any
+concrete backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import AccessControlError
+
+#: One maximal accessibility run: ``(start, end, accessible)``, half-open.
+Run = Tuple[int, int, bool]
+
+
+def runs_from_predicate(
+    accessible: Callable[[int], bool], lo: int, hi: int
+) -> Iterator[Run]:
+    """Maximal runs of a per-node predicate over ``[lo, hi)``.
+
+    The generic fallback used by backends without run-native decoding
+    (one predicate call per node, merged into maximal intervals).
+    """
+    if lo >= hi:
+        return
+    run_start = lo
+    run_flag = bool(accessible(lo))
+    for pos in range(lo + 1, hi):
+        flag = bool(accessible(pos))
+        if flag != run_flag:
+            yield (run_start, pos, run_flag)
+            run_start, run_flag = pos, flag
+    yield (run_start, hi, run_flag)
+
+
+def runs_from_flags(flags: Sequence[bool], lo: int = 0) -> Iterator[Run]:
+    """Maximal runs of a precomputed flag array starting at ``lo``."""
+    n = len(flags)
+    if n == 0:
+        return
+    run_start = lo
+    run_flag = bool(flags[0])
+    for i in range(1, n):
+        flag = bool(flags[i])
+        if flag != run_flag:
+            yield (run_start, lo + i, run_flag)
+            run_start, run_flag = lo + i, flag
+    yield (run_start, lo + n, run_flag)
+
+
+def union_runs(run_iters: Iterable[Iterable[Run]], lo: int, hi: int) -> Iterator[Run]:
+    """Union the accessible intervals of several run sequences over ``[lo, hi)``.
+
+    The user-level combinator (Section 4's footnote: a user's rights are
+    the union of her subjects'), used by backends whose native decoding
+    is per subject (one CAM per subject).
+    """
+    if lo >= hi:
+        return
+    intervals: List[Tuple[int, int]] = []
+    for runs in run_iters:
+        intervals.extend((start, end) for start, end, flag in runs if flag)
+    intervals.sort()
+    merged: List[Tuple[int, int]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    cursor = lo
+    for start, end in merged:
+        if start > cursor:
+            yield (cursor, start, False)
+        yield (start, end, True)
+        cursor = end
+    if cursor < hi:
+        yield (cursor, hi, False)
+
+
+class RunList:
+    """A frozen run sequence over ``[lo, hi)`` behind array-backed probes.
+
+    ``_starts`` is strictly increasing with ``_starts[0] == lo``;
+    ``_flags[i]`` is the accessibility of ``[_starts[i], _starts[i+1])``
+    (the last run ends at ``hi``). Instances are immutable once built and
+    safe to share across threads — the cache hands one object to many
+    concurrent queries of the same epoch.
+    """
+
+    __slots__ = ("lo", "hi", "_starts", "_flags")
+
+    def __init__(self, lo: int, hi: int, starts: array, flags: List[bool]):
+        self.lo = lo
+        self.hi = hi
+        self._starts = starts
+        self._flags = flags
+
+    @classmethod
+    def from_runs(cls, runs: Iterable[Run], lo: int, hi: int) -> "RunList":
+        """Freeze a run iterator, checking the tiling contract as it goes.
+
+        Adjacent equal-flag runs are coalesced (tolerated on input, never
+        produced by a conforming ``access_runs``), so the stored runs are
+        always maximal.
+        """
+        starts = array("q")
+        flags: List[bool] = []
+        expected = lo
+        for start, end, flag in runs:
+            if start != expected or end <= start or end > hi:
+                raise AccessControlError(
+                    f"runs must tile [{lo}, {hi}) contiguously; "
+                    f"got ({start}, {end}) after {expected}"
+                )
+            flag = bool(flag)
+            if not flags or flags[-1] != flag:
+                starts.append(start)
+                flags.append(flag)
+            expected = end
+        if expected != hi and not (lo == hi and not flags):
+            raise AccessControlError(
+                f"runs cover [{lo}, {expected}) of [{lo}, {hi})"
+            )
+        return cls(lo, hi, starts, flags)
+
+    @classmethod
+    def from_flags(cls, accessible: Sequence[bool], lo: int = 0) -> "RunList":
+        """Freeze a per-node flag array (positions ``lo .. lo+len``)."""
+        return cls.from_runs(
+            runs_from_flags(accessible, lo), lo, lo + len(accessible)
+        )
+
+    def __len__(self) -> int:
+        """Number of maximal runs."""
+        return len(self._starts)
+
+    def runs(self) -> Iterator[Run]:
+        """Re-expand to ``(start, end, accessible)`` triples."""
+        starts, flags = self._starts, self._flags
+        for i, start in enumerate(starts):
+            end = starts[i + 1] if i + 1 < len(starts) else self.hi
+            yield (start, end, flags[i])
+
+    def is_accessible(self, pos: int) -> bool:
+        """Point probe: the flag of the run containing ``pos`` (O(log R))."""
+        if not self.lo <= pos < self.hi:
+            raise AccessControlError(f"position {pos} outside [{self.lo}, {self.hi})")
+        return self._flags[bisect_right(self._starts, pos) - 1]
+
+    def accessible_intervals(self) -> List[Tuple[int, int]]:
+        """The accessible runs only, as ``(start, end)`` pairs."""
+        return [(start, end) for start, end, flag in self.runs() if flag]
+
+    def count_accessible(self) -> int:
+        """Total accessible positions."""
+        return sum(end - start for start, end, flag in self.runs() if flag)
+
+    def filter_positions(self, positions: Sequence[int]) -> array:
+        """Intersect a *sorted* position batch with the accessible runs.
+
+        Returns the accessible subset as a fresh ``array('q')``. The walk
+        alternates two bisects — the run containing the next position,
+        then the batch prefix inside that run — so cost is
+        O(min(runs, batch) · log) regardless of how many empty runs lie
+        between consecutive positions. No per-position probing.
+        """
+        out = array("q")
+        n = len(positions)
+        if n == 0:
+            return out
+        starts, flags = self._starts, self._flags
+        n_runs = len(starts)
+        hi = self.hi
+        ri = 0
+        i = 0
+        while i < n:
+            ri = bisect_right(starts, positions[i], ri) - 1
+            if ri < 0:
+                ri = 0
+            run_end = starts[ri + 1] if ri + 1 < n_runs else hi
+            j = bisect_left(positions, run_end, i)
+            if flags[ri] and j > i:
+                out.extend(positions[i:j])
+            i = j
+        return out
+
+
+#: Cache key: (source tag + epoch, subject tuple, semantics).
+RunKey = Tuple
+
+
+class RunCache:
+    """Thread-safe LRU of decoded :class:`RunList` objects.
+
+    Keys embed the snapshot epoch (store-backed) or the labeling's
+    ``runs_epoch`` (in-memory), so a commit *is* the invalidation: the
+    next query computes a new key, misses, and decodes the new state,
+    while entries for dead epochs age out of the LRU. One cache must only
+    ever serve one store / labeling lineage (the engine owns one).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise AccessControlError("run cache needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[RunKey, RunList]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(
+        self, key: RunKey, build: Callable[[], RunList]
+    ) -> Tuple[RunList, bool]:
+        """Return ``(run_list, was_hit)``, building and inserting on miss.
+
+        ``build`` runs outside the lock — decoding can be O(document) and
+        must not block concurrent queries hitting other keys. Two threads
+        missing the same fresh key may both build; both results are
+        identical (same epoch) and the second insert wins harmlessly.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached, True
+            self._misses += 1
+        built = build()
+        with self._lock:
+            self._entries[key] = built
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return built, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

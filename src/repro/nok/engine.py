@@ -28,6 +28,7 @@ from repro.errors import ReproError
 from repro.exec.context import EvalStats, ExecutionContext, QueryResult
 from repro.exec.plancache import PlanCache, plan_key
 from repro.labeling.base import AccessLabeling
+from repro.labeling.runs import RunCache
 from repro.labeling.registry import DEFAULT_BACKEND, build_labeling
 from repro.index.tagindex import TagIndex
 from repro.nok.decompose import Decomposition, decompose
@@ -56,6 +57,8 @@ class QueryEngine:
         index: Optional[TagIndex] = None,
         dol: Optional[AccessLabeling] = None,
         plan_cache_size: int = 128,
+        exec_mode: str = "batch",
+        run_cache_size: int = 64,
     ):
         if labeling is None:
             labeling = dol
@@ -63,15 +66,21 @@ class QueryEngine:
             raise ReproError("pass either labeling= or its alias dol=, not both")
         if store is not None and labeling is not None and store.labeling is not labeling:
             raise ReproError("store and engine must share one labeling")
+        if exec_mode not in ("batch", "tuple"):
+            raise ReproError(f"unknown exec_mode {exec_mode!r}")
         self.doc = doc
         self.labeling = (
             labeling if labeling is not None else (store.labeling if store else None)
         )
         self.store = store
         self.index = index if index is not None else TagIndex(doc)
+        self.exec_mode = exec_mode
         #: compiled (pattern, decomposition) artifacts, shared by every
         #: execution — immutable once built, so cache hits are thread-safe
         self.plan_cache = PlanCache(plan_cache_size)
+        #: decoded accessibility run lists, shared across queries and
+        #: threads; keys carry the epoch, so commits invalidate by key
+        self.run_cache = RunCache(run_cache_size)
 
     @property
     def dol(self) -> Optional[AccessLabeling]:
@@ -89,11 +98,13 @@ class QueryEngine:
         buffer_capacity: int = 64,
         store_path: Optional[str] = None,
         labeling: str = DEFAULT_BACKEND,
+        exec_mode: str = "batch",
     ) -> "QueryEngine":
         """Construct an engine, optionally with labeling and block storage.
 
         ``labeling`` names the access-labeling backend (``"dol"``,
-        ``"cam"``, or ``"naive"``) built from ``matrix``.
+        ``"cam"``, or ``"naive"``) built from ``matrix``; ``exec_mode``
+        the default operator set (``"batch"`` or ``"tuple"``).
         """
         built = (
             build_labeling(labeling, doc, matrix, mode)
@@ -108,7 +119,7 @@ class QueryEngine:
                 doc, built, path=store_path, page_size=page_size,
                 buffer_capacity=buffer_capacity,
             )
-        return cls(doc, labeling=built, store=store)
+        return cls(doc, labeling=built, store=store, exec_mode=exec_mode)
 
     # -- compilation & evaluation ---------------------------------------------
 
@@ -121,6 +132,7 @@ class QueryEngine:
         limit: Optional[int] = None,
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
+        exec_mode: Optional[str] = None,
     ):
         """Compile a query into a :class:`~repro.exec.planner.PhysicalPlan`.
 
@@ -154,6 +166,7 @@ class QueryEngine:
             subject=subject,
             semantics=semantics,
             strict=strict,
+            run_cache=self.run_cache,
         )
         if isinstance(query, str):
             key = plan_key(query, semantics, subject, ordered)
@@ -167,7 +180,10 @@ class QueryEngine:
         else:
             pattern = query
             dec = decompose(pattern)
-        return Planner(ctx).plan_from(pattern, dec, ordered=ordered, limit=limit)
+        mode = self.exec_mode if exec_mode is None else exec_mode
+        return Planner(ctx, exec_mode=mode).plan_from(
+            pattern, dec, ordered=ordered, limit=limit
+        )
 
     def evaluate(
         self,
@@ -178,6 +194,7 @@ class QueryEngine:
         limit: Optional[int] = None,
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
+        exec_mode: Optional[str] = None,
     ) -> QueryResult:
         """Evaluate a twig query, securely when ``subject`` is given.
 
@@ -194,10 +211,12 @@ class QueryEngine:
         page that fails its checksum is quarantined and skipped, and the
         result's ``stats.corrupted_pages`` lists what was lost; the
         default raises :class:`~repro.errors.PageCorruptionError`.
+        ``exec_mode`` overrides the engine's default operator set
+        (``"batch"``/``"tuple"``) for this evaluation.
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit, strict=strict, snapshot=snapshot,
+            limit=limit, strict=strict, snapshot=snapshot, exec_mode=exec_mode,
         ).run()
 
     def stream(
@@ -209,6 +228,7 @@ class QueryEngine:
         limit: Optional[int] = None,
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
+        exec_mode: Optional[str] = None,
     ) -> Iterator[int]:
         """Lazily yield distinct returning-node positions as found.
 
@@ -219,7 +239,7 @@ class QueryEngine:
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit, strict=strict, snapshot=snapshot,
+            limit=limit, strict=strict, snapshot=snapshot, exec_mode=exec_mode,
         ).execute()
 
     def evaluate_path(
@@ -313,17 +333,19 @@ class QueryEngine:
         limit: Optional[int] = None,
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
+        exec_mode: Optional[str] = None,
     ) -> "tuple[QueryResult, str]":
         """Execute a query and return (result, annotated physical plan).
 
         The plan text carries per-operator output row counts, inclusive
         timings, and operator-specific counters (pages skipped, candidates
-        denied, join pairs pruned) — EXPLAIN ANALYZE for secure twig
-        queries.
+        denied, join pairs pruned; batch operators additionally report
+        batch counts and rows per batch) — EXPLAIN ANALYZE for secure
+        twig queries.
         """
         plan = self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
-            limit=limit, strict=strict, snapshot=snapshot,
+            limit=limit, strict=strict, snapshot=snapshot, exec_mode=exec_mode,
         )
         result = plan.run()
         return result, plan.explain(analyze=True)

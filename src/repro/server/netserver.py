@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import socketserver
 import threading
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.errors import ServiceError
 from repro.server.protocol import decode_request, encode_response, error_response

@@ -178,6 +178,9 @@ class QueryService:
                 "epoch": snapshot.epoch if snapshot is not None else 0,
                 "stats": {
                     "access_checks": result.stats.access_checks,
+                    "probes_saved": result.stats.probes_saved,
+                    "run_cache_hits": result.stats.run_cache_hits,
+                    "run_cache_misses": result.stats.run_cache_misses,
                     "logical_page_reads": result.stats.logical_page_reads,
                     "physical_page_reads": result.stats.physical_page_reads,
                     "wall_time": result.stats.wall_time,
@@ -244,6 +247,7 @@ class QueryService:
                 "latency_max": self._latency_max,
             }
         report["plan_cache"] = self.engine.plan_cache.stats()
+        report["run_cache"] = self.engine.run_cache.stats()
         store = self.engine.store
         if store is not None:
             report["epoch"] = store.epoch

@@ -395,6 +395,15 @@ class NoKStore:
         page = self._page(pos // self.entries_per_page)
         return page.entries[pos % self.entries_per_page]
 
+    def page_entries(self, page_id: int) -> List[NodeEntry]:
+        """All decoded entries of one page — one buffer fetch.
+
+        The batch executor's bulk face of :meth:`entry`: a sorted
+        candidate batch groups its positions by page and verifies each
+        page's group against a single decoded-page read.
+        """
+        return self._page(page_id).entries
+
     # -- navigation (the next-of-kin primitives) -------------------------------------
 
     def tag_id(self, pos: int) -> int:

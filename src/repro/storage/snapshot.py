@@ -171,6 +171,10 @@ class StoreSnapshot:
         page = self._page(pos // self.entries_per_page)
         return page.entries[pos % self.entries_per_page]
 
+    def page_entries(self, page_id: int):
+        """All decoded entries of one page at this epoch (one fetch)."""
+        return self._page(page_id).entries
+
     # -- navigation (the next-of-kin primitives) ---------------------------
 
     def tag_id(self, pos: int) -> int:

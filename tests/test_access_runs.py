@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the bulk ``access_runs`` API.
+
+The contract every backend must honor (DESIGN.md §11): for any subject
+set and any window ``[lo, hi)``, ``access_runs`` yields maximal runs that
+tile the window exactly — no gaps, no overlaps, no two adjacent runs with
+the same flag — and each run's flag equals the per-node ``accessible``
+answer for every position it covers. The DOL decodes runs natively from
+transition codes and the CAM from entry walks, so these properties are
+the proof that the fast paths agree with the probe interface bit for bit.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.model import AccessMatrix
+from repro.labeling.registry import available_backends, build_labeling
+from repro.labeling.runs import RunList, union_runs
+from tests.conftest import random_document
+
+N_SUBJECTS = 3
+
+
+@st.composite
+def labeled_document(draw):
+    """A random document plus a random per-node / per-subject ACL grid."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=1, max_value=60))
+    doc = random_document(random.Random(seed), n)
+    masks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << N_SUBJECTS) - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    matrix = AccessMatrix(n, N_SUBJECTS)
+    for pos, mask in enumerate(masks):
+        for subject in range(N_SUBJECTS):
+            if mask >> subject & 1:
+                matrix.set_accessible(subject, pos, True)
+    return doc, matrix
+
+
+def _window(draw, n):
+    lo = draw(st.integers(min_value=0, max_value=n - 1))
+    hi = draw(st.integers(min_value=lo + 1, max_value=n))
+    return lo, hi
+
+
+@st.composite
+def labeled_document_and_window(draw):
+    doc, matrix = draw(labeled_document())
+    lo, hi = _window(draw, len(doc))
+    return doc, matrix, lo, hi
+
+
+def _check_tiling(runs, lo, hi):
+    """Runs tile [lo, hi) contiguously and are maximal."""
+    assert runs, "empty run sequence for a non-empty window"
+    assert runs[0][0] == lo
+    assert runs[-1][1] == hi
+    for (s1, e1, f1), (s2, e2, f2) in zip(runs, runs[1:]):
+        assert e1 == s2, "gap or overlap between runs"
+        assert f1 != f2, "adjacent runs with equal flags are not maximal"
+    for start, end, _flag in runs:
+        assert start < end
+
+
+@settings(max_examples=60)
+@given(labeled_document_and_window(), st.integers(min_value=0, max_value=N_SUBJECTS - 1))
+def test_access_runs_reconstructs_accessible(case, subject):
+    doc, matrix, lo, hi = case
+    for backend in available_backends():
+        labeling = build_labeling(backend, doc, matrix)
+        runs = list(labeling.access_runs(subject, lo, hi))
+        _check_tiling(runs, lo, hi)
+        for start, end, flag in runs:
+            for pos in range(start, end):
+                assert flag == labeling.accessible(subject, pos), (
+                    backend, subject, pos,
+                )
+
+
+@settings(max_examples=40)
+@given(labeled_document_and_window())
+def test_access_runs_any_reconstructs_union(case):
+    doc, matrix, lo, hi = case
+    subjects = (0, 2)
+    for backend in available_backends():
+        labeling = build_labeling(backend, doc, matrix)
+        runs = list(labeling.access_runs_any(subjects, lo, hi))
+        _check_tiling(runs, lo, hi)
+        for start, end, flag in runs:
+            for pos in range(start, end):
+                assert flag == labeling.accessible_any(subjects, pos), (
+                    backend, pos,
+                )
+
+
+@settings(max_examples=40)
+@given(labeled_document())
+def test_backends_produce_identical_runs(case):
+    """All backends decode the same maximal run sequence."""
+    doc, matrix = case
+    per_backend = {
+        backend: list(
+            build_labeling(backend, doc, matrix).access_runs(1, 0, len(doc))
+        )
+        for backend in available_backends()
+    }
+    assert len(set(map(tuple, per_backend.values()))) == 1, per_backend
+
+
+@settings(max_examples=40)
+@given(labeled_document_and_window(), st.integers(min_value=0, max_value=N_SUBJECTS - 1))
+def test_filter_positions_equals_per_node_filter(case, subject):
+    doc, matrix, lo, hi = case
+    labeling = build_labeling("dol", doc, matrix)
+    run_list = RunList.from_runs(labeling.access_runs(subject, lo, hi), lo, hi)
+    positions = list(range(lo, hi))
+    expected = [p for p in positions if labeling.accessible(subject, p)]
+    assert list(run_list.filter_positions(positions)) == expected
+    assert run_list.count_accessible() == len(expected)
+    for pos in positions:
+        assert run_list.is_accessible(pos) == labeling.accessible(subject, pos)
+
+
+@settings(max_examples=40)
+@given(labeled_document())
+def test_union_runs_matches_any_predicate(case):
+    doc, matrix = case
+    labeling = build_labeling("dol", doc, matrix)
+    n = len(doc)
+    subjects = (0, 1, 2)
+    unioned = list(
+        union_runs(
+            [labeling.access_runs(s, 0, n) for s in subjects], 0, n
+        )
+    )
+    _check_tiling(unioned, 0, n)
+    for start, end, flag in unioned:
+        for pos in range(start, end):
+            assert flag == labeling.accessible_any(subjects, pos)

@@ -76,35 +76,46 @@ def run_stress(doc, matrix, backend, semantics, seed):
     deltas = []
     failures = []
     start_gate = threading.Event()
+    writer_done = threading.Event()
     faulthandler.dump_traceback_later(120, exit=True)
     try:
 
         def writer():
             start_gate.wait()
             try:
-                for _ in range(N_UPDATES):
-                    start = rng.randrange(1, n_nodes - 2)
-                    span = rng.randrange(1, max(n_nodes // 8, 2))
-                    end = min(start + span, n_nodes)
-                    subject = rng.choice(WRITE_SUBJECTS)
-                    value = rng.random() < 0.5
-                    cost = store.update_subject_range(
-                        start, end, subject, value
-                    )
-                    deltas.append(cost.transition_delta)
-                    # retain the snapshot this commit published, keyed by
-                    # its epoch, for post-run oracle replay
-                    snapshots[store.epoch] = store.snapshot()
-                    # pace the stream so it overlaps the reader phase even
-                    # for hint-free backends whose commits are near-instant
-                    time.sleep(0.005)
+                _run_updates()
             except BaseException as exc:  # pragma: no cover - failure path
                 failures.append(exc)
+            finally:
+                writer_done.set()
+
+        def _run_updates():
+            for _ in range(N_UPDATES):
+                start = rng.randrange(1, n_nodes - 2)
+                span = rng.randrange(1, max(n_nodes // 8, 2))
+                end = min(start + span, n_nodes)
+                subject = rng.choice(WRITE_SUBJECTS)
+                value = rng.random() < 0.5
+                cost = store.update_subject_range(
+                    start, end, subject, value
+                )
+                deltas.append(cost.transition_delta)
+                # retain the snapshot this commit published, keyed by
+                # its epoch, for post-run oracle replay
+                snapshots[store.epoch] = store.snapshot()
+                # pace the stream so it overlaps the reader phase even
+                # for hint-free backends whose commits are near-instant
+                time.sleep(0.005)
 
         def reader():
             start_gate.wait()
             try:
-                for _ in range(READS_PER_READER):
+                # Keep reading until the writer's stream has finished (with
+                # READS_PER_READER as the floor): cached run lists make
+                # repeat reads near-instant, so a fixed read count could
+                # drain before the first commit and never span two epochs.
+                reads = 0
+                while reads < READS_PER_READER or not writer_done.is_set():
                     snap = store.snapshot()
                     for qid, query in QUERIES.items():
                         result = engine.evaluate(
@@ -117,6 +128,10 @@ def run_stress(doc, matrix, backend, semantics, seed):
                             observations.append(
                                 (snap.epoch, qid, tuple(sorted(result.positions)))
                             )
+                    reads += 1
+                    # yield the GIL so the paced writer actually progresses
+                    # (8 busy-looping readers would starve it)
+                    time.sleep(0.001)
             except BaseException as exc:  # pragma: no cover - failure path
                 failures.append(exc)
 
@@ -152,7 +167,9 @@ def test_readers_match_oracle_under_update_stream(
         stress_doc, stress_matrix, backend, semantics, seed=77
     )
     assert len(deltas) == N_UPDATES
-    assert len(observations) == N_READERS * READS_PER_READER * len(QUERIES)
+    # readers take at least READS_PER_READER passes, plus as many more as
+    # it takes to outlive the writer's update stream
+    assert len(observations) >= N_READERS * READS_PER_READER * len(QUERIES)
 
     if backend == "dol":
         # Proposition 1, checked after every commit: one accessibility

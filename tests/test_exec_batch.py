@@ -1,0 +1,195 @@
+"""Differential suite: batch execution is indistinguishable from tuple.
+
+The vectorized operators of :mod:`repro.exec.batch` are a pure
+performance change — same answers, same pruning decisions, same access
+accounting — across every combination of secure semantics (cho / view),
+labeling backend (dol / cam / naive), ordered and unordered matching,
+in-memory and store-backed execution, and across accessibility updates
+(a commit must invalidate the decoded run lists, not serve stale ones).
+"""
+
+import pytest
+
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.labeling.registry import build_labeling
+from repro.nok.engine import QueryEngine
+from repro.secure.semantics import CHO, VIEW
+from repro.xmark.generator import XMarkConfig, generate_document
+
+BACKENDS = ("dol", "cam", "naive")
+
+QUERY_SET = (
+    "//item",
+    "/site/regions",
+    "//item[name]/quantity",
+    "//listitem//keyword",
+    "//parlist//parlist",
+)
+
+#: Stats that must agree exactly between the modes: same candidates
+#: considered, same page-level and run-level pruning, same ACCESS calls.
+PARITY_FIELDS = (
+    "candidates",
+    "candidates_skipped_by_header",
+    "candidates_skipped_by_runs",
+    "access_checks",
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return generate_document(XMarkConfig(n_items=24, seed=17))
+
+
+@pytest.fixture(scope="module")
+def matrix(doc):
+    return generate_synthetic_acl(
+        doc,
+        SyntheticACLConfig(
+            accessibility_ratio=0.6, propagation_ratio=0.3, seed=5
+        ),
+        n_subjects=3,
+    )
+
+
+def _assert_modes_agree(engine, query, subject, semantics, ordered=False):
+    batch = engine.evaluate(
+        query, subject=subject, semantics=semantics, ordered=ordered,
+        exec_mode="batch",
+    )
+    tuple_ = engine.evaluate(
+        query, subject=subject, semantics=semantics, ordered=ordered,
+        exec_mode="tuple",
+    )
+    assert batch.positions == tuple_.positions
+    for field in PARITY_FIELDS:
+        assert getattr(batch.stats, field) == getattr(tuple_.stats, field), field
+    return batch, tuple_
+
+
+@pytest.mark.parametrize("ordered", (False, True))
+@pytest.mark.parametrize("semantics", (CHO, VIEW))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_matches_tuple_in_memory(doc, matrix, backend, semantics, ordered):
+    engine = QueryEngine.build(doc, matrix, labeling=backend)
+    for query in QUERY_SET:
+        for subject in range(matrix.n_subjects):
+            _assert_modes_agree(engine, query, subject, semantics, ordered)
+
+
+@pytest.mark.parametrize("semantics", (CHO, VIEW))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_matches_tuple_store_backed(doc, matrix, backend, semantics):
+    engine = QueryEngine.build(
+        doc, matrix, use_store=True, page_size=256, labeling=backend
+    )
+    for query in QUERY_SET:
+        _assert_modes_agree(engine, query, 1, semantics)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_matches_tuple_user_level(doc, matrix, backend):
+    """Multi-subject evaluation: run lists union the subjects' rights."""
+    engine = QueryEngine.build(doc, matrix, labeling=backend)
+    for query in QUERY_SET:
+        _assert_modes_agree(engine, query, (0, 2), CHO)
+
+
+def test_non_secure_plans_agree(doc):
+    engine = QueryEngine.build(doc)
+    for query in QUERY_SET:
+        batch = engine.evaluate(query, exec_mode="batch")
+        tuple_ = engine.evaluate(query, exec_mode="tuple")
+        assert batch.positions == tuple_.positions
+        assert batch.stats.candidates == tuple_.stats.candidates
+
+
+def test_run_cache_serves_repeats_and_invalidates_on_store_commit(doc, matrix):
+    engine = QueryEngine.build(doc, matrix, use_store=True, page_size=256)
+    first = engine.evaluate("//item", subject=0)
+    assert first.stats.run_cache_misses == 1
+
+    again = engine.evaluate("//item", subject=0)
+    assert again.stats.run_cache_hits == 1
+    assert again.stats.run_cache_misses == 0
+    assert again.positions == first.positions
+
+    # Revoke subject 0 everywhere: the commit bumps the store epoch, so
+    # the next query keys a fresh run list and sees the new policy.
+    engine.store.update_subject_range(0, len(doc), 0, False)
+    after = engine.evaluate("//item", subject=0)
+    assert after.stats.run_cache_misses == 1
+    assert after.positions == []
+    assert engine.evaluate("//item", subject=0, exec_mode="tuple").positions == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_cache_invalidates_on_in_memory_update(doc, matrix, backend):
+    labeling = build_labeling(backend, doc, matrix)
+    engine = QueryEngine(doc, labeling=labeling)
+    before = engine.evaluate("//item", subject=1)
+    epoch = labeling.runs_epoch
+
+    labeling.set_subject_accessibility(0, len(doc), 1, True)
+    assert labeling.runs_epoch > epoch
+
+    after = engine.evaluate("//item", subject=1)
+    assert after.stats.run_cache_misses == 1
+    assert len(after.positions) >= len(before.positions)
+    # With the subject granted everywhere, cho answers = non-secure answers.
+    assert after.positions == engine.evaluate("//item").positions
+    _assert_modes_agree(engine, "//item", 1, CHO)
+
+
+def test_probes_saved_parity_and_positivity(doc, matrix):
+    engine = QueryEngine.build(doc, matrix)
+    batch, tuple_ = _assert_modes_agree(engine, "//item", 0, CHO)
+    assert batch.stats.probes_saved == tuple_.stats.probes_saved
+    assert batch.stats.probes_saved > 0
+
+
+def test_limit_streams_in_batch_mode(doc, matrix):
+    engine = QueryEngine.build(doc, matrix)
+    full = engine.evaluate("//item", subject=0, exec_mode="batch")
+    assert full.n_answers > 2
+    limited = engine.evaluate("//item", subject=0, limit=2, exec_mode="batch")
+    assert limited.n_answers == 2
+    assert set(limited.positions) <= set(full.positions)
+
+
+def test_explain_analyze_reports_batches(doc, matrix):
+    engine = QueryEngine.build(doc, matrix)
+    result, text = engine.explain_analyze("//item", subject=0)
+    assert result.n_answers > 0
+    assert "[batch]" in text
+    assert "batches=" in text
+    assert "rows/batch=" in text
+
+    _, tuple_text = engine.explain_analyze(
+        "//item", subject=0, exec_mode="tuple"
+    )
+    assert "[batch]" not in tuple_text
+
+
+def test_plan_shape_identical_across_modes(doc, matrix):
+    engine = QueryEngine.build(doc, matrix, use_store=True, page_size=256)
+    batch_ops = [
+        op.name for op in engine.compile("//listitem//keyword", subject=0).operators()
+    ]
+    tuple_ops = [
+        op.name
+        for op in engine.compile(
+            "//listitem//keyword", subject=0, exec_mode="tuple"
+        ).operators()
+    ]
+    assert batch_ops == tuple_ops
+
+
+def test_unknown_exec_mode_rejected(doc, matrix):
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        QueryEngine.build(doc, matrix, exec_mode="columnar")
+    engine = QueryEngine.build(doc, matrix)
+    with pytest.raises(ReproError):
+        engine.evaluate("//item", subject=0, exec_mode="vector")
