@@ -1,0 +1,73 @@
+"""Class-collapse benchmark — emits ``BENCH_classes.json``.
+
+Simulates LiveLink-scale user populations (each user a subject set of
+1–3 groups) against one fixed ACL configuration and asserts the
+canonicalization contract end to end:
+
+- the distinct-class count stays in the hundreds while simulated users
+  scale 10^3 → 10^5 (classes measure ACL structure, not population);
+- every cache layer's entry count is bounded by ``#classes x #queries``
+  times a small constant — the machine-independent ratio the CI gate
+  (:func:`~repro.bench.classes.gate_class_report`) also enforces;
+- statically denied (query, class) pairs answer with zero page reads.
+
+Timing numbers are reported but not asserted — ratios transfer across
+machines, latencies do not.
+"""
+
+import os
+
+from repro.bench.classes import (
+    gate_class_report,
+    run_class_benchmark,
+    write_report,
+)
+
+
+def test_class_collapse_report(bench_scale):
+    user_counts = (
+        1_000 * bench_scale, 10_000 * bench_scale, 100_000 * bench_scale
+    )
+    report = run_class_benchmark(user_counts=user_counts)
+
+    assert set(report["scales"]) == {str(c) for c in user_counts}
+    n_queries = len(report["queries"])
+    for entry in report["scales"].values():
+        # collapse: hundreds of classes against thousands-to-hundreds of
+        # thousands of users
+        assert 0 < entry["n_classes"] < 1_000
+        assert entry["n_classes"] < entry["n_users"]
+        # cache population bounded by class structure, never users
+        bound = entry["n_classes"] * n_queries * 4
+        assert entry["plan_cache_entries"] <= bound
+        assert entry["run_cache_entries"] <= bound
+        assert entry["result_cache_entries"] <= bound
+        # fully-denied classes never touch the store
+        assert entry["denied_with_reads"] == 0
+        if entry["static_deny"]:
+            assert entry["denied_zero_read"] == entry["static_deny"]
+
+    # the largest population must show real collapse (and the gate the
+    # CLI/CI use must agree)
+    largest = report["scales"][str(user_counts[-1])]
+    assert largest["n_classes"] * 10 <= largest["n_users"]
+    assert gate_class_report(report) == []
+
+    # class-id memoization carries the canonicalization load: all but
+    # the distinct subject sets resolve from the memo
+    assert largest["class_memo_hits"] > largest["n_users"] * 0.9
+
+    out = os.environ.get("REPRO_BENCH_CLASSES_OUT", "BENCH_classes.json")
+    write_report(report, out)
+
+    print("\nClass collapse (fixed ACL config, growing population):")
+    for label in sorted(report["scales"], key=int):
+        entry = report["scales"][label]
+        print(
+            f"  users={label}: {entry['n_classes']} classes  "
+            f"plan={entry['plan_cache_entries']} "
+            f"run={entry['run_cache_entries']} "
+            f"result={entry['result_cache_entries']}  "
+            f"{entry['users_per_sec']:.0f} canon/s  "
+            f"{entry['queries_per_sec']:.0f} q/s"
+        )

@@ -42,6 +42,11 @@ Concurrent serving
     (``store.snapshot()``) giving queries snapshot isolation under a
     concurrent Section 3.4 update stream;
     :class:`repro.PlanCache` — shared compiled-plan artifacts;
+    :class:`repro.ClassDirectory` / :func:`repro.normalize_subjects` —
+    canonicalize subject sets to accessibility-equivalence classes, the
+    key every subject-scoped cache uses;
+    :class:`repro.ResultCache` — complete answers per (epoch, query,
+    class), opt-in per call;
     :class:`repro.QueryService` / :class:`repro.ServiceConfig` — the
     bounded-pool serving layer behind ``repro-dol serve``.
 """
@@ -58,12 +63,15 @@ from repro.dol.updates import DOLUpdater
 from repro.errors import ReproError
 from repro.exec.plancache import PlanCache
 from repro.exec.planner import PhysicalPlan, Planner
+from repro.exec.resultcache import ResultCache
 from repro.index.tagindex import TagIndex
 from repro.labeling import (
     AccessLabeling,
     CAMLabeling,
+    ClassDirectory,
     NaiveLabeling,
     build_labeling,
+    normalize_subjects,
 )
 from repro.secure.dissemination import filter_xml
 from repro.secure.secured import SecuredDocument
@@ -88,6 +96,7 @@ __all__ = [
     "AccessMatrix",
     "AccessRule",
     "CAMLabeling",
+    "ClassDirectory",
     "Codebook",
     "DOL",
     "DOLUpdater",
@@ -104,6 +113,7 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "QueryService",
+    "ResultCache",
     "SecuredDocument",
     "ReproError",
     "ServiceConfig",
@@ -116,6 +126,7 @@ __all__ = [
     "build_labeling",
     "filter_xml",
     "generate_synthetic_acl",
+    "normalize_subjects",
     "parse",
     "parse_query",
     "serialize",

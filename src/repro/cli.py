@@ -24,10 +24,12 @@ Subcommands
     Offline fsck of a saved page store: checksums, catalog agreement,
     header/entry agreement, WAL state. Exits non-zero on any finding.
 ``bench``
-    Run the batch-vs-tuple execution benchmark, write the report
-    (``BENCH_exec.json``), and optionally gate against a committed
-    baseline — exits non-zero if the speedup regresses past the
-    threshold.
+    Run a benchmark suite. ``--suite exec`` (default) times batch vs
+    tuple execution, writes ``BENCH_exec.json``, and optionally gates
+    against a committed baseline; ``--suite classes`` measures cache
+    growth against simulated user populations (``--users``), writes
+    ``BENCH_classes.json``, and gates that every cache layer's entry
+    count is bounded by the number of access classes, not users.
 ``serve``
     Serve secure queries and accessibility updates concurrently over a
     newline-delimited JSON TCP protocol (bounded worker pool, snapshot
@@ -42,6 +44,7 @@ from typing import List, Optional
 
 from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
 from repro.bench.reporting import format_table
+from repro.labeling.classes import ClassDirectory, normalize_subjects
 from repro.labeling.registry import (
     DEFAULT_BACKEND,
     available_backends,
@@ -58,6 +61,27 @@ from repro.xmltree.serializer import serialize
 def _load_document(path: str) -> Document:
     with open(path, "r", encoding="utf-8") as handle:
         return Document.from_tree(parse(handle.read()))
+
+
+def _parse_subject(text: Optional[str]):
+    """``--subject`` value: one id, or a comma-separated set (``0,3,7``).
+
+    Routed through the engine-shared :func:`normalize_subjects`, so the
+    CLI, the service, and the engine agree on one canonical form —
+    duplicates and ordering cannot produce distinct cache entries.
+    """
+    if text is None:
+        return None
+    try:
+        ids = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        ids = []
+    if not ids:
+        raise argparse.ArgumentTypeError(
+            f"--subject takes an id or comma-separated ids, got {text!r}"
+        )
+    subjects = normalize_subjects(ids)
+    return subjects[0] if len(subjects) == 1 else subjects
 
 
 def _cmd_xmark(args: argparse.Namespace) -> int:
@@ -121,6 +145,32 @@ def _cmd_label(args: argparse.Namespace) -> int:
             ("naive total bytes", naive.size_bytes()),
         ]
     print(format_table("labeling backends", ["metric", "value"], rows))
+    if args.classes:
+        class_rows = []
+        for name, labeling in sorted(backends.items()):
+            directory = ClassDirectory()
+            epoch_key = ("cli", name, labeling.runs_epoch)
+            singles = {
+                directory.class_of(labeling, epoch_key, (s,))
+                for s in range(args.subjects)
+            }
+            pairs = {
+                directory.class_of(labeling, epoch_key, (a, b))
+                for a in range(args.subjects)
+                for b in range(a + 1, args.subjects)
+            }
+            class_rows += [
+                (f"{name} distinct ACLs (atoms)", len(set(matrix.masks()))),
+                (f"{name} single-subject classes", len(singles)),
+                (f"{name} subject-pair classes", len(pairs)),
+            ]
+        print(
+            format_table(
+                "access classes (equal class = identical accessibility)",
+                ["metric", "value"],
+                class_rows,
+            )
+        )
     return 0
 
 
@@ -153,7 +203,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         config = SyntheticACLConfig(
             accessibility_ratio=args.accessibility, seed=args.seed
         )
-        matrix = generate_synthetic_acl(config=config, doc=doc, n_subjects=args.subject + 1)
+        n_subjects = max(normalize_subjects(args.subject)) + 1
+        matrix = generate_synthetic_acl(config=config, doc=doc, n_subjects=n_subjects)
         engine = QueryEngine.build(
             doc, matrix, labeling=args.labeling, exec_mode=args.exec_mode
         )
@@ -280,6 +331,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench.exec import diff_reports, run_exec_benchmark, write_report
 
+    if args.suite == "classes":
+        return _cmd_bench_classes(args)
     report = run_exec_benchmark(
         sizes=tuple(args.sizes), repeats=args.repeats,
         semantics=args.semantics,
@@ -303,6 +356,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"REGRESSION: {line}")
         return 1
     print(f"no regressions against {args.baseline} (threshold {args.threshold:.0%})")
+    return 0
+
+
+def _cmd_bench_classes(args: argparse.Namespace) -> int:
+    from repro.bench.classes import (
+        gate_class_report,
+        run_class_benchmark,
+        write_report,
+    )
+
+    output = (
+        args.output if args.output != "BENCH_exec.json" else "BENCH_classes.json"
+    )
+    report = run_class_benchmark(user_counts=tuple(args.users))
+    write_report(report, output)
+    print(f"wrote {output}")
+    for label in sorted(report["scales"], key=int):
+        entry = report["scales"][label]
+        print(
+            f"  users={label}: {entry['n_classes']} classes, "
+            f"caches plan={entry['plan_cache_entries']} "
+            f"run={entry['run_cache_entries']} "
+            f"result={entry['result_cache_entries']}, "
+            f"{entry['users_per_sec']:.0f} canonicalizations/s, "
+            f"{entry['queries_per_sec']:.0f} q/s"
+        )
+    violations = gate_class_report(report)
+    if violations:
+        for line in violations:
+            print(f"VIOLATION: {line}")
+        return 1
+    print("class-collapse gate: cache growth bounded by #classes, not #users")
     return 0
 
 
@@ -340,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help="report one backend only (default: all side by side)",
     )
+    p_label.add_argument(
+        "--classes",
+        action="store_true",
+        help="also report access-class counts (single subjects and pairs)",
+    )
     p_label.set_defaults(func=_cmd_label)
 
     p_build = sub.add_parser(
@@ -360,7 +450,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_query = sub.add_parser("query", help="evaluate a twig query")
     p_query.add_argument("file")
     p_query.add_argument("query")
-    p_query.add_argument("--subject", type=int, default=None)
+    p_query.add_argument(
+        "--subject",
+        type=_parse_subject,
+        default=None,
+        help="subject id, or comma-separated ids for user-level "
+        "evaluation (rights are the union)",
+    )
     p_query.add_argument("--semantics", choices=SEMANTICS, default=CHO)
     p_query.add_argument(
         "--labeling",
@@ -392,6 +488,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="batch-vs-tuple execution benchmark with optional baseline gate",
+    )
+    p_bench.add_argument(
+        "--suite",
+        choices=("exec", "classes"),
+        default="exec",
+        help="exec: batch-vs-tuple timing; classes: class-collapse "
+        "cache-growth benchmark with its self-contained gate",
+    )
+    p_bench.add_argument(
+        "--users", type=int, nargs="+", default=[1_000, 10_000, 100_000],
+        help="simulated-user population sizes (classes suite only)",
     )
     p_bench.add_argument(
         "--sizes", type=int, nargs="+", default=[40, 80, 160],

@@ -180,6 +180,27 @@ class DOL(AccessLabeling):
             self.positions, self.codes, self.codebook, subjects, lo, hi
         )
 
+    # -- access classes --------------------------------------------------------
+
+    def _signature_atoms(self) -> "Tuple[int, ...]":
+        """Distinct ACLs straight off the codebook columns the DOL references.
+
+        O(transitions) instead of the generic O(nodes) mask expansion:
+        the distinct codes in the transition list *are* the distinct
+        ACLs, decoded through the shared codebook. (Codebook entries no
+        transition references — e.g. after an update rewrote a range —
+        are correctly excluded: no node carries them.)
+        """
+        cached = getattr(self, "_sig_atoms", None)
+        epoch = self.runs_epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        atoms = tuple(
+            self.codebook.decode(code) for code in dict.fromkeys(self.codes)
+        )
+        self._sig_atoms = (epoch, atoms)
+        return atoms
+
     # -- reconstruction & metrics ----------------------------------------------
 
     def to_masks(self) -> List[int]:

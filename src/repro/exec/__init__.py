@@ -20,6 +20,7 @@ from repro.exec.operators import (
     Project,
     RootVerify,
     STDJoin,
+    StaticEmpty,
     TagIndexScan,
 )
 from repro.exec.planner import (
@@ -28,6 +29,7 @@ from repro.exec.planner import (
     apply_cho_rewrite,
     apply_view_rewrite,
 )
+from repro.exec.resultcache import ResultCache
 
 __all__ = [
     "AccessFilter",
@@ -43,8 +45,10 @@ __all__ = [
     "Planner",
     "Project",
     "QueryResult",
+    "ResultCache",
     "RootVerify",
     "STDJoin",
+    "StaticEmpty",
     "TagIndexScan",
     "apply_cho_rewrite",
     "apply_view_rewrite",

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PageCorruptionError, ReproError
 from repro.labeling.base import AccessLabeling
+from repro.labeling.classes import normalize_subjects
 from repro.labeling.runs import RunCache, RunList
 from repro.secure.semantics import CHO, SEMANTICS, VIEW
 from repro.storage.nokstore import NoKStore
@@ -56,6 +57,17 @@ class EvalStats:
     #: (``strict=False`` only — strict evaluation raises instead)
     corrupted_pages: List[int] = field(default_factory=list)
     candidates_skipped_corrupt: int = 0
+    #: access class id the subject set canonicalized to (None when the
+    #: engine has no class directory, or the query is non-secure)
+    access_class: Optional[int] = None
+    #: 1 when the static pre-pass proved the class fully accessible and
+    #: dropped the access filters from the plan
+    static_allow: int = 0
+    #: 1 when the static pre-pass proved the class fully denied and the
+    #: plan answered empty without touching the store
+    static_deny: int = 0
+    #: 1 when the answer came from the result cache (execution skipped)
+    result_cache_hits: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         report = dict(self.__dict__)
@@ -125,6 +137,7 @@ class ExecutionContext:
         strict: bool = True,
         dol: Optional[AccessLabeling] = None,
         run_cache: Optional[RunCache] = None,
+        class_id: Optional[int] = None,
     ):
         if labeling is None:
             labeling = dol
@@ -134,23 +147,27 @@ class ExecutionContext:
             raise ReproError(f"unknown semantics {semantics!r}")
         if subject is not None and labeling is None:
             raise ReproError("secure evaluation requires an access labeling")
-        if subject is not None and not isinstance(subject, int):
-            subject = tuple(subject)
-            if not subject:
-                raise ReproError("user-level evaluation needs >= 1 subject")
         self.doc = doc
         self.labeling = labeling
         self.store = store
         self.index = index
         self.semantics = semantics
-        self.subject = subject
-        self.subjects: Optional[Tuple[int, ...]] = (
-            None
-            if subject is None
-            else ((subject,) if isinstance(subject, int) else tuple(subject))
+        #: the shared normalization (engine, service, and CLI all route
+        #: through it): duplicates and ordering collapse, so every cache
+        #: keyed on the subject set downstream sees one canonical form
+        self.subjects: Optional[Tuple[int, ...]] = normalize_subjects(subject)
+        self.subject = (
+            subject if isinstance(subject, int) or subject is None
+            else self.subjects
         )
+        #: access class the engine's directory resolved for the subject
+        #: set (None for standalone contexts); when present it replaces
+        #: the subject tuple in the run-cache key, so class-equivalent
+        #: users share one decoded run list
+        self.class_id = class_id
         self.strict = strict
         self.stats = EvalStats()
+        self.stats.access_class = class_id
         self._access: AccessFn = None
         self._access_built = False
         self._path_index = None
@@ -230,6 +247,17 @@ class ExecutionContext:
             self._access_built = True
         return self._access
 
+    def neutralize_access(self) -> None:
+        """Pin the ACCESS function to None (every check would pass).
+
+        Called by the planner's static pre-pass when the access class is
+        fully accessible: the plan then runs exactly like a non-secure
+        one — no filters, and no per-child probes inside the NPM
+        matcher — while :attr:`secure` stays true for accounting.
+        """
+        self._access = None
+        self._access_built = True
+
     def run_list(self) -> Optional[RunList]:
         """The query's decoded accessibility run list (None if non-secure).
 
@@ -241,10 +269,14 @@ class ExecutionContext:
         — so building it performs no page I/O.
 
         Lists are memoized in the :class:`~repro.labeling.runs.RunCache`
-        keyed by ``(epoch, subjects, semantics)``: the store epoch when a
-        snapshot is bound (a commit bumps it, invalidating by key), the
-        labeling's ``runs_epoch`` otherwise. Hits and misses land in
-        ``stats.run_cache_hits`` / ``stats.run_cache_misses``.
+        keyed by ``(epoch, access class, semantics)``: the store epoch
+        when a snapshot is bound (a commit bumps it, invalidating by
+        key), the labeling's ``runs_epoch`` otherwise. The access
+        component is the :attr:`class_id` when the engine resolved one —
+        class-equivalent subject sets share the entry — or the
+        normalized subject tuple for standalone contexts. Hits and
+        misses land in ``stats.run_cache_hits`` /
+        ``stats.run_cache_misses``.
         """
         if self.subjects is None:
             return None
@@ -252,13 +284,14 @@ class ExecutionContext:
             return self._run_list
         if self._run_cache is None:
             self._run_cache = RunCache(capacity=8)
+        access = self.class_id if self.class_id is not None else self.subjects
         if self.store is not None:
-            key = ("store", self.store.epoch, self.subjects, self.semantics)
+            key = ("store", self.store.epoch, access, self.semantics)
         else:
             labeling = self.labeling
             key = (
                 "mem", id(labeling), labeling.runs_epoch,
-                self.subjects, self.semantics,
+                access, self.semantics,
             )
         built, hit = self._run_cache.get_or_build(key, self._decode_run_list)
         if hit:

@@ -81,6 +81,30 @@ class Operator:
             yield from child.walk()
 
 
+class StaticEmpty(Operator):
+    """A plan root proven empty at compile time (the static deny pre-pass).
+
+    Emitted by the :class:`~repro.exec.planner.Planner` when the subject
+    set's access class is fully denied over the document: the decoded
+    run list has no accessible position, so no candidate could survive
+    an access filter. The operator yields nothing — no scan, no page
+    reads, no access checks. ``emits_batches`` stays False, which is
+    correct in both execution modes (an empty stream has no batches).
+    """
+
+    name = "StaticEmpty"
+
+    def __init__(self, reason: str = "access class fully denied"):
+        super().__init__()
+        self.reason = reason
+
+    def _rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return iter(())
+
+    def describe(self) -> str:
+        return self.reason
+
+
 class TagIndexScan(Operator):
     """Candidate positions for one NoK subtree root, from the tag index.
 

@@ -9,25 +9,40 @@ but stateful (operators carry per-run counters and iterators), so it is
 re-done per execution from the cached halves.
 
 The cache therefore stores ``(pattern, decomposition)`` pairs under a
-:class:`PlanKey` of (query text, semantics, subject set, ordered flag) —
-the full identity of a compiled plan shape, matching how a serving
-workload repeats requests. Entries are immutable, eviction is LRU, and
-hit/miss counters feed the service metrics. Because cached artifacts are
-data-independent, an accessibility update does **not** invalidate them:
-a plan compiled before the update, executed against a post-update
-snapshot, reads the new labeling through its
-:class:`~repro.exec.context.ExecutionContext`. Only :meth:`clear` (e.g.
-on structural document replacement) empties the cache.
+:class:`PlanKey` of (query text, semantics, **access class id**, ordered
+flag) — the full identity of a compiled plan shape, keyed the way a
+serving workload actually repeats: class-equivalent subject sets (two
+users whose rights collapse to the same accessibility behavior, see
+:mod:`repro.labeling.classes`) share one entry, so cache population is
+bounded by the number of *classes*, not the number of users. Engines
+without a labeling backend (storeless/in-memory non-secure evaluation)
+have no class directory to consult; for them the compatibility path keys
+on the normalized subject tuple instead — same shape, same sharing
+semantics, just without the cross-subject collapse. Entries are
+immutable, eviction is LRU, and hit/miss/eviction counters feed the
+service metrics. Because cached artifacts are data-independent, an
+accessibility update does **not** invalidate them: a plan compiled
+before the update, executed against a post-update snapshot, reads the
+new labeling through its :class:`~repro.exec.context.ExecutionContext`.
+(Class ids are per-epoch, but a cross-epoch id collision is harmless
+here — the cached halves depend only on the query text.) Only
+:meth:`clear` (e.g. on structural document replacement) empties the
+cache.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
-#: (query text, semantics, subjects or None, ordered)
-PlanKey = Tuple[str, str, Optional[Tuple[int, ...]], bool]
+from repro.labeling.classes import normalize_subjects
+
+#: (query text, semantics, access key, ordered) where the access key is
+#: an int class id (labeling-backed engines), a normalized subject tuple
+#: (the no-labeling compatibility path), or None (non-secure).
+AccessKey = Union[None, int, Tuple[int, ...]]
+PlanKey = Tuple[str, str, AccessKey, bool]
 
 
 def plan_key(
@@ -35,20 +50,21 @@ def plan_key(
     semantics: str,
     subject,
     ordered: bool,
+    class_id: Optional[int] = None,
 ) -> PlanKey:
     """Normalize a compile request into a hashable cache key.
 
-    ``subject`` may be ``None``, a single id, or a sequence of ids (the
-    user-level union); sequences normalize to a tuple so equal subject
-    sets hit the same entry regardless of container type.
+    With a ``class_id`` (resolved by the engine's
+    :class:`~repro.labeling.classes.ClassDirectory`) the key carries the
+    access class — the canonical scheme. Without one, ``subject`` is
+    normalized via :func:`~repro.labeling.classes.normalize_subjects`
+    (``None`` / single id / iterable; duplicates and order collapse), so
+    equal subject sets still hit the same entry. An int class id and a
+    subject tuple can never collide — the types differ.
     """
-    if subject is None:
-        subjects: Optional[Tuple[int, ...]] = None
-    elif isinstance(subject, int):
-        subjects = (subject,)
-    else:
-        subjects = tuple(subject)
-    return (query, semantics, subjects, ordered)
+    if class_id is not None:
+        return (query, semantics, class_id, ordered)
+    return (query, semantics, normalize_subjects(subject), ordered)
 
 
 class PlanCache:
@@ -68,6 +84,7 @@ class PlanCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: PlanKey):
         """The cached (pattern, decomposition) for ``key``, or ``None``."""
@@ -86,6 +103,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters survive; see :meth:`reset_stats`)."""
@@ -110,6 +128,7 @@ class PlanCache:
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "hit_ratio": (self.hits / total) if total else 0.0,
             }
 

@@ -51,6 +51,7 @@ from repro.exec.operators import (
     Project,
     RootVerify,
     STDJoin,
+    StaticEmpty,
     TagIndexScan,
 )
 from repro.nok.decompose import Decomposition, decompose
@@ -85,12 +86,16 @@ class PhysicalPlan:
         ctx: ExecutionContext,
         pattern: PatternTree,
         decomposition: Decomposition,
+        prepass: Optional[str] = None,
     ):
         self.root = root
         self.ctx = ctx
         self.pattern = pattern
         self.decomposition = decomposition
         self.executed = False
+        #: static pre-evaluation verdict: "allow" (filters dropped),
+        #: "deny" (plan answers empty with no store I/O), or None
+        self.prepass = prepass
 
     def operators(self) -> List[Operator]:
         """All plan operators, preorder."""
@@ -141,6 +146,16 @@ class PhysicalPlan:
     def explain(self, analyze: bool = False) -> str:
         """Render the plan tree, with live counters when ``analyze``."""
         lines: List[str] = []
+        if self.prepass == "allow":
+            lines.append(
+                "static pre-pass: access class fully accessible"
+                " -- access filters dropped"
+            )
+        elif self.prepass == "deny":
+            lines.append(
+                "static pre-pass: access class fully denied"
+                " -- empty answer, no store reads"
+            )
         self._render(self.root, 0, analyze, lines)
         return "\n".join(lines)
 
@@ -264,13 +279,27 @@ class Planner:
         compile (what the :class:`~repro.exec.plancache.PlanCache`
         stores, shared read-only across plans); the operator tree is
         stateful and therefore always built anew.
+
+        For secure plans a static pre-evaluation pass inspects the
+        class's decoded run list first: a fully accessible class needs
+        no access machinery (the rewrite is skipped — every filter would
+        pass every row), and a fully denied class compiles to a single
+        :class:`~repro.exec.operators.StaticEmpty` root that answers
+        without touching the store. Both verdicts land in ``EvalStats``
+        (``static_allow`` / ``static_deny``) and in ``explain()``.
         """
+        prepass = self._static_prepass()
+        if prepass == "deny":
+            return PhysicalPlan(
+                StaticEmpty(), self.ctx, pattern, dec, prepass=prepass
+            )
         root = self._plan_subtree(dec, 0, pattern, ordered)
-        root = self._apply_semantics(root)
+        if prepass != "allow":
+            root = self._apply_semantics(root)
         root = self.ops.Project(root, pattern.returning_node)
         if limit is not None:
             root = self.ops.Limit(root, limit)
-        return PhysicalPlan(root, self.ctx, pattern, dec)
+        return PhysicalPlan(root, self.ctx, pattern, dec, prepass=prepass)
 
     def _plan_subtree(
         self,
@@ -294,6 +323,33 @@ class Planner:
                 dec.subtrees[edge.child_subtree].root,
             )
         return op
+
+    def _static_prepass(self) -> Optional[str]:
+        """Class-level allow/deny decided before any operator is built.
+
+        The verdict reads the query's decoded run list *through the run
+        cache* (so repeated compiles of one epoch share the decode and
+        the hit/miss accounting stays honest): all positions accessible
+        means every access filter would pass every row under either
+        semantics — drop them; none accessible means no binding can
+        survive — the plan is statically empty. Partial accessibility
+        returns None and the normal rewrites apply.
+        """
+        ctx = self.ctx
+        if not ctx.secure:
+            return None
+        run_list = ctx.run_list()
+        if run_list is None or run_list.hi <= run_list.lo:
+            return None
+        accessible = run_list.count_accessible()
+        if accessible == 0:
+            ctx.stats.static_deny = 1
+            return "deny"
+        if accessible == run_list.hi - run_list.lo:
+            ctx.stats.static_allow = 1
+            ctx.neutralize_access()
+            return "allow"
+        return None
 
     def _apply_semantics(self, root: Operator) -> Operator:
         if not self.ctx.secure:

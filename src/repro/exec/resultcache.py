@@ -1,0 +1,101 @@
+"""A bounded per-epoch cache of complete query answers.
+
+The third cache layer of the class-canonicalized hot path (below the
+plan cache's compile artifacts and the run cache's decoded accessibility
+intervals): when two requests agree on the query text, the access class,
+the semantics/ordered/limit knobs, *and* the data epoch, their answers
+are byte-for-byte identical — the second can skip execution entirely.
+
+Keys are built by the engine as ``(epoch key, query, access key,
+semantics, ordered, limit)``:
+
+- the *epoch key* is ``("store", epoch)`` for store-backed engines or
+  ``("mem", id(labeling), runs_epoch)`` in memory — unlike the plan
+  cache, answers are data-dependent, so the epoch MUST be part of the
+  key; a commit is the invalidation, and dead-epoch entries age out of
+  the LRU;
+- the *access key* is the class id from the
+  :class:`~repro.labeling.classes.ClassDirectory` (or the normalized
+  subject tuple on the compatibility path), so class-equivalent users
+  share one entry: population is bounded by #classes x #queries, never
+  by #users.
+
+Result caching is **opt-in per call** (the engine default is off):
+repeat-evaluation microbenchmarks and cache-accounting tests rely on
+re-execution, and only the serving layer
+(:class:`~repro.server.service.QueryService`) and the class-collapse
+bench know their workloads are read-mostly enough to want it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Cached payload: (sorted answer positions, bindings seen).
+ResultEntry = Tuple[List[int], int]
+
+
+class ResultCache:
+    """Thread-safe LRU from (epoch, query, class, knobs) to answers.
+
+    Stored positions are copied on the way in and out, so a caller
+    mutating its result list cannot poison the cache.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ReproError("result cache needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, ResultEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[ResultEntry]:
+        """The cached (positions, n_bindings) for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return (list(entry[0]), entry[1])
+
+    def put(self, key: Hashable, positions: List[int], n_bindings: int) -> None:
+        with self._lock:
+            self._entries[key] = (list(positions), n_bindings)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_ratio": (self._hits / total) if total else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResultCache(entries={len(self)}, capacity={self.capacity})"
+        )

@@ -17,6 +17,7 @@ cross-backend differential suite serves as the secure-semantics oracle.
 
 from repro.labeling.base import AccessLabeling
 from repro.labeling.cam_backend import CAMLabeling
+from repro.labeling.classes import ClassDirectory, normalize_subjects
 from repro.labeling.naive import NaiveLabeling
 from repro.labeling.registry import (
     DEFAULT_BACKEND,
@@ -29,10 +30,12 @@ from repro.labeling.registry import (
 __all__ = [
     "AccessLabeling",
     "CAMLabeling",
+    "ClassDirectory",
     "DEFAULT_BACKEND",
     "NaiveLabeling",
     "available_backends",
     "build_labeling",
     "get_backend",
+    "normalize_subjects",
     "register_backend",
 ]

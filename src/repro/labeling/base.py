@@ -133,6 +133,63 @@ class AccessLabeling(abc.ABC):
             lambda pos: self.accessible_any(subjects, pos), lo, hi
         )
 
+    # -- access classes -----------------------------------------------------
+    #
+    # Two subject sets whose bits intersect exactly the same distinct
+    # ACLs ("atoms") see exactly the same accessibility at every node —
+    # they are in the same *access class* and every derived artifact
+    # (run list, plan, answer) is shared. The signature below is a small
+    # bitmap over the atom list, recomputed per runs_epoch; backends
+    # override _signature_atoms to read the atoms off their native
+    # structure (DOL: codebook columns; CAM/naive: the mask array).
+
+    def _signature_atoms(self) -> "tuple[int, ...]":
+        """Distinct ACL masks in first-occurrence order, memoized per epoch."""
+        cached = getattr(self, "_sig_atoms", None)
+        epoch = self.runs_epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        atoms = tuple(dict.fromkeys(self.to_masks()))
+        self._sig_atoms = (epoch, atoms)
+        return atoms
+
+    def access_signature(self, subjects: Sequence[int]) -> int:
+        """Bitmap of distinct ACLs the subject set can see (its class key).
+
+        Bit *i* is set iff the subjects' union intersects the *i*-th
+        distinct ACL of the labeling. Equal signatures (under one
+        ``runs_epoch``) imply node-for-node identical accessibility for
+        the whole subject set — the accessibility-equivalence relation
+        the :class:`~repro.labeling.classes.ClassDirectory` partitions
+        by. Cost after the per-epoch atom build: O(distinct ACLs).
+        """
+        subjects = tuple(subjects)
+        if not subjects:
+            raise AccessControlError("access_signature needs >= 1 subject")
+        bits = 0
+        for subject in subjects:
+            bits |= 1 << subject
+        signature = 0
+        for index, mask in enumerate(self._signature_atoms()):
+            if mask & bits:
+                signature |= 1 << index
+        return signature
+
+    def access_class(self, subjects: Sequence[int], semantics: str = "cho") -> int:
+        """The subject set's accessibility-equivalence class signature.
+
+        Valid under the current :attr:`runs_epoch` only — an update
+        re-partitions. The signature is semantics-invariant: view-path
+        accessibility is a deterministic function of node accessibility
+        and document shape, so sets equal under cho are equal under view
+        too; ``semantics`` is validated and otherwise ignored.
+        """
+        from repro.secure.semantics import SEMANTICS
+
+        if semantics not in SEMANTICS:
+            raise AccessControlError(f"unknown semantics {semantics!r}")
+        return self.access_signature(subjects)
+
     @property
     def runs_epoch(self) -> int:
         """Monotone version of the labeling's accessibility content.

@@ -117,6 +117,18 @@ class CAMLabeling(AccessLabeling):
             [self.cam_for(subject).runs(lo, hi) for subject in subjects], lo, hi
         )
 
+    # -- access classes ------------------------------------------------------
+
+    def _signature_atoms(self) -> "tuple[int, ...]":
+        """Distinct ACLs from the authoritative mask array (no copy)."""
+        cached = getattr(self, "_sig_atoms", None)
+        epoch = self.runs_epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        atoms = tuple(dict.fromkeys(self._masks))
+        self._sig_atoms = (epoch, atoms)
+        return atoms
+
     # -- size accounting ----------------------------------------------------
 
     @property

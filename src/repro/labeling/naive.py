@@ -58,6 +58,18 @@ class NaiveLabeling(AccessLabeling):
     def to_masks(self) -> List[int]:
         return list(self._masks)
 
+    # -- access classes ------------------------------------------------------
+
+    def _signature_atoms(self) -> "tuple[int, ...]":
+        """Distinct ACLs from the label array (no copy)."""
+        cached = getattr(self, "_sig_atoms", None)
+        epoch = self.runs_epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        atoms = tuple(dict.fromkeys(self._masks))
+        self._sig_atoms = (epoch, atoms)
+        return atoms
+
     # -- size accounting ----------------------------------------------------
 
     @property

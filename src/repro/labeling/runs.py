@@ -13,8 +13,9 @@ module gives it a first-class representation:
   intersection (``filter_positions``) — the primitive the vectorized
   operators are built on;
 - :class:`RunCache` memoizes decoded run lists per ``(snapshot epoch,
-  subject set, semantics)`` so a serving workload decodes each labeling
-  epoch once, not once per query. Invalidation is by construction: a
+  access class, semantics)`` — class-equivalent subject sets share one
+  entry — so a serving workload decodes each labeling epoch once per
+  *behavior*, not once per user. Invalidation is by construction: a
   commit bumps the store epoch (or the labeling's ``runs_epoch``), which
   changes every key derived from it; stale entries age out of the LRU.
 
@@ -30,7 +31,7 @@ import threading
 from array import array
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import AccessControlError
 
@@ -113,13 +114,14 @@ class RunList:
     concurrent queries of the same epoch.
     """
 
-    __slots__ = ("lo", "hi", "_starts", "_flags")
+    __slots__ = ("lo", "hi", "_starts", "_flags", "_n_accessible")
 
     def __init__(self, lo: int, hi: int, starts: array, flags: List[bool]):
         self.lo = lo
         self.hi = hi
         self._starts = starts
         self._flags = flags
+        self._n_accessible: Optional[int] = None
 
     @classmethod
     def from_runs(cls, runs: Iterable[Run], lo: int, hi: int) -> "RunList":
@@ -178,8 +180,16 @@ class RunList:
         return [(start, end) for start, end, flag in self.runs() if flag]
 
     def count_accessible(self) -> int:
-        """Total accessible positions."""
-        return sum(end - start for start, end, flag in self.runs() if flag)
+        """Total accessible positions (memoized — the list is immutable).
+
+        The planner's static pre-pass asks this on every secure compile,
+        so a cached run list answers allow/deny verdicts in O(1).
+        """
+        if self._n_accessible is None:
+            self._n_accessible = sum(
+                end - start for start, end, flag in self.runs() if flag
+            )
+        return self._n_accessible
 
     def filter_positions(self, positions: Sequence[int]) -> array:
         """Intersect a *sorted* position batch with the accessible runs.
@@ -211,7 +221,10 @@ class RunList:
         return out
 
 
-#: Cache key: (source tag + epoch, subject tuple, semantics).
+#: Cache key: (source tag + epoch, access class id or subject tuple,
+#: semantics). The class id comes from the engine's
+#: :class:`~repro.labeling.classes.ClassDirectory`; standalone contexts
+#: without one fall back to the normalized subject tuple.
 RunKey = Tuple
 
 
@@ -233,6 +246,7 @@ class RunCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get_or_build(
         self, key: RunKey, build: Callable[[], RunList]
@@ -257,6 +271,7 @@ class RunCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
         return built, False
 
     def clear(self) -> None:
@@ -268,6 +283,7 @@ class RunCache:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }

@@ -27,7 +27,9 @@ from repro.acl.model import READ, AccessMatrix
 from repro.errors import ReproError
 from repro.exec.context import EvalStats, ExecutionContext, QueryResult
 from repro.exec.plancache import PlanCache, plan_key
+from repro.exec.resultcache import ResultCache
 from repro.labeling.base import AccessLabeling
+from repro.labeling.classes import ClassDirectory, normalize_subjects
 from repro.labeling.runs import RunCache
 from repro.labeling.registry import DEFAULT_BACKEND, build_labeling
 from repro.index.tagindex import TagIndex
@@ -59,6 +61,7 @@ class QueryEngine:
         plan_cache_size: int = 128,
         exec_mode: str = "batch",
         run_cache_size: int = 64,
+        result_cache_size: int = 256,
     ):
         if labeling is None:
             labeling = dol
@@ -81,6 +84,13 @@ class QueryEngine:
         #: decoded accessibility run lists, shared across queries and
         #: threads; keys carry the epoch, so commits invalidate by key
         self.run_cache = RunCache(run_cache_size)
+        #: canonicalizes subject sets to accessibility-equivalence class
+        #: ids; every subject-keyed cache below keys on the class instead
+        self.class_directory = ClassDirectory()
+        #: complete answers per (epoch, query, class, knobs); consulted
+        #: only when a caller opts in (``use_result_cache=True``) —
+        #: repeat-evaluation benchmarks and tests rely on re-execution
+        self.result_cache = ResultCache(result_cache_size)
 
     @property
     def dol(self) -> Optional[AccessLabeling]:
@@ -158,18 +168,25 @@ class QueryEngine:
             doc, labeling, source = snapshot.doc, snapshot.labeling, snapshot
         else:
             doc, labeling, source = self.doc, self.labeling, None
+        subjects = normalize_subjects(subject)
+        class_id = None
+        if subjects is not None and labeling is not None:
+            class_id = self.class_directory.class_of(
+                labeling, self._epoch_key(labeling, source), subjects
+            )
         ctx = ExecutionContext(
             doc,
             labeling=labeling,
             store=source,
             index=self.index,
-            subject=subject,
+            subject=subject if isinstance(subject, int) else subjects,
             semantics=semantics,
             strict=strict,
             run_cache=self.run_cache,
+            class_id=class_id,
         )
         if isinstance(query, str):
-            key = plan_key(query, semantics, subject, ordered)
+            key = plan_key(query, semantics, subjects, ordered, class_id=class_id)
             cached = self.plan_cache.get(key)
             if cached is None:
                 pattern = parse_query(query)
@@ -185,6 +202,38 @@ class QueryEngine:
             pattern, dec, ordered=ordered, limit=limit
         )
 
+    def _epoch_key(self, labeling, source):
+        """The data-version key class and result caches partition by.
+
+        Store-backed evaluation keys on the snapshot's store epoch (the
+        snapshot labeling is a frozen clone whose ``id`` changes per
+        snapshot — useless as identity); in-memory evaluation keys on
+        the labeling object and its monotone ``runs_epoch``.
+        """
+        if source is not None:
+            return ("store", source.epoch)
+        return ("mem", id(labeling), labeling.runs_epoch)
+
+    def access_class_of(
+        self,
+        subject: Union[int, Sequence[int]],
+        snapshot: Optional[StoreSnapshot] = None,
+    ) -> int:
+        """Canonicalize a subject set to its current access-class id.
+
+        The same resolution :meth:`compile` performs — exposed for the
+        CLI's ``label --classes`` report, the class-collapse bench, and
+        tests. Requires a labeling.
+        """
+        if snapshot is None and self.store is not None:
+            snapshot = self.store.snapshot()
+        labeling = snapshot.labeling if snapshot is not None else self.labeling
+        if labeling is None:
+            raise ReproError("access classes require an access labeling")
+        return self.class_directory.class_of(
+            labeling, self._epoch_key(labeling, snapshot), subject
+        )
+
     def evaluate(
         self,
         query: Union[str, PatternTree],
@@ -195,6 +244,7 @@ class QueryEngine:
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
         exec_mode: Optional[str] = None,
+        use_result_cache: bool = False,
     ) -> QueryResult:
         """Evaluate a twig query, securely when ``subject`` is given.
 
@@ -213,11 +263,48 @@ class QueryEngine:
         default raises :class:`~repro.errors.PageCorruptionError`.
         ``exec_mode`` overrides the engine's default operator set
         (``"batch"``/``"tuple"``) for this evaluation.
+        ``use_result_cache=True`` additionally consults the engine's
+        :class:`~repro.exec.resultcache.ResultCache` after compiling:
+        when a class-equivalent user already asked this exact question
+        of this exact epoch, the answer is returned without executing
+        the plan (``stats.result_cache_hits`` records it). Off by
+        default — benchmarks and cache-accounting tests rely on
+        re-execution; the serving layer opts in.
         """
-        return self.compile(
+        if snapshot is None and self.store is not None:
+            snapshot = self.store.snapshot()
+        plan = self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
             limit=limit, strict=strict, snapshot=snapshot, exec_mode=exec_mode,
-        ).run()
+        )
+        ctx = plan.ctx
+        result_key = None
+        if use_result_cache and strict and isinstance(query, str):
+            epoch_key = (
+                self._epoch_key(ctx.labeling, ctx.store)
+                if ctx.labeling is not None or ctx.store is not None
+                else None
+            )
+            if epoch_key is not None:
+                access = ctx.class_id if ctx.class_id is not None else ctx.subjects
+                result_key = (
+                    epoch_key, query, access, semantics, ordered, limit,
+                )
+                hit = self.result_cache.get(result_key)
+                if hit is not None:
+                    positions, n_bindings = hit
+                    ctx.stats.result_cache_hits = 1
+                    return QueryResult(
+                        positions=positions,
+                        n_bindings=n_bindings,
+                        stats=ctx.stats,
+                    )
+        result = plan.run()
+        if result_key is not None and not result.stats.corrupted_pages:
+            self.result_cache.put(
+                result_key, result.positions, result.n_bindings
+            )
+        return result
 
     def stream(
         self,

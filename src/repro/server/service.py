@@ -15,9 +15,12 @@ made concrete:
   The worker itself cannot be killed mid-iterator — it finishes and its
   result is discarded — so the in-flight gauge stays honest: the slot
   counts as occupied until the worker actually returns;
-- metrics aggregate request counts and latency with the engine's plan
-  cache statistics, the store's buffer/latch counters and the current
-  snapshot epoch, giving the serving picture in one dictionary.
+- metrics aggregate request counts and latency with the engine's three
+  cache layers (plan, run, result — all keyed on the access class, so
+  their populations are bounded by #classes, not #users), the class
+  directory's canonicalization counters, the store's buffer/latch
+  counters and the current snapshot epoch, giving the serving picture
+  in one dictionary.
 
 :meth:`QueryService.handle` additionally speaks the wire protocol's
 request dictionaries directly (``ping`` / ``query`` / ``update`` /
@@ -171,6 +174,7 @@ class QueryService:
                 ordered=ordered,
                 limit=limit,
                 snapshot=snapshot,
+                use_result_cache=True,
             )
             return {
                 "positions": result.positions,
@@ -181,8 +185,12 @@ class QueryService:
                     "probes_saved": result.stats.probes_saved,
                     "run_cache_hits": result.stats.run_cache_hits,
                     "run_cache_misses": result.stats.run_cache_misses,
+                    "result_cache_hits": result.stats.result_cache_hits,
                     "logical_page_reads": result.stats.logical_page_reads,
                     "physical_page_reads": result.stats.physical_page_reads,
+                    "access_class": result.stats.access_class,
+                    "static_allow": result.stats.static_allow,
+                    "static_deny": result.stats.static_deny,
                     "wall_time": result.stats.wall_time,
                 },
             }
@@ -248,6 +256,8 @@ class QueryService:
             }
         report["plan_cache"] = self.engine.plan_cache.stats()
         report["run_cache"] = self.engine.run_cache.stats()
+        report["result_cache"] = self.engine.result_cache.stats()
+        report["classes"] = self.engine.class_directory.stats()
         store = self.engine.store
         if store is not None:
             report["epoch"] = store.epoch

@@ -31,8 +31,22 @@ class TestEvalStats:
         result = engine.evaluate("//a/b")
         assert result.stats.access_checks == 0
 
-    def test_access_checks_when_secure(self, engine):
+    def test_fully_granted_subject_resolved_statically(self, engine):
+        # subject 0 is granted everywhere, so the static pre-pass proves
+        # the access class fully accessible and drops the per-node
+        # filters: the correct answer with zero runtime access checks
         result = engine.evaluate("//a/b", subject=0)
+        assert result.stats.static_allow == 1
+        assert result.stats.access_checks == 0
+        assert result.n_answers == 2
+
+    def test_access_checks_when_partially_granted(self, engine):
+        # revoke one node: the class is neither fully allowed nor fully
+        # denied, so the filters stay and every candidate is checked
+        engine.store.update_subject_range(3, 4, 0, False)
+        result = engine.evaluate("//a/b", subject=0)
+        assert result.stats.static_allow == 0
+        assert result.stats.static_deny == 0
         assert result.stats.access_checks > 0
 
     def test_as_dict(self):

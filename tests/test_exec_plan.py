@@ -45,6 +45,18 @@ def _ops(plan, kind):
     return [op for op in plan.operators() if isinstance(op, kind)]
 
 
+@pytest.fixture(scope="module")
+def partial_matrix(xdoc):
+    # Subject 0's root path is accessible but one subtree is revoked, so
+    # path accessibility is partial and the static pre-pass cannot
+    # resolve the class — the view rewrite must actually appear.
+    matrix = AccessMatrix(len(xdoc), 2)
+    matrix.grant_range(0, 0, len(xdoc))
+    for pos in range(100, 200):
+        matrix.set_accessible(0, pos, False)
+    return matrix
+
+
 class TestPlanShape:
     def test_single_subtree_plan(self, xdoc):
         engine = QueryEngine.build(xdoc)
@@ -84,12 +96,22 @@ class TestPlanShape:
         assert all(isinstance(f.child, RootVerify) for f in filters)
         assert len(_ops(plan, PathCheck)) == 0
 
-    def test_view_rewrite_adds_path_checks(self, xdoc, matrix):
-        engine = QueryEngine.build(xdoc, matrix)
+    def test_view_rewrite_adds_path_checks(self, xdoc, partial_matrix):
+        engine = QueryEngine.build(xdoc, partial_matrix)
         plan = engine.compile(QUERIES["Q5"], subject=0, semantics=VIEW)
         checks = _ops(plan, PathCheck)
         assert len(checks) == 1
         assert isinstance(checks[0].child, STDJoin)
+
+    def test_fully_blocked_view_compiles_to_static_empty(self, xdoc, matrix):
+        # the synthetic matrix denies subject 0 the document root, so
+        # under view semantics no root path is accessible: the static
+        # pre-pass answers empty without building the operator tree
+        engine = QueryEngine.build(xdoc, matrix)
+        plan = engine.compile(QUERIES["Q5"], subject=0, semantics=VIEW)
+        assert plan.prepass == "deny"
+        assert plan.run().n_answers == 0
+        assert "fully denied" in plan.explain()
 
     def test_page_skip_only_over_store(self, xdoc, matrix):
         in_memory = QueryEngine.build(xdoc, matrix)
@@ -100,8 +122,8 @@ class TestPlanShape:
         assert len(skips) == 1
         assert isinstance(skips[0].child, TagIndexScan)
 
-    def test_explain_renders_tree(self, xdoc, matrix):
-        engine = QueryEngine.build(xdoc, matrix)
+    def test_explain_renders_tree(self, xdoc, partial_matrix):
+        engine = QueryEngine.build(xdoc, partial_matrix)
         plan = engine.compile(QUERIES["Q5"], subject=0, semantics=VIEW)
         text = plan.explain()
         for name in ("Project", "PathCheck", "STDJoin", "NPMMatch", "TagIndexScan"):

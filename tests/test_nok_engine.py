@@ -170,11 +170,27 @@ class TestStoreStatistics:
         assert result.stats.logical_page_reads > 0
         assert result.stats.physical_page_reads > 0
 
-    def test_page_skip_counted_when_everything_denied(self, xmark_doc):
+    def test_static_deny_answers_without_store_reads(self, xmark_doc):
         matrix = AccessMatrix(len(xmark_doc), 1)  # all denied
         engine = QueryEngine.build(xmark_doc, matrix, use_store=True, page_size=512)
         result = engine.evaluate("//item", subject=0)
         assert result.positions == []
-        assert result.stats.candidates_skipped_by_header > 0
-        # candidate checks resolved from in-memory headers: no page reads
+        # the static pre-pass proves the class fully denied before any
+        # operator is built: no candidates, no page reads at all
+        assert result.stats.static_deny == 1
+        assert result.stats.candidates == 0
+        assert result.stats.logical_page_reads == 0
         assert result.stats.physical_page_reads == 0
+
+    def test_page_skip_counted_when_partially_denied(self, xmark_doc):
+        # deny everything except one early subtree: entire later pages
+        # are inaccessible and the header check prunes their candidates
+        matrix = AccessMatrix(len(xmark_doc), 1)
+        matrix.grant_range(0, 0, 40)
+        engine = QueryEngine.build(xmark_doc, matrix, use_store=True, page_size=512)
+        result = engine.evaluate("//item", subject=0)
+        assert result.stats.static_deny == 0
+        assert (
+            result.stats.candidates_skipped_by_header
+            + result.stats.candidates_skipped_by_runs
+        ) > 0

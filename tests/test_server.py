@@ -45,7 +45,14 @@ class TestService:
         body = service.evaluate("//item/name", subject=0)
         assert body["n_answers"] == 2
         assert body["epoch"] == 0
-        assert body["stats"]["access_checks"] > 0
+        # subject 0 is granted everywhere: the class resolves statically
+        assert body["stats"]["static_allow"] == 1
+        assert body["stats"]["access_class"] is not None
+        # subject 1 lost a node, so its class needs runtime checks
+        partial = service.evaluate("//item/name", subject=1)
+        assert partial["n_answers"] == 1
+        assert partial["stats"]["access_checks"] > 0
+        assert partial["stats"]["access_class"] != body["stats"]["access_class"]
 
     def test_update_bumps_epoch_and_changes_answers(self, service, engine):
         before = service.evaluate("//item/name", subject=0)
