@@ -1,0 +1,476 @@
+"""The chaos harness: seeded fault scenarios against the full stack.
+
+Each :class:`ChaosScenario` stands up the real serving stack — a saved
+store reopened with a fault-injecting pager, a self-healing
+:class:`~repro.server.service.QueryService`, the NDJSON TCP server, and
+``n_clients`` concurrent :class:`~repro.server.client.ResilientClient`
+workers — then runs a deterministic workload while a
+:class:`~repro.server.chaos.ChaosPlan` injects faults at the storage,
+service, and network layers.
+
+The harness asserts *invariants*, not traces (the fault distribution is
+seed-reproducible; which request eats which fault follows the thread
+schedule):
+
+1. **No wrong answers.** Every response a client accepts is either
+
+   - ``ok`` and not degraded → its positions **equal** the oracle
+     answer for its snapshot epoch (Proposition 1 exactly);
+   - ``ok`` and ``degraded: true`` → its positions are a **subset** of
+     the oracle answer (corrupt pages were skipped; an inaccessible
+     node is still never returned);
+   - a structured :class:`~repro.errors.ReproError` — never a wrong
+     answer, never an unstructured crash.
+
+2. **Self-healing.** After :meth:`ChaosPlan.disable`, the service
+   reports ``healthy`` again within a few probe intervals (the breaker
+   half-opens, the probe clears the quarantine and verifies the store
+   clean).
+
+The oracle is a second, fault-free copy of the same store: answers per
+``(query, subject)`` are precomputed for every epoch the update
+sequence can produce, so a response is checked against the epoch it
+actually names — which is also what makes concurrent updates testable
+under snapshot isolation.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+from dataclasses import dataclass, field
+from time import monotonic, sleep
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+from repro.dol.labeling import DOL
+from repro.errors import ReproError
+from repro.nok.engine import QueryEngine
+from repro.server.chaos import ChaosPlan, ChaosSpec
+from repro.server.client import ResilientClient, RetryPolicy
+from repro.server.health import HEALTHY, HealthConfig
+from repro.server.netserver import serve
+from repro.server.service import QueryService, ServiceConfig
+from repro.storage.nokstore import NoKStore
+from repro.storage.persist import catalog_path_for, open_store, save_store
+from repro.xmark.generator import XMarkConfig, generate_document
+
+#: the workload's query mix (valid against any XMark instance)
+QUERY_SET = ("//item/name", "//item", "//keyword")
+
+PAGE_SIZE = 512
+N_SUBJECTS = 3
+
+
+@dataclass
+class ChaosScenario:
+    """One seeded chaos run; ``faults`` holds ChaosSpec field overrides."""
+
+    name: str
+    seed: int
+    faults: Dict[str, Any] = field(default_factory=dict)
+    n_clients: int = 4
+    requests_per_client: int = 6
+    with_updates: bool = False
+    #: per-request client deadline (propagated to the server)
+    deadline_s: float = 8.0
+    workers: int = 3
+    queue_depth: int = 4
+    #: XMark size knob — small keeps a scenario sub-second
+    n_items: int = 8
+
+    def spec(self) -> ChaosSpec:
+        return ChaosSpec(seed=self.seed, **self.faults)
+
+
+def _build_saved_store(path: str, scenario: ChaosScenario) -> None:
+    """Create and save the store under test (fault-free)."""
+    doc = generate_document(XMarkConfig(n_items=scenario.n_items, seed=scenario.seed))
+    matrix = generate_synthetic_acl(
+        doc,
+        SyntheticACLConfig(accessibility_ratio=0.8, seed=scenario.seed + 1),
+        n_subjects=N_SUBJECTS,
+    )
+    store = NoKStore(doc, DOL.from_matrix(matrix), path=path, page_size=PAGE_SIZE)
+    save_store(store)
+    store.close()
+
+
+def _update_sequence(n_nodes: int) -> List[Dict[str, Any]]:
+    """The deterministic updates an update-scenario applies, in order.
+
+    Epoch ``k`` on the wire always means "updates ``1..k`` applied" —
+    only the harness's single updater writes, so the epoch counter and
+    the update sequence stay in lockstep.
+    """
+    third = max(1, n_nodes // 3)
+    return [
+        {"kind": "subject_range", "start": 0, "end": third,
+         "subject": 1, "value": False},
+        {"kind": "subject_range", "start": third, "end": 2 * third,
+         "subject": 2, "value": False},
+        {"kind": "subject_range", "start": 0, "end": third,
+         "subject": 1, "value": True},
+    ]
+
+
+def _oracle_answers(
+    store_path: str, oracle_dir: str, updates: List[Dict[str, Any]]
+) -> Dict[int, Dict[Tuple[str, int], List[int]]]:
+    """Per-epoch ground truth from a fault-free copy of the store."""
+    oracle_path = f"{oracle_dir}/oracle.db"
+    shutil.copy(store_path, oracle_path)
+    shutil.copy(catalog_path_for(store_path), catalog_path_for(oracle_path))
+    store = open_store(oracle_path)
+    engine = QueryEngine(store.doc, store=store)
+    answers: Dict[int, Dict[Tuple[str, int], List[int]]] = {}
+    try:
+        for step in range(len(updates) + 1):
+            epoch = store.epoch
+            answers[epoch] = {}
+            for query in QUERY_SET:
+                for subject in range(N_SUBJECTS):
+                    result = engine.evaluate(query, subject=subject)
+                    answers[epoch][(query, subject)] = sorted(result.positions)
+            if step < len(updates):
+                upd = dict(updates[step])
+                store.update_subject_range(
+                    upd["start"], upd["end"], upd["subject"], upd["value"]
+                )
+    finally:
+        store.close()
+    return answers
+
+
+def _check_response(
+    response: Dict[str, Any],
+    query: str,
+    subject: int,
+    oracle: Dict[int, Dict[Tuple[str, int], List[int]]],
+) -> Optional[str]:
+    """Returns a violation message, or None when the response is sound."""
+    epoch = response.get("epoch")
+    if epoch not in oracle:
+        return f"response named unknown epoch {epoch!r}"
+    expected = oracle[epoch][(query, subject)]
+    got = sorted(response.get("positions", ()))
+    if response.get("degraded"):
+        if not set(got) <= set(expected):
+            extras = sorted(set(got) - set(expected))
+            return (
+                f"degraded answer returned nodes outside the accessible "
+                f"set for epoch {epoch}: {extras[:5]}"
+            )
+        return None
+    if got != expected:
+        return (
+            f"strict answer diverged from oracle at epoch {epoch}: "
+            f"got {got[:8]}, expected {expected[:8]}"
+        )
+    return None
+
+
+def run_scenario(scenario: ChaosScenario, workdir: str) -> Dict[str, Any]:
+    """Run one scenario end to end; returns its outcome report.
+
+    ``report["violations"]`` empty and ``report["recovered"]`` True is
+    the pass condition; everything else is observability.
+    """
+    store_path = f"{workdir}/chaos.db"
+    _build_saved_store(store_path, scenario)
+
+    chaos = ChaosPlan(scenario.spec())
+    chaos.disable()  # clean open; faults start once the server is up
+
+    store = open_store(
+        store_path, buffer_capacity=4, fault_plan=chaos.storage
+    )
+    updates = _update_sequence(len(store.doc)) if scenario.with_updates else []
+    oracle = _oracle_answers(store_path, workdir, updates)
+
+    engine = QueryEngine(store.doc, store=store)
+    health_config = HealthConfig(corruption_trip=2, probe_interval_s=0.05)
+    service = QueryService(
+        engine,
+        ServiceConfig(
+            workers=scenario.workers,
+            queue_depth=scenario.queue_depth,
+            timeout=scenario.deadline_s,
+        ),
+        chaos=chaos,
+        health_config=health_config,
+    )
+    server = serve(service, host="127.0.0.1", port=0, background=True)
+    host, port = server.address
+
+    violations: List[str] = []
+    outcomes: Dict[str, int] = {"ok": 0, "degraded": 0}
+    errors: Dict[str, int] = {}
+    lock = threading.Lock()
+
+    def record(kind: str) -> None:
+        with lock:
+            outcomes[kind] = outcomes.get(kind, 0) + 1
+
+    def client_worker(index: int) -> None:
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.01, max_delay_s=0.2)
+        with ResilientClient(
+            host, port, policy=policy, seed=scenario.seed * 101 + index
+        ) as client:
+            for j in range(scenario.requests_per_client):
+                query = QUERY_SET[(index + j) % len(QUERY_SET)]
+                subject = (index + j) % N_SUBJECTS
+                try:
+                    response = client.query(
+                        query, subject=subject, deadline_s=scenario.deadline_s
+                    )
+                except ReproError as exc:
+                    with lock:
+                        name = type(exc).__name__
+                        errors[name] = errors.get(name, 0) + 1
+                    continue
+                except Exception as exc:  # noqa: BLE001 - the invariant
+                    with lock:
+                        violations.append(
+                            f"client {index} got unstructured error: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                    continue
+                problem = _check_response(response, query, subject, oracle)
+                if problem is not None:
+                    with lock:
+                        violations.append(f"client {index}: {problem}")
+                record("degraded" if response.get("degraded") else "ok")
+
+    def updater_worker() -> None:
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.2)
+        with ResilientClient(
+            host, port, policy=policy, seed=scenario.seed * 101 + 97
+        ) as client:
+            applied = 0
+            for upd in updates:
+                target = applied + 1
+                for _ in range(8):
+                    try:
+                        response = client.update(
+                            upd["kind"], upd["start"], upd["end"],
+                            deadline_s=scenario.deadline_s,
+                            subject=upd["subject"], value=upd["value"],
+                        )
+                        applied = response["epoch"]
+                        break
+                    except ReproError:
+                        # Ambiguous (the update may or may not have
+                        # landed): the epoch counter arbitrates, since
+                        # this thread is the only writer.
+                        try:
+                            epoch = client.metrics(
+                                deadline_s=scenario.deadline_s
+                            )["epoch"]
+                        except ReproError:
+                            sleep(0.02)
+                            continue
+                        if epoch >= target:
+                            applied = epoch
+                            break
+                        sleep(0.02)
+                else:
+                    with lock:
+                        errors["update_gave_up"] = (
+                            errors.get("update_gave_up", 0) + 1
+                        )
+                    return
+
+    threads = [
+        threading.Thread(target=client_worker, args=(i,), name=f"chaos-client-{i}")
+        for i in range(scenario.n_clients)
+    ]
+    if updates:
+        threads.append(threading.Thread(target=updater_worker, name="chaos-updater"))
+
+    chaos.enable()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # -- faults stop; the service must heal ------------------------------
+    chaos.disable()
+    recovered = False
+    probes = 0
+    healing_deadline = monotonic() + max(2.0, 40 * health_config.probe_interval_s)
+    while monotonic() < healing_deadline:
+        sleep(health_config.probe_interval_s)
+        probes += 1
+        try:
+            service.evaluate(QUERY_SET[0], subject=0, timeout=2.0)
+        except ReproError:
+            continue
+        if service.health_report()["state"] == HEALTHY:
+            recovered = True
+            break
+
+    report = {
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "violations": violations,
+        "outcomes": outcomes,
+        "errors": errors,
+        "recovered": recovered,
+        "recovery_probes": probes,
+        "chaos_injected": chaos.stats(),
+        "health": service.health_report(),
+    }
+
+    server.shutdown()
+    server.server_close()
+    service.close()
+    store.close()
+    return report
+
+
+def scenario_matrix() -> List[ChaosScenario]:
+    """The CI chaos suite: ≥25 seeded scenarios crossing every layer."""
+    scenarios: List[ChaosScenario] = []
+
+    # storage-layer: transient bit rot on the read path (CRC catches it,
+    # the breaker degrades, the probe heals)
+    for rate in (0.02, 0.08):
+        for seed in (101, 202):
+            scenarios.append(
+                ChaosScenario(
+                    name=f"storage-flip-{rate}-s{seed}",
+                    seed=seed,
+                    faults={"read_flip_rate": rate},
+                )
+            )
+
+    # service-layer faults, one at a time
+    for seed in (303, 404):
+        scenarios.append(
+            ChaosScenario(
+                name=f"service-latency-s{seed}",
+                seed=seed,
+                faults={"latency_rate": 0.3, "latency_s": 0.02},
+            )
+        )
+        scenarios.append(
+            ChaosScenario(
+                name=f"service-overload-s{seed}",
+                seed=seed,
+                faults={"overload_rate": 0.3},
+            )
+        )
+        scenarios.append(
+            ChaosScenario(
+                name=f"service-snapshot-fail-s{seed}",
+                seed=seed,
+                faults={"snapshot_fail_rate": 0.3},
+            )
+        )
+    scenarios.append(
+        ChaosScenario(
+            name="service-caches-disabled",
+            seed=505,
+            faults={"disable_caches": True, "latency_rate": 0.2},
+        )
+    )
+    scenarios.append(
+        ChaosScenario(
+            name="service-mixed",
+            seed=606,
+            faults={
+                "latency_rate": 0.2,
+                "overload_rate": 0.2,
+                "snapshot_fail_rate": 0.1,
+            },
+        )
+    )
+
+    # network-layer faults (exercise the client's reconnect + retry)
+    for seed in (707, 808):
+        scenarios.append(
+            ChaosScenario(
+                name=f"net-drop-s{seed}", seed=seed, faults={"drop_rate": 0.2}
+            )
+        )
+        scenarios.append(
+            ChaosScenario(
+                name=f"net-tear-s{seed}", seed=seed, faults={"tear_rate": 0.2}
+            )
+        )
+    scenarios.append(
+        ChaosScenario(
+            name="net-slow", seed=909, faults={"slow_write_rate": 0.4}
+        )
+    )
+    scenarios.append(
+        ChaosScenario(
+            name="net-mixed",
+            seed=1010,
+            faults={"drop_rate": 0.15, "tear_rate": 0.1, "slow_write_rate": 0.2},
+        )
+    )
+
+    # the full stack at once
+    for seed in (1111, 2222, 3333):
+        scenarios.append(
+            ChaosScenario(
+                name=f"full-stack-s{seed}",
+                seed=seed,
+                faults={
+                    "read_flip_rate": 0.03,
+                    "latency_rate": 0.1,
+                    "latency_s": 0.01,
+                    "overload_rate": 0.1,
+                    "snapshot_fail_rate": 0.05,
+                    "drop_rate": 0.1,
+                    "tear_rate": 0.05,
+                    "slow_write_rate": 0.1,
+                },
+                requests_per_client=8,
+            )
+        )
+
+    # concurrent updates: snapshot isolation + exactly-once under chaos
+    for seed in (4444, 5555):
+        scenarios.append(
+            ChaosScenario(
+                name=f"updates-service-chaos-s{seed}",
+                seed=seed,
+                faults={"latency_rate": 0.2, "overload_rate": 0.15},
+                with_updates=True,
+            )
+        )
+    scenarios.append(
+        ChaosScenario(
+            name="updates-storage-chaos",
+            seed=6666,
+            faults={"read_flip_rate": 0.03},
+            with_updates=True,
+        )
+    )
+
+    # pressure shapes: tiny admission window forces shedding + brownout
+    scenarios.append(
+        ChaosScenario(
+            name="overload-heavy",
+            seed=7777,
+            faults={"latency_rate": 0.5, "latency_s": 0.03},
+            workers=1,
+            queue_depth=1,
+            n_clients=6,
+        )
+    )
+    # tight deadlines force ServiceTimeout (queue wait included)
+    scenarios.append(
+        ChaosScenario(
+            name="deadline-tight",
+            seed=8888,
+            faults={"latency_rate": 0.8, "latency_s": 0.05},
+            deadline_s=1.0,
+            workers=1,
+            queue_depth=2,
+        )
+    )
+    return scenarios

@@ -22,7 +22,11 @@ Subcommands
     Filter an XML file for one subject (one-pass secure dissemination).
 ``verify-store``
     Offline fsck of a saved page store: checksums, catalog agreement,
-    header/entry agreement, WAL state. Exits non-zero on any finding.
+    header/entry agreement, WAL state. Exits non-zero on any finding;
+    ``--json`` emits the machine-readable report.
+``health``
+    Probe a running server's self-reported health over the wire; the
+    exit code (0/1/2 = healthy/degraded/unavailable) is scriptable.
 ``bench``
     Run a benchmark suite. ``--suite exec`` (default) times batch vs
     tuple execution, writes ``BENCH_exec.json``, and optionally gates
@@ -33,7 +37,9 @@ Subcommands
 ``serve``
     Serve secure queries and accessibility updates concurrently over a
     newline-delimited JSON TCP protocol (bounded worker pool, snapshot
-    isolation, request shedding under overload).
+    isolation, request shedding under overload, self-healing around
+    storage corruption). ``--chaos-seed`` turns on seeded fault
+    injection at every layer for resilience drills.
 """
 
 from __future__ import annotations
@@ -279,6 +285,7 @@ def _cmd_disseminate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.chaos import default_chaos
     from repro.server.netserver import serve
     from repro.server.service import QueryService, ServiceConfig
 
@@ -292,6 +299,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = QueryEngine.build(
         doc, matrix, use_store=True, labeling=args.labeling
     )
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = default_chaos(args.chaos_seed)
     service = QueryService(
         engine,
         ServiceConfig(
@@ -299,30 +309,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             timeout=args.timeout if args.timeout > 0 else None,
         ),
+        chaos=chaos,
     )
     print(
         f"serving {args.file} ({len(doc)} nodes, {args.subjects} subjects, "
         f"{args.labeling} labeling) on {args.host}:{args.port} "
         f"with {args.workers} workers"
     )
+    if chaos is not None:
+        print(
+            f"CHAOS MODE: injecting seeded faults at every layer "
+            f"(seed {args.chaos_seed}) — do not point real clients here"
+        )
     try:
-        serve(service, host=args.host, port=args.port)
+        serve(service, host=args.host, port=args.port, chaos=chaos)
     finally:
         service.close()
         engine.store.close()
     return 0
 
 
-def _cmd_verify_store(args: argparse.Namespace) -> int:
-    from repro.storage.persist import fsck_store
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Exit 0 healthy, 1 degraded, 2 unavailable or unreachable."""
+    import json
 
-    findings = fsck_store(args.store, catalog_path=args.catalog)
-    if not findings:
+    from repro.errors import ReproError
+    from repro.server.client import ResilientClient, RetryPolicy
+
+    policy = RetryPolicy(max_attempts=3, deadline_s=args.timeout)
+    try:
+        with ResilientClient(args.host, args.port, policy=policy) as client:
+            report = client.health(deadline_s=args.timeout)
+    except ReproError as exc:
+        print(
+            json.dumps({"state": "unavailable", "error": str(exc)}, indent=2)
+            if args.json
+            else f"{args.host}:{args.port}: unreachable ({exc})"
+        )
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        breaker = report.get("breaker", {})
+        print(
+            f"{args.host}:{args.port}: {report['state']} "
+            f"(breaker {breaker.get('state')}, "
+            f"quarantined {report.get('quarantined_pages')}, "
+            f"brownout tier {report.get('brownout_tier')})"
+        )
+    return {"healthy": 0, "degraded": 1}.get(report.get("state"), 2)
+
+
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage.persist import fsck_report
+
+    report = fsck_report(args.store, catalog_path=args.catalog)
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0 if report["clean"] else 1
+    if report["clean"]:
         print(f"{args.store}: clean")
         return 0
-    for finding in findings:
-        print(f"{args.store}: {finding}")
-    print(f"{len(findings)} problem(s) found")
+    for finding in report["findings"]:
+        print(f"{args.store}: {finding['message']}")
+    print(f"{len(report['findings'])} problem(s) found")
     return 1
 
 
@@ -550,7 +602,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument(
         "--catalog", default=None, help="sidecar catalog (default: <store>.catalog.json)"
     )
+    p_fsck.add_argument(
+        "--json", action="store_true",
+        help="machine-readable fsck report (findings, corrupt pages, WAL state)",
+    )
     p_fsck.set_defaults(func=_cmd_verify_store)
+
+    p_health = sub.add_parser(
+        "health",
+        help="probe a running server's health (exit 0/1/2 = healthy/degraded/unavailable)",
+    )
+    p_health.add_argument("--host", default="127.0.0.1")
+    p_health.add_argument("--port", type=int, default=8787)
+    p_health.add_argument("--timeout", type=float, default=5.0)
+    p_health.add_argument("--json", action="store_true")
+    p_health.set_defaults(func=_cmd_health)
 
     p_serve = sub.add_parser(
         "serve",
@@ -575,6 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--propagation", type=float, default=0.85)
     p_serve.add_argument("--accessibility", type=float, default=0.5)
     p_serve.add_argument("--seed", type=int, default=42)
+    p_serve.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="inject seeded faults at every layer (storage/service/network) "
+        "for resilience drills; NOT for real serving",
+    )
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

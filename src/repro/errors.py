@@ -9,7 +9,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``retriable`` is the wire-level taxonomy bit: ``True`` marks
+    transient failures a client may retry (overload, a tripped
+    dependency, a dropped connection); ``False`` marks terminal ones
+    (malformed queries, exhausted deadlines) where a retry would only
+    repeat the failure. Subclasses override the class attribute.
+    """
+
+    retriable = False
 
 
 class XMLParseError(ReproError):
@@ -62,6 +71,10 @@ class PageCorruptionError(PageFormatError):
     digests so fsck output and logs can show exactly what was read.
     """
 
+    #: a fresh read may succeed (transient bit rot is quarantined and the
+    #: service degrades around it), so clients may retry
+    retriable = True
+
     def __init__(
         self,
         page_id: int,
@@ -99,10 +112,18 @@ class ServiceError(ReproError):
     """Raised on query-service failures (the concurrent serving layer)."""
 
 
+class BadRequest(ServiceError):
+    """Raised on a malformed wire request: not JSON, not an object, an
+    oversized frame, or arguments of the wrong shape. Terminal — the
+    same bytes will fail the same way."""
+
+
 class ServiceOverloaded(ServiceError):
     """Raised when the service sheds a request: every worker is busy and
     the admission queue is at its depth limit. Carries the limit so
     clients can log/back off meaningfully."""
+
+    retriable = True
 
     def __init__(self, inflight: int, limit: int):
         super().__init__(
@@ -114,8 +135,63 @@ class ServiceOverloaded(ServiceError):
 
 
 class ServiceTimeout(ServiceError):
-    """Raised when a request exceeds the service's per-request timeout."""
+    """Raised when a request exceeds the service's per-request timeout.
 
-    def __init__(self, seconds: float):
-        super().__init__(f"request exceeded the {seconds:g}s timeout")
+    Terminal by taxonomy: the deadline is spent — retrying against the
+    same deadline can only time out again. ``waited`` carries the queue
+    wait when the deadline was burned before the request ever ran.
+    """
+
+    def __init__(self, seconds: "float | None", waited: "float | None" = None):
+        message = (
+            f"request exceeded the {seconds:g}s timeout"
+            if seconds is not None
+            else "request exceeded its timeout"
+        )
+        if waited is not None:
+            message += f" ({waited:.3f}s of it waiting for a worker)"
+        super().__init__(message)
         self.seconds = seconds
+        self.waited = waited
+
+
+class ServiceUnavailable(ServiceError):
+    """Raised when the service is temporarily unable to serve — snapshot
+    acquisition failed, the store is mid-recovery, or chaos injection
+    simulated either. Retriable: the condition is expected to clear."""
+
+    retriable = True
+
+    def __init__(self, reason: str = "service temporarily unavailable"):
+        super().__init__(reason)
+
+
+class ClientError(ReproError):
+    """Base class for failures raised by the resilient client itself
+    (as opposed to errors decoded off the wire)."""
+
+
+class ConnectionFailed(ClientError):
+    """Raised when the transport failed mid-request: connect refused,
+    connection reset, the server closed the stream, or a torn/garbled
+    response frame. Retriable after a reconnect — but only for
+    idempotent requests when ``request_sent`` is True, since a request
+    that reached the wire may have executed server-side."""
+
+    retriable = True
+
+    def __init__(self, message: str, request_sent: bool = False):
+        super().__init__(message)
+        self.request_sent = request_sent
+
+
+class RetryBudgetExhausted(ClientError):
+    """Raised when the client gives up retrying: the attempt cap or the
+    retry budget ran out. Terminal; chains the last underlying error."""
+
+    def __init__(self, budget: "float | None" = None):
+        message = "retry budget exhausted"
+        if budget is not None:
+            message += f" (budget {budget:g})"
+        super().__init__(message)
+        self.budget = budget

@@ -143,6 +143,7 @@ class QueryEngine:
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
         exec_mode: Optional[str] = None,
+        use_run_cache: bool = True,
     ):
         """Compile a query into a :class:`~repro.exec.planner.PhysicalPlan`.
 
@@ -159,6 +160,11 @@ class QueryEngine:
         :class:`~repro.exec.plancache.PlanCache` for string queries,
         making compile/evaluate/stream safe and cheap to call from many
         threads at once.
+
+        ``use_run_cache=False`` sheds the engine's *shared* run cache
+        for this compilation (the context falls back to a private one):
+        the serving layer's brownout tiers use it so a browning-out or
+        possibly-corrupt service stops touching cross-request caches.
         """
         from repro.exec.planner import Planner
 
@@ -182,7 +188,7 @@ class QueryEngine:
             subject=subject if isinstance(subject, int) else subjects,
             semantics=semantics,
             strict=strict,
-            run_cache=self.run_cache,
+            run_cache=self.run_cache if use_run_cache else None,
             class_id=class_id,
         )
         if isinstance(query, str):
@@ -245,6 +251,7 @@ class QueryEngine:
         snapshot: Optional[StoreSnapshot] = None,
         exec_mode: Optional[str] = None,
         use_result_cache: bool = False,
+        use_run_cache: bool = True,
     ) -> QueryResult:
         """Evaluate a twig query, securely when ``subject`` is given.
 
@@ -276,6 +283,7 @@ class QueryEngine:
         plan = self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
             limit=limit, strict=strict, snapshot=snapshot, exec_mode=exec_mode,
+            use_run_cache=use_run_cache,
         )
         ctx = plan.ctx
         result_key = None

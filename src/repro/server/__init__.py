@@ -1,23 +1,54 @@
-"""Concurrent query serving on top of the secure NoK engine.
+"""Concurrent, self-healing query serving on top of the secure NoK engine.
 
-The package splits the serving layer into three small pieces:
+The package splits the serving layer into small pieces:
 
 - :mod:`repro.server.service` — :class:`QueryService`, the embeddable
   core: a bounded worker pool executing engine calls with admission
-  control, per-request timeouts and service metrics. Fully testable
-  without any socket.
+  control, deadlines that cover queue wait, degraded serving behind a
+  corruption circuit breaker, brownout cache shedding, and service
+  metrics. Fully testable without any socket.
+- :mod:`repro.server.health` — the health state machine: the
+  :class:`CircuitBreaker`, brownout tiers, and the ``healthy`` /
+  ``degraded`` / ``unavailable`` report.
 - :mod:`repro.server.protocol` — the newline-delimited JSON request and
-  response format the wire server speaks.
+  response format, including the typed error registry both sides use.
 - :mod:`repro.server.netserver` — a threading TCP server binding the
   protocol to a :class:`QueryService` (the ``repro-dol serve`` command).
+- :mod:`repro.server.client` — :class:`ResilientClient`: deadline
+  propagation, typed retries with full-jitter backoff, a retry budget,
+  and reconnects.
+- :mod:`repro.server.chaos` — :class:`ChaosPlan`, one seed injecting
+  faults across storage, service, and network for resilience testing.
 """
 
-from repro.server.protocol import decode_request, encode_response
+from repro.server.chaos import ChaosPlan, ChaosSpec, default_chaos
+from repro.server.client import ResilientClient, RetryPolicy
+from repro.server.health import CircuitBreaker, HealthConfig, HealthModel
+from repro.server.protocol import (
+    ERROR_REGISTRY,
+    decode_error,
+    decode_request,
+    encode_error,
+    encode_response,
+    is_retriable,
+)
 from repro.server.service import QueryService, ServiceConfig
 
 __all__ = [
+    "ERROR_REGISTRY",
+    "ChaosPlan",
+    "ChaosSpec",
+    "CircuitBreaker",
+    "HealthConfig",
+    "HealthModel",
     "QueryService",
+    "ResilientClient",
+    "RetryPolicy",
     "ServiceConfig",
+    "decode_error",
     "decode_request",
+    "default_chaos",
+    "encode_error",
     "encode_response",
+    "is_retriable",
 ]

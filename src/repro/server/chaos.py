@@ -1,0 +1,190 @@
+"""One seed, faults at every layer: the chaos plan of the serving stack.
+
+PR 2's :class:`~repro.storage.faults.FaultPlan` modeled storage failure
+precisely but stopped at the pager. A served system can fail in more
+places: the service can stall or shed, snapshot acquisition can fail, a
+response can be torn mid-frame or the connection dropped, a client can
+trickle its request bytes. :class:`ChaosPlan` extends the model across
+those layers behind a single seed:
+
+- **storage** — a nested :class:`FaultPlan` in chaos mode
+  (``read_flip_rate``: seeded transient bit rot on the read path, caught
+  by the page CRC downstream);
+- **service** — latency spikes, forced
+  :class:`~repro.errors.ServiceOverloaded`, snapshot-acquire failures
+  (surfacing as retriable :class:`~repro.errors.ServiceUnavailable`),
+  and a cache-poisoning guard mode that disables the result/run cache
+  opt-ins for every request;
+- **network** — the wire server consults :meth:`net_action` before each
+  response: drop the connection without answering, tear the frame (write
+  a prefix, then drop), or write slowly in small chunks.
+
+All decisions come from one seeded RNG consumed under a lock, so a
+scenario is reproducible from its seed: rerunning the same seed yields
+the same fault *distribution* (under concurrency the interleaving — and
+therefore which exact request eats which fault — follows the thread
+schedule, which is why the chaos suite asserts invariants, not traces).
+
+:meth:`disable` pauses every layer at once (the storage plan included),
+letting a harness open a store cleanly, start the faults, and later
+stop them to assert the service heals.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.storage.faults import FaultPlan
+
+#: what the wire server does with one response
+NET_OK, NET_DROP, NET_TEAR, NET_SLOW = "ok", "drop", "tear", "slow"
+
+
+@dataclass
+class ChaosSpec:
+    """Per-layer fault rates; all default to "no chaos".
+
+    Rates are probabilities per consulted operation. A spec plus a seed
+    fully determines a :class:`ChaosPlan`.
+    """
+
+    seed: int = 0
+    # -- storage ----------------------------------------------------------
+    #: probability a raw page/WAL read comes back with one flipped bit
+    read_flip_rate: float = 0.0
+    # -- service ----------------------------------------------------------
+    #: probability a request sleeps ``latency_s`` before executing
+    latency_rate: float = 0.0
+    latency_s: float = 0.02
+    #: probability admission rejects a request as ServiceOverloaded
+    overload_rate: float = 0.0
+    #: probability snapshot acquisition fails (ServiceUnavailable)
+    snapshot_fail_rate: float = 0.0
+    #: cache-poisoning guard: serve every request with the result/run
+    #: cache opt-ins shed (exercises the uncached path under load)
+    disable_caches: bool = False
+    # -- network ----------------------------------------------------------
+    #: probability a response connection is dropped before any byte
+    drop_rate: float = 0.0
+    #: probability a response frame is torn (prefix written, then drop)
+    tear_rate: float = 0.0
+    #: probability a response is written slowly in small chunks
+    slow_write_rate: float = 0.0
+    slow_write_delay_s: float = 0.002
+
+
+class ChaosPlan:
+    """Seeded, thread-safe fault injection spanning the serving stack."""
+
+    def __init__(self, spec: ChaosSpec):
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._rng = random.Random(spec.seed)
+        self._enabled = True
+        self._injected: Dict[str, int] = {}
+        #: shared by the pager and the WAL of the store under test; a
+        #: distinct derived seed keeps its stream independent of the
+        #: service/network decisions
+        self.storage = FaultPlan(
+            seed=spec.seed ^ 0x5EED_CA05, read_flip_rate=spec.read_flip_rate
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start (or resume) injecting faults at every layer."""
+        with self._lock:
+            self._enabled = True
+        self.storage.enable()
+
+    def disable(self) -> None:
+        """Stop injecting everywhere; in-flight decisions already made
+        (a sleep mid-request, a torn frame mid-write) still play out."""
+        with self._lock:
+            self._enabled = False
+        self.storage.disable()
+
+    @property
+    def enabled(self) -> bool:
+        with self._lock:
+            return self._enabled
+
+    # -- decision core -----------------------------------------------------
+
+    def _roll(self, rate: float, kind: str) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            if not self._enabled:
+                return False
+            hit = self._rng.random() < rate
+            if hit:
+                self._injected[kind] = self._injected.get(kind, 0) + 1
+            return hit
+
+    # -- service faults ----------------------------------------------------
+
+    def service_latency(self) -> float:
+        """Seconds a request should stall before running (0.0 = none)."""
+        if self._roll(self.spec.latency_rate, "latency_spike"):
+            return self.spec.latency_s
+        return 0.0
+
+    def should_overload(self) -> bool:
+        """True when admission must shed this request as overloaded."""
+        return self._roll(self.spec.overload_rate, "forced_overload")
+
+    def should_fail_snapshot(self) -> bool:
+        """True when snapshot acquisition must fail for this request."""
+        return self._roll(self.spec.snapshot_fail_rate, "snapshot_fail")
+
+    def caches_disabled(self) -> bool:
+        """True while the cache-poisoning guard mode is active."""
+        with self._lock:
+            return self._enabled and self.spec.disable_caches
+
+    # -- network faults ----------------------------------------------------
+
+    def net_action(self) -> str:
+        """What the wire server does with the next response frame."""
+        if self._roll(self.spec.tear_rate, "torn_frame"):
+            return NET_TEAR
+        if self._roll(self.spec.drop_rate, "dropped_connection"):
+            return NET_DROP
+        if self._roll(self.spec.slow_write_rate, "slow_write"):
+            return NET_SLOW
+        return NET_OK
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counts of injected faults so far, storage flips included."""
+        with self._lock:
+            report = dict(self._injected)
+        report["storage_bit_flips"] = self.storage.flips_injected
+        return report
+
+
+def default_chaos(seed: int) -> ChaosPlan:
+    """The stock mixed-fault plan behind ``serve --chaos-seed``.
+
+    Moderate rates at every layer — enough that a few-minute session
+    exercises degraded serving, shedding, retries, and reconnects
+    without drowning the service.
+    """
+    return ChaosPlan(
+        ChaosSpec(
+            seed=seed,
+            read_flip_rate=0.02,
+            latency_rate=0.05,
+            latency_s=0.05,
+            overload_rate=0.05,
+            snapshot_fail_rate=0.02,
+            drop_rate=0.03,
+            tear_rate=0.02,
+            slow_write_rate=0.05,
+        )
+    )

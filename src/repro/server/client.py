@@ -1,0 +1,331 @@
+"""A retrying NDJSON client that assumes the network and server misbehave.
+
+:class:`ResilientClient` is the client half of the resilience contract.
+It speaks the same one-JSON-object-per-line protocol as
+:mod:`repro.server.netserver` but wraps every request in:
+
+- **deadline propagation** — the caller's deadline bounds the whole
+  exchange, retries included; the remaining time rides along in the
+  request's ``timeout`` field so the server sheds work the client has
+  already given up on (queue wait counts there too). When the deadline
+  expires the client raises :class:`~repro.errors.ServiceTimeout` —
+  terminal by definition: retrying past a deadline helps nobody.
+
+- **an error taxonomy** — a structured ``{"ok": false}`` response is
+  decoded back into its :class:`~repro.errors.ReproError` subclass via
+  the protocol registry, and its ``retriable`` class attribute decides
+  the next move: :class:`~repro.errors.ServiceOverloaded` and
+  :class:`~repro.errors.ServiceUnavailable` back off and retry;
+  :class:`~repro.errors.BadRequest` or a query error raise immediately
+  (the request will never succeed). Connection-level failures — refused,
+  reset, closed mid-response, torn frames that fail to parse — become
+  retriable :class:`~repro.errors.ConnectionFailed` and force a
+  reconnect.
+
+- **exponential backoff with full jitter** — sleep ``U(0, min(cap,
+  base·2^attempt))`` between attempts, so a thundering herd of clients
+  retrying a recovering server decorrelates instead of stampeding.
+
+- **a retry budget** — retries spend from a token budget that successes
+  slowly refill; when the budget is dry the client fails fast with
+  :class:`~repro.errors.RetryBudgetExhausted` rather than amplifying an
+  outage with retry traffic.
+
+Idempotency matters at this layer: a connection that dies *after* the
+request was sent may have executed it server-side. Queries are safe to
+resend; updates are not, so :meth:`update` marks its request
+non-idempotent and the client refuses to retry it across a connection
+failure (structured pre-execution errors like overload still retry).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+from dataclasses import dataclass
+from time import monotonic, sleep
+from typing import Any, Dict, Optional
+
+from repro.errors import (
+    ClientError,
+    ConnectionFailed,
+    ReproError,
+    RetryBudgetExhausted,
+    ServiceTimeout,
+)
+from repro.server.protocol import decode_error, encode_response
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff, budget, and deadline knobs of a :class:`ResilientClient`."""
+
+    #: total attempts per request (first try included)
+    max_attempts: int = 6
+    #: first backoff ceiling; doubles each retry up to ``max_delay_s``
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+    #: default per-request deadline when the caller names none
+    deadline_s: float = 10.0
+    #: retry tokens shared across the client; each retry spends one
+    retry_budget: float = 20.0
+    #: tokens refunded per successful request (capped at the budget)
+    budget_refund: float = 0.1
+    #: TCP connect timeout (also bounded by the remaining deadline)
+    connect_timeout_s: float = 2.0
+
+
+class ResilientClient:
+    """Deadline-propagating, reconnecting client for the NDJSON server.
+
+    Thread-safe; all state (socket, budget, stats) is lock-guarded, and
+    the socket serializes request/response exchanges, so one client can
+    be shared — though the chaos harness gives each worker its own to
+    exercise many connections.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+    ):
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._budget = float(self.policy.retry_budget)
+        #: observable behavior for tests and the chaos report
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "attempts": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "successes": 0,
+            "failures": 0,
+        }
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self, remaining: float) -> None:
+        timeout = max(0.01, min(self.policy.connect_timeout_s, remaining))
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ConnectionFailed(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self.stats["reconnects"] += 1
+
+    def _drop_connection(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the retry loop ----------------------------------------------------
+
+    def request(
+        self,
+        request: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        """Send one request, retrying per policy; returns the ok-response.
+
+        Raises the decoded server error when it is terminal, the last
+        retriable error when attempts run out,
+        :class:`~repro.errors.ServiceTimeout` at the deadline, and
+        :class:`~repro.errors.RetryBudgetExhausted` when the budget is
+        dry. ``idempotent=False`` additionally refuses to retry across
+        a connection failure, where the request may already have
+        executed server-side.
+        """
+        budget = deadline_s if deadline_s is not None else self.policy.deadline_s
+        deadline = monotonic() + budget
+        with self._lock:
+            self.stats["requests"] += 1
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.policy.max_attempts):
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self._count_failure()
+                raise ServiceTimeout(budget) from last_error
+            with self._lock:
+                self.stats["attempts"] += 1
+            sent = False
+            try:
+                payload = self._exchange(request, remaining)
+            except ConnectionFailed as exc:
+                sent = exc.request_sent
+                last_error = exc
+            else:
+                if payload.get("ok"):
+                    self._count_success()
+                    return payload
+                last_error = decode_error(payload)
+            # -- decide whether this attempt's failure retries ------------
+            if not getattr(last_error, "retriable", False):
+                self._count_failure()
+                raise last_error
+            if sent and not idempotent:
+                # The request reached the wire and may have executed; a
+                # non-idempotent caller must not risk applying it twice.
+                self._count_failure()
+                raise last_error
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+            with self._lock:
+                if self._budget < 1.0:
+                    self._count_failure_locked()
+                    raise RetryBudgetExhausted(
+                        self.policy.retry_budget
+                    ) from last_error
+                self._budget -= 1.0
+                self.stats["retries"] += 1
+            delay = self._backoff(attempt)
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self._count_failure()
+                raise ServiceTimeout(budget) from last_error
+            sleep(min(delay, remaining))
+        self._count_failure()
+        assert last_error is not None
+        raise last_error
+
+    def _exchange(self, request: Dict[str, Any], remaining: float) -> Dict:
+        """One send/receive on the (re)connected socket."""
+        wire = dict(request)
+        wire["timeout"] = round(remaining, 3)
+        with self._lock:
+            if self._sock is None:
+                self._connect(remaining)
+            sock, reader = self._sock, self._reader
+            sent = False
+            try:
+                sock.settimeout(max(0.01, remaining))
+                sock.sendall(encode_response(wire))
+                sent = True
+                line = reader.readline()
+            except OSError as exc:
+                self._drop_connection()
+                raise ConnectionFailed(
+                    f"exchange failed: {exc}", request_sent=sent
+                ) from exc
+            if not line:
+                self._drop_connection()
+                raise ConnectionFailed(
+                    "connection closed before a response", request_sent=True
+                )
+            try:
+                payload = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                # A torn frame is indistinguishable from garbage; the
+                # stream offset is unknown, so the connection is dead.
+                self._drop_connection()
+                raise ConnectionFailed(
+                    "torn or undecodable response frame", request_sent=True
+                ) from exc
+            if not isinstance(payload, dict):
+                self._drop_connection()
+                raise ConnectionFailed(
+                    "response was not a JSON object", request_sent=True
+                )
+            return payload
+
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter exponential backoff (AWS-style)."""
+        cap = min(
+            self.policy.max_delay_s, self.policy.base_delay_s * (2.0**attempt)
+        )
+        with self._lock:
+            return self._rng.random() * cap
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count_success(self) -> None:
+        with self._lock:
+            self.stats["successes"] += 1
+            self._budget = min(
+                float(self.policy.retry_budget),
+                self._budget + self.policy.budget_refund,
+            )
+
+    def _count_failure(self) -> None:
+        with self._lock:
+            self._count_failure_locked()
+
+    def _count_failure_locked(self) -> None:
+        self.stats["failures"] += 1
+
+    @property
+    def retry_budget_left(self) -> float:
+        with self._lock:
+            return self._budget
+
+    # -- convenience verbs -------------------------------------------------
+
+    def ping(self, deadline_s: Optional[float] = None) -> bool:
+        return bool(self.request({"op": "ping"}, deadline_s).get("pong"))
+
+    def query(
+        self,
+        query: str,
+        subject: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        request = {"op": "query", "query": query, **extra}
+        if subject is not None:
+            request["subject"] = subject
+        return self.request(request, deadline_s)
+
+    def update(
+        self,
+        kind: str,
+        start: int,
+        end: int,
+        deadline_s: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Apply an update; never retried across a connection failure."""
+        request = {"op": "update", "kind": kind, "start": start, "end": end}
+        request.update(extra)
+        return self.request(request, deadline_s, idempotent=False)
+
+    def health(self, deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        return self.request({"op": "health"}, deadline_s)["health"]
+
+    def metrics(self, deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        return self.request({"op": "metrics"}, deadline_s)["metrics"]
+
+
+__all__ = ["ClientError", "ResilientClient", "RetryPolicy"]

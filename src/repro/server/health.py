@@ -1,0 +1,258 @@
+"""Health state, corruption circuit breaker, and brownout tiers.
+
+The serving layer's self-healing story in one place:
+
+- :class:`CircuitBreaker` — per-store protection against repeated
+  :class:`~repro.errors.PageCorruptionError`. Closed: requests run
+  strict, and Proposition 1 holds exactly. After ``corruption_trip``
+  corruption events inside ``window_s`` the breaker opens: requests run
+  degraded (``strict=False`` — corrupt pages are quarantined and
+  skipped, so answers are *subsets* of the accessible nodes, flagged
+  ``degraded: true`` on the wire; an inaccessible node is never
+  returned). ``probe_interval_s`` after the last corruption event the
+  breaker half-opens: the next request clears the quarantine and runs
+  strict as the probe — success closes the breaker (transient bit rot
+  heals), corruption re-opens it (rotten disk stays degraded).
+
+- :class:`HealthModel` — folds the breaker, the store's quarantine
+  count, the WAL-recovery result stamped at open, and a sliding window
+  of request outcomes into one of three states: ``healthy`` (strict
+  serving, nothing quarantined), ``degraded`` (the breaker is open or
+  half-open, pages are quarantined, the store came up through WAL
+  recovery and has not yet passed a strict request, or brownout is
+  shedding cache opt-ins), ``unavailable`` (essentially no request is
+  succeeding). State is recomputed on read — there is no background
+  thread to leak.
+
+- Brownout tiers, computed from the admission gauge: tier 0 serves with
+  every cache opt-in honored; tier 1 (admission ≥ ``brownout_ratio`` of
+  the limit, or the breaker not closed) sheds the ResultCache opt-in;
+  tier 2 (≥ midway between ``brownout_ratio`` and full) also sheds the
+  shared RunCache; tier 3 is the existing admission shed — load
+  degrades answer *cost* before it degrades *availability*.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from time import monotonic
+from typing import Callable, Dict, Optional
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNAVAILABLE = "unavailable"
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds of the health state machine."""
+
+    #: corruption events within ``window_s`` that trip the breaker
+    corruption_trip: int = 3
+    #: sliding window for corruption events and error rates (seconds)
+    window_s: float = 30.0
+    #: open -> half-open this long after the last corruption event; also
+    #: the cadence at which a degraded service re-probes strictness
+    probe_interval_s: float = 0.25
+    #: fraction of recent requests failing that flips state to unavailable
+    error_rate_unavailable: float = 0.95
+    #: minimum recent outcomes before the error rate is trusted
+    min_samples: int = 8
+    #: recent request outcomes retained for the error-rate window
+    outcome_window: int = 64
+    #: admission-gauge fraction where brownout tier 1 begins
+    brownout_ratio: float = 0.75
+
+
+class CircuitBreaker:
+    """Trip on repeated page corruption; heal through strict probes."""
+
+    def __init__(self, config: HealthConfig):
+        self.config = config
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._events: deque = deque()  # corruption timestamps
+        self._last_corruption = 0.0
+        self.trips = 0
+        self.corruption_events = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def record_corruption(self, count: int = 1, now: Optional[float] = None) -> bool:
+        """Account ``count`` corruption events; returns True if tripped.
+
+        In half-open state any corruption is the probe failing — the
+        breaker re-opens immediately rather than re-counting to the
+        threshold.
+        """
+        now = monotonic() if now is None else now
+        with self._lock:
+            self.corruption_events += count
+            self._last_corruption = now
+            if self._state == BREAKER_HALF_OPEN:
+                self._state = BREAKER_OPEN
+                return True
+            for _ in range(count):
+                self._events.append(now)
+            self._expire(now)
+            if (
+                self._state == BREAKER_CLOSED
+                and len(self._events) >= self.config.corruption_trip
+            ):
+                self._state = BREAKER_OPEN
+                self.trips += 1
+                return True
+            return self._state == BREAKER_OPEN
+
+    def allow_strict(self, now: Optional[float] = None) -> bool:
+        """May the next request run strict?
+
+        Closed: yes. Open: only once ``probe_interval_s`` has passed
+        since the last corruption — that request becomes the half-open
+        probe. Half-open: no (one probe at a time keeps the blast radius
+        of a rotten page at a single request per interval).
+        """
+        now = monotonic() if now is None else now
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN and (
+                now - self._last_corruption >= self.config.probe_interval_s
+            ):
+                self._state = BREAKER_HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+
+    def record_probe_success(self) -> None:
+        """The half-open strict probe completed without corruption."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._state = BREAKER_CLOSED
+                self._events.clear()
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.config.window_s
+        while self._events and self._events[0] < horizon:
+            self._events.popleft()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "trips": self.trips,
+                "probes": self.probes,
+                "corruption_events": self.corruption_events,
+                "recent_events": len(self._events),
+            }
+
+
+class HealthModel:
+    """The service's health state, recomputed from its inputs on read."""
+
+    def __init__(
+        self,
+        config: Optional[HealthConfig] = None,
+        quarantine_count: Optional[Callable[[], int]] = None,
+        recovery: Optional[Dict[str, object]] = None,
+    ):
+        self.config = config or HealthConfig()
+        self.breaker = CircuitBreaker(self.config)
+        self._quarantine_count = quarantine_count or (lambda: 0)
+        self.recovery = recovery
+        self._lock = threading.Lock()
+        #: (timestamp, ok) for the last ``outcome_window`` requests
+        self._outcomes: deque = deque(maxlen=self.config.outcome_window)
+        #: a store that came up through WAL recovery serves degraded
+        #: until one strict request completes — recovery replayed the
+        #: log correctly by construction, but the flag makes the reopen
+        #: observable until the store proves itself end to end
+        self._recovery_unprobed = bool(recovery and recovery.get("acted"))
+
+    # -- inputs ------------------------------------------------------------
+
+    def record_outcome(self, ok: bool) -> None:
+        with self._lock:
+            self._outcomes.append((monotonic(), ok))
+
+    def record_strict_success(self) -> None:
+        """A strict request completed: recovery is considered probed."""
+        with self._lock:
+            self._recovery_unprobed = False
+
+    def record_corruption(self, count: int = 1) -> bool:
+        """Feed corruption into the breaker; returns True if open."""
+        return self.breaker.record_corruption(count)
+
+    # -- state -------------------------------------------------------------
+
+    def _error_rate(self, now: float) -> "tuple[float, int]":
+        horizon = now - self.config.window_s
+        with self._lock:
+            recent = [ok for (ts, ok) in self._outcomes if ts >= horizon]
+        if not recent:
+            return 0.0, 0
+        failures = sum(1 for ok in recent if not ok)
+        return failures / len(recent), len(recent)
+
+    def brownout_tier(self, inflight: int, limit: int) -> int:
+        """0 = full service, 1 = shed ResultCache, 2 = + shed RunCache.
+
+        The breaker being anything but closed forces at least tier 1: a
+        possibly-corrupt store must not populate shared caches.
+        """
+        tier = 0
+        if limit > 0:
+            ratio = inflight / limit
+            threshold = self.config.brownout_ratio
+            if ratio >= threshold + (1.0 - threshold) / 2.0:
+                tier = 2
+            elif ratio >= threshold:
+                tier = 1
+        if tier == 0 and self.breaker.state != BREAKER_CLOSED:
+            tier = 1
+        return tier
+
+    def state(self, inflight: int = 0, limit: int = 0) -> str:
+        now = monotonic()
+        rate, samples = self._error_rate(now)
+        if (
+            samples >= self.config.min_samples
+            and rate >= self.config.error_rate_unavailable
+        ):
+            return UNAVAILABLE
+        with self._lock:
+            recovery_unprobed = self._recovery_unprobed
+        if (
+            self.breaker.state != BREAKER_CLOSED
+            or self._quarantine_count() > 0
+            or recovery_unprobed
+            or self.brownout_tier(inflight, limit) > 0
+        ):
+            return DEGRADED
+        return HEALTHY
+
+    def report(self, inflight: int = 0, limit: int = 0) -> Dict[str, object]:
+        """The ``health`` wire payload."""
+        now = monotonic()
+        rate, samples = self._error_rate(now)
+        return {
+            "state": self.state(inflight, limit),
+            "breaker": self.breaker.snapshot(),
+            "quarantined_pages": self._quarantine_count(),
+            "brownout_tier": self.brownout_tier(inflight, limit),
+            "error_rate": round(rate, 4),
+            "error_samples": samples,
+            "wal_recovery": self.recovery,
+            "probe_interval_s": self.config.probe_interval_s,
+        }

@@ -6,38 +6,116 @@ pool, so the *service* — not the number of open sockets — bounds the
 concurrent work. Connection threads merely block on their request's
 future, and a shed request is answered in-band without occupying a
 worker.
+
+The handler is written to survive hostile input: request lines are read
+with a hard length cap (an oversized frame is drained and answered with
+a structured ``BadRequest`` instead of buffering without bound),
+malformed JSON is answered in-band on the same connection, and a client
+disconnecting mid-anything only ends *its* handler thread. With a
+:class:`~repro.server.chaos.ChaosPlan` attached, the server also
+injects network-level faults on the response path — dropped
+connections, torn frames, slow chunked writes — which is how the chaos
+suite exercises the client's reconnect and retry logic.
 """
 
 from __future__ import annotations
 
 import socketserver
 import threading
-from typing import Tuple
+import time
+from typing import Optional, Tuple
 
 from repro.errors import ServiceError
-from repro.server.protocol import decode_request, encode_response, error_response
+from repro.server.chaos import NET_DROP, NET_SLOW, NET_TEAR, ChaosPlan
+from repro.server.protocol import (
+    MAX_REQUEST_BYTES,
+    bad_request_response,
+    decode_request,
+    encode_error,
+    encode_response,
+)
 from repro.server.service import QueryService
+
+#: chunk size for chaos-injected slow writes
+_SLOW_CHUNK = 64
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: QueryService = self.server.service  # type: ignore[attr-defined]
+        chaos: Optional[ChaosPlan] = self.server.chaos  # type: ignore[attr-defined]
         while True:
-            line = self.rfile.readline()
+            # +2 leaves room for the newline (and detecting "too long"):
+            # a line longer than the cap comes back without a trailing
+            # newline and is handled as oversized below.
+            line = self.rfile.readline(MAX_REQUEST_BYTES + 2)
             if not line:
                 return
+            if len(line) > MAX_REQUEST_BYTES:
+                if not self._drain_oversized(line):
+                    return
+                if not self._send(
+                    bad_request_response(
+                        f"request frame exceeds {MAX_REQUEST_BYTES} bytes"
+                    ),
+                    chaos,
+                ):
+                    return
+                continue
             if not line.strip():
                 continue
             try:
                 request = decode_request(line)
             except ServiceError as exc:
-                self.wfile.write(encode_response(error_response(exc)))
+                # Malformed frame: answer in-band, keep the connection —
+                # one bad request must not tear down a pipelined client.
+                if not self._send(encode_error(exc), chaos):
+                    return
                 continue
             response = service.handle(request)
-            try:
-                self.wfile.write(encode_response(response))
-            except (BrokenPipeError, ConnectionResetError):
+            if not self._send(response, chaos):
                 return
+
+    def _drain_oversized(self, line: bytes) -> bool:
+        """Discard the rest of an over-long frame up to its newline.
+
+        Returns False when the connection ended mid-frame.
+        """
+        while not line.endswith(b"\n"):
+            line = self.rfile.readline(MAX_REQUEST_BYTES + 2)
+            if not line:
+                return False
+        return True
+
+    def _send(self, response: dict, chaos: Optional[ChaosPlan]) -> bool:
+        """Write one response frame; returns False to close the connection.
+
+        The chaos plan may order the frame dropped (connection closed
+        before any byte), torn (a prefix written, then closed), or
+        written slowly in small chunks — the client-visible failure
+        modes of a flaky network, produced deterministically.
+        """
+        payload = encode_response(response)
+        action = chaos.net_action() if chaos is not None else None
+        try:
+            if action == NET_DROP:
+                return False
+            if action == NET_TEAR:
+                self.wfile.write(payload[: max(1, len(payload) // 2)])
+                self.wfile.flush()
+                return False
+            if action == NET_SLOW:
+                delay = chaos.spec.slow_write_delay_s if chaos else 0.0
+                for i in range(0, len(payload), _SLOW_CHUNK):
+                    self.wfile.write(payload[i : i + _SLOW_CHUNK])
+                    self.wfile.flush()
+                    if delay > 0.0:
+                        time.sleep(delay)
+                return True
+            self.wfile.write(payload)
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
 
 
 class QueryServer(socketserver.ThreadingTCPServer):
@@ -46,9 +124,17 @@ class QueryServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: QueryService):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: QueryService,
+        chaos: Optional[ChaosPlan] = None,
+    ):
         super().__init__(address, _RequestHandler)
         self.service = service
+        #: defaults to the service's plan so `serve --chaos-seed` wires
+        #: every layer from one object
+        self.chaos = chaos if chaos is not None else service.chaos
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -61,13 +147,14 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8787,
     background: bool = False,
+    chaos: Optional[ChaosPlan] = None,
 ) -> QueryServer:
     """Start serving; blocks unless ``background`` (tests use that).
 
     Returns the server either way — callers own ``shutdown()`` /
     ``server_close()``.
     """
-    server = QueryServer((host, port), service)
+    server = QueryServer((host, port), service, chaos=chaos)
     if background:
         thread = threading.Thread(
             target=server.serve_forever, name="repro-serve", daemon=True

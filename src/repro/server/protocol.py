@@ -23,30 +23,74 @@ keeps the server free of any framing beyond ``\\n``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Type
 
-from repro.errors import ServiceError
+from repro import errors as _errors
+from repro.errors import BadRequest, ReproError, ServiceError
 
 #: protect the line reader against garbage/abusive peers
 MAX_REQUEST_BYTES = 1 << 20
 
 
+def _collect_error_registry() -> Dict[str, Type[ReproError]]:
+    """Every :class:`ReproError` subclass, by wire name.
+
+    The hierarchy lives entirely in :mod:`repro.errors`, so module
+    introspection finds the complete set; the transitive
+    ``__subclasses__`` walk additionally picks up any subclass defined
+    elsewhere that has been imported.
+    """
+    registry: Dict[str, Type[ReproError]] = {}
+    seen = set()
+    stack: list = [ReproError]
+    for name in dir(_errors):
+        obj = getattr(_errors, name)
+        if isinstance(obj, type) and issubclass(obj, ReproError):
+            stack.append(obj)
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        registry[cls.__name__] = cls
+        stack.extend(cls.__subclasses__())
+    return registry
+
+
+#: wire name -> exception class; the error taxonomy of the protocol
+ERROR_REGISTRY: Dict[str, Type[ReproError]] = _collect_error_registry()
+
+
+def is_retriable(error: "str | BaseException") -> bool:
+    """The taxonomy bit for a wire error name or an exception instance.
+
+    Unknown names are terminal: a client must not spin on an error it
+    cannot classify.
+    """
+    if isinstance(error, BaseException):
+        return bool(getattr(error, "retriable", False))
+    cls = ERROR_REGISTRY.get(error)
+    return bool(getattr(cls, "retriable", False)) if cls is not None else False
+
+
 def decode_request(line: "str | bytes") -> Dict[str, Any]:
-    """Parse one request line into a dictionary (:class:`ServiceError` on
+    """Parse one request line into a dictionary (:class:`BadRequest` on
     anything that is not a single JSON object)."""
     if isinstance(line, bytes):
         try:
             line = line.decode("utf-8")
         except UnicodeDecodeError as exc:
-            raise ServiceError(f"request is not valid UTF-8: {exc}")
+            raise BadRequest(f"request is not valid UTF-8: {exc}")
     if len(line) > MAX_REQUEST_BYTES:
-        raise ServiceError("request line exceeds the 1 MiB limit")
+        raise BadRequest(
+            f"request line exceeds the {MAX_REQUEST_BYTES} byte limit"
+        )
     try:
         payload = json.loads(line)
     except ValueError as exc:
-        raise ServiceError(f"request is not valid JSON: {exc}")
+        raise BadRequest(f"request is not valid JSON: {exc}")
     if not isinstance(payload, dict):
-        raise ServiceError("request must be a JSON object")
+        raise BadRequest("request must be a JSON object")
     return payload
 
 
@@ -55,6 +99,36 @@ def encode_response(response: Dict[str, Any]) -> bytes:
     return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
 
 
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """The in-band error shape: type name, message, and retriability."""
+    return {
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "retriable": is_retriable(exc),
+    }
+
+
+def decode_error(payload: Dict[str, Any]) -> ReproError:
+    """Reconstruct a typed exception from an in-band error response.
+
+    The instance is rebuilt without running the subclass constructor
+    (many carry structured arguments that do not survive the wire), so
+    the round-trip contract is exactly: type preserved when the name is
+    in the registry (:class:`ServiceError` otherwise), message preserved
+    verbatim.
+    """
+    cls = ERROR_REGISTRY.get(str(payload.get("error")), ServiceError)
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, str(payload.get("message", "")))
+    return exc
+
+
 def error_response(exc: BaseException) -> Dict[str, Any]:
-    """The in-band error shape used by the service and the wire server."""
-    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+    """Historical alias for :func:`encode_error`."""
+    return encode_error(exc)
+
+
+def bad_request_response(message: str) -> Dict[str, Any]:
+    """The structured answer to an unparseable or oversized frame."""
+    return encode_error(BadRequest(message))

@@ -1,7 +1,7 @@
 """The embeddable query service: a bounded pool over one engine.
 
-:class:`QueryService` is the concurrency contract of the serving layer
-made concrete:
+:class:`QueryService` is the concurrency *and* resilience contract of
+the serving layer made concrete:
 
 - a fixed pool of worker threads executes engine calls; each call binds
   to the store's current :class:`~repro.storage.snapshot.StoreSnapshot`,
@@ -10,35 +10,58 @@ made concrete:
   queue_depth``; a request beyond that is shed immediately with
   :class:`~repro.errors.ServiceOverloaded` rather than queued without
   bound (fail fast beats unbounded latency);
-- every request carries a deadline: a result not produced within the
-  timeout raises :class:`~repro.errors.ServiceTimeout` to the caller.
-  The worker itself cannot be killed mid-iterator — it finishes and its
-  result is discarded — so the in-flight gauge stays honest: the slot
-  counts as occupied until the worker actually returns;
+- every request carries a deadline that covers *queue wait too*: a
+  request that burns its whole deadline waiting for an executor slot
+  raises :class:`~repro.errors.ServiceTimeout` without ever running,
+  and the wait is accounted in metrics (``queue_wait_mean/max``);
+- the service is self-healing around storage corruption: a
+  :class:`~repro.server.health.CircuitBreaker` trips on repeated
+  :class:`~repro.errors.PageCorruptionError` and the service serves
+  degraded (``strict=False``) answers — always subsets of the
+  accessible nodes, flagged ``degraded: true`` — until a strict probe
+  a probe-interval later verifies the store clean again; brownout
+  tiers shed the ResultCache/RunCache opt-ins before any request is
+  shed; the whole state machine is visible through the ``health``
+  request type;
+- a :class:`~repro.server.chaos.ChaosPlan` can be attached to inject
+  service-level faults (latency spikes, forced overload, snapshot
+  acquisition failures, cache-poisoning guard mode) for the chaos
+  suite and ``serve --chaos-seed``;
 - metrics aggregate request counts and latency with the engine's three
-  cache layers (plan, run, result — all keyed on the access class, so
-  their populations are bounded by #classes, not #users), the class
-  directory's canonicalization counters, the store's buffer/latch
-  counters and the current snapshot epoch, giving the serving picture
-  in one dictionary.
+  cache layers, the class directory, the store's buffer/latch counters,
+  the current snapshot epoch, and the health report, giving the serving
+  picture in one dictionary.
 
 :meth:`QueryService.handle` additionally speaks the wire protocol's
 request dictionaries directly (``ping`` / ``query`` / ``update`` /
-``metrics``), so the whole service is testable without opening a socket.
+``metrics`` / ``health``), so the whole service is testable without
+opening a socket.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import ReproError, ServiceError, ServiceOverloaded, ServiceTimeout
+from repro.errors import (
+    BadRequest,
+    PageCorruptionError,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from repro.nok.engine import QueryEngine
 from repro.secure.semantics import CHO, SEMANTICS
+from repro.server.chaos import ChaosPlan
+from repro.server.health import BREAKER_HALF_OPEN, HealthConfig, HealthModel
+from repro.server.protocol import encode_error
 
 
 @dataclass
@@ -61,11 +84,18 @@ class ServiceConfig:
 
 
 class QueryService:
-    """Thread-safe query/update serving over one :class:`QueryEngine`."""
+    """Thread-safe, self-healing query/update serving over one engine."""
 
-    def __init__(self, engine: QueryEngine, config: Optional[ServiceConfig] = None):
+    def __init__(
+        self,
+        engine: QueryEngine,
+        config: Optional[ServiceConfig] = None,
+        chaos: Optional[ChaosPlan] = None,
+        health_config: Optional[HealthConfig] = None,
+    ):
         self.engine = engine
         self.config = config or ServiceConfig()
+        self.chaos = chaos
         self._limit = self.config.workers + self.config.queue_depth
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-query"
@@ -79,8 +109,21 @@ class QueryService:
         self._failed = 0
         self._shed = 0
         self._timeouts = 0
+        self._timeouts_in_queue = 0
+        self._degraded_served = 0
         self._latency_total = 0.0
         self._latency_max = 0.0
+        self._queue_wait_total = 0.0
+        self._queue_wait_max = 0.0
+        self._last_quarantine_probe = 0.0
+        store = engine.store
+        self.health = HealthModel(
+            health_config,
+            quarantine_count=(
+                (lambda: len(store.quarantined)) if store is not None else None
+            ),
+            recovery=getattr(store, "last_recovery", None) if store else None,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -99,11 +142,21 @@ class QueryService:
     # -- execution core ----------------------------------------------------
 
     def _submit(self, fn: Callable[[], Any], timeout: Optional[float]) -> Any:
-        """Run ``fn`` on the pool under admission control + deadline."""
+        """Run ``fn`` on the pool under admission control + deadline.
+
+        The deadline covers the whole stay in the service: the worker
+        first checks how long the request waited for its slot, and a
+        request whose deadline was burned in the queue raises
+        :class:`~repro.errors.ServiceTimeout` without running at all.
+        """
+        deadline = timeout if timeout is not None else self.config.timeout
         with self._lock:
             if self._closed:
                 raise ServiceError("service is closed")
             if self._inflight >= self._limit:
+                self._shed += 1
+                raise ServiceOverloaded(self._inflight, self._limit)
+            if self.chaos is not None and self.chaos.should_overload():
                 self._shed += 1
                 raise ServiceOverloaded(self._inflight, self._limit)
             self._inflight += 1
@@ -112,7 +165,19 @@ class QueryService:
         started = perf_counter()
 
         def run() -> Any:
+            queue_wait = perf_counter() - started
+            with self._lock:
+                self._queue_wait_total += queue_wait
+                self._queue_wait_max = max(self._queue_wait_max, queue_wait)
             try:
+                if deadline is not None and queue_wait >= deadline:
+                    with self._lock:
+                        self._timeouts_in_queue += 1
+                    raise ServiceTimeout(deadline, waited=queue_wait)
+                if self.chaos is not None:
+                    spike = self.chaos.service_latency()
+                    if spike > 0.0:
+                        time.sleep(spike)
                 return fn()
             finally:
                 elapsed = perf_counter() - started
@@ -127,7 +192,6 @@ class QueryService:
             with self._lock:
                 self._inflight -= 1
             raise
-        deadline = timeout if timeout is not None else self.config.timeout
         try:
             result = future.result(timeout=deadline)
         except FutureTimeout:
@@ -136,13 +200,23 @@ class QueryService:
             with self._lock:
                 self._timeouts += 1
                 self._failed += 1
+            self.health.record_outcome(False)
             raise ServiceTimeout(deadline) from None
+        except ServiceTimeout:
+            # The worker found the deadline burned in the queue.
+            with self._lock:
+                self._timeouts += 1
+                self._failed += 1
+            self.health.record_outcome(False)
+            raise
         except BaseException:
             with self._lock:
                 self._failed += 1
+            self.health.record_outcome(False)
             raise
         with self._lock:
             self._completed += 1
+        self.health.record_outcome(True)
         return result
 
     # -- public request API ------------------------------------------------
@@ -160,26 +234,107 @@ class QueryService:
 
         The worker pins the store's current snapshot first, so the
         response can name the epoch the answer is consistent with.
+
+        Resilience semantics: with the circuit breaker closed the
+        evaluation is strict and the response is a correct Proposition-1
+        answer for its epoch. On :class:`~repro.errors.PageCorruptionError`
+        the corruption feeds the breaker and the request is re-run
+        degraded (``strict=False``): corrupt pages are quarantined and
+        skipped, the answer is a *subset* of the accessible nodes, and
+        the response carries ``degraded: true``. An open breaker skips
+        the doomed strict attempt entirely until the probe interval
+        elapses, then the next request clears the quarantine and probes
+        strictly — success closes the breaker (self-healing after
+        transient corruption), failure re-opens it.
         """
         if semantics not in SEMANTICS:
             raise ServiceError(f"unknown semantics {semantics!r}")
 
         def work() -> Dict[str, Any]:
+            if self.chaos is not None and self.chaos.should_fail_snapshot():
+                raise ServiceUnavailable(
+                    "injected snapshot acquisition failure"
+                )
             store = self.engine.store
             snapshot = store.snapshot() if store is not None else None
-            result = self.engine.evaluate(
-                query,
-                subject=subject,
-                semantics=semantics,
-                ordered=ordered,
-                limit=limit,
-                snapshot=snapshot,
-                use_result_cache=True,
+
+            with self._lock:
+                inflight = self._inflight
+            tier = self.health.brownout_tier(inflight, self._limit)
+            caches_poisonable = (
+                self.chaos is not None and self.chaos.caches_disabled()
             )
+            use_run_cache = tier < 2 and not caches_poisonable
+            use_result_cache = tier < 1 and not caches_poisonable
+
+            breaker = self.health.breaker
+            strict = breaker.allow_strict()
+            probing = strict and breaker.state == BREAKER_HALF_OPEN
+            if (
+                not probing
+                and strict
+                and store is not None
+                and store.quarantined
+            ):
+                # Corruption below the breaker's trip threshold still
+                # quarantines pages; reverify them at the probe cadence
+                # even with the breaker closed, or the service would
+                # stay degraded forever after one transient flip.
+                now = time.monotonic()
+                with self._lock:
+                    if (
+                        now - self._last_quarantine_probe
+                        >= self.health.config.probe_interval_s
+                    ):
+                        self._last_quarantine_probe = now
+                        probing = True
+            if probing and store is not None:
+                # Optimistic heal: transient corruption re-verifies clean
+                # from disk; rotten pages will fail the probe below and
+                # re-enter quarantine.
+                store.clear_quarantine()
+                snapshot = store.snapshot()
+
+            def run_once(run_strict: bool):
+                return self.engine.evaluate(
+                    query,
+                    subject=subject,
+                    semantics=semantics,
+                    ordered=ordered,
+                    limit=limit,
+                    snapshot=snapshot,
+                    strict=run_strict,
+                    use_result_cache=use_result_cache and run_strict,
+                    use_run_cache=use_run_cache,
+                )
+
+            degraded = not strict
+            try:
+                result = run_once(strict)
+            except PageCorruptionError:
+                self.health.record_corruption()
+                degraded = True
+                result = run_once(False)
+            else:
+                if result.stats.corrupted_pages:
+                    # strict=False path reported (and quarantined)
+                    # corruption without raising
+                    self.health.record_corruption(
+                        len(result.stats.corrupted_pages)
+                    )
+                    degraded = True
+                elif probing:
+                    breaker.record_probe_success()
+            if strict and not degraded:
+                self.health.record_strict_success()
+            if degraded:
+                with self._lock:
+                    self._degraded_served += 1
             return {
                 "positions": result.positions,
                 "n_answers": result.n_answers,
                 "epoch": snapshot.epoch if snapshot is not None else 0,
+                "degraded": degraded,
                 "stats": {
                     "access_checks": result.stats.access_checks,
                     "probes_saved": result.stats.probes_saved,
@@ -191,6 +346,7 @@ class QueryService:
                     "access_class": result.stats.access_class,
                     "static_allow": result.stats.static_allow,
                     "static_deny": result.stats.static_deny,
+                    "corrupted_pages": len(result.stats.corrupted_pages),
                     "wall_time": result.stats.wall_time,
                 },
             }
@@ -212,6 +368,8 @@ class QueryService:
         Updates serialize on the store's writer lock; running them on the
         same pool keeps the admission limit a bound on *all* service
         work, and gives updates the same deadline discipline as queries.
+        Updates never run degraded — a write against a corrupt store
+        surfaces its error instead of guessing.
         """
         store = self.engine.store
         if store is None:
@@ -238,22 +396,45 @@ class QueryService:
 
         return self._submit(work, timeout)
 
+    def health_report(self) -> Dict[str, Any]:
+        """The ``health`` wire payload (never touches the pool)."""
+        with self._lock:
+            inflight = self._inflight
+            closed = self._closed
+        report = self.health.report(inflight, self._limit)
+        if closed:
+            report["state"] = "unavailable"
+            report["closed"] = True
+        return report
+
     def metrics(self) -> Dict[str, Any]:
         """One dictionary covering the whole serving stack."""
         with self._lock:
             served = self._completed
+            inflight = self._inflight
             report: Dict[str, Any] = {
                 "requests": self._requests,
                 "completed": served,
                 "failed": self._failed,
                 "shed": self._shed,
                 "timeouts": self._timeouts,
-                "inflight": self._inflight,
+                "timeouts_in_queue": self._timeouts_in_queue,
+                "degraded_served": self._degraded_served,
+                "inflight": inflight,
                 "workers": self.config.workers,
                 "admission_limit": self._limit,
                 "latency_mean": (self._latency_total / served) if served else 0.0,
                 "latency_max": self._latency_max,
+                "queue_wait_mean": (
+                    (self._queue_wait_total / self._requests)
+                    if self._requests
+                    else 0.0
+                ),
+                "queue_wait_max": self._queue_wait_max,
             }
+        report["health"] = self.health.report(inflight, self._limit)
+        if self.chaos is not None:
+            report["chaos_injected"] = self.chaos.stats()
         report["plan_cache"] = self.engine.plan_cache.stats()
         report["run_cache"] = self.engine.run_cache.stats()
         report["result_cache"] = self.engine.result_cache.stats()
@@ -274,21 +455,23 @@ class QueryService:
         """Serve one protocol request dictionary; never raises.
 
         Errors come back as ``{"ok": false, "error": <class>, "message":
-        ...}`` so one malformed or shed request cannot tear down a
-        connection serving others.
+        ..., "retriable": ...}`` so one malformed or shed request cannot
+        tear down a connection serving others.
         """
         try:
             if not isinstance(request, dict):
-                raise ServiceError("request must be a JSON object")
+                raise BadRequest("request must be a JSON object")
             op = request.get("op")
             if op == "ping":
                 return {"ok": True, "pong": True}
             if op == "metrics":
                 return {"ok": True, "metrics": self.metrics()}
+            if op == "health":
+                return {"ok": True, "health": self.health_report()}
             if op == "query":
                 query = request.get("query")
                 if not isinstance(query, str) or not query:
-                    raise ServiceError("query request needs a query string")
+                    raise BadRequest("query request needs a query string")
                 body = self.evaluate(
                     query,
                     subject=request.get("subject"),
@@ -309,12 +492,8 @@ class QueryService:
                     timeout=request.get("timeout"),
                 )
                 return {"ok": True, **body}
-            raise ServiceError(f"unknown op {op!r}")
+            raise BadRequest(f"unknown op {op!r}")
         except ReproError as exc:
-            return {
-                "ok": False,
-                "error": type(exc).__name__,
-                "message": str(exc),
-            }
+            return encode_error(exc)
         except (TypeError, ValueError) as exc:
-            return {"ok": False, "error": "BadRequest", "message": str(exc)}
+            return encode_error(BadRequest(str(exc)))

@@ -260,6 +260,23 @@ class BufferPool:
             self._dirty.clear()
             self._pins.clear()
 
+    def drop(self, page_id: int) -> None:
+        """Flush (if dirty) and evict one frame so the next read hits disk.
+
+        Used when un-quarantining a page: the probe must re-read and
+        re-verify the on-disk bytes, not trust a stale frame. A no-op for
+        non-resident pages; pinned frames are left alone (a reader still
+        holds them, and their content is known-good by construction).
+        """
+        with self.latched():
+            if page_id not in self._frames or self._pins.get(page_id, 0) > 0:
+                return
+            self.flush(page_id)
+            if self.on_evict is not None:
+                self.on_evict(page_id)
+            del self._frames[page_id]
+            self._dirty.pop(page_id, None)
+
     def reset_stats(self) -> None:
         """Zero the counters under the latch (see :meth:`BufferStats.reset`).
 

@@ -26,6 +26,7 @@ and asserts the result is exactly the pre- or post-update state.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -44,6 +45,18 @@ class FaultPlan:
     sharing the plan (data pages and WAL alike). ``tear_offset`` and
     ``flip_bit_index`` may be left ``None`` to be derived from ``seed``,
     keeping plans reproducible without hand-picking byte positions.
+
+    Two usage modes share this class:
+
+    - the *crash matrix* schedules a single fault at an exact operation
+      index and kills the process there (``crash_at_write`` & co.);
+    - the *chaos harness* keeps the process alive and injects transient
+      bit rot at a seeded rate (``read_flip_rate``) — every consulted
+      read flips one random bit with that probability, which the CRC
+      trailer then catches downstream. Hooks are thread-safe (serving
+      reads come from many threads), and the whole plan can be paused
+      with :meth:`disable` / resumed with :meth:`enable` so a store can
+      be opened cleanly before the faults start firing.
     """
 
     crash_at_write: Optional[int] = None  # the Nth write fails before any byte lands
@@ -53,15 +66,36 @@ class FaultPlan:
     drop_syncs: bool = False  # syncs silently become no-ops
     flip_bit_at_read: Optional[int] = None  # the Nth read returns one flipped bit
     flip_bit_index: Optional[int] = None  # which bit of the read payload (seeded if None)
+    read_flip_rate: float = 0.0  # chaos mode: flip one bit of a read with this probability
     seed: int = 0
 
     writes: int = field(default=0, init=False)
     reads: int = field(default=0, init=False)
     syncs: int = field(default=0, init=False)
     crashed: bool = field(default=False, init=False)
+    flips_injected: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._enabled = True
+
+    # -- chaos toggling -------------------------------------------------------
+
+    def enable(self) -> None:
+        """Resume injecting faults (hooks keep counting either way)."""
+        with self._lock:
+            self._enabled = True
+
+    def disable(self) -> None:
+        """Stop injecting faults; every hook passes through unchanged."""
+        with self._lock:
+            self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        with self._lock:
+            return self._enabled
 
     # -- hooks ----------------------------------------------------------------
 
@@ -72,44 +106,67 @@ class FaultPlan:
         return value smaller than ``n_bytes`` instructs the caller to
         write that prefix and then call :meth:`crash` — the torn write.
         """
-        self._check_alive()
-        self.writes += 1
-        if self.crash_at_write is not None and self.writes == self.crash_at_write:
-            self.crash(f"write #{self.writes} failed before any byte landed")
-        if self.tear_at_write is not None and self.writes == self.tear_at_write:
-            offset = self.tear_offset
-            if offset is None:
-                offset = self._rng.randrange(max(n_bytes, 1))
-            return min(offset, n_bytes)
-        return n_bytes
+        with self._lock:
+            self._check_alive()
+            self.writes += 1
+            if not self._enabled:
+                return n_bytes
+            if self.crash_at_write is not None and self.writes == self.crash_at_write:
+                self._crash_locked(
+                    f"write #{self.writes} failed before any byte landed"
+                )
+            if self.tear_at_write is not None and self.writes == self.tear_at_write:
+                offset = self.tear_offset
+                if offset is None:
+                    offset = self._rng.randrange(max(n_bytes, 1))
+                return min(offset, n_bytes)
+            return n_bytes
 
     def on_read(self, data: bytes) -> bytes:
         """Account one read; possibly return it with one bit flipped."""
-        self._check_alive()
-        self.reads += 1
-        if self.flip_bit_at_read is not None and self.reads == self.flip_bit_at_read:
-            bit = self.flip_bit_index
-            if bit is None:
-                bit = self._rng.randrange(max(len(data) * 8, 1))
-            corrupted = bytearray(data)
-            corrupted[bit // 8] ^= 1 << (bit % 8)
-            return bytes(corrupted)
-        return data
+        with self._lock:
+            self._check_alive()
+            self.reads += 1
+            if not self._enabled:
+                return data
+            flip = (
+                self.flip_bit_at_read is not None
+                and self.reads == self.flip_bit_at_read
+            )
+            if not flip and self.read_flip_rate > 0.0:
+                flip = self._rng.random() < self.read_flip_rate
+            if flip:
+                bit = self.flip_bit_index
+                if bit is None:
+                    bit = self._rng.randrange(max(len(data) * 8, 1))
+                self.flips_injected += 1
+                corrupted = bytearray(data)
+                corrupted[bit // 8] ^= 1 << (bit % 8)
+                return bytes(corrupted)
+            return data
 
     def on_sync(self) -> bool:
         """Account one sync; False means the sync must be skipped."""
-        self._check_alive()
-        self.syncs += 1
-        if self.crash_at_sync is not None and self.syncs == self.crash_at_sync:
-            self.crash(f"crash at sync #{self.syncs}")
-        return not self.drop_syncs
+        with self._lock:
+            self._check_alive()
+            self.syncs += 1
+            if not self._enabled:
+                return True
+            if self.crash_at_sync is not None and self.syncs == self.crash_at_sync:
+                self._crash_locked(f"crash at sync #{self.syncs}")
+            return not self.drop_syncs
 
     def crash(self, reason: str) -> None:
         """Mark the plan crashed and raise :class:`InjectedCrash`."""
+        with self._lock:
+            self._crash_locked(reason)
+
+    def _crash_locked(self, reason: str) -> None:
         self.crashed = True
         raise InjectedCrash(reason)
 
     def _check_alive(self) -> None:
+        """Caller holds ``_lock``."""
         if self.crashed:
             raise InjectedCrash("process already crashed")
 

@@ -104,6 +104,9 @@ class NoKStore:
                 self.wal = WriteAheadLog(wal_path_for(path))
             self._decoded: Dict[int, _DecodedPage] = {}
             self.quarantined: Set[int] = set()
+            #: WAL-recovery outcome stamped by ``open_store`` (``None``
+            #: for freshly built stores) — the health model reads it
+            self.last_recovery = None
             self.buffer = BufferPool(
                 self.pager,
                 buffer_capacity,
@@ -154,6 +157,7 @@ class NoKStore:
         store.wal = wal
         store._decoded = {}
         store.quarantined = set()
+        store.last_recovery = None
         store.buffer = BufferPool(
             pager,
             buffer_capacity,
@@ -373,6 +377,23 @@ class NoKStore:
         with self.buffer.latched():
             self.quarantined.add(page_id)
             self._decoded.pop(page_id, None)
+
+    def clear_quarantine(self) -> Set[int]:
+        """Optimistically forget quarantined pages; returns what was held.
+
+        The circuit breaker's half-open probe calls this before a strict
+        re-read: transient corruption (a flipped bit on the read path, not
+        on disk) verifies clean the second time and the store heals; truly
+        rotten pages fail the probe and re-enter quarantine. Frames are
+        dropped for the cleared pages so the probe really re-reads them.
+        """
+        with self.buffer.latched():
+            cleared = set(self.quarantined)
+            self.quarantined.clear()
+            for page_id in cleared:
+                self.buffer.drop(page_id)
+                self._decoded.pop(page_id, None)
+            return cleared
 
     def _decode(self, data: bytes) -> _DecodedPage:
         header = PageHeader.unpack(data)

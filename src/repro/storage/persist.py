@@ -186,7 +186,7 @@ def open_store(
     ``None``.
     """
     catalog_path = catalog_path or catalog_path_for(path)
-    _recover(path, catalog_path)
+    recovery = _recover(path, catalog_path)
     catalog = _load_catalog(path, catalog_path)
     _validate_catalog(catalog, path)
 
@@ -286,9 +286,19 @@ def open_store(
         wal = WriteAheadLog(wal_path_for(path), fault_plan=fault_plan)
         # attach() validates too (labeling/document agreement) — it must
         # stay inside the guard or a failure leaks both descriptors.
-        return NoKStore.attach(
+        store = NoKStore.attach(
             doc, rebuilt, pager, headers, buffer_capacity, wal=wal
         )
+        # Stamp what recovery did so the serving layer's health model can
+        # report a store that came up through WAL replay/rollback.
+        store.last_recovery = {
+            "acted": recovery.acted,
+            "batches_replayed": recovery.batches_replayed,
+            "pages_replayed": recovery.pages_replayed,
+            "batches_rolled_back": recovery.batches_rolled_back,
+            "pages_rolled_back": recovery.pages_rolled_back,
+        }
+        return store
     except BaseException:
         pager.close()
         if wal is not None:
@@ -305,14 +315,45 @@ def fsck_store(path: str, catalog_path: str = None) -> List[str]:
     against the catalog, transition codes outside the codebook, and a
     WAL left with pending batches. An empty list means a clean store.
     """
+    return [f["message"] for f in fsck_report(path, catalog_path)["findings"]]
+
+
+def fsck_report(path: str, catalog_path: str = None) -> Dict[str, object]:
+    """Machine-readable fsck: the structured form behind :func:`fsck_store`.
+
+    The report carries everything ``verify-store --json``, the CI chaos
+    job, and the serving layer's health model need to act without string
+    parsing::
+
+        {"store": ..., "clean": bool, "checked_pages": N,
+         "corrupt_pages": [ids...], "wal_pending_batches": N,
+         "findings": [{"kind": ..., "page": id-or-None, "message": ...}]}
+
+    Finding kinds: ``catalog`` (catalog unusable — nothing else was
+    checkable), ``wal`` (pending or unreadable log), ``checksum``,
+    ``header``, ``entry``, ``count``.
+    """
     catalog_path = catalog_path or catalog_path_for(path)
-    findings: List[str] = []
+    findings: List[Dict[str, object]] = []
+    report: Dict[str, object] = {
+        "store": path,
+        "catalog": catalog_path,
+        "checked_pages": 0,
+        "corrupt_pages": [],
+        "wal_pending_batches": 0,
+        "findings": findings,
+    }
+
+    def finding(kind: str, message: str, page: Optional[int] = None) -> None:
+        findings.append({"kind": kind, "page": page, "message": message})
 
     try:
         catalog = _load_catalog(path, catalog_path)
         _validate_catalog(catalog, path)
     except StorageError as exc:
-        return [str(exc)]
+        finding("catalog", str(exc))
+        report["clean"] = False
+        return report
 
     page_size = catalog["page_size"]
     n_pages = catalog["n_pages"]
@@ -324,15 +365,17 @@ def fsck_store(path: str, catalog_path: str = None) -> List[str]:
         try:
             batches = WriteAheadLog.scan(wal_path)
         except StorageError as exc:
-            findings.append(str(exc))
+            finding("wal", str(exc))
             batches = []
         pending = [b for b in batches if b.pages or b.committed]
         if pending:
+            report["wal_pending_batches"] = len(pending)
             raise_note = sum(1 for b in pending if not b.committed)
-            findings.append(
+            finding(
+                "wal",
                 f"WAL holds {len(pending)} unapplied batch(es)"
                 + (f", {raise_note} uncommitted" if raise_note else "")
-                + " — open_store will recover them"
+                + " — open_store will recover them",
             )
 
     total_entries = 0
@@ -343,15 +386,19 @@ def fsck_store(path: str, catalog_path: str = None) -> List[str]:
             try:
                 verify_page_bytes(data, page_id)
             except PageCorruptionError as exc:
-                findings.append(str(exc))
+                finding("checksum", str(exc), page=page_id)
+                report["corrupt_pages"].append(page_id)
                 unreadable_pages += 1
                 continue
             header = PageHeader.unpack(data)
             if header.n_entries > per_page:
-                findings.append(
+                finding(
+                    "header",
                     f"page {page_id}: header claims {header.n_entries} "
-                    f"entries, capacity is {per_page}"
+                    f"entries, capacity is {per_page}",
+                    page=page_id,
                 )
+                report["corrupt_pages"].append(page_id)
                 unreadable_pages += 1
                 continue
             offset = HEADER_SIZE
@@ -361,22 +408,29 @@ def fsck_store(path: str, catalog_path: str = None) -> List[str]:
                 offset += ENTRY_SIZE
                 entries.append(entry)
                 if entry.is_transition and entry.code >= max(n_codes, 1):
-                    findings.append(
+                    finding(
+                        "entry",
                         f"page {page_id} entry {index}: transition code "
-                        f"{entry.code} outside the codebook ({n_codes} codes)"
+                        f"{entry.code} outside the codebook ({n_codes} codes)",
+                        page=page_id,
                     )
             expected = PageHeader.expected_for(entries)
             if header != expected:
-                findings.append(
+                finding(
+                    "header",
                     f"page {page_id}: stored header {header} disagrees with "
-                    f"its entries (implied {expected})"
+                    f"its entries (implied {expected})",
+                    page=page_id,
                 )
             total_entries += len(entries)
+    report["checked_pages"] = n_pages
     # Count drift is only an independent finding when every page was
     # parseable — otherwise it is just a consequence of the pages above.
     if not unreadable_pages and total_entries != catalog["n_nodes"]:
-        findings.append(
+        finding(
+            "count",
             f"pages hold {total_entries} entries but the catalog records "
-            f"{catalog['n_nodes']}"
+            f"{catalog['n_nodes']}",
         )
-    return findings
+    report["clean"] = not findings
+    return report

@@ -1,0 +1,135 @@
+"""The chaos matrix: seeded faults at every layer, no wrong answers ever.
+
+Each scenario stands up the full stack (store → service → TCP server →
+≥4 concurrent retrying clients) with a :class:`ChaosPlan` injecting
+storage, service, and network faults from one seed, then asserts the
+two resilience invariants:
+
+1. no client ever accepts a wrong answer — every response is a correct
+   Proposition-1 answer for its epoch, an explicitly-degraded *subset*
+   of it, or a structured error;
+2. the service reports ``healthy`` again after the faults stop.
+
+A failure message always carries the scenario's seed: rerun the single
+test id (or ``run_scenario`` with that seed) to reproduce the same
+fault distribution. Set ``CHAOS_REPORT_OUT=/path.json`` to dump every
+scenario's outcome report (CI uploads it as an artifact).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.chaos import ChaosScenario, run_scenario, scenario_matrix
+from repro.server.chaos import ChaosPlan, ChaosSpec
+
+SCENARIOS = scenario_matrix()
+
+_REPORTS = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def chaos_report_artifact():
+    """Dump per-scenario outcomes where CI can pick them up."""
+    yield
+    out = os.environ.get("CHAOS_REPORT_OUT")
+    if out and _REPORTS:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "scenarios": len(_REPORTS),
+                    "reports": _REPORTS,
+                },
+                handle,
+                indent=1,
+                default=str,
+            )
+
+
+def test_matrix_is_large_enough():
+    assert len(SCENARIOS) >= 25
+    assert all(s.n_clients >= 4 or s.with_updates for s in SCENARIOS)
+    layers = set()
+    for s in SCENARIOS:
+        if any(k == "read_flip_rate" for k in s.faults):
+            layers.add("storage")
+        if any(
+            k in ("latency_rate", "overload_rate", "snapshot_fail_rate",
+                  "disable_caches")
+            for k in s.faults
+        ):
+            layers.add("service")
+        if any(
+            k in ("drop_rate", "tear_rate", "slow_write_rate")
+            for k in s.faults
+        ):
+            layers.add("network")
+        if s.with_updates:
+            layers.add("updates")
+    assert layers == {"storage", "service", "network", "updates"}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_chaos_scenario(scenario, tmp_path):
+    report = run_scenario(scenario, str(tmp_path))
+    _REPORTS.append(report)
+    repro_hint = (
+        f"[reproduce: scenario {scenario.name!r}, seed {scenario.seed}]"
+    )
+    assert report["violations"] == [], (
+        f"wrong answers under chaos {repro_hint}: {report['violations']}"
+    )
+    assert report["recovered"], (
+        f"service did not heal after faults stopped {repro_hint}: "
+        f"health={report['health']}"
+    )
+    total = sum(report["outcomes"].values())
+    assert total > 0, f"no request ever succeeded {repro_hint}: {report}"
+
+
+def test_no_chaos_baseline(tmp_path):
+    """The harness itself passes with every fault rate at zero."""
+    scenario = ChaosScenario(name="baseline", seed=1, faults={})
+    report = run_scenario(scenario, str(tmp_path))
+    assert report["violations"] == []
+    assert report["errors"] == {}
+    assert report["outcomes"].get("degraded", 0) == 0
+    assert report["recovered"]
+
+
+def test_chaos_plan_is_seed_deterministic():
+    """Two plans from one seed make identical fault decisions."""
+    spec = ChaosSpec(
+        seed=42, latency_rate=0.3, overload_rate=0.2,
+        snapshot_fail_rate=0.1, drop_rate=0.2, tear_rate=0.1,
+        slow_write_rate=0.2, read_flip_rate=0.05,
+    )
+    a, b = ChaosPlan(spec), ChaosPlan(spec)
+    trace_a = [
+        (a.service_latency(), a.should_overload(), a.should_fail_snapshot(),
+         a.net_action())
+        for _ in range(200)
+    ]
+    trace_b = [
+        (b.service_latency(), b.should_overload(), b.should_fail_snapshot(),
+         b.net_action())
+        for _ in range(200)
+    ]
+    assert trace_a == trace_b
+    assert a.stats() == b.stats()
+
+
+def test_chaos_plan_disable_stops_everything():
+    spec = ChaosSpec(seed=7, latency_rate=1.0, overload_rate=1.0,
+                     drop_rate=1.0, disable_caches=True)
+    plan = ChaosPlan(spec)
+    assert plan.should_overload()
+    plan.disable()
+    assert not plan.should_overload()
+    assert plan.service_latency() == 0.0
+    assert plan.net_action() == "ok"
+    assert not plan.caches_disabled()
+    assert not plan.storage.enabled
+    plan.enable()
+    assert plan.should_overload()

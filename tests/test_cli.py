@@ -1,5 +1,7 @@
 """Tests for the repro-dol command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -219,3 +221,72 @@ class TestVerifyStore:
 
         os.remove(saved_store + ".catalog.json")
         assert main(["verify-store", saved_store]) == 1
+
+    def test_json_report_clean(self, saved_store, capsys):
+        assert main(["verify-store", saved_store, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["findings"] == []
+        assert report["corrupt_pages"] == []
+        assert report["checked_pages"] > 0
+        assert report["store"] == saved_store
+
+    def test_json_report_names_corrupt_pages(self, saved_store, capsys):
+        with open(saved_store, "r+b") as handle:
+            handle.seek(512 + 25)
+            byte = handle.read(1)
+            handle.seek(512 + 25)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["verify-store", saved_store, "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert 1 in report["corrupt_pages"]
+        kinds = {finding["kind"] for finding in report["findings"]}
+        assert "checksum" in kinds
+        assert all(
+            {"kind", "page", "message"} <= set(f) for f in report["findings"]
+        )
+
+
+class TestHealthCommand:
+    def test_probes_running_server(self, xmark_file, capsys):
+        from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
+        from repro.cli import _load_document
+        from repro.nok.engine import QueryEngine
+        from repro.server.netserver import serve
+        from repro.server.service import QueryService
+
+        doc = _load_document(xmark_file)
+        matrix = generate_synthetic_acl(
+            doc, SyntheticACLConfig(seed=1), n_subjects=2
+        )
+        engine = QueryEngine.build(doc, matrix, use_store=True)
+        service = QueryService(engine)
+        server = serve(service, host="127.0.0.1", port=0, background=True)
+        host, port = server.address
+        try:
+            code = main(
+                ["health", "--host", host, "--port", str(port), "--json"]
+            )
+            report = json.loads(capsys.readouterr().out)
+            assert code == 0
+            assert report["state"] == "healthy"
+            assert report["breaker"]["state"] == "closed"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            engine.store.close()
+
+    def test_unreachable_exits_2(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        code = main(
+            ["health", "--host", host, "--port", str(port), "--timeout", "0.5"]
+        )
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""The health state machine: breaker transitions and brownout tiers.
+
+Timestamps are passed explicitly wherever the API allows, so the
+transition tests are exact rather than sleep-based.
+"""
+
+import pytest
+
+from repro.server.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DEGRADED,
+    HEALTHY,
+    UNAVAILABLE,
+    CircuitBreaker,
+    HealthConfig,
+    HealthModel,
+)
+
+
+@pytest.fixture
+def config():
+    return HealthConfig(
+        corruption_trip=3, window_s=10.0, probe_interval_s=1.0,
+        min_samples=4, outcome_window=16, brownout_ratio=0.5,
+    )
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_within_window(self, config):
+        breaker = CircuitBreaker(config)
+        assert not breaker.record_corruption(now=0.0)
+        assert not breaker.record_corruption(now=1.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.record_corruption(now=2.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+
+    def test_old_events_expire(self, config):
+        breaker = CircuitBreaker(config)
+        breaker.record_corruption(now=0.0)
+        breaker.record_corruption(now=1.0)
+        # the first two fell out of the 10s window by now
+        assert not breaker.record_corruption(now=15.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_batch_count_trips_at_once(self, config):
+        breaker = CircuitBreaker(config)
+        assert breaker.record_corruption(count=3, now=0.0)
+        assert breaker.state == BREAKER_OPEN
+
+    def test_open_denies_strict_until_probe_interval(self, config):
+        breaker = CircuitBreaker(config)
+        breaker.record_corruption(count=3, now=0.0)
+        assert not breaker.allow_strict(now=0.5)
+        assert breaker.state == BREAKER_OPEN
+        # the caller crossing the interval becomes the half-open probe
+        assert breaker.allow_strict(now=1.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        # only one probe at a time
+        assert not breaker.allow_strict(now=1.1)
+
+    def test_probe_success_closes_and_clears(self, config):
+        breaker = CircuitBreaker(config)
+        breaker.record_corruption(count=3, now=0.0)
+        assert breaker.allow_strict(now=1.0)
+        breaker.record_probe_success()
+        assert breaker.state == BREAKER_CLOSED
+        # history cleared: tripping again needs a full window of events
+        assert not breaker.record_corruption(now=1.5)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_reopens_immediately(self, config):
+        breaker = CircuitBreaker(config)
+        breaker.record_corruption(count=3, now=0.0)
+        assert breaker.allow_strict(now=1.0)
+        assert breaker.record_corruption(now=1.1)
+        assert breaker.state == BREAKER_OPEN
+        # and the next probe waits a full interval from the failure
+        assert not breaker.allow_strict(now=1.5)
+        assert breaker.allow_strict(now=2.1)
+
+    def test_snapshot_shape(self, config):
+        breaker = CircuitBreaker(config)
+        snap = breaker.snapshot()
+        assert snap["state"] == BREAKER_CLOSED
+        assert snap["trips"] == 0
+        assert snap["recent_events"] == 0
+
+
+class TestHealthModel:
+    def test_healthy_by_default(self, config):
+        model = HealthModel(config)
+        assert model.state() == HEALTHY
+
+    def test_quarantine_degrades(self, config):
+        count = [0]
+        model = HealthModel(config, quarantine_count=lambda: count[0])
+        assert model.state() == HEALTHY
+        count[0] = 2
+        assert model.state() == DEGRADED
+        assert model.report()["quarantined_pages"] == 2
+
+    def test_open_breaker_degrades(self, config):
+        model = HealthModel(config)
+        model.record_corruption(count=3)
+        assert model.state() == DEGRADED
+        assert model.report()["breaker"]["state"] == BREAKER_OPEN
+
+    def test_wal_recovery_degrades_until_strict_success(self, config):
+        model = HealthModel(config, recovery={"acted": True, "pages_replayed": 2})
+        assert model.state() == DEGRADED
+        model.record_strict_success()
+        assert model.state() == HEALTHY
+        assert model.report()["wal_recovery"]["pages_replayed"] == 2
+
+    def test_clean_recovery_is_healthy(self, config):
+        model = HealthModel(config, recovery={"acted": False})
+        assert model.state() == HEALTHY
+
+    def test_error_rate_flips_unavailable(self, config):
+        model = HealthModel(config)
+        for _ in range(8):
+            model.record_outcome(False)
+        assert model.state() == UNAVAILABLE
+        # successes dilute the rate back under the threshold
+        for _ in range(8):
+            model.record_outcome(True)
+        assert model.state() == HEALTHY
+
+    def test_error_rate_needs_min_samples(self, config):
+        model = HealthModel(config)
+        model.record_outcome(False)
+        model.record_outcome(False)
+        assert model.state() == HEALTHY  # 2 < min_samples=4
+
+    def test_brownout_tiers_scale_with_admission(self, config):
+        model = HealthModel(config)  # brownout_ratio=0.5
+        assert model.brownout_tier(0, 10) == 0
+        assert model.brownout_tier(4, 10) == 0
+        assert model.brownout_tier(5, 10) == 1  # >= 50%
+        assert model.brownout_tier(7, 10) == 1
+        assert model.brownout_tier(8, 10) == 2  # >= 75% (midway to full)
+        assert model.brownout_tier(10, 10) == 2
+
+    def test_brownout_state_is_degraded(self, config):
+        model = HealthModel(config)
+        assert model.state(inflight=6, limit=10) == DEGRADED
+        assert model.state(inflight=0, limit=10) == HEALTHY
+
+    def test_tripped_breaker_forces_cache_shedding(self, config):
+        model = HealthModel(config)
+        model.record_corruption(count=3)
+        # idle service, but a possibly-corrupt store must not populate
+        # shared caches
+        assert model.brownout_tier(0, 10) == 1

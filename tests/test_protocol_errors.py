@@ -1,0 +1,104 @@
+"""Error serialization round-trips for every ReproError subclass.
+
+Parameterized over the protocol's own ``ERROR_REGISTRY`` (itself built
+by introspecting :mod:`repro.errors`), so adding an error class
+automatically adds its round-trip coverage — a class that cannot cross
+the wire faithfully fails here, not in production.
+"""
+
+import json
+
+import pytest
+
+from repro import errors as errors_module
+from repro.errors import (
+    BadRequest,
+    ConnectionFailed,
+    PageCorruptionError,
+    ReproError,
+    RetryBudgetExhausted,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.server.protocol import (
+    ERROR_REGISTRY,
+    bad_request_response,
+    decode_error,
+    encode_error,
+    encode_response,
+    is_retriable,
+)
+
+REGISTRY_ITEMS = sorted(ERROR_REGISTRY.items())
+
+
+def test_registry_covers_the_module():
+    """Every ReproError subclass defined in repro.errors is registered."""
+    declared = {
+        name
+        for name, obj in vars(errors_module).items()
+        if isinstance(obj, type) and issubclass(obj, ReproError)
+    }
+    assert declared <= set(ERROR_REGISTRY)
+    assert "ReproError" in ERROR_REGISTRY
+
+
+@pytest.mark.parametrize("name,cls", REGISTRY_ITEMS, ids=[n for n, _ in REGISTRY_ITEMS])
+def test_round_trip_preserves_type_message_retriability(name, cls):
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, f"synthetic {name} for the wire")
+    payload = encode_error(exc)
+    assert payload["ok"] is False
+    assert payload["error"] == name
+    assert payload["retriable"] == bool(getattr(cls, "retriable", False))
+    # through actual bytes, as the server would send it
+    line = encode_response(payload)
+    decoded = decode_error(json.loads(line))
+    assert type(decoded) is cls
+    assert str(decoded) == f"synthetic {name} for the wire"
+    assert is_retriable(decoded) == payload["retriable"]
+
+
+@pytest.mark.parametrize("name,cls", REGISTRY_ITEMS, ids=[n for n, _ in REGISTRY_ITEMS])
+def test_registry_retriability_matches_class_attribute(name, cls):
+    assert is_retriable(name) == bool(getattr(cls, "retriable", False))
+
+
+class TestTaxonomy:
+    """The retry classes the client's loop depends on."""
+
+    def test_retriable_errors(self):
+        assert ServiceOverloaded(1, 1).retriable
+        assert ServiceUnavailable().retriable
+        assert ConnectionFailed("reset").retriable
+        assert PageCorruptionError(3, "crc").retriable
+
+    def test_terminal_errors(self):
+        assert not BadRequest("nope").retriable
+        assert not ServiceTimeout(1.0).retriable
+        assert not ServiceError("boom").retriable
+        assert not RetryBudgetExhausted(5).retriable
+
+    def test_unknown_wire_name_is_terminal(self):
+        assert not is_retriable("TotallyMadeUpError")
+        payload = {"ok": False, "error": "TotallyMadeUpError", "message": "x"}
+        decoded = decode_error(payload)
+        assert type(decoded) is ServiceError
+        assert not is_retriable(decoded)
+
+    def test_service_timeout_message_carries_queue_wait(self):
+        exc = ServiceTimeout(2.0, waited=1.75)
+        assert "2s" in str(exc)
+        assert "1.750s" in str(exc)
+        assert "waiting" in str(exc)
+
+    def test_bad_request_response_shape(self):
+        payload = bad_request_response("frame too large")
+        assert payload == {
+            "ok": False,
+            "error": "BadRequest",
+            "message": "frame too large",
+            "retriable": False,
+        }

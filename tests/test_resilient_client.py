@@ -1,0 +1,232 @@
+"""The retrying client against a scripted misbehaving server.
+
+A tiny in-process TCP server plays back a script of per-request
+actions — answer ok, answer a structured error, drop the connection,
+tear the frame, hang — so every branch of the client's retry loop is
+exercised deterministically, without the chaos harness's randomness.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    ConnectionFailed,
+    RetryBudgetExhausted,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+from repro.server.client import ResilientClient, RetryPolicy
+from repro.server.protocol import encode_error, encode_response
+
+FAST = RetryPolicy(
+    max_attempts=4, base_delay_s=0.005, max_delay_s=0.02, deadline_s=5.0
+)
+
+
+class ScriptedServer:
+    """Replays one scripted action per received request line."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.received = []
+        self._closed = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.1)
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._closed:
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                self._serve_connection(conn)
+
+    def _serve_connection(self, conn):
+        reader = conn.makefile("rb")
+        while not self._closed:
+            conn.settimeout(0.5)
+            try:
+                line = reader.readline()
+            except OSError:
+                return
+            if not line:
+                return
+            self.received.append(json.loads(line))
+            action = self.script.pop(0) if self.script else "ok"
+            if action == "ok":
+                conn.sendall(encode_response({"ok": True, "pong": True}))
+            elif action == "drop":
+                return  # close without answering
+            elif action == "tear":
+                payload = encode_response({"ok": True, "pong": True})
+                conn.sendall(payload[: len(payload) // 2])
+                return
+            elif action == "garbage":
+                conn.sendall(b"%%% not json %%%\n")
+            elif action == "hang":
+                time.sleep(1.0)
+                return
+            else:  # an error class name
+                exc = ServiceOverloaded(9, 9) if action == "ServiceOverloaded" \
+                    else BadRequest("scripted bad request")
+                conn.sendall(encode_response(encode_error(exc)))
+
+    def close(self):
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=2)
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def start(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestRetryLoop:
+    def test_retries_retriable_then_succeeds(self, scripted):
+        server = scripted(["ServiceOverloaded", "ServiceOverloaded", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            assert client.ping()
+        assert client.stats["retries"] == 2
+        assert client.stats["successes"] == 1
+        assert len(server.received) == 3
+
+    def test_terminal_error_raises_without_retry(self, scripted):
+        server = scripted(["BadRequest"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            with pytest.raises(BadRequest):
+                client.request({"op": "wat"})
+        assert client.stats["retries"] == 0
+        assert len(server.received) == 1
+
+    def test_reconnects_after_connection_drop(self, scripted):
+        server = scripted(["drop", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            assert client.ping()
+        assert client.stats["reconnects"] == 2
+        assert client.stats["retries"] == 1
+
+    def test_torn_frame_reconnects_and_retries(self, scripted):
+        server = scripted(["tear", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            assert client.ping()
+        assert client.stats["reconnects"] == 2
+
+    def test_garbage_frame_is_connection_failure(self, scripted):
+        server = scripted(["garbage", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            assert client.ping()
+        assert client.stats["retries"] == 1
+
+    def test_deadline_becomes_service_timeout(self, scripted):
+        server = scripted(["hang", "hang", "hang", "hang"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            started = time.monotonic()
+            with pytest.raises(ServiceTimeout):
+                client.ping(deadline_s=0.3)
+            assert time.monotonic() - started < 2.0
+
+    def test_deadline_rides_in_the_request(self, scripted):
+        server = scripted(["ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            client.ping(deadline_s=3.0)
+        assert 0 < server.received[0]["timeout"] <= 3.0
+
+    def test_remaining_deadline_shrinks_across_retries(self, scripted):
+        server = scripted(["drop", "drop", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            client.ping(deadline_s=5.0)
+        timeouts = [r["timeout"] for r in server.received]
+        assert timeouts == sorted(timeouts, reverse=True)
+
+    def test_retry_budget_exhausts(self, scripted):
+        server = scripted(["ServiceOverloaded"] * 10)
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=0.001, max_delay_s=0.002,
+            retry_budget=2.0,
+        )
+        with ResilientClient(*server.address, policy=policy) as client:
+            with pytest.raises(RetryBudgetExhausted):
+                client.ping()
+        # first try + 2 budgeted retries
+        assert len(server.received) == 3
+
+    def test_connect_refused_is_connection_failed(self):
+        # bind-then-close guarantees a dead port
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.001, max_delay_s=0.002,
+            connect_timeout_s=0.2,
+        )
+        with ResilientClient(host, port, policy=policy) as client:
+            with pytest.raises(ConnectionFailed):
+                client.ping(deadline_s=1.0)
+
+
+class TestIdempotency:
+    def test_update_not_retried_across_connection_failure(self, scripted):
+        server = scripted(["drop", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            with pytest.raises(ConnectionFailed) as info:
+                client.update("subject_range", 0, 5, subject=1, value=False)
+            assert info.value.request_sent
+        # the update reached the wire once and was never resent
+        assert len(server.received) == 1
+
+    def test_update_retried_on_pre_execution_shed(self, scripted):
+        server = scripted(["ServiceOverloaded", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            response = client.update(
+                "subject_range", 0, 5, subject=1, value=False
+            )
+        assert response["ok"]
+        assert len(server.received) == 2
+
+    def test_query_is_retried_across_connection_failure(self, scripted):
+        server = scripted(["drop", "ok"])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            assert client.request({"op": "ping"})["ok"]
+        assert len(server.received) == 2
+
+
+class TestBudgetAccounting:
+    def test_successes_refund_the_budget(self, scripted):
+        server = scripted(["ServiceOverloaded", "ok", "ok"])
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=0.001, max_delay_s=0.002,
+            retry_budget=5.0, budget_refund=0.5,
+        )
+        with ResilientClient(*server.address, policy=policy) as client:
+            client.ping()  # spends 1.0, refunds 0.5
+            assert client.retry_budget_left == pytest.approx(4.5)
+            client.ping()  # refunds up to the cap
+            assert client.retry_budget_left == pytest.approx(5.0)

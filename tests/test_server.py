@@ -19,8 +19,14 @@ from repro.errors import (
     ServiceTimeout,
 )
 from repro.nok.engine import QueryEngine
+from repro.server.chaos import ChaosPlan, ChaosSpec
+from repro.server.health import HealthConfig
 from repro.server.netserver import serve
-from repro.server.protocol import decode_request, encode_response
+from repro.server.protocol import (
+    MAX_REQUEST_BYTES,
+    decode_request,
+    encode_response,
+)
 from repro.server.service import QueryService, ServiceConfig
 
 
@@ -142,17 +148,122 @@ class TestHandleDispatch:
         assert response["n_answers"] == 1  # subject 1 lost one name
 
     def test_errors_are_in_band(self, service):
-        assert service.handle({"op": "query"})["error"] == "ServiceError"
-        assert service.handle({"op": "wat"})["error"] == "ServiceError"
-        assert service.handle([])["error"] == "ServiceError"
+        assert service.handle({"op": "query"})["error"] == "BadRequest"
+        assert service.handle({"op": "wat"})["error"] == "BadRequest"
+        assert service.handle([])["error"] == "BadRequest"
         response = service.handle(
             {"op": "update", "kind": "range_mask", "start": 0, "end": 1}
         )
         assert response["error"] == "ServiceError"
+        # every in-band error advertises its retry class
+        assert response["retriable"] is False
 
     def test_metrics_op(self, service):
         response = service.handle({"op": "metrics"})
         assert response["ok"] and "requests" in response["metrics"]
+
+    def test_health_op(self, service):
+        response = service.handle({"op": "health"})
+        assert response["ok"]
+        assert response["health"]["state"] == "healthy"
+        assert response["health"]["breaker"]["state"] == "closed"
+
+
+class TestQueueWaitDeadline:
+    def test_deadline_burned_in_queue_never_runs(self, engine):
+        """A request that spends its whole deadline waiting for a worker
+        raises ServiceTimeout without executing, and the wait shows up
+        in metrics."""
+        svc = QueryService(engine, ServiceConfig(workers=1, queue_depth=2))
+        release = threading.Event()
+        started = threading.Event()
+        ran = threading.Event()
+
+        def stall():
+            started.set()
+            release.wait(timeout=10)
+            return {}
+
+        blocker = threading.Thread(target=lambda: svc._submit(stall, timeout=10))
+        blocker.start()
+        try:
+            assert started.wait(timeout=5)
+            with pytest.raises(ServiceTimeout):
+                svc._submit(lambda: ran.set() or {}, timeout=0.15)
+        finally:
+            release.set()
+            blocker.join()
+        # let the pool drain the queued entry: it must decline to run it
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if svc.metrics()["timeouts_in_queue"] == 1:
+                break
+            time.sleep(0.01)
+        metrics = svc.metrics()
+        svc.close()
+        assert not ran.is_set()
+        assert metrics["timeouts_in_queue"] == 1
+        assert metrics["timeouts"] == 1
+        assert metrics["queue_wait_max"] >= 0.15
+
+    def test_fast_path_records_negligible_queue_wait(self, service):
+        service.evaluate("//item/name", subject=0)
+        metrics = service.metrics()
+        assert metrics["queue_wait_mean"] < 1.0
+        assert metrics["timeouts_in_queue"] == 0
+
+
+class TestResilientServing:
+    def _service(self, engine, **health_kwargs):
+        config = HealthConfig(**health_kwargs)
+        # cache opt-ins shed: every evaluation must actually read pages,
+        # so quarantine effects are visible to each request
+        chaos = ChaosPlan(ChaosSpec(seed=0, disable_caches=True))
+        svc = QueryService(
+            engine, ServiceConfig(workers=1), chaos=chaos,
+            health_config=config,
+        )
+        return svc
+
+    def test_degraded_answer_on_quarantined_pages(self, engine):
+        svc = self._service(engine, corruption_trip=10, probe_interval_s=60.0)
+        # rate-limit the closed-state reverify so the quarantine sticks
+        svc._last_quarantine_probe = time.monotonic()
+        try:
+            full = svc.evaluate("//item/name", subject=0)
+            assert full["degraded"] is False
+            engine.store.quarantined.update(range(1024))
+            body = svc.evaluate("//item/name", subject=0)
+            assert body["degraded"] is True
+            # degraded answers are subsets of the accessible nodes
+            assert set(body["positions"]) <= set(full["positions"])
+            assert svc.health_report()["state"] == "degraded"
+            assert svc.metrics()["degraded_served"] == 1
+        finally:
+            engine.store.clear_quarantine()
+            svc.close()
+
+    def test_breaker_trips_then_probe_heals(self, engine):
+        svc = self._service(engine, corruption_trip=1, probe_interval_s=0.05)
+        svc._last_quarantine_probe = time.monotonic()
+        try:
+            engine.store.quarantined.update(range(1024))
+            first = svc.evaluate("//item/name", subject=0)
+            assert first["degraded"] is True
+            assert svc.health.breaker.state == "open"
+            # still inside the probe interval: served degraded, no probe
+            second = svc.evaluate("//item/name", subject=0)
+            assert second["degraded"] is True
+            # past the interval the next request probes: the quarantine
+            # was transient (the disk is actually fine), so it heals
+            time.sleep(0.06)
+            third = svc.evaluate("//item/name", subject=0)
+            assert third["degraded"] is False
+            assert svc.health.breaker.state == "closed"
+            assert svc.health_report()["state"] == "healthy"
+            assert len(engine.store.quarantined) == 0
+        finally:
+            svc.close()
 
 
 class TestProtocol:
@@ -208,6 +319,29 @@ class TestWireServer:
                 conn.sendall(b"this is not json\n")
                 response = json.loads(reader.readline())
                 assert response["ok"] is False
+                conn.sendall(encode_response({"op": "ping"}))
+                assert json.loads(reader.readline())["pong"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_oversized_frame_answered_in_band(self, service):
+        server = serve(service, host="127.0.0.1", port=0, background=True)
+        host, port = server.address
+        try:
+            with socket.create_connection((host, port), timeout=10) as conn:
+                reader = conn.makefile("rb")
+                huge = (
+                    b'{"op":"query","query":"'
+                    + b"a" * MAX_REQUEST_BYTES
+                    + b'"}\n'
+                )
+                conn.sendall(huge)
+                response = json.loads(reader.readline())
+                assert response["ok"] is False
+                assert response["error"] == "BadRequest"
+                assert "exceeds" in response["message"]
+                # the connection survives the abuse
                 conn.sendall(encode_response({"op": "ping"}))
                 assert json.loads(reader.readline())["pong"]
         finally:
