@@ -170,11 +170,18 @@ def _check_response(
     return None
 
 
-def run_scenario(scenario: ChaosScenario, workdir: str) -> Dict[str, Any]:
+def run_scenario(
+    scenario: ChaosScenario, workdir: str, server: str = "thread"
+) -> Dict[str, Any]:
     """Run one scenario end to end; returns its outcome report.
 
     ``report["violations"]`` empty and ``report["recovered"]`` True is
     the pass condition; everything else is observability.
+
+    ``server`` selects the front end under test: ``"thread"`` is the
+    socketserver NDJSON v1 stack, ``"async"`` the asyncio server — same
+    service, same chaos plan, so the drop/tear/slow faults exercise the
+    async write path with the identical seeded distribution.
     """
     store_path = f"{workdir}/chaos.db"
     _build_saved_store(store_path, scenario)
@@ -200,8 +207,13 @@ def run_scenario(scenario: ChaosScenario, workdir: str) -> Dict[str, Any]:
         chaos=chaos,
         health_config=health_config,
     )
-    server = serve(service, host="127.0.0.1", port=0, background=True)
-    host, port = server.address
+    if server == "async":
+        from repro.server.aserver import serve_async
+
+        front = serve_async(service, host="127.0.0.1", port=0, chaos=chaos)
+    else:
+        front = serve(service, host="127.0.0.1", port=0, background=True)
+    host, port = front.address
 
     violations: List[str] = []
     outcomes: Dict[str, int] = {"ok": 0, "degraded": 0}
@@ -313,6 +325,7 @@ def run_scenario(scenario: ChaosScenario, workdir: str) -> Dict[str, Any]:
     report = {
         "scenario": scenario.name,
         "seed": scenario.seed,
+        "server": server,
         "violations": violations,
         "outcomes": outcomes,
         "errors": errors,
@@ -322,8 +335,9 @@ def run_scenario(scenario: ChaosScenario, workdir: str) -> Dict[str, Any]:
         "health": service.health_report(),
     }
 
-    server.shutdown()
-    server.server_close()
+    front.shutdown()
+    if server != "async":
+        front.server_close()
     service.close()
     store.close()
     return report

@@ -1,0 +1,463 @@
+"""Serving load generator — the payload behind ``BENCH_serving.json``.
+
+Drives a running server (threaded NDJSON v1 or asyncio v2) with an
+**open-loop** arrival process: request start times are drawn from a
+seeded exponential inter-arrival distribution *in advance*, so a slow
+server cannot slow down the offered load — queueing shows up as latency,
+exactly as it would with real independent clients. Subjects are drawn
+per-request from the PR 6 population model
+(:func:`~repro.bench.classes.simulated_user_sets`: thousands of users,
+each a small set of group ids), so the server sees the class-collapse
+workload, not one hot subject.
+
+Per profile the generator records a latency histogram (p50/p95/p99,
+mean, max), throughput, an error breakdown by taxonomy name, and — for
+streamed profiles — time-to-first-fragment, the number protocol v2
+exists to improve. A follow-up measurement streams the *largest* query
+once and reports its time-to-first-fragment against its full-answer
+latency.
+
+:func:`gate_serving_report` is the machine-independent regression gate
+(the CI serving-load job calls it): it compares throughput *ratios*
+between protocols at equal connection counts and checks
+time-to-first-fragment beats full-answer latency on the largest query —
+no wall-clock thresholds, so the gate transfers across machines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.classes import simulated_user_sets
+from repro.bench.reporting import serving_stamp
+from repro.server.protocol import encode_response
+
+__all__ = [
+    "LOAD_QUERIES",
+    "LoadProfile",
+    "run_profile",
+    "run_serving_benchmark",
+    "gate_serving_report",
+]
+
+#: the workload mix (LiveLink surrogate documents are homogeneous
+#: ``item`` trees); "largest" is the full scan every gate measures
+LOAD_QUERIES: Dict[str, str] = {
+    "scan": "//item",
+    "chain": "//item/item",
+    "join": "//item//item",
+}
+
+LARGEST_QUERY = "//item"
+
+#: response-line limit for the generator's raw connections
+_LIMIT = 16 << 20
+
+
+@dataclass
+class LoadProfile:
+    """One measured point: a protocol, a connection count, an offered load."""
+
+    protocol: int = 2
+    connections: int = 8
+    #: total requests offered (the run ends when all have completed)
+    requests: int = 200
+    #: offered load in requests/second (open-loop Poisson arrivals)
+    arrival_rate_hz: float = 400.0
+    #: v2 only: issue framed streams instead of single-reply queries
+    stream: bool = False
+    seed: int = 0
+    #: per-request deadline carried in the request
+    timeout_s: float = 30.0
+    queries: Sequence[str] = field(
+        default_factory=lambda: list(LOAD_QUERIES.values())
+    )
+
+
+class _Histogram:
+    """Latency samples (seconds in, milliseconds out)."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"n": 0}
+        ordered = sorted(self.samples)
+
+        def pct(p: float) -> float:
+            index = min(len(ordered) - 1, int(p * len(ordered)))
+            return ordered[index] * 1000.0
+
+        return {
+            "n": len(ordered),
+            "mean_ms": sum(ordered) / len(ordered) * 1000.0,
+            "p50_ms": pct(0.50),
+            "p95_ms": pct(0.95),
+            "p99_ms": pct(0.99),
+            "max_ms": ordered[-1] * 1000.0,
+        }
+
+
+class _Conn:
+    """One raw NDJSON connection, protocol-versioned.
+
+    v1 runs one request at a time (the protocol is sequential); v2
+    hellos once, then multiplexes — concurrent callers tag requests with
+    ids and a demux loop routes frames back, which is exactly the
+    multiplexing advantage the benchmark exists to measure.
+    """
+
+    def __init__(self, protocol: int):
+        self.protocol = protocol
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()  # v1: serialize exchanges
+        self._next_id = 0
+        self._routes: Dict[int, asyncio.Queue] = {}
+        self._demux: Optional[asyncio.Task] = None
+
+    async def open(self, host: str, port: int) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port, limit=_LIMIT
+        )
+        if self.protocol >= 2:
+            self._writer.write(encode_response({"op": "hello", "version": 2}))
+            await self._writer.drain()
+            hello = await self._reader.readline()
+            if not hello:
+                raise ConnectionError("no hello response")
+            self._demux = asyncio.get_running_loop().create_task(
+                self._demux_loop()
+            )
+
+    async def close(self) -> None:
+        if self._demux is not None:
+            self._demux.cancel()
+            try:
+                await self._demux
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _demux_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            frame = json.loads(line.decode("utf-8"))
+            queue = self._routes.get(frame.get("id"))
+            if queue is not None:
+                queue.put_nowait(frame)
+
+    # -- request shapes ------------------------------------------------------
+
+    async def request_v1(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._reader is not None and self._writer is not None
+        async with self._lock:
+            self._writer.write(encode_response(request))
+            await self._writer.drain()
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("connection closed mid-exchange")
+            return json.loads(line.decode("utf-8"))
+
+    def _route(self) -> Tuple[int, asyncio.Queue]:
+        self._next_id += 1
+        queue: asyncio.Queue = asyncio.Queue()
+        self._routes[self._next_id] = queue
+        return self._next_id, queue
+
+    async def request_v2(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._writer is not None
+        rid, queue = self._route()
+        try:
+            wire = dict(request)
+            wire["id"] = rid
+            self._writer.write(encode_response(wire))
+            await self._writer.drain()
+            return await queue.get()
+        finally:
+            self._routes.pop(rid, None)
+
+    async def stream_v2(
+        self, request: Dict[str, Any]
+    ) -> Tuple[Optional[float], Optional[float], Optional[str]]:
+        """Issue one framed stream; returns (ttff_s, total_s, error_name),
+        times measured from the call."""
+        assert self._writer is not None
+        rid, queue = self._route()
+        started = monotonic()
+        ttff: Optional[float] = None
+        try:
+            wire = dict(request)
+            wire["id"] = rid
+            wire["stream"] = True
+            self._writer.write(encode_response(wire))
+            await self._writer.drain()
+            while True:
+                frame = await queue.get()
+                kind = frame.get("frame")
+                if kind == "fragment" and ttff is None:
+                    ttff = monotonic() - started
+                elif kind == "end":
+                    return ttff, monotonic() - started, None
+                elif kind == "error":
+                    return ttff, monotonic() - started, str(
+                        frame.get("error")
+                    )
+        finally:
+            self._routes.pop(rid, None)
+
+
+async def _run_profile_async(
+    host: str,
+    port: int,
+    profile: LoadProfile,
+    users: Sequence[Tuple[int, ...]],
+) -> Dict[str, Any]:
+    rng = random.Random(profile.seed)
+    conns = [_Conn(profile.protocol) for _ in range(profile.connections)]
+    await asyncio.gather(*(c.open(host, port) for c in conns))
+
+    # Draw the whole arrival schedule up front: open-loop means the
+    # offered load never adapts to server slowness.
+    gap = 1.0 / max(profile.arrival_rate_hz, 1e-9)
+    arrivals: List[float] = []
+    t = 0.0
+    for _ in range(profile.requests):
+        t += rng.expovariate(1.0 / gap) if gap > 0 else 0.0
+        arrivals.append(t)
+
+    latency = _Histogram()
+    ttff_hist = _Histogram()
+    errors: Dict[str, int] = {}
+    completed = 0
+    t0 = monotonic()
+
+    async def one(index: int, arrival: float) -> None:
+        nonlocal completed
+        due = t0 + arrival
+        delay = due - monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        conn = conns[index % len(conns)]
+        subject = list(rng.choice(users))
+        query = rng.choice(list(profile.queries))
+        request = {
+            "op": "query",
+            "query": query,
+            "subject": subject,
+            "timeout": profile.timeout_s,
+        }
+        started = monotonic()
+        try:
+            if profile.protocol >= 2 and profile.stream:
+                ttff, total, error = await conn.stream_v2(request)
+                if error is not None:
+                    errors[error] = errors.get(error, 0) + 1
+                    return
+                if ttff is not None:
+                    ttff_hist.add(ttff)
+                latency.add(total if total is not None else 0.0)
+                completed += 1
+                return
+            if profile.protocol >= 2:
+                response = await conn.request_v2(request)
+            else:
+                response = await conn.request_v1(request)
+            if response.get("ok"):
+                latency.add(monotonic() - started)
+                completed += 1
+            else:
+                name = str(response.get("error"))
+                errors[name] = errors.get(name, 0) + 1
+        except (ConnectionError, OSError, ValueError) as exc:
+            name = type(exc).__name__
+            errors[name] = errors.get(name, 0) + 1
+
+    await asyncio.gather(
+        *(one(i, arrival) for i, arrival in enumerate(arrivals))
+    )
+    elapsed = monotonic() - t0
+    await asyncio.gather(*(c.close() for c in conns))
+
+    entry: Dict[str, Any] = {
+        "stream": profile.stream,
+        "requests": profile.requests,
+        "completed": completed,
+        "errors": errors,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(completed / elapsed, 2) if elapsed else 0.0,
+        "latency": latency.summary(),
+    }
+    if profile.stream:
+        entry["ttff"] = ttff_hist.summary()
+    entry.update(
+        serving_stamp(
+            protocol=profile.protocol,
+            connections=profile.connections,
+            arrival_rate_hz=profile.arrival_rate_hz,
+        )
+    )
+    return entry
+
+
+def run_profile(
+    host: str,
+    port: int,
+    profile: LoadProfile,
+    users: Sequence[Tuple[int, ...]],
+) -> Dict[str, Any]:
+    """Run one load profile to completion (blocking facade)."""
+    return asyncio.run(_run_profile_async(host, port, profile, users))
+
+
+async def _measure_largest_async(
+    host: str, port: int, subject: Sequence[int], timeout_s: float = 30.0
+) -> Dict[str, Any]:
+    """Stream the largest query once: ttff vs full-answer latency."""
+    conn = _Conn(2)
+    await conn.open(host, port)
+    try:
+        ttff, total, error = await conn.stream_v2(
+            {
+                "op": "query",
+                "query": LARGEST_QUERY,
+                "subject": list(subject),
+                "timeout": timeout_s,
+            }
+        )
+    finally:
+        await conn.close()
+    return {
+        "query": LARGEST_QUERY,
+        "error": error,
+        "ttff_ms": round(ttff * 1000.0, 3) if ttff is not None else None,
+        "full_ms": round(total * 1000.0, 3) if total is not None else None,
+    }
+
+
+def measure_largest(
+    host: str, port: int, subject: Sequence[int], timeout_s: float = 30.0
+) -> Dict[str, Any]:
+    return asyncio.run(_measure_largest_async(host, port, subject, timeout_s))
+
+
+def run_serving_benchmark(
+    v1_address: Tuple[str, int],
+    v2_address: Tuple[str, int],
+    n_users: int = 2000,
+    n_groups: int = 16,
+    connections: Sequence[int] = (8, 64),
+    requests: int = 200,
+    arrival_rate_hz: float = 400.0,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """The full measurement matrix behind ``BENCH_serving.json``.
+
+    For every connection count: protocol v1 single-frame against the
+    first server, protocol v2 replies *and* v2 framed streams against
+    the second, all with the same seeded arrival schedule and user
+    population; plus the largest-query ttff measurement on v2.
+    """
+    users = simulated_user_sets(n_users, n_groups, seed=seed)
+    profiles: List[Dict[str, Any]] = []
+    for n_conns in connections:
+        for protocol, stream, (host, port) in (
+            (1, False, v1_address),
+            (2, False, v2_address),
+            (2, True, v2_address),
+        ):
+            profile = LoadProfile(
+                protocol=protocol,
+                connections=n_conns,
+                requests=requests,
+                arrival_rate_hz=arrival_rate_hz,
+                stream=stream,
+                seed=seed,
+            )
+            profiles.append(run_profile(host, port, profile, users))
+    # full-access subject: every group (rights are the union)
+    largest = measure_largest(
+        v2_address[0], v2_address[1], list(range(n_groups))
+    )
+    return {
+        "n_users": n_users,
+        "n_groups": n_groups,
+        "requests_per_profile": requests,
+        "profiles": profiles,
+        "largest_query": largest,
+    }
+
+
+def gate_serving_report(
+    report: Dict[str, Any],
+    min_throughput_ratio: float = 0.9,
+    min_completion_ratio: float = 0.5,
+) -> List[str]:
+    """Machine-independent regression gates; returns human-readable
+    problems (empty = pass).
+
+    - at every connection count >= 64, v2 reply throughput must be at
+      least ``min_throughput_ratio`` of v1's (the ratio transfers across
+      machines; the default leaves headroom for scheduler noise — the
+      claim guarded is "multiplexing does not lose to one-at-a-time",
+      not a microbenchmark ordering);
+    - on the largest query, time-to-first-fragment must beat the
+      full-answer latency — the bounded-memory streaming claim;
+    - every profile must complete at least ``min_completion_ratio`` of
+      its offered requests (shed/error storms fail the gate).
+    """
+    problems: List[str] = []
+    by_key: Dict[Tuple[int, int, bool], Dict[str, Any]] = {}
+    for entry in report.get("profiles", []):
+        key = (entry["protocol"], entry["connections"], entry["stream"])
+        by_key[key] = entry
+        offered = entry.get("requests", 0)
+        done = entry.get("completed", 0)
+        if offered and done / offered < min_completion_ratio:
+            problems.append(
+                f"profile {key}: only {done}/{offered} requests completed"
+            )
+    conn_counts = sorted({k[1] for k in by_key})
+    for n_conns in conn_counts:
+        if n_conns < 64:
+            continue
+        v1 = by_key.get((1, n_conns, False))
+        v2 = by_key.get((2, n_conns, False))
+        if v1 is None or v2 is None:
+            continue
+        v1_rps = v1.get("throughput_rps", 0.0)
+        v2_rps = v2.get("throughput_rps", 0.0)
+        if v1_rps > 0 and v2_rps < min_throughput_ratio * v1_rps:
+            problems.append(
+                f"v2 throughput {v2_rps} < {min_throughput_ratio} x v1 "
+                f"{v1_rps} at {n_conns} connections"
+            )
+    largest = report.get("largest_query") or {}
+    ttff, full = largest.get("ttff_ms"), largest.get("full_ms")
+    if largest.get("error"):
+        problems.append(f"largest query errored: {largest['error']}")
+    elif ttff is None or full is None:
+        problems.append("largest query produced no ttff/full measurement")
+    elif ttff >= full:
+        problems.append(
+            f"ttff {ttff}ms did not beat full-answer latency {full}ms "
+            f"on the largest query"
+        )
+    return problems

@@ -1,15 +1,34 @@
-"""Plain-text table rendering for benchmark output.
+"""Plain-text table rendering and report stamping for benchmark output.
 
 Every reproduced figure/table prints through these helpers so the bench
 logs read like the paper's tables: a caption, aligned columns, one row per
-measured point.
+measured point. :func:`serving_stamp` is the shared identity block for
+serving measurements, so BENCH_serving.json snapshots taken across PRs
+stay comparable point-by-point.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import Any, Dict, Iterable, List, Sequence, Union
 
 Cell = Union[str, int, float]
+
+
+def serving_stamp(
+    protocol: int, connections: int, arrival_rate_hz: float
+) -> Dict[str, Any]:
+    """The identity block every serving-benchmark entry carries.
+
+    A measured point is only comparable to another taken under the same
+    protocol version, connection count, and offered load; stamping the
+    three into each entry lets trajectory tooling join snapshots across
+    BENCH_serving.json revisions by key instead of by list position.
+    """
+    return {
+        "protocol": int(protocol),
+        "connections": int(connections),
+        "arrival_rate_hz": float(arrival_rate_hz),
+    }
 
 
 def _format_cell(cell: Cell) -> str:

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
+from pathlib import Path
 from typing import List, Optional
 
 from repro.acl.synthetic import SyntheticACLConfig, generate_synthetic_acl
@@ -286,7 +288,6 @@ def _cmd_disseminate(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.chaos import default_chaos
-    from repro.server.netserver import serve
     from repro.server.service import QueryService, ServiceConfig
 
     doc = _load_document(args.file)
@@ -302,30 +303,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     chaos = None
     if args.chaos_seed is not None:
         chaos = default_chaos(args.chaos_seed)
-    service = QueryService(
-        engine,
-        ServiceConfig(
-            workers=args.workers,
-            queue_depth=args.queue_depth,
-            timeout=args.timeout if args.timeout > 0 else None,
-        ),
-        chaos=chaos,
+    service_config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout=args.timeout if args.timeout > 0 else None,
     )
+    if args.max_request_bytes is not None:
+        service_config.max_request_bytes = args.max_request_bytes
+    service = QueryService(engine, service_config, chaos=chaos)
     print(
         f"serving {args.file} ({len(doc)} nodes, {args.subjects} subjects, "
         f"{args.labeling} labeling) on {args.host}:{args.port} "
-        f"with {args.workers} workers"
+        f"with {args.workers} workers ({args.server} server)"
     )
     if chaos is not None:
         print(
             f"CHAOS MODE: injecting seeded faults at every layer "
             f"(seed {args.chaos_seed}) — do not point real clients here"
         )
+    if args.server == "async":
+        from repro.server.aserver import serve_async
+
+        # The facade's context manager owns the full teardown chain:
+        # listeners, loop thread, service pool, store.
+        with serve_async(
+            service,
+            host=args.host,
+            port=args.port,
+            chaos=chaos,
+            http_port=args.http_port,
+        ) as running:
+            if running.http_address is not None:
+                print(
+                    f"http front end on "
+                    f"{running.http_address[0]}:{running.http_address[1]}"
+                )
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+        return 0
+    if args.http_port is not None:
+        print("--http-port requires --server async", file=sys.stderr)
+        return 2
+    from repro.server.netserver import serve
+
+    # serve() owns the teardown chain in its finally block
+    serve(service, host=args.host, port=args.port, chaos=chaos)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.acl.surrogates import generate_livelink
+    from repro.bench.loadgen import gate_serving_report, run_serving_benchmark
+    from repro.labeling.registry import build_labeling
+    from repro.server.aserver import serve_async
+    from repro.server.netserver import serve
+    from repro.server.service import QueryService, ServiceConfig
+    from repro.storage.nokstore import NoKStore
+
+    dataset = generate_livelink(
+        n_items=args.items,
+        n_groups=args.groups,
+        n_users=0,
+        seed=args.seed,
+    )
+    built = build_labeling(args.labeling, dataset.doc, dataset.matrix, "add_items")
+    store = NoKStore(dataset.doc, built, page_size=4096)
+    engine = QueryEngine(dataset.doc, labeling=built, store=store)
+    config = ServiceConfig(workers=args.workers, queue_depth=args.queue_depth)
+    v1_service = QueryService(engine, config)
+    v2_service = QueryService(engine, config)
+    v1_server = serve(v1_service, host="127.0.0.1", port=0, background=True)
     try:
-        serve(service, host=args.host, port=args.port, chaos=chaos)
+        with serve_async(v2_service, host="127.0.0.1", port=0) as v2_server:
+            print(
+                f"loadgen: {args.items} items, {args.users} users over "
+                f"{args.groups} groups, {args.requests} requests/profile "
+                f"at {args.rate} req/s"
+            )
+            report = run_serving_benchmark(
+                v1_server.address,
+                v2_server.address,
+                n_users=args.users,
+                n_groups=args.groups,
+                connections=tuple(args.connections),
+                requests=args.requests,
+                arrival_rate_hz=args.rate,
+                seed=args.seed,
+            )
     finally:
-        service.close()
-        engine.store.close()
+        v1_server.shutdown()
+        v1_server.server_close()
+        v1_service.close()
+        # v2_server's context manager closed v2_service and the store
+
+    out = Path(args.out)
+    out.write_text(_json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    for entry in report["profiles"]:
+        stream = " stream" if entry["stream"] else ""
+        latency = entry["latency"]
+        print(
+            f"  v{entry['protocol']}{stream} conns={entry['connections']}: "
+            f"{entry['throughput_rps']} req/s, "
+            f"p50={latency.get('p50_ms', 0):.1f}ms "
+            f"p99={latency.get('p99_ms', 0):.1f}ms, "
+            f"{entry['completed']}/{entry['requests']} ok"
+        )
+    largest = report["largest_query"]
+    print(
+        f"  largest query: ttff={largest['ttff_ms']}ms "
+        f"full={largest['full_ms']}ms"
+    )
+    if args.gate:
+        problems = gate_serving_report(report)
+        if problems:
+            for problem in problems:
+                print(f"GATE FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("serving gates passed")
     return 0
 
 
@@ -646,7 +745,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject seeded faults at every layer (storage/service/network) "
         "for resilience drills; NOT for real serving",
     )
+    p_serve.add_argument(
+        "--server", choices=("thread", "async"), default="thread",
+        help="thread: one handler thread per connection (protocol v1); "
+        "async: event-loop server speaking protocol v1+v2 with "
+        "multiplexing and fragment streaming",
+    )
+    p_serve.add_argument(
+        "--http-port", type=int, default=None,
+        help="also serve POST /query, GET /health, GET /metrics over HTTP "
+        "on this port (async server only; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--max-request-bytes", type=int, default=None,
+        help="largest accepted request frame (default 1 MiB)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="benchmark serving: open-loop load against both servers, "
+        "latency histograms to BENCH_serving.json",
+    )
+    p_loadgen.add_argument("--items", type=int, default=300,
+                           help="LiveLink surrogate size (items)")
+    p_loadgen.add_argument("--groups", type=int, default=16)
+    p_loadgen.add_argument("--users", type=int, default=2000,
+                           help="simulated user population (subject sets)")
+    p_loadgen.add_argument("--workers", type=int, default=4)
+    p_loadgen.add_argument("--queue-depth", type=int, default=16)
+    p_loadgen.add_argument(
+        "--connections", type=int, nargs="+", default=[8, 64],
+        help="connection counts to profile",
+    )
+    p_loadgen.add_argument("--requests", type=int, default=200,
+                           help="requests per profile")
+    p_loadgen.add_argument("--rate", type=float, default=400.0,
+                           help="offered load in requests/second")
+    p_loadgen.add_argument(
+        "--labeling", default=DEFAULT_BACKEND, choices=available_backends()
+    )
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--out", default="BENCH_serving.json")
+    p_loadgen.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 unless the machine-independent serving gates pass",
+    )
+    p_loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -324,17 +324,21 @@ class QueryEngine:
         strict: bool = True,
         snapshot: Optional[StoreSnapshot] = None,
         exec_mode: Optional[str] = None,
+        use_run_cache: bool = True,
     ) -> Iterator[int]:
         """Lazily yield distinct returning-node positions as found.
 
         The streaming face of :meth:`evaluate`: positions arrive in
         discovery order (not sorted), and abandoning the iterator stops
         the pipeline early — no further candidates are matched, checked,
-        or paged in.
+        or paged in. The serving layer's wire streams hand off here, so
+        the brownout knob (``use_run_cache=False``) applies to streams
+        exactly as it does to drained evaluations.
         """
         return self.compile(
             query, subject=subject, semantics=semantics, ordered=ordered,
             limit=limit, strict=strict, snapshot=snapshot, exec_mode=exec_mode,
+            use_run_cache=use_run_cache,
         ).execute()
 
     def evaluate_path(

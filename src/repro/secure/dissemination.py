@@ -148,6 +148,11 @@ def stream_answer_fragments(
     semantics: str = "cho",
     policy: str = PRUNE,
     limit: Optional[int] = None,
+    ordered: bool = False,
+    strict: bool = True,
+    snapshot=None,
+    exec_mode: Optional[str] = None,
+    use_run_cache: bool = True,
 ) -> Iterator[Tuple[int, str]]:
     """Disseminate *query answers*: (position, XML fragment) pairs, lazily.
 
@@ -161,34 +166,131 @@ def stream_answer_fragments(
     - ``PRUNE``: an inaccessible descendant disappears with its subtree;
     - ``HOIST``: an inaccessible descendant is dropped but its accessible
       children are spliced into the nearest retained ancestor.
+
+    This iterator is the serving stack's transport source: the protocol
+    v2 ``fragment`` frames carry its output verbatim. ``snapshot=`` pins
+    document, labeling, *and* plan execution to one store epoch for the
+    stream's whole lifetime; ``strict=False`` degrades around quarantined
+    pages (fragments then cover a subset of the accessible answers);
+    ``exec_mode``/``use_run_cache`` pass through to the engine compile.
     """
-    if policy not in _POLICIES:
-        raise AccessControlError(f"unknown dissemination policy {policy!r}")
-    doc, labeling = engine.doc, engine.labeling
-    if labeling is None:
-        raise AccessControlError("dissemination requires access control data")
-    for pos in engine.stream(query, subject=subject, semantics=semantics, limit=limit):
-        yield pos, serialize_visible_subtree(doc, labeling, subject, pos, policy)
+    return AnswerFragmentStream(
+        engine,
+        query,
+        subject,
+        semantics=semantics,
+        policy=policy,
+        limit=limit,
+        ordered=ordered,
+        strict=strict,
+        snapshot=snapshot,
+        exec_mode=exec_mode,
+        use_run_cache=use_run_cache,
+    )
+
+
+class AnswerFragmentStream:
+    """The iterator behind :func:`stream_answer_fragments`.
+
+    Iterating yields ``(position, xml_fragment)`` pairs lazily, exactly
+    as the generator it replaced; in addition the compiled plan's live
+    :class:`~repro.exec.context.EvalStats` is exposed as :attr:`stats`
+    (the wire protocol's ``end`` frame reports it) and the pinned epoch
+    as :attr:`epoch`. Abandoning the iterator (``close()``/GC) stops the
+    underlying plan — no further access checks or page reads happen.
+    """
+
+    def __init__(
+        self,
+        engine,
+        query,
+        subject,
+        semantics: str = "cho",
+        policy: str = PRUNE,
+        limit: Optional[int] = None,
+        ordered: bool = False,
+        strict: bool = True,
+        snapshot=None,
+        exec_mode: Optional[str] = None,
+        use_run_cache: bool = True,
+    ):
+        if policy not in _POLICIES:
+            raise AccessControlError(f"unknown dissemination policy {policy!r}")
+        if snapshot is None and engine.store is not None:
+            snapshot = engine.store.snapshot()
+        if snapshot is not None:
+            doc, labeling = snapshot.doc, snapshot.labeling
+        else:
+            doc, labeling = engine.doc, engine.labeling
+        if labeling is None:
+            raise AccessControlError("dissemination requires access control data")
+        plan = engine.compile(
+            query,
+            subject=subject,
+            semantics=semantics,
+            ordered=ordered,
+            limit=limit,
+            strict=strict,
+            snapshot=snapshot,
+            exec_mode=exec_mode,
+            use_run_cache=use_run_cache,
+        )
+        #: live statistics of the executing plan (complete once drained)
+        self.stats = plan.ctx.stats
+        #: the store epoch every fragment reads (0 for in-memory engines)
+        self.epoch = snapshot.epoch if snapshot is not None else 0
+        self.policy = policy
+        self._doc = doc
+        self._labeling = labeling
+        self._subject = subject
+        self._positions = plan.execute()
+
+    def __iter__(self) -> "AnswerFragmentStream":
+        return self
+
+    def __next__(self) -> Tuple[int, str]:
+        pos = next(self._positions)
+        return pos, serialize_visible_subtree(
+            self._doc, self._labeling, self._subject, pos, self.policy
+        )
+
+    def close(self) -> None:
+        """Stop the underlying plan early (no more page reads)."""
+        close = getattr(self._positions, "close", None)
+        if close is not None:
+            close()
+
+
+def _can_see(labeling: AccessLabeling, subject, pos: int) -> bool:
+    """One accessibility probe, subject-set aware.
+
+    ``subject`` may be a single id or a sequence of ids (user-level
+    evaluation: rights are the union, per Section 4's footnote).
+    """
+    if isinstance(subject, int):
+        return labeling.accessible(subject, pos)
+    return labeling.accessible_any(subject, pos)
 
 
 def serialize_visible_subtree(
-    doc, labeling: AccessLabeling, subject: int, root: int, policy: str = PRUNE
+    doc, labeling: AccessLabeling, subject, root: int, policy: str = PRUNE
 ) -> str:
-    """Serialize the subtree at ``root``, filtered for one subject.
+    """Serialize the subtree at ``root``, filtered for one subject (or a
+    subject set, whose rights are the union).
 
     The root itself must be accessible (under Cho semantics every answer
     position is). Returns a well-formed XML fragment.
     """
     if policy not in _POLICIES:
         raise AccessControlError(f"unknown dissemination policy {policy!r}")
-    if not labeling.accessible(subject, root):
+    if not _can_see(labeling, subject, root):
         raise AccessControlError(
             f"answer position {root} is not accessible to subject {subject}"
         )
     return serialize(_visible_node(doc, labeling, subject, root, policy))
 
 
-def _visible_node(doc, labeling: AccessLabeling, subject: int, pos: int, policy: str) -> Node:
+def _visible_node(doc, labeling: AccessLabeling, subject, pos: int, policy: str) -> Node:
     """Rebuild the accessible portion of the subtree at ``pos`` as a tree."""
     node = Node(doc.tag_name(pos), text=doc.text(pos), attrs=doc.attrs_of(pos))
     for child_node in _visible_children(doc, labeling, subject, pos, policy):
@@ -197,12 +299,12 @@ def _visible_node(doc, labeling: AccessLabeling, subject: int, pos: int, policy:
 
 
 def _visible_children(
-    doc, labeling: AccessLabeling, subject: int, pos: int, policy: str
+    doc, labeling: AccessLabeling, subject, pos: int, policy: str
 ) -> List[Node]:
     out: List[Node] = []
     child = doc.first_child(pos)
     while child != NO_NODE:
-        if labeling.accessible(subject, child):
+        if _can_see(labeling, subject, child):
             out.append(_visible_node(doc, labeling, subject, child, policy))
         elif policy == HOIST:
             # Drop the element, splice its accessible children upward.

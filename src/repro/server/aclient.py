@@ -1,0 +1,479 @@
+"""The asyncio variant of :class:`~repro.server.client.ResilientClient`.
+
+Same protocol, same resilience contract — deadline propagation, the
+typed-error taxonomy, full-jitter exponential backoff, the shared retry
+budget, idempotency rules (queries retry, updates never retry past the
+wire) — driven by coroutines instead of blocking sockets, so a load
+generator or async application can run thousands of concurrent clients
+on one event loop.
+
+Two things differ from the sync client by design:
+
+- the connection speaks **protocol v2** after an initial ``hello``:
+  every request carries an ``id`` and plain requests are answered with
+  ``reply`` frames, which is what lets one connection multiplex many
+  in-flight coroutines' requests;
+- :meth:`stream` is an async generator over ``begin``/``fragment``/
+  ``end`` frames with the same retry-from-scratch + epoch-check +
+  seq-dedup rules as the sync :meth:`ResilientClient.stream`.
+
+Not thread-safe — an instance belongs to one event loop, like every
+asyncio object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from time import monotonic
+from typing import Any, AsyncIterator, Dict, Optional
+
+from repro.errors import (
+    ClientError,
+    ConnectionFailed,
+    ReproError,
+    RetryBudgetExhausted,
+    ServiceTimeout,
+)
+from repro.server.client import RetryPolicy
+from repro.server.protocol import decode_error, encode_response
+
+#: stream-reader line limit for response frames (fragments can be big)
+_RESPONSE_LIMIT = 16 << 20
+
+
+class AsyncResilientClient:
+    """Multiplexing, deadline-propagating async client for protocol v2."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+    ):
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self._rng = random.Random(seed)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._budget = float(self.policy.retry_budget)
+        self._next_id = 0
+        #: request id -> future resolving to its reply frame
+        self._pending: Dict[Any, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._conn_lock = asyncio.Lock()
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "attempts": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "successes": 0,
+            "failures": 0,
+        }
+
+    # -- connection management ----------------------------------------------
+
+    async def _connect(self, remaining: float) -> None:
+        timeout = max(0.01, min(self.policy.connect_timeout_s, remaining))
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(
+                    self.host, self.port, limit=_RESPONSE_LIMIT
+                ),
+                timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ConnectionFailed(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        writer.write(encode_response({"op": "hello", "version": 2}))
+        try:
+            await writer.drain()
+            hello = await asyncio.wait_for(
+                reader.readline(), max(0.01, remaining)
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            writer.close()
+            raise ConnectionFailed(f"hello failed: {exc}") from exc
+        if not hello:
+            writer.close()
+            raise ConnectionFailed("connection closed during hello")
+        self._reader, self._writer = reader, writer
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(reader)
+        )
+        self.stats["reconnects"] += 1
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        """Demultiplex response frames to their waiting requests."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break  # torn frame: offset unknown, connection dead
+                if not isinstance(frame, dict):
+                    break
+                waiter = self._pending.get(frame.get("id"))
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            return
+        # Connection is gone: fail everything still in flight.
+        self._drop_connection(
+            ConnectionFailed("connection lost", request_sent=True)
+        )
+
+    def _drop_connection(self, exc: Optional[ConnectionFailed] = None) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._reader = None
+        if self._reader_task is not None and not self._reader_task.done():
+            self._reader_task.cancel()
+        self._reader_task = None
+        if exc is not None:
+            for waiter in list(self._pending.values()):
+                if not waiter.done():
+                    waiter.set_exception(exc)
+        self._pending.clear()
+
+    async def aclose(self) -> None:
+        task = self._reader_task
+        self._drop_connection()
+        if task is not None:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def __aenter__(self) -> "AsyncResilientClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- the retry loop -------------------------------------------------------
+
+    async def request(
+        self,
+        request: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        """Send one request, retrying per policy; returns the ok-reply.
+
+        Mirrors the sync client's :meth:`request` contract exactly; many
+        coroutines may call it concurrently — their requests multiplex
+        over the one connection and complete in any order.
+        """
+        budget = deadline_s if deadline_s is not None else self.policy.deadline_s
+        deadline = monotonic() + budget
+        self.stats["requests"] += 1
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.policy.max_attempts):
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self.stats["failures"] += 1
+                raise ServiceTimeout(budget) from last_error
+            self.stats["attempts"] += 1
+            sent = False
+            try:
+                payload = await self._exchange(request, remaining)
+            except ConnectionFailed as exc:
+                sent = exc.request_sent
+                last_error = exc
+            else:
+                if payload.get("ok"):
+                    self.stats["successes"] += 1
+                    self._budget = min(
+                        float(self.policy.retry_budget),
+                        self._budget + self.policy.budget_refund,
+                    )
+                    return payload
+                last_error = decode_error(payload)
+            if not getattr(last_error, "retriable", False):
+                self.stats["failures"] += 1
+                raise last_error
+            if sent and not idempotent:
+                self.stats["failures"] += 1
+                raise last_error
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+            if self._budget < 1.0:
+                self.stats["failures"] += 1
+                raise RetryBudgetExhausted(
+                    self.policy.retry_budget
+                ) from last_error
+            self._budget -= 1.0
+            self.stats["retries"] += 1
+            delay = self._rng.random() * min(
+                self.policy.max_delay_s, self.policy.base_delay_s * 2.0**attempt
+            )
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self.stats["failures"] += 1
+                raise ServiceTimeout(budget) from last_error
+            await asyncio.sleep(min(delay, remaining))
+        self.stats["failures"] += 1
+        assert last_error is not None
+        raise last_error
+
+    async def _exchange(
+        self, request: Dict[str, Any], remaining: float
+    ) -> Dict[str, Any]:
+        """One multiplexed send/await-reply on the shared connection."""
+        async with self._conn_lock:
+            if self._writer is None:
+                await self._connect(remaining)
+        assert self._writer is not None
+        self._next_id += 1
+        rid = self._next_id
+        wire = dict(request)
+        wire["timeout"] = round(remaining, 3)
+        wire["id"] = rid
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = waiter
+        sent = False
+        try:
+            try:
+                self._writer.write(encode_response(wire))
+                await self._writer.drain()
+                sent = True
+            except (ConnectionError, OSError) as exc:
+                self._drop_connection()
+                raise ConnectionFailed(
+                    f"exchange failed: {exc}", request_sent=sent
+                ) from exc
+            try:
+                frame = await asyncio.wait_for(waiter, max(0.01, remaining))
+            except asyncio.TimeoutError as exc:
+                raise ServiceTimeout(remaining) from exc
+            return frame
+        finally:
+            self._pending.pop(rid, None)
+
+    # -- fragment streaming ---------------------------------------------------
+
+    async def stream(
+        self,
+        query: str,
+        subject: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        **extra: Any,
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Async stream of one query's frames, with mid-stream retry.
+
+        Yields ``begin``, ``fragment``*, ``end`` exactly once each (per
+        seq) across any number of retries; the same epoch-consistency
+        and never-resume-a-changed-stream rules as the sync client.
+        Runs on its own ephemeral connection.
+        """
+        budget = deadline_s if deadline_s is not None else self.policy.deadline_s
+        deadline = monotonic() + budget
+        request: Dict[str, Any] = {
+            "op": "query",
+            "query": query,
+            "stream": True,
+        }
+        if subject is not None:
+            request["subject"] = subject
+        request.update(extra)
+        self.stats["requests"] += 1
+
+        delivered = 0
+        epoch: Optional[int] = None
+        begin_seen = False
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.policy.max_attempts):
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self.stats["failures"] += 1
+                raise ServiceTimeout(budget) from last_error
+            self.stats["attempts"] += 1
+            try:
+                async for frame in self._stream_once(request, deadline):
+                    kind = frame.get("frame")
+                    if kind == "begin":
+                        if epoch is None:
+                            epoch = frame.get("epoch")
+                        elif frame.get("epoch") != epoch:
+                            raise ClientError(
+                                f"stream epoch changed across retry "
+                                f"({epoch} -> {frame.get('epoch')}); "
+                                f"re-issue the query"
+                            )
+                        if begin_seen:
+                            continue
+                        begin_seen = True
+                        yield frame
+                    elif kind == "fragment":
+                        if frame.get("seq", delivered) < delivered:
+                            continue
+                        delivered += 1
+                        yield frame
+                    elif kind == "end":
+                        self.stats["successes"] += 1
+                        yield frame
+                        return
+                    elif kind == "error":
+                        raise decode_error(frame)
+                raise ConnectionFailed(
+                    "stream ended without an end frame", request_sent=True
+                )
+            except ReproError as exc:
+                last_error = exc
+            if not getattr(last_error, "retriable", False):
+                self.stats["failures"] += 1
+                raise last_error
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+            if self._budget < 1.0:
+                self.stats["failures"] += 1
+                raise RetryBudgetExhausted(
+                    self.policy.retry_budget
+                ) from last_error
+            self._budget -= 1.0
+            self.stats["retries"] += 1
+            delay = self._rng.random() * min(
+                self.policy.max_delay_s, self.policy.base_delay_s * 2.0**attempt
+            )
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self.stats["failures"] += 1
+                raise ServiceTimeout(budget) from last_error
+            await asyncio.sleep(min(delay, remaining))
+        self.stats["failures"] += 1
+        assert last_error is not None
+        raise last_error
+
+    async def _stream_once(
+        self, request: Dict[str, Any], deadline: float
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """One attempt on a fresh connection; closed on every exit."""
+        remaining = deadline - monotonic()
+        if remaining <= 0:
+            raise ServiceTimeout(remaining)
+        timeout = max(0.01, min(self.policy.connect_timeout_s, remaining))
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(
+                    self.host, self.port, limit=_RESPONSE_LIMIT
+                ),
+                timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ConnectionFailed(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        self.stats["reconnects"] += 1
+        try:
+            wire = dict(request)
+            wire["timeout"] = round(max(0.01, deadline - monotonic()), 3)
+            wire["id"] = 1
+            try:
+                writer.write(
+                    encode_response({"op": "hello", "version": 2})
+                    + encode_response(wire)
+                )
+                await writer.drain()
+                hello = await asyncio.wait_for(
+                    reader.readline(), max(0.01, deadline - monotonic())
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise ConnectionFailed(
+                    f"stream exchange failed: {exc}", request_sent=True
+                ) from exc
+            if not hello:
+                raise ConnectionFailed(
+                    "connection closed during hello", request_sent=True
+                )
+            while True:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    raise ServiceTimeout(remaining)
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), max(0.01, remaining)
+                    )
+                except asyncio.TimeoutError as exc:
+                    raise ServiceTimeout(remaining) from exc
+                except (ConnectionError, OSError) as exc:
+                    raise ConnectionFailed(
+                        f"stream read failed: {exc}", request_sent=True
+                    ) from exc
+                if not line:
+                    return
+                try:
+                    frame = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ConnectionFailed(
+                        "torn or undecodable stream frame", request_sent=True
+                    ) from exc
+                if not isinstance(frame, dict):
+                    raise ConnectionFailed(
+                        "stream frame was not a JSON object", request_sent=True
+                    )
+                yield frame
+                if frame.get("frame") in ("end", "error"):
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- convenience verbs ----------------------------------------------------
+
+    async def ping(self, deadline_s: Optional[float] = None) -> bool:
+        reply = await self.request({"op": "ping"}, deadline_s)
+        return bool(reply.get("pong"))
+
+    async def query(
+        self,
+        query: str,
+        subject: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        request = {"op": "query", "query": query, **extra}
+        if subject is not None:
+            request["subject"] = subject
+        return await self.request(request, deadline_s)
+
+    async def update(
+        self,
+        kind: str,
+        start: int,
+        end: int,
+        deadline_s: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Apply an update; never retried across a connection failure."""
+        request = {"op": "update", "kind": kind, "start": start, "end": end}
+        request.update(extra)
+        return await self.request(request, deadline_s, idempotent=False)
+
+    async def health(self, deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        reply = await self.request({"op": "health"}, deadline_s)
+        return reply["health"]
+
+    async def metrics(self, deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        reply = await self.request({"op": "metrics"}, deadline_s)
+        return reply["metrics"]
+
+    @property
+    def retry_budget_left(self) -> float:
+        return self._budget
+
+
+__all__ = ["AsyncResilientClient"]

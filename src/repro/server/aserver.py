@@ -1,0 +1,526 @@
+"""The asyncio front end: multiplexed NDJSON serving for 10k connections.
+
+The threading server (:mod:`repro.server.netserver`) spends one OS
+thread per connection and buffers every answer fully before its first
+byte hits the wire. This server replaces both costs:
+
+- **one event loop, any number of sockets** — connections are coroutine
+  state, so ten thousand idle clients cost file descriptors, not
+  threads;
+- **wire-level fragment streaming** — a protocol v2 query with
+  ``"stream": true`` is answered ``begin`` → ``fragment``* → ``end``,
+  each fragment written as the executor produces it, so a huge answer
+  never materializes server-side;
+- **multiplexing** — a v2 connection runs many requests concurrently;
+  every frame names its request ``id`` and responses interleave in
+  completion order;
+- **flow control** — every frame write awaits ``writer.drain()``, so a
+  client that stops reading pauses *its own* streams at the transport's
+  high-water mark instead of growing server memory. The service-side
+  deadline only meters queue wait and fragment production time, so a
+  slow reader is paused, not killed;
+- **the same resilience contract** — admission, deadlines, brownout,
+  and the corruption breaker all live in the shared
+  :class:`~repro.server.service.QueryService`; a
+  :class:`~repro.server.chaos.ChaosPlan` injects the identical
+  drop/tear/slow network faults on the async write path, so the chaos
+  matrix runs unchanged against either server.
+
+Evaluation stays synchronous engine code: drained requests run on a
+dispatch executor sized so every admissible request can block on the
+service pool without starving the loop, and stream pulls run on the
+*service pool itself* (``next()`` on the frame iterator never submits
+pool work, so pulls cannot deadlock it) — the pool that bounds drained
+evaluations bounds fragment production too.
+
+Protocol v1 clients are served exactly as before: requests answered in
+order, one frame per request, no ``hello`` needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.server.chaos import NET_DROP, NET_SLOW, NET_TEAR, ChaosPlan
+from repro.server.protocol import (
+    PROTOCOL_V1,
+    bad_request_response,
+    decode_request,
+    encode_error,
+    encode_response,
+    error_frame,
+    hello_response,
+    negotiate_version,
+    reply_frame,
+    request_id,
+)
+from repro.server.service import QueryService
+
+#: chunk size for chaos-injected slow writes (matches the sync server)
+_SLOW_CHUNK = 64
+
+#: marks an oversized request line (drained through its newline)
+_OVERSIZED = object()
+
+#: marks frame-iterator exhaustion across the executor boundary
+_DONE = object()
+
+
+class AsyncQueryServer:
+    """One listening socket, one event loop, one :class:`QueryService`.
+
+    Use as an async context manager or via :func:`serve_async` (which
+    adds a background thread + sync facade for tests and the CLI)::
+
+        server = AsyncQueryServer(service)
+        await server.start("127.0.0.1", 0)
+        ...
+        await server.aclose()
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        chaos: Optional[ChaosPlan] = None,
+        max_request_bytes: Optional[int] = None,
+    ):
+        self.service = service
+        self.chaos = chaos if chaos is not None else service.chaos
+        #: frame cap: explicit argument > service config > module default
+        self.max_request_bytes = (
+            max_request_bytes
+            if max_request_bytes is not None
+            else service.config.max_request_bytes
+        )
+        # handle() blocks on the service pool (admission + future.result),
+        # so it must never run *on* that pool; this executor is sized to
+        # let every admissible request block concurrently with room for
+        # shed requests to fail fast.
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=service.config.workers + service.config.queue_depth + 4,
+            thread_name_prefix="repro-adispatch",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections = 0
+        self._connections_peak = 0
+        self._conn_lock = threading.Lock()
+        self._conn_tasks: set = set()
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting; resolves ``port=0`` into ``address``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host,
+            port,
+            limit=self.max_request_bytes + 2,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, end live connections, close the listener
+        (the service stays open — its owner closes it)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # wait_closed() does not end in-flight connection handlers
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._dispatch.shutdown(wait=False)
+
+    @property
+    def connections(self) -> int:
+        with self._conn_lock:
+            return self._connections
+
+    @property
+    def connections_peak(self) -> int:
+        with self._conn_lock:
+            return self._connections_peak
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        with self._conn_lock:
+            self._connections += 1
+            self._connections_peak = max(
+                self._connections_peak, self._connections
+            )
+        current = asyncio.current_task()
+        if current is not None:
+            self._conn_tasks.add(current)
+            current.add_done_callback(self._conn_tasks.discard)
+        version = PROTOCOL_V1
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                line = await self._read_line(reader)
+                if line is None:
+                    return
+                if line is _OVERSIZED:
+                    sent = await self._send(
+                        writer,
+                        write_lock,
+                        bad_request_response(
+                            f"request frame exceeds "
+                            f"{self.max_request_bytes} bytes"
+                        ),
+                    )
+                    if not sent:
+                        return
+                    continue
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line, self.max_request_bytes)
+                except ServiceError as exc:
+                    if not await self._send(
+                        writer, write_lock, encode_error(exc)
+                    ):
+                        return
+                    continue
+                if request.get("op") == "hello":
+                    try:
+                        version = negotiate_version(request)
+                        response = hello_response(version)
+                    except ServiceError as exc:
+                        response = encode_error(exc)
+                    if not await self._send(writer, write_lock, response):
+                        return
+                    continue
+                if version == PROTOCOL_V1:
+                    # v1: strictly sequential request/response, in order.
+                    response = await loop.run_in_executor(
+                        self._dispatch, self.service.handle, request
+                    )
+                    if not await self._send(writer, write_lock, response):
+                        return
+                    continue
+                # v2: every request needs an id; frames may interleave.
+                try:
+                    rid = request_id(request)
+                except ServiceError as exc:
+                    if not await self._send(
+                        writer, write_lock, encode_error(exc)
+                    ):
+                        return
+                    continue
+                task = loop.create_task(
+                    self._serve_v2(request, rid, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels live handlers; finishing cleanly
+            # here keeps the streams protocol callback from re-raising.
+            pass
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            try:
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # a shutdown cancel landing inside this teardown must not
+                # escape the handler — the connection is closing anyway
+                writer.close()
+            with self._conn_lock:
+                self._connections -= 1
+
+    async def _read_line(self, reader: asyncio.StreamReader):
+        """One request line; ``None`` at EOF, ``_OVERSIZED`` for a frame
+        past the cap (drained through its terminating newline so the
+        connection can keep serving)."""
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            # EOF: a non-empty partial line without its newline is still
+            # a request (mirrors readline() on the sync server).
+            return exc.partial if exc.partial else None
+        except asyncio.LimitOverrunError:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    return None
+                newline = chunk.find(b"\n")
+                if newline >= 0:
+                    return _OVERSIZED
+
+    # -- v2 request tasks ----------------------------------------------------
+
+    async def _serve_v2(
+        self,
+        request: Dict[str, Any],
+        rid: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            if request.get("op") == "query" and request.get("stream"):
+                await self._serve_stream(request, rid, writer, write_lock)
+                return
+            response = await loop.run_in_executor(
+                self._dispatch, self.service.handle, request
+            )
+            await self._send(writer, write_lock, reply_frame(rid, response))
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass
+
+    async def _serve_stream(
+        self,
+        request: Dict[str, Any],
+        rid: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Drive one framed response stream over the wire.
+
+        Frames are pulled from the service iterator on the service pool
+        and written one at a time under the connection's write lock;
+        ``drain()`` inside :meth:`_send` is the flow control. A typed
+        failure — before ``begin`` or mid-stream — becomes one terminal
+        ``error`` frame.
+        """
+        loop = asyncio.get_running_loop()
+        frames = None
+        try:
+            frames = self.service.handle_stream(request)
+        except ReproError as exc:
+            await self._send(writer, write_lock, error_frame(rid, exc))
+            return
+        try:
+            while True:
+                pull = loop.run_in_executor(
+                    self.service.executor, next, frames, _DONE
+                )
+                try:
+                    frame = await pull
+                except asyncio.CancelledError:
+                    # The pull keeps running on its pool thread; close
+                    # the iterator only once it lands (a generator can
+                    # only be finalized between resumptions).
+                    pull.add_done_callback(
+                        lambda _f, it=frames: _close_quietly(it)
+                    )
+                    frames = None
+                    raise
+                if frame is _DONE:
+                    return
+                if not await self._send(
+                    writer, write_lock, {"id": rid, **frame}
+                ):
+                    return
+        except ReproError as exc:
+            await self._send(writer, write_lock, error_frame(rid, exc))
+        finally:
+            if frames is not None:
+                await loop.run_in_executor(None, _close_quietly, frames)
+
+    # -- the write path ------------------------------------------------------
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Dict[str, Any],
+    ) -> bool:
+        """Write one frame; False means the connection is unusable.
+
+        The chaos plan injects the same network faults as the threaded
+        server — connection dropped before any byte, frame torn halfway,
+        or written slowly in tiny chunks — against the asyncio transport.
+        ``await drain()`` after every write is the backpressure point:
+        when the peer's receive window is full this coroutine (and only
+        the streams sharing its connection) pauses.
+        """
+        data = encode_response(payload)
+        action = self.chaos.net_action() if self.chaos is not None else None
+        async with write_lock:
+            try:
+                if action == NET_DROP:
+                    writer.close()
+                    return False
+                if action == NET_TEAR:
+                    writer.write(data[: max(1, len(data) // 2)])
+                    await writer.drain()
+                    writer.close()
+                    return False
+                if action == NET_SLOW:
+                    delay = (
+                        self.chaos.spec.slow_write_delay_s
+                        if self.chaos is not None
+                        else 0.0
+                    )
+                    for i in range(0, len(data), _SLOW_CHUNK):
+                        writer.write(data[i : i + _SLOW_CHUNK])
+                        await writer.drain()
+                        if delay > 0.0:
+                            await asyncio.sleep(delay)
+                    return True
+                writer.write(data)
+                await writer.drain()
+                return True
+            except (ConnectionError, OSError):
+                return False
+
+
+def _close_quietly(frames) -> None:
+    try:
+        frames.close()
+    except Exception:
+        pass
+
+
+class AsyncServing:
+    """Sync facade over :class:`AsyncQueryServer` (and optionally the
+    HTTP front end): owns a background thread running the event loop.
+
+    Entering the context manager yields the running server; exiting
+    deterministically tears everything down *including the service and
+    its store* — the shutdown contract the CLI relies on.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chaos: Optional[ChaosPlan] = None,
+        http_port: Optional[int] = None,
+        max_request_bytes: Optional[int] = None,
+    ):
+        self.service = service
+        self.server = AsyncQueryServer(
+            service, chaos=chaos, max_request_bytes=max_request_bytes
+        )
+        self._http = None
+        self._http_port = http_port
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-aserve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start(self._host, self._port)
+            if self._http_port is not None:
+                from repro.server.http import HttpFrontEnd
+
+                self._http = HttpFrontEnd(
+                    self.server.service,
+                    dispatch=self.server._dispatch,
+                    max_request_bytes=self.server.max_request_bytes,
+                )
+                await self._http.start(self._host, self._http_port)
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.server.aclose()
+        if self._http is not None:
+            await self._http.aclose()
+
+    # -- sync surface --------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.server.address is not None
+        return self.server.address
+
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        return self._http.address if self._http is not None else None
+
+    def shutdown(self) -> None:
+        """Stop the listeners and join the loop thread (idempotent)."""
+        if self._loop is not None and self._stop is not None:
+            if not self._loop.is_closed():
+                try:
+                    self._loop.call_soon_threadsafe(self._stop.set)
+                except RuntimeError:
+                    pass
+        self._thread.join(timeout=10.0)
+
+    def close(self) -> None:
+        """Full teardown: listeners, loop thread, service, store."""
+        self.shutdown()
+        self.service.close()
+        store = self.service.engine.store
+        if store is not None:
+            store.close()
+
+    def __enter__(self) -> "AsyncServing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_async(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    chaos: Optional[ChaosPlan] = None,
+    http_port: Optional[int] = None,
+    max_request_bytes: Optional[int] = None,
+) -> AsyncServing:
+    """Start the asyncio server on a background thread; returns the
+    running :class:`AsyncServing` facade (context manager owns full
+    teardown, service and store included)."""
+    return AsyncServing(
+        service,
+        host=host,
+        port=port,
+        chaos=chaos,
+        http_port=http_port,
+        max_request_bytes=max_request_bytes,
+    )
+
+
+__all__ = ["AsyncQueryServer", "AsyncServing", "serve_async"]

@@ -36,6 +36,15 @@ request was sent may have executed it server-side. Queries are safe to
 resend; updates are not, so :meth:`update` marks its request
 non-idempotent and the client refuses to retry it across a connection
 failure (structured pre-execution errors like overload still retry).
+
+:meth:`stream` extends the same rules to protocol v2 fragment streams:
+a stream is a query, so a mid-stream connection failure is retried *from
+scratch* on a fresh connection — the client re-issues the request,
+verifies the new ``begin`` frame reports the same snapshot epoch (a
+changed epoch means the retry would see different data, which is
+terminal), and skips fragments whose ``seq`` it already delivered, so
+the caller observes each fragment exactly once, in order. Updates are
+never streamed and never retried past the wire.
 """
 
 from __future__ import annotations
@@ -326,6 +335,193 @@ class ResilientClient:
 
     def metrics(self, deadline_s: Optional[float] = None) -> Dict[str, Any]:
         return self.request({"op": "metrics"}, deadline_s)["metrics"]
+
+    # -- protocol v2 fragment streaming -------------------------------------
+
+    def stream(
+        self,
+        query: str,
+        subject: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        **extra: Any,
+    ):
+        """Stream one query's answer frames over protocol v2.
+
+        Yields the response frames (``begin``, ``fragment``*, ``end``)
+        as dictionaries, pulling each off the wire as the server writes
+        it. Retries follow :meth:`request`'s rules extended to
+        mid-stream failure: a fresh connection re-issues the query, the
+        resumed stream must report the same epoch, and already-delivered
+        fragments are skipped by ``seq`` — so across any number of
+        retries every fragment is yielded exactly once. A typed terminal
+        error raises; the deadline bounds the whole stream, retries
+        included.
+
+        The stream uses its own ephemeral v2 connection, so it never
+        interleaves with (or holds locks against) this client's regular
+        request/response traffic.
+        """
+        budget = deadline_s if deadline_s is not None else self.policy.deadline_s
+        deadline = monotonic() + budget
+        request: Dict[str, Any] = {
+            "op": "query",
+            "query": query,
+            "stream": True,
+        }
+        if subject is not None:
+            request["subject"] = subject
+        request.update(extra)
+        with self._lock:
+            self.stats["requests"] += 1
+
+        delivered = 0  # fragments already yielded to the caller
+        epoch: Optional[int] = None
+        begin_seen = False
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.policy.max_attempts):
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self._count_failure()
+                raise ServiceTimeout(budget) from last_error
+            with self._lock:
+                self.stats["attempts"] += 1
+            try:
+                for frame in self._stream_once(request, deadline):
+                    kind = frame.get("frame")
+                    if kind == "begin":
+                        if epoch is None:
+                            epoch = frame.get("epoch")
+                        elif frame.get("epoch") != epoch:
+                            # The store moved on between attempts: a
+                            # resumed stream would mix epochs. Terminal.
+                            raise ClientError(
+                                f"stream epoch changed across retry "
+                                f"({epoch} -> {frame.get('epoch')}); "
+                                f"re-issue the query"
+                            )
+                        if begin_seen:
+                            continue
+                        begin_seen = True
+                        yield frame
+                    elif kind == "fragment":
+                        if frame.get("seq", delivered) < delivered:
+                            continue  # replayed by the retry; already out
+                        delivered += 1
+                        yield frame
+                    elif kind == "end":
+                        self._count_success()
+                        yield frame
+                        return
+                    elif kind == "error":
+                        raise decode_error(frame)
+                # Server closed the stream without end: torn mid-stream.
+                raise ConnectionFailed(
+                    "stream ended without an end frame", request_sent=True
+                )
+            except ReproError as exc:
+                last_error = exc
+            if not getattr(last_error, "retriable", False):
+                self._count_failure()
+                raise last_error
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+            with self._lock:
+                if self._budget < 1.0:
+                    self._count_failure_locked()
+                    raise RetryBudgetExhausted(
+                        self.policy.retry_budget
+                    ) from last_error
+                self._budget -= 1.0
+                self.stats["retries"] += 1
+            delay = self._backoff(attempt)
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                self._count_failure()
+                raise ServiceTimeout(budget) from last_error
+            sleep(min(delay, remaining))
+        self._count_failure()
+        assert last_error is not None
+        raise last_error
+
+    def _stream_once(self, request: Dict[str, Any], deadline: float):
+        """One streaming attempt on a fresh v2 connection.
+
+        Yields raw frames; raises :class:`ConnectionFailed` on transport
+        failure and :class:`ServiceTimeout` when the deadline passes
+        mid-stream. The connection is closed either way — streams never
+        share a socket with anything.
+        """
+        remaining = deadline - monotonic()
+        if remaining <= 0:
+            raise ServiceTimeout(remaining)
+        timeout = max(0.01, min(self.policy.connect_timeout_s, remaining))
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ConnectionFailed(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        with self._lock:
+            self.stats["reconnects"] += 1
+        reader = sock.makefile("rb")
+        try:
+            wire = dict(request)
+            wire["timeout"] = round(max(0.01, deadline - monotonic()), 3)
+            wire["id"] = 1
+            try:
+                sock.settimeout(max(0.01, deadline - monotonic()))
+                sock.sendall(
+                    encode_response({"op": "hello", "version": 2})
+                    + encode_response(wire)
+                )
+                hello = reader.readline()
+            except OSError as exc:
+                raise ConnectionFailed(
+                    f"stream exchange failed: {exc}", request_sent=True
+                ) from exc
+            if not hello:
+                raise ConnectionFailed(
+                    "connection closed during hello", request_sent=True
+                )
+            while True:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    raise ServiceTimeout(remaining)
+                try:
+                    sock.settimeout(max(0.01, remaining))
+                    line = reader.readline()
+                except socket.timeout as exc:
+                    raise ServiceTimeout(remaining) from exc
+                except OSError as exc:
+                    raise ConnectionFailed(
+                        f"stream read failed: {exc}", request_sent=True
+                    ) from exc
+                if not line:
+                    return  # server closed; caller decides if that is torn
+                try:
+                    frame = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ConnectionFailed(
+                        "torn or undecodable stream frame", request_sent=True
+                    ) from exc
+                if not isinstance(frame, dict):
+                    raise ConnectionFailed(
+                        "stream frame was not a JSON object", request_sent=True
+                    )
+                yield frame
+                if frame.get("frame") in ("end", "error"):
+                    return
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 __all__ = ["ClientError", "ResilientClient", "RetryPolicy"]

@@ -1,0 +1,343 @@
+"""A thin HTTP/1.1 JSON front end over the same :class:`QueryService`.
+
+Three routes, no framework, no new dependencies:
+
+- ``POST /query`` — body is the query request JSON (same fields as the
+  NDJSON protocol's ``query`` op, minus ``op``). A plain request is
+  answered with one JSON document; with ``"stream": true`` the answer
+  is chunked NDJSON — one ``begin``/``fragment``/``end`` (or terminal
+  ``error``) frame per line, written as the executor produces them, so
+  the response streams with the same bounded-memory property as
+  protocol v2.
+- ``GET /health`` — the service health report (``503`` while the
+  service is closed, ``200`` otherwise, state in the body either way).
+- ``GET /metrics`` — the full service metrics dictionary.
+
+Typed errors map onto status codes (overload → 503, deadline → 504,
+bad request → 400, access control → 403, everything else → 500) while
+the body keeps the full wire error shape, so HTTP clients get both the
+transport-level signal and the taxonomy.
+
+The implementation reads one request per connection (``Connection:
+close``) — the front end targets dashboards, load generators, and
+`curl`, not high-fan-in serving; that is protocol v2's job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    AccessControlError,
+    BadRequest,
+    QueryParseError,
+    ReproError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.server.protocol import MAX_REQUEST_BYTES, encode_error
+from repro.server.service import QueryService
+
+#: request-line/header section cap (separate from the JSON body cap)
+_MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status a typed service error maps onto."""
+    if isinstance(exc, (ServiceOverloaded, ServiceUnavailable)):
+        return 503
+    if isinstance(exc, ServiceTimeout):
+        return 504
+    if isinstance(exc, AccessControlError):
+        return 403
+    if isinstance(exc, (BadRequest, QueryParseError)):
+        return 400
+    return 500
+
+
+class HttpFrontEnd:
+    """asyncio HTTP listener bound to one service (and, usually, sharing
+    the :class:`AsyncQueryServer`'s dispatch executor)."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        dispatch: Optional[ThreadPoolExecutor] = None,
+        max_request_bytes: Optional[int] = None,
+    ):
+        self.service = service
+        self.max_request_bytes = (
+            max_request_bytes
+            if max_request_bytes is not None
+            else service.config.max_request_bytes
+        )
+        self._own_dispatch = dispatch is None
+        self._dispatch = dispatch or ThreadPoolExecutor(
+            max_workers=service.config.workers + service.config.queue_depth + 4,
+            thread_name_prefix="repro-http",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host,
+            port,
+            limit=max(_MAX_HEAD_BYTES, self.max_request_bytes) + 2,
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._own_dispatch:
+            self._dispatch.shutdown(wait=False)
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        current = asyncio.current_task()
+        if current is not None:
+            self._conn_tasks.add(current)
+            current.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, OSError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readuntil(b"\r\n")
+        except asyncio.IncompleteReadError:
+            return
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            await self._respond_error(writer, 400, BadRequest("bad request line"))
+            return
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        head_bytes = len(request_line)
+        while True:
+            line = await reader.readuntil(b"\r\n")
+            head_bytes += len(line)
+            if head_bytes > _MAX_HEAD_BYTES:
+                await self._respond_error(
+                    writer, 413, BadRequest("header section too large")
+                )
+                return
+            if line == b"\r\n":
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        if method == "GET" and path == "/health":
+            report = self.service.health_report()
+            status = 503 if report.get("closed") else 200
+            await self._respond_json(writer, status, report)
+            return
+        if method == "GET" and path == "/metrics":
+            loop = asyncio.get_running_loop()
+            metrics = await loop.run_in_executor(
+                self._dispatch, self.service.metrics
+            )
+            await self._respond_json(writer, 200, metrics)
+            return
+        if path == "/query":
+            if method != "POST":
+                await self._respond_error(
+                    writer, 405, BadRequest("POST /query")
+                )
+                return
+            await self._serve_query(reader, writer, headers)
+            return
+        await self._respond_error(writer, 404, BadRequest(f"no route {path}"))
+
+    async def _serve_query(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+    ) -> None:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._respond_error(
+                writer, 400, BadRequest("bad Content-Length")
+            )
+            return
+        if length > self.max_request_bytes:
+            await self._respond_error(
+                writer,
+                413,
+                BadRequest(
+                    f"request body exceeds {self.max_request_bytes} bytes"
+                ),
+            )
+            return
+        body = await reader.readexactly(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            await self._respond_error(writer, 400, BadRequest(str(exc)))
+            return
+
+        request = {"op": "query", **payload}
+        if payload.get("stream"):
+            await self._stream_query(writer, request)
+            return
+        loop = asyncio.get_running_loop()
+        response = await loop.run_in_executor(
+            self._dispatch, self.service.handle, request
+        )
+        if response.get("ok"):
+            await self._respond_json(writer, 200, response)
+        else:
+            status = status_for_name(str(response.get("error")))
+            await self._respond_json(writer, status, response)
+
+    async def _stream_query(
+        self, writer: asyncio.StreamWriter, request: Dict[str, Any]
+    ) -> None:
+        """Chunked NDJSON: one frame per line, flow-controlled by drain()."""
+        loop = asyncio.get_running_loop()
+        frames = None
+        head_sent = False
+        try:
+            frames = self.service.handle_stream(request)
+        except ReproError as exc:
+            await self._respond_error(writer, status_for(exc), exc)
+            return
+        done = object()
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            head_sent = True
+            while True:
+                pull = loop.run_in_executor(
+                    self.service.executor, next, frames, done
+                )
+                try:
+                    frame = await pull
+                except asyncio.CancelledError:
+                    pull.add_done_callback(
+                        lambda _f, it=frames: _close_quietly(it)
+                    )
+                    frames = None
+                    raise
+                if frame is done:
+                    break
+                await self._write_chunk(writer, frame)
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except ReproError as exc:
+            # Mid-stream failure: the status line is gone; emit the typed
+            # error as the terminal frame, exactly like protocol v2.
+            if head_sent:
+                try:
+                    await self._write_chunk(
+                        writer, {"frame": "error", **encode_error(exc)}
+                    )
+                    writer.write(b"0\r\n\r\n")
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+            else:
+                await self._respond_error(writer, status_for(exc), exc)
+        finally:
+            if frames is not None:
+                await loop.run_in_executor(None, _close_quietly, frames)
+
+    async def _write_chunk(
+        self, writer: asyncio.StreamWriter, frame: Dict[str, Any]
+    ) -> None:
+        line = (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+        writer.write(f"{len(line):x}\r\n".encode("ascii"))
+        writer.write(line)
+        writer.write(b"\r\n")
+        await writer.drain()
+
+    # -- responses ----------------------------------------------------------
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, body: Dict[str, Any]
+    ) -> None:
+        data = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + data)
+        await writer.drain()
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, status: int, exc: BaseException
+    ) -> None:
+        await self._respond_json(writer, status, encode_error(exc))
+
+
+def status_for_name(name: str) -> int:
+    """Map a wire error *name* (from an in-band response) to a status."""
+    from repro.server.protocol import ERROR_REGISTRY
+
+    cls = ERROR_REGISTRY.get(name)
+    if cls is None:
+        return 500
+    exc = cls.__new__(cls)
+    return status_for(exc)
+
+
+def _close_quietly(frames) -> None:
+    try:
+        frames.close()
+    except Exception:
+        pass
+
+
+__all__ = ["HttpFrontEnd", "status_for", "status_for_name"]

@@ -28,7 +28,6 @@ from typing import Optional, Tuple
 from repro.errors import ServiceError
 from repro.server.chaos import NET_DROP, NET_SLOW, NET_TEAR, ChaosPlan
 from repro.server.protocol import (
-    MAX_REQUEST_BYTES,
     bad_request_response,
     decode_request,
     encode_error,
@@ -44,19 +43,20 @@ class _RequestHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: QueryService = self.server.service  # type: ignore[attr-defined]
         chaos: Optional[ChaosPlan] = self.server.chaos  # type: ignore[attr-defined]
+        cap: int = self.server.max_request_bytes  # type: ignore[attr-defined]
         while True:
             # +2 leaves room for the newline (and detecting "too long"):
             # a line longer than the cap comes back without a trailing
             # newline and is handled as oversized below.
-            line = self.rfile.readline(MAX_REQUEST_BYTES + 2)
+            line = self.rfile.readline(cap + 2)
             if not line:
                 return
-            if len(line) > MAX_REQUEST_BYTES:
-                if not self._drain_oversized(line):
+            if len(line) > cap:
+                if not self._drain_oversized(line, cap):
                     return
                 if not self._send(
                     bad_request_response(
-                        f"request frame exceeds {MAX_REQUEST_BYTES} bytes"
+                        f"request frame exceeds {cap} bytes"
                     ),
                     chaos,
                 ):
@@ -65,7 +65,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             if not line.strip():
                 continue
             try:
-                request = decode_request(line)
+                request = decode_request(line, cap)
             except ServiceError as exc:
                 # Malformed frame: answer in-band, keep the connection —
                 # one bad request must not tear down a pipelined client.
@@ -76,13 +76,13 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             if not self._send(response, chaos):
                 return
 
-    def _drain_oversized(self, line: bytes) -> bool:
+    def _drain_oversized(self, line: bytes, cap: int) -> bool:
         """Discard the rest of an over-long frame up to its newline.
 
         Returns False when the connection ended mid-frame.
         """
         while not line.endswith(b"\n"):
-            line = self.rfile.readline(MAX_REQUEST_BYTES + 2)
+            line = self.rfile.readline(cap + 2)
             if not line:
                 return False
         return True
@@ -129,17 +129,47 @@ class QueryServer(socketserver.ThreadingTCPServer):
         address: Tuple[str, int],
         service: QueryService,
         chaos: Optional[ChaosPlan] = None,
+        max_request_bytes: Optional[int] = None,
     ):
         super().__init__(address, _RequestHandler)
         self.service = service
         #: defaults to the service's plan so `serve --chaos-seed` wires
         #: every layer from one object
         self.chaos = chaos if chaos is not None else service.chaos
+        #: frame cap: explicit argument > service config > module default
+        self.max_request_bytes = (
+            max_request_bytes
+            if max_request_bytes is not None
+            else service.config.max_request_bytes
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
         """The actually bound (host, port) — port 0 resolves here."""
         return self.server_address[:2]
+
+    # -- deterministic teardown -------------------------------------------
+
+    def close_all(self) -> None:
+        """Stop serving and close the service *and its store*.
+
+        ``server_close()`` alone (what Ctrl-C used to run) closes the
+        listening socket but leaks the service pool and leaves the store
+        without a clean shutdown; this is the full chain, idempotent at
+        every link.
+        """
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+        store = self.service.engine.store
+        if store is not None:
+            store.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close_all()
 
 
 def serve(
@@ -166,5 +196,10 @@ def serve(
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         pass
     finally:
+        # full teardown: socket, service pool, store — not just the socket
         server.server_close()
+        server.service.close()
+        store = server.service.engine.store
+        if store is not None:
+            store.close()
     return server

@@ -1,6 +1,9 @@
 """Newline-delimited JSON: the wire format of ``repro-dol serve``.
 
-One request per line, one response line per request, in order:
+Two protocol versions share the one-JSON-object-per-line framing.
+
+**Version 1** (the default every connection starts in): one request
+per line, one response line per request, in order:
 
 .. code-block:: text
 
@@ -18,18 +21,57 @@ Failures are in-band — ``{"ok": false, "error": "ServiceOverloaded",
 "message": "..."}`` — so a shed or malformed request never drops the
 connection. The format is trivially scriptable (``nc`` + ``jq``) and
 keeps the server free of any framing beyond ``\\n``.
+
+**Version 2** is negotiated with a ``hello`` request and multiplexes
+many in-flight requests over one connection. Every request carries a
+client-chosen ``id``; every response frame echoes it, so responses may
+interleave in completion order. A plain request is answered with one
+``reply`` frame; a streaming query is answered with a framed response
+stream — ``begin``, zero or more ``fragment`` frames carrying one
+disseminated answer each, and ``end`` with the run's statistics (or a
+terminal ``error`` frame at any point):
+
+.. code-block:: text
+
+    -> {"op": "hello", "version": 2}
+    <- {"ok": true, "version": 2}
+    -> {"id": 7, "op": "query", "query": "//item", "subject": 3,
+        "stream": true}
+    <- {"id": 7, "frame": "begin", "epoch": 4, "strict": true}
+    <- {"id": 7, "frame": "fragment", "seq": 0, "position": 12,
+        "xml": "<item>...</item>"}
+    <- {"id": 7, "frame": "end", "n_fragments": 1, "degraded": false,
+        "epoch": 4, "stats": {...}}
+
+Fragments hit the wire as the executor produces them, so a huge answer
+is never buffered server-side; the ``seq`` counter lets a client resume
+(re-issue and skip) after a mid-stream connection failure.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Type
+from typing import Any, Dict, Optional, Type
 
 from repro import errors as _errors
 from repro.errors import BadRequest, ReproError, ServiceError
 
-#: protect the line reader against garbage/abusive peers
+#: protect the line reader against garbage/abusive peers; servers and
+#: services take this as a constructor parameter — the constant is only
+#: the default, so deployments tune the cap without monkeypatching
 MAX_REQUEST_BYTES = 1 << 20
+
+#: protocol versions this build can speak
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+
+#: v2 frame kinds
+FRAME_REPLY = "reply"
+FRAME_BEGIN = "begin"
+FRAME_FRAGMENT = "fragment"
+FRAME_END = "end"
+FRAME_ERROR = "error"
 
 
 def _collect_error_registry() -> Dict[str, Type[ReproError]]:
@@ -73,18 +115,23 @@ def is_retriable(error: "str | BaseException") -> bool:
     return bool(getattr(cls, "retriable", False)) if cls is not None else False
 
 
-def decode_request(line: "str | bytes") -> Dict[str, Any]:
+def decode_request(
+    line: "str | bytes", max_bytes: Optional[int] = None
+) -> Dict[str, Any]:
     """Parse one request line into a dictionary (:class:`BadRequest` on
-    anything that is not a single JSON object)."""
+    anything that is not a single JSON object).
+
+    ``max_bytes`` overrides the module-default frame cap for this call
+    (servers pass their configured cap through).
+    """
+    cap = MAX_REQUEST_BYTES if max_bytes is None else max_bytes
     if isinstance(line, bytes):
         try:
             line = line.decode("utf-8")
         except UnicodeDecodeError as exc:
             raise BadRequest(f"request is not valid UTF-8: {exc}")
-    if len(line) > MAX_REQUEST_BYTES:
-        raise BadRequest(
-            f"request line exceeds the {MAX_REQUEST_BYTES} byte limit"
-        )
+    if len(line) > cap:
+        raise BadRequest(f"request line exceeds the {cap} byte limit")
     try:
         payload = json.loads(line)
     except ValueError as exc:
@@ -132,3 +179,77 @@ def error_response(exc: BaseException) -> Dict[str, Any]:
 def bad_request_response(message: str) -> Dict[str, Any]:
     """The structured answer to an unparseable or oversized frame."""
     return encode_error(BadRequest(message))
+
+
+# -- protocol v2: negotiation and the framed response stream -----------------
+
+
+def negotiate_version(request: Dict[str, Any]) -> int:
+    """Resolve a ``hello`` request to the version the connection speaks.
+
+    The client names the highest version it understands; the server
+    answers with ``min(requested, newest supported)``. A request without
+    a usable ``version`` field is a v1 client probing — it gets v1.
+    Raises :class:`BadRequest` for versions older than anything we speak.
+    """
+    requested = request.get("version", PROTOCOL_V1)
+    if not isinstance(requested, int) or isinstance(requested, bool):
+        raise BadRequest(f"hello version must be an integer, got {requested!r}")
+    if requested < PROTOCOL_V1:
+        raise BadRequest(f"unsupported protocol version {requested}")
+    return min(requested, PROTOCOL_V2)
+
+
+def hello_response(version: int) -> Dict[str, Any]:
+    """The answer to a ``hello``: the version this connection now speaks."""
+    return {"ok": True, "version": version}
+
+
+def request_id(request: Dict[str, Any]) -> Any:
+    """Extract and validate a v2 request's ``id`` (:class:`BadRequest`
+    when missing or not a JSON scalar)."""
+    rid = request.get("id")
+    if rid is None or isinstance(rid, (dict, list)):
+        raise BadRequest("protocol v2 requests need a scalar 'id'")
+    return rid
+
+
+def reply_frame(rid: Any, body: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a v1-shaped response body as one v2 ``reply`` frame."""
+    return {"id": rid, "frame": FRAME_REPLY, **body}
+
+
+def begin_frame(rid: Any, epoch: int, strict: bool) -> Dict[str, Any]:
+    """The stream opener: the epoch the whole stream reads, and whether
+    evaluation is running strict (``false`` announces a degraded run)."""
+    return {"id": rid, "frame": FRAME_BEGIN, "epoch": epoch, "strict": strict}
+
+
+def fragment_frame(rid: Any, seq: int, position: int, xml: str) -> Dict[str, Any]:
+    """One disseminated answer: its document position and XML fragment.
+
+    ``seq`` numbers fragments from 0 so a client that lost its
+    connection mid-stream can re-issue the query and skip what it
+    already delivered.
+    """
+    return {
+        "id": rid,
+        "frame": FRAME_FRAGMENT,
+        "seq": seq,
+        "position": position,
+        "xml": xml,
+    }
+
+
+def end_frame(rid: Any, body: Dict[str, Any]) -> Dict[str, Any]:
+    """The stream closer: fragment count, degraded flag, and stats."""
+    return {"id": rid, "frame": FRAME_END, **body}
+
+
+def error_frame(rid: Any, exc: BaseException) -> Dict[str, Any]:
+    """A terminal typed error frame — the v2 shape of :func:`encode_error`.
+
+    Ends the request it names (mid-stream too: a stream that errors
+    after ``begin`` emits this instead of ``end``).
+    """
+    return {"id": rid, "frame": FRAME_ERROR, **encode_error(exc)}

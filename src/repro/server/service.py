@@ -58,10 +58,17 @@ from repro.errors import (
     ServiceUnavailable,
 )
 from repro.nok.engine import QueryEngine
+from repro.secure.dissemination import HOIST, PRUNE, stream_answer_fragments
 from repro.secure.semantics import CHO, SEMANTICS
 from repro.server.chaos import ChaosPlan
 from repro.server.health import BREAKER_HALF_OPEN, HealthConfig, HealthModel
-from repro.server.protocol import encode_error
+from repro.server.protocol import (
+    FRAME_BEGIN,
+    FRAME_END,
+    FRAME_FRAGMENT,
+    MAX_REQUEST_BYTES,
+    encode_error,
+)
 
 
 @dataclass
@@ -73,6 +80,10 @@ class ServiceConfig:
     queue_depth: int = 16
     #: per-request deadline in seconds (``None`` disables)
     timeout: Optional[float] = 30.0
+    #: largest request frame the wire servers accept for this service;
+    #: the protocol module constant is only the default, so tests and
+    #: deployments tune the cap per service instead of monkeypatching
+    max_request_bytes: int = MAX_REQUEST_BYTES
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -81,6 +92,28 @@ class ServiceConfig:
             raise ServiceError("queue depth cannot be negative")
         if self.timeout is not None and self.timeout <= 0:
             raise ServiceError("timeout must be positive (or None)")
+        if self.max_request_bytes < 1:
+            raise ServiceError("max_request_bytes must be positive")
+
+
+def _stats_body(stats) -> Dict[str, Any]:
+    """The wire shape of one evaluation's :class:`EvalStats` — shared by
+    the v1 response body, the v1 ``fragments`` body, and the v2 ``end``
+    frame, so every transport reports identical accounting."""
+    return {
+        "access_checks": stats.access_checks,
+        "probes_saved": stats.probes_saved,
+        "run_cache_hits": stats.run_cache_hits,
+        "run_cache_misses": stats.run_cache_misses,
+        "result_cache_hits": stats.result_cache_hits,
+        "logical_page_reads": stats.logical_page_reads,
+        "physical_page_reads": stats.physical_page_reads,
+        "access_class": stats.access_class,
+        "static_allow": stats.static_allow,
+        "static_deny": stats.static_deny,
+        "corrupted_pages": len(stats.corrupted_pages),
+        "wall_time": stats.wall_time,
+    }
 
 
 class QueryService:
@@ -116,6 +149,15 @@ class QueryService:
         self._queue_wait_total = 0.0
         self._queue_wait_max = 0.0
         self._last_quarantine_probe = 0.0
+        # -- streaming counters (also guarded by _lock) --
+        self._streams_started = 0
+        self._streams_completed = 0
+        self._streams_failed = 0
+        self._streams_abandoned = 0
+        self._fragments_streamed = 0
+        self._ttff_total = 0.0
+        self._ttff_max = 0.0
+        self._ttff_count = 0
         store = engine.store
         self.health = HealthModel(
             health_config,
@@ -138,6 +180,16 @@ class QueryService:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The service's worker pool.
+
+        The async server drives stream pulls through it
+        (``loop.run_in_executor(service.executor, ...)``), so the pool
+        that bounds drained evaluations bounds fragment production too.
+        """
+        return self._pool
 
     # -- execution core ----------------------------------------------------
 
@@ -335,20 +387,7 @@ class QueryService:
                 "n_answers": result.n_answers,
                 "epoch": snapshot.epoch if snapshot is not None else 0,
                 "degraded": degraded,
-                "stats": {
-                    "access_checks": result.stats.access_checks,
-                    "probes_saved": result.stats.probes_saved,
-                    "run_cache_hits": result.stats.run_cache_hits,
-                    "run_cache_misses": result.stats.run_cache_misses,
-                    "result_cache_hits": result.stats.result_cache_hits,
-                    "logical_page_reads": result.stats.logical_page_reads,
-                    "physical_page_reads": result.stats.physical_page_reads,
-                    "access_class": result.stats.access_class,
-                    "static_allow": result.stats.static_allow,
-                    "static_deny": result.stats.static_deny,
-                    "corrupted_pages": len(result.stats.corrupted_pages),
-                    "wall_time": result.stats.wall_time,
-                },
+                "stats": _stats_body(result.stats),
             }
 
         return self._submit(work, timeout)
@@ -396,6 +435,289 @@ class QueryService:
 
         return self._submit(work, timeout)
 
+    # -- fragment streaming ------------------------------------------------
+
+    def _fragment_frames(
+        self,
+        query: str,
+        subject,
+        semantics: str,
+        ordered: bool,
+        limit: Optional[int],
+        policy: str,
+    ) -> "Any":
+        """The per-request streaming core: begin → fragments → end.
+
+        Admission, deadlines, and metrics live in the callers
+        (:meth:`stream` for the wire, :meth:`evaluate_fragments` for the
+        buffered v1 shape); this generator owns only the resilience
+        decisions — snapshot pinning, brownout cache shedding, the
+        breaker's strict/degraded choice — mirroring :meth:`evaluate`.
+        Streams never run the half-open strict *probe* (a probe must be
+        cheap and atomic; a stream is neither) — healing stays on the
+        drained path.
+        """
+        if self.chaos is not None and self.chaos.should_fail_snapshot():
+            raise ServiceUnavailable("injected snapshot acquisition failure")
+        store = self.engine.store
+        snapshot = store.snapshot() if store is not None else None
+
+        with self._lock:
+            inflight = self._inflight
+        tier = self.health.brownout_tier(inflight, self._limit)
+        caches_poisonable = self.chaos is not None and self.chaos.caches_disabled()
+        use_run_cache = tier < 2 and not caches_poisonable
+
+        strict = self.health.breaker.allow_strict()
+        fragments = stream_answer_fragments(
+            self.engine,
+            query,
+            subject,
+            semantics=semantics,
+            policy=policy,
+            limit=limit,
+            ordered=ordered,
+            strict=strict,
+            snapshot=snapshot,
+            use_run_cache=use_run_cache,
+        )
+        epoch = fragments.epoch
+        yield {"frame": FRAME_BEGIN, "epoch": epoch, "strict": strict}
+        count = 0
+        try:
+            try:
+                for position, xml in fragments:
+                    yield {
+                        "frame": FRAME_FRAGMENT,
+                        "seq": count,
+                        "position": position,
+                        "xml": xml,
+                    }
+                    count += 1
+            except PageCorruptionError:
+                # Strict streams surface corruption as a typed error
+                # frame; the breaker hears about it so the *next* request
+                # (or stream retry) runs degraded around the quarantine.
+                self.health.record_corruption()
+                raise
+            stats = fragments.stats
+            degraded = (not strict) or bool(stats.corrupted_pages)
+            if strict and degraded:
+                self.health.record_corruption(len(stats.corrupted_pages))
+            elif strict:
+                self.health.record_strict_success()
+            if degraded:
+                with self._lock:
+                    self._degraded_served += 1
+            yield {
+                "frame": FRAME_END,
+                "epoch": epoch,
+                "degraded": degraded,
+                "n_fragments": count,
+                "policy": policy,
+                "stats": _stats_body(stats),
+            }
+        finally:
+            fragments.close()
+
+    def stream(
+        self,
+        query: str,
+        subject=None,
+        semantics: str = CHO,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+        policy: str = PRUNE,
+        timeout: Optional[float] = None,
+    ):
+        """Stream one query's disseminated answers as protocol frames.
+
+        Returns an iterator of frame dictionaries: ``begin``, zero or
+        more ``fragment`` frames, then ``end`` — raising a typed
+        :class:`~repro.errors.ReproError` at any point instead of a
+        frame (callers turn it into a terminal ``error`` frame). The
+        whole stream reads one pinned snapshot epoch.
+
+        Concurrency contract: the stream occupies one admission slot
+        from its first pull to its last, so ``workers + queue_depth``
+        bounds in-flight streams and drained requests *together*; actual
+        fragment production is driven by whoever pulls the iterator (the
+        async server pulls via the service pool).
+
+        Deadline contract: the deadline covers queue wait (creation to
+        first pull) plus cumulative *service-side production time* — the
+        time spent computing frames — not wall-clock stream duration, so
+        flow control pausing a stream for a slow reader can never time
+        it out by itself.
+        """
+        if semantics not in SEMANTICS:
+            raise ServiceError(f"unknown semantics {semantics!r}")
+        if policy not in (PRUNE, HOIST):
+            raise BadRequest(f"unknown dissemination policy {policy!r}")
+        if not isinstance(query, str) or not query:
+            raise BadRequest("stream request needs a query string")
+        if subject is None:
+            raise BadRequest("fragment streaming requires a subject")
+        accepted = perf_counter()
+        deadline = timeout if timeout is not None else self.config.timeout
+
+        def frames():
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("service is closed")
+                if self._inflight >= self._limit:
+                    self._shed += 1
+                    raise ServiceOverloaded(self._inflight, self._limit)
+                if self.chaos is not None and self.chaos.should_overload():
+                    self._shed += 1
+                    raise ServiceOverloaded(self._inflight, self._limit)
+                self._inflight += 1
+                self._requests += 1
+                self._streams_started += 1
+            started = perf_counter()
+            queue_wait = started - accepted
+            produced = 0.0
+            outcome = "failed"
+            try:
+                with self._lock:
+                    self._queue_wait_total += queue_wait
+                    self._queue_wait_max = max(self._queue_wait_max, queue_wait)
+                if deadline is not None and queue_wait >= deadline:
+                    with self._lock:
+                        self._timeouts_in_queue += 1
+                        self._timeouts += 1
+                    raise ServiceTimeout(deadline, waited=queue_wait)
+                if self.chaos is not None:
+                    spike = self.chaos.service_latency()
+                    if spike > 0.0:
+                        time.sleep(spike)
+                inner = self._fragment_frames(
+                    query, subject, semantics, ordered, limit, policy
+                )
+                first_fragment = True
+                end_sent = False
+                while True:
+                    pull_started = perf_counter()
+                    try:
+                        frame = next(inner)
+                    except StopIteration:
+                        break
+                    finally:
+                        produced += perf_counter() - pull_started
+                    if deadline is not None and queue_wait + produced >= deadline:
+                        with self._lock:
+                            self._timeouts += 1
+                        raise ServiceTimeout(deadline)
+                    if frame.get("frame") == FRAME_FRAGMENT:
+                        if first_fragment:
+                            first_fragment = False
+                            ttff = perf_counter() - accepted
+                            with self._lock:
+                                self._ttff_total += ttff
+                                self._ttff_max = max(self._ttff_max, ttff)
+                                self._ttff_count += 1
+                        with self._lock:
+                            self._fragments_streamed += 1
+                    elif frame.get("frame") == FRAME_END:
+                        end_sent = True
+                    yield frame
+                outcome = "completed"
+            except GeneratorExit:
+                # Closed instead of drained. If the end frame already
+                # went out the protocol completed — the consumer just
+                # skipped the final (empty) pull; before that it is a
+                # true abandonment (client disconnect, early close) and
+                # the plan simply stops reading pages. Not a failure
+                # either way.
+                outcome = "completed" if end_sent else "abandoned"
+                raise
+            finally:
+                elapsed = queue_wait + produced
+                with self._lock:
+                    self._inflight -= 1
+                    self._latency_total += elapsed
+                    self._latency_max = max(self._latency_max, elapsed)
+                    if outcome == "completed":
+                        self._completed += 1
+                        self._streams_completed += 1
+                    elif outcome == "abandoned":
+                        self._streams_abandoned += 1
+                    else:
+                        self._failed += 1
+                        self._streams_failed += 1
+                if outcome != "abandoned":
+                    self.health.record_outcome(outcome == "completed")
+
+        return frames()
+
+    def evaluate_fragments(
+        self,
+        query: str,
+        subject=None,
+        semantics: str = CHO,
+        ordered: bool = False,
+        limit: Optional[int] = None,
+        policy: str = PRUNE,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The buffered (protocol v1) shape of :meth:`stream`.
+
+        Drains the same frame generator on the worker pool and returns
+        one response body — ``fragments`` as ``[position, xml]`` pairs
+        plus the ``end`` frame's accounting — so a v1 client sees
+        byte-identical fragments to a v2 stream, at the cost of
+        buffering the whole answer server-side (exactly the cost the v2
+        stream exists to avoid).
+        """
+        if semantics not in SEMANTICS:
+            raise ServiceError(f"unknown semantics {semantics!r}")
+        if policy not in (PRUNE, HOIST):
+            raise BadRequest(f"unknown dissemination policy {policy!r}")
+        if subject is None:
+            raise BadRequest("fragment dissemination requires a subject")
+
+        def work() -> Dict[str, Any]:
+            body: Dict[str, Any] = {"fragments": []}
+            for frame in self._fragment_frames(
+                query, subject, semantics, ordered, limit, policy
+            ):
+                kind = frame.get("frame")
+                if kind == FRAME_BEGIN:
+                    body["epoch"] = frame["epoch"]
+                    body["strict"] = frame["strict"]
+                elif kind == FRAME_FRAGMENT:
+                    body["fragments"].append([frame["position"], frame["xml"]])
+                elif kind == FRAME_END:
+                    for key, value in frame.items():
+                        if key != "frame":
+                            body[key] = value
+            return body
+
+        return self._submit(work, timeout)
+
+    def handle_stream(self, request: Dict[str, Any]):
+        """Serve one wire request as an iterator of response frames.
+
+        The streaming counterpart of :meth:`handle`: takes the protocol
+        request dictionary (``op`` must be ``query``), returns the frame
+        iterator. Malformed requests raise :class:`BadRequest` eagerly;
+        mid-stream failures raise out of the iterator — the wire server
+        maps either onto a terminal typed ``error`` frame.
+        """
+        if not isinstance(request, dict):
+            raise BadRequest("request must be a JSON object")
+        if request.get("op") != "query":
+            raise BadRequest("only query requests can stream")
+        return self.stream(
+            request.get("query"),
+            subject=request.get("subject"),
+            semantics=request.get("semantics", CHO),
+            ordered=bool(request.get("ordered", False)),
+            limit=request.get("limit"),
+            policy=request.get("policy", PRUNE),
+            timeout=request.get("timeout"),
+        )
+
     def health_report(self) -> Dict[str, Any]:
         """The ``health`` wire payload (never touches the pool)."""
         with self._lock:
@@ -431,6 +753,16 @@ class QueryService:
                     else 0.0
                 ),
                 "queue_wait_max": self._queue_wait_max,
+            }
+            ttff_n = self._ttff_count
+            report["streams"] = {
+                "started": self._streams_started,
+                "completed": self._streams_completed,
+                "failed": self._streams_failed,
+                "abandoned": self._streams_abandoned,
+                "fragments": self._fragments_streamed,
+                "ttff_mean": (self._ttff_total / ttff_n) if ttff_n else 0.0,
+                "ttff_max": self._ttff_max,
             }
         report["health"] = self.health.report(inflight, self._limit)
         if self.chaos is not None:
@@ -472,6 +804,17 @@ class QueryService:
                 query = request.get("query")
                 if not isinstance(query, str) or not query:
                     raise BadRequest("query request needs a query string")
+                if request.get("fragments"):
+                    body = self.evaluate_fragments(
+                        query,
+                        subject=request.get("subject"),
+                        semantics=request.get("semantics", CHO),
+                        ordered=bool(request.get("ordered", False)),
+                        limit=request.get("limit"),
+                        policy=request.get("policy", PRUNE),
+                        timeout=request.get("timeout"),
+                    )
+                    return {"ok": True, **body}
                 body = self.evaluate(
                     query,
                     subject=request.get("subject"),

@@ -1,0 +1,310 @@
+"""The asyncio NDJSON server: v1 compatibility, v2 multiplexing, chaos.
+
+Raw-socket tests (no client retry machinery) so every wire behavior is
+observed exactly as sent: hello negotiation, interleaved streams,
+in-band errors for malformed and oversized frames, abandoned-stream
+accounting, and the seeded network faults on the async write path.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.nok.engine import QueryEngine
+from repro.server.aserver import serve_async
+from repro.server.chaos import ChaosPlan, ChaosSpec
+from repro.server.protocol import encode_response
+from repro.server.service import QueryService, ServiceConfig
+
+
+@pytest.fixture
+def engine(small_doc):
+    masks = [0b11] * len(small_doc)
+    masks[5] = 0b01  # second subject loses the second <name> node
+    matrix = AccessMatrix.from_masks(masks, 2)
+    engine = QueryEngine.build(small_doc, matrix, use_store=True, page_size=128)
+    yield engine
+    engine.store.close()
+
+
+@pytest.fixture
+def service(engine):
+    svc = QueryService(engine, ServiceConfig(workers=2, queue_depth=4))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def running(service):
+    server = serve_async(service, host="127.0.0.1", port=0)
+    yield server
+    server.shutdown()
+
+
+class Wire:
+    """A blunt synchronous NDJSON peer."""
+
+    def __init__(self, address, timeout=10.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.reader = self.sock.makefile("rb")
+
+    def send(self, payload):
+        self.sock.sendall(encode_response(payload))
+
+    def recv(self):
+        line = self.reader.readline()
+        return json.loads(line) if line else None
+
+    def hello(self, version=2):
+        self.send({"op": "hello", "version": version})
+        return self.recv()
+
+    def close(self):
+        try:
+            self.reader.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class TestV1Compatibility:
+    def test_sequential_round_trip(self, running):
+        with Wire(running.address) as wire:
+            wire.send({"op": "ping"})
+            assert wire.recv()["pong"]
+            wire.send({"op": "query", "query": "//item/name", "subject": 0})
+            assert wire.recv()["n_answers"] == 2
+            wire.send({"op": "query", "query": "//item/name", "subject": 1})
+            assert wire.recv()["n_answers"] == 1
+            wire.send({"op": "metrics"})
+            assert wire.recv()["metrics"]["completed"] >= 2
+
+    def test_malformed_line_answered_in_band(self, running):
+        with Wire(running.address) as wire:
+            wire.sock.sendall(b"this is not json\n")
+            response = wire.recv()
+            assert response["ok"] is False
+            assert response["error"] == "BadRequest"
+            wire.send({"op": "ping"})
+            assert wire.recv()["pong"]  # the connection survives
+
+    def test_updates_flow_through(self, running):
+        with Wire(running.address) as wire:
+            wire.send({
+                "op": "update", "kind": "subject_range", "start": 0,
+                "end": 7, "subject": 0, "value": False,
+            })
+            assert wire.recv()["epoch"] == 1
+            wire.send({"op": "query", "query": "//item/name", "subject": 0})
+            assert wire.recv()["n_answers"] == 0
+
+
+class TestNegotiation:
+    def test_hello_upgrades_to_v2(self, running):
+        with Wire(running.address) as wire:
+            assert wire.hello(2) == {"ok": True, "version": 2}
+
+    def test_future_version_capped(self, running):
+        with Wire(running.address) as wire:
+            assert wire.hello(99)["version"] == 2
+
+    def test_v2_requires_ids(self, running):
+        with Wire(running.address) as wire:
+            wire.hello(2)
+            wire.send({"op": "ping"})
+            response = wire.recv()
+            assert response["error"] == "BadRequest"
+            assert "id" in response["message"]
+
+    def test_v1_connection_rejects_stream_requests(self, running):
+        with Wire(running.address) as wire:
+            wire.send({
+                "op": "query", "query": "//item", "subject": 0,
+                "stream": True,
+            })
+            # without the hello, the request is served drained (v1 has
+            # no frames): a plain positions body comes back
+            response = wire.recv()
+            assert response["ok"] and "positions" in response
+
+
+class TestV2Streams:
+    def test_stream_frame_sequence(self, running):
+        with Wire(running.address) as wire:
+            wire.hello(2)
+            wire.send({
+                "id": 7, "op": "query", "query": "//item/name",
+                "subject": 0, "stream": True, "ordered": True,
+            })
+            frames = [wire.recv() for _ in range(4)]
+        kinds = [f["frame"] for f in frames]
+        assert kinds == ["begin", "fragment", "fragment", "end"]
+        assert all(f["id"] == 7 for f in frames)
+        assert [f["seq"] for f in frames[1:3]] == [0, 1]
+        assert frames[3]["n_fragments"] == 2
+        assert frames[3]["stats"]["access_class"] is not None
+
+    def test_multiplexed_streams_and_pings_interleave(self, running):
+        with Wire(running.address) as wire:
+            wire.hello(2)
+            wire.send({
+                "id": "a", "op": "query", "query": "//item/name",
+                "subject": 0, "stream": True,
+            })
+            wire.send({
+                "id": "b", "op": "query", "query": "//item/name",
+                "subject": 1, "stream": True,
+            })
+            wire.send({"id": "c", "op": "ping"})
+            by_id = {"a": [], "b": [], "c": []}
+            while not all(
+                (frames and frames[-1].get("frame") in ("end", "reply"))
+                for frames in by_id.values()
+            ):
+                frame = wire.recv()
+                assert frame is not None
+                by_id[frame["id"]].append(frame)
+        assert by_id["c"][0]["frame"] == "reply" and by_id["c"][0]["pong"]
+        assert [f["frame"] for f in by_id["a"]] == \
+            ["begin", "fragment", "fragment", "end"]
+        assert [f["frame"] for f in by_id["b"]] == \
+            ["begin", "fragment", "end"]  # subject 1 lost a name
+
+    def test_stream_error_is_a_typed_terminal_frame(self, running):
+        with Wire(running.address) as wire:
+            wire.hello(2)
+            wire.send({
+                "id": 1, "op": "query", "query": "//item[",
+                "subject": 0, "stream": True,
+            })
+            frame = wire.recv()
+            assert frame["frame"] == "error"
+            assert frame["error"] == "QueryParseError"
+            assert frame["retriable"] is False
+            # the connection keeps multiplexing
+            wire.send({"id": 2, "op": "ping"})
+            assert wire.recv()["pong"]
+
+    def test_abandoned_stream_is_counted_not_failed(self, running, service):
+        wire = Wire(running.address)
+        wire.hello(2)
+        wire.send({
+            "id": 1, "op": "query", "query": "//item", "subject": 0,
+            "stream": True,
+        })
+        assert wire.recv()["frame"] == "begin"
+        wire.close()  # walk away mid-stream
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            streams = service.metrics()["streams"]
+            if streams["started"] == streams["completed"] \
+                    + streams["abandoned"]:
+                break
+            time.sleep(0.01)
+        streams = service.metrics()["streams"]
+        assert streams["started"] == 1
+        assert streams["failed"] == 0
+        assert streams["completed"] + streams["abandoned"] == 1
+
+
+class TestFraming:
+    def test_oversized_frame_in_band_with_configured_cap(self, service):
+        server = serve_async(
+            service, host="127.0.0.1", port=0, max_request_bytes=512
+        )
+        try:
+            with Wire(server.address) as wire:
+                wire.sock.sendall(
+                    b'{"op":"query","query":"' + b"a" * 600 + b'"}\n'
+                )
+                response = wire.recv()
+                assert response["error"] == "BadRequest"
+                assert "exceeds" in response["message"]
+                wire.send({"op": "ping"})
+                assert wire.recv()["pong"]
+        finally:
+            server.shutdown()
+
+    def test_service_config_cap_is_the_default(self, engine):
+        svc = QueryService(
+            engine, ServiceConfig(workers=1, max_request_bytes=256)
+        )
+        server = serve_async(svc, host="127.0.0.1", port=0)
+        try:
+            assert server.server.max_request_bytes == 256
+            with Wire(server.address) as wire:
+                wire.sock.sendall(b'{"pad":"' + b"x" * 300 + b'"}\n')
+                assert wire.recv()["error"] == "BadRequest"
+        finally:
+            server.shutdown()
+            svc.close()
+
+
+class TestChaosWritePath:
+    """The seeded network faults act on the async writer too."""
+
+    def _serve(self, service, **faults):
+        chaos = ChaosPlan(ChaosSpec(seed=3, **faults))
+        return serve_async(service, host="127.0.0.1", port=0, chaos=chaos)
+
+    def test_slow_writes_still_deliver_correct_bytes(self, service):
+        server = self._serve(service, slow_write_rate=1.0)
+        try:
+            with Wire(server.address) as wire:
+                wire.send({"op": "query", "query": "//item/name", "subject": 0})
+                response = wire.recv()
+                assert response["ok"] and response["n_answers"] == 2
+            assert server.server.chaos.stats()["slow_write"] >= 1
+        finally:
+            server.shutdown()
+
+    def test_dropped_connection_never_sends_a_partial_json(self, service):
+        server = self._serve(service, drop_rate=1.0)
+        try:
+            with Wire(server.address) as wire:
+                wire.send({"op": "ping"})
+                assert wire.reader.readline() == b""  # closed, nothing sent
+        finally:
+            server.shutdown()
+
+    def test_torn_write_is_detectably_incomplete(self, service):
+        server = self._serve(service, tear_rate=1.0)
+        try:
+            with Wire(server.address) as wire:
+                wire.send({"op": "ping"})
+                data = wire.reader.readline()
+                # half a frame, then close: never parseable as a reply
+                assert not data.endswith(b"\n") or data == b""
+        finally:
+            server.shutdown()
+
+
+class TestConcurrency:
+    def test_many_idle_connections_are_cheap(self, running):
+        wires = [Wire(running.address) for _ in range(128)]
+        try:
+            for i, wire in enumerate(wires):
+                wire.send({"op": "ping"} if i % 2 else {"op": "health"})
+            for wire in wires:
+                assert wire.recv()["ok"]
+            assert running.server.connections_peak >= 128
+        finally:
+            for wire in wires:
+                wire.close()
+
+    def test_shutdown_with_connections_open_is_clean(self, service):
+        server = serve_async(service, host="127.0.0.1", port=0)
+        wire = Wire(server.address)
+        wire.send({"op": "ping"})
+        assert wire.recv()["pong"]
+        server.shutdown()  # must not hang on the open connection
+        assert wire.reader.readline() == b""
+        wire.close()

@@ -70,12 +70,14 @@ def test_matrix_is_large_enough():
     assert layers == {"storage", "service", "network", "updates"}
 
 
+@pytest.mark.parametrize("server", ["thread", "async"])
 @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
-def test_chaos_scenario(scenario, tmp_path):
-    report = run_scenario(scenario, str(tmp_path))
+def test_chaos_scenario(scenario, server, tmp_path):
+    report = run_scenario(scenario, str(tmp_path), server=server)
     _REPORTS.append(report)
     repro_hint = (
-        f"[reproduce: scenario {scenario.name!r}, seed {scenario.seed}]"
+        f"[reproduce: scenario {scenario.name!r}, seed {scenario.seed}, "
+        f"server {server!r}]"
     )
     assert report["violations"] == [], (
         f"wrong answers under chaos {repro_hint}: {report['violations']}"

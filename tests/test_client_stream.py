@@ -1,0 +1,275 @@
+"""Client-side streaming: mid-stream retry rules, sync and async.
+
+A scripted v2 server plays back one action list per connection
+attempt — frames to send, then optionally tearing the connection — so
+every branch of the stream retry loop runs deterministically: resume
+with seq-skip, epoch pinning across retries, typed terminal errors,
+and exhaustion. The happy paths additionally run against the real
+asyncio server (see ``test_aserver.py`` for the wire itself).
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.errors import (
+    ClientError,
+    ConnectionFailed,
+    PageCorruptionError,
+    QueryParseError,
+    ServiceTimeout,
+)
+from repro.nok.engine import QueryEngine
+from repro.server.aclient import AsyncResilientClient
+from repro.server.aserver import serve_async
+from repro.server.client import ResilientClient, RetryPolicy
+from repro.server.protocol import encode_error, encode_response
+from repro.server.service import QueryService, ServiceConfig
+
+FAST = RetryPolicy(
+    max_attempts=4, base_delay_s=0.005, max_delay_s=0.02, deadline_s=5.0
+)
+
+
+def begin(epoch=3, strict=True):
+    return {"id": 1, "frame": "begin", "epoch": epoch, "strict": strict}
+
+
+def frag(seq):
+    return {
+        "id": 1, "frame": "fragment", "seq": seq, "position": 10 + seq,
+        "xml": f"<name>n{seq}</name>",
+    }
+
+
+def end(n):
+    return {
+        "id": 1, "frame": "end", "epoch": 3, "degraded": False,
+        "n_fragments": n, "policy": "prune", "stats": {},
+    }
+
+
+class ScriptedStreamServer:
+    """One action list per accepted connection.
+
+    Each action list is a sequence of frames to write after answering
+    the hello; the string ``"tear"`` drops the connection mid-list.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self._closed = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.1)
+        self.address = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._closed:
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                self._serve(conn)
+
+    def _serve(self, conn):
+        reader = conn.makefile("rb")
+        conn.settimeout(2.0)
+        try:
+            hello = json.loads(reader.readline())
+            assert hello["op"] == "hello"
+            self.requests.append(json.loads(reader.readline()))
+            conn.sendall(encode_response({"ok": True, "version": 2}))
+            actions = self.script.pop(0) if self.script else []
+            for action in actions:
+                if action == "tear":
+                    return
+                if action == "hang":
+                    time.sleep(1.0)
+                    continue
+                conn.sendall(encode_response(action))
+        except (OSError, ValueError):
+            return
+
+    def close(self):
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=2)
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def start(script):
+        server = ScriptedStreamServer(script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestStreamRetry:
+    def test_clean_stream_yields_every_frame_once(self, scripted):
+        server = scripted([[begin(), frag(0), frag(1), end(2)]])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            frames = list(client.stream("//item/name", subject=0))
+        assert [f["frame"] for f in frames] == \
+            ["begin", "fragment", "fragment", "end"]
+        assert len(server.requests) == 1
+        assert server.requests[0]["stream"] is True
+
+    def test_mid_stream_tear_resumes_without_duplicates(self, scripted):
+        server = scripted([
+            [begin(), frag(0), "tear"],
+            [begin(), frag(0), frag(1), frag(2), end(3)],
+        ])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            frames = list(client.stream("//item/name", subject=0))
+        fragments = [f for f in frames if f["frame"] == "fragment"]
+        # the replayed seq-0 fragment was skipped: exactly-once delivery
+        assert [f["seq"] for f in fragments] == [0, 1, 2]
+        assert sum(1 for f in frames if f["frame"] == "begin") == 1
+        assert len(server.requests) == 2
+        assert client.stats["retries"] == 1
+
+    def test_epoch_change_across_retry_is_terminal(self, scripted):
+        server = scripted([
+            [begin(epoch=3), frag(0), "tear"],
+            [begin(epoch=4), frag(0), frag(1), end(2)],
+        ])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            with pytest.raises(ClientError, match="epoch changed"):
+                list(client.stream("//item/name", subject=0))
+
+    def test_typed_terminal_error_raises_without_retry(self, scripted):
+        server = scripted([
+            [{"id": 1, "frame": "error",
+              **encode_error(QueryParseError("bad"))}],
+        ])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            with pytest.raises(QueryParseError):
+                list(client.stream("//item[", subject=0))
+        assert len(server.requests) == 1
+
+    def test_retriable_mid_stream_error_retries_from_scratch(self, scripted):
+        server = scripted([
+            [begin(), {"id": 1, "frame": "error",
+                       **encode_error(PageCorruptionError(3))}],
+            [begin(), frag(0), end(1)],
+        ])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            frames = list(client.stream("//item/name", subject=0))
+        assert frames[-1]["frame"] == "end"
+        assert len(server.requests) == 2
+
+    def test_persistent_tearing_exhausts_attempts(self, scripted):
+        server = scripted([[begin(), "tear"]] * 4)
+        with ResilientClient(*server.address, policy=FAST) as client:
+            with pytest.raises(ConnectionFailed):
+                list(client.stream("//item/name", subject=0))
+        assert len(server.requests) == 4
+
+    def test_deadline_bounds_the_whole_stream(self, scripted):
+        # a server that never sends the end frame: the read blocks
+        server = scripted([[begin(), frag(0), "hang"]] * 4)
+        with ResilientClient(*server.address, policy=FAST) as client:
+            with pytest.raises(ServiceTimeout):
+                list(client.stream("//item/name", subject=0, deadline_s=0.3))
+
+    def test_deadline_rides_in_the_stream_request(self, scripted):
+        server = scripted([[begin(), end(0)]])
+        with ResilientClient(*server.address, policy=FAST) as client:
+            list(client.stream("//item/name", subject=0, deadline_s=2.0))
+        assert 0 < server.requests[0]["timeout"] <= 2.0
+
+
+@pytest.fixture
+def real_stack(small_doc):
+    masks = [0b11] * len(small_doc)
+    masks[5] = 0b01
+    matrix = AccessMatrix.from_masks(masks, 2)
+    engine = QueryEngine.build(small_doc, matrix, use_store=True, page_size=128)
+    service = QueryService(engine, ServiceConfig(workers=2, queue_depth=4))
+    server = serve_async(service, host="127.0.0.1", port=0)
+    yield server
+    server.shutdown()
+    service.close()
+    engine.store.close()
+
+
+class TestAgainstRealServer:
+    def test_sync_stream_end_to_end(self, real_stack):
+        with ResilientClient(*real_stack.address, policy=FAST) as client:
+            frames = list(
+                client.stream("//item/name", subject=0, ordered=True)
+            )
+        assert [f["frame"] for f in frames] == \
+            ["begin", "fragment", "fragment", "end"]
+        assert frames[-1]["degraded"] is False
+
+    def test_async_client_requests_multiplex(self, real_stack):
+        async def run():
+            async with AsyncResilientClient(
+                *real_stack.address, policy=FAST
+            ) as client:
+                results = await asyncio.gather(*[
+                    client.query("//item/name", subject=i % 2)
+                    for i in range(10)
+                ])
+                assert await client.ping()
+                return results
+
+        results = asyncio.run(run())
+        assert [r["n_answers"] for r in results] == [2, 1] * 5
+
+    def test_async_stream_end_to_end(self, real_stack):
+        async def run():
+            async with AsyncResilientClient(
+                *real_stack.address, policy=FAST
+            ) as client:
+                return [
+                    frame
+                    async for frame in client.stream(
+                        "//item/name", subject=1, ordered=True
+                    )
+                ]
+
+        frames = asyncio.run(run())
+        assert [f["frame"] for f in frames] == ["begin", "fragment", "end"]
+        assert frames[1]["xml"].startswith("<name")
+
+    def test_async_client_update_and_health(self, real_stack):
+        async def run():
+            async with AsyncResilientClient(
+                *real_stack.address, policy=FAST
+            ) as client:
+                body = await client.update(
+                    "subject_range", 0, 7, subject=0, value=False
+                )
+                after = await client.query("//item/name", subject=0)
+                health = await client.health()
+                return body, after, health
+
+        body, after, health = asyncio.run(run())
+        assert body["epoch"] == 1
+        assert after["n_answers"] == 0
+        assert health["state"] == "healthy"

@@ -1,0 +1,269 @@
+"""The HTTP/JSON front end riding on the asyncio serving stack.
+
+Drives the front end with the stdlib ``http.client`` so header
+parsing, status mapping, chunked streaming, and connection teardown
+are exercised against a real HTTP implementation rather than a
+hand-rolled peer.
+"""
+
+import json
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.acl.model import AccessMatrix
+from repro.errors import (
+    AccessControlError,
+    BadRequest,
+    QueryParseError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.nok.engine import QueryEngine
+from repro.server.aserver import serve_async
+from repro.server.http import status_for, status_for_name
+from repro.server.service import QueryService, ServiceConfig
+
+
+@pytest.fixture
+def engine(small_doc):
+    masks = [0b11] * len(small_doc)
+    masks[5] = 0b01
+    matrix = AccessMatrix.from_masks(masks, 2)
+    engine = QueryEngine.build(small_doc, matrix, use_store=True, page_size=128)
+    yield engine
+    engine.store.close()
+
+
+@pytest.fixture
+def running(engine):
+    service = QueryService(engine, ServiceConfig(workers=2, queue_depth=4))
+    server = serve_async(service, host="127.0.0.1", port=0, http_port=0)
+    yield server
+    server.shutdown()
+    service.close()
+
+
+def http(server):
+    host, port = server.http_address
+    return HTTPConnection(host, port, timeout=10)
+
+
+def post_query(server, payload):
+    conn = http(server)
+    try:
+        body = json.dumps(payload)
+        conn.request(
+            "POST", "/query", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_health(self, running):
+        conn = http(running)
+        try:
+            conn.request("GET", "/health")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["state"] == "healthy"
+        finally:
+            conn.close()
+
+    def test_metrics(self, running):
+        post_query(running, {"query": "//item/name", "subject": 0})
+        conn = http(running)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            metrics = json.loads(response.read())
+            assert metrics["completed"] >= 1
+            assert "streams" in metrics
+        finally:
+            conn.close()
+
+    def test_unknown_route_404(self, running):
+        conn = http(running)
+        try:
+            conn.request("GET", "/nope")
+            assert conn.getresponse().status == 404
+        finally:
+            conn.close()
+
+    def test_query_requires_post(self, running):
+        conn = http(running)
+        try:
+            conn.request("GET", "/query")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+
+class TestQuery:
+    def test_drained_query(self, running):
+        status, body = post_query(
+            running, {"query": "//item/name", "subject": 0}
+        )
+        assert status == 200
+        assert body["ok"] and body["n_answers"] == 2
+
+    def test_buffered_fragments_body(self, running):
+        status, body = post_query(
+            running,
+            {"query": "//item/name", "subject": 1, "fragments": True},
+        )
+        assert status == 200
+        assert len(body["fragments"]) == 1  # subject 1 lost a name
+
+    def test_bad_json_body_is_400(self, running):
+        conn = http(running)
+        try:
+            conn.request(
+                "POST", "/query", body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"] == "BadRequest"
+        finally:
+            conn.close()
+
+    def test_parse_error_maps_to_400(self, running):
+        status, body = post_query(running, {"query": "//item[", "subject": 0})
+        assert status == 400
+        assert body["error"] == "QueryParseError"
+        assert body["retriable"] is False
+
+    def test_oversized_body_is_413(self, engine):
+        service = QueryService(
+            engine, ServiceConfig(workers=1, max_request_bytes=256)
+        )
+        server = serve_async(service, host="127.0.0.1", port=0, http_port=0)
+        try:
+            conn = http(server)
+            try:
+                conn.request(
+                    "POST", "/query", body="x" * 500,
+                    headers={"Content-Type": "application/json"},
+                )
+                assert conn.getresponse().status == 413
+            finally:
+                conn.close()
+        finally:
+            server.shutdown()
+            service.close()
+
+
+class TestStreaming:
+    def test_chunked_ndjson_stream(self, running):
+        conn = http(running)
+        try:
+            conn.request(
+                "POST", "/query",
+                body=json.dumps({
+                    "query": "//item/name", "subject": 0, "stream": True,
+                    "ordered": True,
+                }),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            frames = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+            ]
+        finally:
+            conn.close()
+        assert [f["frame"] for f in frames] == \
+            ["begin", "fragment", "fragment", "end"]
+        assert frames[-1]["n_fragments"] == 2
+
+    def test_eager_validation_error_is_a_status(self, running):
+        conn = http(running)
+        try:
+            conn.request(
+                "POST", "/query",
+                body=json.dumps({"query": "//item", "stream": True}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            # no subject: rejected before the stream opens, so the
+            # failure still has a status line
+            assert response.status == 400
+            assert json.loads(response.read())["error"] == "BadRequest"
+        finally:
+            conn.close()
+
+    def test_lazy_error_is_a_terminal_frame(self, running):
+        conn = http(running)
+        try:
+            conn.request(
+                "POST", "/query",
+                body=json.dumps({"query": "//item[", "subject": 0,
+                                 "stream": True}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            # compilation happens at first pull — after the 200 head —
+            # so the parse error arrives as the terminal typed frame,
+            # exactly like protocol v2
+            assert response.status == 200
+            frames = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+            ]
+        finally:
+            conn.close()
+        assert [f["frame"] for f in frames] == ["error"]
+        assert frames[0]["error"] == "QueryParseError"
+
+    def test_stream_matches_buffered_fragments(self, running):
+        _, body = post_query(
+            running,
+            {"query": "//item/name", "subject": 0, "fragments": True},
+        )
+        conn = http(running)
+        try:
+            conn.request(
+                "POST", "/query",
+                body=json.dumps({"query": "//item/name", "subject": 0,
+                                 "stream": True}),
+                headers={"Content-Type": "application/json"},
+            )
+            frames = [
+                json.loads(line)
+                for line in conn.getresponse().read().decode().splitlines()
+            ]
+        finally:
+            conn.close()
+        streamed = [
+            [f["position"], f["xml"]]
+            for f in frames if f["frame"] == "fragment"
+        ]
+        assert streamed == body["fragments"]
+
+
+class TestStatusMapping:
+    @pytest.mark.parametrize("exc,status", [
+        (ServiceOverloaded(4, 4), 503),
+        (ServiceUnavailable("closed"), 503),
+        (ServiceTimeout(1.0), 504),
+        (AccessControlError("denied"), 403),
+        (BadRequest("nope"), 400),
+        (QueryParseError("bad query"), 400),
+        (ServiceError("other"), 500),
+    ])
+    def test_status_for(self, exc, status):
+        assert status_for(exc) == status
+        assert status_for_name(type(exc).__name__) == status
+
+    def test_unknown_names_are_500(self):
+        assert status_for_name("NotAnError") == 500

@@ -1,0 +1,144 @@
+"""Protocol v2: negotiation, request ids, and the framed stream grammar.
+
+Pure wire-format tests — no sockets, no service. The server and client
+tests exercise the same helpers end to end; here every edge of the
+grammar is pinned down in isolation.
+"""
+
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    PageCorruptionError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.server.protocol import (
+    FRAME_BEGIN,
+    FRAME_END,
+    FRAME_ERROR,
+    FRAME_FRAGMENT,
+    FRAME_REPLY,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    SUPPORTED_VERSIONS,
+    begin_frame,
+    decode_error,
+    decode_request,
+    encode_error,
+    end_frame,
+    error_frame,
+    fragment_frame,
+    hello_response,
+    is_retriable,
+    negotiate_version,
+    reply_frame,
+    request_id,
+)
+
+
+class TestNegotiation:
+    def test_v2_client_gets_v2(self):
+        assert negotiate_version({"op": "hello", "version": 2}) == PROTOCOL_V2
+
+    def test_future_client_is_capped_at_newest_supported(self):
+        assert negotiate_version({"op": "hello", "version": 99}) == PROTOCOL_V2
+
+    def test_versionless_hello_is_a_v1_probe(self):
+        assert negotiate_version({"op": "hello"}) == PROTOCOL_V1
+
+    def test_explicit_v1_stays_v1(self):
+        assert negotiate_version({"op": "hello", "version": 1}) == PROTOCOL_V1
+
+    @pytest.mark.parametrize("version", [0, -3, "two", True, 1.5, None])
+    def test_unusable_versions_rejected(self, version):
+        with pytest.raises(BadRequest):
+            negotiate_version({"op": "hello", "version": version})
+
+    def test_hello_response_names_the_agreed_version(self):
+        assert hello_response(2) == {"ok": True, "version": 2}
+
+    def test_supported_versions_are_contiguous(self):
+        assert SUPPORTED_VERSIONS == (1, 2)
+
+
+class TestRequestId:
+    @pytest.mark.parametrize("rid", [0, 7, "abc", 3.5])
+    def test_scalar_ids_pass_through(self, rid):
+        assert request_id({"id": rid}) == rid
+
+    @pytest.mark.parametrize("payload", [{}, {"id": None}, {"id": [1]}, {"id": {}}])
+    def test_missing_or_structured_ids_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            request_id(payload)
+
+
+class TestFrames:
+    def test_reply_frame_wraps_v1_body(self):
+        frame = reply_frame(4, {"ok": True, "pong": True})
+        assert frame == {"id": 4, "frame": FRAME_REPLY, "ok": True, "pong": True}
+
+    def test_begin_frame_carries_epoch_and_strictness(self):
+        frame = begin_frame("q1", 9, False)
+        assert frame == {
+            "id": "q1", "frame": FRAME_BEGIN, "epoch": 9, "strict": False,
+        }
+
+    def test_fragment_frames_number_from_zero(self):
+        frame = fragment_frame(1, 0, 17, "<item/>")
+        assert frame["frame"] == FRAME_FRAGMENT
+        assert (frame["seq"], frame["position"], frame["xml"]) == (0, 17, "<item/>")
+
+    def test_end_frame_merges_the_accounting_body(self):
+        frame = end_frame(1, {"epoch": 2, "degraded": False, "n_fragments": 3})
+        assert frame["frame"] == FRAME_END
+        assert frame["n_fragments"] == 3
+
+    def test_error_frame_is_typed_and_classified(self):
+        frame = error_frame(5, ServiceOverloaded(4, 4))
+        assert frame["frame"] == FRAME_ERROR
+        assert frame["id"] == 5
+        assert frame["ok"] is False
+        assert frame["error"] == "ServiceOverloaded"
+        assert frame["retriable"] is True
+
+    def test_error_frame_round_trips_to_the_type(self):
+        frame = error_frame(1, PageCorruptionError(12, detail="checksum"))
+        exc = decode_error(frame)
+        assert isinstance(exc, PageCorruptionError)
+        # corruption is retriable: the retry runs degraded around the
+        # quarantine instead of failing the same way again
+        assert is_retriable(exc)
+
+
+class TestRequestCap:
+    def test_per_call_cap_overrides_the_default(self):
+        line = '{"op": "query", "query": "//item"}'
+        assert decode_request(line, max_bytes=len(line))["op"] == "query"
+        with pytest.raises(BadRequest):
+            decode_request(line, max_bytes=len(line) - 1)
+
+    def test_default_cap_still_applies_without_override(self):
+        huge = '{"op": "x", "pad": "' + "a" * (1 << 20) + '"}'
+        with pytest.raises(BadRequest):
+            decode_request(huge)
+
+
+class TestErrorTaxonomy:
+    def test_unknown_wire_names_are_terminal(self):
+        assert is_retriable("TotallyMadeUpError") is False
+
+    def test_registry_classification_matches_classes(self):
+        assert is_retriable("ServiceOverloaded") is True
+        assert is_retriable("BadRequest") is False
+
+    def test_decode_error_falls_back_to_service_error(self):
+        exc = decode_error({"error": "NotARealName", "message": "m"})
+        assert type(exc) is ServiceError
+        assert str(exc) == "m"
+
+    def test_encode_decode_preserves_message(self):
+        original = BadRequest("stream request needs a query string")
+        exc = decode_error(encode_error(original))
+        assert type(exc) is BadRequest
+        assert str(exc) == str(original)

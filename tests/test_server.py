@@ -266,6 +266,95 @@ class TestResilientServing:
             svc.close()
 
 
+class TestServiceStreaming:
+    def test_stream_frames_and_metrics(self, service):
+        frames = list(
+            service.stream("//item/name", subject=0, ordered=True)
+        )
+        assert [f["frame"] for f in frames] == \
+            ["begin", "fragment", "fragment", "end"]
+        assert frames[-1]["n_fragments"] == 2
+        streams = service.metrics()["streams"]
+        assert streams["started"] == streams["completed"] == 1
+        assert streams["fragments"] == 2
+        assert 0 < streams["ttff_mean"] <= streams["ttff_max"]
+
+    def test_handle_stream_requires_a_query_op(self, service):
+        with pytest.raises(ServiceError):
+            service.handle_stream({"op": "metrics"})
+        with pytest.raises(ServiceError):
+            service.handle_stream([])
+
+    def test_eager_validation_raises_before_iteration(self, service):
+        with pytest.raises(ServiceError):
+            service.stream("//item", subject=0, semantics="nope")
+        with pytest.raises(ServiceError):
+            service.stream("//item")  # no subject
+        # nothing was admitted
+        assert service.metrics()["streams"]["started"] == 0
+
+    def test_abandoned_stream_is_counted_separately(self, service):
+        frames = service.stream("//item", subject=0)
+        assert next(frames)["frame"] == "begin"
+        frames.close()
+        streams = service.metrics()["streams"]
+        assert streams["abandoned"] == 1
+        assert streams["failed"] == 0
+        assert service.metrics()["inflight"] == 0
+        # abandonment is not a service failure: health stays clean
+        assert service.health_report()["state"] == "healthy"
+
+    def test_streams_share_the_admission_limit(self, engine):
+        svc = QueryService(engine, ServiceConfig(workers=1, queue_depth=0))
+        first = svc.stream("//item/name", subject=0)
+        try:
+            next(first)  # occupies the only slot
+            second = svc.stream("//item/name", subject=0)
+            with pytest.raises(ServiceOverloaded):
+                next(second)
+            assert svc.metrics()["shed"] == 1
+        finally:
+            first.close()
+            svc.close()
+
+    def test_zero_deadline_times_out_in_queue(self, service):
+        frames = service.stream("//item/name", subject=0, timeout=0.0)
+        with pytest.raises(ServiceTimeout):
+            next(frames)
+        metrics = service.metrics()
+        assert metrics["timeouts_in_queue"] == 1
+        assert metrics["streams"]["failed"] == 1
+
+
+class TestDeterministicShutdown:
+    def test_server_context_manager_closes_service_and_store(
+        self, engine, monkeypatch
+    ):
+        closed = []
+        store_close = engine.store.close
+        monkeypatch.setattr(
+            engine.store, "close",
+            lambda: (closed.append(True), store_close())[1],
+        )
+        service = QueryService(engine, ServiceConfig(workers=1))
+        with serve(service, host="127.0.0.1", port=0, background=True) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=5) as conn:
+                conn.sendall(encode_response({"op": "ping"}))
+                assert json.loads(conn.makefile("rb").readline())["pong"]
+        # the exit closed the whole chain: service rejects further work,
+        # and the store got its clean shutdown
+        with pytest.raises(ServiceError):
+            service.evaluate("//item", subject=0)
+        assert closed
+
+    def test_close_all_is_idempotent(self, engine):
+        service = QueryService(engine, ServiceConfig(workers=1))
+        server = serve(service, host="127.0.0.1", port=0, background=True)
+        server.close_all()
+        server.close_all()  # every link tolerates a second call
+
+
 class TestProtocol:
     def test_decode_rejects_non_objects(self):
         with pytest.raises(ServiceError):

@@ -1,0 +1,195 @@
+"""Transport differential: every path serves the *same* fragments.
+
+One service, three transports — the in-process
+``stream_answer_fragments`` iterator, the v1 buffered ``fragments``
+body over the threaded NDJSON server, and the v2 framed stream over
+the asyncio server. For healthy, degraded, and typed-error runs alike,
+all three must agree byte for byte: same positions, same XML
+fragments, same epoch/strict/degraded accounting, same error types.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    PageCorruptionError,
+    QueryParseError,
+)
+from repro.nok.engine import QueryEngine
+from repro.secure.dissemination import stream_answer_fragments
+from repro.server.aserver import serve_async
+from repro.server.chaos import ChaosPlan, ChaosSpec
+from repro.server.client import ResilientClient, RetryPolicy
+from repro.server.health import HealthConfig
+from repro.server.netserver import serve
+from repro.server.service import QueryService, ServiceConfig
+
+QUERY = "//item/name"
+ONE_SHOT = RetryPolicy(
+    max_attempts=1, base_delay_s=0.005, max_delay_s=0.01, deadline_s=10.0
+)
+
+
+@pytest.fixture(scope="module")
+def engine(xmark_doc, xmark_acl):
+    engine = QueryEngine.build(
+        xmark_doc, xmark_acl, use_store=True, page_size=512
+    )
+    yield engine
+    engine.store.close()
+
+
+@pytest.fixture
+def stack(engine):
+    """The full differential stack: one service, both wire servers."""
+    service = QueryService(
+        engine,
+        ServiceConfig(workers=2, queue_depth=4),
+        # cache opt-ins shed: every transport must actually read pages,
+        # so quarantine effects are identical across runs
+        chaos=ChaosPlan(ChaosSpec(seed=0, disable_caches=True)),
+        health_config=HealthConfig(corruption_trip=1, probe_interval_s=60.0),
+    )
+    service._last_quarantine_probe = time.monotonic()
+    v1 = serve(service, host="127.0.0.1", port=0, background=True)
+    v2 = serve_async(service, host="127.0.0.1", port=0)
+    try:
+        yield service, v1.address, v2.address
+    finally:
+        v2.shutdown()
+        v1.shutdown()
+        v1.server_close()
+        service.close()
+        engine.store.clear_quarantine()
+
+
+def inprocess_fragments(engine, subject, strict=True, **kwargs):
+    stream = stream_answer_fragments(
+        engine, QUERY, subject, strict=strict, use_run_cache=False, **kwargs
+    )
+    try:
+        return [[pos, xml] for pos, xml in stream]
+    finally:
+        stream.close()
+
+
+def v1_fragments_body(address, subject):
+    with ResilientClient(*address, policy=ONE_SHOT) as client:
+        return client.request(
+            {"op": "query", "query": QUERY, "subject": subject,
+             "fragments": True}
+        )
+
+
+def v2_stream_frames(address, subject, policy=ONE_SHOT):
+    with ResilientClient(*address, policy=policy) as client:
+        return list(client.stream(QUERY, subject=subject))
+
+
+def split_frames(frames):
+    begin, end = frames[0], frames[-1]
+    assert begin["frame"] == "begin"
+    assert end["frame"] == "end"
+    body = [[f["position"], f["xml"]] for f in frames[1:-1]]
+    assert [f["seq"] for f in frames[1:-1]] == list(range(len(body)))
+    return begin, body, end
+
+
+class TestHealthyDifferential:
+    def test_three_transports_agree_byte_for_byte(self, stack):
+        service, v1_addr, v2_addr = stack
+        reference = inprocess_fragments(service.engine, 0)
+        assert reference  # non-vacuous
+
+        body = v1_fragments_body(v1_addr, 0)
+        assert body["ok"] and body["strict"] and not body["degraded"]
+        assert body["fragments"] == reference
+
+        begin, streamed, end = split_frames(v2_stream_frames(v2_addr, 0))
+        assert streamed == reference
+        assert begin["strict"] is True
+        assert begin["epoch"] == body["epoch"]
+        assert end["degraded"] is False
+        assert end["n_fragments"] == body["n_fragments"] == len(reference)
+        assert end["policy"] == body["policy"]
+
+    def test_agreement_holds_per_subject(self, stack):
+        service, v1_addr, v2_addr = stack
+        for subject in (1, 2):
+            reference = inprocess_fragments(service.engine, subject)
+            assert v1_fragments_body(v1_addr, subject)["fragments"] == reference
+            _, streamed, _ = split_frames(v2_stream_frames(v2_addr, subject))
+            assert streamed == reference
+
+
+class TestDegradedDifferential:
+    def test_degraded_runs_agree_and_are_subsets(self, stack):
+        service, v1_addr, v2_addr = stack
+        engine = service.engine
+        full = inprocess_fragments(engine, 0)
+        engine.store.quarantined.update(range(0, 4096, 3))
+        try:
+            # one drained request trips the breaker (corruption_trip=1):
+            # everything after runs degraded around the quarantine
+            first = service.evaluate(QUERY, subject=0)
+            assert first["degraded"] is True
+            assert service.health.breaker.state == "open"
+
+            reference = inprocess_fragments(engine, 0, strict=False)
+            assert set(map(tuple, reference)) < set(map(tuple, full))
+
+            body = v1_fragments_body(v1_addr, 0)
+            assert body["degraded"] is True and body["strict"] is False
+            assert body["fragments"] == reference
+
+            begin, streamed, end = split_frames(v2_stream_frames(v2_addr, 0))
+            assert begin["strict"] is False
+            assert end["degraded"] is True
+            assert streamed == reference
+        finally:
+            engine.store.clear_quarantine()
+
+
+class TestTypedErrorDifferential:
+    def test_parse_error_is_identical_across_transports(self, stack):
+        service, v1_addr, v2_addr = stack
+        bad = "//item["  # unterminated predicate
+        with pytest.raises(QueryParseError):
+            list(stream_answer_fragments(service.engine, bad, 0))
+        with ResilientClient(*v1_addr, policy=ONE_SHOT) as client:
+            with pytest.raises(QueryParseError):
+                client.request(
+                    {"op": "query", "query": bad, "subject": 0,
+                     "fragments": True}
+                )
+        with ResilientClient(*v2_addr, policy=ONE_SHOT) as client:
+            with pytest.raises(QueryParseError):
+                list(client.stream(bad, subject=0))
+
+    def test_missing_subject_rejected_identically(self, stack):
+        _, v1_addr, v2_addr = stack
+        with ResilientClient(*v1_addr, policy=ONE_SHOT) as client:
+            with pytest.raises(BadRequest):
+                client.request(
+                    {"op": "query", "query": QUERY, "fragments": True}
+                )
+        with ResilientClient(*v2_addr, policy=ONE_SHOT) as client:
+            with pytest.raises(BadRequest):
+                list(client.stream(QUERY))
+
+    def test_strict_corruption_is_a_typed_error_on_every_path(self, stack):
+        service, v1_addr, v2_addr = stack
+        engine = service.engine
+        engine.store.quarantined.update(range(4096))
+        try:
+            # the breaker starts closed: both strict runs fail typed
+            # (the degraded differential covers the open-breaker path)
+            with pytest.raises(PageCorruptionError):
+                inprocess_fragments(engine, 0)
+            with ResilientClient(*v2_addr, policy=ONE_SHOT) as client:
+                with pytest.raises(PageCorruptionError):
+                    list(client.stream(QUERY, subject=0))
+        finally:
+            engine.store.clear_quarantine()
