@@ -78,6 +78,10 @@ class ChaosScenario:
     queue_depth: int = 4
     #: XMark size knob — small keeps a scenario sub-second
     n_items: int = 8
+    #: page codec for the store under test (None = plain v2 layout);
+    #: injected read flips then land on *compressed* bytes, which the
+    #: CRC must still catch
+    codec: Optional[str] = None
 
     def spec(self) -> ChaosSpec:
         return ChaosSpec(seed=self.seed, **self.faults)
@@ -91,7 +95,10 @@ def _build_saved_store(path: str, scenario: ChaosScenario) -> None:
         SyntheticACLConfig(accessibility_ratio=0.8, seed=scenario.seed + 1),
         n_subjects=N_SUBJECTS,
     )
-    store = NoKStore(doc, DOL.from_matrix(matrix), path=path, page_size=PAGE_SIZE)
+    store = NoKStore(
+        doc, DOL.from_matrix(matrix), path=path, page_size=PAGE_SIZE,
+        codec=scenario.codec,
+    )
     save_store(store)
     store.close()
 
@@ -358,6 +365,19 @@ def scenario_matrix() -> List[ChaosScenario]:
                     faults={"read_flip_rate": rate},
                 )
             )
+
+    # the same bit rot on compressed (v3) stores: the flip lands on
+    # compressed container bytes, and the CRC — computed over the stored
+    # form — must catch it before the codec ever sees the page
+    for codec in ("zlib", "structure-delta"):
+        scenarios.append(
+            ChaosScenario(
+                name=f"storage-flip-{codec}",
+                seed=111,
+                faults={"read_flip_rate": 0.05},
+                codec=codec,
+            )
+        )
 
     # service-layer faults, one at a time
     for seed in (303, 404):

@@ -183,6 +183,8 @@ def _cmd_label(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    import os
+
     from repro.storage.nokstore import NoKStore
     from repro.storage.persist import save_store
 
@@ -194,14 +196,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     matrix = generate_synthetic_acl(doc, config, n_subjects=args.subjects)
     labeling = build_labeling(args.labeling, doc, matrix)
-    with NoKStore(doc, labeling, path=args.store, page_size=args.page_size) as store:
+    with NoKStore(
+        doc, labeling, path=args.store, page_size=args.page_size,
+        codec=args.codec,
+    ) as store:
         catalog = save_store(store)
         print(
             f"built {args.labeling} store: {store.n_nodes} nodes on "
-            f"{store.n_pages} pages, {labeling.n_labels} labels "
+            f"{store.n_pages} pages ({store.entries_per_page}/page, "
+            f"codec {args.codec}), {labeling.n_labels} labels "
             f"({labeling.size_bytes()} bytes)"
         )
-        print(f"wrote {args.store} + {catalog}")
+        print(
+            f"wrote {args.store} ({os.path.getsize(args.store)} bytes) "
+            f"+ {catalog}"
+        )
     return 0
 
 
@@ -468,6 +477,23 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report, indent=2, default=str))
         return 0 if report["clean"] else 1
+    codec = report.get("codec")
+    codec_text = (
+        f"structure={codec['structure']} codes={codec['codes']}"
+        if codec else "none (plain v2)"
+    )
+    print(f"{args.store}: codec {codec_text}")
+    print(
+        f"{args.store}: {report['n_pages']} pages, "
+        f"{report['physical_bytes']} physical bytes, "
+        f"{report['logical_bytes']} logical bytes"
+    )
+    for name, totals in sorted(report.get("containers", {}).items()):
+        used = ",".join(totals["codecs"]) or "-"
+        print(
+            f"{args.store}:   {name}: {totals['physical_bytes']} physical / "
+            f"{totals['logical_bytes']} logical bytes (codecs: {used})"
+        )
     if report["clean"]:
         print(f"{args.store}: clean")
         return 0
@@ -480,7 +506,13 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench.exec import diff_reports, run_exec_benchmark, write_report
+    from repro.bench.exec import (
+        diff_reports,
+        gate_storage_report,
+        run_exec_benchmark,
+        run_storage_benchmark,
+        write_report,
+    )
 
     if args.suite == "classes":
         return _cmd_bench_classes(args)
@@ -488,6 +520,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         sizes=tuple(args.sizes), repeats=args.repeats,
         semantics=args.semantics,
     )
+    storage_violations = []
+    if args.storage_codec != "none":
+        report["storage"] = run_storage_benchmark(
+            n_items=max(args.sizes), codec=args.storage_codec,
+            repeats=args.repeats, semantics=args.semantics,
+        )
+        storage_violations = gate_storage_report(report["storage"])
     write_report(report, args.output)
     print(f"wrote {args.output}")
     for size in sorted(report["sizes"], key=int):
@@ -497,6 +536,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"batch {entry['batch_total_ms']:.2f}ms "
             f"({entry['speedup_overall']:.2f}x)"
         )
+    if "storage" in report:
+        storage = report["storage"]
+        plain = storage["variants"]["plain"]
+        compressed = storage["variants"]["compressed"]
+        print(
+            f"  storage codec {storage['codec']}: "
+            f"{compressed['store_bytes']} vs {plain['store_bytes']} bytes "
+            f"({storage['bytes_ratio']:.2f}x), batch latency "
+            f"{storage['latency_ratio']:.2f}x plain"
+        )
+        for line in storage_violations:
+            print(f"VIOLATION: {line}")
+        if storage_violations:
+            return 1
+        print("storage-codec gate: >=25% smaller on disk, latency within 10%")
     if args.baseline is None:
         return 0
     with open(args.baseline, "r", encoding="utf-8") as handle:
@@ -596,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--labeling", choices=backend_names, default=DEFAULT_BACKEND
     )
+    p_build.add_argument(
+        "--codec",
+        choices=("none", "zlib", "structure-delta"),
+        default="none",
+        help="page-interior codec: none (plain v2 layout), zlib (DEFLATE "
+        "both containers), or structure-delta (delta+varint structure, "
+        "DEFLATE codes); recorded in the catalog",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="evaluate a twig query")
@@ -665,6 +727,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--threshold", type=float, default=0.25,
         help="max relative speedup drop tolerated before failing",
+    )
+    p_bench.add_argument(
+        "--storage-codec",
+        choices=("structure-delta", "zlib", "none"),
+        default="structure-delta",
+        help="page codec for the compressed-vs-plain storage gate at the "
+        "largest size (exec suite only; none skips the gate)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

@@ -53,6 +53,9 @@ class EvalStats:
     run_cache_misses: int = 0
     logical_page_reads: int = 0
     physical_page_reads: int = 0
+    #: page accesses served from the decoded-page cache (no re-decode,
+    #: and — when the raw frame was evicted — no physical read either)
+    decoded_cache_hits: int = 0
     #: pages that failed checksum verification during this query
     #: (``strict=False`` only — strict evaluation raises instead)
     corrupted_pages: List[int] = field(default_factory=list)
@@ -214,13 +217,20 @@ class ExecutionContext:
             self.stats.corrupted_pages.append(page_id)
         self.stats.candidates_skipped_corrupt += 1
 
-    def io_snapshot(self) -> Tuple[int, int]:
-        """(logical reads, physical reads) of the store, zeros without one."""
+    def io_snapshot(self) -> Tuple[int, int, int]:
+        """(logical, physical, decoded-cache-hit) reads of the store.
+
+        Zeros without a store; the third component is 0 for stores (and
+        snapshots of stores) predating the decoded-page cache.
+        """
         if self.store is None:
-            return (0, 0)
+            return (0, 0, 0)
+        backing = getattr(self.store, "_store", self.store)  # snapshot → store
+        cache = getattr(backing, "decoded_cache", None)
         return (
             self.store.buffer.stats.logical_reads,
             self.store.pager.stats.reads,
+            cache.stats.hits if cache is not None else 0,
         )
 
     # -- access control ----------------------------------------------------

@@ -122,6 +122,7 @@ class PhysicalPlan:
             stats = self.ctx.stats
             stats.logical_page_reads += io_after[0] - io_before[0]
             stats.physical_page_reads += io_after[1] - io_before[1]
+            stats.decoded_cache_hits += io_after[2] - io_before[2]
             stats.wall_time = self.root.stats.time
 
     def run(self) -> QueryResult:

@@ -109,12 +109,14 @@ class QueryEngine:
         store_path: Optional[str] = None,
         labeling: str = DEFAULT_BACKEND,
         exec_mode: str = "batch",
+        codec=None,
     ) -> "QueryEngine":
         """Construct an engine, optionally with labeling and block storage.
 
         ``labeling`` names the access-labeling backend (``"dol"``,
         ``"cam"``, or ``"naive"``) built from ``matrix``; ``exec_mode``
-        the default operator set (``"batch"`` or ``"tuple"``).
+        the default operator set (``"batch"`` or ``"tuple"``); ``codec``
+        the page codec for the block store (``use_store=True`` only).
         """
         built = (
             build_labeling(labeling, doc, matrix, mode)
@@ -127,7 +129,7 @@ class QueryEngine:
                 raise ReproError("a store requires access control data")
             store = NoKStore(
                 doc, built, path=store_path, page_size=page_size,
-                buffer_capacity=buffer_capacity,
+                buffer_capacity=buffer_capacity, codec=codec,
             )
         return cls(doc, labeling=built, store=store, exec_mode=exec_mode)
 

@@ -779,6 +779,9 @@ class QueryService:
                 snap.frozen_page_count() if snap is not None else 0
             )
             report["buffer"] = store.buffer.stats.snapshot()
+            cache = getattr(store, "decoded_cache", None)
+            if cache is not None:
+                report["decoded_page_cache"] = cache.stats.snapshot()
         return report
 
     # -- wire-protocol dispatch -------------------------------------------

@@ -192,9 +192,9 @@ class BufferPool:
                 self._frames.move_to_end(page_id)
                 return bytes(frame)
             self.stats.misses += 1
-            data = self.pager.read_page(page_id)
-            self._admit(page_id, bytearray(data), dirty=False)
-            return data
+            frame = bytearray(self.pager.read_page_view(page_id))
+            self._admit(page_id, frame, dirty=False)
+            return bytes(frame)
 
     def fetch(self, page_id: int) -> bytes:
         """Service a miss previously recorded by :meth:`touch`.
@@ -206,9 +206,33 @@ class BufferPool:
             frame = self._frames.get(page_id)
             if frame is not None:
                 return bytes(frame)
-            data = self.pager.read_page(page_id)
-            self._admit(page_id, bytearray(data), dirty=False)
-            return data
+            frame = bytearray(self.pager.read_page_view(page_id))
+            self._admit(page_id, frame, dirty=False)
+            return bytes(frame)
+
+    def view(self, page_id: int) -> memoryview:
+        """Logical read returning a *borrowed* view of the frame bytes.
+
+        One call combines the accounting of :meth:`touch` + :meth:`fetch`
+        without materializing a ``bytes`` copy: a hit returns a view of
+        the resident frame, a miss fills the frame straight from the
+        pager's zero-copy read (mmap → frame, one copy total). The view
+        aliases the mutable frame — callers must decode it *while still
+        holding the latch* (the pool latch is re-entrant) and must not
+        let it outlive the latched region, since a later ``put`` or
+        eviction may rewrite the underlying bytearray.
+        """
+        with self.latched():
+            self.stats.logical_reads += 1
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+                return memoryview(frame)
+            self.stats.misses += 1
+            frame = bytearray(self.pager.read_page_view(page_id))
+            self._admit(page_id, frame, dirty=False)
+            return memoryview(frame)
 
     def peek(self, page_id: int) -> Optional[bytes]:
         """Frame bytes if resident, else None — no stats, no I/O.

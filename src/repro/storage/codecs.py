@@ -1,0 +1,471 @@
+"""Per-page container compression: the codec layer of the pager stack.
+
+Leighton & Barbosa (*Optimizing XML Compression*, arXiv:0905.4761) make
+the case the NoK page layout is already shaped for: structure and
+content compress best *separately*, each with a codec suited to its
+statistics. A v2 page body is a fixed-width :class:`NodeEntry` array —
+12 bytes per node of which the structural columns (tag, depth, subtree)
+are small, slowly-varying integers and the access-control columns
+(transition flag, code) are almost entirely zero. This module splits the
+body into two **containers** and compresses each independently:
+
+``structure``
+    The columnar structural record: ``n`` tags (u16), ``n`` depths
+    (u16), ``n`` subtree sizes (u32), concatenated column-wise.
+``codes``
+    The access-control record: a transition bitmap (one bit per entry)
+    followed by one u16 code per *transition* entry only.
+
+Container codecs are total byte→byte functions (``decode(encode(x)) ==
+x`` for arbitrary ``x`` — property-tested):
+
+- ``none`` — identity;
+- ``zlib`` — DEFLATE;
+- ``structure-delta`` — zigzag delta of the little-endian u16 word
+  stream, varint-coded: depth deltas are ±1, tag ids draw from a small
+  alphabet, and subtree high words are almost always zero, so most
+  words cost one byte.
+
+A compressed page (format v3) keeps the v2 :class:`PageHeader` and CRC
+trailer exactly where they were::
+
+    PageHeader (8) | codec header (10) | structure blob | codes blob
+    | zero padding | CRC32 trailer (4)
+
+The codec header records, per page, the codec id actually used for each
+container and both blob lengths — a container whose encoding expands
+falls back to ``none`` on that page, so compression can never lose. The
+CRC therefore covers the *compressed* bytes, WAL before/after images
+carry the compressed page verbatim, and injected bit flips land on
+compressed bytes and still fail verification: the PR 2 recovery matrix
+and fsck work unchanged.
+
+Fit invariant
+-------------
+Every compressed page must leave room for its **worst-case** codes
+container (bitmap + one u16 per entry), not just the current one.
+Accessibility updates rewrite codes in place while the structure bytes
+of the page are fixed, so with the invariant an update re-render can
+never overflow a page that the build accepted. Structural updates may
+still overflow (new structure bytes); :class:`PageFormatError` is the
+signal and the store falls back to a full re-pack at a lower density.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import PageFormatError, StorageError
+from repro.storage.encoding import ENTRY_SIZE, NodeEntry
+from repro.storage.headers import HEADER_SIZE, PageHeader
+from repro.storage.pager import CHECKSUM_SIZE
+
+#: codec ids as recorded in the per-page codec header
+CODEC_NONE = 0
+CODEC_ZLIB = 1
+CODEC_DELTA = 2
+
+CODEC_IDS = {"none": CODEC_NONE, "zlib": CODEC_ZLIB, "structure-delta": CODEC_DELTA}
+CODEC_NAMES = {v: k for k, v in CODEC_IDS.items()}
+
+#: per-page codec header: structure codec id (u8), codes codec id (u8),
+#: structure blob length (u32), codes blob length (u32)
+_CODEC_HEADER = struct.Struct("<BBII")
+CODEC_HEADER_SIZE = _CODEC_HEADER.size
+
+
+# -- varint / zigzag primitives ------------------------------------------------
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[offset]
+        except IndexError:
+            raise PageFormatError("truncated varint in structure-delta blob")
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise PageFormatError("varint overflow in structure-delta blob")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# -- container codecs ----------------------------------------------------------
+
+
+def _delta_encode(raw: bytes) -> bytes:
+    """Zigzag-delta varint coding of the u16 word stream of ``raw``.
+
+    Total on arbitrary bytes: the leading varint records the raw length,
+    and an odd trailing byte rides along verbatim.
+    """
+    raw = bytes(raw)
+    out = bytearray()
+    _write_varint(out, len(raw))
+    n_words = len(raw) // 2
+    prev = 0
+    for i in range(n_words):
+        word = raw[2 * i] | (raw[2 * i + 1] << 8)
+        _write_varint(out, _zigzag(word - prev))
+        prev = word
+    if len(raw) & 1:
+        out.append(raw[-1])
+    return bytes(out)
+
+
+def _delta_decode(blob: bytes) -> bytes:
+    raw_len, offset = _read_varint(blob, 0)
+    out = bytearray()
+    n_words = raw_len // 2
+    prev = 0
+    for _ in range(n_words):
+        delta, offset = _read_varint(blob, offset)
+        prev = prev + _unzigzag(delta)
+        if not 0 <= prev <= 0xFFFF:
+            raise PageFormatError("structure-delta word out of u16 range")
+        out.append(prev & 0xFF)
+        out.append(prev >> 8)
+    if raw_len & 1:
+        if offset >= len(blob):
+            raise PageFormatError("structure-delta blob missing trailing byte")
+        out.append(blob[offset])
+        offset += 1
+    if len(out) != raw_len:
+        raise PageFormatError("structure-delta blob length mismatch")
+    return bytes(out)
+
+
+def encode_container(codec_id: int, raw: bytes) -> bytes:
+    """Encode raw container bytes with one codec (no fallback applied)."""
+    if codec_id == CODEC_NONE:
+        return bytes(raw)
+    if codec_id == CODEC_ZLIB:
+        return zlib.compress(bytes(raw), 6)
+    if codec_id == CODEC_DELTA:
+        return _delta_encode(raw)
+    raise PageFormatError(f"unknown container codec id {codec_id}")
+
+
+def decode_container(codec_id: int, blob: bytes) -> bytes:
+    """Invert :func:`encode_container`."""
+    if codec_id == CODEC_NONE:
+        return bytes(blob)
+    if codec_id == CODEC_ZLIB:
+        try:
+            return zlib.decompress(bytes(blob))
+        except zlib.error as exc:
+            raise PageFormatError(f"corrupt zlib container: {exc}") from exc
+    if codec_id == CODEC_DELTA:
+        return _delta_decode(blob)
+    raise PageFormatError(f"unknown container codec id {codec_id}")
+
+
+def _encode_best(codec_id: int, raw: bytes) -> Tuple[int, bytes]:
+    """Encode with per-page fallback: never store more than the raw form."""
+    if codec_id == CODEC_NONE:
+        return CODEC_NONE, bytes(raw)
+    blob = encode_container(codec_id, raw)
+    if len(blob) >= len(raw):
+        return CODEC_NONE, bytes(raw)
+    return codec_id, blob
+
+
+# -- container (de)serialization -----------------------------------------------
+
+
+def structure_container(entries: List[NodeEntry]) -> bytes:
+    """Columnar structural record of a page's entries."""
+    n = len(entries)
+    return struct.pack(
+        f"<{n}H{n}H{n}I",
+        *(e.tag_id for e in entries),
+        *(e.depth for e in entries),
+        *(e.subtree for e in entries),
+    )
+
+
+def codes_container(entries: List[NodeEntry]) -> bytes:
+    """Transition bitmap + u16 code per transition entry."""
+    n = len(entries)
+    bitmap = bytearray((n + 7) // 8)
+    codes: List[int] = []
+    for i, entry in enumerate(entries):
+        if entry.is_transition:
+            bitmap[i // 8] |= 1 << (i % 8)
+            codes.append(entry.code)
+    return bytes(bitmap) + struct.pack(f"<{len(codes)}H", *codes)
+
+
+def worst_case_codes_bytes(n_entries: int) -> int:
+    """Upper bound on the codes container: every entry a transition."""
+    return (n_entries + 7) // 8 + 2 * n_entries
+
+
+def entries_from_containers(
+    n_entries: int, structure: bytes, codes: bytes
+) -> List[NodeEntry]:
+    """Rebuild the entry list from decoded container bytes."""
+    n = n_entries
+    if len(structure) != 8 * n:
+        raise PageFormatError(
+            f"structure container holds {len(structure)} bytes "
+            f"for {n} entries (need {8 * n})"
+        )
+    fields = struct.unpack(f"<{n}H{n}H{n}I", structure)
+    tags, depths, subtrees = fields[:n], fields[n : 2 * n], fields[2 * n :]
+    bitmap_len = (n + 7) // 8
+    if len(codes) < bitmap_len:
+        raise PageFormatError("codes container shorter than its bitmap")
+    bitmap = codes[:bitmap_len]
+    n_transitions = sum(bin(b).count("1") for b in bitmap)
+    expected = bitmap_len + 2 * n_transitions
+    if len(codes) != expected:
+        raise PageFormatError(
+            f"codes container holds {len(codes)} bytes, bitmap implies {expected}"
+        )
+    code_values = struct.unpack_from(f"<{n_transitions}H", codes, bitmap_len)
+    entries: List[NodeEntry] = []
+    next_code = 0
+    for i in range(n):
+        is_transition = bool(bitmap[i // 8] >> (i % 8) & 1)
+        code = 0
+        if is_transition:
+            code = code_values[next_code]
+            next_code += 1
+        entries.append(
+            NodeEntry(
+                tag_id=tags[i],
+                depth=depths[i],
+                subtree=subtrees[i],
+                code=code,
+                is_transition=is_transition,
+            )
+        )
+    return entries
+
+
+# -- page formats --------------------------------------------------------------
+
+
+class PlainPageFormat:
+    """The v2 page body: a raw fixed-width :class:`NodeEntry` array.
+
+    This is byte-identical to the pre-refactor layout — stores built
+    before the codec layer (no catalog tag) decode through it unchanged.
+    """
+
+    #: catalog tag; ``None`` marks the untagged, pre-refactor layout
+    catalog_tag: Optional[Dict[str, str]] = None
+    compressed = False
+    structure_codec = "none"
+    codes_codec = "none"
+
+    def max_entries(self, page_size: int) -> int:
+        return (page_size - HEADER_SIZE - CHECKSUM_SIZE) // ENTRY_SIZE
+
+    def encode_page(
+        self, header: PageHeader, entries: List[NodeEntry], page_size: int
+    ) -> bytes:
+        body = b"".join(entry.pack() for entry in entries)
+        total = HEADER_SIZE + len(body)
+        budget = page_size - CHECKSUM_SIZE
+        if total > budget:
+            raise PageFormatError(
+                f"{len(entries)} entries need {total} bytes, page holds {budget}"
+            )
+        return header.pack() + body + bytes(page_size - HEADER_SIZE - len(body))
+
+    def decode_page(self, data) -> Tuple[PageHeader, List[NodeEntry]]:
+        header = PageHeader.unpack(data)
+        entries: List[NodeEntry] = []
+        offset = HEADER_SIZE
+        for _ in range(header.n_entries):
+            entries.append(NodeEntry.unpack(data, offset))
+            offset += ENTRY_SIZE
+        return header, entries
+
+    def container_report(self, data) -> Dict[str, Dict[str, int]]:
+        """Physical vs logical container bytes of one stored page."""
+        header = PageHeader.unpack(data)
+        n = header.n_entries
+        # The fixed-width entry interleaves both containers; attribute
+        # the structural 8 bytes and code-ish 4 bytes of each record.
+        return {
+            "structure": {"physical": 8 * n, "logical": 8 * n, "codec": "none"},
+            "codes": {
+                "physical": ENTRY_SIZE * n - 8 * n,
+                "logical": ENTRY_SIZE * n - 8 * n,
+                "codec": "none",
+            },
+        }
+
+
+class CompressedPageFormat:
+    """The v3 page body: separately-compressed structure/codes containers."""
+
+    compressed = True
+
+    def __init__(self, structure: str = "structure-delta", codes: str = "zlib"):
+        if structure not in CODEC_IDS:
+            raise StorageError(f"unknown structure codec {structure!r}")
+        if codes not in CODEC_IDS:
+            raise StorageError(f"unknown codes codec {codes!r}")
+        self.structure_codec = structure
+        self.codes_codec = codes
+        self._structure_id = CODEC_IDS[structure]
+        self._codes_id = CODEC_IDS[codes]
+
+    @property
+    def catalog_tag(self) -> Dict[str, str]:
+        return {"structure": self.structure_codec, "codes": self.codes_codec}
+
+    def max_entries(self, page_size: int) -> int:
+        """Upper bound on density: even an empty structure container must
+        leave worst-case codes room (the fit invariant)."""
+        budget = page_size - HEADER_SIZE - CODEC_HEADER_SIZE - CHECKSUM_SIZE
+        # worst_case_codes_bytes(n) <= budget  =>  n/8 + 2n + 1 <= budget
+        n = max((budget - 1) * 8 // 17, 1)
+        while worst_case_codes_bytes(n) > budget:
+            n -= 1
+        return max(n, 1)
+
+    def encode_page(
+        self, header: PageHeader, entries: List[NodeEntry], page_size: int
+    ) -> bytes:
+        s_id, s_blob = _encode_best(self._structure_id, structure_container(entries))
+        c_id, c_blob = _encode_best(self._codes_id, codes_container(entries))
+        budget = page_size - CHECKSUM_SIZE
+        overhead = HEADER_SIZE + CODEC_HEADER_SIZE
+        # Fit invariant: reserve worst-case codes space so accessibility
+        # updates (which change only the codes container) always fit.
+        if overhead + len(s_blob) + worst_case_codes_bytes(len(entries)) > budget:
+            raise PageFormatError(
+                f"{len(entries)} entries: structure blob of {len(s_blob)} bytes "
+                f"leaves no worst-case codes room in a {page_size}-byte page"
+            )
+        body = (
+            _CODEC_HEADER.pack(s_id, c_id, len(s_blob), len(c_blob))
+            + s_blob
+            + c_blob
+        )
+        if HEADER_SIZE + len(body) > budget:
+            raise PageFormatError(
+                f"{len(entries)} entries overflow a {page_size}-byte page"
+            )
+        return header.pack() + body + bytes(page_size - HEADER_SIZE - len(body))
+
+    def _containers(self, data) -> Tuple[PageHeader, int, bytes, int, bytes]:
+        header = PageHeader.unpack(data)
+        try:
+            s_id, c_id, s_len, c_len = _CODEC_HEADER.unpack_from(data, HEADER_SIZE)
+        except struct.error as exc:
+            raise PageFormatError(f"truncated codec header: {exc}") from exc
+        start = HEADER_SIZE + CODEC_HEADER_SIZE
+        end = start + s_len + c_len
+        if end > len(data) - CHECKSUM_SIZE:
+            raise PageFormatError(
+                f"codec header claims {s_len}+{c_len} container bytes, "
+                f"page holds {len(data) - CHECKSUM_SIZE - start}"
+            )
+        s_blob = bytes(data[start : start + s_len])
+        c_blob = bytes(data[start + s_len : end])
+        return header, s_id, s_blob, c_id, c_blob
+
+    def decode_page(self, data) -> Tuple[PageHeader, List[NodeEntry]]:
+        header, s_id, s_blob, c_id, c_blob = self._containers(data)
+        entries = entries_from_containers(
+            header.n_entries,
+            decode_container(s_id, s_blob),
+            decode_container(c_id, c_blob),
+        )
+        return header, entries
+
+    def container_report(self, data) -> Dict[str, Dict[str, int]]:
+        header, s_id, s_blob, c_id, c_blob = self._containers(data)
+        n = header.n_entries
+        return {
+            "structure": {
+                "physical": len(s_blob),
+                "logical": 8 * n,
+                "codec": CODEC_NAMES[s_id],
+            },
+            "codes": {
+                "physical": len(c_blob),
+                "logical": len(decode_container(c_id, c_blob)),
+                "codec": CODEC_NAMES[c_id],
+            },
+        }
+
+
+#: The ``--codec`` vocabulary: one name selects both container codecs.
+PAGE_CODEC_CONFIGS: Dict[str, Optional[Dict[str, str]]] = {
+    "none": None,
+    "zlib": {"structure": "zlib", "codes": "zlib"},
+    "structure-delta": {"structure": "structure-delta", "codes": "zlib"},
+}
+
+
+def resolve_page_format(
+    codec: Union[None, str, Dict[str, str]],
+) -> "PlainPageFormat | CompressedPageFormat":
+    """Build the page format for a codec spec.
+
+    ``None`` or ``"none"`` is the plain v2 layout; a name from
+    :data:`PAGE_CODEC_CONFIGS` selects a container pairing; a dict names
+    each container codec explicitly (the catalog's on-disk form).
+    """
+    if codec is None:
+        return PlainPageFormat()
+    if isinstance(codec, str):
+        if codec not in PAGE_CODEC_CONFIGS:
+            raise StorageError(
+                f"unknown page codec {codec!r} "
+                f"(choose from {sorted(PAGE_CODEC_CONFIGS)})"
+            )
+        codec = PAGE_CODEC_CONFIGS[codec]
+        if codec is None:
+            return PlainPageFormat()
+    if not isinstance(codec, dict):
+        raise StorageError(f"codec spec must be a name or a dict, got {codec!r}")
+    return CompressedPageFormat(
+        structure=codec.get("structure", "structure-delta"),
+        codes=codec.get("codes", "zlib"),
+    )
+
+
+__all__ = [
+    "CODEC_IDS",
+    "CODEC_NAMES",
+    "CODEC_HEADER_SIZE",
+    "PAGE_CODEC_CONFIGS",
+    "PlainPageFormat",
+    "CompressedPageFormat",
+    "encode_container",
+    "decode_container",
+    "structure_container",
+    "codes_container",
+    "entries_from_containers",
+    "worst_case_codes_bytes",
+    "resolve_page_format",
+]

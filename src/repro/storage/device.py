@@ -1,0 +1,208 @@
+"""Raw page devices: the bottom layer of the storage stack.
+
+The :class:`~repro.storage.pager.Pager` used to own a file handle (or a
+``bytearray``) directly; this module extracts that into a *device* with
+one job — move raw bytes at absolute offsets — so the read path can be
+zero-copy where the platform allows it:
+
+- :class:`MmapDevice` maps the page file with ``mmap`` and serves reads
+  as :class:`memoryview` slices of the mapping: no intermediate
+  ``bytes`` object, no copy until a caller explicitly materializes one.
+  Writes go through ``os.pwrite`` on the same descriptor; the mapping is
+  ``MAP_SHARED``, so written bytes are immediately visible to readers.
+  File growth remaps lazily (a mapping cannot cover bytes past the size
+  it was created at).
+- :class:`FileDevice` is the portable fallback: ``os.pread`` /
+  ``os.pwrite``, both thread-safe without seeking (the historical
+  seek+read pair required the pager's I/O lock for *correctness*; with
+  positioned I/O the lock only guards the counters).
+- :class:`MemoryDevice` backs tests and benchmarks that must not depend
+  on filesystem speed; reads are memoryview slices of the buffer.
+
+Devices return *borrowed* views: callers either decode them immediately
+or copy at their API boundary (``Pager.read_page`` returns ``bytes``;
+the buffer pool copies into its mutable frame). No view may outlive the
+call chain that produced it — that is what lets ``close()`` unmap.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.errors import StorageError
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    import mmap as _mmap
+except ImportError:  # pragma: no cover
+    _mmap = None
+
+Readable = Union[bytes, memoryview]
+
+
+class MemoryDevice:
+    """An in-memory byte array posing as a page file."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.closed = False
+
+    @property
+    def size(self) -> int:
+        return len(self._buf)
+
+    def read(self, offset: int, length: int) -> Readable:
+        return memoryview(self._buf)[offset : offset + length]
+
+    def write(self, offset: int, payload: bytes) -> None:
+        end = offset + len(payload)
+        if end > len(self._buf):
+            self._buf.extend(bytes(end - len(self._buf)))
+        self._buf[offset:end] = payload
+
+    def extend(self, n_bytes: int) -> None:
+        self._buf.extend(bytes(n_bytes))
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+    @property
+    def file(self):
+        return None
+
+
+class FileDevice:
+    """Positioned-I/O file device (``pread``/``pwrite``), the fallback."""
+
+    def __init__(self, file) -> None:
+        #: the underlying unbuffered file object (kept so crash harnesses
+        #: can sever the handle exactly as they did pre-refactor)
+        self.file = file
+        self._fd = file.fileno()
+        self.closed = False
+
+    @property
+    def size(self) -> int:
+        return os.fstat(self._fd).st_size
+
+    def read(self, offset: int, length: int) -> Readable:
+        return os.pread(self._fd, length, offset)
+
+    def write(self, offset: int, payload: bytes) -> None:
+        os.pwrite(self._fd, payload, offset)
+
+    def extend(self, n_bytes: int) -> None:
+        if n_bytes > 0:
+            os.pwrite(self._fd, bytes(n_bytes), self.size)
+
+    def sync(self) -> None:
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.file.close()
+
+
+class MmapDevice(FileDevice):
+    """Zero-copy reads off a shared memory map of the page file.
+
+    Reads inside the mapped extent are :class:`memoryview` slices of the
+    map — no copy. Reads past it (a page written since the last remap)
+    fall back to ``pread`` until :meth:`_remap` catches the map up.
+    An empty file cannot be mapped, so the map stays ``None`` until the
+    first byte exists.
+    """
+
+    def __init__(self, file) -> None:
+        super().__init__(file)
+        self._map = None
+        self._map_size = 0
+        self._remap()
+
+    def _remap(self) -> None:
+        size = os.fstat(self._fd).st_size
+        if size == self._map_size and (self._map is not None or size == 0):
+            return
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:  # pragma: no cover - a borrowed view escaped
+                # Leave the old map alive (the OS reclaims it at exit)
+                # rather than corrupt whoever still holds a slice.
+                pass
+            self._map = None
+            self._map_size = 0
+        if size > 0:
+            self._map = _mmap.mmap(self._fd, size, access=_mmap.ACCESS_WRITE)
+            self._map_size = size
+
+    def read(self, offset: int, length: int) -> Readable:
+        end = offset + length
+        if end > self._map_size:
+            self._remap()
+        if self._map is not None and end <= self._map_size:
+            return memoryview(self._map)[offset:end]
+        return os.pread(self._fd, length, offset)
+
+    def write(self, offset: int, payload: bytes) -> None:
+        # pwrite + MAP_SHARED keeps the mapping coherent; writes past the
+        # mapped extent are picked up by the next read's lazy remap.
+        os.pwrite(self._fd, payload, offset)
+
+    def sync(self) -> None:
+        if self._map is not None:
+            self._map.flush()
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:  # pragma: no cover - a borrowed view escaped
+                pass
+            self._map = None
+            self._map_size = 0
+        super().close()
+
+
+def open_device(
+    path: Optional[str], create: bool, use_mmap: bool = True
+) -> "MemoryDevice | FileDevice":
+    """Open the best available device for ``path``.
+
+    ``path=None`` yields a :class:`MemoryDevice`. For files the order is
+    mmap first (zero-copy reads), positioned I/O as the fallback —
+    either because the platform has no usable ``mmap`` or because
+    mapping the file failed.
+    """
+    if path is None:
+        return MemoryDevice()
+    mode = "w+b" if create else "r+b"
+    # Unbuffered: a crash (simulated or real) leaves the file with
+    # exactly the writes that were issued, nothing half-buffered.
+    file = open(path, mode, buffering=0)
+    try:
+        if use_mmap and _mmap is not None:
+            try:
+                return MmapDevice(file)
+            except (OSError, ValueError):  # pragma: no cover - mmap refused
+                pass
+        return FileDevice(file)
+    except BaseException:
+        file.close()
+        raise
+
+
+__all__ = [
+    "MemoryDevice",
+    "FileDevice",
+    "MmapDevice",
+    "open_device",
+    "StorageError",
+]

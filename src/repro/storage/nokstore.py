@@ -32,11 +32,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.dol.updates import DOLUpdater
-from repro.errors import PageCorruptionError, StorageError
+from repro.errors import PageCorruptionError, PageFormatError, StorageError
 from repro.labeling.base import AccessLabeling
 from repro.storage.buffer import BufferPool
+from repro.storage.codecs import resolve_page_format
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
+from repro.storage.pagecache import DecodedPageCache
 from repro.storage.pager import CHECKSUM_SIZE, DEFAULT_PAGE_SIZE, Pager
 from repro.storage.snapshot import StoreSnapshot
 from repro.storage.wal import WriteAheadLog
@@ -85,6 +87,8 @@ class NoKStore:
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 64,
         paged_values: bool = False,
+        codec=None,
+        decoded_cache_capacity: int = 256,
     ):
         if labeling.n_nodes != len(doc):
             raise StorageError("labeling and document disagree on node count")
@@ -93,6 +97,10 @@ class NoKStore:
         self.doc = doc
         self.labeling = labeling
         self.page_size = page_size
+        #: the codec layer for page interiors: ``None``/"none" is the
+        #: plain v2 layout, a codec name or per-container dict selects
+        #: compressed v3 pages (see :mod:`repro.storage.codecs`)
+        self.page_format = resolve_page_format(codec)
         self.entries_per_page = entries_per_page_for(page_size)
         if self.entries_per_page < 1:
             raise StorageError("page size too small for even one node entry")
@@ -102,7 +110,10 @@ class NoKStore:
         try:
             if path is not None:
                 self.wal = WriteAheadLog(wal_path_for(path))
-            self._decoded: Dict[int, _DecodedPage] = {}
+            # Decoded pages live in their own bounded LRU, deliberately
+            # *not* tied to buffer frames: evicting raw bytes no longer
+            # throws away the (much more expensive) decode.
+            self._decoded = DecodedPageCache(decoded_cache_capacity)
             self.quarantined: Set[int] = set()
             #: WAL-recovery outcome stamped by ``open_store`` (``None``
             #: for freshly built stores) — the health model reads it
@@ -110,7 +121,6 @@ class NoKStore:
             self.buffer = BufferPool(
                 self.pager,
                 buffer_capacity,
-                on_evict=lambda page_id: self._decoded.pop(page_id, None),
                 wal=self.wal,
             )
             self.headers = PageHeaderTable()
@@ -122,6 +132,7 @@ class NoKStore:
                     doc.texts,
                     path=path + ".values" if path else None,
                     page_size=page_size,
+                    codec="zlib" if self.page_format.compressed else None,
                 )
             self._build()
         except BaseException:
@@ -144,24 +155,35 @@ class NoKStore:
         headers: PageHeaderTable,
         buffer_capacity: int = 64,
         wal: Optional[WriteAheadLog] = None,
+        codec=None,
+        entries_per_page: Optional[int] = None,
+        decoded_cache_capacity: int = 256,
     ) -> "NoKStore":
-        """Wrap already-written pages (used when reopening a saved store)."""
+        """Wrap already-written pages (used when reopening a saved store).
+
+        ``codec`` and ``entries_per_page`` come from the catalog: a
+        compressed store records both (its density was chosen at build
+        time), an untagged catalog is a plain v2 store at the fixed-width
+        density.
+        """
         if labeling.n_nodes != len(doc):
             raise StorageError("labeling and document disagree on node count")
         store = cls.__new__(cls)
         store.doc = doc
         store.labeling = labeling
         store.page_size = pager.page_size
-        store.entries_per_page = entries_per_page_for(pager.page_size)
+        store.page_format = resolve_page_format(codec)
+        store.entries_per_page = entries_per_page or entries_per_page_for(
+            pager.page_size
+        )
         store.pager = pager
         store.wal = wal
-        store._decoded = {}
+        store._decoded = DecodedPageCache(decoded_cache_capacity)
         store.quarantined = set()
         store.last_recovery = None
         store.buffer = BufferPool(
             pager,
             buffer_capacity,
-            on_evict=lambda page_id: store._decoded.pop(page_id, None),
             wal=wal,
         )
         store.headers = headers
@@ -301,22 +323,44 @@ class NoKStore:
         self._snapshot = successor
 
     def _build(self) -> None:
-        n = self.n_nodes
+        rendered = self._render_all_pages()
         self._n_data_pages = 0
-        for first in range(0, n, self.entries_per_page):
+        for data, header in rendered:
             page_id = self.pager.allocate()
-            data, header = self._render_page_bytes(first)
             self.pager.write_page(page_id, data)
             self.headers.append(header)
             self._n_data_pages += 1
         self.reset_io_stats()
+
+    def _render_all_pages(self) -> "List[tuple[bytes, PageHeader]]":
+        """Render the whole document, choosing the density for v3 pages.
+
+        A compressed page packs as many entries as its *encoded*
+        structure container plus worst-case codes room allow, so density
+        is data-dependent: start at the format's hard ceiling and back
+        off geometrically until every page satisfies the fit invariant.
+        The plain format renders at the fixed-width density and any
+        overflow is a real error.
+        """
+        if self.page_format.compressed:
+            self.entries_per_page = self.page_format.max_entries(self.page_size)
+        while True:
+            try:
+                return [
+                    self._render_page_bytes(first)
+                    for first in range(0, self.n_nodes, self.entries_per_page)
+                ]
+            except PageFormatError:
+                if not self.page_format.compressed or self.entries_per_page <= 1:
+                    raise
+                self.entries_per_page = max(1, self.entries_per_page * 3 // 4)
 
     def _render_page_bytes(self, first: int) -> "tuple[bytes, PageHeader]":
         doc, labeling = self.doc, self.labeling
         embed = labeling.has_page_hints
         last = min(first + self.entries_per_page, self.n_nodes)
         change_bit = False
-        parts: List[bytes] = []
+        entries: List[NodeEntry] = []
         for pos in range(first, last):
             # Hint-free backends render the structural layout unchanged
             # but with no access information: every entry carries code 0
@@ -330,24 +374,21 @@ class NoKStore:
                 code = labeling.code_at(pos) if is_transition else 0
                 entry_transition = is_transition
                 change_bit = change_bit or is_transition
-            parts.append(
+            entries.append(
                 NodeEntry(
                     tag_id=doc.tags[pos],
                     depth=doc.depth[pos],
                     subtree=doc.subtree[pos],
                     code=code,
                     is_transition=entry_transition,
-                ).pack()
+                )
             )
-        n_entries = last - first
         header = PageHeader(
             first_code=labeling.code_at(first) if embed else 0,
             change_bit=change_bit,
-            n_entries=n_entries,
+            n_entries=last - first,
         )
-        body = b"".join(parts)
-        padding = bytes(self.page_size - HEADER_SIZE - len(body))
-        return header.pack() + body + padding, header
+        return self.page_format.encode_page(header, entries, self.page_size), header
 
     # -- page access ---------------------------------------------------------------
 
@@ -356,15 +397,17 @@ class NoKStore:
             raise PageCorruptionError(page_id, detail="page is quarantined")
         # The whole lookup runs under the pool latch so the decode cache
         # and the frame LRU stay coherent when many readers share the
-        # store (touch/fetch re-enter the same RLock).
+        # store (view() re-enters the same RLock). A decode-cache hit
+        # still records the logical access but needs no frame — the
+        # decode outlives the raw bytes it came from.
         with self.buffer.latched():
             decoded = self._decoded.get(page_id)
-            resident = self.buffer.touch(page_id)
-            if decoded is not None and resident:
+            if decoded is not None:
+                self.buffer.touch(page_id)
                 return decoded
-            data = self.buffer.fetch(page_id)
-            decoded = self._decode(data)
-            self._decoded[page_id] = decoded
+            view = self.buffer.view(page_id)
+            decoded = self._decode(view)
+            self._decoded.put(page_id, decoded)
             return decoded
 
     def quarantine(self, page_id: int) -> None:
@@ -376,7 +419,7 @@ class NoKStore:
         """
         with self.buffer.latched():
             self.quarantined.add(page_id)
-            self._decoded.pop(page_id, None)
+            self._decoded.invalidate(page_id)
 
     def clear_quarantine(self) -> Set[int]:
         """Optimistically forget quarantined pages; returns what was held.
@@ -392,22 +435,23 @@ class NoKStore:
             self.quarantined.clear()
             for page_id in cleared:
                 self.buffer.drop(page_id)
-                self._decoded.pop(page_id, None)
+                self._decoded.invalidate(page_id)
             return cleared
 
-    def _decode(self, data: bytes) -> _DecodedPage:
-        header = PageHeader.unpack(data)
-        entries: List[NodeEntry] = []
+    def _decode(self, data) -> _DecodedPage:
+        """Decode page bytes (or a borrowed view) through the codec layer.
+
+        The running access code at each offset is computed once here, so
+        the cached :class:`_DecodedPage` answers accessibility probes
+        without touching the raw bytes again.
+        """
+        header, entries = self.page_format.decode_page(data)
         codes: List[int] = []
         current = header.first_code
-        offset = HEADER_SIZE
-        for _ in range(header.n_entries):
-            entry = NodeEntry.unpack(data, offset)
+        for entry in entries:
             if entry.is_transition:
                 current = entry.code
-            entries.append(entry)
             codes.append(current)
-            offset += ENTRY_SIZE
         return _DecodedPage(entries, codes)
 
     def entry(self, pos: int) -> NodeEntry:
@@ -632,6 +676,12 @@ class NoKStore:
             state["n_subjects"] = getattr(labeling, "n_subjects", 0)
             state["codebook"] = []
             state["labeling_data"] = labeling.to_catalog()
+        if self.page_format.catalog_tag is not None:
+            # v3 stores: the codec negotiation tag plus the density the
+            # build (or a structural re-pack) chose. Absent on plain
+            # stores, which keeps untagged v2 catalogs readable.
+            state["codec"] = self.page_format.catalog_tag
+            state["entries_per_page"] = self.entries_per_page
         return state
 
     def _wal_begin(self) -> None:
@@ -668,11 +718,14 @@ class NoKStore:
         self._wal_begin()
         try:
             for page_id in range(first_page, last_page + 1):
+                # Re-rendering at the same density cannot overflow a v3
+                # page: only the codes container changed, and every built
+                # page reserves worst-case codes room (the fit invariant).
                 data, header = self._render_page_bytes(page_id * self.entries_per_page)
                 self.buffer.put(page_id, data)
                 self.buffer.flush(page_id)
                 self.headers.set(page_id, header)
-                self._decoded.pop(page_id, None)
+                self._decoded.invalidate(page_id)
             self._wal_commit(ops)
             self.pager.sync()
         except BaseException:
@@ -711,12 +764,30 @@ class NoKStore:
                 old_path = self.values.pager.path
                 self.values.close()
                 self.values = ValueStore(
-                    new_doc.texts, path=old_path, page_size=self.page_size
+                    new_doc.texts,
+                    path=old_path,
+                    page_size=self.page_size,
+                    codec="zlib" if self.page_format.compressed else None,
                 )
             first_page = (
                 min(from_pos, max(len(new_doc) - 1, 0)) // self.entries_per_page
             )
             needed = -(-len(new_doc) // self.entries_per_page)
+            try:
+                rendered = [
+                    self._render_page_bytes(page_id * self.entries_per_page)
+                    for page_id in range(first_page, needed)
+                ]
+            except PageFormatError:
+                if not self.page_format.compressed:
+                    raise
+                # The edit grew some page's structure container past its
+                # reserved room. Re-pack the whole store at a density the
+                # new document fits (rendering mutates no stored bytes,
+                # so the fallback is safe to run before the WAL batch).
+                first_page = 0
+                rendered = self._render_all_pages()
+                needed = len(rendered)
             # Pre-images for every page this commit rewrites that existed
             # at the outgoing snapshot's epoch (freshly allocated pages
             # beyond the old extent need none — no old reader can reach
@@ -728,17 +799,15 @@ class NoKStore:
                 self.headers.append(PageHeader(0, False, 0))
             self._wal_begin()
             try:
-                for page_id in range(first_page, needed):
-                    data, header = self._render_page_bytes(
-                        page_id * self.entries_per_page
-                    )
+                for index, (data, header) in enumerate(rendered):
+                    page_id = first_page + index
                     self.buffer.put(page_id, data)
                     self.buffer.flush(page_id)
                     self.headers.set(page_id, header)
-                    self._decoded.pop(page_id, None)
+                    self._decoded.invalidate(page_id)
                 if needed < self._n_data_pages:
                     for stale in range(needed, self._n_data_pages):
-                        self._decoded.pop(stale, None)
+                        self._decoded.invalidate(stale)
                     self.headers.truncate(needed)
                 self._n_data_pages = needed
                 self._wal_commit([{"op": "structural", "from_pos": from_pos}])
@@ -798,6 +867,11 @@ class NoKStore:
         with self.buffer.latched():
             self.buffer.clear()
             self._decoded.clear()
+
+    @property
+    def decoded_cache(self) -> DecodedPageCache:
+        """The decoded-page cache (metrics surface)."""
+        return self._decoded
 
     def close(self) -> None:
         self.buffer.flush_all()

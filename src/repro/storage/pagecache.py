@@ -1,0 +1,105 @@
+"""Decoded-page cache: the top layer of the pager stack.
+
+Decoding a page — CRC check, container decompression, entry
+reconstruction — costs far more than the read itself once pages are
+compressed. The :class:`~repro.storage.buffer.BufferPool` caches *raw*
+page bytes, and historically the store kept decoded entries in a dict
+tied to buffer frames: evicting a frame dropped its decode, so a hot
+scan over a store larger than the pool re-decoded every page on every
+pass. This cache holds decoded pages in their own bounded LRU, sized
+independently of the buffer pool, so frame eviction no longer implies
+re-decompression.
+
+Invalidation contract (same as the RunCache): a committed write is the
+only event that changes what a page decodes to. The store invalidates
+rewritten page ids *before* publishing the new epoch, so a reader that
+observes the new epoch never sees a stale decode; readers still on the
+old epoch go through their snapshot's frozen pre-images, never this
+cache. ``drop_caches`` and page quarantine also evict.
+
+Entries are immutable ``(PageHeader, tuple(NodeEntry), codes)`` decodes;
+sharing one object across threads is safe, which is the point — decode
+once under the buffer latch, serve everywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class PageCacheStats:
+    """Counters for the decoded-page cache (monotonic, thread-safe holder)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+@dataclass
+class DecodedPageCache:
+    """Bounded LRU of decoded pages keyed by page id.
+
+    ``capacity <= 0`` disables caching (every ``get`` is a miss and
+    ``put`` is a no-op) — useful for memory-constrained benches.
+    """
+
+    capacity: int = 256
+    stats: PageCacheStats = field(default_factory=PageCacheStats)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.RLock()
+        self._pages: "OrderedDict[int, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+    def get(self, page_id: int) -> Optional[object]:
+        with self._lock:
+            decoded = self._pages.get(page_id)
+            if decoded is None:
+                self.stats.misses += 1
+                return None
+            self._pages.move_to_end(page_id)
+            self.stats.hits += 1
+            return decoded
+
+    def put(self, page_id: int, decoded: object) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._pages[page_id] = decoded
+            self._pages.move_to_end(page_id)
+            while len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop one page's decode (called before the commit publishes)."""
+        with self._lock:
+            if self._pages.pop(page_id, None) is not None:
+                self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._pages:
+                self.stats.invalidations += len(self._pages)
+            self._pages.clear()
+
+
+__all__ = ["DecodedPageCache", "PageCacheStats"]

@@ -1,12 +1,15 @@
 """Fixed-size page storage with physical I/O accounting and checksums.
 
-A :class:`Pager` exposes a flat array of pages, backed either by a real
-file on disk or by an in-memory buffer (useful for tests and benchmarks
-that should not depend on filesystem speed). Every physical read and write
-is counted; the buffer pool sits on top and adds caching.
+A :class:`Pager` exposes a flat array of pages backed by a *device*
+(:mod:`repro.storage.device`): an mmap-backed file when the platform
+allows it (zero-copy reads), positioned ``pread``/``pwrite`` I/O as the
+file fallback, or an in-memory buffer for tests and benchmarks that
+should not depend on filesystem speed. Every physical read and write is
+counted; the buffer pool sits on top and adds caching; the codec layer
+(:mod:`repro.storage.codecs`) interprets page interiors.
 
-Page format (v2)
-----------------
+Page format (v2/v3)
+-------------------
 The last :data:`CHECKSUM_SIZE` bytes of every page are a trailer owned by
 the pager: a little-endian CRC32 of the preceding payload, stamped on
 every :meth:`Pager.write_page` and verified on every
@@ -16,25 +19,37 @@ leave the trailer zeroed — the pager rejects writes that put data there,
 so a consumer that miscounts its capacity fails loudly instead of being
 silently truncated. A page that is entirely zero (payload and trailer) is
 considered valid: it is the state of a freshly allocated, never-written
-page.
+page. The pager never looks inside the payload, so the CRC covers
+whatever form the codec layer stored — for compressed pages, the
+*compressed* bytes, which is what makes WAL images and fault-injected
+bit flips work identically on v2 and v3 stores.
 
 A verification failure raises
 :class:`~repro.errors.PageCorruptionError` carrying the page id and the
 expected/actual digests. Maintenance tools (fsck, WAL recovery) that must
 look at corrupt pages use :meth:`Pager.read_page_raw`, which skips both
 verification and the read counter.
+
+Zero-copy reads
+---------------
+:meth:`Pager.read_page_view` returns a verified *borrowed*
+:class:`memoryview` of the page — a slice of the mmap on the mmap path,
+no intermediate ``bytes``. The borrow rules from
+:mod:`repro.storage.device` apply: decode immediately or copy; never let
+the view outlive the call chain. :meth:`Pager.read_page` stays the
+``bytes``-returning API boundary.
 """
 
 from __future__ import annotations
 
-import os
 import struct
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.errors import PageCorruptionError, StorageError
+from repro.storage.device import open_device
 
 DEFAULT_PAGE_SIZE = 4096  # the paper's experiments use 4 KB pages
 
@@ -43,7 +58,7 @@ CHECKSUM_SIZE = 4
 _CRC = struct.Struct("<I")
 
 
-def page_checksum(payload: bytes) -> int:
+def page_checksum(payload) -> int:
     """CRC32 digest of a page payload (the page minus its trailer)."""
     return zlib.crc32(payload) & 0xFFFFFFFF
 
@@ -54,11 +69,12 @@ def stamp_page(data: bytes) -> bytes:
     return payload + _CRC.pack(page_checksum(payload))
 
 
-def verify_page_bytes(data: bytes, page_id: int) -> None:
+def verify_page_bytes(data, page_id: int) -> None:
     """Raise :class:`PageCorruptionError` unless the trailer matches.
 
     An all-zero page (payload and trailer) passes: it is a freshly
-    allocated page that was never written.
+    allocated page that was never written. Accepts ``bytes`` or a
+    ``memoryview`` (the zero-copy path verifies in place).
     """
     payload = data[:-CHECKSUM_SIZE]
     (stored,) = _CRC.unpack_from(data, len(data) - CHECKSUM_SIZE)
@@ -85,7 +101,7 @@ class PagerStats:
 
 
 class Pager:
-    """An array of fixed-size pages backed by a file or by memory."""
+    """An array of fixed-size pages backed by a device."""
 
     def __init__(self, path: Optional[str] = None, page_size: int = DEFAULT_PAGE_SIZE):
         if page_size < 64:
@@ -93,60 +109,63 @@ class Pager:
         self.page_size = page_size
         self.path = path
         self.stats = PagerStats()
-        # One shared file handle means seek+read/write pairs must not
-        # interleave across threads; the I/O lock also keeps the stats
-        # counters race-free. It is the innermost storage lock (the
-        # buffer-pool latch may be held when it is taken, never the
-        # other way around).
+        # Positioned device I/O is thread-safe on its own; the I/O lock
+        # keeps the stats counters race-free and serializes the
+        # fault-injection override points. It is the innermost storage
+        # lock (the buffer-pool latch may be held when it is taken,
+        # never the other way around).
         self._io_lock = threading.RLock()
         self._n_pages = 0
-        self._file = None
-        self._memory: Optional[bytearray] = None
-        if path is None:
-            self._memory = bytearray()
-        else:
-            # Unbuffered: a crash (simulated or real) leaves the file with
-            # exactly the writes that were issued, nothing half-buffered.
-            self._file = open(path, "w+b", buffering=0)
+        self._device = open_device(path, create=True)
 
     @classmethod
     def open_existing(cls, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "Pager":
         """Attach to an existing page file without truncating it."""
-        pager = cls.__new__(cls)
         if page_size < 64:
             raise StorageError("page size must be at least 64 bytes")
+        pager = cls.__new__(cls)
         pager.page_size = page_size
         pager.path = path
         pager.stats = PagerStats()
         pager._io_lock = threading.RLock()
-        pager._memory = None
-        pager._file = open(path, "r+b", buffering=0)
+        pager._device = open_device(path, create=False)
         try:
-            pager._file.seek(0, os.SEEK_END)
-            size = pager._file.tell()
+            size = pager._device.size
             if size % page_size:
                 raise StorageError(
                     f"file size {size} is not a multiple of the page size {page_size}"
                 )
         except BaseException:
-            pager._file.close()
-            pager._file = None
+            pager._device.close()
             raise
         pager._n_pages = size // page_size
         return pager
 
     # -- lifecycle -------------------------------------------------------------
 
+    @property
+    def _file(self):
+        """The backing file object, ``None`` for in-memory pagers.
+
+        Kept as an attribute-shaped accessor so crash harnesses can
+        sever the handle exactly as they did before the device layer.
+        """
+        return self._device.file
+
+    @property
+    def device(self):
+        """The raw device under this pager (bottom of the stack)."""
+        return self._device
+
     def close(self) -> None:
-        """Flush and release the backing file, if any."""
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        """Flush and release the backing device, if file-backed."""
+        if self.path is not None:
+            self._device.close()
 
     @property
     def closed(self) -> bool:
         """True once a file-backed pager has released its handle."""
-        return self._memory is None and self._file is None
+        return self.path is not None and self._device.closed
 
     def __enter__(self) -> "Pager":
         return self
@@ -172,18 +191,31 @@ class Pager:
             page_id = self._n_pages
             self._n_pages += 1
             self.stats.allocations += 1
-            if self._memory is not None:
-                self._memory.extend(bytes(self.page_size))
+            if self.path is None:
+                self._device.extend(self.page_size)
             else:
                 self._write_raw(page_id * self.page_size, bytes(self.page_size))
             return page_id
 
     def read_page(self, page_id: int) -> bytes:
-        """Physically read one page, verifying its checksum trailer."""
+        """Physically read one page, verifying its checksum trailer.
+
+        This is the ``bytes``-returning API boundary; internal callers
+        that can honor the borrow rules use :meth:`read_page_view`.
+        """
+        return bytes(self.read_page_view(page_id))
+
+    def read_page_view(self, page_id: int) -> Union[bytes, memoryview]:
+        """Verified zero-copy read: a borrowed view of the page bytes.
+
+        On the mmap path this is a :class:`memoryview` slice of the map;
+        decode it immediately or copy — it must not outlive the call
+        chain (see :mod:`repro.storage.device`).
+        """
         with self._io_lock:
             self._check(page_id)
             self.stats.reads += 1
-            data = self._read_raw(page_id * self.page_size, self.page_size)
+            data = self._read_view(page_id * self.page_size, self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_id}")
         verify_page_bytes(data, page_id)
@@ -201,7 +233,7 @@ class Pager:
             data = self._read_raw(page_id * self.page_size, self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_id}")
-        return data
+        return bytes(data)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Physically write one page, stamping the checksum trailer."""
@@ -233,26 +265,24 @@ class Pager:
     def sync(self) -> None:
         """Force file contents to stable storage."""
         with self._io_lock:
-            if self._file is not None:
-                self._file.flush()
-                os.fsync(self._file.fileno())
+            if self.path is not None:
+                self._device.sync()
 
     # -- raw byte I/O (the override point for fault injection) ----------------
 
     def _read_raw(self, offset: int, length: int) -> bytes:
-        if self._memory is not None:
-            return bytes(self._memory[offset : offset + length])
-        assert self._file is not None
-        self._file.seek(offset)
-        return self._file.read(length)
+        return bytes(self._device.read(offset, length))
+
+    def _read_view(self, offset: int, length: int):
+        # Honor fault-injection subclasses: when _read_raw is overridden,
+        # every read must pass through it so injected bit flips land on
+        # the zero-copy path too.
+        if type(self)._read_raw is not Pager._read_raw:
+            return self._read_raw(offset, length)
+        return self._device.read(offset, length)
 
     def _write_raw(self, offset: int, payload: bytes) -> None:
-        if self._memory is not None:
-            self._memory[offset : offset + len(payload)] = payload
-        else:
-            assert self._file is not None
-            self._file.seek(offset)
-            self._file.write(payload)
+        self._device.write(offset, payload)
 
     def _check(self, page_id: int) -> None:
         if not 0 <= page_id < self._n_pages:

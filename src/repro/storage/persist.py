@@ -42,12 +42,12 @@ from typing import Dict, List, Optional
 
 from repro.dol.codebook import Codebook
 from repro.dol.labeling import DOL
-from repro.errors import PageCorruptionError, StorageError
+from repro.errors import PageCorruptionError, PageFormatError, StorageError
 from repro.labeling.base import AccessLabeling
 from repro.labeling.registry import get_backend
-from repro.storage.encoding import ENTRY_SIZE, NodeEntry
+from repro.storage.codecs import CODEC_IDS, resolve_page_format
 from repro.storage.faults import FaultInjectingPager, FaultPlan
-from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
+from repro.storage.headers import PageHeader, PageHeaderTable
 from repro.storage.nokstore import NoKStore, entries_per_page_for, wal_path_for
 from repro.storage.pager import Pager, verify_page_bytes
 from repro.storage.wal import RecoveryResult, WriteAheadLog, _fsync_dir
@@ -151,6 +151,24 @@ def _validate_catalog(catalog: Dict[str, object], path: str) -> None:
         raise StorageError(
             f"catalog tagged with backend {backend!r} but holds no labeling_data"
         )
+    codec = catalog.get("codec")
+    if codec is not None:
+        # v3 store: the codec negotiation tag must name known container
+        # codecs and carry the density the build chose.
+        if not isinstance(codec, dict):
+            raise StorageError(f"catalog codec tag {codec!r} is not usable")
+        for container in ("structure", "codes"):
+            name = codec.get(container)
+            if name not in CODEC_IDS:
+                raise StorageError(
+                    f"catalog codec tag names unknown {container} codec {name!r}"
+                )
+        per_page = catalog.get("entries_per_page")
+        if not isinstance(per_page, int) or per_page < 1:
+            raise StorageError(
+                f"catalog entries_per_page {per_page!r} is not usable "
+                "(required for compressed stores)"
+            )
 
 
 def _recover(path: str, catalog_path: str) -> RecoveryResult:
@@ -200,6 +218,11 @@ def open_store(
     page_size = catalog["page_size"]
     n_nodes = catalog["n_nodes"]
     n_pages = catalog["n_pages"]
+    codec = catalog.get("codec")
+    page_format = resolve_page_format(codec)
+    entries_per_page = catalog.get("entries_per_page") or entries_per_page_for(
+        page_size
+    )
     if fault_plan is not None:
         pager = FaultInjectingPager.open_existing(path, page_size, plan=fault_plan)
     else:
@@ -231,13 +254,8 @@ def open_store(
 
         pos = 0
         for page_id in range(n_pages):
-            data = pager.read_page(page_id)
-            header = PageHeader.unpack(data)
-            offset = HEADER_SIZE
-            entries: List[NodeEntry] = []
-            for _ in range(header.n_entries):
-                entries.append(NodeEntry.unpack(data, offset))
-                offset += ENTRY_SIZE
+            data = pager.read_page_view(page_id)
+            header, entries = page_format.decode_page(data)
             expected = PageHeader.expected_for(entries)
             if header != expected:
                 raise StorageError(
@@ -287,7 +305,14 @@ def open_store(
         # attach() validates too (labeling/document agreement) — it must
         # stay inside the guard or a failure leaks both descriptors.
         store = NoKStore.attach(
-            doc, rebuilt, pager, headers, buffer_capacity, wal=wal
+            doc,
+            rebuilt,
+            pager,
+            headers,
+            buffer_capacity,
+            wal=wal,
+            codec=codec,
+            entries_per_page=entries_per_page,
         )
         # Stamp what recovery did so the serving layer's health model can
         # report a store that came up through WAL replay/rollback.
@@ -327,11 +352,17 @@ def fsck_report(path: str, catalog_path: str = None) -> Dict[str, object]:
 
         {"store": ..., "clean": bool, "checked_pages": N,
          "corrupt_pages": [ids...], "wal_pending_batches": N,
+         "codec": tag-or-None, "physical_bytes": N, "logical_bytes": N,
+         "containers": {"structure": {...}, "codes": {...}},
          "findings": [{"kind": ..., "page": id-or-None, "message": ...}]}
 
     Finding kinds: ``catalog`` (catalog unusable — nothing else was
     checkable), ``wal`` (pending or unreadable log), ``checksum``,
     ``header``, ``entry``, ``count``.
+
+    The container block totals physical (as stored, post-codec) vs
+    logical (decoded) bytes per container across every parseable page,
+    so compression ratio is visible without a bench run.
     """
     catalog_path = catalog_path or catalog_path_for(path)
     findings: List[Dict[str, object]] = []
@@ -341,6 +372,14 @@ def fsck_report(path: str, catalog_path: str = None) -> Dict[str, object]:
         "checked_pages": 0,
         "corrupt_pages": [],
         "wal_pending_batches": 0,
+        "codec": None,
+        "n_pages": 0,
+        "physical_bytes": 0,
+        "logical_bytes": 0,
+        "containers": {
+            "structure": {"physical_bytes": 0, "logical_bytes": 0, "codecs": []},
+            "codes": {"physical_bytes": 0, "logical_bytes": 0, "codecs": []},
+        },
         "findings": findings,
     }
 
@@ -358,7 +397,12 @@ def fsck_report(path: str, catalog_path: str = None) -> Dict[str, object]:
     page_size = catalog["page_size"]
     n_pages = catalog["n_pages"]
     n_codes = len(catalog.get("codebook", []))
-    per_page = entries_per_page_for(page_size)
+    per_page = catalog.get("entries_per_page") or entries_per_page_for(page_size)
+    page_format = resolve_page_format(catalog.get("codec"))
+    report["codec"] = catalog.get("codec")
+    report["n_pages"] = n_pages
+    report["physical_bytes"] = n_pages * page_size
+    container_totals = report["containers"]
 
     wal_path = wal_path_for(path)
     if os.path.exists(wal_path):
@@ -401,12 +445,25 @@ def fsck_report(path: str, catalog_path: str = None) -> Dict[str, object]:
                 report["corrupt_pages"].append(page_id)
                 unreadable_pages += 1
                 continue
-            offset = HEADER_SIZE
-            entries = []
-            for index in range(header.n_entries):
-                entry = NodeEntry.unpack(data, offset)
-                offset += ENTRY_SIZE
-                entries.append(entry)
+            try:
+                _header, entries = page_format.decode_page(data)
+                per_container = page_format.container_report(data)
+            except PageFormatError as exc:
+                finding(
+                    "entry",
+                    f"page {page_id}: container decode failed: {exc}",
+                    page=page_id,
+                )
+                report["corrupt_pages"].append(page_id)
+                unreadable_pages += 1
+                continue
+            for container, sizes in per_container.items():
+                totals = container_totals[container]
+                totals["physical_bytes"] += sizes["physical"]
+                totals["logical_bytes"] += sizes["logical"]
+                if sizes["codec"] not in totals["codecs"]:
+                    totals["codecs"].append(sizes["codec"])
+            for index, entry in enumerate(entries):
                 if entry.is_transition and entry.code >= max(n_codes, 1):
                     finding(
                         "entry",
@@ -424,6 +481,9 @@ def fsck_report(path: str, catalog_path: str = None) -> Dict[str, object]:
                 )
             total_entries += len(entries)
     report["checked_pages"] = n_pages
+    report["logical_bytes"] = sum(
+        totals["logical_bytes"] for totals in container_totals.values()
+    )
     # Count drift is only an independent finding when every page was
     # parseable — otherwise it is just a consequence of the pages above.
     if not unreadable_pages and total_entries != catalog["n_nodes"]:

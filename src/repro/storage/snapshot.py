@@ -26,7 +26,10 @@ Page resolution for a snapshot at epoch *E*: walk the chain of successor
 snapshots looking for an overlay entry (the bytes page *p* had when the
 first post-*E* writer was about to change it); if no overlay holds *p*,
 the store's live bytes are still exactly the epoch-*E* bytes and the read
-goes through the shared latched buffer pool. A re-check after the live
+goes through the shared latched buffer pool. Overlay pre-images are the
+*stored* form of the page — compressed, on a v3 store — captured verbatim
+and decoded on demand through the store's codec layer, so copy-on-write
+cost is one page-size copy regardless of codec. A re-check after the live
 read closes the race with a writer installing the overlay concurrently:
 pre-images are always published *before* the page is rewritten, so "no
 overlay after the read" proves the read saw epoch-*E* bytes.

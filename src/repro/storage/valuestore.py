@@ -9,15 +9,31 @@ I/O-accounted like everything else.
 
 Document order means value locality mirrors structural locality: the
 values touched by one NoK subtree match typically share a page.
+
+Value-container compression
+---------------------------
+This is the *content* half of the Leighton–Barbosa split (the structure
+half lives in :mod:`repro.storage.codecs`): with ``codec="zlib"`` each
+value page body is DEFLATE-compressed as a whole — text compresses well
+and is decoded at page granularity into a
+:class:`~repro.storage.pagecache.DecodedPageCache`, so hot value reads
+pay the inflate once. A page whose compressed form would expand falls
+back to raw bytes, recorded in the page's one-byte codec prefix.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
+from repro.storage.codecs import CODEC_NONE, CODEC_ZLIB, decode_container, encode_container
+from repro.storage.pagecache import DecodedPageCache
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+
+#: per-page prefix on compressed value pages: codec id (u8), blob length (u32)
+_VALUE_PAGE_HEADER = struct.Struct("<BI")
 
 
 class ValueStore:
@@ -29,12 +45,21 @@ class ValueStore:
         path: Optional[str] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 16,
+        codec: Optional[str] = None,
     ):
+        if codec not in (None, "none", "zlib"):
+            raise StorageError(f"unknown value codec {codec!r}")
+        self.codec = None if codec in (None, "none") else codec
         self.pager = Pager(path, page_size)
         self.buffer = BufferPool(self.pager, buffer_capacity)
         self.page_size = page_size
-        #: records must leave the pager's checksum trailer untouched
-        self.capacity = self.pager.usable_size
+        #: records must leave the pager's checksum trailer untouched; a
+        #: compressed heap also reserves the per-page codec prefix (its
+        #: raw fallback must always fit)
+        self.capacity = self.pager.usable_size - (
+            _VALUE_PAGE_HEADER.size if self.codec else 0
+        )
+        self._decoded = DecodedPageCache(capacity=max(buffer_capacity, 16))
         #: per position: (page id, offset, byte length); (-1, 0, 0) = empty
         self._slots: List[Tuple[int, int, int]] = []
         self._build(texts)
@@ -52,15 +77,38 @@ class ValueStore:
                 self._slots.append((-1, 0, 0))
                 continue
             if len(current) + len(raw) > self.capacity:
-                self.pager.write_page(page_id, bytes(current) + bytes(self.page_size - len(current)))
+                self._write_value_page(page_id, current)
                 page_id = self.pager.allocate()
                 current = bytearray()
             self._slots.append((page_id, len(current), len(raw)))
             current.extend(raw)
-        self.pager.write_page(
-            page_id, bytes(current) + bytes(self.page_size - len(current))
-        )
+        self._write_value_page(page_id, current)
         self.pager.stats.reset()
+
+    def _write_value_page(self, page_id: int, current: bytearray) -> None:
+        raw = bytes(current)
+        if self.codec is None:
+            self.pager.write_page(page_id, raw + bytes(self.page_size - len(raw)))
+            return
+        codec_id, blob = CODEC_ZLIB, encode_container(CODEC_ZLIB, raw)
+        if len(blob) >= len(raw):
+            codec_id, blob = CODEC_NONE, raw
+        body = _VALUE_PAGE_HEADER.pack(codec_id, len(blob)) + blob
+        self.pager.write_page(page_id, body + bytes(self.page_size - len(body)))
+
+    def _page_bytes(self, page_id: int) -> bytes:
+        """Logical (decoded) bytes of one value page."""
+        if self.codec is None:
+            return self.buffer.get(page_id)
+        cached = self._decoded.get(page_id)
+        if cached is not None:
+            return cached
+        data = self.buffer.get(page_id)
+        codec_id, blob_len = _VALUE_PAGE_HEADER.unpack_from(data, 0)
+        start = _VALUE_PAGE_HEADER.size
+        decoded = decode_container(codec_id, data[start : start + blob_len])
+        self._decoded.put(page_id, decoded)
+        return decoded
 
     def text(self, pos: int) -> str:
         """The text value of the node at document position ``pos``."""
@@ -69,7 +117,7 @@ class ValueStore:
         page_id, offset, length = self._slots[pos]
         if page_id == -1:
             return ""
-        data = self.buffer.get(page_id)
+        data = self._page_bytes(page_id)
         return data[offset : offset + length].decode("utf-8")
 
     def __len__(self) -> int:

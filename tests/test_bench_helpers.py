@@ -73,3 +73,35 @@ class TestWorkloads:
         assert livelink.n_subjects == 8
         unix = unix_dataset(n_nodes=300, n_users=8, n_groups=3)
         assert unix.n_subjects == 11
+
+
+class TestStorageBenchmark:
+    def test_report_shape_and_gate(self):
+        from repro.bench.exec import gate_storage_report, run_storage_benchmark
+
+        report = run_storage_benchmark(
+            n_items=12, codec="structure-delta", repeats=1
+        )
+        assert set(report["variants"]) == {"plain", "compressed"}
+        plain = report["variants"]["plain"]
+        compressed = report["variants"]["compressed"]
+        assert compressed["store_bytes"] < plain["store_bytes"]
+        assert compressed["entries_per_page"] > plain["entries_per_page"]
+        assert report["bytes_ratio"] == (
+            compressed["store_bytes"] / plain["store_bytes"]
+        )
+        # the acceptance ratios hold even at this tiny size
+        assert gate_storage_report(
+            report, max_bytes_ratio=0.75, max_latency_ratio=100.0
+        ) == []
+
+    def test_gate_flags_violations(self):
+        from repro.bench.exec import gate_storage_report
+
+        fat_and_slow = {
+            "codec": "zlib", "bytes_ratio": 0.9, "latency_ratio": 2.0,
+        }
+        violations = gate_storage_report(fat_and_slow)
+        assert len(violations) == 2
+        assert any("0.90x the plain size" in v for v in violations)
+        assert any("batch latency" in v for v in violations)

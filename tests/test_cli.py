@@ -89,6 +89,48 @@ class TestBuild:
         assert main(["verify-store", store]) == 0
         assert "clean" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("codec", ("zlib", "structure-delta"))
+    def test_codec_build_and_fsck_container_bytes(
+        self, xmark_file, tmp_path, capsys, codec
+    ):
+        import os
+
+        store = str(tmp_path / "codec.db")
+        plain = str(tmp_path / "plain.db")
+        assert main(
+            ["build", xmark_file, store, "--page-size", "1024",
+             "--codec", codec]
+        ) == 0
+        assert main(["build", xmark_file, plain, "--page-size", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert f"codec {codec}" in out
+        assert os.path.getsize(store) < os.path.getsize(plain)
+
+        assert main(["verify-store", store]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "physical" in out and "logical" in out
+        structure = "zlib" if codec == "zlib" else "structure-delta"
+        assert f"structure={structure} codes=zlib" in out
+
+        assert main(["verify-store", store, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        containers = report["containers"]
+        assert containers["structure"]["physical_bytes"] < (
+            containers["structure"]["logical_bytes"]
+        )
+        assert report["codec"]["structure"] == structure
+
+    def test_plain_fsck_reports_equal_bytes(self, xmark_file, tmp_path, capsys):
+        store = str(tmp_path / "plain.db")
+        assert main(["build", xmark_file, store]) == 0
+        capsys.readouterr()
+        assert main(["verify-store", store, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["codec"] is None
+        for totals in report["containers"].values():
+            assert totals["physical_bytes"] == totals["logical_bytes"]
+
 
 class TestExplain:
     def test_plan_printed(self, xmark_file, capsys):

@@ -12,6 +12,11 @@ transition nodes.
 
 Run separately in CI (the ``fault-injection`` job): it is I/O heavy and
 quadratic-ish in the workload's write count by design.
+
+The whole matrix is parametrized over the page codec (``none``, ``zlib``,
+``structure-delta``): WAL images and CRCs cover the *stored* (compressed)
+bytes, so recovery must behave identically whatever the page interior
+looks like. CI splits the codecs across jobs with ``-k``.
 """
 
 import shutil
@@ -47,13 +52,17 @@ def _build_inputs():
     return doc, DOL.from_matrix(matrix)
 
 
-@pytest.fixture(scope="module")
-def baseline(tmp_path_factory):
-    """A saved store plus the pre- and post-update oracles."""
-    base = tmp_path_factory.mktemp("crash-baseline")
+@pytest.fixture(
+    scope="module", params=["none", "zlib", "structure-delta"]
+)
+def baseline(request, tmp_path_factory):
+    """A saved store (one per page codec) plus the pre/post oracles."""
+    base = tmp_path_factory.mktemp(f"crash-baseline-{request.param}")
     doc, dol = _build_inputs()
     path = str(base / "store.db")
-    store = NoKStore(doc, dol, path=path, page_size=PAGE_SIZE)
+    store = NoKStore(
+        doc, dol, path=path, page_size=PAGE_SIZE, codec=request.param
+    )
     pre_masks = dol.to_masks()
     pre_transitions = dol.n_transitions
     save_store(store)

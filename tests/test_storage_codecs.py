@@ -1,0 +1,348 @@
+"""Codec-layer tests: container round-trips, page formats, the fit
+invariant, the device layer, and the decoded-page cache.
+
+The load-bearing property is totality: ``decode_container`` must invert
+``encode_container`` on *arbitrary* bytes for every codec id, because the
+structure-delta coder is not a textbook byte compressor — it treats the
+input as a u16 word stream — and a subtle asymmetry there silently
+corrupts pages.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFormatError, StorageError
+from repro.storage.codecs import (
+    CODEC_DELTA,
+    CODEC_IDS,
+    CODEC_NONE,
+    CODEC_ZLIB,
+    CompressedPageFormat,
+    PlainPageFormat,
+    codes_container,
+    decode_container,
+    encode_container,
+    entries_from_containers,
+    resolve_page_format,
+    structure_container,
+    worst_case_codes_bytes,
+)
+from repro.storage.device import FileDevice, MemoryDevice, MmapDevice, open_device
+from repro.storage.encoding import NodeEntry
+from repro.storage.headers import PageHeader
+from repro.storage.pagecache import DecodedPageCache
+
+
+# -- container codecs: compress∘decompress = id --------------------------------
+
+
+@pytest.mark.parametrize("codec_id", sorted(CODEC_IDS.values()))
+@given(raw=st.binary(max_size=2048))
+@settings(max_examples=120, deadline=None)
+def test_container_roundtrip_arbitrary_bytes(codec_id, raw):
+    blob = encode_container(codec_id, raw)
+    assert decode_container(codec_id, blob) == raw
+
+
+@pytest.mark.parametrize("codec_id", sorted(CODEC_IDS.values()))
+@pytest.mark.parametrize(
+    "raw",
+    [b"", b"\x00", b"\xff", b"\x00" * 513, b"\xff\xff" * 100 + b"\x7f",
+     bytes(range(256))],
+)
+def test_container_roundtrip_edges(codec_id, raw):
+    assert decode_container(codec_id, encode_container(codec_id, raw)) == raw
+
+
+def test_unknown_codec_id_rejected():
+    with pytest.raises(PageFormatError):
+        encode_container(99, b"x")
+    with pytest.raises(PageFormatError):
+        decode_container(99, b"x")
+
+
+@pytest.mark.parametrize(
+    "blob",
+    [b"", b"\x80", b"\x04\x81", b"\x03\x00", b"\xff\xff\xff\xff\xff" * 3],
+)
+def test_corrupt_delta_blob_raises(blob):
+    with pytest.raises(PageFormatError):
+        decode_container(CODEC_DELTA, blob)
+
+
+def test_corrupt_zlib_blob_raises():
+    with pytest.raises(PageFormatError):
+        decode_container(CODEC_ZLIB, b"not deflate data")
+
+
+def test_delta_compresses_slowly_varying_words():
+    """The structural columns the coder is built for: small deltas."""
+    import struct
+
+    words = list(range(100, 400))  # delta 1 per word -> ~1 byte per word
+    raw = struct.pack(f"<{len(words)}H", *words)
+    blob = encode_container(CODEC_DELTA, raw)
+    assert len(blob) <= len(raw) // 2 + 8
+
+
+# -- entry containers ----------------------------------------------------------
+
+
+def _entries(spec):
+    """spec: list of (tag, depth, subtree, code, is_transition)."""
+    return [NodeEntry(*row) for row in spec]
+
+
+@st.composite
+def entry_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    rows = []
+    for _ in range(n):
+        rows.append(
+            (
+                draw(st.integers(0, 0xFFFF)),
+                draw(st.integers(0, 0xFFFF)),
+                draw(st.integers(0, 0xFFFFFFFF)),
+                draw(st.integers(0, 0xFFFF)),
+                draw(st.booleans()),
+            )
+        )
+    # non-transition entries store code 0 on disk; mirror that here so
+    # the round-trip comparison is exact
+    return [
+        NodeEntry(t, d, s, c if f else 0, f) for (t, d, s, c, f) in rows
+    ]
+
+
+@given(entries=entry_lists())
+@settings(max_examples=80, deadline=None)
+def test_entry_container_roundtrip(entries):
+    rebuilt = entries_from_containers(
+        len(entries), structure_container(entries), codes_container(entries)
+    )
+    assert rebuilt == entries
+
+
+def test_container_length_mismatch_rejected():
+    entries = _entries([(1, 1, 1, 0, False)])
+    with pytest.raises(PageFormatError):
+        entries_from_containers(2, structure_container(entries), b"\x00")
+    with pytest.raises(PageFormatError):
+        entries_from_containers(1, structure_container(entries), b"")
+
+
+# -- page formats --------------------------------------------------------------
+
+
+FORMATS = [
+    PlainPageFormat(),
+    CompressedPageFormat(structure="zlib", codes="zlib"),
+    CompressedPageFormat(structure="structure-delta", codes="zlib"),
+    CompressedPageFormat(structure="none", codes="none"),
+]
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.structure_codec)
+@given(entries=entry_lists(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_page_roundtrip(fmt, entries, data):
+    page_size = data.draw(st.sampled_from([1024, 4096]))
+    entries = entries[: fmt.max_entries(page_size)]
+    header = PageHeader(
+        first_code=data.draw(st.integers(0, 0xFFFF)),
+        change_bit=data.draw(st.integers(0, 1)),
+        n_entries=len(entries),
+    )
+    page = fmt.encode_page(header, entries, page_size)
+    assert len(page) == page_size
+    out_header, out_entries = fmt.decode_page(page)
+    assert out_header == header
+    assert out_entries == entries
+
+
+@pytest.mark.parametrize("fmt", FORMATS[1:], ids=lambda f: f.structure_codec)
+@pytest.mark.parametrize("page_size", [256, 1024, 4096])
+def test_fit_invariant_worst_case_codes(fmt, page_size):
+    """Any page encode_page ACCEPTS must survive every entry becoming a
+    transition — accessibility updates rewrite codes at fixed density, so
+    an accepted page may never overflow on a codes-only change."""
+
+    def typical(i):
+        # the statistics encode_page is sized for: small tag alphabet,
+        # ±1 depth walk, bounded subtree sizes, sparse transitions
+        return NodeEntry(i % 23, 1 + i % 12, (i * 3) % 5000, 0, False)
+
+    # find an accepted density the way the store does: back off from the
+    # format's upper bound until the page fits
+    n = fmt.max_entries(page_size)
+    while True:
+        entries = [typical(i) for i in range(n)]
+        header = PageHeader(first_code=0, change_bit=False, n_entries=n)
+        try:
+            fmt.encode_page(header, entries, page_size)
+            break
+        except PageFormatError:
+            assert n > 1
+            n = max(1, n * 3 // 4)
+
+    # worst case the codes container: every entry a transition, max code
+    worst = [
+        NodeEntry(e.tag_id, e.depth, e.subtree, 0xFFFF, True) for e in entries
+    ]
+    header = PageHeader(first_code=0, change_bit=True, n_entries=n)
+    page = fmt.encode_page(header, worst, page_size)  # must not raise
+    _, out = fmt.decode_page(page)
+    assert out == worst
+    assert worst_case_codes_bytes(n) >= len(codes_container(worst))
+
+
+def test_incompressible_structure_falls_back_to_none():
+    fmt = CompressedPageFormat(structure="zlib", codes="zlib")
+    entries = [
+        NodeEntry((i * 31013) & 0xFFFF, (i * 49999) & 0xFFFF,
+                  (i * 2654435761) & 0xFFFFFFFF, 0, False)
+        for i in range(64)
+    ]
+    header = PageHeader(first_code=0, change_bit=0, n_entries=len(entries))
+    page = fmt.encode_page(header, entries, 4096)
+    report = fmt.container_report(page)
+    # whatever the codec chose per container, decode must still invert
+    _, out = fmt.decode_page(page)
+    assert out == entries
+    assert report["structure"]["codec"] in ("zlib", "none")
+    assert report["structure"]["logical"] == 8 * len(entries)
+
+
+def test_page_overflow_raises():
+    fmt = CompressedPageFormat()
+    n = fmt.max_entries(256) + 1
+    entries = [NodeEntry(i & 0xFFFF, 1, 1, 0, False) for i in range(n)]
+    header = PageHeader(first_code=0, change_bit=0, n_entries=n)
+    with pytest.raises(PageFormatError):
+        fmt.encode_page(header, entries, 256)
+
+
+def test_codec_header_bounds_checked():
+    fmt = CompressedPageFormat()
+    header = PageHeader(first_code=0, change_bit=0, n_entries=1)
+    page = bytearray(fmt.encode_page(header, _entries([(1, 1, 1, 0, False)]), 256))
+    # claim more container bytes than the page holds
+    import struct as _s
+
+    _s.pack_into("<I", page, 10, 0xFFFF)
+    with pytest.raises(PageFormatError):
+        fmt.decode_page(bytes(page))
+
+
+def test_resolve_page_format_vocabulary():
+    assert isinstance(resolve_page_format(None), PlainPageFormat)
+    assert isinstance(resolve_page_format("none"), PlainPageFormat)
+    fmt = resolve_page_format("structure-delta")
+    assert fmt.catalog_tag == {"structure": "structure-delta", "codes": "zlib"}
+    fmt = resolve_page_format({"structure": "zlib", "codes": "none"})
+    assert (fmt.structure_codec, fmt.codes_codec) == ("zlib", "none")
+    with pytest.raises(StorageError):
+        resolve_page_format("lz4")
+    with pytest.raises(StorageError):
+        resolve_page_format({"structure": "lz4"})
+
+
+# -- device layer --------------------------------------------------------------
+
+
+def _device_roundtrip(device):
+    device.extend(256)
+    device.write(0, b"A" * 128)
+    device.write(128, b"B" * 128)
+    assert bytes(device.read(0, 128)) == b"A" * 128
+    assert bytes(device.read(128, 128)) == b"B" * 128
+    device.extend(128)
+    device.write(256, b"C" * 128)
+    assert bytes(device.read(256, 128)) == b"C" * 128
+    assert device.size == 384
+
+
+def test_memory_device_roundtrip():
+    device = MemoryDevice()
+    _device_roundtrip(device)
+    device.close()
+    assert device.closed
+
+
+def test_file_device_roundtrip(tmp_path):
+    path = str(tmp_path / "pages.bin")
+    device = open_device(path, create=True, use_mmap=False)
+    assert isinstance(device, FileDevice) and not isinstance(device, MmapDevice)
+    _device_roundtrip(device)
+    device.sync()
+    device.close()
+    assert os.path.getsize(path) == 384
+
+
+def test_mmap_device_roundtrip_and_remap(tmp_path):
+    device = open_device(str(tmp_path / "pages.bin"), create=True)
+    assert isinstance(device, MmapDevice)
+    _device_roundtrip(device)  # the second extend crosses the mapped extent
+    view = device.read(0, 4)
+    assert isinstance(view, memoryview)
+    assert bytes(view) == b"AAAA"
+    del view
+    device.close()
+    assert device.closed
+
+
+def test_open_device_reopens_file(tmp_path):
+    path = str(tmp_path / "pages.bin")
+    device = open_device(path, create=True)
+    device.extend(64)
+    device.write(0, b"x" * 64)
+    device.sync()
+    device.close()
+    reopened = open_device(path, create=False)
+    assert bytes(reopened.read(0, 64)) == b"x" * 64
+    reopened.close()
+
+
+def test_open_device_memory_when_no_path():
+    device = open_device(None, create=True)
+    assert isinstance(device, MemoryDevice)
+    device.close()
+
+
+# -- decoded-page cache --------------------------------------------------------
+
+
+def test_decoded_cache_lru_and_stats():
+    cache = DecodedPageCache(capacity=2)
+    assert cache.get(0) is None
+    cache.put(0, "zero")
+    cache.put(1, "one")
+    assert cache.get(0) == "zero"  # 0 now most-recent
+    cache.put(2, "two")  # evicts 1
+    assert cache.get(1) is None
+    assert cache.get(0) == "zero"
+    stats = cache.stats.snapshot()
+    assert stats["evictions"] == 1
+    assert stats["hits"] == 2
+    assert stats["misses"] == 2
+
+
+def test_decoded_cache_invalidation():
+    cache = DecodedPageCache(capacity=4)
+    cache.put(7, "seven")
+    cache.invalidate(7)
+    assert cache.get(7) is None
+    assert cache.stats.invalidations == 1
+    cache.put(8, "eight")
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_decoded_cache_zero_capacity_disables():
+    cache = DecodedPageCache(capacity=0)
+    cache.put(1, "one")
+    assert cache.get(1) is None
+    assert len(cache) == 0
