@@ -33,7 +33,10 @@ Subcommands
     against a committed baseline; ``--suite classes`` measures cache
     growth against simulated user populations (``--users``), writes
     ``BENCH_classes.json``, and gates that every cache layer's entry
-    count is bounded by the number of access classes, not users.
+    count is bounded by the number of access classes, not users;
+    ``--suite kernels`` runs the array-kernel micros (run intersection,
+    columnar page decode, leaf NPM) under the active backend, writes
+    ``BENCH_kernels.json``, and gates on machine-independent ratios.
 ``serve``
     Serve secure queries and accessibility updates concurrently over a
     newline-delimited JSON TCP protocol (bounded worker pool, snapshot
@@ -245,6 +248,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(
             f"answers: {result.n_answers}  bindings: {result.n_bindings}  "
             f"access checks: {result.stats.access_checks}  "
+            f"kernels: {result.stats.kernel_backend}  "
             f"wall time: {result.stats.wall_time * 1000.0:.3f}ms"
         )
         return 0
@@ -516,6 +520,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.suite == "classes":
         return _cmd_bench_classes(args)
+    if args.suite == "kernels":
+        return _cmd_bench_kernels(args)
     report = run_exec_benchmark(
         sizes=tuple(args.sizes), repeats=args.repeats,
         semantics=args.semantics,
@@ -561,6 +567,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"REGRESSION: {line}")
         return 1
     print(f"no regressions against {args.baseline} (threshold {args.threshold:.0%})")
+    return 0
+
+
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.bench.kernels import (
+        gate_kernels_report,
+        run_kernels_benchmark,
+        write_report,
+    )
+
+    output = (
+        args.output if args.output != "BENCH_exec.json" else "BENCH_kernels.json"
+    )
+    report = run_kernels_benchmark(repeats=args.repeats)
+    write_report(report, output)
+    print(f"wrote {output}")
+    print(f"  kernel backend: {report['backend']}")
+    for name, micro in report["micros"].items():
+        print(f"  {name}: {micro['ratio']:.2f}x")
+    violations = list(gate_kernels_report(report))
+    if violations:
+        for line in violations:
+            print(f"VIOLATION: {line}")
+        return 1
+    print("kernels gate: every micro at or above its ratio floor")
     return 0
 
 
@@ -704,10 +735,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite",
-        choices=("exec", "classes"),
+        choices=("exec", "classes", "kernels"),
         default="exec",
         help="exec: batch-vs-tuple timing; classes: class-collapse "
-        "cache-growth benchmark with its self-contained gate",
+        "cache-growth benchmark; kernels: array-kernel micros "
+        "(run intersection, columnar decode, leaf NPM) with ratio gates",
     )
     p_bench.add_argument(
         "--users", type=int, nargs="+", default=[1_000, 10_000, 100_000],

@@ -8,19 +8,26 @@ The operators here are drop-in *subclasses* of their tuple counterparts
 are batches:
 
 - scan-level edges carry ``array('q')`` position batches; binding-level
-  edges carry lists of binding dicts;
+  edges carry :class:`ColumnBatch` position columns when every binding is
+  positional (the ``//``-chain case), falling back to lists of binding
+  dicts for full NPM matches;
 - :class:`BatchTagIndexScan` emits batches with doubling sizes (64 up to
   1024), so a ``Limit`` near the root still touches only a prefix of the
   candidates — streaming is preserved at batch granularity;
 - :class:`BatchAccessFilter` intersects whole batches against the
   query's decoded accessibility run list
-  (:meth:`~repro.exec.context.ExecutionContext.run_list`) instead of
-  probing nodes; :class:`BatchPageSkipScan` tests each page once per
-  batch group and routes hint-free backends through the same run list;
+  (:meth:`~repro.exec.context.ExecutionContext.run_list`) through the
+  active array kernel (:mod:`repro.exec.kernels`);
+  :class:`BatchPageSkipScan` tests each page once per batch group and
+  routes hint-free backends through the same run-list kernel;
 - :class:`BatchRootVerify` verifies a batch page-group at a time over a
-  store (one decoded-page fetch per group) and straight off the tag
-  array in memory; :class:`BatchSTDJoin` merges sorted position arrays
-  with ``bisect``;
+  store — reading the tag column of the page's
+  :class:`~repro.storage.codecs.PageColumns` by slice, no per-entry
+  objects — and straight off the tag array in memory;
+  :class:`BatchSTDJoin` merges sorted position arrays (vectorized
+  ``searchsorted`` under the numpy kernel) and defers binding-dict
+  construction entirely: positional joins flow as :class:`ColumnBatch`
+  until :class:`BatchProject` reads the returning column;
 - instrumentation is per *batch*: ``rows_out`` still counts rows, and
   every batch operator reports a ``batches`` counter that
   ``EXPLAIN ANALYZE`` turns into rows-per-batch.
@@ -33,12 +40,14 @@ from __future__ import annotations
 
 import time
 from array import array
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
+from itertools import chain
 from types import SimpleNamespace
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import PageCorruptionError
 from repro.exec.context import ExecutionContext
+from repro.exec.kernels import active_kernels
 from repro.exec.operators import (
     AccessFilter,
     Limit,
@@ -59,6 +68,58 @@ from repro.secure.semantics import VIEW
 #: scans amortize per-batch overhead.
 MIN_BATCH_SIZE = 32
 MAX_BATCH_SIZE = 1024
+
+
+class ColumnBatch:
+    """A binding batch as parallel position columns — no dicts.
+
+    ``keys`` are the bound pattern-node ids and ``columns`` the matching
+    ``array('q')`` position columns; row ``i`` is the binding
+    ``{keys[k]: columns[k][i]}``. ``n`` is explicit so a batch of
+    empty bindings (no bound keys) still knows its row count.
+
+    Operators that understand the positional form work on the columns
+    directly; anything else calls :meth:`bindings` to materialize the
+    historical dict rows — the two representations are interchangeable
+    by construction.
+    """
+
+    __slots__ = ("keys", "columns", "n")
+
+    def __init__(
+        self, keys: Tuple[int, ...], columns: Tuple[array, ...], n: int
+    ):
+        self.keys = keys
+        self.columns = columns
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, item) -> "ColumnBatch":
+        if not isinstance(item, slice):
+            raise TypeError("ColumnBatch supports slice access only")
+        columns = tuple(col[item] for col in self.columns)
+        n = len(columns[0]) if columns else len(range(*item.indices(self.n)))
+        return ColumnBatch(self.keys, columns, n)
+
+    def column(self, key: int) -> array:
+        return self.columns[self.keys.index(key)]
+
+    def bindings(self) -> List[Binding]:
+        """Materialize the dict-row view (the fallback interop path)."""
+        if not self.keys:
+            return [{} for _ in range(self.n)]
+        keys = self.keys
+        return [dict(zip(keys, row)) for row in zip(*self.columns)]
+
+
+#: what binding-level batch edges may carry
+BindingBatch = Union[ColumnBatch, List[Binding]]
+
+
+def _as_bindings(batch: BindingBatch) -> List[Binding]:
+    return batch.bindings() if isinstance(batch, ColumnBatch) else batch
 
 
 class BatchOperatorMixin:
@@ -123,7 +184,8 @@ class BatchPageSkipScan(BatchOperatorMixin, PageSkipScan):
     positions sharing a page; the quarantine and header tests run once
     per group (header verdicts additionally memoized for the query).
     Hint-free backends intersect the surviving batch against the decoded
-    run list — the bulk route that replaces per-node re-probing.
+    run list through the array kernel — one whole-batch merge, no
+    per-position probing.
     """
 
     def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
@@ -172,8 +234,10 @@ class BatchRootVerify(BatchOperatorMixin, RootVerify):
 
     In memory the common case (tag test only) is a straight comparison
     against the document's tag-id array. Over a store each page group
-    costs one decoded-page fetch; a corrupt page drops its whole group
-    (reported through the usual degradation path).
+    costs one decoded-page fetch, and the tag test reads the page's
+    columnar tag array directly — no :class:`NodeEntry` objects. A
+    corrupt page drops its whole group (reported through the usual
+    degradation path).
     """
 
     def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
@@ -211,6 +275,7 @@ class BatchRootVerify(BatchOperatorMixin, RootVerify):
     def _verify_store(self, ctx: ExecutionContext, simple: bool) -> Iterator[array]:
         pnode, store = self.pnode, ctx.store
         doc = ctx.doc
+        kernels = active_kernels()
         wildcard = pnode.tag == "*"
         tag_id = None if wildcard else doc.tag_dict.get(pnode.tag)
         name_of = doc.tag_dict.name_of
@@ -222,7 +287,7 @@ class BatchRootVerify(BatchOperatorMixin, RootVerify):
                 page_id = batch[i] // entries_per_page
                 j = bisect_left(batch, (page_id + 1) * entries_per_page, i)
                 try:
-                    entries = store.page_entries(page_id)
+                    columns = store.page_columns(page_id)
                 except PageCorruptionError as exc:
                     ctx.report_corruption(exc)  # raises when ctx.strict
                     # report_corruption counted one candidate; the rest
@@ -231,21 +296,27 @@ class BatchRootVerify(BatchOperatorMixin, RootVerify):
                     i = j
                     continue
                 base = page_id * entries_per_page
-                for k in range(i, j):
-                    pos = batch[k]
-                    entry = entries[pos - base]
-                    if not wildcard and entry.tag_id != tag_id:
-                        continue
-                    if simple:
+                tags = columns.tags
+                if simple and wildcard:
+                    kept.extend(batch[i:j])
+                elif simple:
+                    if tag_id is not None:
+                        kept.extend(
+                            kernels.take_eq(batch[i:j], tags, tag_id, base)
+                        )
+                else:
+                    for k in range(i, j):
+                        pos = batch[k]
+                        entry_tag = tags[pos - base]
+                        if not wildcard and entry_tag != tag_id:
+                            continue
+                        if not pnode.matches(name_of(entry_tag), store.text(pos)):
+                            continue
+                        if pnode.attr_tests and not pnode.matches_attrs(
+                            store.attrs_of(pos)
+                        ):
+                            continue
                         kept.append(pos)
-                        continue
-                    if not pnode.matches(name_of(entry.tag_id), store.text(pos)):
-                        continue
-                    if pnode.attr_tests and not pnode.matches_attrs(
-                        store.attrs_of(pos)
-                    ):
-                        continue
-                    kept.append(pos)
                 i = j
             if kept:
                 yield kept
@@ -255,9 +326,10 @@ class BatchAccessFilter(BatchOperatorMixin, AccessFilter):
     """The ε-NoK ACCESS pre-condition as a batch-vs-run-list intersection.
 
     Instead of probing each candidate, the sorted batch is intersected
-    against the accessible intervals of the query's run list — the same
-    decisions the tuple filter makes, without per-node probes. Checks
-    are still counted per candidate in ``stats.access_checks``.
+    against the accessible intervals of the query's run list — one array
+    kernel call per batch, the same decisions the tuple filter makes
+    without per-node probes. Checks are still counted per candidate in
+    ``stats.access_checks``.
     """
 
     def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
@@ -291,12 +363,13 @@ class BatchNPMMatch(BatchOperatorMixin, NPMMatch):
     A single-node NoK subtree (the common shape under ``//``-chained
     queries: every step its own subtree, folded by structural joins)
     matches trivially — the candidate already passed the tag and access
-    tests, so the binding is just ``{root: pos}``. That case skips the
-    recursive matcher entirely; it performs no access calls for leaf
-    subtrees either, so the counters agree with tuple mode exactly.
+    tests, so the binding is just ``{root: pos}``. That case emits the
+    position batch as a :class:`ColumnBatch` — the candidate array
+    *becomes* the binding column, zero per-row work — and performs no
+    access calls either, so the counters agree with tuple mode exactly.
     """
 
-    def _rows(self, ctx: ExecutionContext) -> Iterator[List[Binding]]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[BindingBatch]:
         source, subtree, ordered = ctx.source, self.subtree, self.ordered
         root = subtree.root
         if not any(axis == CHILD for axis in root.axes):
@@ -304,9 +377,9 @@ class BatchNPMMatch(BatchOperatorMixin, NPMMatch):
             bound = any(node is root for node in subtree.output_nodes)
             for batch in self.child.execute(ctx):
                 if bound:
-                    yield [{key: pos} for pos in batch]
+                    yield ColumnBatch((key,), (batch,), len(batch))
                 else:
-                    yield [{} for _ in batch]
+                    yield ColumnBatch((), (), len(batch))
             return
         access = ctx.access
         for batch in self.child.execute(ctx):
@@ -325,32 +398,134 @@ class BatchNPMMatch(BatchOperatorMixin, NPMMatch):
 class BatchSTDJoin(BatchOperatorMixin, STDJoin):
     """Structural join as a merge over sorted position arrays.
 
-    The build side's distinct positions freeze into an ``array('q')``;
-    each probe anchor then takes its descendant slice with two bisects
-    (``(anchor, subtree_end(anchor))`` interval containment) instead of
-    a scan-and-test loop.
+    The build side's positions freeze into one sorted ``array('q')``;
+    each probe batch then resolves every anchor's descendant slice in
+    one kernel call (vectorized ``searchsorted`` under numpy, a bisect
+    gallop under stdlib). When both inputs are positional
+    (:class:`ColumnBatch`), the joined rows stay positional — column
+    concatenation plus a tuple-keyed dedup — and no binding dicts exist
+    until :class:`BatchProject`. Mixed or dict-shaped inputs fall back
+    to the historical dict merge, bit-for-bit.
     """
 
-    def _rows(self, ctx: ExecutionContext) -> Iterator[List[Binding]]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[BindingBatch]:
+        build_batches = list(self.children[1].execute(ctx))
+        n_build = sum(len(batch) for batch in build_batches)
+        self.stats.bump("build_rows", n_build)
+        if n_build == 0:
+            return  # empty build side: never pull the probe side
+        probe = self.children[0].execute(ctx)
+        first = next(probe, None)
+        if first is None:
+            return
+        probe_stream = chain([first], probe)
+        if self._positional(first, build_batches):
+            yield from self._join_columns(ctx, build_batches, first, probe_stream)
+        else:
+            yield from self._join_dicts(ctx, build_batches, probe_stream)
+
+    def _positional(
+        self, first_probe: BindingBatch, build_batches: List[BindingBatch]
+    ) -> bool:
+        """True when both sides can join column-wise (disjoint keys)."""
+        if not isinstance(first_probe, ColumnBatch):
+            return False
+        if self.parent_key not in first_probe.keys:
+            return False
+        for batch in build_batches:
+            if not isinstance(batch, ColumnBatch):
+                return False
+            if self.child_key not in batch.keys:
+                return False
+            if set(batch.keys) & set(first_probe.keys):
+                return False
+        return True
+
+    def _join_columns(
+        self,
+        ctx: ExecutionContext,
+        build_batches: List[ColumnBatch],
+        first_probe: ColumnBatch,
+        probe_stream,
+    ) -> Iterator[ColumnBatch]:
+        build_keys = build_batches[0].keys
+        build_cols = [array("q") for _ in build_keys]
+        for batch in build_batches:
+            for slot, key in enumerate(build_keys):
+                build_cols[slot].extend(batch.column(key))
+        ck_slot = build_keys.index(self.child_key)
+        ck = build_cols[ck_slot]
+        if any(ck[i] > ck[i + 1] for i in range(len(ck) - 1)):
+            order = sorted(range(len(ck)), key=ck.__getitem__)
+            build_cols = [
+                array("q", (col[i] for i in order)) for col in build_cols
+            ]
+            ck = build_cols[ck_slot]
+        kernels = active_kernels()
+        subtree = ctx.doc.subtree
+        parent_key = self.parent_key
+        probe_keys = first_probe.keys
+        out_keys = probe_keys + build_keys
+        seen = set()
+        for pbatch in probe_stream:
+            anchors = pbatch.column(parent_key)
+            ends = array("q", (pos + subtree[pos] for pos in anchors))
+            los, his = kernels.join_ranges(anchors, ends, ck)
+            pcols = pbatch.columns
+            rows_out: List[tuple] = []
+            if len(pcols) == 1 and len(build_cols) == 1:
+                # the ``//``-chain shape: one bound column a side
+                pk, bk = pcols[0], build_cols[0]
+                for r, (lo, hi) in enumerate(zip(los, his)):
+                    if lo >= hi:
+                        continue
+                    anchor = pk[r]
+                    for b in range(lo, hi):
+                        row = (anchor, bk[b])
+                        if row not in seen:
+                            seen.add(row)
+                            rows_out.append(row)
+            else:
+                for r, (lo, hi) in enumerate(zip(los, his)):
+                    if lo >= hi:
+                        continue
+                    prow = tuple(col[r] for col in pcols)
+                    for b in range(lo, hi):
+                        row = prow + tuple(col[b] for col in build_cols)
+                        if row not in seen:
+                            seen.add(row)
+                            rows_out.append(row)
+            if rows_out:
+                yield ColumnBatch(
+                    out_keys,
+                    tuple(array("q", col) for col in zip(*rows_out)),
+                    len(rows_out),
+                )
+
+    def _join_dicts(
+        self,
+        ctx: ExecutionContext,
+        build_batches: List[BindingBatch],
+        probe_stream,
+    ) -> Iterator[List[Binding]]:
         descendants_of: Dict[int, List[Binding]] = {}
-        for batch in self.children[1].execute(ctx):
-            for binding in batch:
+        for batch in build_batches:
+            for binding in _as_bindings(batch):
                 descendants_of.setdefault(binding[self.child_key], []).append(
                     binding
                 )
-        self.stats.bump("build_rows", sum(map(len, descendants_of.values())))
-        if not descendants_of:
-            return  # empty build side: never pull the probe side
         desc_positions = array("q", sorted(descendants_of))
-        subtree_end = ctx.doc.subtree_end
+        kernels = active_kernels()
+        subtree = ctx.doc.subtree
         parent_key = self.parent_key
         seen = set()
-        for batch in self.children[0].execute(ctx):
+        for batch in probe_stream:
+            rows = _as_bindings(batch)
+            anchors = array("q", (m[parent_key] for m in rows))
+            ends = array("q", (pos + subtree[pos] for pos in anchors))
+            los, his = kernels.join_ranges(anchors, ends, desc_positions)
             out: List[Binding] = []
-            for m in batch:
-                anchor = m[parent_key]
-                lo = bisect_right(desc_positions, anchor)
-                hi = bisect_left(desc_positions, subtree_end(anchor), lo)
+            for m, lo, hi in zip(rows, los, his):
                 for i in range(lo, hi):
                     for dm in descendants_of[desc_positions[i]]:
                         combined = {**m, **dm}
@@ -367,13 +542,38 @@ class BatchPathCheck(BatchOperatorMixin, PathCheck):
 
     Each joined pair resolves through the deepest-blocked-ancestor index
     — interval containment of the blocked ancestor against the pair — in
-    O(1), batched to one generator hop per batch.
+    O(1), batched to one generator hop per batch. Positional batches are
+    filtered column-wise (the surviving rows stay positional).
     """
 
-    def _rows(self, ctx: ExecutionContext) -> Iterator[List[Binding]]:
+    def _rows(self, ctx: ExecutionContext) -> Iterator[BindingBatch]:
         path_ok = ctx.path_index.path_accessible
         parent_key, child_key = self.parent_key, self.child_key
         for batch in self.child.execute(ctx):
+            if isinstance(batch, ColumnBatch):
+                parents = batch.column(parent_key)
+                children = batch.column(child_key)
+                keep = [
+                    i
+                    for i in range(len(batch))
+                    if path_ok(parents[i], children[i])
+                ]
+                pruned = len(batch) - len(keep)
+                if pruned:
+                    self.stats.bump("pruned", pruned)
+                if keep:
+                    if pruned:
+                        yield ColumnBatch(
+                            batch.keys,
+                            tuple(
+                                array("q", (col[i] for i in keep))
+                                for col in batch.columns
+                            ),
+                            len(keep),
+                        )
+                    else:
+                        yield batch
+                continue
             out = [m for m in batch if path_ok(m[parent_key], m[child_key])]
             pruned = len(batch) - len(out)
             if pruned:
@@ -383,7 +583,12 @@ class BatchPathCheck(BatchOperatorMixin, PathCheck):
 
 
 class BatchProject(BatchOperatorMixin, Project):
-    """Distinct returning-node positions, batched."""
+    """Distinct returning-node positions, batched.
+
+    Positional batches project straight off the returning column — the
+    first (and only) place a ``//``-chain pipeline touches per-row
+    Python values.
+    """
 
     def _rows(self, ctx: ExecutionContext) -> Iterator[array]:
         seen = set()
@@ -391,11 +596,17 @@ class BatchProject(BatchOperatorMixin, Project):
         for batch in self.child.execute(ctx):
             self.stats.bump("bindings_in", len(batch))
             out = array("q")
-            for binding in batch:
-                pos = binding[key]
-                if pos not in seen:
-                    seen.add(pos)
-                    out.append(pos)
+            if isinstance(batch, ColumnBatch):
+                for pos in batch.column(key):
+                    if pos not in seen:
+                        seen.add(pos)
+                        out.append(pos)
+            else:
+                for binding in batch:
+                    pos = binding[key]
+                    if pos not in seen:
+                        seen.add(pos)
+                        out.append(pos)
             if out:
                 yield out
 

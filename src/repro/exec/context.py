@@ -71,6 +71,11 @@ class EvalStats:
     static_deny: int = 0
     #: 1 when the answer came from the result cache (execution skipped)
     result_cache_hits: int = 0
+    #: pages decoded into columnar form during this query (store-backed
+    #: only; a decoded-cache hit performs no new columnar decode)
+    pages_decoded_columnar: int = 0
+    #: array-kernel backend that executed the plan ("stdlib"/"numpy")
+    kernel_backend: Optional[str] = None
 
     def as_dict(self) -> Dict[str, float]:
         report = dict(self.__dict__)
@@ -217,20 +222,22 @@ class ExecutionContext:
             self.stats.corrupted_pages.append(page_id)
         self.stats.candidates_skipped_corrupt += 1
 
-    def io_snapshot(self) -> Tuple[int, int, int]:
-        """(logical, physical, decoded-cache-hit) reads of the store.
+    def io_snapshot(self) -> Tuple[int, int, int, int]:
+        """(logical, physical, decoded-cache-hit, columnar-decode) counts.
 
-        Zeros without a store; the third component is 0 for stores (and
-        snapshots of stores) predating the decoded-page cache.
+        Zeros without a store; the last two components are 0 for stores
+        (and snapshots of stores) predating the decoded-page cache and
+        the columnar decoder respectively.
         """
         if self.store is None:
-            return (0, 0, 0)
+            return (0, 0, 0, 0)
         backing = getattr(self.store, "_store", self.store)  # snapshot → store
         cache = getattr(backing, "decoded_cache", None)
         return (
             self.store.buffer.stats.logical_reads,
             self.store.pager.stats.reads,
             cache.stats.hits if cache is not None else 0,
+            getattr(backing, "columnar_decodes", 0),
         )
 
     # -- access control ----------------------------------------------------

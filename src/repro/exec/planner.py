@@ -41,6 +41,7 @@ from typing import Callable, Iterator, List, Optional, Union
 from repro.errors import ReproError
 from repro.exec.batch import BATCH_OPERATORS
 from repro.exec.context import ExecutionContext, QueryResult
+from repro.exec.kernels import active_kernels
 from repro.exec.operators import (
     AccessFilter,
     Limit,
@@ -110,6 +111,7 @@ class PhysicalPlan:
         """
         self.executed = True
         io_before = self.ctx.io_snapshot()
+        self.ctx.stats.kernel_backend = active_kernels().name
         try:
             rows = self.root.execute(self.ctx)
             if getattr(self.root, "emits_batches", False):
@@ -123,6 +125,7 @@ class PhysicalPlan:
             stats.logical_page_reads += io_after[0] - io_before[0]
             stats.physical_page_reads += io_after[1] - io_before[1]
             stats.decoded_cache_hits += io_after[2] - io_before[2]
+            stats.pages_decoded_columnar += io_after[3] - io_before[3]
             stats.wall_time = self.root.stats.time
 
     def run(self) -> QueryResult:
@@ -158,6 +161,13 @@ class PhysicalPlan:
                 " -- empty answer, no store reads"
             )
         self._render(self.root, 0, analyze, lines)
+        if analyze:
+            stats = self.ctx.stats
+            backend = stats.kernel_backend or active_kernels().name
+            lines.append(
+                f"kernels: {backend}"
+                f" (columnar pages decoded={stats.pages_decoded_columnar})"
+            )
         return "\n".join(lines)
 
     def _render(

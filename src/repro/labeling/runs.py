@@ -114,13 +114,16 @@ class RunList:
     concurrent queries of the same epoch.
     """
 
-    __slots__ = ("lo", "hi", "_starts", "_flags", "_n_accessible")
+    __slots__ = ("lo", "hi", "_starts", "_flags", "_flags_u8", "_n_accessible")
 
     def __init__(self, lo: int, hi: int, starts: array, flags: List[bool]):
         self.lo = lo
         self.hi = hi
         self._starts = starts
         self._flags = flags
+        #: the flags as a byte string — the buffer form the array kernels
+        #: consume (zero-copy under numpy, int indexing under stdlib)
+        self._flags_u8 = bytes(flags)
         self._n_accessible: Optional[int] = None
 
     @classmethod
@@ -194,31 +197,24 @@ class RunList:
     def filter_positions(self, positions: Sequence[int]) -> array:
         """Intersect a *sorted* position batch with the accessible runs.
 
-        Returns the accessible subset as a fresh ``array('q')``. The walk
-        alternates two bisects — the run containing the next position,
-        then the batch prefix inside that run — so cost is
-        O(min(runs, batch) · log) regardless of how many empty runs lie
-        between consecutive positions. No per-position probing.
+        Returns the accessible subset as a fresh ``array('q')``. The work
+        is delegated to the active array kernel backend
+        (:mod:`repro.exec.kernels`): a linear galloping merge over the
+        run boundaries and the batch under stdlib, one vectorized
+        ``searchsorted`` + boolean mask under numpy — byte-identical
+        answers either way. No per-position probing.
         """
-        out = array("q")
-        n = len(positions)
-        if n == 0:
-            return out
-        starts, flags = self._starts, self._flags
-        n_runs = len(starts)
-        hi = self.hi
-        ri = 0
-        i = 0
-        while i < n:
-            ri = bisect_right(starts, positions[i], ri) - 1
-            if ri < 0:
-                ri = 0
-            run_end = starts[ri + 1] if ri + 1 < n_runs else hi
-            j = bisect_left(positions, run_end, i)
-            if flags[ri] and j > i:
-                out.extend(positions[i:j])
-            i = j
-        return out
+        if not isinstance(positions, array):
+            positions = array("q", positions)
+        if len(positions) == 0 or not self._starts:
+            return array("q")
+        # Imported lazily: the execution package imports this module at
+        # load time, so a top-level import would be circular.
+        from repro.exec.kernels import active_kernels
+
+        return active_kernels().filter_runs(
+            positions, self._starts, self._flags_u8, self.hi
+        )
 
 
 #: Cache key: (source tag + epoch, access class id or subject tuple,

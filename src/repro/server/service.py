@@ -57,6 +57,7 @@ from repro.errors import (
     ServiceTimeout,
     ServiceUnavailable,
 )
+from repro.exec.kernels import active_kernels, available_backends
 from repro.nok.engine import QueryEngine
 from repro.secure.dissemination import HOIST, PRUNE, stream_answer_fragments
 from repro.secure.semantics import CHO, SEMANTICS
@@ -782,6 +783,11 @@ class QueryService:
             cache = getattr(store, "decoded_cache", None)
             if cache is not None:
                 report["decoded_page_cache"] = cache.stats.snapshot()
+            report["columnar_decodes"] = getattr(store, "columnar_decodes", 0)
+        report["kernels"] = {
+            "backend": active_kernels().name,
+            "available": available_backends(),
+        }
         return report
 
     # -- wire-protocol dispatch -------------------------------------------

@@ -54,13 +54,18 @@ signal and the store falls back to a full re-pack at a lower density.
 from __future__ import annotations
 
 import struct
+import sys
 import zlib
+from array import array
+from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import PageFormatError, StorageError
-from repro.storage.encoding import ENTRY_SIZE, NodeEntry
+from repro.storage.encoding import ENTRY_SIZE, FLAG_TRANSITION, NodeEntry
 from repro.storage.headers import HEADER_SIZE, PageHeader
 from repro.storage.pager import CHECKSUM_SIZE
+
+_BIG_ENDIAN = sys.byteorder == "big"
 
 #: codec ids as recorded in the per-page codec header
 CODEC_NONE = 0
@@ -265,6 +270,185 @@ def entries_from_containers(
     return entries
 
 
+# -- columnar decoded pages ----------------------------------------------------
+
+
+class PageColumns:
+    """Struct-of-arrays decode of one page — the cached form.
+
+    Columns mirror the on-page containers: ``tags``/``depths`` as
+    ``array('H')``, ``subtrees`` as ``array('I')``, plus the transition
+    record (``trans_offsets`` as ``array('q')``, ``trans_codes`` as
+    ``array('H')``) and the precomputed *running* access code per offset
+    (``codes``, ``array('H')`` — what :meth:`access_code_at` reads).
+
+    The batch executor reads the columns directly; point APIs
+    (``entry``/``page_entries``) materialize the historical
+    :class:`NodeEntry` list lazily as a thin view, so tuple-mode
+    operators, fsck and updates run unchanged. ``nbytes`` accounts the
+    columnar buffers (the entry view is a compat surface built only when
+    object-at-a-time code touches the page).
+    """
+
+    __slots__ = (
+        "header",
+        "n",
+        "tags",
+        "depths",
+        "subtrees",
+        "trans_offsets",
+        "trans_codes",
+        "codes",
+        "_entries",
+    )
+
+    def __init__(
+        self,
+        header: PageHeader,
+        tags: array,
+        depths: array,
+        subtrees: array,
+        trans_offsets: array,
+        trans_codes: array,
+    ):
+        self.header = header
+        self.n = len(tags)
+        self.tags = tags
+        self.depths = depths
+        self.subtrees = subtrees
+        self.trans_offsets = trans_offsets
+        self.trans_codes = trans_codes
+        self.codes = self._running_codes(header.first_code)
+        self._entries: Optional[List[NodeEntry]] = None
+
+    def _running_codes(self, first_code: int) -> array:
+        """Code in effect at each offset: segments between transitions."""
+        flat: List[int] = []
+        current = first_code
+        prev = 0
+        for off, code in zip(self.trans_offsets, self.trans_codes):
+            if off > prev:
+                flat.extend([current] * (off - prev))
+            current = code
+            prev = off
+        flat.extend([current] * (self.n - prev))
+        return array("H", flat)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the columnar buffers (cache accounting unit)."""
+        total = 0
+        for name in ("tags", "depths", "subtrees", "trans_offsets",
+                     "trans_codes", "codes"):
+            col = getattr(self, name)
+            total += len(col) * col.itemsize
+        return total
+
+    def is_transition(self, offset: int) -> bool:
+        toffs = self.trans_offsets
+        i = bisect_left(toffs, offset)
+        return i < len(toffs) and toffs[i] == offset
+
+    @property
+    def entries(self) -> List[NodeEntry]:
+        """The page as :class:`NodeEntry` objects (lazy, then cached)."""
+        if self._entries is None:
+            tags, depths, subtrees = self.tags, self.depths, self.subtrees
+            toffs, tcodes = self.trans_offsets, self.trans_codes
+            entries: List[NodeEntry] = []
+            ti = 0
+            n_trans = len(toffs)
+            for i in range(self.n):
+                if ti < n_trans and toffs[ti] == i:
+                    entries.append(
+                        NodeEntry(tags[i], depths[i], subtrees[i], tcodes[ti], True)
+                    )
+                    ti += 1
+                else:
+                    entries.append(
+                        NodeEntry(tags[i], depths[i], subtrees[i], 0, False)
+                    )
+            self._entries = entries
+        return self._entries
+
+    def entry_at(self, offset: int) -> NodeEntry:
+        """One offset as a :class:`NodeEntry` (uses the view if built)."""
+        if self._entries is not None:
+            return self._entries[offset]
+        toffs = self.trans_offsets
+        i = bisect_left(toffs, offset)
+        if i < len(toffs) and toffs[i] == offset:
+            return NodeEntry(
+                self.tags[offset], self.depths[offset], self.subtrees[offset],
+                self.trans_codes[i], True,
+            )
+        return NodeEntry(
+            self.tags[offset], self.depths[offset], self.subtrees[offset],
+            0, False,
+        )
+
+
+def _transition_offsets(bitmap: bytes, n: int) -> array:
+    """Set-bit offsets of a transition bitmap, skipping zero bytes."""
+    offsets = array("q")
+    for byte_idx, byte in enumerate(bitmap):
+        if not byte:
+            continue
+        base = byte_idx * 8
+        while byte:
+            low = byte & -byte
+            offset = base + low.bit_length() - 1
+            if offset < n:
+                offsets.append(offset)
+            byte ^= low
+    return offsets
+
+
+def columns_from_containers(
+    header: PageHeader, structure: bytes, codes: bytes
+) -> PageColumns:
+    """Bulk-decode container bytes into :class:`PageColumns`.
+
+    The structure container is already column order, so the three
+    structural columns are straight ``frombytes`` slices — no per-entry
+    reconstruction. Validation matches :func:`entries_from_containers`
+    (same error messages on the same malformed inputs).
+    """
+    n = header.n_entries
+    if len(structure) != 8 * n:
+        raise PageFormatError(
+            f"structure container holds {len(structure)} bytes "
+            f"for {n} entries (need {8 * n})"
+        )
+    tags = array("H")
+    tags.frombytes(structure[: 2 * n])
+    depths = array("H")
+    depths.frombytes(structure[2 * n : 4 * n])
+    subtrees = array("I")
+    subtrees.frombytes(structure[4 * n : 8 * n])
+    bitmap_len = (n + 7) // 8
+    if len(codes) < bitmap_len:
+        raise PageFormatError("codes container shorter than its bitmap")
+    bitmap = codes[:bitmap_len]
+    trans_offsets = _transition_offsets(bitmap, n)
+    # The expected length counts every set bit (padding bits included),
+    # exactly as the entry-at-a-time decoder does.
+    n_transitions = sum(bin(b).count("1") for b in bitmap)
+    expected = bitmap_len + 2 * n_transitions
+    if len(codes) != expected:
+        raise PageFormatError(
+            f"codes container holds {len(codes)} bytes, bitmap implies {expected}"
+        )
+    trans_codes = array("H")
+    trans_codes.frombytes(codes[bitmap_len:])
+    if _BIG_ENDIAN:  # containers are little-endian on disk
+        tags.byteswap()
+        depths.byteswap()
+        subtrees.byteswap()
+        trans_codes.byteswap()
+    return PageColumns(header, tags, depths, subtrees, trans_offsets, trans_codes)
+
+
 # -- page formats --------------------------------------------------------------
 
 
@@ -304,6 +488,43 @@ class PlainPageFormat:
             entries.append(NodeEntry.unpack(data, offset))
             offset += ENTRY_SIZE
         return header, entries
+
+    def decode_page_columns(self, data) -> PageColumns:
+        """Bulk columnar decode of the fixed-width body.
+
+        The interleaved 12-byte records are read as one u16 word stream;
+        each column is then a stride-6 slice (subtree sizes recombine
+        from their two words) — no per-entry :class:`NodeEntry` hop.
+        """
+        header = PageHeader.unpack(data)
+        n = header.n_entries
+        end = HEADER_SIZE + n * ENTRY_SIZE
+        body = bytes(data[HEADER_SIZE:end])
+        if len(body) != n * ENTRY_SIZE:
+            raise PageFormatError(
+                f"page body holds {len(body)} bytes for {n} entries "
+                f"(need {n * ENTRY_SIZE})"
+            )
+        words = array("H")
+        words.frombytes(body)
+        if _BIG_ENDIAN:
+            words.byteswap()
+        tags = words[0::6]
+        depths = words[1::6]
+        sub_lo = words[2::6]
+        sub_hi = words[3::6]
+        code_col = words[4::6]
+        flag_col = words[5::6]
+        subtrees = array("I", (lo | (hi << 16) for lo, hi in zip(sub_lo, sub_hi)))
+        trans_offsets = array("q")
+        trans_codes = array("H")
+        for i, flags in enumerate(flag_col):
+            if flags & FLAG_TRANSITION:
+                trans_offsets.append(i)
+                trans_codes.append(code_col[i])
+        return PageColumns(
+            header, tags, depths, subtrees, trans_offsets, trans_codes
+        )
 
     def container_report(self, data) -> Dict[str, Dict[str, int]]:
         """Physical vs logical container bytes of one stored page."""
@@ -401,6 +622,20 @@ class CompressedPageFormat:
         )
         return header, entries
 
+    def decode_page_columns(self, data) -> PageColumns:
+        """Columnar decode straight from the compressed containers.
+
+        The structure container is stored column-wise, so after codec
+        decompression each column is one ``frombytes`` slice — entry
+        reconstruction is skipped entirely.
+        """
+        header, s_id, s_blob, c_id, c_blob = self._containers(data)
+        return columns_from_containers(
+            header,
+            decode_container(s_id, s_blob),
+            decode_container(c_id, c_blob),
+        )
+
     def container_report(self, data) -> Dict[str, Dict[str, int]]:
         header, s_id, s_blob, c_id, c_blob = self._containers(data)
         n = header.n_entries
@@ -459,8 +694,10 @@ __all__ = [
     "CODEC_NAMES",
     "CODEC_HEADER_SIZE",
     "PAGE_CODEC_CONFIGS",
+    "PageColumns",
     "PlainPageFormat",
     "CompressedPageFormat",
+    "columns_from_containers",
     "encode_container",
     "decode_container",
     "structure_container",

@@ -35,10 +35,10 @@ from repro.dol.updates import DOLUpdater
 from repro.errors import PageCorruptionError, PageFormatError, StorageError
 from repro.labeling.base import AccessLabeling
 from repro.storage.buffer import BufferPool
-from repro.storage.codecs import resolve_page_format
+from repro.storage.codecs import PageColumns, resolve_page_format
 from repro.storage.encoding import ENTRY_SIZE, NodeEntry
 from repro.storage.headers import HEADER_SIZE, PageHeader, PageHeaderTable
-from repro.storage.pagecache import DecodedPageCache
+from repro.storage.pagecache import DEFAULT_DECODED_CACHE_BYTES, DecodedPageCache
 from repro.storage.pager import CHECKSUM_SIZE, DEFAULT_PAGE_SIZE, Pager
 from repro.storage.snapshot import StoreSnapshot
 from repro.storage.wal import WriteAheadLog
@@ -53,14 +53,6 @@ def entries_per_page_for(page_size: int) -> int:
 def wal_path_for(path: str) -> str:
     """Default write-ahead-log location for a page file."""
     return path + ".wal"
-
-
-@dataclass
-class _DecodedPage:
-    """Cached decoded view of one page: entries + running access codes."""
-
-    entries: List[NodeEntry]
-    codes: List[int]  # access control code in effect at each offset
 
 
 @dataclass
@@ -88,7 +80,7 @@ class NoKStore:
         buffer_capacity: int = 64,
         paged_values: bool = False,
         codec=None,
-        decoded_cache_capacity: int = 256,
+        decoded_cache_bytes: int = DEFAULT_DECODED_CACHE_BYTES,
     ):
         if labeling.n_nodes != len(doc):
             raise StorageError("labeling and document disagree on node count")
@@ -112,8 +104,11 @@ class NoKStore:
                 self.wal = WriteAheadLog(wal_path_for(path))
             # Decoded pages live in their own bounded LRU, deliberately
             # *not* tied to buffer frames: evicting raw bytes no longer
-            # throws away the (much more expensive) decode.
-            self._decoded = DecodedPageCache(decoded_cache_capacity)
+            # throws away the (much more expensive) decode. The budget is
+            # in decoded bytes — columnar pages are charged what their
+            # arrays actually weigh.
+            self._decoded = DecodedPageCache(decoded_cache_bytes)
+            self._columnar_decodes = 0
             self.quarantined: Set[int] = set()
             #: WAL-recovery outcome stamped by ``open_store`` (``None``
             #: for freshly built stores) — the health model reads it
@@ -157,7 +152,7 @@ class NoKStore:
         wal: Optional[WriteAheadLog] = None,
         codec=None,
         entries_per_page: Optional[int] = None,
-        decoded_cache_capacity: int = 256,
+        decoded_cache_bytes: int = DEFAULT_DECODED_CACHE_BYTES,
     ) -> "NoKStore":
         """Wrap already-written pages (used when reopening a saved store).
 
@@ -178,7 +173,8 @@ class NoKStore:
         )
         store.pager = pager
         store.wal = wal
-        store._decoded = DecodedPageCache(decoded_cache_capacity)
+        store._decoded = DecodedPageCache(decoded_cache_bytes)
+        store._columnar_decodes = 0
         store.quarantined = set()
         store.last_recovery = None
         store.buffer = BufferPool(
@@ -392,7 +388,7 @@ class NoKStore:
 
     # -- page access ---------------------------------------------------------------
 
-    def _page(self, page_id: int) -> _DecodedPage:
+    def _page(self, page_id: int) -> PageColumns:
         if page_id in self.quarantined:
             raise PageCorruptionError(page_id, detail="page is quarantined")
         # The whole lookup runs under the pool latch so the decode cache
@@ -438,24 +434,29 @@ class NoKStore:
                 self._decoded.invalidate(page_id)
             return cleared
 
-    def _decode(self, data) -> _DecodedPage:
+    def _decode(self, data) -> PageColumns:
         """Decode page bytes (or a borrowed view) through the codec layer.
 
-        The running access code at each offset is computed once here, so
-        the cached :class:`_DecodedPage` answers accessibility probes
-        without touching the raw bytes again.
+        Bulk columnar decode: the structural columns come straight out of
+        the page containers as arrays, and the running access code at
+        each offset is precomputed, so the cached
+        :class:`~repro.storage.codecs.PageColumns` answers accessibility
+        probes without touching the raw bytes again.
         """
-        header, entries = self.page_format.decode_page(data)
-        codes: List[int] = []
-        current = header.first_code
-        for entry in entries:
-            if entry.is_transition:
-                current = entry.code
-            codes.append(current)
-        return _DecodedPage(entries, codes)
+        self._columnar_decodes += 1
+        return self.page_format.decode_page_columns(data)
+
+    @property
+    def columnar_decodes(self) -> int:
+        """Pages decoded columnar-ly since the store opened (monotonic)."""
+        return self._columnar_decodes
 
     def entry(self, pos: int) -> NodeEntry:
-        """The stored record for position ``pos`` (loads its page)."""
+        """The stored record for position ``pos`` (loads its page).
+
+        Object-at-a-time compat surface: materializes the page's
+        :class:`NodeEntry` view on first touch (cached with the decode).
+        """
         self._check(pos)
         page = self._page(pos // self.entries_per_page)
         return page.entries[pos % self.entries_per_page]
@@ -463,11 +464,19 @@ class NoKStore:
     def page_entries(self, page_id: int) -> List[NodeEntry]:
         """All decoded entries of one page — one buffer fetch.
 
-        The batch executor's bulk face of :meth:`entry`: a sorted
-        candidate batch groups its positions by page and verifies each
-        page's group against a single decoded-page read.
+        A thin view over :meth:`page_columns` kept for object-at-a-time
+        callers (fsck, tuple-mode operators, tests).
         """
         return self._page(page_id).entries
+
+    def page_columns(self, page_id: int) -> PageColumns:
+        """The columnar decode of one page — the batch executor's face.
+
+        A sorted candidate batch groups its positions by page and reads
+        each page group's tag/subtree columns by slice, no per-entry
+        objects.
+        """
+        return self._page(page_id)
 
     # -- navigation (the next-of-kin primitives) -------------------------------------
 

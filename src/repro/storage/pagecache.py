@@ -1,6 +1,6 @@
 """Decoded-page cache: the top layer of the pager stack.
 
-Decoding a page — CRC check, container decompression, entry
+Decoding a page — CRC check, container decompression, columnar
 reconstruction — costs far more than the read itself once pages are
 compressed. The :class:`~repro.storage.buffer.BufferPool` caches *raw*
 page bytes, and historically the store kept decoded entries in a dict
@@ -10,6 +10,14 @@ pass. This cache holds decoded pages in their own bounded LRU, sized
 independently of the buffer pool, so frame eviction no longer implies
 re-decompression.
 
+Accounting is in **bytes of decoded data**, not entry or page counts:
+each cached object reports its size through an ``nbytes`` attribute (the
+columnar arrays of a :class:`~repro.storage.codecs.PageColumns`;
+``sys.getsizeof`` for objects without one), and eviction keeps the total
+at or below ``capacity_bytes``. Counting pages was honest when every
+decode weighed the same; columnar decodes shrink with the data, so a
+byte budget admits proportionally more hot pages.
+
 Invalidation contract (same as the RunCache): a committed write is the
 only event that changes what a page decodes to. The store invalidates
 rewritten page ids *before* publishing the new epoch, so a reader that
@@ -17,17 +25,21 @@ observes the new epoch never sees a stale decode; readers still on the
 old epoch go through their snapshot's frozen pre-images, never this
 cache. ``drop_caches`` and page quarantine also evict.
 
-Entries are immutable ``(PageHeader, tuple(NodeEntry), codes)`` decodes;
-sharing one object across threads is safe, which is the point — decode
-once under the buffer latch, serve everywhere.
+Entries are immutable decoded pages; sharing one object across threads
+is safe, which is the point — decode once under the buffer latch, serve
+everywhere.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+#: default decoded-page budget: 4 MiB of columnar arrays
+DEFAULT_DECODED_CACHE_BYTES = 4 << 20
 
 
 @dataclass
@@ -38,6 +50,8 @@ class PageCacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: decoded bytes currently resident (a gauge, not a counter)
+    bytes_cached: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         total = self.hits + self.misses
@@ -46,60 +60,89 @@ class PageCacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "bytes_cached": self.bytes_cached,
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
         }
 
 
+def _cost_of(decoded: object) -> int:
+    """Bytes one cached decode is charged for (floor of 1 per entry)."""
+    nbytes = getattr(decoded, "nbytes", None)
+    if nbytes is None:
+        nbytes = sys.getsizeof(decoded)
+    return max(int(nbytes), 1)
+
+
 @dataclass
 class DecodedPageCache:
-    """Bounded LRU of decoded pages keyed by page id.
+    """Bounded LRU of decoded pages keyed by page id, measured in bytes.
 
-    ``capacity <= 0`` disables caching (every ``get`` is a miss and
-    ``put`` is a no-op) — useful for memory-constrained benches.
+    ``capacity_bytes <= 0`` disables caching (every ``get`` is a miss and
+    ``put`` is a no-op) — useful for memory-constrained benches. A single
+    decode larger than the whole budget is admitted alone (the cache
+    would otherwise thrash on every page).
     """
 
-    capacity: int = 256
+    capacity_bytes: int = DEFAULT_DECODED_CACHE_BYTES
     stats: PageCacheStats = field(default_factory=PageCacheStats)
 
     def __post_init__(self) -> None:
         self._lock = threading.RLock()
-        self._pages: "OrderedDict[int, object]" = OrderedDict()
+        self._pages: "OrderedDict[int, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._pages)
 
+    @property
+    def nbytes(self) -> int:
+        """Total decoded bytes currently cached."""
+        with self._lock:
+            return self._bytes
+
     def get(self, page_id: int) -> Optional[object]:
         with self._lock:
-            decoded = self._pages.get(page_id)
-            if decoded is None:
+            held = self._pages.get(page_id)
+            if held is None:
                 self.stats.misses += 1
                 return None
             self._pages.move_to_end(page_id)
             self.stats.hits += 1
-            return decoded
+            return held[0]
 
     def put(self, page_id: int, decoded: object) -> None:
-        if self.capacity <= 0:
+        if self.capacity_bytes <= 0:
             return
+        cost = _cost_of(decoded)
         with self._lock:
-            self._pages[page_id] = decoded
-            self._pages.move_to_end(page_id)
-            while len(self._pages) > self.capacity:
-                self._pages.popitem(last=False)
+            old = self._pages.pop(page_id, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._pages[page_id] = (decoded, cost)
+            self._bytes += cost
+            while self._bytes > self.capacity_bytes and len(self._pages) > 1:
+                _, (_, evicted_cost) = self._pages.popitem(last=False)
+                self._bytes -= evicted_cost
                 self.stats.evictions += 1
+            self.stats.bytes_cached = self._bytes
 
     def invalidate(self, page_id: int) -> None:
         """Drop one page's decode (called before the commit publishes)."""
         with self._lock:
-            if self._pages.pop(page_id, None) is not None:
+            held = self._pages.pop(page_id, None)
+            if held is not None:
+                self._bytes -= held[1]
                 self.stats.invalidations += 1
+                self.stats.bytes_cached = self._bytes
 
     def clear(self) -> None:
         with self._lock:
             if self._pages:
                 self.stats.invalidations += len(self._pages)
             self._pages.clear()
+            self._bytes = 0
+            self.stats.bytes_cached = 0
 
 
-__all__ = ["DecodedPageCache", "PageCacheStats"]
+__all__ = ["DecodedPageCache", "DEFAULT_DECODED_CACHE_BYTES", "PageCacheStats"]

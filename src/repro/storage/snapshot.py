@@ -50,7 +50,8 @@ from repro.storage.headers import PageHeaderTable
 from repro.xmltree.document import NO_NODE, Document
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.storage.nokstore import NoKStore, _DecodedPage
+    from repro.storage.codecs import PageColumns
+    from repro.storage.nokstore import NoKStore
 
 
 class StoreSnapshot:
@@ -81,7 +82,7 @@ class StoreSnapshot:
         #: pre-update page images, installed by the writer that
         #: superseded this snapshot, *before* it rewrote each page
         self._overlay: Dict[int, bytes] = {}
-        self._overlay_decoded: Dict[int, "_DecodedPage"] = {}
+        self._overlay_decoded: Dict[int, "PageColumns"] = {}
         #: the snapshot that superseded this one (None while current)
         self._next: Optional["StoreSnapshot"] = None
 
@@ -141,7 +142,7 @@ class StoreSnapshot:
             snap = snap._next
         return None
 
-    def _page(self, page_id: int) -> "_DecodedPage":
+    def _page(self, page_id: int) -> "PageColumns":
         if page_id in self._store.quarantined:
             raise PageCorruptionError(page_id, detail="page is quarantined")
         decoded = self._overlay_decoded.get(page_id)
@@ -177,6 +178,10 @@ class StoreSnapshot:
     def page_entries(self, page_id: int):
         """All decoded entries of one page at this epoch (one fetch)."""
         return self._page(page_id).entries
+
+    def page_columns(self, page_id: int) -> "PageColumns":
+        """The columnar decode of one page at this epoch."""
+        return self._page(page_id)
 
     # -- navigation (the next-of-kin primitives) ---------------------------
 

@@ -59,7 +59,11 @@ class ValueStore:
         self.capacity = self.pager.usable_size - (
             _VALUE_PAGE_HEADER.size if self.codec else 0
         )
-        self._decoded = DecodedPageCache(capacity=max(buffer_capacity, 16))
+        # byte-budgeted like the node-page cache: hold roughly as many
+        # decoded value pages as the buffer pool holds raw frames
+        self._decoded = DecodedPageCache(
+            capacity_bytes=max(buffer_capacity, 16) * page_size
+        )
         #: per position: (page id, offset, byte length); (-1, 0, 0) = empty
         self._slots: List[Tuple[int, int, int]] = []
         self._build(texts)

@@ -163,6 +163,45 @@ def test_page_roundtrip(fmt, entries, data):
     assert out_entries == entries
 
 
+@pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.structure_codec)
+@given(entries=entry_lists(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_columnar_decode_equals_entry_decode(fmt, entries, data):
+    """The tentpole equivalence: ``decode_page_columns`` is an independent
+    code path from ``decode_page``, and the NodeEntry view it exposes must
+    match the entry decoder record-for-record on arbitrary pages."""
+    page_size = data.draw(st.sampled_from([1024, 4096]))
+    entries = entries[: fmt.max_entries(page_size)]
+    first_code = data.draw(st.integers(0, 0xFFFF))
+    header = PageHeader(
+        first_code=first_code,
+        change_bit=data.draw(st.integers(0, 1)),
+        n_entries=len(entries),
+    )
+    page = fmt.encode_page(header, entries, page_size)
+
+    ref_header, ref_entries = fmt.decode_page(page)
+    cols = fmt.decode_page_columns(page)
+
+    assert cols.header == ref_header
+    assert cols.n == len(ref_entries)
+    assert list(cols.entries) == ref_entries
+    # the satellite columns agree with the reference records elementwise
+    assert list(cols.tags) == [e.tag_id for e in ref_entries]
+    assert list(cols.depths) == [e.depth for e in ref_entries]
+    assert list(cols.subtrees) == [e.subtree for e in ref_entries]
+    for offset, entry in enumerate(ref_entries):
+        assert cols.entry_at(offset) == entry
+        assert cols.is_transition(offset) == entry.is_transition
+    # running access codes fold first_code through the transitions
+    code = first_code
+    for offset, entry in enumerate(ref_entries):
+        if entry.is_transition:
+            code = entry.code
+        assert cols.codes[offset] == code
+    assert cols.nbytes > 0 or not entries
+
+
 @pytest.mark.parametrize("fmt", FORMATS[1:], ids=lambda f: f.structure_codec)
 @pytest.mark.parametrize("page_size", [256, 1024, 4096])
 def test_fit_invariant_worst_case_codes(fmt, page_size):
@@ -315,34 +354,80 @@ def test_open_device_memory_when_no_path():
 # -- decoded-page cache --------------------------------------------------------
 
 
+class _Sized:
+    """A stand-in decoded page with an explicit byte cost."""
+
+    def __init__(self, label, nbytes):
+        self.label = label
+        self.nbytes = nbytes
+
+
 def test_decoded_cache_lru_and_stats():
-    cache = DecodedPageCache(capacity=2)
+    cache = DecodedPageCache(capacity_bytes=200)
     assert cache.get(0) is None
-    cache.put(0, "zero")
-    cache.put(1, "one")
-    assert cache.get(0) == "zero"  # 0 now most-recent
-    cache.put(2, "two")  # evicts 1
+    cache.put(0, _Sized("zero", 100))
+    cache.put(1, _Sized("one", 100))
+    assert cache.get(0).label == "zero"  # 0 now most-recent
+    cache.put(2, _Sized("two", 100))  # over budget: evicts 1 (LRU)
     assert cache.get(1) is None
-    assert cache.get(0) == "zero"
+    assert cache.get(0).label == "zero"
     stats = cache.stats.snapshot()
     assert stats["evictions"] == 1
     assert stats["hits"] == 2
     assert stats["misses"] == 2
+    assert stats["bytes_cached"] == cache.nbytes == 200
+
+
+def test_decoded_cache_bytes_bound_holds_under_churn():
+    budget = 1000
+    cache = DecodedPageCache(capacity_bytes=budget)
+    costs = [17, 250, 99, 403, 64, 128, 1, 333, 90, 210, 177]
+    for page_id, cost in enumerate(costs * 3):
+        cache.put(page_id % len(costs), _Sized(page_id, cost))
+        assert cache.nbytes <= budget
+        # the accounting gauge tracks the true total at every step
+        held = sum(c for (_, c) in cache._pages.values())
+        assert cache.nbytes == held == cache.stats.bytes_cached
+
+
+def test_decoded_cache_admits_oversized_entry_alone():
+    cache = DecodedPageCache(capacity_bytes=100)
+    cache.put(0, _Sized("small", 60))
+    cache.put(1, _Sized("huge", 500))  # larger than the whole budget
+    assert cache.get(1).label == "huge"  # admitted, alone
+    assert cache.get(0) is None
+    assert len(cache) == 1
+
+
+def test_decoded_cache_replacement_reaccounts_bytes():
+    cache = DecodedPageCache(capacity_bytes=1000)
+    cache.put(3, _Sized("v1", 400))
+    cache.put(3, _Sized("v2", 100))  # same page re-decoded smaller
+    assert cache.nbytes == 100
+    assert cache.get(3).label == "v2"
 
 
 def test_decoded_cache_invalidation():
-    cache = DecodedPageCache(capacity=4)
-    cache.put(7, "seven")
+    cache = DecodedPageCache(capacity_bytes=1000)
+    cache.put(7, _Sized("seven", 300))
     cache.invalidate(7)
     assert cache.get(7) is None
     assert cache.stats.invalidations == 1
-    cache.put(8, "eight")
+    assert cache.nbytes == 0
+    cache.put(8, _Sized("eight", 300))
     cache.clear()
     assert len(cache) == 0
+    assert cache.nbytes == 0
 
 
 def test_decoded_cache_zero_capacity_disables():
-    cache = DecodedPageCache(capacity=0)
-    cache.put(1, "one")
+    cache = DecodedPageCache(capacity_bytes=0)
+    cache.put(1, _Sized("one", 10))
     assert cache.get(1) is None
     assert len(cache) == 0
+
+
+def test_decoded_cache_sizeof_fallback_for_plain_objects():
+    cache = DecodedPageCache(capacity_bytes=1 << 20)
+    cache.put(0, b"x" * 64)  # no nbytes attr: charged via sys.getsizeof
+    assert cache.nbytes >= 64
